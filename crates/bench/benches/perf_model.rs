@@ -1,0 +1,61 @@
+//! Criterion benchmarks over the analytic models themselves: a full Fig 9
+//! configuration sweep and memory-accounting evaluation. These make
+//! `cargo bench` exercise the paper-scale harness paths end to end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use xmoe_core::config::{MoeModelConfig, ParallelConfig};
+use xmoe_core::memory::{self, MoeSystem};
+use xmoe_core::perf::{PerfModel, PerfOpts};
+
+fn bench_best_throughput_sweep(c: &mut Criterion) {
+    let pm = PerfModel::frontier(256);
+    let medium = MoeModelConfig::medium();
+    c.bench_function("fig9_medium_sweep_all_systems", |b| {
+        b.iter(|| {
+            MoeSystem::ALL
+                .iter()
+                .map(|&sys| {
+                    pm.best_throughput(&medium, 256, sys, 1024)
+                        .map(|r| r.tflops_per_gpu)
+                })
+                .collect::<Vec<_>>()
+        })
+    });
+}
+
+fn bench_step_model(c: &mut Criterion) {
+    let pm = PerfModel::frontier(1024);
+    let sup = MoeModelConfig::super_();
+    let par = ParallelConfig::new(1024, 256)
+        .with_tp(2)
+        .with_ssmb(true)
+        .with_batch(1, 1024);
+    c.bench_function("step_model_super_1024", |b| {
+        b.iter(|| {
+            pm.step(&sup, &par, MoeSystem::XMoe, &PerfOpts::xmoe())
+                .step_time
+        })
+    });
+}
+
+fn bench_memory_accounting(c: &mut Criterion) {
+    let large = MoeModelConfig::large();
+    c.bench_function("memory_total_per_gpu_large", |b| {
+        b.iter(|| {
+            MoeSystem::ALL
+                .iter()
+                .map(|&sys| {
+                    memory::total_per_gpu(&large, &ParallelConfig::new(256, 64), sys).total()
+                })
+                .sum::<u64>()
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_best_throughput_sweep,
+    bench_step_model,
+    bench_memory_accounting
+);
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! Ablation: routing skew. Real routers are not uniform — popular experts
+//! receive far more tokens. Skew stresses exactly the machinery the paper
+//! builds:
+//!
+//! * the dense baseline's fixed capacity `C = c*S*k/E` simultaneously
+//!   drops tokens at hot experts and pads cold ones;
+//! * the PFT is load-adaptive: its buffer is exactly the retained volume;
+//! * redundancy (and thus RBD's benefit) *rises* with skew, because a
+//!   token's k choices concentrate on fewer nodes.
+
+use xmoe_bench::{print_table, shape_check};
+use xmoe_core::gating::{DropPolicy, GatingOutput, Router};
+use xmoe_core::pft::Pft;
+use xmoe_core::rbd::redundancy_rate;
+use xmoe_tensor::Tensor;
+
+/// Gate with a per-expert bias of strength `skew` favouring low expert ids
+/// (an exponential popularity profile).
+fn skewed_gating(s: usize, h: usize, e: usize, k: usize, skew: f32, seed: u64) -> GatingOutput {
+    let router = Router::new(h, e, k, seed);
+    let tokens = Tensor::rand_uniform(s, h, 1.0, seed + 1);
+    // Add a fixed bias column-wise by shifting the gate weight's effect:
+    // easier to bias the logits via an extra rank-1 term in the weight.
+    let mut w = router.weight.clone();
+    for r in 0..w.rows() {
+        for c in 0..w.cols() {
+            let bias = skew * (-(c as f32) / e as f32 * 4.0).exp() / h as f32;
+            let v = w.get(r, c);
+            // tokens are ~uniform in [-1,1]; adding a constant direction
+            // per column biases every token's logit for that expert.
+            w.set(r, c, v + bias);
+        }
+    }
+    Router::from_weight(w, k).gate(&tokens)
+}
+
+fn main() {
+    let (s, h, e, k) = (4096usize, 64usize, 64usize, 6usize);
+    let cap = ((1.25 * (s * k) as f64) / e as f64).ceil() as usize;
+    let experts_per_node = e / 8; // 8-node view for redundancy
+
+    let mut rows = Vec::new();
+    let mut drops = Vec::new();
+    let mut imbalances = Vec::new();
+    let mut redundancies = Vec::new();
+    for &skew in &[0.0f32, 2.0, 4.0, 8.0] {
+        let gating = skewed_gating(s, h, e, k, skew, 9001);
+        // Unlimited capacity view for load statistics.
+        let free = Pft::construct(&gating, e, usize::MAX / 2, DropPolicy::CapacityOnly);
+        let max_load = *free.tokens_per_expert.iter().max().unwrap() as f64;
+        let mean_load = free.len() as f64 / e as f64;
+        let imbalance = max_load / mean_load;
+        // Capacity-limited view for drop statistics.
+        let capped = Pft::construct(&gating, e, cap, DropPolicy::CapacityOnly);
+        let drop = capped.dropped as f64 / (s * k) as f64;
+        let red = redundancy_rate(&free, |ex| ex / experts_per_node);
+        drops.push(drop);
+        imbalances.push(imbalance);
+        redundancies.push(red);
+        rows.push(vec![
+            format!("{skew:.1}"),
+            format!("{imbalance:.2}"),
+            format!("{:.2}%", 100.0 * drop),
+            format!("{:.1}%", 100.0 * red),
+            capped.len().to_string(),
+        ]);
+    }
+    print_table(
+        "routing-skew sweep (E=64, k=6, S=4096, c=1.25, 8-node view)",
+        &[
+            "skew",
+            "load max/mean",
+            "dropped @c=1.25",
+            "redundancy (8 nodes)",
+            "PFT entries",
+        ],
+        &rows,
+    );
+
+    shape_check(
+        "skew increases expert load imbalance",
+        imbalances.windows(2).all(|w| w[1] >= w[0] - 0.05) && imbalances.last().unwrap() > &1.5,
+        &format!("{imbalances:.2?}"),
+    );
+    shape_check(
+        "skew increases capacity drops under the fixed GShard capacity",
+        drops.last().unwrap() > drops.first().unwrap(),
+        &format!("{drops:.3?}"),
+    );
+    shape_check(
+        "skew increases inter-node redundancy (RBD's opportunity grows)",
+        redundancies.last().unwrap() > redundancies.first().unwrap(),
+        &format!("{redundancies:.3?}"),
+    );
+    println!(
+        "\nnote: the PFT buffer (last column) shrinks as drops rise — X-MoE's memory\n\
+         adapts to the real load, while the dense baseline's E*C allocation is\n\
+         invariant to skew (it pays for the hot experts' drops AND the cold\n\
+         experts' padding at the same time)."
+    );
+}

@@ -1,0 +1,96 @@
+//! Appendix C.1: EP-first vs DP-first process placement.
+//!
+//! The tension: EP-first packs a full expert set into each node (cheap
+//! token-routing all-to-all, expensive cross-node gradient sync); DP-first
+//! co-locates replicas of the same experts (cheap gradient sync, cross-node
+//! all-to-all). The paper: "For small MoEs, locality-aware EP may win...
+//! For relatively large MoEs, replica-aware DP actually becomes more
+//! appealing, because DP needs to synchronize data volume linear with
+//! respect to the number of parameters."
+//!
+//! This binary prices both placements for the Table 3 models and shows the
+//! crossover.
+
+use xmoe_bench::{print_table, shape_check};
+use xmoe_core::config::{MoeModelConfig, ParallelConfig};
+use xmoe_core::memory::MoeSystem;
+use xmoe_core::perf::{PerfModel, PerfOpts};
+use xmoe_topology::PlacementPolicy;
+
+fn main() {
+    // (model, world, EP size, global batch). The third case is exactly the
+    // appendix's concrete example regime: 64 GPUs (8 nodes x 8), EP=8,
+    // DP=8 — DP-first co-locates each expert's 8 replicas on one node
+    // (gradient sync over Infinity Fabric) while EP-first replicates the
+    // expert set per node and pays cross-node gradient sync. With a
+    // parameter-heavy model the gradient volume dominates and DP-first
+    // wins; for the Small model the token all-to-all dominates and
+    // EP-first wins.
+    let cases = [
+        (MoeModelConfig::small(), 256usize, 8usize, 1024usize),
+        (MoeModelConfig::medium(), 256, 64, 1024),
+        (MoeModelConfig::large(), 64, 8, 64),
+    ];
+
+    let mut rows = Vec::new();
+    let mut winners = Vec::new();
+    for (cfg, world, ep, batch) in &cases {
+        let pm = PerfModel::frontier_clean(*world);
+        let par = ParallelConfig::new(*world, *ep)
+            .with_ssmb(true)
+            .with_batch(1, *batch);
+        let mut results = Vec::new();
+        for placement in [PlacementPolicy::EpFirst, PlacementPolicy::DpFirst] {
+            let mut o = PerfOpts::xmoe();
+            o.placement = placement;
+            results.push(pm.step(cfg, &par, MoeSystem::XMoe, &o));
+        }
+        let (ep_first, dp_first) = (results[0], results[1]);
+        let winner = if ep_first.step_time <= dp_first.step_time {
+            "EP-first"
+        } else {
+            "DP-first"
+        };
+        winners.push((cfg.name.clone(), winner));
+        rows.push(vec![
+            format!("{} ({world} GPUs, EP={ep}, batch={batch})", cfg.name),
+            format!(
+                "{:.2} s (a2a {:.1} ms, dp {:.2} s)",
+                ep_first.step_time,
+                ep_first.moe_stages.a2a() * 1e3,
+                ep_first.dp_sync
+            ),
+            format!(
+                "{:.2} s (a2a {:.1} ms, dp {:.2} s)",
+                dp_first.step_time,
+                dp_first.moe_stages.a2a() * 1e3,
+                dp_first.dp_sync
+            ),
+            winner.to_string(),
+        ]);
+    }
+    print_table(
+        "Appendix C.1: EP-first vs DP-first step time",
+        &["model", "EP-first", "DP-first", "winner"],
+        &rows,
+    );
+
+    shape_check(
+        "small MoE favours locality-aware EP-first placement",
+        winners[0].1 == "EP-first",
+        &format!("{}: {}", winners[0].0, winners[0].1),
+    );
+    shape_check(
+        "large MoE favours replica-aware DP-first placement",
+        winners[2].1 == "DP-first",
+        &format!("{}: {}", winners[2].0, winners[2].1),
+    );
+
+    // Component view: where does each placement spend its time?
+    println!(
+        "\nmechanism: EP-first keeps the token all-to-all on intra-node links but\n\
+         replicates each expert once per node, so the gradient all-reduce crosses\n\
+         nodes; DP-first inverts the trade. The crossover follows the ratio of\n\
+         per-step token bytes (~ k*S*H) to parameter bytes (~ E*H*H_FFN / EP)."
+    );
+}

@@ -1,0 +1,124 @@
+//! Fig 9 (§5.2): trainability and training throughput of Small/Medium/
+//! Large on 256 GPUs and Super on 1024 GPUs, for DeepSpeed-MoE,
+//! DeepSpeed-TED, Tutel and X-MoE, each swept over the paper's
+//! configuration grid (EP in {32..256}, TP for TED/X-MoE, ZeRO 1/2,
+//! max power-of-two micro-batch).
+
+use xmoe_bench::{print_table, shape_check};
+use xmoe_core::config::MoeModelConfig;
+use xmoe_core::memory::MoeSystem;
+use xmoe_core::perf::PerfModel;
+
+fn main() {
+    let cases = [
+        (MoeModelConfig::small(), 256usize, 1024usize),
+        (MoeModelConfig::medium(), 256, 1024),
+        (MoeModelConfig::large(), 256, 1024),
+        (MoeModelConfig::super_(), 1024, 1024),
+    ];
+
+    let mut rows = Vec::new();
+    let mut results: Vec<Vec<Option<f64>>> = Vec::new();
+    for (cfg, world, batch) in &cases {
+        let pm = PerfModel::frontier(*world);
+        let mut per_sys = Vec::new();
+        let mut row = vec![
+            format!("{} ({:.1}B)", cfg.name, cfg.total_params() as f64 / 1e9),
+            world.to_string(),
+        ];
+        for sys in MoeSystem::ALL {
+            match pm.best_throughput(cfg, *world, sys, *batch) {
+                Some(rep) => {
+                    row.push(format!(
+                        "{:.1} TF ({:.2} PF)",
+                        rep.tflops_per_gpu, rep.aggregate_pflops
+                    ));
+                    per_sys.push(Some(rep.tflops_per_gpu));
+                }
+                None => {
+                    row.push("OOM".into());
+                    per_sys.push(None);
+                }
+            }
+        }
+        rows.push(row);
+        results.push(per_sys);
+    }
+    print_table(
+        "Fig 9: per-GPU TFLOP/s (aggregate PFLOP/s) or OOM",
+        &[
+            "model",
+            "GPUs",
+            "DeepSpeed-MoE",
+            "DeepSpeed-TED",
+            "Tutel",
+            "X-MoE",
+        ],
+        &rows,
+    );
+
+    // Shape checks (Fig 9 and §5.2 headline claims).
+    let idx = |sys: MoeSystem| MoeSystem::ALL.iter().position(|&s| s == sys).unwrap();
+    let small = &results[0];
+    shape_check(
+        "all four systems train Small at 256 GPUs",
+        small.iter().all(Option::is_some),
+        &format!("{small:?}"),
+    );
+    let medium = &results[1];
+    shape_check(
+        "Medium: DS-MoE OOM; TED/Tutel/X-MoE train",
+        medium[idx(MoeSystem::DsMoe)].is_none()
+            && medium[idx(MoeSystem::DsTed)].is_some()
+            && medium[idx(MoeSystem::Tutel)].is_some()
+            && medium[idx(MoeSystem::XMoe)].is_some(),
+        "trainability pattern",
+    );
+    if let (Some(x), Some(t), Some(ted)) = (
+        medium[idx(MoeSystem::XMoe)],
+        medium[idx(MoeSystem::Tutel)],
+        medium[idx(MoeSystem::DsTed)],
+    ) {
+        shape_check(
+            "Medium: X-MoE beats Tutel (paper: 1.42x)",
+            x / t > 1.05,
+            &format!("{:.2}x", x / t),
+        );
+        shape_check(
+            "Medium: X-MoE beats TED by a large factor (paper: 5.15x)",
+            x / ted > 2.0,
+            &format!("{:.2}x", x / ted),
+        );
+    }
+    let large = &results[2];
+    shape_check(
+        "Large: only X-MoE trains at 256 GPUs",
+        large[idx(MoeSystem::XMoe)].is_some()
+            && large
+                .iter()
+                .enumerate()
+                .all(|(i, r)| i == idx(MoeSystem::XMoe) || r.is_none()),
+        "trainability pattern",
+    );
+    let sup = &results[3];
+    shape_check(
+        "Super 545B: only X-MoE trains at 1024 GPUs (paper: 10.44 PFLOPs)",
+        sup[idx(MoeSystem::XMoe)].is_some()
+            && sup
+                .iter()
+                .enumerate()
+                .all(|(i, r)| i == idx(MoeSystem::XMoe) || r.is_none()),
+        &sup[idx(MoeSystem::XMoe)]
+            .map(|v| format!("{:.2} PF aggregate", v * 1024.0 / 1e3))
+            .unwrap_or_default(),
+    );
+    // The "10x larger trainable model" claim: Super (545B, X-MoE-only)
+    // versus the largest baseline-trainable model (Medium, 55.2B).
+    let largest_baseline = MoeModelConfig::medium().total_params() as f64;
+    let xmoe_max = MoeModelConfig::super_().total_params() as f64;
+    shape_check(
+        "X-MoE trains a ~10x larger model than the best baseline",
+        xmoe_max / largest_baseline > 8.0,
+        &format!("{:.1}x", xmoe_max / largest_baseline),
+    );
+}

@@ -1,0 +1,131 @@
+//! Fig 10 (§5.3): weak and strong scaling of X-MoE vs Tutel.
+//!
+//! (a) Weak scaling: the 10.1B Small model from 16 to 256 GPUs with the
+//!     global batch growing proportionally (256 -> 4096 sequences), EP=8,
+//!     scaled out via ZeRO-DP.
+//! (b) Strong scaling: the 55.2B Medium model on 128/256/512/1024 GPUs at
+//!     a fixed global batch of 2048; X-MoE uses EP=64, Tutel EP=128
+//!     (Tutel cannot run at 128 GPUs — insufficient memory even at
+//!     EP=128, matching the paper).
+
+use xmoe_bench::{print_table, shape_check, sparkline};
+use xmoe_core::config::{MoeModelConfig, ParallelConfig};
+use xmoe_core::memory::{self, MoeSystem};
+use xmoe_core::perf::{PerfModel, PerfOpts};
+
+fn main() {
+    // ---- (a) Weak scaling --------------------------------------------
+    let small = MoeModelConfig::small();
+    let mut rows = Vec::new();
+    let mut x_series = Vec::new();
+    let mut t_series = Vec::new();
+    for (world, batch) in [
+        (16usize, 256usize),
+        (32, 512),
+        (64, 1024),
+        (128, 2048),
+        (256, 4096),
+    ] {
+        let pm = PerfModel::frontier(world);
+        let par = ParallelConfig::new(world, 8)
+            .with_batch(1, batch)
+            .with_ssmb(true);
+        let x = pm.step_auto_placement(&small, &par, MoeSystem::XMoe, &PerfOpts::xmoe());
+        let t = pm.step(&small, &par, MoeSystem::Tutel, &PerfOpts::default());
+        x_series.push(x.tflops_per_gpu);
+        t_series.push(t.tflops_per_gpu);
+        rows.push(vec![
+            world.to_string(),
+            batch.to_string(),
+            format!("{:.1}", x.tflops_per_gpu),
+            format!("{:.1}", t.tflops_per_gpu),
+        ]);
+    }
+    print_table(
+        "Fig 10a: weak scaling, Small model, EP=8 (TFLOP/s per GPU)",
+        &["GPUs", "global batch", "X-MoE", "Tutel"],
+        &rows,
+    );
+    println!(
+        "X-MoE: {}   Tutel: {}",
+        sparkline(&x_series),
+        sparkline(&t_series)
+    );
+    shape_check(
+        "X-MoE above Tutel at every weak-scaling point",
+        x_series.iter().zip(&t_series).all(|(x, t)| x > t),
+        &format!("X {:.1?} vs T {:.1?}", x_series, t_series),
+    );
+    let x_drop = 1.0 - x_series.last().unwrap() / x_series[0];
+    let t_drop = 1.0 - t_series.last().unwrap() / t_series[0];
+    shape_check(
+        "X-MoE's throughput drop across the sweep is no worse than Tutel's",
+        x_drop <= t_drop + 0.05,
+        &format!(
+            "X drop {:.1}% vs Tutel drop {:.1}%",
+            100.0 * x_drop,
+            100.0 * t_drop
+        ),
+    );
+
+    // ---- (b) Strong scaling ------------------------------------------
+    let medium = MoeModelConfig::medium();
+    let hbm = 64_000_000_000u64;
+    let mut rows = Vec::new();
+    let mut x_times = Vec::new();
+    let mut t_times = Vec::new();
+    for world in [128usize, 256, 512, 1024] {
+        let pm = PerfModel::frontier(world);
+        let xp = ParallelConfig::new(world, 64)
+            .with_batch(1, 2048)
+            .with_ssmb(true);
+        let x = pm.step_auto_placement(&medium, &xp, MoeSystem::XMoe, &PerfOpts::xmoe());
+        x_times.push(x.step_time);
+        // Tutel at EP=128 (the paper's best baseline configuration).
+        let tp = ParallelConfig::new(world, 128.min(world)).with_batch(1, 2048);
+        let t_mem = memory::total_per_gpu(&medium, &tp, MoeSystem::Tutel);
+        let t_cell = if t_mem.fits(hbm) {
+            let t = pm.step(&medium, &tp, MoeSystem::Tutel, &PerfOpts::default());
+            t_times.push(t.step_time);
+            format!("{:.2} s", t.step_time)
+        } else {
+            "OOM".into()
+        };
+        rows.push(vec![
+            world.to_string(),
+            format!("{:.2} s", x.step_time),
+            t_cell,
+        ]);
+    }
+    print_table(
+        "Fig 10b: strong scaling, Medium model, global batch 2048 (iteration time)",
+        &["GPUs", "X-MoE (EP=64)", "Tutel (EP=128)"],
+        &rows,
+    );
+    shape_check(
+        "Tutel cannot run at 128 GPUs; X-MoE can",
+        rows[0][2] == "OOM",
+        &rows[0][2],
+    );
+    shape_check(
+        "X-MoE iteration time drops monotonically with GPU count",
+        x_times.windows(2).all(|w| w[1] <= w[0] * 1.02),
+        &format!("{x_times:.2?}"),
+    );
+    let early = x_times[0] / x_times[1];
+    let late = x_times[x_times.len() - 2] / x_times[x_times.len() - 1];
+    shape_check(
+        "scaling gains flatten beyond one rack (all-to-all latency dominates)",
+        late < early,
+        &format!("128->256 gain {early:.2}x vs 512->1024 gain {late:.2}x"),
+    );
+    if t_times.len() >= 2 {
+        let x_last = *x_times.last().unwrap();
+        let t_last = *t_times.last().unwrap();
+        shape_check(
+            "X-MoE and Tutel converge at 1024 GPUs",
+            (x_last - t_last).abs() / t_last < 0.35,
+            &format!("X {x_last:.2}s vs Tutel {t_last:.2}s"),
+        );
+    }
+}

@@ -1,0 +1,87 @@
+//! Fig 13 (§5.4.3): maximum allocated per-GPU memory with and without
+//! SSMB, for the Large model on 256 GPUs, ZeRO-1, EP=64, TP in {1, 2, 4}.
+
+use xmoe_bench::{fmt_gib, print_table, shape_check};
+use xmoe_core::config::{MoeModelConfig, ParallelConfig};
+use xmoe_core::memory::{total_per_gpu, MoeSystem};
+
+fn main() {
+    let cfg = MoeModelConfig::large();
+    let mut rows = Vec::new();
+    let mut gaps = Vec::new();
+    for tp in [1usize, 2, 4] {
+        let with = total_per_gpu(
+            &cfg,
+            &ParallelConfig::new(256, 64)
+                .with_tp(tp)
+                .with_zero(1)
+                .with_ssmb(true),
+            MoeSystem::XMoe,
+        );
+        let without = total_per_gpu(
+            &cfg,
+            &ParallelConfig::new(256, 64)
+                .with_tp(tp)
+                .with_zero(1)
+                .with_ssmb(false),
+            MoeSystem::XMoe,
+        );
+        gaps.push(without.total() as i64 - with.total() as i64);
+        rows.push(vec![
+            tp.to_string(),
+            fmt_gib(with.total()),
+            fmt_gib(without.total()),
+            fmt_gib((without.total() - with.total()) as u64),
+            fmt_gib(with.moe_activations),
+            fmt_gib(without.moe_activations),
+        ]);
+    }
+    print_table(
+        "Fig 13: max per-GPU memory, Large @256 GPUs, ZeRO-1, EP=64",
+        &[
+            "TP",
+            "w/ SSMB",
+            "w/o SSMB",
+            "saving",
+            "MoE act (SSMB)",
+            "MoE act (no SSMB)",
+        ],
+        &rows,
+    );
+    shape_check(
+        "SSMB saves nothing at TP=1 (no sequence to shard)",
+        gaps[0] == 0,
+        &format!("gap {}", gaps[0]),
+    );
+    shape_check(
+        "SSMB memory benefit grows with TP degree",
+        gaps[1] > 0 && gaps[2] > gaps[1],
+        &format!("gaps {gaps:?}"),
+    );
+    let hbm = 64_000_000_000u64;
+    let with_tp2 = total_per_gpu(
+        &cfg,
+        &ParallelConfig::new(256, 64)
+            .with_tp(4)
+            .with_zero(1)
+            .with_ssmb(true),
+        MoeSystem::XMoe,
+    );
+    let without_tp2 = total_per_gpu(
+        &cfg,
+        &ParallelConfig::new(256, 64)
+            .with_tp(4)
+            .with_zero(1)
+            .with_ssmb(false),
+        MoeSystem::XMoe,
+    );
+    shape_check(
+        "at TP=4, SSMB is what makes Large fit in 64 GB",
+        with_tp2.fits(hbm) && !without_tp2.fits(hbm),
+        &format!(
+            "{} vs {}",
+            fmt_gib(with_tp2.total()),
+            fmt_gib(without_tp2.total())
+        ),
+    );
+}

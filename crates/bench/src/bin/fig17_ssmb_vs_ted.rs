@@ -1,0 +1,104 @@
+//! Fig 17 (Appendix C.2): SSMB vs TED memory-saving advantage regions.
+//!
+//! For each public MoE model the ratio `r = k / H_FFN` is compared against
+//! the borderline `2 / (c S)` at sequence lengths 2048/4096/8192 with
+//! capacity factor c = 1: points above the line favour SSMB, below favour
+//! TED. DeepSeek-style models sit far above at every S; Mixtral far below;
+//! Arctic flips with sequence length.
+
+use xmoe_bench::{print_table, shape_check};
+use xmoe_core::config::MoeModelConfig;
+use xmoe_core::memory::{ssmb_activation_saving, ssmb_min_model_cost};
+
+fn main() {
+    let mut models = [
+        MoeModelConfig::mixtral_8x7b(),
+        MoeModelConfig::mixtral_8x22b(),
+        MoeModelConfig::deepseek_moe(),
+        MoeModelConfig::deepseek_v3(),
+        MoeModelConfig::arctic(),
+    ];
+    // The appendix plots with capacity factor c = 1.
+    for m in &mut models {
+        m.capacity_factor = 1.0;
+    }
+    let seqs = [2048usize, 4096, 8192];
+
+    let mut rows = Vec::new();
+    for m in &models {
+        let mut row = vec![m.name.clone(), format!("{:.2e}", m.ssmb_ratio())];
+        for &s in &seqs {
+            let border = 2.0 / (m.capacity_factor * s as f64);
+            let winner = if m.ssmb_ratio() > border {
+                "SSMB"
+            } else {
+                "TED"
+            };
+            row.push(format!("{winner} (border {border:.1e})"));
+        }
+        rows.push(row);
+    }
+    print_table(
+        "Fig 17: SSMB vs TED advantage (c = 1)",
+        &["model", "r = k/H_FFN", "S=2048", "S=4096", "S=8192"],
+        &rows,
+    );
+
+    // Concrete savings-vs-cost numbers at G = 4 TP degree, S = 4096.
+    let mut detail = Vec::new();
+    for m in &models {
+        let saving = ssmb_activation_saving(m, 4096, 4);
+        let cost = ssmb_min_model_cost(m, 4);
+        detail.push(vec![
+            m.name.clone(),
+            format!("{:.2} GiB", saving / (1u64 << 30) as f64),
+            format!("{:.2} GiB", cost / (1u64 << 30) as f64),
+            if saving > cost {
+                "SSMB".into()
+            } else {
+                "TED".into()
+            },
+        ]);
+    }
+    print_table(
+        "Appendix C.2 Eqs. 1-2 at G=4, S=4096",
+        &[
+            "model",
+            "SSMB activation saving",
+            "SSMB model-state cost",
+            "winner",
+        ],
+        &detail,
+    );
+
+    let wins = |m: &MoeModelConfig, s: usize| m.ssmb_ratio() > 2.0 / (m.capacity_factor * s as f64);
+    shape_check(
+        "DeepSeek models favour SSMB at every sequence length",
+        seqs.iter()
+            .all(|&s| wins(&models[2], s) && wins(&models[3], s)),
+        "DeepSeek-MoE / DeepSeek-v3",
+    );
+    shape_check(
+        "Mixtral models favour TED at every sequence length",
+        seqs.iter()
+            .all(|&s| !wins(&models[0], s) && !wins(&models[1], s)),
+        "Mixtral-8x7b / 8x22b",
+    );
+    shape_check(
+        "Arctic flips from TED to SSMB as the sequence grows",
+        !wins(&models[4], 2048) && wins(&models[4], 8192),
+        &format!(
+            "S=2048 -> {}, S=8192 -> {}",
+            if wins(&models[4], 2048) {
+                "SSMB"
+            } else {
+                "TED"
+            },
+            if wins(&models[4], 8192) {
+                "SSMB"
+            } else {
+                "TED"
+            }
+        ),
+    );
+}

@@ -1,0 +1,95 @@
+//! Fig 18 + Fig 19 (Appendix D): all-to-all collective time characterized
+//! across scale — 1000 sampled collectives per GPU count from 8 to 1024.
+//!
+//! Reproduces the three latency regions the paper observes on Frontier:
+//! (i) growth from 8 to 32 GPUs as the group leaves one node, (ii) a
+//! plateau from 32 to 256 GPUs (one rack), (iii) a sharp rise beyond 256
+//! GPUs with frequent > 500 ms outliers at 512/1024 from cross-rack
+//! congestion.
+
+use xmoe_bench::{print_table, shape_check, sparkline};
+use xmoe_core::config::MoeModelConfig;
+use xmoe_tensor::DetRng;
+use xmoe_topology::{ClusterTopology, CostModel, MachineSpec};
+
+fn main() {
+    // Message sizing from the MoE training workload: Large-model dispatch
+    // volume per rank, split evenly across the group.
+    let cfg = MoeModelConfig::large();
+    let bytes_per_rank = (cfg.top_k * cfg.seq_len * cfg.hidden) as u64 * 2;
+
+    let runs = 1000usize;
+    let scales = [8usize, 16, 32, 64, 128, 256, 512, 1024];
+    let mut rows = Vec::new();
+    let mut means = Vec::new();
+    let mut outlier_counts = Vec::new();
+    for &n in &scales {
+        let topo = ClusterTopology::new(MachineSpec::frontier(), n);
+        let cost = CostModel::new(topo);
+        let group: Vec<usize> = (0..n).collect();
+        let per_pair = bytes_per_rank / n as u64;
+        let mut rng = DetRng::new(0xF1618 + n as u64);
+        let mut samples = Vec::with_capacity(runs);
+        for _ in 0..runs {
+            samples.push(cost.alltoallv_time_sampled(&group, &|_, _| per_pair, &mut rng));
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mean = samples.iter().sum::<f64>() / runs as f64;
+        let p50 = samples[runs / 2];
+        let p99 = samples[runs * 99 / 100];
+        let max = *samples.last().unwrap();
+        let outliers = samples.iter().filter(|&&t| t > 0.5).count();
+        means.push(mean);
+        outlier_counts.push(outliers);
+        rows.push(vec![
+            n.to_string(),
+            format!("{:.1} ms", mean * 1e3),
+            format!("{:.1} ms", p50 * 1e3),
+            format!("{:.1} ms", p99 * 1e3),
+            format!("{:.1} ms", max * 1e3),
+            outliers.to_string(),
+        ]);
+    }
+    print_table(
+        "Fig 18/19: all-to-all time across 1000 runs (Large-model dispatch volume)",
+        &["GPUs", "mean", "p50", "p99", "max", ">500ms outliers"],
+        &rows,
+    );
+    println!("mean all-to-all vs scale: {}", sparkline(&means));
+
+    // Region checks.
+    let idx = |n: usize| scales.iter().position(|&s| s == n).unwrap();
+    shape_check(
+        "region i: latency grows from 8 to 32 GPUs (leaving the node)",
+        means[idx(32)] > means[idx(8)],
+        &format!(
+            "{:.2} -> {:.2} ms",
+            means[idx(8)] * 1e3,
+            means[idx(32)] * 1e3
+        ),
+    );
+    let plateau = means[idx(32)..=idx(256)].to_vec();
+    let plateau_spread = plateau.iter().cloned().fold(f64::MIN, f64::max)
+        / plateau.iter().cloned().fold(f64::MAX, f64::min);
+    shape_check(
+        "region ii: relatively stable from 32 to 256 GPUs (one rack)",
+        plateau_spread < 2.5,
+        &format!("max/min within plateau {plateau_spread:.2}"),
+    );
+    shape_check(
+        "region iii: sharp rise beyond 256 GPUs (paper: >10x the plateau)",
+        means[idx(1024)] > 4.0 * means[idx(256)],
+        &format!(
+            "{:.1} ms vs {:.1} ms",
+            means[idx(1024)] * 1e3,
+            means[idx(256)] * 1e3
+        ),
+    );
+    shape_check(
+        ">500 ms outliers appear at 512/1024 GPUs but not within a rack",
+        outlier_counts[idx(512)] > 0
+            && outlier_counts[idx(1024)] >= outlier_counts[idx(512)]
+            && outlier_counts[idx(256)] == 0,
+        &format!("counts {outlier_counts:?}"),
+    );
+}

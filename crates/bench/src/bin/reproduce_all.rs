@@ -1,0 +1,72 @@
+//! Run every experiment binary in paper order. `cargo run --release -p
+//! xmoe-bench --bin reproduce_all` regenerates all tables and figures;
+//! EXPERIMENTS.md archives a run's output.
+
+use std::process::Command;
+
+fn main() {
+    let experiments = [
+        (
+            "fig03_memory",
+            "Tables 1-2 + Fig 3: memory-bottleneck shift",
+        ),
+        ("fig04_redundancy", "Fig 4: dispatch redundancy vs EP size"),
+        ("fig09_main", "Fig 9: trainability & throughput"),
+        ("fig10_scaling", "Fig 10: weak & strong scaling"),
+        ("fig11_breakdown", "Fig 11: MoE layer time breakdown"),
+        ("fig12_rbd", "Fig 12: RBD dispatch breakdown"),
+        ("tab04_activation_memory", "Table 4: activation memory"),
+        ("fig13_ssmb_memory", "Fig 13: SSMB memory savings"),
+        (
+            "fig14_ssmb_vs_ckpt",
+            "Fig 14: SSMB vs activation checkpointing",
+        ),
+        ("tab05_a100", "Table 5: cross-platform A100"),
+        ("fig15_loss", "Fig 15: loss validation"),
+        ("fig17_ssmb_vs_ted", "Fig 17: SSMB vs TED advantage regions"),
+        (
+            "fig18_alltoall_scale",
+            "Fig 18/19: all-to-all latency vs scale",
+        ),
+        ("fig20_depth_topk", "Fig 20: depth and top-k scaling"),
+        (
+            "appc_placement",
+            "Appendix C.1: EP-first vs DP-first placement",
+        ),
+        ("ablation_pilot", "Ablation: RBD pilot-selection policy"),
+        (
+            "ablation_capacity",
+            "Ablation: capacity factor vs drops/padding",
+        ),
+        (
+            "ablation_skew",
+            "Ablation: routing skew vs load balance and padding",
+        ),
+        (
+            "ablation_blocksparse",
+            "Ablation: block-sparse (Megablocks-style) padding",
+        ),
+    ];
+
+    let self_path = std::env::current_exe().expect("current_exe");
+    let bin_dir = self_path.parent().expect("bin dir");
+    let mut failures = Vec::new();
+    for (bin, title) in experiments {
+        println!("\n{}", "=".repeat(72));
+        println!("### {title} [{bin}]");
+        println!("{}", "=".repeat(72));
+        let status = Command::new(bin_dir.join(bin))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        if !status.success() {
+            failures.push(bin);
+        }
+    }
+    println!("\n{}", "=".repeat(72));
+    if failures.is_empty() {
+        println!("All {} experiments completed.", experiments.len());
+    } else {
+        println!("FAILED experiments: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,141 @@
+//! Per-rank simulated time with named accounting buckets.
+//!
+//! Compute stages charge analytic kernel times; collectives charge cost-model
+//! times (see [`crate::Communicator`]). The named buckets reproduce the
+//! paper's stage breakdowns (Fig 11: gating / buffer dispatch / dispatch
+//! all-to-all / expert / combine all-to-all / buffer combine; Fig 12: RBD
+//! stage split).
+
+/// Simulated wall-clock of one rank, in seconds.
+#[derive(Clone, Debug, Default)]
+pub struct SimClock {
+    now: f64,
+    last_delta: f64,
+    buckets: Vec<(String, f64)>,
+}
+
+impl SimClock {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current simulated time in seconds.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// The duration charged by the most recent [`advance`](Self::advance) /
+    /// [`advance_to`](Self::advance_to) call. Lets callers attribute a
+    /// collective's cost to a named bucket after the fact.
+    pub fn last_delta(&self) -> f64 {
+        self.last_delta
+    }
+
+    /// Advance by `dt` seconds (`dt >= 0`).
+    pub fn advance(&mut self, dt: f64) {
+        debug_assert!(dt >= 0.0, "negative time step {dt}");
+        self.now += dt;
+        self.last_delta = dt;
+    }
+
+    /// Jump to an absolute time not before the current one (used by
+    /// collectives to synchronize to the group max before charging).
+    pub fn advance_to(&mut self, t: f64) {
+        let target = t.max(self.now);
+        self.last_delta = target - self.now;
+        self.now = target;
+    }
+
+    /// Advance by `dt` and attribute it to `label`.
+    pub fn charge(&mut self, label: &str, dt: f64) {
+        self.advance(dt);
+        self.attribute(label, dt);
+    }
+
+    /// Attribute the last advance to `label` (e.g. after a collective call).
+    pub fn bucket_last(&mut self, label: &str) {
+        let dt = self.last_delta;
+        self.attribute(label, dt);
+    }
+
+    fn attribute(&mut self, label: &str, dt: f64) {
+        if let Some(entry) = self.buckets.iter_mut().find(|(l, _)| l == label) {
+            entry.1 += dt;
+        } else {
+            self.buckets.push((label.to_string(), dt));
+        }
+    }
+
+    /// Accumulated time in `label`'s bucket.
+    pub fn bucket(&self, label: &str) -> f64 {
+        self.buckets
+            .iter()
+            .find(|(l, _)| l == label)
+            .map_or(0.0, |(_, t)| *t)
+    }
+
+    /// All buckets in first-charge order.
+    pub fn buckets(&self) -> &[(String, f64)] {
+        &self.buckets
+    }
+
+    /// Clear buckets but keep the current time (per-step breakdowns).
+    pub fn reset_buckets(&mut self) {
+        self.buckets.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advance_accumulates() {
+        let mut c = SimClock::new();
+        c.advance(1.5);
+        c.advance(0.5);
+        assert_eq!(c.now(), 2.0);
+        assert_eq!(c.last_delta(), 0.5);
+    }
+
+    #[test]
+    fn advance_to_never_goes_backwards() {
+        let mut c = SimClock::new();
+        c.advance(5.0);
+        c.advance_to(3.0);
+        assert_eq!(c.now(), 5.0);
+        assert_eq!(c.last_delta(), 0.0);
+        c.advance_to(7.0);
+        assert_eq!(c.now(), 7.0);
+        assert_eq!(c.last_delta(), 2.0);
+    }
+
+    #[test]
+    fn buckets_accumulate_by_label() {
+        let mut c = SimClock::new();
+        c.charge("a2a", 1.0);
+        c.charge("gemm", 2.0);
+        c.charge("a2a", 0.5);
+        assert_eq!(c.bucket("a2a"), 1.5);
+        assert_eq!(c.bucket("gemm"), 2.0);
+        assert_eq!(c.bucket("missing"), 0.0);
+        assert_eq!(c.now(), 3.5);
+    }
+
+    #[test]
+    fn bucket_last_attributes_previous_advance() {
+        let mut c = SimClock::new();
+        c.advance(0.75);
+        c.bucket_last("comm");
+        assert_eq!(c.bucket("comm"), 0.75);
+    }
+
+    #[test]
+    fn reset_buckets_keeps_time() {
+        let mut c = SimClock::new();
+        c.charge("x", 1.0);
+        c.reset_buckets();
+        assert_eq!(c.now(), 1.0);
+        assert!(c.buckets().is_empty());
+    }
+}

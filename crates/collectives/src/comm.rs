@@ -1,0 +1,436 @@
+//! The simulated communicator: MPI/RCCL-style collectives over per-(src,dst)
+//! channels, with cost-model time accounting piggybacked on every message.
+//!
+//! **SPMD discipline**: like MPI, every rank of a communicator must call the
+//! same sequence of collectives on it. Channels are FIFO per (src, dst)
+//! pair, so matching is by program order and no tags are needed.
+
+use std::any::Any;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use xmoe_topology::{CostModel, LinkClass};
+
+use crate::SimClock;
+
+/// Bytes this communicator moved on behalf of one rank, split by link
+/// class. Counted at send time from the actual payload sizes — the ground
+/// truth behind every "X reduces inter-node traffic" claim in the paper.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TrafficStats {
+    pub intra_node: u64,
+    pub inter_node: u64,
+    pub cross_rack: u64,
+}
+
+impl TrafficStats {
+    pub fn total(&self) -> u64 {
+        self.intra_node + self.inter_node + self.cross_rack
+    }
+
+    /// Bytes that left the sender's node (the expensive share).
+    pub fn off_node(&self) -> u64 {
+        self.inter_node + self.cross_rack
+    }
+}
+
+#[derive(Default)]
+struct TrafficCounters {
+    intra_node: AtomicU64,
+    inter_node: AtomicU64,
+    cross_rack: AtomicU64,
+}
+
+/// One message between two ranks: the sender's simulated clock plus an
+/// arbitrary payload (collectives downcast to the concrete type they sent).
+struct Packet {
+    clock: f64,
+    payload: Box<dyn Any + Send>,
+}
+
+struct Link {
+    tx: Sender<Packet>,
+    rx: Receiver<Packet>,
+}
+
+/// Shared state of one communicator: the member ranks (global ids) and the
+/// full channel matrix.
+struct CommState {
+    /// Global rank of each local position, ascending.
+    ranks: Vec<usize>,
+    /// `links[src_local][dst_local]`.
+    links: Vec<Vec<Link>>,
+    cost: Arc<CostModel>,
+    /// Per-local-rank sent-bytes counters.
+    traffic: Vec<TrafficCounters>,
+}
+
+impl CommState {
+    fn new(ranks: Vec<usize>, cost: Arc<CostModel>) -> Self {
+        let n = ranks.len();
+        let links = (0..n)
+            .map(|_| {
+                (0..n)
+                    .map(|_| {
+                        let (tx, rx) = unbounded();
+                        Link { tx, rx }
+                    })
+                    .collect()
+            })
+            .collect();
+        let traffic = (0..n).map(|_| TrafficCounters::default()).collect();
+        Self {
+            ranks,
+            links,
+            cost,
+            traffic,
+        }
+    }
+}
+
+/// A handle to a communicator, bound to one member rank.
+///
+/// Cheap to clone within a thread; collectives take `&mut SimClock` so the
+/// simulated time of the owning rank advances with each call.
+#[derive(Clone)]
+pub struct Communicator {
+    state: Arc<CommState>,
+    me: usize,
+}
+
+impl Communicator {
+    /// Build the world communicator over all ranks of the cost model's
+    /// topology, returning one handle per rank (index = global rank).
+    pub fn world_set(cost: Arc<CostModel>) -> Vec<Communicator> {
+        let n = cost.topology().n_ranks();
+        let state = Arc::new(CommState::new((0..n).collect(), cost));
+        (0..n)
+            .map(|me| Communicator {
+                state: state.clone(),
+                me,
+            })
+            .collect()
+    }
+
+    /// Local rank within this communicator.
+    pub fn rank(&self) -> usize {
+        self.me
+    }
+
+    /// Global rank of this handle in the world topology.
+    pub fn global_rank(&self) -> usize {
+        self.state.ranks[self.me]
+    }
+
+    /// Number of member ranks.
+    pub fn size(&self) -> usize {
+        self.state.ranks.len()
+    }
+
+    /// Global ranks of all members, ascending by local rank.
+    pub fn group_ranks(&self) -> &[usize] {
+        &self.state.ranks
+    }
+
+    /// The cost model (and through it, the topology).
+    pub fn cost(&self) -> &CostModel {
+        &self.state.cost
+    }
+
+    /// Snapshot of the bytes this rank has sent through this communicator,
+    /// by link class.
+    pub fn traffic(&self) -> TrafficStats {
+        let c = &self.state.traffic[self.me];
+        TrafficStats {
+            intra_node: c.intra_node.load(Ordering::Relaxed),
+            inter_node: c.inter_node.load(Ordering::Relaxed),
+            cross_rack: c.cross_rack.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset this rank's traffic counters.
+    pub fn reset_traffic(&self) {
+        let c = &self.state.traffic[self.me];
+        c.intra_node.store(0, Ordering::Relaxed);
+        c.inter_node.store(0, Ordering::Relaxed);
+        c.cross_rack.store(0, Ordering::Relaxed);
+    }
+
+    fn record_send(&self, dst: usize, bytes: u64) {
+        if bytes == 0 || dst == self.me {
+            return;
+        }
+        let topo = self.state.cost.topology();
+        let (a, b) = (self.state.ranks[self.me], self.state.ranks[dst]);
+        let c = &self.state.traffic[self.me];
+        match topo.link_class(a, b) {
+            LinkClass::Local => {}
+            LinkClass::IntraNode => {
+                c.intra_node.fetch_add(bytes, Ordering::Relaxed);
+            }
+            LinkClass::InterNode => {
+                c.inter_node.fetch_add(bytes, Ordering::Relaxed);
+            }
+            LinkClass::CrossRack => {
+                c.cross_rack.fetch_add(bytes, Ordering::Relaxed);
+            }
+        }
+    }
+
+    fn send_to(&self, dst: usize, clock: f64, payload: Box<dyn Any + Send>) {
+        self.state.links[self.me][dst]
+            .tx
+            .send(Packet { clock, payload })
+            .expect("peer rank hung up mid-collective");
+    }
+
+    fn recv_from(&self, src: usize) -> Packet {
+        self.state.links[src][self.me]
+            .rx
+            .recv()
+            .expect("peer rank hung up mid-collective")
+    }
+
+    /// Uneven all-to-all (`MPI_Alltoallv`). `send[j]` goes to local rank `j`
+    /// (including `send[me]`, which is kept locally). Returns `recv` where
+    /// `recv[i]` came from local rank `i`.
+    ///
+    /// Time: the cost model prices the exact byte matrix (element size ×
+    /// counts); all participants synchronize to the group clock max and then
+    /// advance by the same collective time.
+    pub fn all_to_all_v<T: Clone + Send + 'static>(
+        &self,
+        mut send: Vec<Vec<T>>,
+        clock: &mut SimClock,
+    ) -> Vec<Vec<T>> {
+        let n = self.size();
+        assert_eq!(send.len(), n, "all_to_all_v needs one send buffer per rank");
+        let elem = std::mem::size_of::<T>() as u64;
+        let my_sizes: Arc<Vec<u64>> =
+            Arc::new(send.iter().map(|v| v.len() as u64 * elem).collect());
+
+        // Fire all sends (self included, via a local move below).
+        for dst in 0..n {
+            if dst == self.me {
+                continue;
+            }
+            let data = std::mem::take(&mut send[dst]);
+            self.record_send(dst, my_sizes[dst]);
+            self.send_to(dst, clock.now(), Box::new((data, my_sizes.clone())));
+        }
+
+        let mut recv: Vec<Vec<T>> = (0..n).map(|_| Vec::new()).collect();
+        recv[self.me] = std::mem::take(&mut send[self.me]);
+
+        let mut size_rows: Vec<Arc<Vec<u64>>> = vec![my_sizes.clone(); n];
+        let mut start = clock.now();
+        for src in 0..n {
+            if src == self.me {
+                continue;
+            }
+            let pkt = self.recv_from(src);
+            start = start.max(pkt.clock);
+            let (data, sizes) = *pkt
+                .payload
+                .downcast::<(Vec<T>, Arc<Vec<u64>>)>()
+                .expect("collective type mismatch: ranks diverged from SPMD order");
+            recv[src] = data;
+            size_rows[src] = sizes;
+        }
+
+        let t = self
+            .state
+            .cost
+            .alltoallv_time(&self.state.ranks, &|i, j| size_rows[i][j]);
+        clock.advance_to(start);
+        clock.advance(t);
+        recv
+    }
+
+    /// Even all-to-all: equal-sized buffers to every rank.
+    pub fn all_to_all<T: Clone + Send + 'static>(
+        &self,
+        send: Vec<Vec<T>>,
+        clock: &mut SimClock,
+    ) -> Vec<Vec<T>> {
+        let first = send.first().map_or(0, Vec::len);
+        assert!(
+            send.iter().all(|v| v.len() == first),
+            "all_to_all requires equal buffer sizes; use all_to_all_v"
+        );
+        self.all_to_all_v(send, clock)
+    }
+
+    /// All-gather: every rank contributes `mine`; returns all contributions
+    /// indexed by local rank.
+    pub fn all_gather<T: Clone + Send + 'static>(
+        &self,
+        mine: Vec<T>,
+        clock: &mut SimClock,
+    ) -> Vec<Vec<T>> {
+        let n = self.size();
+        let elem = std::mem::size_of::<T>() as u64;
+        let my_bytes = mine.len() as u64 * elem;
+        for dst in 0..n {
+            if dst == self.me {
+                continue;
+            }
+            self.record_send(dst, my_bytes);
+            self.send_to(dst, clock.now(), Box::new((mine.clone(), my_bytes)));
+        }
+        let mut out: Vec<Vec<T>> = (0..n).map(|_| Vec::new()).collect();
+        out[self.me] = mine;
+        let mut start = clock.now();
+        let mut max_bytes = my_bytes;
+        for (src, slot) in out.iter_mut().enumerate() {
+            if src == self.me {
+                continue;
+            }
+            let pkt = self.recv_from(src);
+            start = start.max(pkt.clock);
+            let (data, bytes) = *pkt
+                .payload
+                .downcast::<(Vec<T>, u64)>()
+                .expect("collective type mismatch: ranks diverged from SPMD order");
+            *slot = data;
+            max_bytes = max_bytes.max(bytes);
+        }
+        let t = self.state.cost.allgather_time(&self.state.ranks, max_bytes);
+        clock.advance_to(start);
+        clock.advance(t);
+        out
+    }
+
+    /// All-reduce (sum) of an `f32` buffer; all ranks must pass equal-length
+    /// buffers and all end with the identical elementwise sum.
+    pub fn all_reduce_sum_f32(&self, buf: &mut [f32], clock: &mut SimClock) {
+        let parts = self.all_gather(buf.to_vec(), clock);
+        // Replace the all-gather charge with the (cheaper) ring all-reduce.
+        let gathered_dt = clock.last_delta();
+        let bytes = buf.len() as u64 * 4;
+        let t = self.state.cost.allreduce_time(&self.state.ranks, bytes);
+        clock.advance(t - gathered_dt.min(t));
+        for (i, part) in parts.iter().enumerate() {
+            if i == self.me {
+                continue;
+            }
+            assert_eq!(part.len(), buf.len(), "all_reduce buffer length mismatch");
+            for (b, p) in buf.iter_mut().zip(part) {
+                *b += p;
+            }
+        }
+    }
+
+    /// Reduce-scatter (sum): each rank passes `n * chunk` elements and
+    /// receives the summed chunk at its own position.
+    pub fn reduce_scatter_sum_f32(&self, buf: &[f32], clock: &mut SimClock) -> Vec<f32> {
+        let n = self.size();
+        assert_eq!(
+            buf.len() % n,
+            0,
+            "reduce_scatter buffer not divisible by group size"
+        );
+        let chunk = buf.len() / n;
+        let send: Vec<Vec<f32>> = (0..n)
+            .map(|j| buf[j * chunk..(j + 1) * chunk].to_vec())
+            .collect();
+        let parts = self.all_to_all_v(send, clock);
+        let gathered_dt = clock.last_delta();
+        let t = self
+            .state
+            .cost
+            .reduce_scatter_time(&self.state.ranks, buf.len() as u64 * 4);
+        clock.advance(t - gathered_dt.min(t));
+        let mut out = vec![0.0f32; chunk];
+        for part in &parts {
+            for (o, p) in out.iter_mut().zip(part) {
+                *o += p;
+            }
+        }
+        out
+    }
+
+    /// Broadcast from `root` (local rank). Non-roots pass `None`.
+    pub fn broadcast<T: Clone + Send + 'static>(
+        &self,
+        root: usize,
+        value: Option<Vec<T>>,
+        clock: &mut SimClock,
+    ) -> Vec<T> {
+        let n = self.size();
+        if self.me == root {
+            let v = value.expect("root must supply the broadcast value");
+            let bytes = v.len() as u64 * std::mem::size_of::<T>() as u64;
+            for dst in 0..n {
+                if dst == root {
+                    continue;
+                }
+                self.record_send(dst, bytes);
+                self.send_to(dst, clock.now(), Box::new(v.clone()));
+            }
+            let bytes = v.len() as u64 * std::mem::size_of::<T>() as u64;
+            let t = self.state.cost.allgather_time(&self.state.ranks, bytes);
+            clock.advance(t);
+            v
+        } else {
+            let pkt = self.recv_from(root);
+            let v = *pkt
+                .payload
+                .downcast::<Vec<T>>()
+                .expect("collective type mismatch in broadcast");
+            let bytes = v.len() as u64 * std::mem::size_of::<T>() as u64;
+            let t = self.state.cost.allgather_time(&self.state.ranks, bytes);
+            clock.advance_to(pkt.clock);
+            clock.advance(t);
+            v
+        }
+    }
+
+    /// Synchronize all ranks (and their simulated clocks).
+    pub fn barrier(&self, clock: &mut SimClock) {
+        let _ = self.all_gather::<u8>(Vec::new(), clock);
+    }
+
+    /// Collectively split into sub-communicators by `color`. Ranks with the
+    /// same color form a new communicator, ordered by their local rank in
+    /// the parent. Every member of the parent must call `split`.
+    pub fn split(&self, color: usize, clock: &mut SimClock) -> Communicator {
+        let colors = self.all_gather(vec![color as u64], clock);
+        let members: Vec<usize> = (0..self.size())
+            .filter(|&i| colors[i][0] == color as u64)
+            .collect();
+        let leader = members[0];
+        let my_pos = members
+            .iter()
+            .position(|&m| m == self.me)
+            .expect("split: caller not in its own color group");
+        if self.me == leader {
+            let globals: Vec<usize> = members.iter().map(|&m| self.state.ranks[m]).collect();
+            let child = Arc::new(CommState::new(globals, self.state.cost.clone()));
+            for &m in &members[1..] {
+                self.send_to(m, clock.now(), Box::new(child.clone()));
+            }
+            Communicator {
+                state: child,
+                me: 0,
+            }
+        } else {
+            let pkt = self.recv_from(leader);
+            let child = *pkt
+                .payload
+                .downcast::<Arc<CommState>>()
+                .expect("collective type mismatch in split");
+            Communicator {
+                state: child,
+                me: my_pos,
+            }
+        }
+    }
+
+    /// Split into node-local communicators (color = node index).
+    pub fn split_by_node(&self, clock: &mut SimClock) -> Communicator {
+        let node = self.cost().topology().node_of(self.global_rank());
+        self.split(node, clock)
+    }
+}

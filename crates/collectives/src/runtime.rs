@@ -1,0 +1,310 @@
+//! The cluster runtime: spawn one thread per simulated GPU rank, hand each a
+//! [`RankCtx`], collect per-rank results in rank order.
+
+use std::sync::Arc;
+
+use xmoe_topology::{ClusterTopology, CongestionModel, CostModel, MachineSpec};
+
+use crate::{Communicator, SimClock};
+
+/// Execution context of one simulated rank.
+pub struct RankCtx {
+    /// Global rank id.
+    pub rank: usize,
+    /// This rank's simulated clock.
+    pub clock: SimClock,
+    /// Communicator over the whole cluster.
+    pub world: Communicator,
+    cost: Arc<CostModel>,
+}
+
+impl RankCtx {
+    /// Number of ranks in the cluster.
+    pub fn n_ranks(&self) -> usize {
+        self.cost.topology().n_ranks()
+    }
+
+    pub fn cost(&self) -> &CostModel {
+        &self.cost
+    }
+
+    pub fn topology(&self) -> &ClusterTopology {
+        self.cost.topology()
+    }
+
+    /// Charge the simulated clock for a dense compute kernel.
+    pub fn charge_compute(&mut self, label: &str, flops: f64) {
+        let t = self.cost.compute_time(flops);
+        self.clock.charge(label, t);
+    }
+
+    /// Charge the simulated clock for a bandwidth-bound kernel.
+    pub fn charge_membound(&mut self, label: &str, bytes: f64) {
+        let t = self.cost.mem_bound_time(bytes);
+        self.clock.charge(label, t);
+    }
+}
+
+/// Spawns and joins the rank threads.
+pub struct SimCluster {
+    cost: Arc<CostModel>,
+}
+
+impl SimCluster {
+    /// Build a cluster from an explicit cost model.
+    pub fn new(cost: CostModel) -> Self {
+        Self {
+            cost: Arc::new(cost),
+        }
+    }
+
+    /// `n_ranks` Frontier GCDs with congestion disabled — the configuration
+    /// used by correctness tests, where stochastic time would only add noise.
+    pub fn frontier(n_ranks: usize) -> Self {
+        let topo = ClusterTopology::new(MachineSpec::frontier(), n_ranks);
+        Self::new(CostModel::new(topo).with_congestion(CongestionModel::none()))
+    }
+
+    /// `n_ranks` GPUs of a single DGX-A100 node.
+    pub fn dgx_a100(n_ranks: usize) -> Self {
+        let topo = ClusterTopology::new(MachineSpec::dgx_a100(), n_ranks);
+        Self::new(CostModel::new(topo))
+    }
+
+    pub fn cost(&self) -> &CostModel {
+        &self.cost
+    }
+
+    pub fn n_ranks(&self) -> usize {
+        self.cost.topology().n_ranks()
+    }
+
+    /// Run `f` on every rank concurrently; returns per-rank results indexed
+    /// by rank. Panics in any rank propagate (after all threads joined).
+    pub fn run<R, F>(&self, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&mut RankCtx) -> R + Sync,
+    {
+        let comms = Communicator::world_set(self.cost.clone());
+        let f = &f;
+        let mut results: Vec<Option<R>> = Vec::new();
+        for _ in 0..self.n_ranks() {
+            results.push(None);
+        }
+        std::thread::scope(|s| {
+            let mut handles = Vec::with_capacity(self.n_ranks());
+            for (rank, world) in comms.into_iter().enumerate() {
+                let cost = self.cost.clone();
+                handles.push(s.spawn(move || {
+                    let mut ctx = RankCtx {
+                        rank,
+                        clock: SimClock::new(),
+                        world,
+                        cost,
+                    };
+                    f(&mut ctx)
+                }));
+            }
+            for (rank, h) in handles.into_iter().enumerate() {
+                match h.join() {
+                    Ok(r) => results[rank] = Some(r),
+                    Err(p) => std::panic::resume_unwind(p),
+                }
+            }
+        });
+        results
+            .into_iter()
+            .map(|r| r.expect("rank produced no result"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_see_their_ids_in_order() {
+        let cluster = SimCluster::frontier(8);
+        let out = cluster.run(|ctx| ctx.rank * 10);
+        assert_eq!(out, vec![0, 10, 20, 30, 40, 50, 60, 70]);
+    }
+
+    #[test]
+    fn all_to_all_v_routes_data_correctly() {
+        let cluster = SimCluster::frontier(4);
+        let out = cluster.run(|ctx| {
+            // Rank r sends [r*10 + dst] to each dst.
+            let send: Vec<Vec<u64>> = (0..4)
+                .map(|dst| vec![(ctx.rank * 10 + dst) as u64])
+                .collect();
+            let recv = ctx.world.all_to_all_v(send, &mut ctx.clock);
+            recv.into_iter().flatten().collect::<Vec<u64>>()
+        });
+        for (rank, recv) in out.iter().enumerate() {
+            let expect: Vec<u64> = (0..4).map(|src| (src * 10 + rank) as u64).collect();
+            assert_eq!(recv, &expect, "rank {rank}");
+        }
+    }
+
+    #[test]
+    fn all_to_all_v_handles_uneven_and_empty_buffers() {
+        let cluster = SimCluster::frontier(3);
+        let out = cluster.run(|ctx| {
+            // Rank r sends r copies of its id to rank 0, nothing elsewhere.
+            let mut send: Vec<Vec<u32>> = vec![Vec::new(); 3];
+            send[0] = vec![ctx.rank as u32; ctx.rank];
+            ctx.world.all_to_all_v(send, &mut ctx.clock)
+        });
+        assert_eq!(out[0], vec![vec![], vec![1], vec![2, 2]]);
+        assert!(out[1].iter().all(Vec::is_empty));
+        assert!(out[2].iter().all(Vec::is_empty));
+    }
+
+    #[test]
+    fn clocks_synchronize_after_collective() {
+        let cluster = SimCluster::frontier(8);
+        let clocks = cluster.run(|ctx| {
+            // Ranks start with different local compute times.
+            ctx.clock.advance(ctx.rank as f64 * 0.010);
+            let send: Vec<Vec<f32>> = (0..8).map(|_| vec![1.0; 1024]).collect();
+            let _ = ctx.world.all_to_all_v(send, &mut ctx.clock);
+            ctx.clock.now()
+        });
+        let t0 = clocks[0];
+        assert!(
+            t0 > 0.070,
+            "collective must start at the straggler's clock, got {t0}"
+        );
+        for t in &clocks {
+            assert!((t - t0).abs() < 1e-12, "clocks diverged: {clocks:?}");
+        }
+    }
+
+    #[test]
+    fn all_gather_collects_everyone() {
+        let cluster = SimCluster::frontier(4);
+        let out = cluster.run(|ctx| {
+            let parts = ctx.world.all_gather(vec![ctx.rank as u64], &mut ctx.clock);
+            parts.into_iter().flatten().collect::<Vec<u64>>()
+        });
+        for recv in out {
+            assert_eq!(recv, vec![0, 1, 2, 3]);
+        }
+    }
+
+    #[test]
+    fn all_reduce_sums_across_ranks() {
+        let cluster = SimCluster::frontier(4);
+        let out = cluster.run(|ctx| {
+            let mut buf = vec![ctx.rank as f32, 1.0];
+            ctx.world.all_reduce_sum_f32(&mut buf, &mut ctx.clock);
+            buf
+        });
+        for recv in out {
+            assert_eq!(recv, vec![6.0, 4.0]); // 0+1+2+3, 1*4
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_returns_owned_chunk() {
+        let cluster = SimCluster::frontier(2);
+        let out = cluster.run(|ctx| {
+            // Both ranks contribute [1, 2, 3, 4]; chunk size 2.
+            let buf = vec![1.0f32, 2.0, 3.0, 4.0];
+            ctx.world.reduce_scatter_sum_f32(&buf, &mut ctx.clock)
+        });
+        assert_eq!(out[0], vec![2.0, 4.0]);
+        assert_eq!(out[1], vec![6.0, 8.0]);
+    }
+
+    #[test]
+    fn broadcast_distributes_root_value() {
+        let cluster = SimCluster::frontier(4);
+        let out = cluster.run(|ctx| {
+            let value = if ctx.world.rank() == 2 {
+                Some(vec![7u8, 8, 9])
+            } else {
+                None
+            };
+            ctx.world.broadcast(2, value, &mut ctx.clock)
+        });
+        for recv in out {
+            assert_eq!(recv, vec![7, 8, 9]);
+        }
+    }
+
+    #[test]
+    fn split_by_node_creates_node_local_groups() {
+        // 16 Frontier ranks = 2 nodes of 8.
+        let cluster = SimCluster::frontier(16);
+        let out = cluster.run(|ctx| {
+            let node_comm = ctx.world.split_by_node(&mut ctx.clock);
+            let ids = node_comm.all_gather(vec![ctx.rank as u64], &mut ctx.clock);
+            (
+                node_comm.size(),
+                node_comm.rank(),
+                ids.into_iter().flatten().collect::<Vec<u64>>(),
+            )
+        });
+        for (rank, (size, local, ids)) in out.iter().enumerate() {
+            assert_eq!(*size, 8);
+            assert_eq!(*local, rank % 8);
+            let base = (rank / 8 * 8) as u64;
+            assert_eq!(ids, &(base..base + 8).collect::<Vec<u64>>());
+        }
+    }
+
+    #[test]
+    fn split_supports_multiple_collectives_after() {
+        let cluster = SimCluster::frontier(8);
+        let out = cluster.run(|ctx| {
+            // Even/odd split, then all_reduce within each.
+            let sub = ctx.world.split(ctx.rank % 2, &mut ctx.clock);
+            let mut v = vec![ctx.rank as f32];
+            sub.all_reduce_sum_f32(&mut v, &mut ctx.clock);
+            v[0]
+        });
+        assert_eq!(out, vec![12.0, 16.0, 12.0, 16.0, 12.0, 16.0, 12.0, 16.0]);
+    }
+
+    #[test]
+    fn barrier_aligns_clocks() {
+        let cluster = SimCluster::frontier(4);
+        let clocks = cluster.run(|ctx| {
+            ctx.clock.advance((4 - ctx.rank) as f64);
+            ctx.world.barrier(&mut ctx.clock);
+            ctx.clock.now()
+        });
+        let t0 = clocks[0];
+        assert!(clocks.iter().all(|t| (t - t0).abs() < 1e-12));
+        assert!(t0 >= 4.0);
+    }
+
+    #[test]
+    fn simulated_time_is_deterministic_across_runs() {
+        let run = || {
+            SimCluster::frontier(8).run(|ctx| {
+                let send: Vec<Vec<f32>> = (0..8).map(|d| vec![0.5; (ctx.rank + d) * 100]).collect();
+                let _ = ctx.world.all_to_all_v(send, &mut ctx.clock);
+                ctx.clock.now()
+            })
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn larger_messages_cost_more_simulated_time() {
+        let time_for = |elems: usize| {
+            SimCluster::frontier(8).run(move |ctx| {
+                let send: Vec<Vec<f32>> = (0..8).map(|_| vec![1.0; elems]).collect();
+                let _ = ctx.world.all_to_all_v(send, &mut ctx.clock);
+                ctx.clock.now()
+            })[0]
+        };
+        // Small messages are startup-latency bound; large ones bandwidth
+        // bound, so time must grow clearly super-linearly past the knee.
+        assert!(time_for(2_000_000) > 5.0 * time_for(1_000));
+    }
+}

@@ -1,0 +1,171 @@
+//! Expert FFNs and per-rank expert shards.
+//!
+//! Each expert is the two-matrix FFN of the paper's MLP stage (`w1`, `w2` in
+//! Listing 1 `mlp`), with a SiLU nonlinearity between — the DeepSeek-style
+//! fine-grained expert. Under expert parallelism each rank owns a contiguous
+//! block of `E / W` experts ([`ExpertShard`]).
+
+use xmoe_tensor::{matmul, silu, Tensor};
+
+/// One expert FFN: `y = silu(x @ w1) @ w2`.
+#[derive(Clone, Debug)]
+pub struct Expert {
+    /// `[H, H_FFN]`.
+    pub w1: Tensor,
+    /// `[H_FFN, H]`.
+    pub w2: Tensor,
+}
+
+impl Expert {
+    /// Randomly initialized expert.
+    pub fn new(hidden: usize, ffn: usize, seed: u64) -> Self {
+        Self {
+            w1: Tensor::rand_init(hidden, ffn, hidden, seed),
+            w2: Tensor::rand_init(ffn, hidden, ffn, seed ^ 0xFFFF_0000),
+        }
+    }
+
+    /// Forward over a `[n, H]` token segment.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        let mut h = matmul(x, &self.w1);
+        silu(&mut h);
+        matmul(&h, &self.w2)
+    }
+}
+
+/// The contiguous block of experts owned by one EP rank.
+#[derive(Clone, Debug)]
+pub struct ExpertShard {
+    /// Global index of the first owned expert.
+    pub first_expert: usize,
+    pub experts: Vec<Expert>,
+}
+
+impl ExpertShard {
+    /// Deterministically initialize the shard for `rank` of `world` ranks,
+    /// over `num_experts` total experts. All ranks derive the same expert
+    /// weights from `seed`, so distributed runs can be checked against a
+    /// single-rank reference holding all experts.
+    pub fn for_rank(
+        rank: usize,
+        world: usize,
+        num_experts: usize,
+        hidden: usize,
+        ffn: usize,
+        seed: u64,
+    ) -> Self {
+        assert_eq!(
+            num_experts % world,
+            0,
+            "experts {num_experts} not divisible by world {world}"
+        );
+        let per = num_experts / world;
+        let first_expert = rank * per;
+        let experts = (first_expert..first_expert + per)
+            .map(|e| Expert::new(hidden, ffn, seed.wrapping_add(e as u64 * 7919)))
+            .collect();
+        Self {
+            first_expert,
+            experts,
+        }
+    }
+
+    /// All experts on a single rank (the reference configuration).
+    pub fn full(num_experts: usize, hidden: usize, ffn: usize, seed: u64) -> Self {
+        Self::for_rank(0, 1, num_experts, hidden, ffn, seed)
+    }
+
+    pub fn len(&self) -> usize {
+        self.experts.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.experts.is_empty()
+    }
+
+    /// Does this shard own global expert `e`?
+    pub fn owns(&self, e: usize) -> bool {
+        e >= self.first_expert && e < self.first_expert + self.experts.len()
+    }
+
+    /// Sequential GEMM over per-expert segments (paper §B.4): `input` rows
+    /// are grouped by local expert with lengths `tokens_per_local_expert`;
+    /// each segment runs through its expert with no padding.
+    pub fn forward_segments(&self, input: &Tensor, tokens_per_local_expert: &[usize]) -> Tensor {
+        assert_eq!(
+            tokens_per_local_expert.len(),
+            self.experts.len(),
+            "segment count must equal local expert count"
+        );
+        let total: usize = tokens_per_local_expert.iter().sum();
+        assert_eq!(total, input.rows(), "segment sum != input rows");
+        let hidden = self.experts.first().map_or(0, |e| e.w1.rows());
+        let mut out = Tensor::zeros(total, hidden);
+        let mut row = 0;
+        for (e, &cnt) in tokens_per_local_expert.iter().enumerate() {
+            if cnt == 0 {
+                continue;
+            }
+            let seg = input.slice_rows(row, row + cnt);
+            let y = self.experts[e].forward(&seg);
+            out.as_mut_slice()[row * hidden..(row + cnt) * hidden].copy_from_slice(y.as_slice());
+            row += cnt;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expert_forward_shapes() {
+        let e = Expert::new(8, 16, 1);
+        let x = Tensor::rand_uniform(5, 8, 1.0, 2);
+        let y = e.forward(&x);
+        assert_eq!(y.shape(), (5, 8));
+    }
+
+    #[test]
+    fn expert_forward_is_deterministic_in_seed() {
+        let x = Tensor::rand_uniform(3, 8, 1.0, 2);
+        let y1 = Expert::new(8, 16, 7).forward(&x);
+        let y2 = Expert::new(8, 16, 7).forward(&x);
+        assert!(y1.allclose(&y2, 0.0));
+    }
+
+    #[test]
+    fn sharded_experts_match_full_set() {
+        // 8 experts over 4 ranks: rank r owns experts 2r, 2r+1 with weights
+        // identical to the full single-rank shard.
+        let full = ExpertShard::full(8, 8, 16, 99);
+        for rank in 0..4 {
+            let shard = ExpertShard::for_rank(rank, 4, 8, 8, 16, 99);
+            assert_eq!(shard.first_expert, rank * 2);
+            assert_eq!(shard.len(), 2);
+            for (i, ex) in shard.experts.iter().enumerate() {
+                let global = shard.first_expert + i;
+                assert!(ex.w1.allclose(&full.experts[global].w1, 0.0));
+                assert!(shard.owns(global));
+            }
+        }
+    }
+
+    #[test]
+    fn forward_segments_matches_manual_loop() {
+        let shard = ExpertShard::full(3, 8, 4, 5);
+        let input = Tensor::rand_uniform(6, 8, 1.0, 6);
+        let out = shard.forward_segments(&input, &[2, 0, 4]);
+        let y0 = shard.experts[0].forward(&input.slice_rows(0, 2));
+        let y2 = shard.experts[2].forward(&input.slice_rows(2, 6));
+        assert!(out.slice_rows(0, 2).allclose(&y0, 1e-6));
+        assert!(out.slice_rows(2, 6).allclose(&y2, 1e-6));
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn shard_requires_divisible_expert_count() {
+        let _ = ExpertShard::for_rank(0, 3, 8, 4, 4, 1);
+    }
+}

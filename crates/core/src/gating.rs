@@ -1,0 +1,173 @@
+//! MoE gating: the top-k softmax router (paper Listing 1, `gating`), plus
+//! the token-drop policy distinction of §5.6.
+//!
+//! §5.6 traces the small loss-curve gap between DeepSpeed-MoE and X-MoE to
+//! token dropping: DeepSpeed-MoE drops a (token, expert) assignment whenever
+//! its routing score is negative, *regardless* of capacity, while X-MoE only
+//! drops on capacity overflow. [`DropPolicy`] encodes both behaviours so the
+//! loss-validation experiment (Fig 15) can reproduce the gap.
+
+use xmoe_tensor::{matmul, softmax_rows, topk_rows, Tensor};
+
+/// When is a routed (token, expert) pair eligible to be dropped before
+/// capacity is even considered?
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DropPolicy {
+    /// X-MoE: drop only on expert-capacity overflow.
+    CapacityOnly,
+    /// DeepSpeed-MoE: additionally drop pairs whose *raw gate logit* is
+    /// negative, independent of capacity (§5.6).
+    CapacityAndNegativeLogit,
+}
+
+/// Output of the gating function for a local batch of `S` tokens.
+#[derive(Clone, Debug)]
+pub struct GatingOutput {
+    /// `[S][k]` expert indices, per token, by descending score.
+    pub top_experts: Vec<Vec<usize>>,
+    /// `[S][k]` softmax scores of the selected experts.
+    pub combine_weights: Vec<Vec<f32>>,
+    /// `[S][k]` raw (pre-softmax) logits of the selected experts — consumed
+    /// by [`DropPolicy::CapacityAndNegativeLogit`].
+    pub top_logits: Vec<Vec<f32>>,
+    /// Full `[S, E]` softmax scores (the training backward needs them).
+    pub scores: Tensor,
+}
+
+impl GatingOutput {
+    /// Number of tokens gated.
+    pub fn tokens(&self) -> usize {
+        self.top_experts.len()
+    }
+
+    /// Routing factor `k`.
+    pub fn k(&self) -> usize {
+        self.top_experts.first().map_or(0, Vec::len)
+    }
+}
+
+/// The learned router of one MoE layer: a single `[H, E]` projection.
+#[derive(Clone, Debug)]
+pub struct Router {
+    /// Gate projection `H x E`.
+    pub weight: Tensor,
+    /// Experts activated per token.
+    pub top_k: usize,
+}
+
+impl Router {
+    /// Randomly initialized router.
+    pub fn new(hidden: usize, num_experts: usize, top_k: usize, seed: u64) -> Self {
+        assert!(
+            top_k >= 1 && top_k <= num_experts,
+            "top_k {top_k} out of range"
+        );
+        Self {
+            weight: Tensor::rand_init(hidden, num_experts, hidden, seed),
+            top_k,
+        }
+    }
+
+    /// Router with explicit weights (tests, training).
+    pub fn from_weight(weight: Tensor, top_k: usize) -> Self {
+        Self { weight, top_k }
+    }
+
+    pub fn num_experts(&self) -> usize {
+        self.weight.cols()
+    }
+
+    /// Run gating over `tokens` (`[S, H]`): compute logits, softmax, select
+    /// top-k experts per token (Listing 1 lines 1–8).
+    pub fn gate(&self, tokens: &Tensor) -> GatingOutput {
+        assert_eq!(
+            tokens.cols(),
+            self.weight.rows(),
+            "token hidden dim mismatch"
+        );
+        let logits = matmul(tokens, &self.weight);
+        let mut scores = logits.clone();
+        softmax_rows(&mut scores);
+        let (top_experts, combine_weights) = topk_rows(&scores, self.top_k);
+        let top_logits = top_experts
+            .iter()
+            .enumerate()
+            .map(|(t, experts)| experts.iter().map(|&e| logits.get(t, e)).collect())
+            .collect();
+        GatingOutput {
+            top_experts,
+            combine_weights,
+            top_logits,
+            scores,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_selects_k_distinct_experts_per_token() {
+        let router = Router::new(16, 8, 3, 42);
+        let tokens = Tensor::rand_uniform(10, 16, 1.0, 7);
+        let g = router.gate(&tokens);
+        assert_eq!(g.tokens(), 10);
+        assert_eq!(g.k(), 3);
+        for experts in &g.top_experts {
+            let mut e = experts.clone();
+            e.sort_unstable();
+            e.dedup();
+            assert_eq!(e.len(), 3, "duplicate expert selected");
+        }
+    }
+
+    #[test]
+    fn combine_weights_are_descending_softmax_scores() {
+        let router = Router::new(8, 6, 4, 1);
+        let tokens = Tensor::rand_uniform(5, 8, 1.0, 2);
+        let g = router.gate(&tokens);
+        for (t, w) in g.combine_weights.iter().enumerate() {
+            for i in 1..w.len() {
+                assert!(w[i - 1] >= w[i], "weights not descending");
+            }
+            for (j, &e) in g.top_experts[t].iter().enumerate() {
+                assert_eq!(g.scores.get(t, e), w[j]);
+            }
+            // Scores are softmax outputs: positive, <= 1.
+            assert!(w.iter().all(|&x| x > 0.0 && x <= 1.0));
+        }
+    }
+
+    #[test]
+    fn forced_routing_with_identity_like_gate() {
+        // A gate that strongly prefers expert = argmax of the first two dims.
+        let mut w = Tensor::zeros(4, 2);
+        w.set(0, 0, 10.0);
+        w.set(1, 1, 10.0);
+        let router = Router::from_weight(w, 1);
+        let tokens = Tensor::from_vec(2, 4, vec![1.0, 0.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0]);
+        let g = router.gate(&tokens);
+        assert_eq!(g.top_experts[0][0], 0);
+        assert_eq!(g.top_experts[1][0], 1);
+    }
+
+    #[test]
+    fn top_logits_are_pre_softmax() {
+        let router = Router::new(8, 4, 2, 3);
+        let tokens = Tensor::rand_uniform(4, 8, 1.0, 4);
+        let g = router.gate(&tokens);
+        let logits = matmul(&tokens, &router.weight);
+        for t in 0..4 {
+            for j in 0..2 {
+                assert_eq!(g.top_logits[t][j], logits.get(t, g.top_experts[t][j]));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "top_k")]
+    fn rejects_topk_larger_than_expert_count() {
+        let _ = Router::new(8, 4, 5, 1);
+    }
+}

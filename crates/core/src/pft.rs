@@ -1,0 +1,316 @@
+//! PFT — the Padding-Free Token buffer (paper §4.1.1, Listing 1,
+//! Appendix B.2).
+//!
+//! Instead of fixed-capacity zero-padded expert buffers (`[E, C, H]`) driven
+//! by a dense `[S, E, C]` dispatch mask, a PFT stores only the routed token
+//! entries plus four small **ERI-arrays** (Expert Routing Information):
+//!
+//! * `token_ids[i]` — which input token occupies position `i` of the
+//!   dispatch matrix;
+//! * `expert_ids[i]` — which expert entry `i` is routed to (ascending, so
+//!   every expert's segment is contiguous);
+//! * `tokens_per_expert[e]` — segment length per expert;
+//! * `combine_weights[i]` — the gating score the combine stage scales
+//!   entry `i`'s expert output by.
+//!
+//! Construction follows Listing 1: flatten the `[S, k]` assignments, rank
+//! all entries by combine weight, keep at most `capacity` per expert
+//! (dropping the lowest-scored overflow), then emit expert-sorted
+//! ERI-arrays. The [`DropPolicy`] pre-filter reproduces DeepSpeed-MoE's
+//! negative-logit dropping for the §5.6 comparison.
+
+use crate::gating::{DropPolicy, GatingOutput};
+use xmoe_tensor::argsort_desc_by;
+
+/// The ERI-arrays of one local batch (the token buffer `x` travels
+/// separately through the pipeline stages).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Pft {
+    /// `[B]` original token index of each routed entry.
+    pub token_ids: Vec<usize>,
+    /// `[B]` destination expert of each entry; non-decreasing.
+    pub expert_ids: Vec<usize>,
+    /// `[E]` entries routed to each expert.
+    pub tokens_per_expert: Vec<usize>,
+    /// `[B]` gating score each entry's expert output is scaled by.
+    pub combine_weights: Vec<f32>,
+    /// Routed (token, expert) pairs dropped during construction.
+    pub dropped: usize,
+}
+
+impl Pft {
+    /// Number of retained routed entries `B`.
+    pub fn len(&self) -> usize {
+        self.token_ids.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.token_ids.is_empty()
+    }
+
+    /// Construct the PFT from gating output (Listing 1,
+    /// `PFT_construction`).
+    ///
+    /// `capacity` is `max_token_count`, the per-expert retention limit;
+    /// entries are ranked globally by combine weight so overflow drops the
+    /// lowest-confidence assignments. `policy` optionally applies
+    /// DeepSpeed-MoE's negative-logit pre-drop.
+    ///
+    /// ```
+    /// use xmoe_core::gating::{DropPolicy, Router};
+    /// use xmoe_core::pft::Pft;
+    /// use xmoe_tensor::Tensor;
+    ///
+    /// let router = Router::new(16, 8, 2, 42);
+    /// let tokens = Tensor::rand_uniform(10, 16, 1.0, 7);
+    /// let gating = router.gate(&tokens);
+    /// let pft = Pft::construct(&gating, 8, 100, DropPolicy::CapacityOnly);
+    /// assert_eq!(pft.len(), 10 * 2);          // no drops at this capacity
+    /// assert_eq!(pft.tokens_per_expert.len(), 8);
+    /// pft.validate(10);                        // structural invariants hold
+    /// ```
+    pub fn construct(
+        gating: &GatingOutput,
+        num_experts: usize,
+        capacity: usize,
+        policy: DropPolicy,
+    ) -> Pft {
+        let s = gating.tokens();
+        let k = gating.k();
+
+        // Step 1: flatten the [S, k] assignments (Listing 1 lines 20-21),
+        // applying the policy pre-filter.
+        let mut flat_tokens = Vec::with_capacity(s * k);
+        let mut flat_experts = Vec::with_capacity(s * k);
+        let mut flat_weights = Vec::with_capacity(s * k);
+        let mut prefiltered = 0usize;
+        for t in 0..s {
+            for j in 0..k {
+                if policy == DropPolicy::CapacityAndNegativeLogit && gating.top_logits[t][j] < 0.0 {
+                    prefiltered += 1;
+                    continue;
+                }
+                flat_tokens.push(t);
+                flat_experts.push(gating.top_experts[t][j]);
+                flat_weights.push(gating.combine_weights[t][j]);
+            }
+        }
+
+        // Step 2: rank by combine weight and keep the top `capacity` per
+        // expert (lines 24-33). The stable descending argsort makes the
+        // retained set deterministic under ties.
+        let order = argsort_desc_by(&flat_weights);
+        let mut rank_in_expert = vec![0usize; num_experts];
+        let mut retained = vec![false; flat_tokens.len()];
+        let mut dropped = prefiltered;
+        for &i in &order {
+            let e = flat_experts[i];
+            assert!(e < num_experts, "expert id {e} out of range {num_experts}");
+            if rank_in_expert[e] < capacity {
+                rank_in_expert[e] += 1;
+                retained[i] = true;
+            } else {
+                dropped += 1;
+            }
+        }
+
+        // Step 3: emit ERI-arrays grouped by expert, preserving token order
+        // within each expert segment (lines 34-40). Grouping by expert makes
+        // each EP destination's slice of the dispatch buffer contiguous.
+        let b: usize = rank_in_expert.iter().sum();
+        let mut token_ids = Vec::with_capacity(b);
+        let mut expert_ids = Vec::with_capacity(b);
+        let mut combine_weights = Vec::with_capacity(b);
+        // Bucket by expert with a counting pass (O(B + E), no comparison sort).
+        let mut offsets = vec![0usize; num_experts + 1];
+        for (i, &keep) in retained.iter().enumerate() {
+            if keep {
+                offsets[flat_experts[i] + 1] += 1;
+            }
+        }
+        for e in 0..num_experts {
+            offsets[e + 1] += offsets[e];
+        }
+        token_ids.resize(b, 0);
+        expert_ids.resize(b, 0);
+        combine_weights.resize(b, 0.0);
+        let mut cursor = offsets.clone();
+        for i in 0..flat_tokens.len() {
+            if !retained[i] {
+                continue;
+            }
+            let e = flat_experts[i];
+            let pos = cursor[e];
+            cursor[e] += 1;
+            token_ids[pos] = flat_tokens[i];
+            expert_ids[pos] = e;
+            combine_weights[pos] = flat_weights[i];
+        }
+        let tokens_per_expert = (0..num_experts)
+            .map(|e| offsets[e + 1] - offsets[e])
+            .collect();
+
+        Pft {
+            token_ids,
+            expert_ids,
+            tokens_per_expert,
+            combine_weights,
+            dropped,
+        }
+    }
+
+    /// Entries destined for each of `n_parts` equal expert shards
+    /// (`E % n_parts == 0`): returns per-shard counts, i.e. the all-to-all-v
+    /// send counts of the dispatch stage.
+    pub fn counts_per_shard(&self, n_parts: usize) -> Vec<usize> {
+        let e = self.tokens_per_expert.len();
+        assert_eq!(
+            e % n_parts,
+            0,
+            "experts {e} not divisible into {n_parts} shards"
+        );
+        let per = e / n_parts;
+        self.tokens_per_expert
+            .chunks(per)
+            .map(|c| c.iter().sum())
+            .collect()
+    }
+
+    /// Internal consistency checks (used by tests and debug assertions).
+    pub fn validate(&self, num_tokens: usize) {
+        assert_eq!(self.token_ids.len(), self.expert_ids.len());
+        assert_eq!(self.token_ids.len(), self.combine_weights.len());
+        let total: usize = self.tokens_per_expert.iter().sum();
+        assert_eq!(
+            total,
+            self.token_ids.len(),
+            "tokens_per_expert sum mismatch"
+        );
+        // expert_ids non-decreasing and consistent with tokens_per_expert.
+        let mut idx = 0;
+        for (e, &cnt) in self.tokens_per_expert.iter().enumerate() {
+            for _ in 0..cnt {
+                assert_eq!(
+                    self.expert_ids[idx], e,
+                    "expert segment out of order at {idx}"
+                );
+                idx += 1;
+            }
+        }
+        assert!(
+            self.token_ids.iter().all(|&t| t < num_tokens),
+            "token id out of range"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gating::Router;
+    use xmoe_tensor::Tensor;
+
+    fn gate(s: usize, h: usize, e: usize, k: usize, seed: u64) -> GatingOutput {
+        let router = Router::new(h, e, k, seed);
+        let tokens = Tensor::rand_uniform(s, h, 1.0, seed + 1000);
+        router.gate(&tokens)
+    }
+
+    #[test]
+    fn no_drops_with_ample_capacity() {
+        let g = gate(32, 16, 8, 3, 1);
+        let pft = Pft::construct(&g, 8, 1_000, DropPolicy::CapacityOnly);
+        pft.validate(32);
+        assert_eq!(pft.len(), 32 * 3);
+        assert_eq!(pft.dropped, 0);
+    }
+
+    #[test]
+    fn expert_segments_are_contiguous_and_sorted() {
+        let g = gate(64, 16, 8, 4, 2);
+        let pft = Pft::construct(&g, 8, 1_000, DropPolicy::CapacityOnly);
+        pft.validate(64);
+        for w in pft.expert_ids.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn capacity_limits_each_expert() {
+        let g = gate(128, 16, 4, 2, 3);
+        let cap = 10;
+        let pft = Pft::construct(&g, 4, cap, DropPolicy::CapacityOnly);
+        pft.validate(128);
+        assert!(pft.tokens_per_expert.iter().all(|&c| c <= cap));
+        assert_eq!(pft.len() + pft.dropped, 128 * 2);
+    }
+
+    #[test]
+    fn overflow_keeps_highest_weight_entries() {
+        // Force every token to expert 0 with distinct weights.
+        let g = GatingOutput {
+            top_experts: vec![vec![0], vec![0], vec![0], vec![0]],
+            combine_weights: vec![vec![0.1], vec![0.9], vec![0.5], vec![0.7]],
+            top_logits: vec![vec![1.0]; 4],
+            scores: Tensor::zeros(4, 1),
+        };
+        let pft = Pft::construct(&g, 1, 2, DropPolicy::CapacityOnly);
+        assert_eq!(pft.len(), 2);
+        // Tokens 1 (0.9) and 3 (0.7) survive; segment preserves token order.
+        assert_eq!(pft.token_ids, vec![1, 3]);
+        assert_eq!(pft.combine_weights, vec![0.9, 0.7]);
+        assert_eq!(pft.dropped, 2);
+    }
+
+    #[test]
+    fn negative_logit_policy_prefilters() {
+        let g = GatingOutput {
+            top_experts: vec![vec![0, 1], vec![1, 0]],
+            combine_weights: vec![vec![0.6, 0.4], vec![0.8, 0.2]],
+            top_logits: vec![vec![1.0, -0.5], vec![0.3, -0.1]],
+            scores: Tensor::zeros(2, 2),
+        };
+        let xmoe = Pft::construct(&g, 2, 100, DropPolicy::CapacityOnly);
+        let dsmoe = Pft::construct(&g, 2, 100, DropPolicy::CapacityAndNegativeLogit);
+        assert_eq!(xmoe.len(), 4);
+        assert_eq!(dsmoe.len(), 2, "negative-logit entries must be dropped");
+        assert_eq!(dsmoe.dropped, 2);
+        // X-MoE retains strictly more tokens (the §5.6 observation).
+        assert!(xmoe.len() > dsmoe.len());
+    }
+
+    #[test]
+    fn counts_per_shard_partition_totals() {
+        let g = gate(50, 16, 8, 2, 5);
+        let pft = Pft::construct(&g, 8, 1_000, DropPolicy::CapacityOnly);
+        let counts = pft.counts_per_shard(4);
+        assert_eq!(counts.len(), 4);
+        assert_eq!(counts.iter().sum::<usize>(), pft.len());
+        // Shard 0 covers experts 0..2.
+        assert_eq!(
+            counts[0],
+            pft.tokens_per_expert[0] + pft.tokens_per_expert[1]
+        );
+    }
+
+    #[test]
+    fn construction_is_deterministic() {
+        let g = gate(40, 16, 8, 3, 9);
+        let a = Pft::construct(&g, 8, 7, DropPolicy::CapacityOnly);
+        let b = Pft::construct(&g, 8, 7, DropPolicy::CapacityOnly);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_batch_yields_empty_pft() {
+        let g = GatingOutput {
+            top_experts: vec![],
+            combine_weights: vec![],
+            top_logits: vec![],
+            scores: Tensor::zeros(0, 4),
+        };
+        let pft = Pft::construct(&g, 4, 10, DropPolicy::CapacityOnly);
+        assert!(pft.is_empty());
+        assert_eq!(pft.tokens_per_expert, vec![0; 4]);
+    }
+}

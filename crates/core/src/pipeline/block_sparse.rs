@@ -1,0 +1,170 @@
+//! Megablocks-style block-sparse pipeline (paper §2, Related Work).
+//!
+//! Megablocks casts the MoE layer as block-sparse matrix multiplication
+//! with no token dropping, but its kernels require each expert's token
+//! segment padded **up to a multiple of the tile size** (e.g. 128 rows).
+//! For conventional MoEs (few large experts) the per-expert remainder is
+//! negligible; for expert-specialized MoEs with hundreds of small experts
+//! the remainders add up — the paper: "incurring serious zero-paddings on
+//! the emerging MoE workload".
+//!
+//! This module implements the block-padded execution (functionally
+//! equivalent — zero rows contribute nothing) plus the padding-waste
+//! accounting the `ablation_blocksparse` bench sweeps.
+
+use xmoe_tensor::{gather_rows, scatter_rows_scaled, Tensor};
+
+use crate::expert::ExpertShard;
+use crate::gating::Router;
+use crate::pft::Pft;
+use crate::pipeline::MoeLayerSpec;
+
+/// Round `n` up to a multiple of `block`.
+pub fn round_up(n: usize, block: usize) -> usize {
+    assert!(block > 0);
+    n.div_ceil(block) * block
+}
+
+/// Fraction of rows in the block-padded buffer that are padding, for the
+/// given per-expert token counts.
+pub fn block_padding_waste(tokens_per_expert: &[usize], block: usize) -> f64 {
+    let real: usize = tokens_per_expert.iter().sum();
+    let padded: usize = tokens_per_expert.iter().map(|&c| round_up(c, block)).sum();
+    if padded == 0 {
+        return 0.0;
+    }
+    1.0 - real as f64 / padded as f64
+}
+
+/// Expected block-padding waste under balanced routing: each expert gets
+/// `tokens * k / E` rows; padding rounds each up to the tile size.
+pub fn expected_block_waste(tokens: usize, k: usize, num_experts: usize, block: usize) -> f64 {
+    let per_expert = (tokens * k) as f64 / num_experts as f64;
+    let padded = round_up(per_expert.ceil() as usize, block) as f64;
+    1.0 - per_expert / padded
+}
+
+/// Single-rank block-sparse forward: the PFT pipeline with each expert's
+/// segment zero-padded to a tile multiple before the GEMM.
+pub fn forward_single_block_sparse(
+    tokens: &Tensor,
+    router: &Router,
+    experts: &ExpertShard,
+    spec: &MoeLayerSpec,
+    block: usize,
+) -> Tensor {
+    assert_eq!(experts.len(), spec.num_experts);
+    let gating = router.gate(tokens);
+    let pft = Pft::construct(&gating, spec.num_experts, spec.capacity, spec.policy);
+    let dispatch_in = gather_rows(tokens, &pft.token_ids);
+    let hidden = tokens.cols();
+
+    // Build the block-padded buffer: each expert's rows followed by zero
+    // rows up to the tile boundary.
+    let padded_counts: Vec<usize> = pft
+        .tokens_per_expert
+        .iter()
+        .map(|&c| round_up(c, block))
+        .collect();
+    let padded_total: usize = padded_counts.iter().sum();
+    let mut padded_buf = Tensor::zeros(padded_total, hidden);
+    {
+        let dst = padded_buf.as_mut_slice();
+        let mut src_row = 0usize;
+        let mut dst_row = 0usize;
+        for (e, &cnt) in pft.tokens_per_expert.iter().enumerate() {
+            if cnt > 0 {
+                dst[dst_row * hidden..(dst_row + cnt) * hidden].copy_from_slice(
+                    &dispatch_in.as_slice()[src_row * hidden..(src_row + cnt) * hidden],
+                );
+            }
+            src_row += cnt;
+            dst_row += padded_counts[e];
+        }
+    }
+
+    // Block-sparse "GEMM": experts run over their padded tiles.
+    let out_padded = experts.forward_segments(&padded_buf, &padded_counts);
+
+    // Strip the padding back out and combine.
+    let mut mlp_out = Tensor::zeros(pft.len(), hidden);
+    {
+        let dst = mlp_out.as_mut_slice();
+        let mut src_row = 0usize;
+        let mut dst_row = 0usize;
+        for (e, &cnt) in pft.tokens_per_expert.iter().enumerate() {
+            if cnt > 0 {
+                dst[dst_row * hidden..(dst_row + cnt) * hidden].copy_from_slice(
+                    &out_padded.as_slice()[src_row * hidden..(src_row + cnt) * hidden],
+                );
+            }
+            src_row += padded_counts[e];
+            dst_row += cnt;
+        }
+    }
+    let mut out = Tensor::zeros(tokens.rows(), hidden);
+    scatter_rows_scaled(&mlp_out, &pft.token_ids, &pft.combine_weights, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::padding_free;
+
+    #[test]
+    fn round_up_basics() {
+        assert_eq!(round_up(0, 128), 0);
+        assert_eq!(round_up(1, 128), 128);
+        assert_eq!(round_up(128, 128), 128);
+        assert_eq!(round_up(129, 128), 256);
+    }
+
+    #[test]
+    fn block_sparse_matches_padding_free() {
+        let (s, h, f, e, k) = (64usize, 16usize, 8usize, 8usize, 3usize);
+        let router = Router::new(h, e, k, 201);
+        let experts = ExpertShard::full(e, h, f, 202);
+        let tokens = Tensor::rand_uniform(s, h, 1.0, 203);
+        let spec = MoeLayerSpec::new(e, 10_000);
+        let reference = padding_free::forward_single(&tokens, &router, &experts, &spec);
+        for block in [1usize, 4, 16, 128] {
+            let out = forward_single_block_sparse(&tokens, &router, &experts, &spec, block);
+            assert!(
+                out.allclose(&reference, 1e-4),
+                "block {block}: max diff {}",
+                out.max_abs_diff(&reference)
+            );
+        }
+    }
+
+    #[test]
+    fn waste_zero_at_block_one() {
+        assert_eq!(block_padding_waste(&[3, 7, 0, 12], 1), 0.0);
+    }
+
+    #[test]
+    fn waste_counts_remainders() {
+        // Counts 3 and 5 with block 4 -> padded 4 + 8 = 12 for 8 real rows.
+        let w = block_padding_waste(&[3, 5], 4);
+        assert!((w - (1.0 - 8.0 / 12.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fine_grained_experts_waste_more() {
+        // Same total routed volume spread over more, smaller experts:
+        // remainder padding grows with the expert count (the paper's
+        // argument against block-sparse kernels for DeepSeek-style MoEs).
+        // A per-GPU micro-batch: 2048 tokens. Coarse experts get 512 rows
+        // each (an exact tile multiple); fine-grained ones get 64 rows,
+        // padded to a full 128-row tile.
+        let tokens = 2048usize;
+        let block = 128usize;
+        let coarse = expected_block_waste(tokens, 2, 8, block); // Mixtral-ish
+        let fine = expected_block_waste(tokens, 8, 256, block); // DeepSeek-ish
+        assert!(
+            fine > coarse + 0.2,
+            "fine-grained waste {fine:.3} must far exceed coarse {coarse:.3}"
+        );
+    }
+}

@@ -1,0 +1,392 @@
+//! X-MoE's padding-free MoE layer (paper §4.1, Listing 1).
+//!
+//! Stage labels charged to the [`SimClock`] match the Fig 11 breakdown:
+//! `gating`, `buffer_dispatch`, `dispatch_a2a`, `expert`, `combine_a2a`,
+//! `buffer_combine`.
+//!
+//! The uneven exchange is factored into a reusable [`EpRoute`]: built once
+//! per batch from the PFT's per-expert counts, it can push any row payload
+//! along the dispatch direction ([`EpRoute::to_experts`]) or back along the
+//! combine direction ([`EpRoute::to_source`]). The training backward pass
+//! reuses the same route in reverse — gradients travel the exact same two
+//! all-to-alls mirrored (the paper's 4 all-to-alls per layer per step).
+
+use xmoe_collectives::{Communicator, SimClock};
+use xmoe_tensor::{gather_rows, scatter_rows_scaled, Tensor};
+
+use crate::expert::ExpertShard;
+use crate::gating::Router;
+use crate::pft::Pft;
+use crate::pipeline::{rows_to_vec, vecs_to_tensor, MoeLayerSpec};
+
+/// Single-rank reference: all experts local, no communication.
+///
+/// `call` in Listing 1 minus the all-to-alls (a 1-rank EP group).
+pub fn forward_single(
+    tokens: &Tensor,
+    router: &Router,
+    experts: &ExpertShard,
+    spec: &MoeLayerSpec,
+) -> Tensor {
+    assert_eq!(
+        experts.len(),
+        spec.num_experts,
+        "single-rank forward needs the full expert set"
+    );
+    let gating = router.gate(tokens);
+    let pft = Pft::construct(&gating, spec.num_experts, spec.capacity, spec.policy);
+    let dispatch_in = gather_rows(tokens, &pft.token_ids);
+    let mlp_out = experts.forward_segments(&dispatch_in, &pft.tokens_per_expert);
+    let mut out = Tensor::zeros(tokens.rows(), tokens.cols());
+    scatter_rows_scaled(&mlp_out, &pft.token_ids, &pft.combine_weights, &mut out);
+    out
+}
+
+/// The routing plan of one uneven EP exchange, reusable for forward
+/// activations and backward gradients.
+///
+/// Wire layout: rows travel grouped by destination rank (the PFT is
+/// expert-sorted, so per-destination slices are contiguous); on arrival
+/// they are regrouped expert-major for the sequential GEMM via `perm`.
+pub struct EpRoute {
+    /// The PFT this route was built from (source-side ERI arrays).
+    pub pft: Pft,
+    /// Per-destination-rank entry counts on the send side.
+    pub send_per_dst: Vec<usize>,
+    /// Entry counts received from each source rank.
+    pub recv_per_src: Vec<usize>,
+    /// Entry counts per local expert after the expert-major regroup.
+    pub tokens_per_local_expert: Vec<usize>,
+    /// `perm[i]` = wire position of expert-major position `i`.
+    perm: Vec<usize>,
+    /// Inverse of `perm`.
+    inv_perm: Vec<usize>,
+}
+
+impl EpRoute {
+    /// Collectively build the route: exchanges `tokens_per_expert` so every
+    /// destination knows its inbound segment sizes (Listing 1 line 44).
+    pub fn build(
+        pft: Pft,
+        spec: &MoeLayerSpec,
+        ep: &Communicator,
+        clock: &mut SimClock,
+    ) -> EpRoute {
+        let w = ep.size();
+        assert_eq!(spec.num_experts % w, 0, "experts must divide EP size");
+        let e_local = spec.num_experts / w;
+        let tpe_send: Vec<Vec<u64>> = (0..w)
+            .map(|dst| {
+                pft.tokens_per_expert[dst * e_local..(dst + 1) * e_local]
+                    .iter()
+                    .map(|&c| c as u64)
+                    .collect()
+            })
+            .collect();
+        let tpe_recv = ep.all_to_all_v(tpe_send, clock);
+
+        let send_per_dst = pft.counts_per_shard(w);
+        let recv_per_src: Vec<usize> = tpe_recv
+            .iter()
+            .map(|r| r.iter().sum::<u64>() as usize)
+            .collect();
+        let mut src_base = vec![0usize; w];
+        for s in 1..w {
+            src_base[s] = src_base[s - 1] + recv_per_src[s - 1];
+        }
+        let mut tokens_per_local_expert = vec![0usize; e_local];
+        for r in &tpe_recv {
+            for (e, &c) in r.iter().enumerate() {
+                tokens_per_local_expert[e] += c as usize;
+            }
+        }
+        let total: usize = tokens_per_local_expert.iter().sum();
+        // Wire order is (src, local_expert); the sequential GEMM needs
+        // (local_expert, src).
+        let mut perm = Vec::with_capacity(total);
+        for e in 0..e_local {
+            for (src, counts) in tpe_recv.iter().enumerate() {
+                let before: usize = counts[..e].iter().map(|&c| c as usize).sum();
+                let cnt = counts[e] as usize;
+                let start = src_base[src] + before;
+                perm.extend(start..start + cnt);
+            }
+        }
+        let mut inv_perm = vec![0usize; total];
+        for (expert_major, &wire) in perm.iter().enumerate() {
+            inv_perm[wire] = expert_major;
+        }
+        EpRoute {
+            pft,
+            send_per_dst,
+            recv_per_src,
+            tokens_per_local_expert,
+            perm,
+            inv_perm,
+        }
+    }
+
+    /// Rows received on this rank (the expert-side buffer length).
+    pub fn recv_total(&self) -> usize {
+        self.perm.len()
+    }
+
+    /// Push `rows` (PFT order, `[B, H]`) along the dispatch direction;
+    /// returns the expert-major `[B_exp, H]` buffer on the receiving side.
+    pub fn to_experts(&self, rows: &Tensor, ep: &Communicator, clock: &mut SimClock) -> Tensor {
+        let hidden = rows.cols();
+        debug_assert_eq!(rows.rows(), self.pft.len(), "payload must be in PFT order");
+        let mut offset = 0usize;
+        let send: Vec<Vec<f32>> = self
+            .send_per_dst
+            .iter()
+            .map(|&cnt| {
+                let v = rows_to_vec(rows, offset, offset + cnt);
+                offset += cnt;
+                v
+            })
+            .collect();
+        let recv = ep.all_to_all_v(send, clock);
+        let wire = vecs_to_tensor(recv, hidden);
+        debug_assert_eq!(wire.rows(), self.recv_total());
+        gather_rows(&wire, &self.perm)
+    }
+
+    /// Push `rows` (expert-major, `[B_exp, H]`) back to their source
+    /// ranks; returns `[B, H]` in the sender's original PFT order.
+    pub fn to_source(&self, rows: &Tensor, ep: &Communicator, clock: &mut SimClock) -> Tensor {
+        let hidden = rows.cols();
+        debug_assert_eq!(
+            rows.rows(),
+            self.recv_total(),
+            "payload must be expert-major"
+        );
+        let wire_order = gather_rows(rows, &self.inv_perm);
+        let mut send: Vec<Vec<f32>> = Vec::with_capacity(self.recv_per_src.len());
+        let mut offset = 0usize;
+        for &cnt in &self.recv_per_src {
+            send.push(rows_to_vec(&wire_order, offset, offset + cnt));
+            offset += cnt;
+        }
+        let recv = ep.all_to_all_v(send, clock);
+        // Chunks arrive per destination in the order dispatch rows were
+        // sent, so plain concatenation restores PFT order.
+        vecs_to_tensor(recv, hidden)
+    }
+}
+
+/// Distributed padding-free MoE layer over an expert-parallel group.
+///
+/// Every rank passes its local `[S, H]` token batch; experts are sharded
+/// blockwise over the EP group (`shard`). Returns the local `[S, H]` output.
+pub fn forward_ep(
+    tokens: &Tensor,
+    router: &Router,
+    shard: &ExpertShard,
+    spec: &MoeLayerSpec,
+    ep: &Communicator,
+    clock: &mut SimClock,
+) -> Tensor {
+    let cost = ep.cost().clone();
+    let hidden = tokens.cols();
+
+    // --- Gating + PFT construction -------------------------------------
+    let gating = router.gate(tokens);
+    let pft = Pft::construct(&gating, spec.num_experts, spec.capacity, spec.policy);
+    let gate_flops = 2.0 * tokens.rows() as f64 * hidden as f64 * spec.num_experts as f64;
+    let pft_bytes = (tokens.rows() * gating.k()) as f64 * 32.0;
+    clock.charge(
+        "gating",
+        cost.compute_time(gate_flops) + cost.mem_bound_time(pft_bytes),
+    );
+
+    // --- Buffer dispatch: local gather into the dispatch matrix --------
+    let dispatch_in = gather_rows(tokens, &pft.token_ids);
+    clock.charge(
+        "buffer_dispatch",
+        cost.mem_bound_time(2.0 * (pft.len() * hidden * 4) as f64),
+    );
+
+    // --- Dispatch all-to-all (uneven, no padding) -----------------------
+    let route = EpRoute::build(pft, spec, ep, clock);
+    let expert_input = route.to_experts(&dispatch_in, ep, clock);
+    clock.bucket_last("dispatch_a2a");
+
+    // --- Expert computation: sequential GEMM ---------------------------
+    let mlp_out = shard.forward_segments(&expert_input, &route.tokens_per_local_expert);
+    let ffn = shard.experts.first().map_or(0, |e| e.w1.cols());
+    let expert_flops = 4.0 * expert_input.rows() as f64 * hidden as f64 * ffn as f64;
+    clock.charge("expert", cost.compute_time(expert_flops));
+
+    // --- Combine all-to-all (reverse route) -----------------------------
+    let combine_in = route.to_source(&mlp_out, ep, clock);
+    clock.bucket_last("combine_a2a");
+
+    // --- Buffer combine: weighted scatter back to sequence order -------
+    let mut out = Tensor::zeros(tokens.rows(), hidden);
+    scatter_rows_scaled(
+        &combine_in,
+        &route.pft.token_ids,
+        &route.pft.combine_weights,
+        &mut out,
+    );
+    clock.charge(
+        "buffer_combine",
+        cost.mem_bound_time(2.0 * (route.pft.len() * hidden * 4) as f64),
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gating::DropPolicy;
+    use xmoe_collectives::SimCluster;
+
+    fn spec(e: usize, cap: usize) -> MoeLayerSpec {
+        MoeLayerSpec::new(e, cap).with_policy(DropPolicy::CapacityOnly)
+    }
+
+    #[test]
+    fn single_rank_output_is_weighted_expert_mix() {
+        // One token, one expert, top-1: output must equal w * expert(x).
+        let router = Router::new(8, 2, 1, 3);
+        let experts = ExpertShard::full(2, 8, 16, 4);
+        let tokens = Tensor::rand_uniform(1, 8, 1.0, 5);
+        let out = forward_single(&tokens, &router, &experts, &spec(2, 100));
+        let g = router.gate(&tokens);
+        let e = g.top_experts[0][0];
+        let w = g.combine_weights[0][0];
+        let mut expected = experts.experts[e].forward(&tokens);
+        xmoe_tensor::scale_assign(&mut expected, w);
+        assert!(out.allclose(&expected, 1e-5));
+    }
+
+    #[test]
+    fn distributed_matches_single_rank_reference() {
+        let (s, h, f, e, k) = (24, 16, 8, 8, 3);
+        let seed = 11;
+        for world in [2usize, 4, 8] {
+            let reference = {
+                let router = Router::new(h, e, k, seed);
+                let experts = ExpertShard::full(e, h, f, seed + 1);
+                let sp = spec(e, 10_000);
+                SimCluster::frontier(world).run(|ctx| {
+                    // Every rank gets a *different* local batch.
+                    let tokens = Tensor::rand_uniform(s, h, 1.0, 100 + ctx.rank as u64);
+                    forward_single(&tokens, &router, &experts, &sp)
+                })
+            };
+            let distributed = {
+                let router = Router::new(h, e, k, seed);
+                let sp = spec(e, 10_000);
+                SimCluster::frontier(world).run(|ctx| {
+                    let shard = ExpertShard::for_rank(ctx.rank, world, e, h, f, seed + 1);
+                    let tokens = Tensor::rand_uniform(s, h, 1.0, 100 + ctx.rank as u64);
+                    forward_ep(&tokens, &router, &shard, &sp, &ctx.world, &mut ctx.clock)
+                })
+            };
+            for (r, (a, b)) in reference.iter().zip(&distributed).enumerate() {
+                assert!(
+                    a.allclose(b, 1e-4),
+                    "world {world} rank {r}: max diff {}",
+                    a.max_abs_diff(b)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn distributed_charges_all_pipeline_stages() {
+        let (s, h, f, e, k) = (16, 8, 4, 4, 2);
+        let router = Router::new(h, e, k, 21);
+        let sp = spec(e, 1000);
+        let buckets = SimCluster::frontier(4).run(|ctx| {
+            let shard = ExpertShard::for_rank(ctx.rank, 4, e, h, f, 22);
+            let tokens = Tensor::rand_uniform(s, h, 1.0, 23);
+            let _ = forward_ep(&tokens, &router, &shard, &sp, &ctx.world, &mut ctx.clock);
+            ctx.clock.buckets().to_vec()
+        });
+        for labels in &buckets {
+            let names: Vec<&str> = labels.iter().map(|(l, _)| l.as_str()).collect();
+            for want in [
+                "gating",
+                "buffer_dispatch",
+                "dispatch_a2a",
+                "expert",
+                "combine_a2a",
+                "buffer_combine",
+            ] {
+                assert!(names.contains(&want), "missing stage {want}: {names:?}");
+            }
+            assert!(labels.iter().all(|(_, t)| *t >= 0.0));
+        }
+    }
+
+    #[test]
+    fn capacity_drops_do_not_break_distributed_equivalence() {
+        // Tight capacity: both paths must drop the same entries.
+        let (s, h, f, e, k) = (32, 8, 4, 4, 2);
+        let router = Router::new(h, e, k, 31);
+        let experts_full = ExpertShard::full(e, h, f, 32);
+        let sp = spec(e, 5); // tight
+        let tokens = Tensor::rand_uniform(s, h, 1.0, 33);
+        let reference = forward_single(&tokens, &router, &experts_full, &sp);
+        let distributed = SimCluster::frontier(4).run(|ctx| {
+            let shard = ExpertShard::for_rank(ctx.rank, 4, e, h, f, 32);
+            forward_ep(&tokens, &router, &shard, &sp, &ctx.world, &mut ctx.clock)
+        });
+        for d in &distributed {
+            assert!(
+                d.allclose(&reference, 1e-4),
+                "max diff {}",
+                d.max_abs_diff(&reference)
+            );
+        }
+    }
+
+    #[test]
+    fn route_roundtrip_restores_pft_order() {
+        // to_experts followed by to_source must return every row to its
+        // original position (the property backward relies on).
+        let (s, h, e, k) = (20usize, 6usize, 8usize, 3usize);
+        let router = Router::new(h, e, k, 41);
+        let sp = spec(e, 1000);
+        let ok = SimCluster::frontier(4).run(|ctx| {
+            let tokens = Tensor::rand_uniform(s, h, 1.0, 200 + ctx.rank as u64);
+            let gating = router.gate(&tokens);
+            let pft = Pft::construct(&gating, e, sp.capacity, sp.policy);
+            let payload = Tensor::rand_uniform(pft.len(), h, 1.0, 300 + ctx.rank as u64);
+            let route = EpRoute::build(pft, &sp, &ctx.world, &mut ctx.clock);
+            let there = route.to_experts(&payload, &ctx.world, &mut ctx.clock);
+            let back = route.to_source(&there, &ctx.world, &mut ctx.clock);
+            back.allclose(&payload, 0.0)
+        });
+        assert!(ok.iter().all(|&b| b), "route roundtrip failed: {ok:?}");
+    }
+
+    #[test]
+    fn route_counts_are_consistent() {
+        let (s, h, e, k) = (16usize, 6usize, 4usize, 2usize);
+        let router = Router::new(h, e, k, 51);
+        let sp = spec(e, 1000);
+        let checks = SimCluster::frontier(4).run(|ctx| {
+            let tokens = Tensor::rand_uniform(s, h, 1.0, 400 + ctx.rank as u64);
+            let gating = router.gate(&tokens);
+            let pft = Pft::construct(&gating, e, sp.capacity, sp.policy);
+            let b = pft.len();
+            let route = EpRoute::build(pft, &sp, &ctx.world, &mut ctx.clock);
+            let send_total: usize = route.send_per_dst.iter().sum();
+            let recv_total: usize = route.recv_per_src.iter().sum();
+            let expert_total: usize = route.tokens_per_local_expert.iter().sum();
+            (
+                send_total == b,
+                recv_total == route.recv_total(),
+                expert_total == route.recv_total(),
+            )
+        });
+        for (a, b, c) in checks {
+            assert!(a && b && c);
+        }
+    }
+}

@@ -1,0 +1,334 @@
+//! CPU tensor substrate for the X-MoE reproduction.
+//!
+//! The paper's kernels run on AMD/NVIDIA GPUs via Triton; this crate supplies
+//! the CPU analogues used by every other crate in the workspace:
+//!
+//! * [`Tensor`] — a row-major 2-D `f32` matrix with shape checking.
+//! * [`matmul`] / [`matmul_into`] — blocked, multi-threaded GEMM.
+//! * Row-wise ops used by MoE gating: [`softmax_rows`], [`topk_rows`].
+//! * Routing kernels mirroring the paper's Triton gather/scatter (§4.1.2):
+//!   [`gather_rows`], [`scatter_rows_scaled`].
+//! * The sequential GEMM over uneven expert segments (§B.4):
+//!   [`sequential_gemm`].
+//! * Array utilities mirroring Listing 1: [`argsort_desc_by`], [`cumsum`],
+//!   [`histogram`].
+//!
+//! All parallelism uses `std::thread::scope` over disjoint row chunks, so the
+//! crate is `unsafe`-free and data-race free by construction.
+
+pub mod ops;
+pub mod rng;
+pub mod routing;
+
+pub use ops::{
+    add_assign, gelu, matmul, matmul_into, matmul_transpose_b, relu, scale_assign, silu,
+    softmax_rows, topk_rows,
+};
+pub use rng::DetRng;
+pub use routing::{
+    argsort_desc_by, cumsum, gather_rows, histogram, scatter_rows_scaled, sequential_gemm,
+};
+
+/// Number of worker threads used by parallel kernels.
+///
+/// Chosen once at first use from `std::thread::available_parallelism`, capped
+/// at 16 so test suites with many concurrent simulated ranks do not
+/// oversubscribe the machine.
+pub fn worker_threads() -> usize {
+    use std::sync::OnceLock;
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .min(16)
+    })
+}
+
+/// A row-major 2-D `f32` matrix.
+///
+/// ```
+/// use xmoe_tensor::{matmul, Tensor};
+/// let a = Tensor::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+/// let id = Tensor::from_fn(2, 2, |r, c| if r == c { 1.0 } else { 0.0 });
+/// assert!(matmul(&a, &id).allclose(&a, 1e-6));
+/// ```
+///
+/// This is deliberately minimal: MoE training manipulates token buffers
+/// (`[tokens, hidden]`), weight matrices and small routing tables, all of
+/// which are 2-D. Higher-rank tensors in the paper (for example the dense
+/// `[S, E, C]` dispatch mask of the baseline) are represented explicitly as
+/// index structures instead, which is exactly the point of the PFT design.
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl std::fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Tensor[{}x{}]", self.rows, self.cols)?;
+        if self.rows * self.cols <= 16 {
+            write!(f, " {:?}", self.data)?;
+        }
+        Ok(())
+    }
+}
+
+impl Tensor {
+    /// Create a zero-filled `rows x cols` tensor.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Create a tensor filled with `value`.
+    pub fn full(rows: usize, cols: usize, value: f32) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// Build a tensor from an existing buffer. Panics if the buffer length
+    /// does not equal `rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "buffer length {} does not match shape {}x{}",
+            data.len(),
+            rows,
+            cols
+        );
+        Self { rows, cols, data }
+    }
+
+    /// Build from a function of `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Uniform random tensor in `[-scale, scale]` from a deterministic seed.
+    pub fn rand_uniform(rows: usize, cols: usize, scale: f32, seed: u64) -> Self {
+        let mut rng = DetRng::new(seed);
+        let mut data = Vec::with_capacity(rows * cols);
+        for _ in 0..rows * cols {
+            data.push((rng.next_f32() * 2.0 - 1.0) * scale);
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Kaiming-style init: uniform with scale `sqrt(1/fan_in)`.
+    pub fn rand_init(rows: usize, cols: usize, fan_in: usize, seed: u64) -> Self {
+        let scale = (1.0 / fan_in.max(1) as f32).sqrt();
+        Self::rand_uniform(rows, cols, scale, seed)
+    }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrow the full backing buffer.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutably borrow the full backing buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consume into the backing buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Borrow row `r`.
+    pub fn row(&self, r: usize) -> &[f32] {
+        debug_assert!(
+            r < self.rows,
+            "row {} out of bounds ({} rows)",
+            r,
+            self.rows
+        );
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `r`.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        debug_assert!(r < self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Element accessor.
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Element setter.
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// A new tensor containing rows `[start, end)`.
+    pub fn slice_rows(&self, start: usize, end: usize) -> Tensor {
+        assert!(start <= end && end <= self.rows);
+        Tensor::from_vec(
+            end - start,
+            self.cols,
+            self.data[start * self.cols..end * self.cols].to_vec(),
+        )
+    }
+
+    /// Vertically stack tensors with equal column counts.
+    pub fn vstack(parts: &[&Tensor]) -> Tensor {
+        assert!(!parts.is_empty(), "vstack of zero tensors");
+        let cols = parts[0].cols;
+        let rows: usize = parts.iter().map(|t| t.rows).sum();
+        let mut data = Vec::with_capacity(rows * cols);
+        for p in parts {
+            assert_eq!(p.cols, cols, "vstack column mismatch");
+            data.extend_from_slice(&p.data);
+        }
+        Tensor { rows, cols, data }
+    }
+
+    /// Transpose into a new tensor.
+    pub fn transpose(&self) -> Tensor {
+        let mut out = Tensor::zeros(self.cols, self.rows);
+        // Blocked transpose for cache friendliness.
+        const B: usize = 32;
+        for rb in (0..self.rows).step_by(B) {
+            for cb in (0..self.cols).step_by(B) {
+                for r in rb..(rb + B).min(self.rows) {
+                    for c in cb..(cb + B).min(self.cols) {
+                        out.data[c * self.rows + r] = self.data[r * self.cols + c];
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+
+    /// Maximum absolute difference against another tensor of the same shape.
+    pub fn max_abs_diff(&self, other: &Tensor) -> f32 {
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "shape mismatch in max_abs_diff"
+        );
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max)
+    }
+
+    /// True when every element differs from `other` by at most `tol`.
+    pub fn allclose(&self, other: &Tensor, tol: f32) -> bool {
+        self.shape() == other.shape() && self.max_abs_diff(other) <= tol
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_shape_and_content() {
+        let t = Tensor::zeros(3, 4);
+        assert_eq!(t.shape(), (3, 4));
+        assert!(t.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape")]
+    fn from_vec_checks_length() {
+        let _ = Tensor::from_vec(2, 3, vec![0.0; 5]);
+    }
+
+    #[test]
+    fn row_accessors() {
+        let t = Tensor::from_fn(3, 2, |r, c| (r * 10 + c) as f32);
+        assert_eq!(t.row(1), &[10.0, 11.0]);
+        assert_eq!(t.get(2, 1), 21.0);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let t = Tensor::rand_uniform(37, 53, 1.0, 7);
+        let tt = t.transpose().transpose();
+        assert!(t.allclose(&tt, 0.0));
+    }
+
+    #[test]
+    fn vstack_concatenates_rows() {
+        let a = Tensor::from_fn(2, 3, |r, c| (r * 3 + c) as f32);
+        let b = Tensor::from_fn(1, 3, |_, c| (6 + c) as f32);
+        let s = Tensor::vstack(&[&a, &b]);
+        assert_eq!(s.shape(), (3, 3));
+        assert_eq!(s.row(2), &[6.0, 7.0, 8.0]);
+    }
+
+    #[test]
+    fn slice_rows_extracts_contiguous_block() {
+        let t = Tensor::from_fn(5, 2, |r, c| (r * 2 + c) as f32);
+        let s = t.slice_rows(1, 3);
+        assert_eq!(s.shape(), (2, 2));
+        assert_eq!(s.row(0), &[2.0, 3.0]);
+        assert_eq!(s.row(1), &[4.0, 5.0]);
+    }
+
+    #[test]
+    fn rand_is_deterministic_per_seed() {
+        let a = Tensor::rand_uniform(4, 4, 1.0, 42);
+        let b = Tensor::rand_uniform(4, 4, 1.0, 42);
+        let c = Tensor::rand_uniform(4, 4, 1.0, 43);
+        assert!(a.allclose(&b, 0.0));
+        assert!(!a.allclose(&c, 0.0));
+    }
+
+    #[test]
+    fn max_abs_diff_and_allclose() {
+        let a = Tensor::full(2, 2, 1.0);
+        let mut b = a.clone();
+        b.set(1, 1, 1.5);
+        assert_eq!(a.max_abs_diff(&b), 0.5);
+        assert!(a.allclose(&b, 0.5));
+        assert!(!a.allclose(&b, 0.49));
+    }
+}

@@ -1,0 +1,360 @@
+//! Dense tensor operations: blocked multi-threaded GEMM, activations and the
+//! row-wise reductions used by MoE gating.
+
+use crate::{worker_threads, Tensor};
+
+/// `C = A @ B` where `A` is `[m, k]` and `B` is `[k, n]`.
+///
+/// Rows of `C` are partitioned across `worker_threads()` scoped threads; each
+/// thread runs a register-blocked microkernel over `B` panels. For the
+/// problem sizes in this workspace (token buffers of a few thousand rows by a
+/// few hundred columns) this stays within a factor of a few of BLAS without
+/// any unsafe code.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let mut c = Tensor::zeros(a.rows(), b.cols());
+    matmul_into(a, b, &mut c);
+    c
+}
+
+/// `C += A @ B` accumulating into an existing output buffer.
+///
+/// `C` must already have shape `[a.rows, b.cols]`. Accumulation (rather than
+/// overwrite) is what the training backward passes need; callers wanting a
+/// fresh product should pass a zeroed `C` (as [`matmul`] does).
+pub fn matmul_into(a: &Tensor, b: &Tensor, c: &mut Tensor) {
+    let (m, k) = a.shape();
+    let (kb, n) = b.shape();
+    assert_eq!(
+        k, kb,
+        "matmul inner-dim mismatch: A is {}x{}, B is {}x{}",
+        m, k, kb, n
+    );
+    assert_eq!(c.shape(), (m, n), "matmul output shape mismatch");
+    if m == 0 || n == 0 {
+        return;
+    }
+
+    let threads = worker_threads().min(m.max(1));
+    let a_data = a.as_slice();
+    let b_data = b.as_slice();
+    let c_data = c.as_mut_slice();
+
+    if threads <= 1 || m * n * k < 64 * 64 * 64 {
+        gemm_rows(a_data, b_data, c_data, 0, m, k, n);
+        return;
+    }
+
+    let chunk = m.div_ceil(threads);
+    std::thread::scope(|s| {
+        // Split C into disjoint row chunks; each thread owns its slice.
+        let mut rest = c_data;
+        let mut row0 = 0usize;
+        while row0 < m {
+            let rows_here = chunk.min(m - row0);
+            let (mine, tail) = rest.split_at_mut(rows_here * n);
+            rest = tail;
+            let r0 = row0;
+            s.spawn(move || {
+                gemm_rows_offset(a_data, b_data, mine, r0, rows_here, k, n);
+            });
+            row0 += rows_here;
+        }
+    });
+}
+
+/// Microkernel: accumulate `rows_here` rows of C starting at global row `r0`,
+/// where `c_chunk` is the slice for exactly those rows.
+fn gemm_rows_offset(
+    a: &[f32],
+    b: &[f32],
+    c_chunk: &mut [f32],
+    r0: usize,
+    rows_here: usize,
+    k: usize,
+    n: usize,
+) {
+    // i-k-j loop order: streams B rows sequentially, C row stays hot.
+    const KB: usize = 256;
+    for kb0 in (0..k).step_by(KB) {
+        let k_end = (kb0 + KB).min(k);
+        for i in 0..rows_here {
+            let a_row = &a[(r0 + i) * k..(r0 + i + 1) * k];
+            let c_row = &mut c_chunk[i * n..(i + 1) * n];
+            for kk in kb0..k_end {
+                let aik = a_row[kk];
+                if aik == 0.0 {
+                    continue;
+                }
+                let b_row = &b[kk * n..(kk + 1) * n];
+                // The compiler auto-vectorizes this saxpy.
+                for (cv, bv) in c_row.iter_mut().zip(b_row) {
+                    *cv += aik * bv;
+                }
+            }
+        }
+    }
+}
+
+fn gemm_rows(a: &[f32], b: &[f32], c: &mut [f32], r0: usize, rows: usize, k: usize, n: usize) {
+    gemm_rows_offset(a, b, &mut c[r0 * n..(r0 + rows) * n], r0, rows, k, n);
+}
+
+/// `C = A @ B^T` where `A` is `[m, k]` and `B` is `[n, k]`.
+///
+/// Used by backward passes (`dX = dY @ W^T`) without materialising the
+/// transpose for small `n`; for large matrices it falls back to an explicit
+/// transpose followed by [`matmul`], which is faster because the inner loops
+/// then stream contiguously.
+pub fn matmul_transpose_b(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = a.shape();
+    let (n, kb) = b.shape();
+    assert_eq!(k, kb, "matmul_transpose_b inner-dim mismatch");
+    if m * n * k >= 32 * 32 * 32 {
+        let bt = b.transpose();
+        return matmul(a, &bt);
+    }
+    let mut c = Tensor::zeros(m, n);
+    for i in 0..m {
+        let a_row = a.row(i);
+        for j in 0..n {
+            let b_row = b.row(j);
+            let mut acc = 0.0;
+            for kk in 0..k {
+                acc += a_row[kk] * b_row[kk];
+            }
+            c.set(i, j, acc);
+        }
+    }
+    c
+}
+
+/// Numerically stable row-wise softmax, in place.
+pub fn softmax_rows(t: &mut Tensor) {
+    let cols = t.cols();
+    if cols == 0 {
+        return;
+    }
+    for r in 0..t.rows() {
+        let row = t.row_mut(r);
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        let inv = 1.0 / sum;
+        for v in row.iter_mut() {
+            *v *= inv;
+        }
+    }
+}
+
+/// Per-row top-k: returns `(indices, values)` each `rows x k`, with columns
+/// ordered by descending value (ties broken by lower index, so results are
+/// deterministic).
+pub fn topk_rows(t: &Tensor, k: usize) -> (Vec<Vec<usize>>, Vec<Vec<f32>>) {
+    assert!(k <= t.cols(), "top-{} of only {} columns", k, t.cols());
+    let mut idx_out = Vec::with_capacity(t.rows());
+    let mut val_out = Vec::with_capacity(t.rows());
+    let mut order: Vec<usize> = Vec::with_capacity(t.cols());
+    for r in 0..t.rows() {
+        let row = t.row(r);
+        order.clear();
+        order.extend(0..t.cols());
+        // Partial selection: k is small (<= 16 in every paper config).
+        order.select_nth_unstable_by(k.saturating_sub(1).min(t.cols() - 1), |&a, &b| {
+            row[b].partial_cmp(&row[a]).unwrap().then(a.cmp(&b))
+        });
+        let mut top: Vec<usize> = order[..k].to_vec();
+        top.sort_by(|&a, &b| row[b].partial_cmp(&row[a]).unwrap().then(a.cmp(&b)));
+        val_out.push(top.iter().map(|&i| row[i]).collect());
+        idx_out.push(top);
+    }
+    (idx_out, val_out)
+}
+
+/// SiLU (x * sigmoid(x)) applied in place — the expert activation used by
+/// DeepSeek-style FFNs.
+pub fn silu(t: &mut Tensor) {
+    for v in t.as_mut_slice() {
+        *v *= 1.0 / (1.0 + (-*v).exp());
+    }
+}
+
+/// tanh-approximation GELU, in place.
+pub fn gelu(t: &mut Tensor) {
+    const C: f32 = 0.797_884_6; // sqrt(2/pi)
+    for v in t.as_mut_slice() {
+        let x = *v;
+        *v = 0.5 * x * (1.0 + (C * (x + 0.044715 * x * x * x)).tanh());
+    }
+}
+
+/// ReLU in place.
+pub fn relu(t: &mut Tensor) {
+    for v in t.as_mut_slice() {
+        *v = v.max(0.0);
+    }
+}
+
+/// `a += b` elementwise; shapes must match.
+pub fn add_assign(a: &mut Tensor, b: &Tensor) {
+    assert_eq!(a.shape(), b.shape(), "add_assign shape mismatch");
+    for (x, y) in a.as_mut_slice().iter_mut().zip(b.as_slice()) {
+        *x += y;
+    }
+}
+
+/// `a *= s` elementwise.
+pub fn scale_assign(a: &mut Tensor, s: f32) {
+    for x in a.as_mut_slice() {
+        *x *= s;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_matmul(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = a.shape();
+        let (_, n) = b.shape();
+        let mut c = Tensor::zeros(m, n);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for kk in 0..k {
+                    acc += a.get(i, kk) * b.get(kk, j);
+                }
+                c.set(i, j, acc);
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn matmul_matches_naive_small() {
+        let a = Tensor::rand_uniform(7, 5, 1.0, 1);
+        let b = Tensor::rand_uniform(5, 9, 1.0, 2);
+        assert!(matmul(&a, &b).allclose(&naive_matmul(&a, &b), 1e-4));
+    }
+
+    #[test]
+    fn matmul_matches_naive_threaded_sizes() {
+        let a = Tensor::rand_uniform(130, 70, 1.0, 3);
+        let b = Tensor::rand_uniform(70, 90, 1.0, 4);
+        assert!(matmul(&a, &b).allclose(&naive_matmul(&a, &b), 1e-3));
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = Tensor::rand_uniform(12, 12, 1.0, 5);
+        let id = Tensor::from_fn(12, 12, |r, c| if r == c { 1.0 } else { 0.0 });
+        assert!(matmul(&a, &id).allclose(&a, 1e-6));
+    }
+
+    #[test]
+    fn matmul_zero_dims() {
+        let a = Tensor::zeros(0, 5);
+        let b = Tensor::zeros(5, 3);
+        assert_eq!(matmul(&a, &b).shape(), (0, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "inner-dim mismatch")]
+    fn matmul_rejects_bad_shapes() {
+        let a = Tensor::zeros(2, 3);
+        let b = Tensor::zeros(4, 2);
+        let _ = matmul(&a, &b);
+    }
+
+    #[test]
+    fn matmul_into_accumulates() {
+        let a = Tensor::full(2, 2, 1.0);
+        let b = Tensor::full(2, 2, 1.0);
+        let mut c = Tensor::full(2, 2, 10.0);
+        matmul_into(&a, &b, &mut c);
+        assert!(c.allclose(&Tensor::full(2, 2, 12.0), 1e-6));
+    }
+
+    #[test]
+    fn matmul_transpose_b_matches_explicit() {
+        let a = Tensor::rand_uniform(20, 30, 1.0, 6);
+        let b = Tensor::rand_uniform(25, 30, 1.0, 7);
+        let expected = matmul(&a, &b.transpose());
+        assert!(matmul_transpose_b(&a, &b).allclose(&expected, 1e-4));
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one_and_order_preserved() {
+        let mut t = Tensor::from_vec(2, 3, vec![1.0, 2.0, 3.0, -5.0, 0.0, 5.0]);
+        softmax_rows(&mut t);
+        for r in 0..2 {
+            let s: f32 = t.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+            assert!(t.get(r, 2) > t.get(r, 1) && t.get(r, 1) > t.get(r, 0));
+        }
+    }
+
+    #[test]
+    fn softmax_is_stable_for_large_logits() {
+        let mut t = Tensor::from_vec(1, 3, vec![1000.0, 1000.0, 999.0]);
+        softmax_rows(&mut t);
+        assert!(t.as_slice().iter().all(|v| v.is_finite()));
+        assert!((t.row(0).iter().sum::<f32>() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn topk_selects_largest_in_order() {
+        let t = Tensor::from_vec(1, 5, vec![0.1, 0.9, 0.3, 0.7, 0.5]);
+        let (idx, vals) = topk_rows(&t, 3);
+        assert_eq!(idx[0], vec![1, 3, 4]);
+        assert_eq!(vals[0], vec![0.9, 0.7, 0.5]);
+    }
+
+    #[test]
+    fn topk_breaks_ties_deterministically() {
+        let t = Tensor::from_vec(1, 4, vec![0.5, 0.5, 0.5, 0.5]);
+        let (idx, _) = topk_rows(&t, 2);
+        assert_eq!(idx[0], vec![0, 1]);
+    }
+
+    #[test]
+    fn topk_full_width_is_argsort() {
+        let t = Tensor::from_vec(1, 4, vec![0.2, 0.8, 0.4, 0.6]);
+        let (idx, _) = topk_rows(&t, 4);
+        assert_eq!(idx[0], vec![1, 3, 2, 0]);
+    }
+
+    #[test]
+    fn silu_known_values() {
+        let mut t = Tensor::from_vec(1, 2, vec![0.0, 10.0]);
+        silu(&mut t);
+        assert!(t.get(0, 0).abs() < 1e-6);
+        assert!((t.get(0, 1) - 10.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let mut t = Tensor::from_vec(1, 3, vec![-1.0, 0.0, 2.0]);
+        relu(&mut t);
+        assert_eq!(t.as_slice(), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn gelu_monotone_near_origin() {
+        let mut t = Tensor::from_vec(1, 3, vec![-1.0, 0.0, 1.0]);
+        gelu(&mut t);
+        assert!(t.get(0, 0) < t.get(0, 1) && t.get(0, 1) < t.get(0, 2));
+        assert!(t.get(0, 1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn add_and_scale() {
+        let mut a = Tensor::full(2, 2, 1.0);
+        let b = Tensor::full(2, 2, 2.0);
+        add_assign(&mut a, &b);
+        scale_assign(&mut a, 0.5);
+        assert!(a.allclose(&Tensor::full(2, 2, 1.5), 1e-6));
+    }
+}

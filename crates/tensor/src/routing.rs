@@ -1,0 +1,235 @@
+//! Routing kernels: the CPU analogues of X-MoE's Triton gather/scatter and
+//! the sequential GEMM over uneven expert segments (paper §4.1.2, §B.4), plus
+//! the small array utilities Listing 1's PFT construction is written in.
+
+use crate::{worker_threads, Tensor};
+
+/// Gather kernel (paper §4.1.2):
+/// `out[i, :] = src[token_ids[i], :]`.
+///
+/// This is how the dispatch buffer `dispatch_in` is assembled from the gating
+/// output. Rows are copied in parallel chunks; each copy is a contiguous
+/// row-major memcpy — the CPU equivalent of the paper's coalesced per-block
+/// vector copy.
+pub fn gather_rows(src: &Tensor, token_ids: &[usize]) -> Tensor {
+    let cols = src.cols();
+    let mut out = Tensor::zeros(token_ids.len(), cols);
+    let threads = worker_threads().min(token_ids.len().max(1));
+    if threads <= 1 || token_ids.len() * cols < 1 << 14 {
+        for (i, &t) in token_ids.iter().enumerate() {
+            out.row_mut(i).copy_from_slice(src.row(t));
+        }
+        return out;
+    }
+    let chunk = token_ids.len().div_ceil(threads);
+    let out_slice = out.as_mut_slice();
+    std::thread::scope(|s| {
+        for (ids, rows) in token_ids
+            .chunks(chunk)
+            .zip(out_slice.chunks_mut(chunk * cols))
+        {
+            s.spawn(move || {
+                for (i, &t) in ids.iter().enumerate() {
+                    rows[i * cols..(i + 1) * cols].copy_from_slice(src.row(t));
+                }
+            });
+        }
+    });
+    out
+}
+
+/// Scatter-accumulate kernel (paper §4.1.2):
+/// `out[token_ids[i], :] += src[i, :] * combine_weights[i]`.
+///
+/// This is the combine stage: expert outputs are routed back to their
+/// original sequence positions, scaled by the gating confidence, and summed
+/// over the k experts that processed each token. `out` must be pre-sized to
+/// `[S, H]`. Accumulation is sequential over `i` because multiple source rows
+/// may target the same output row (k > 1).
+pub fn scatter_rows_scaled(
+    src: &Tensor,
+    token_ids: &[usize],
+    combine_weights: &[f32],
+    out: &mut Tensor,
+) {
+    assert_eq!(
+        src.rows(),
+        token_ids.len(),
+        "scatter: src rows != token_ids len"
+    );
+    assert_eq!(
+        src.rows(),
+        combine_weights.len(),
+        "scatter: src rows != weights len"
+    );
+    assert_eq!(src.cols(), out.cols(), "scatter: hidden-dim mismatch");
+    for i in 0..src.rows() {
+        let w = combine_weights[i];
+        let dst = token_ids[i];
+        let src_row = src.row(i);
+        let out_row = out.row_mut(dst);
+        for (o, s) in out_row.iter_mut().zip(src_row) {
+            *o += w * s;
+        }
+    }
+}
+
+/// Sequential GEMM (paper §B.4): multiply each expert's contiguous token
+/// segment by that expert's weight matrix, with no padding.
+///
+/// `input` is `[B_exp, in_dim]` where rows are grouped by expert;
+/// `tokens_per_expert[e]` gives the length of expert `e`'s segment;
+/// `weights[e]` is `[in_dim, out_dim]`. Returns `[B_exp, out_dim]`.
+pub fn sequential_gemm(input: &Tensor, tokens_per_expert: &[usize], weights: &[Tensor]) -> Tensor {
+    assert_eq!(
+        tokens_per_expert.len(),
+        weights.len(),
+        "sequential_gemm: {} expert segments but {} weight matrices",
+        tokens_per_expert.len(),
+        weights.len()
+    );
+    let total: usize = tokens_per_expert.iter().sum();
+    assert_eq!(
+        total,
+        input.rows(),
+        "sequential_gemm: segment sum != input rows"
+    );
+    let out_dim = weights.first().map_or(0, |w| w.cols());
+    let mut out = Tensor::zeros(total, out_dim);
+    let mut row = 0usize;
+    for (e, &cnt) in tokens_per_expert.iter().enumerate() {
+        if cnt == 0 {
+            continue;
+        }
+        let seg = input.slice_rows(row, row + cnt);
+        let prod = crate::ops::matmul(&seg, &weights[e]);
+        out.as_mut_slice()[row * out_dim..(row + cnt) * out_dim].copy_from_slice(prod.as_slice());
+        row += cnt;
+    }
+    out
+}
+
+/// Indices that would sort `keys` in descending order (stable: ties keep
+/// their original relative order, making token dropping deterministic).
+pub fn argsort_desc_by(keys: &[f32]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..keys.len()).collect();
+    idx.sort_by(|&a, &b| keys[b].partial_cmp(&keys[a]).unwrap().then(a.cmp(&b)));
+    idx
+}
+
+/// Inclusive prefix sum.
+pub fn cumsum(xs: &[usize]) -> Vec<usize> {
+    let mut out = Vec::with_capacity(xs.len());
+    let mut acc = 0usize;
+    for &x in xs {
+        acc += x;
+        out.push(acc);
+    }
+    out
+}
+
+/// Histogram of `values` into `bins` buckets; values must be `< bins`.
+pub fn histogram(values: &[usize], bins: usize) -> Vec<usize> {
+    let mut h = vec![0usize; bins];
+    for &v in values {
+        assert!(v < bins, "histogram value {} out of {} bins", v, bins);
+        h[v] += 1;
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gather_reorders_rows() {
+        let src = Tensor::from_fn(4, 2, |r, c| (r * 2 + c) as f32);
+        let out = gather_rows(&src, &[3, 0, 0]);
+        assert_eq!(out.row(0), &[6.0, 7.0]);
+        assert_eq!(out.row(1), &[0.0, 1.0]);
+        assert_eq!(out.row(2), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn gather_large_parallel_path() {
+        let src = Tensor::rand_uniform(500, 64, 1.0, 1);
+        let ids: Vec<usize> = (0..500).rev().collect();
+        let out = gather_rows(&src, &ids);
+        for i in 0..500 {
+            assert_eq!(out.row(i), src.row(499 - i));
+        }
+    }
+
+    #[test]
+    fn gather_empty_ids() {
+        let src = Tensor::rand_uniform(3, 4, 1.0, 2);
+        let out = gather_rows(&src, &[]);
+        assert_eq!(out.shape(), (0, 4));
+    }
+
+    #[test]
+    fn scatter_accumulates_multiple_sources() {
+        // Two expert outputs for the same token are weighted-summed.
+        let src = Tensor::from_vec(2, 2, vec![1.0, 1.0, 2.0, 2.0]);
+        let mut out = Tensor::zeros(1, 2);
+        scatter_rows_scaled(&src, &[0, 0], &[0.5, 0.25], &mut out);
+        assert_eq!(out.row(0), &[1.0, 1.0]); // 0.5*1 + 0.25*2
+    }
+
+    #[test]
+    fn scatter_then_gather_roundtrip_with_unit_weights() {
+        let src = Tensor::from_fn(3, 2, |r, c| (r * 2 + c) as f32);
+        let ids = vec![2usize, 0, 1];
+        let gathered = gather_rows(&src, &ids);
+        let mut restored = Tensor::zeros(3, 2);
+        scatter_rows_scaled(&gathered, &ids, &[1.0; 3], &mut restored);
+        assert!(restored.allclose(&src, 0.0));
+    }
+
+    #[test]
+    fn sequential_gemm_matches_per_expert_matmul() {
+        let w0 = Tensor::rand_uniform(3, 4, 1.0, 10);
+        let w1 = Tensor::rand_uniform(3, 4, 1.0, 11);
+        let input = Tensor::rand_uniform(5, 3, 1.0, 12);
+        let out = sequential_gemm(&input, &[2, 3], &[w0.clone(), w1.clone()]);
+        let exp0 = crate::ops::matmul(&input.slice_rows(0, 2), &w0);
+        let exp1 = crate::ops::matmul(&input.slice_rows(2, 5), &w1);
+        assert!(out.slice_rows(0, 2).allclose(&exp0, 1e-5));
+        assert!(out.slice_rows(2, 5).allclose(&exp1, 1e-5));
+    }
+
+    #[test]
+    fn sequential_gemm_tolerates_empty_experts() {
+        let w = Tensor::rand_uniform(3, 2, 1.0, 13);
+        let input = Tensor::rand_uniform(2, 3, 1.0, 14);
+        let out = sequential_gemm(&input, &[0, 2, 0], &[w.clone(), w.clone(), w.clone()]);
+        assert_eq!(out.shape(), (2, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "segment sum")]
+    fn sequential_gemm_validates_segment_total() {
+        let w = Tensor::zeros(3, 2);
+        let input = Tensor::zeros(4, 3);
+        let _ = sequential_gemm(&input, &[1, 2], &[w.clone(), w]);
+    }
+
+    #[test]
+    fn argsort_desc_stable_on_ties() {
+        let keys = [0.5f32, 0.9, 0.5, 0.1];
+        assert_eq!(argsort_desc_by(&keys), vec![1, 0, 2, 3]);
+    }
+
+    #[test]
+    fn cumsum_basic() {
+        assert_eq!(cumsum(&[1, 2, 3]), vec![1, 3, 6]);
+        assert!(cumsum(&[]).is_empty());
+    }
+
+    #[test]
+    fn histogram_counts() {
+        assert_eq!(histogram(&[0, 2, 2, 1], 3), vec![1, 1, 2]);
+        assert_eq!(histogram(&[], 2), vec![0, 0]);
+    }
+}

@@ -1,0 +1,170 @@
+//! Property-based tests for the tensor substrate.
+
+use proptest::prelude::*;
+use xmoe_tensor::{
+    argsort_desc_by, cumsum, histogram, matmul, matmul_transpose_b, softmax_rows, topk_rows, Tensor,
+};
+
+fn naive_matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = a.shape();
+    let (_, n) = b.shape();
+    let mut c = Tensor::zeros(m, n);
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f64;
+            for kk in 0..k {
+                acc += a.get(i, kk) as f64 * b.get(kk, j) as f64;
+            }
+            c.set(i, j, acc as f32);
+        }
+    }
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn matmul_matches_naive(
+        m in 1usize..40,
+        k in 1usize..40,
+        n in 1usize..40,
+        seed in 0u64..1000,
+    ) {
+        let a = Tensor::rand_uniform(m, k, 1.0, seed);
+        let b = Tensor::rand_uniform(k, n, 1.0, seed + 1);
+        let fast = matmul(&a, &b);
+        let slow = naive_matmul(&a, &b);
+        prop_assert!(fast.allclose(&slow, 1e-3 * k as f32));
+    }
+
+    #[test]
+    fn matmul_transpose_identity(
+        m in 1usize..20,
+        k in 1usize..20,
+        n in 1usize..20,
+        seed in 0u64..1000,
+    ) {
+        // (A B)^T == B^T A^T
+        let a = Tensor::rand_uniform(m, k, 1.0, seed);
+        let b = Tensor::rand_uniform(k, n, 1.0, seed + 7);
+        let left = matmul(&a, &b).transpose();
+        let right = matmul(&b.transpose(), &a.transpose());
+        prop_assert!(left.allclose(&right, 1e-3));
+    }
+
+    #[test]
+    fn matmul_transpose_b_consistent(
+        m in 1usize..20,
+        k in 1usize..20,
+        n in 1usize..20,
+        seed in 0u64..1000,
+    ) {
+        let a = Tensor::rand_uniform(m, k, 1.0, seed);
+        let b = Tensor::rand_uniform(n, k, 1.0, seed + 13);
+        let fast = matmul_transpose_b(&a, &b);
+        let explicit = matmul(&a, &b.transpose());
+        prop_assert!(fast.allclose(&explicit, 1e-3));
+    }
+
+    #[test]
+    fn transpose_is_involutive(
+        m in 1usize..50,
+        n in 1usize..50,
+        seed in 0u64..1000,
+    ) {
+        let t = Tensor::rand_uniform(m, n, 1.0, seed);
+        prop_assert!(t.transpose().transpose().allclose(&t, 0.0));
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one(
+        m in 1usize..20,
+        n in 1usize..20,
+        seed in 0u64..1000,
+    ) {
+        let mut t = Tensor::rand_uniform(m, n, 5.0, seed);
+        softmax_rows(&mut t);
+        for r in 0..m {
+            let s: f32 = t.row(r).iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-4, "row {r} sums to {s}");
+            prop_assert!(t.row(r).iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant(
+        n in 2usize..16,
+        shift in -50.0f32..50.0,
+        seed in 0u64..1000,
+    ) {
+        let base = Tensor::rand_uniform(1, n, 3.0, seed);
+        let mut a = base.clone();
+        softmax_rows(&mut a);
+        let mut b = base.clone();
+        for v in b.as_mut_slice() {
+            *v += shift;
+        }
+        softmax_rows(&mut b);
+        prop_assert!(a.allclose(&b, 1e-4));
+    }
+
+    #[test]
+    fn topk_first_is_row_max(
+        n in 1usize..24,
+        k_off in 0usize..8,
+        seed in 0u64..1000,
+    ) {
+        let k = (1 + k_off).min(n);
+        let t = Tensor::rand_uniform(3, n, 1.0, seed);
+        let (idx, vals) = topk_rows(&t, k);
+        for r in 0..3 {
+            let max = t.row(r).iter().cloned().fold(f32::MIN, f32::max);
+            prop_assert_eq!(vals[r][0], max);
+            // Indices are distinct and values descending.
+            let mut seen = std::collections::HashSet::new();
+            for (j, &i) in idx[r].iter().enumerate() {
+                prop_assert!(seen.insert(i));
+                if j > 0 {
+                    prop_assert!(vals[r][j - 1] >= vals[r][j]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn argsort_desc_is_sorted_permutation(xs in prop::collection::vec(-100.0f32..100.0, 0..50)) {
+        let order = argsort_desc_by(&xs);
+        // Permutation of 0..len.
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..xs.len()).collect::<Vec<_>>());
+        // Descending values.
+        for w in order.windows(2) {
+            prop_assert!(xs[w[0]] >= xs[w[1]]);
+        }
+    }
+
+    #[test]
+    fn cumsum_is_monotone_and_totals(xs in prop::collection::vec(0usize..100, 0..50)) {
+        let c = cumsum(&xs);
+        prop_assert_eq!(c.len(), xs.len());
+        for w in c.windows(2) {
+            prop_assert!(w[1] >= w[0]);
+        }
+        if let Some(&last) = c.last() {
+            prop_assert_eq!(last, xs.iter().sum::<usize>());
+        }
+    }
+
+    #[test]
+    fn histogram_conserves_counts(
+        values in prop::collection::vec(0usize..16, 0..100),
+    ) {
+        let h = histogram(&values, 16);
+        prop_assert_eq!(h.iter().sum::<usize>(), values.len());
+        for (bin, &count) in h.iter().enumerate() {
+            prop_assert_eq!(count, values.iter().filter(|&&v| v == bin).count());
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! Process-grid placement: EP-first vs DP-first (paper Appendix C.1).
+//!
+//! Combining expert parallelism (EP) and data parallelism (DP) over the same
+//! GPUs forces a locality trade-off:
+//!
+//! * **EP-first** packs one full expert set into consecutive ranks (within a
+//!   node when EP size ≤ node size) and replicates that set across nodes —
+//!   token routing (all-to-all) stays local, gradient synchronization
+//!   (all-reduce) crosses nodes.
+//! * **DP-first** packs the replicas of each expert into consecutive ranks
+//!   and spreads distinct experts across nodes — gradient sync stays local,
+//!   token routing crosses nodes.
+//!
+//! The paper shows DP-first wins for large MoEs on Frontier because DP
+//! volume is linear in parameters while EP volume is linear in tokens.
+//! [`build_grid`] realizes both layouts; an optional innermost TP dimension
+//! supports the SSMB/TED analyses.
+
+/// Which parallel dimension varies fastest across consecutive global ranks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PlacementPolicy {
+    /// EP varies fastest: ranks `[g*ep, (g+1)*ep)` form EP group `g`
+    /// (DeepSpeed-MoE's default layout).
+    EpFirst,
+    /// DP varies fastest: consecutive ranks hold replicas of the same
+    /// experts; EP groups stride by the DP size (X-MoE's layout on Frontier).
+    DpFirst,
+}
+
+/// The rank groups of a (TP ×) EP × DP process grid.
+#[derive(Clone, Debug)]
+pub struct ProcessGrid {
+    /// Global rank count.
+    pub n_ranks: usize,
+    /// Tensor-parallel group size (1 = no TP). TP is always innermost
+    /// (consecutive ranks), because TP all-reduces are per-microbatch and
+    /// must use the fastest links.
+    pub tp_size: usize,
+    pub ep_size: usize,
+    pub dp_size: usize,
+    pub policy: PlacementPolicy,
+    /// `ep_groups[g]` lists the global ranks forming EP group `g` (each
+    /// entry represents a TP group leader when `tp_size > 1`).
+    pub ep_groups: Vec<Vec<usize>>,
+    /// `dp_groups[g]` lists the ranks that hold replicas of the same expert
+    /// shard and all-reduce gradients together.
+    pub dp_groups: Vec<Vec<usize>>,
+    /// `tp_groups[g]` lists the consecutive ranks of each TP group.
+    pub tp_groups: Vec<Vec<usize>>,
+}
+
+/// Build an EP × DP grid over `n_ranks` GPUs (no TP).
+pub fn build_grid(n_ranks: usize, ep_size: usize, policy: PlacementPolicy) -> ProcessGrid {
+    build_grid_tp(n_ranks, 1, ep_size, policy)
+}
+
+/// Build a TP × EP × DP grid. `n_ranks` must equal
+/// `tp_size * ep_size * dp_size` for some integer `dp_size >= 1`.
+pub fn build_grid_tp(
+    n_ranks: usize,
+    tp_size: usize,
+    ep_size: usize,
+    policy: PlacementPolicy,
+) -> ProcessGrid {
+    assert!(tp_size >= 1 && ep_size >= 1, "grid dims must be positive");
+    assert_eq!(
+        n_ranks % (tp_size * ep_size),
+        0,
+        "{} ranks not divisible by tp {} x ep {}",
+        n_ranks,
+        tp_size,
+        ep_size
+    );
+    let dp_size = n_ranks / (tp_size * ep_size);
+    let leaders = n_ranks / tp_size; // one logical worker per TP group
+
+    // Leader index l -> (ep position, dp position) per policy.
+    type PosFn = Box<dyn Fn(usize) -> usize>;
+    let (ep_of, dp_of): (PosFn, PosFn) = match policy {
+        PlacementPolicy::EpFirst => (
+            Box::new(move |l: usize| l % ep_size),
+            Box::new(move |l: usize| l / ep_size),
+        ),
+        PlacementPolicy::DpFirst => (
+            Box::new(move |l: usize| l / dp_size),
+            Box::new(move |l: usize| l % dp_size),
+        ),
+    };
+
+    let mut ep_groups = vec![Vec::with_capacity(ep_size); dp_size];
+    let mut dp_groups = vec![Vec::with_capacity(dp_size); ep_size];
+    for l in 0..leaders {
+        let rank = l * tp_size; // TP-group leader rank
+        ep_groups[dp_of(l)].push(rank);
+        dp_groups[ep_of(l)].push(rank);
+    }
+    for g in &mut ep_groups {
+        g.sort_unstable_by_key(|&r| ep_of(r / tp_size));
+    }
+    for g in &mut dp_groups {
+        g.sort_unstable_by_key(|&r| dp_of(r / tp_size));
+    }
+
+    let tp_groups = (0..leaders)
+        .map(|l| (l * tp_size..(l + 1) * tp_size).collect())
+        .collect();
+
+    ProcessGrid {
+        n_ranks,
+        tp_size,
+        ep_size,
+        dp_size,
+        policy,
+        ep_groups,
+        dp_groups,
+        tp_groups,
+    }
+}
+
+impl ProcessGrid {
+    /// EP group (by index) that contains `rank`'s TP leader.
+    pub fn ep_group_of(&self, rank: usize) -> &[usize] {
+        let leader = rank / self.tp_size * self.tp_size;
+        self.ep_groups
+            .iter()
+            .find(|g| g.contains(&leader))
+            .map(|g| g.as_slice())
+            .expect("rank not in any EP group")
+    }
+
+    /// DP group that contains `rank`'s TP leader.
+    pub fn dp_group_of(&self, rank: usize) -> &[usize] {
+        let leader = rank / self.tp_size * self.tp_size;
+        self.dp_groups
+            .iter()
+            .find(|g| g.contains(&leader))
+            .map(|g| g.as_slice())
+            .expect("rank not in any DP group")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ep_first_groups_are_consecutive() {
+        let g = build_grid(16, 4, PlacementPolicy::EpFirst);
+        assert_eq!(g.dp_size, 4);
+        assert_eq!(g.ep_groups[0], vec![0, 1, 2, 3]);
+        assert_eq!(g.ep_groups[3], vec![12, 13, 14, 15]);
+        assert_eq!(g.dp_groups[0], vec![0, 4, 8, 12]);
+    }
+
+    #[test]
+    fn dp_first_groups_are_strided() {
+        let g = build_grid(16, 4, PlacementPolicy::DpFirst);
+        assert_eq!(g.dp_size, 4);
+        assert_eq!(g.dp_groups[0], vec![0, 1, 2, 3]);
+        assert_eq!(g.ep_groups[0], vec![0, 4, 8, 12]);
+    }
+
+    #[test]
+    fn every_rank_in_exactly_one_ep_and_dp_group() {
+        for policy in [PlacementPolicy::EpFirst, PlacementPolicy::DpFirst] {
+            let g = build_grid(64, 8, policy);
+            let mut seen_ep = vec![0usize; 64];
+            for grp in &g.ep_groups {
+                assert_eq!(grp.len(), 8);
+                for &r in grp {
+                    seen_ep[r] += 1;
+                }
+            }
+            let mut seen_dp = vec![0usize; 64];
+            for grp in &g.dp_groups {
+                assert_eq!(grp.len(), 8);
+                for &r in grp {
+                    seen_dp[r] += 1;
+                }
+            }
+            assert!(seen_ep.iter().all(|&c| c == 1));
+            assert!(seen_dp.iter().all(|&c| c == 1));
+        }
+    }
+
+    #[test]
+    fn appendix_c_example_8_nodes_8_gpus() {
+        // 64 GPUs, 8 experts, EP=8 (paper's concrete example).
+        // EP-first: all 8 experts within each node.
+        let ep_first = build_grid(64, 8, PlacementPolicy::EpFirst);
+        for grp in &ep_first.ep_groups {
+            let node0 = grp[0] / 8;
+            assert!(
+                grp.iter().all(|&r| r / 8 == node0),
+                "EP group spans nodes: {grp:?}"
+            );
+        }
+        // DP-first: each node holds 8 replicas of one expert shard.
+        let dp_first = build_grid(64, 8, PlacementPolicy::DpFirst);
+        for grp in &dp_first.dp_groups {
+            let node0 = grp[0] / 8;
+            assert!(
+                grp.iter().all(|&r| r / 8 == node0),
+                "DP group spans nodes: {grp:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn tp_groups_are_innermost_consecutive() {
+        let g = build_grid_tp(32, 2, 4, PlacementPolicy::EpFirst);
+        assert_eq!(g.dp_size, 4);
+        assert_eq!(g.tp_groups[0], vec![0, 1]);
+        assert_eq!(g.tp_groups[5], vec![10, 11]);
+        // EP groups contain TP leaders only.
+        assert_eq!(g.ep_groups[0], vec![0, 2, 4, 6]);
+    }
+
+    #[test]
+    fn group_lookup_by_rank() {
+        let g = build_grid(16, 4, PlacementPolicy::EpFirst);
+        assert_eq!(g.ep_group_of(5), &[4, 5, 6, 7]);
+        assert_eq!(g.dp_group_of(5), &[1, 5, 9, 13]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn rejects_non_divisible_grid() {
+        let _ = build_grid(10, 4, PlacementPolicy::EpFirst);
+    }
+}

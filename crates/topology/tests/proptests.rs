@@ -1,0 +1,134 @@
+//! Property-based tests for the cluster model, cost model and placement.
+
+use proptest::prelude::*;
+use xmoe_topology::{
+    build_grid, ClusterTopology, CongestionModel, CostModel, LinkClass, MachineSpec,
+    PlacementPolicy,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn rank_mapping_is_consistent(n in 1usize..2048, r_frac in 0.0f64..1.0) {
+        let t = ClusterTopology::new(MachineSpec::frontier(), n);
+        let r = ((n - 1) as f64 * r_frac) as usize;
+        let node = t.node_of(r);
+        let rack = t.rack_of(r);
+        prop_assert_eq!(node, r / 8);
+        prop_assert_eq!(rack, node / 32);
+        prop_assert!(t.local_index(r) < 8);
+        prop_assert!(t.node_peers(r).contains(&r));
+        // Peers share the node.
+        for &p in &t.node_peers(r) {
+            prop_assert!(t.same_node(r, p));
+        }
+    }
+
+    #[test]
+    fn link_class_is_symmetric(n in 2usize..2048, a_f in 0.0f64..1.0, b_f in 0.0f64..1.0) {
+        let t = ClusterTopology::new(MachineSpec::frontier(), n);
+        let a = ((n - 1) as f64 * a_f) as usize;
+        let b = ((n - 1) as f64 * b_f) as usize;
+        prop_assert_eq!(t.link_class(a, b), t.link_class(b, a));
+        if a == b {
+            prop_assert_eq!(t.link_class(a, b), LinkClass::Local);
+        }
+    }
+
+    #[test]
+    fn p2p_cost_ordered_by_link_class(bytes in 1u64..1_000_000_000) {
+        let t = ClusterTopology::new(MachineSpec::frontier(), 1024);
+        let m = CostModel::new(t);
+        let local = m.p2p_time(0, 0, bytes);
+        let intra = m.p2p_time(0, 1, bytes);
+        let inter = m.p2p_time(0, 8, bytes);
+        let xrack = m.p2p_time(0, 300, bytes);
+        prop_assert!(local <= intra && intra < inter && inter <= xrack);
+    }
+
+    #[test]
+    fn traffic_splits_conserve_bytes(
+        n_pow in 1usize..6,
+        bytes in 1u64..1_000_000,
+    ) {
+        let n = 1usize << n_pow;
+        let t = ClusterTopology::new(MachineSpec::frontier(), n);
+        let m = CostModel::new(t).with_congestion(CongestionModel::none());
+        let group: Vec<usize> = (0..n).collect();
+        let splits = m.traffic_splits(&group, &|_, _| bytes);
+        let sent: u64 = splits.iter().map(|s| s.total_send()).sum();
+        // Every ordered pair except self-sends.
+        prop_assert_eq!(sent, bytes * (n * (n - 1)) as u64);
+        // Send and receive totals balance.
+        let recv: u64 = splits
+            .iter()
+            .map(|s| s.intra_recv + s.inter_recv + s.cross_rack_recv)
+            .sum();
+        prop_assert_eq!(sent, recv);
+    }
+
+    #[test]
+    fn grid_partitions_for_any_divisible_shape(
+        ep_pow in 0usize..5,
+        dp_pow in 0usize..5,
+        tp_pow in 0usize..3,
+        policy in prop::bool::ANY,
+    ) {
+        let (ep, dp, tp) = (1usize << ep_pow, 1usize << dp_pow, 1usize << tp_pow);
+        let n = ep * dp * tp;
+        let policy = if policy { PlacementPolicy::EpFirst } else { PlacementPolicy::DpFirst };
+        let g = xmoe_topology::placement::build_grid_tp(n, tp, ep, policy);
+        prop_assert_eq!(g.dp_size, dp);
+        // Each leader appears exactly once in EP groups and once in DP groups.
+        let mut ep_seen = std::collections::HashSet::new();
+        for grp in &g.ep_groups {
+            prop_assert_eq!(grp.len(), ep);
+            for &r in grp {
+                prop_assert!(ep_seen.insert(r));
+                prop_assert_eq!(r % tp, 0, "EP members must be TP leaders");
+            }
+        }
+        let mut dp_seen = std::collections::HashSet::new();
+        for grp in &g.dp_groups {
+            prop_assert_eq!(grp.len(), dp);
+            for &r in grp {
+                prop_assert!(dp_seen.insert(r));
+            }
+        }
+        prop_assert_eq!(ep_seen.len(), n / tp);
+        prop_assert_eq!(dp_seen.len(), n / tp);
+        // EP group ∩ DP group = exactly one leader.
+        for eg in &g.ep_groups {
+            for dg in &g.dp_groups {
+                let common = eg.iter().filter(|r| dg.contains(r)).count();
+                prop_assert_eq!(common, 1);
+            }
+        }
+        let _ = build_grid(n / tp, ep.min(n / tp), policy); // smoke the 2-D path
+    }
+
+    #[test]
+    fn congestion_mean_at_least_base(
+        base in 1.0f64..3.0,
+        prob in 0.0f64..0.3,
+        mean in 1.0f64..60.0,
+    ) {
+        let c = CongestionModel { base, outlier_prob: prob, outlier_mean: mean, spillover: 1.0 };
+        prop_assert!(c.mean_multiplier() >= base - 1e-12);
+        prop_assert!(c.mean_multiplier() <= base * mean + 1e-9);
+    }
+
+    #[test]
+    fn allreduce_cost_monotone_in_bytes_any_group(
+        n_pow in 1usize..7,
+        b in 1u64..100_000_000,
+        extra in 1u64..100_000_000,
+    ) {
+        let n = 1usize << n_pow;
+        let t = ClusterTopology::new(MachineSpec::frontier(), n);
+        let m = CostModel::new(t).with_congestion(CongestionModel::none());
+        let group: Vec<usize> = (0..n).collect();
+        prop_assert!(m.allreduce_time(&group, b + extra) >= m.allreduce_time(&group, b));
+    }
+}

@@ -1,0 +1,149 @@
+//! Adam optimizer with global-norm gradient clipping.
+//!
+//! The model exposes its parameters through a visitor
+//! ([`crate::model::MoeLm::visit_params`]); [`Adam`] keeps first/second
+//! moment buffers indexed by visitation order, which is stable because the
+//! model's structure is fixed after construction.
+
+use xmoe_tensor::Tensor;
+
+/// Adam state and hyperparameters.
+pub struct Adam {
+    pub lr: f32,
+    pub beta1: f32,
+    pub beta2: f32,
+    pub eps: f32,
+    /// Global-norm clip threshold (0 disables clipping).
+    pub clip: f32,
+    step: u64,
+    m: Vec<Vec<f32>>,
+    v: Vec<Vec<f32>>,
+}
+
+impl Adam {
+    pub fn new(lr: f32) -> Self {
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            clip: 1.0,
+            step: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    /// Apply one update over `(param, grad)` pairs delivered by a visitor.
+    ///
+    /// The caller must deliver the same parameters in the same order every
+    /// step. Gradients are scaled by the global-norm clip factor first.
+    pub fn step<'a>(&mut self, params: Vec<(&'a mut Tensor, &'a Tensor)>) {
+        self.step += 1;
+        // Global grad norm across all tensors.
+        let mut sq = 0.0f64;
+        for (_, g) in &params {
+            sq += g
+                .as_slice()
+                .iter()
+                .map(|&x| (x as f64) * (x as f64))
+                .sum::<f64>();
+        }
+        let norm = sq.sqrt() as f32;
+        let scale = if self.clip > 0.0 && norm > self.clip {
+            self.clip / norm
+        } else {
+            1.0
+        };
+
+        if self.m.len() < params.len() {
+            for (p, _) in params.iter().skip(self.m.len()) {
+                self.m.push(vec![0.0; p.len()]);
+                self.v.push(vec![0.0; p.len()]);
+            }
+        }
+        let bc1 = 1.0 - self.beta1.powi(self.step as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.step as i32);
+        for (idx, (p, g)) in params.into_iter().enumerate() {
+            let m = &mut self.m[idx];
+            let v = &mut self.v[idx];
+            assert_eq!(
+                m.len(),
+                p.len(),
+                "parameter {idx} changed size between steps"
+            );
+            for ((pv, &gv), (mv, vv)) in p
+                .as_mut_slice()
+                .iter_mut()
+                .zip(g.as_slice())
+                .zip(m.iter_mut().zip(v.iter_mut()))
+            {
+                let g = gv * scale;
+                *mv = self.beta1 * *mv + (1.0 - self.beta1) * g;
+                *vv = self.beta2 * *vv + (1.0 - self.beta2) * g * g;
+                let mhat = *mv / bc1;
+                let vhat = *vv / bc2;
+                *pv -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adam_minimizes_a_quadratic() {
+        // f(w) = 0.5 * ||w - target||^2, grad = w - target.
+        let target = [3.0f32, -2.0, 0.5];
+        let mut w = Tensor::from_vec(1, 3, vec![0.0, 0.0, 0.0]);
+        let mut opt = Adam::new(0.05);
+        opt.clip = 0.0;
+        for _ in 0..2000 {
+            let g = Tensor::from_vec(
+                1,
+                3,
+                w.as_slice()
+                    .iter()
+                    .zip(&target)
+                    .map(|(&wv, &t)| wv - t)
+                    .collect(),
+            );
+            opt.step(vec![(&mut w, &g)]);
+        }
+        for (wv, t) in w.as_slice().iter().zip(&target) {
+            assert!((wv - t).abs() < 1e-2, "w {wv} target {t}");
+        }
+    }
+
+    #[test]
+    fn clipping_bounds_the_applied_update() {
+        let mut w = Tensor::from_vec(1, 2, vec![0.0, 0.0]);
+        let g = Tensor::from_vec(1, 2, vec![1e6, 1e6]);
+        let mut opt = Adam::new(0.1);
+        opt.clip = 1.0;
+        opt.step(vec![(&mut w, &g)]);
+        // First Adam step magnitude is bounded by lr regardless of grad.
+        assert!(
+            w.as_slice().iter().all(|&v| v.abs() <= 0.11),
+            "{:?}",
+            w.as_slice()
+        );
+    }
+
+    #[test]
+    fn multiple_tensors_keep_independent_state() {
+        let mut a = Tensor::from_vec(1, 1, vec![0.0]);
+        let mut b = Tensor::from_vec(1, 1, vec![0.0]);
+        let mut opt = Adam::new(0.01);
+        opt.clip = 0.0;
+        for _ in 0..500 {
+            let ga = Tensor::from_vec(1, 1, vec![a.get(0, 0) - 1.0]);
+            let gb = Tensor::from_vec(1, 1, vec![b.get(0, 0) + 1.0]);
+            opt.step(vec![(&mut a, &ga), (&mut b, &gb)]);
+        }
+        assert!((a.get(0, 0) - 1.0).abs() < 0.05);
+        assert!((b.get(0, 0) + 1.0).abs() < 0.05);
+    }
+}

@@ -1,0 +1,678 @@
+//! Distributed expert-parallel training: the full forward **and backward**
+//! of the padding-free MoE layer across an EP group, with exactly the
+//! paper's communication pattern — two uneven all-to-alls forward and two
+//! mirrored ones backward (4 per layer per step, §4.3).
+//!
+//! The gradient transport reuses [`EpRoute`]: `to_experts`/`to_source`
+//! form an adjoint pair (each is a bijective row relocation), so
+//! activation gradients travel the forward route in reverse:
+//!
+//! ```text
+//! forward:  dispatch_in --to_experts--> expert_input -> y --to_source--> combine_in
+//! backward: d_combine   --to_experts--> d_y -> d_expert_in --to_source--> d_dispatch
+//! ```
+//!
+//! Dense/router/embedding parameters are replicated across ranks and
+//! synchronized by averaging gradients (ZeRO-0-style DP); expert weights
+//! live on exactly one rank (EP = world) and their gradients are already
+//! global because every rank's tokens were dispatched to them.
+
+use xmoe_collectives::{Communicator, SimClock};
+use xmoe_core::gating::{DropPolicy, GatingOutput};
+use xmoe_core::pft::Pft;
+use xmoe_core::pipeline::padding_free::EpRoute;
+use xmoe_core::pipeline::MoeLayerSpec;
+use xmoe_tensor::{
+    add_assign, gather_rows, matmul, matmul_transpose_b, scale_assign, scatter_rows_scaled,
+    softmax_rows, topk_rows, Tensor,
+};
+
+use crate::adam::Adam;
+use crate::attention::Attention;
+use crate::layers::{DenseMlp, Embedding, Head};
+use crate::moe_layer::TrainableMoe;
+
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+fn silu_grad(x: f32) -> f32 {
+    let s = sigmoid(x);
+    s * (1.0 + x * (1.0 - s))
+}
+
+/// A trainable MoE layer whose experts are sharded across an EP group.
+#[derive(Clone, Debug)]
+pub struct DistMoe {
+    /// Replicated router `[H, E]`.
+    pub gate: Tensor,
+    pub g_gate: Tensor,
+    /// This rank's expert block `(w1 [H,F], w2 [F,H])`.
+    pub shard: Vec<(Tensor, Tensor)>,
+    pub g_shard: Vec<(Tensor, Tensor)>,
+    /// Global index of the first local expert.
+    pub first_expert: usize,
+    pub num_experts: usize,
+    pub top_k: usize,
+    pub capacity: usize,
+    pub policy: DropPolicy,
+}
+
+/// Saved forward state of one distributed MoE layer.
+pub struct DistMoeCtx {
+    x: Tensor,
+    scores: Tensor,
+    route: EpRoute,
+    /// Expert-major saves on the *expert* side.
+    expert_input: Tensor,
+    h_pre: Tensor,
+    h_act: Tensor,
+    seg_offsets: Vec<usize>,
+    /// Expert outputs returned to the *source* side, in PFT order.
+    combine_in: Tensor,
+}
+
+impl DistMoe {
+    /// Shard a single-rank [`TrainableMoe`] across `world` ranks: rank `r`
+    /// takes experts `[r*E/W, (r+1)*E/W)`, everyone replicates the router.
+    /// Used to check the distributed path against the single-rank one.
+    pub fn from_trainable(full: &TrainableMoe, rank: usize, world: usize) -> Self {
+        let e = full.num_experts();
+        assert_eq!(e % world, 0);
+        let per = e / world;
+        let first_expert = rank * per;
+        let shard: Vec<(Tensor, Tensor)> = full.experts[first_expert..first_expert + per].to_vec();
+        let g_shard = shard
+            .iter()
+            .map(|(a, b)| {
+                (
+                    Tensor::zeros(a.rows(), a.cols()),
+                    Tensor::zeros(b.rows(), b.cols()),
+                )
+            })
+            .collect();
+        Self {
+            gate: full.gate.clone(),
+            g_gate: Tensor::zeros(full.gate.rows(), full.gate.cols()),
+            shard,
+            g_shard,
+            first_expert,
+            num_experts: e,
+            top_k: full.top_k,
+            capacity: full.capacity,
+            policy: full.policy,
+        }
+    }
+
+    fn spec(&self) -> MoeLayerSpec {
+        MoeLayerSpec::new(self.num_experts, self.capacity).with_policy(self.policy)
+    }
+
+    /// Distributed forward: `out = x + combine(experts(dispatch(x)))`.
+    pub fn forward(
+        &self,
+        x: &Tensor,
+        ep: &Communicator,
+        clock: &mut SimClock,
+    ) -> (Tensor, DistMoeCtx) {
+        let hidden = x.cols();
+        let logits = matmul(x, &self.gate);
+        let mut scores = logits.clone();
+        softmax_rows(&mut scores);
+        let (top_experts, combine_weights) = topk_rows(&scores, self.top_k);
+        let top_logits = top_experts
+            .iter()
+            .enumerate()
+            .map(|(t, es)| es.iter().map(|&e| logits.get(t, e)).collect())
+            .collect();
+        let gating = GatingOutput {
+            top_experts,
+            combine_weights,
+            top_logits,
+            scores: scores.clone(),
+        };
+        let pft = Pft::construct(&gating, self.num_experts, self.capacity, self.policy);
+
+        let dispatch_in = gather_rows(x, &pft.token_ids);
+        let route = EpRoute::build(pft, &self.spec(), ep, clock);
+        let expert_input = route.to_experts(&dispatch_in, ep, clock);
+        clock.bucket_last("dispatch_a2a");
+
+        // Per-expert FFN over expert-major segments, saving intermediates.
+        let f = self.shard[0].0.cols();
+        let total = expert_input.rows();
+        let mut h_pre = Tensor::zeros(total, f);
+        let mut h_act = Tensor::zeros(total, f);
+        let mut y = Tensor::zeros(total, hidden);
+        let mut seg_offsets = Vec::with_capacity(self.shard.len() + 1);
+        seg_offsets.push(0);
+        let mut row = 0usize;
+        for (e, &cnt) in route.tokens_per_local_expert.iter().enumerate() {
+            if cnt > 0 {
+                let seg = expert_input.slice_rows(row, row + cnt);
+                let pre = matmul(&seg, &self.shard[e].0);
+                let mut act = pre.clone();
+                for v in act.as_mut_slice() {
+                    *v *= sigmoid(*v);
+                }
+                let out = matmul(&act, &self.shard[e].1);
+                h_pre.as_mut_slice()[row * f..(row + cnt) * f].copy_from_slice(pre.as_slice());
+                h_act.as_mut_slice()[row * f..(row + cnt) * f].copy_from_slice(act.as_slice());
+                y.as_mut_slice()[row * hidden..(row + cnt) * hidden]
+                    .copy_from_slice(out.as_slice());
+            }
+            row += cnt;
+            seg_offsets.push(row);
+        }
+
+        let combine_in = route.to_source(&y, ep, clock);
+        clock.bucket_last("combine_a2a");
+
+        let mut out = x.clone();
+        scatter_rows_scaled(
+            &combine_in,
+            &route.pft.token_ids,
+            &route.pft.combine_weights,
+            &mut out,
+        );
+        (
+            out,
+            DistMoeCtx {
+                x: x.clone(),
+                scores,
+                route,
+                expert_input,
+                h_pre,
+                h_act,
+                seg_offsets,
+                combine_in,
+            },
+        )
+    }
+
+    /// Distributed backward: accumulates local grads, returns `d_x`.
+    /// Mirrors the forward route with two more all-to-alls.
+    pub fn backward(
+        &mut self,
+        ctx: &DistMoeCtx,
+        d_out: &Tensor,
+        ep: &Communicator,
+        clock: &mut SimClock,
+    ) -> Tensor {
+        let hidden = ctx.x.cols();
+        let b = ctx.route.pft.len();
+        let mut d_x = d_out.clone(); // residual
+
+        // Source side: d_combine rows (PFT order) and combine-weight grads.
+        let mut d_combine = gather_rows(d_out, &ctx.route.pft.token_ids);
+        let mut d_w = vec![0.0f32; b];
+        for i in 0..b {
+            let w = ctx.route.pft.combine_weights[i];
+            let y_row = ctx.combine_in.row(i);
+            let dc = d_combine.row_mut(i);
+            let mut dot = 0.0f32;
+            for (dv, yv) in dc.iter_mut().zip(y_row) {
+                dot += *dv * yv;
+                *dv *= w;
+            }
+            d_w[i] = dot;
+        }
+
+        // Backward all-to-all #1: gradients to the expert side.
+        let d_y = ctx.route.to_experts(&d_combine, ep, clock);
+        clock.bucket_last("bwd_combine_a2a");
+
+        // Expert FFN backward over segments; expert grads stay local.
+        let mut d_expert_in = Tensor::zeros(ctx.expert_input.rows(), hidden);
+        for e in 0..self.shard.len() {
+            let (start, end) = (ctx.seg_offsets[e], ctx.seg_offsets[e + 1]);
+            if start == end {
+                continue;
+            }
+            let seg_x = ctx.expert_input.slice_rows(start, end);
+            let seg_pre = ctx.h_pre.slice_rows(start, end);
+            let seg_act = ctx.h_act.slice_rows(start, end);
+            let seg_dy = d_y.slice_rows(start, end);
+            let dw2 = matmul(&seg_act.transpose(), &seg_dy);
+            add_assign(&mut self.g_shard[e].1, &dw2);
+            let mut d_h = matmul_transpose_b(&seg_dy, &self.shard[e].1);
+            for (d, &pre) in d_h.as_mut_slice().iter_mut().zip(seg_pre.as_slice()) {
+                *d *= silu_grad(pre);
+            }
+            let dw1 = matmul(&seg_x.transpose(), &d_h);
+            add_assign(&mut self.g_shard[e].0, &dw1);
+            let d_seg = matmul_transpose_b(&d_h, &self.shard[e].0);
+            d_expert_in.as_mut_slice()[start * hidden..end * hidden]
+                .copy_from_slice(d_seg.as_slice());
+        }
+
+        // Backward all-to-all #2: dispatch gradients back to sources.
+        let d_dispatch = ctx.route.to_source(&d_expert_in, ep, clock);
+        clock.bucket_last("bwd_dispatch_a2a");
+        scatter_rows_scaled(
+            &d_dispatch,
+            &ctx.route.pft.token_ids,
+            &vec![1.0; b],
+            &mut d_x,
+        );
+
+        // Router backward (local; router is replicated).
+        let e_count = self.num_experts;
+        let mut d_scores = Tensor::zeros(ctx.x.rows(), e_count);
+        for i in 0..b {
+            let t = ctx.route.pft.token_ids[i];
+            let e = ctx.route.pft.expert_ids[i];
+            let v = d_scores.get(t, e);
+            d_scores.set(t, e, v + d_w[i]);
+        }
+        let mut d_logits = Tensor::zeros(ctx.x.rows(), e_count);
+        for t in 0..ctx.x.rows() {
+            let s_row = ctx.scores.row(t);
+            let ds_row = d_scores.row(t);
+            let inner: f32 = s_row.iter().zip(ds_row).map(|(s, d)| s * d).sum();
+            let dl = d_logits.row_mut(t);
+            for j in 0..e_count {
+                dl[j] = s_row[j] * (ds_row[j] - inner);
+            }
+        }
+        let dg = matmul(&ctx.x.transpose(), &d_logits);
+        add_assign(&mut self.g_gate, &dg);
+        let d_x_gate = matmul_transpose_b(&d_logits, &self.gate);
+        add_assign(&mut d_x, &d_x_gate);
+        d_x
+    }
+
+    pub fn zero_grads(&mut self) {
+        for v in self.g_gate.as_mut_slice() {
+            *v = 0.0;
+        }
+        for (a, b) in &mut self.g_shard {
+            for v in a.as_mut_slice() {
+                *v = 0.0;
+            }
+            for v in b.as_mut_slice() {
+                *v = 0.0;
+            }
+        }
+    }
+
+    /// Checkpointed forward: compute the output but save only the layer
+    /// input. The §4.3 trade-off made executable — the backward pass must
+    /// recompute the forward, *including its two all-to-alls*, so a
+    /// checkpointed MoE layer costs 6 all-to-alls per step instead of 4.
+    pub fn forward_ckpt(
+        &self,
+        x: &Tensor,
+        ep: &Communicator,
+        clock: &mut SimClock,
+    ) -> (Tensor, Tensor) {
+        let (out, _ctx) = self.forward(x, ep, clock);
+        // Discard the context; keep only the input.
+        (out, x.clone())
+    }
+
+    /// Backward for a checkpointed layer: recompute forward from the saved
+    /// input (2 extra all-to-alls, labelled `dispatch_a2a`/`combine_a2a`
+    /// again), then run the normal backward (2 more).
+    pub fn backward_ckpt(
+        &mut self,
+        saved_input: &Tensor,
+        d_out: &Tensor,
+        ep: &Communicator,
+        clock: &mut SimClock,
+    ) -> Tensor {
+        let (_, ctx) = self.forward(saved_input, ep, clock);
+        self.backward(&ctx, d_out, ep, clock)
+    }
+}
+
+/// A data+expert-parallel MoE language model: one rank's replica of the
+/// dense stack plus its expert shards, with gradient synchronization over
+/// the world communicator.
+/// One distributed transformer block.
+pub struct DistBlock {
+    pub attn: Option<Attention>,
+    pub mlp: DenseMlp,
+    pub moe: DistMoe,
+}
+
+pub struct DistMoeLm {
+    pub embed: Embedding,
+    pub blocks: Vec<DistBlock>,
+    pub head: Head,
+    opt: Adam,
+    world_size: usize,
+    seq_len: usize,
+}
+
+impl DistMoeLm {
+    /// Shard a single-rank reference model (see
+    /// [`crate::model::MoeLm`]-equivalent construction in tests) across
+    /// `world` ranks. All replicated parameters start identical.
+    pub fn new(
+        cfg: &crate::model::TrainConfig,
+        full_layers: &[TrainableMoe],
+        rank: usize,
+        world: usize,
+    ) -> Self {
+        let blocks = full_layers
+            .iter()
+            .enumerate()
+            .map(|(l, full)| {
+                let s = cfg.seed.wrapping_add(l as u64 * 7001);
+                DistBlock {
+                    attn: cfg
+                        .use_attention
+                        .then(|| Attention::new(cfg.hidden, cfg.n_heads, s ^ 0xA77)),
+                    mlp: DenseMlp::new(cfg.hidden, cfg.hidden * 2, s),
+                    moe: DistMoe::from_trainable(full, rank, world),
+                }
+            })
+            .collect();
+        Self {
+            embed: Embedding::new(cfg.vocab, cfg.hidden, cfg.seed),
+            head: Head::new(cfg.hidden, cfg.vocab, cfg.seed ^ 0x4EAD),
+            blocks,
+            opt: Adam::new(cfg.lr),
+            world_size: world,
+            seq_len: cfg.seq_len,
+        }
+    }
+
+    /// One training step over this rank's local batch, with gradient
+    /// averaging across the world and a local Adam update (replicated
+    /// parameters stay bitwise-identical across ranks because they see
+    /// identical averaged gradients).
+    pub fn train_step(
+        &mut self,
+        batch: &[Vec<usize>],
+        world: &Communicator,
+        clock: &mut SimClock,
+    ) -> f64 {
+        let mut inputs = Vec::new();
+        let mut targets = Vec::new();
+        for seq in batch {
+            for w in seq.windows(2) {
+                inputs.push(w[0]);
+                targets.push(w[1]);
+            }
+        }
+        let mut x = self.embed.forward(&inputs);
+        let mut ctxs = Vec::new();
+        for block in &self.blocks {
+            let attn_ctx = block.attn.as_ref().map(|a| {
+                let (x1, c) = a.forward(&x, self.seq_len);
+                x = x1;
+                c
+            });
+            let (x1, c1) = block.mlp.forward(&x);
+            let (x2, c2) = block.moe.forward(&x1, world, clock);
+            ctxs.push((attn_ctx, c1, c2));
+            x = x2;
+        }
+        let (local_loss, mut d_x) = self.head.loss_and_backward(&x, &targets);
+        for (block, (ca, c1, c2)) in self.blocks.iter_mut().zip(&ctxs).rev() {
+            d_x = block.moe.backward(c2, &d_x, world, clock);
+            d_x = block.mlp.backward(c1, &d_x);
+            if let (Some(a), Some(c)) = (block.attn.as_mut(), ca.as_ref()) {
+                d_x = a.backward(c, &d_x);
+            }
+        }
+        self.embed.backward(&inputs, &d_x);
+
+        // --- Gradient synchronization --------------------------------
+        // Global loss is the average of per-rank means (equal token
+        // counts), so every gradient carries a 1/W factor; replicated
+        // parameters additionally all-reduce.
+        let w = self.world_size as f32;
+        let inv = 1.0 / w;
+        let mut reduce_avg = |t: &mut Tensor| {
+            scale_assign(t, inv);
+            world.all_reduce_sum_f32(t.as_mut_slice(), clock);
+        };
+        reduce_avg(&mut self.embed.grad);
+        reduce_avg(&mut self.head.grad);
+        for block in &mut self.blocks {
+            if let Some(a) = block.attn.as_mut() {
+                reduce_avg(&mut a.gq);
+                reduce_avg(&mut a.gk);
+                reduce_avg(&mut a.gv);
+                reduce_avg(&mut a.go);
+                reduce_avg(&mut a.norm.g_gamma);
+                reduce_avg(&mut a.norm.g_beta);
+            }
+            let mlp = &mut block.mlp;
+            reduce_avg(&mut mlp.g1);
+            reduce_avg(&mut mlp.g2);
+            reduce_avg(&mut mlp.norm.g_gamma);
+            reduce_avg(&mut mlp.norm.g_beta);
+            let moe = &mut block.moe;
+            reduce_avg(&mut moe.g_gate);
+            // Expert grads are already global (every rank's tokens were
+            // dispatched here); they only need the 1/W loss scaling.
+            for (g1, g2) in &mut moe.g_shard {
+                scale_assign(g1, inv);
+                scale_assign(g2, inv);
+            }
+        }
+
+        // --- Local Adam update -----------------------------------------
+        let mut pairs: Vec<(&mut Tensor, &Tensor)> = Vec::new();
+        pairs.push((&mut self.embed.weight, &self.embed.grad));
+        for block in &mut self.blocks {
+            if let Some(a) = block.attn.as_mut() {
+                pairs.push((&mut a.wq, &a.gq));
+                pairs.push((&mut a.wk, &a.gk));
+                pairs.push((&mut a.wv, &a.gv));
+                pairs.push((&mut a.wo, &a.go));
+                pairs.push((&mut a.norm.gamma, &a.norm.g_gamma));
+                pairs.push((&mut a.norm.beta, &a.norm.g_beta));
+            }
+            let mlp = &mut block.mlp;
+            pairs.push((&mut mlp.w1, &mlp.g1));
+            pairs.push((&mut mlp.w2, &mlp.g2));
+            pairs.push((&mut mlp.norm.gamma, &mlp.norm.g_gamma));
+            pairs.push((&mut mlp.norm.beta, &mlp.norm.g_beta));
+            let moe = &mut block.moe;
+            pairs.push((&mut moe.gate, &moe.g_gate));
+            for ((w1, w2), (g1, g2)) in moe.shard.iter_mut().zip(moe.g_shard.iter()) {
+                pairs.push((w1, g1));
+                pairs.push((w2, g2));
+            }
+        }
+        pairs.push((&mut self.head.weight, &self.head.grad));
+        self.opt.step(pairs);
+
+        // Zero grads for the next step.
+        for v in self.embed.grad.as_mut_slice() {
+            *v = 0.0;
+        }
+        for v in self.head.grad.as_mut_slice() {
+            *v = 0.0;
+        }
+        for block in &mut self.blocks {
+            if let Some(a) = block.attn.as_mut() {
+                a.zero_grads();
+            }
+            block.mlp.zero_grads();
+            block.moe.zero_grads();
+        }
+
+        // Average the reported loss across ranks for a global curve.
+        let mut l = vec![local_loss as f32];
+        world.all_reduce_sum_f32(&mut l, clock);
+        (l[0] / w) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmoe_collectives::SimCluster;
+
+    fn tiny_full(seed: u64) -> TrainableMoe {
+        // 8 experts over H=8, F=6, top-2, ample capacity.
+        TrainableMoe::new(8, 6, 8, 2, 100_000, DropPolicy::CapacityOnly, seed)
+    }
+
+    #[test]
+    fn distributed_forward_matches_single_rank() {
+        let full = tiny_full(61);
+        let world = 4;
+        let outs = SimCluster::frontier(world).run(|ctx| {
+            let layer = DistMoe::from_trainable(&full, ctx.rank, world);
+            let x = Tensor::rand_uniform(10, 8, 1.0, 700 + ctx.rank as u64);
+            let (out, _) = layer.forward(&x, &ctx.world, &mut ctx.clock);
+            out
+        });
+        for rank in 0..world {
+            let x = Tensor::rand_uniform(10, 8, 1.0, 700 + rank as u64);
+            let (want, _) = full.forward(&x);
+            assert!(
+                outs[rank].allclose(&want, 1e-4),
+                "rank {rank} fwd diff {}",
+                outs[rank].max_abs_diff(&want)
+            );
+        }
+    }
+
+    #[test]
+    fn distributed_backward_matches_single_rank_gradients() {
+        let full = tiny_full(71);
+        let world = 4;
+        // Each rank runs fwd+bwd on its own batch with its own upstream
+        // gradient; the distributed per-expert grads must equal the sum of
+        // single-rank per-batch grads (experts see every rank's tokens).
+        let dist = SimCluster::frontier(world).run(|ctx| {
+            let mut layer = DistMoe::from_trainable(&full, ctx.rank, world);
+            let x = Tensor::rand_uniform(12, 8, 1.0, 800 + ctx.rank as u64);
+            let d_out = Tensor::rand_uniform(12, 8, 1.0, 900 + ctx.rank as u64);
+            let (_, ctx_f) = layer.forward(&x, &ctx.world, &mut ctx.clock);
+            let d_x = layer.backward(&ctx_f, &d_out, &ctx.world, &mut ctx.clock);
+            (layer.g_shard.clone(), layer.g_gate.clone(), d_x)
+        });
+
+        // Single-rank reference: accumulate over the same four batches.
+        let mut reference = full.clone();
+        let mut ref_dx = Vec::new();
+        for rank in 0..world {
+            let x = Tensor::rand_uniform(12, 8, 1.0, 800 + rank as u64);
+            let d_out = Tensor::rand_uniform(12, 8, 1.0, 900 + rank as u64);
+            let (_, c) = reference.forward(&x);
+            ref_dx.push(reference.backward(&c, &d_out));
+        }
+
+        // Expert grads: distributed rank r's shard e_local corresponds to
+        // global expert r*2 + e_local.
+        for rank in 0..world {
+            let (g_shard, _, _) = &dist[rank];
+            for (e_local, (g1, g2)) in g_shard.iter().enumerate() {
+                let global = rank * 2 + e_local;
+                assert!(
+                    g1.allclose(&reference.g_experts[global].0, 1e-3),
+                    "dW1 expert {global}: diff {}",
+                    g1.max_abs_diff(&reference.g_experts[global].0)
+                );
+                assert!(
+                    g2.allclose(&reference.g_experts[global].1, 1e-3),
+                    "dW2 expert {global}: diff {}",
+                    g2.max_abs_diff(&reference.g_experts[global].1)
+                );
+            }
+        }
+        // Router grads: distributed per-rank g_gate covers only the local
+        // batch; the sum over ranks must equal the reference accumulation.
+        let mut summed = Tensor::zeros(8, 8);
+        for (_, g_gate, _) in &dist {
+            add_assign(&mut summed, g_gate);
+        }
+        assert!(
+            summed.allclose(&reference.g_gate, 1e-3),
+            "router grad diff {}",
+            summed.max_abs_diff(&reference.g_gate)
+        );
+        // Input gradients per rank match the per-batch reference.
+        for rank in 0..world {
+            assert!(
+                dist[rank].2.allclose(&ref_dx[rank], 1e-3),
+                "d_x rank {rank} diff {}",
+                dist[rank].2.max_abs_diff(&ref_dx[rank])
+            );
+        }
+    }
+
+    #[test]
+    fn checkpointed_layer_matches_and_costs_six_alltoalls() {
+        // §4.3 executable: checkpointing reproduces identical gradients but
+        // pays 6 all-to-alls per layer per step (2 fwd + 2 recompute +
+        // 2 bwd) versus 4 without.
+        let full = tiny_full(97);
+        let world = 2;
+        let results = SimCluster::frontier(world).run(|ctx| {
+            let x = Tensor::rand_uniform(6, 8, 1.0, 970 + ctx.rank as u64);
+            let d_out = Tensor::rand_uniform(6, 8, 1.0, 980 + ctx.rank as u64);
+            // Plain path.
+            let mut plain = DistMoe::from_trainable(&full, ctx.rank, world);
+            let (out_a, c) = plain.forward(&x, &ctx.world, &mut ctx.clock);
+            let dx_a = plain.backward(&c, &d_out, &ctx.world, &mut ctx.clock);
+            let plain_a2a = ctx.clock.bucket("dispatch_a2a")
+                + ctx.clock.bucket("combine_a2a")
+                + ctx.clock.bucket("bwd_dispatch_a2a")
+                + ctx.clock.bucket("bwd_combine_a2a");
+            ctx.clock.reset_buckets();
+            // Checkpointed path.
+            let mut ckpt = DistMoe::from_trainable(&full, ctx.rank, world);
+            let (out_b, saved) = ckpt.forward_ckpt(&x, &ctx.world, &mut ctx.clock);
+            let dx_b = ckpt.backward_ckpt(&saved, &d_out, &ctx.world, &mut ctx.clock);
+            let ckpt_a2a = ctx.clock.bucket("dispatch_a2a")
+                + ctx.clock.bucket("combine_a2a")
+                + ctx.clock.bucket("bwd_dispatch_a2a")
+                + ctx.clock.bucket("bwd_combine_a2a");
+            let grads_equal = plain
+                .g_shard
+                .iter()
+                .zip(&ckpt.g_shard)
+                .all(|((a1, a2), (b1, b2))| a1.allclose(b1, 1e-5) && a2.allclose(b2, 1e-5));
+            (
+                out_a.allclose(&out_b, 1e-6),
+                dx_a.allclose(&dx_b, 1e-5),
+                grads_equal,
+                ckpt_a2a / plain_a2a,
+            )
+        });
+        for (rank, (out_eq, dx_eq, g_eq, a2a_ratio)) in results.iter().enumerate() {
+            assert!(out_eq, "rank {rank}: outputs differ");
+            assert!(dx_eq, "rank {rank}: input grads differ");
+            assert!(g_eq, "rank {rank}: expert grads differ");
+            // 6 a2as vs 4: ratio ~1.5 in simulated time.
+            assert!(
+                (1.3..1.7).contains(a2a_ratio),
+                "rank {rank}: a2a time ratio {a2a_ratio} (expected ~1.5)"
+            );
+        }
+    }
+
+    #[test]
+    fn backward_charges_two_more_alltoalls() {
+        let full = tiny_full(81);
+        let world = 2;
+        let buckets = SimCluster::frontier(world).run(|ctx| {
+            let mut layer = DistMoe::from_trainable(&full, ctx.rank, world);
+            let x = Tensor::rand_uniform(6, 8, 1.0, 810 + ctx.rank as u64);
+            let (out, c) = layer.forward(&x, &ctx.world, &mut ctx.clock);
+            let _ = layer.backward(&c, &out, &ctx.world, &mut ctx.clock);
+            ctx.clock.buckets().to_vec()
+        });
+        for b in &buckets {
+            let names: Vec<&str> = b.iter().map(|(l, _)| l.as_str()).collect();
+            for want in [
+                "dispatch_a2a",
+                "combine_a2a",
+                "bwd_combine_a2a",
+                "bwd_dispatch_a2a",
+            ] {
+                assert!(names.contains(&want), "missing {want} in {names:?}");
+            }
+        }
+    }
+}

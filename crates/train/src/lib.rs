@@ -1,0 +1,48 @@
+//! Training substrate for the loss-validation experiment (paper §5.6,
+//! Fig 15).
+//!
+//! The paper verifies X-MoE's numerical correctness by training the same
+//! MoE model under X-MoE and DeepSpeed-MoE and showing the loss curves
+//! track each other, with X-MoE slightly lower because of its gentler
+//! token-dropping policy (capacity-only, versus DeepSpeed's "drop on
+//! negative routing logit regardless of capacity").
+//!
+//! This crate reproduces that experiment end to end in Rust:
+//!
+//! * [`data::MarkovCorpus`] — a synthetic corpus with learnable next-token
+//!   structure (a random sparse Markov chain), replacing the paper's text
+//!   corpus;
+//! * [`layers`] — embedding, dense MLP block and softmax-cross-entropy
+//!   head with hand-written backward passes;
+//! * [`moe_layer::TrainableMoe`] — the full MoE layer forward/backward:
+//!   router softmax + top-k, PFT construction with either
+//!   [`xmoe_core::DropPolicy`], gather/dispatch, per-expert FFN, weighted
+//!   scatter/combine, and exact gradients for every weight including the
+//!   router (via the combine-weight path);
+//! * [`adam::Adam`] — Adam with global-norm gradient clipping;
+//! * [`model::MoeLm`] — the assembled language model and its training
+//!   loop.
+//!
+//! Gradient correctness is enforced by finite-difference tests on every
+//! parameter group.
+
+// Backward passes index several parallel row-slices at once; explicit
+// index loops are clearer than zipped iterator pyramids there.
+#![allow(clippy::needless_range_loop)]
+
+pub mod adam;
+pub mod attention;
+pub mod data;
+pub mod dist;
+pub mod layers;
+pub mod model;
+pub mod moe_layer;
+pub mod ssmb_train;
+
+pub use adam::Adam;
+pub use attention::Attention;
+pub use data::{HigherOrderCorpus, MarkovCorpus};
+pub use dist::{DistMoe, DistMoeLm};
+pub use model::{MoeLm, TrainConfig, TrainStats};
+pub use moe_layer::TrainableMoe;
+pub use ssmb_train::SsmbMoe;

@@ -1,0 +1,486 @@
+//! The trainable MoE layer: forward and exact hand-written backward.
+//!
+//! Forward is the padding-free pipeline of `xmoe-core` (gating → PFT →
+//! gather → per-expert FFN → weighted scatter) with a residual connection.
+//! Backward propagates through every path, including the router: the
+//! combine weight `w_i = scores[t, e_i]` carries gradient
+//! `d_w_i = <d_out[t], y_i>` back into the gating softmax, which is the
+//! standard top-k MoE router gradient (dropped assignments receive none).
+
+use xmoe_core::gating::{DropPolicy, GatingOutput};
+use xmoe_core::pft::Pft;
+use xmoe_tensor::{
+    add_assign, gather_rows, matmul, matmul_transpose_b, softmax_rows, topk_rows, Tensor,
+};
+
+/// A trainable MoE layer (all experts local — the loss-validation
+/// experiment runs single-process, mirroring the paper's 16-GPU run whose
+/// *numerics* are data-parallel-invariant).
+#[derive(Clone, Debug)]
+pub struct TrainableMoe {
+    /// Router projection `[H, E]`.
+    pub gate: Tensor,
+    pub g_gate: Tensor,
+    /// Expert weights `(w1 [H,F], w2 [F,H])`.
+    pub experts: Vec<(Tensor, Tensor)>,
+    pub g_experts: Vec<(Tensor, Tensor)>,
+    pub top_k: usize,
+    pub capacity: usize,
+    pub policy: DropPolicy,
+    /// Switch-Transformer-style load-balancing auxiliary loss coefficient
+    /// (`0.0` disables it): `L_aux = alpha * E * sum_e f_e * P_e`, where
+    /// `f_e` is the fraction of routed assignments expert `e` received and
+    /// `P_e` the mean gate probability it was given. Gradient flows through
+    /// `P_e` only (`f_e` is piecewise constant), the standard treatment.
+    pub aux_alpha: f32,
+}
+
+/// Saved forward state.
+pub struct MoeCtx {
+    x: Tensor,
+    scores: Tensor,
+    pft: Pft,
+    dispatch_in: Tensor,
+    h_pre: Tensor,
+    h_act: Tensor,
+    y: Tensor,
+    /// Row ranges per expert within the dispatch buffers.
+    seg_offsets: Vec<usize>,
+}
+
+impl MoeCtx {
+    /// Routed assignments dropped during this forward.
+    pub fn dropped(&self) -> usize {
+        self.pft.dropped
+    }
+
+    /// Retained routed assignments.
+    pub fn routed(&self) -> usize {
+        self.pft.len()
+    }
+
+    /// Per-expert retained token counts of this forward.
+    pub fn tokens_per_expert(&self) -> &[usize] {
+        &self.pft.tokens_per_expert
+    }
+}
+
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+fn silu_grad(x: f32) -> f32 {
+    let s = sigmoid(x);
+    s * (1.0 + x * (1.0 - s))
+}
+
+impl TrainableMoe {
+    pub fn new(
+        hidden: usize,
+        ffn: usize,
+        num_experts: usize,
+        top_k: usize,
+        capacity: usize,
+        policy: DropPolicy,
+        seed: u64,
+    ) -> Self {
+        let experts: Vec<(Tensor, Tensor)> = (0..num_experts)
+            .map(|e| {
+                let s = seed.wrapping_add(e as u64 * 101);
+                (
+                    Tensor::rand_init(hidden, ffn, hidden, s),
+                    Tensor::rand_init(ffn, hidden, ffn, s ^ 0xF0F0),
+                )
+            })
+            .collect();
+        let g_experts = experts
+            .iter()
+            .map(|(a, b)| {
+                (
+                    Tensor::zeros(a.rows(), a.cols()),
+                    Tensor::zeros(b.rows(), b.cols()),
+                )
+            })
+            .collect();
+        Self {
+            gate: Tensor::rand_init(hidden, num_experts, hidden, seed ^ 0x51DE),
+            g_gate: Tensor::zeros(hidden, num_experts),
+            experts,
+            g_experts,
+            top_k,
+            capacity,
+            policy,
+            aux_alpha: 0.0,
+        }
+    }
+
+    /// Enable the load-balancing auxiliary loss.
+    pub fn with_aux(mut self, alpha: f32) -> Self {
+        self.aux_alpha = alpha;
+        self
+    }
+
+    /// Per-expert assignment fractions `f_e` of the last forward.
+    fn load_fractions(ctx: &MoeCtx) -> Vec<f32> {
+        let total: usize = ctx.pft.tokens_per_expert.iter().sum();
+        let denom = total.max(1) as f32;
+        ctx.pft
+            .tokens_per_expert
+            .iter()
+            .map(|&c| c as f32 / denom)
+            .collect()
+    }
+
+    /// Value of the auxiliary loss for a saved forward context.
+    pub fn aux_loss(&self, ctx: &MoeCtx) -> f64 {
+        if self.aux_alpha == 0.0 {
+            return 0.0;
+        }
+        let e_count = self.num_experts();
+        let s = ctx.x.rows().max(1);
+        let f = Self::load_fractions(ctx);
+        let mut acc = 0.0f64;
+        for e in 0..e_count {
+            let mut p_mean = 0.0f64;
+            for t in 0..ctx.x.rows() {
+                p_mean += ctx.scores.get(t, e) as f64;
+            }
+            p_mean /= s as f64;
+            acc += f[e] as f64 * p_mean;
+        }
+        self.aux_alpha as f64 * e_count as f64 * acc
+    }
+
+    pub fn num_experts(&self) -> usize {
+        self.experts.len()
+    }
+
+    /// Fraction of routed assignments dropped in the most recent forward —
+    /// the quantity §5.6 attributes the loss gap to.
+    pub fn last_drop_fraction(ctx: &MoeCtx, top_k: usize) -> f64 {
+        let total = ctx.x.rows() * top_k;
+        if total == 0 {
+            return 0.0;
+        }
+        ctx.pft.dropped as f64 / total as f64
+    }
+
+    /// Forward: `out = x + combine(experts(dispatch(x)))`.
+    pub fn forward(&self, x: &Tensor) -> (Tensor, MoeCtx) {
+        let logits = matmul(x, &self.gate);
+        let mut scores = logits.clone();
+        softmax_rows(&mut scores);
+        let (top_experts, combine_weights) = topk_rows(&scores, self.top_k);
+        let top_logits = top_experts
+            .iter()
+            .enumerate()
+            .map(|(t, experts)| experts.iter().map(|&e| logits.get(t, e)).collect())
+            .collect();
+        let gating = GatingOutput {
+            top_experts,
+            combine_weights,
+            top_logits,
+            scores: scores.clone(),
+        };
+        let pft = Pft::construct(&gating, self.num_experts(), self.capacity, self.policy);
+
+        let dispatch_in = gather_rows(x, &pft.token_ids);
+        let b = pft.len();
+        let f = self.experts[0].0.cols();
+        let h = x.cols();
+        let mut h_pre = Tensor::zeros(b, f);
+        let mut h_act = Tensor::zeros(b, f);
+        let mut y = Tensor::zeros(b, h);
+        let mut seg_offsets = Vec::with_capacity(self.num_experts() + 1);
+        seg_offsets.push(0);
+        let mut row = 0usize;
+        for (e, &cnt) in pft.tokens_per_expert.iter().enumerate() {
+            if cnt > 0 {
+                let seg = dispatch_in.slice_rows(row, row + cnt);
+                let pre = matmul(&seg, &self.experts[e].0);
+                let mut act = pre.clone();
+                for v in act.as_mut_slice() {
+                    *v *= sigmoid(*v);
+                }
+                let out = matmul(&act, &self.experts[e].1);
+                h_pre.as_mut_slice()[row * f..(row + cnt) * f].copy_from_slice(pre.as_slice());
+                h_act.as_mut_slice()[row * f..(row + cnt) * f].copy_from_slice(act.as_slice());
+                y.as_mut_slice()[row * h..(row + cnt) * h].copy_from_slice(out.as_slice());
+            }
+            row += cnt;
+            seg_offsets.push(row);
+        }
+
+        let mut out = x.clone();
+        xmoe_tensor::scatter_rows_scaled(&y, &pft.token_ids, &pft.combine_weights, &mut out);
+        (
+            out,
+            MoeCtx {
+                x: x.clone(),
+                scores,
+                pft,
+                dispatch_in,
+                h_pre,
+                h_act,
+                y,
+                seg_offsets,
+            },
+        )
+    }
+
+    /// Backward: accumulates `g_gate` / `g_experts`, returns `d_x`.
+    pub fn backward(&mut self, ctx: &MoeCtx, d_out: &Tensor) -> Tensor {
+        let h = ctx.x.cols();
+        let b = ctx.pft.len();
+        let mut d_x = d_out.clone(); // residual path
+
+        // d_y[i] = w_i * d_out[t_i]; d_w_i = <d_out[t_i], y[i]>.
+        let mut d_y = gather_rows(d_out, &ctx.pft.token_ids);
+        let mut d_w = vec![0.0f32; b];
+        for i in 0..b {
+            let w = ctx.pft.combine_weights[i];
+            let y_row = ctx.y.row(i);
+            let dy_row = d_y.row_mut(i);
+            let mut dot = 0.0f32;
+            for (dv, yv) in dy_row.iter_mut().zip(y_row) {
+                dot += *dv * yv;
+                *dv *= w;
+            }
+            d_w[i] = dot;
+        }
+
+        // Per-expert FFN backward over contiguous segments.
+        let mut d_dispatch = Tensor::zeros(b, h);
+        for e in 0..self.num_experts() {
+            let (start, end) = (ctx.seg_offsets[e], ctx.seg_offsets[e + 1]);
+            if start == end {
+                continue;
+            }
+            let seg_x = ctx.dispatch_in.slice_rows(start, end);
+            let seg_pre = ctx.h_pre.slice_rows(start, end);
+            let seg_act = ctx.h_act.slice_rows(start, end);
+            let seg_dy = d_y.slice_rows(start, end);
+            // dW2 += act^T dy
+            let dw2 = matmul(&seg_act.transpose(), &seg_dy);
+            add_assign(&mut self.g_experts[e].1, &dw2);
+            // d_act = dy W2^T; through SiLU.
+            let mut d_h = matmul_transpose_b(&seg_dy, &self.experts[e].1);
+            for (d, &pre) in d_h.as_mut_slice().iter_mut().zip(seg_pre.as_slice()) {
+                *d *= silu_grad(pre);
+            }
+            // dW1 += x^T d_h
+            let dw1 = matmul(&seg_x.transpose(), &d_h);
+            add_assign(&mut self.g_experts[e].0, &dw1);
+            // d_seg = d_h W1^T
+            let d_seg = matmul_transpose_b(&d_h, &self.experts[e].0);
+            d_dispatch.as_mut_slice()[start * h..end * h].copy_from_slice(d_seg.as_slice());
+        }
+        // Scatter dispatch grads back to token positions (gather transpose).
+        xmoe_tensor::scatter_rows_scaled(&d_dispatch, &ctx.pft.token_ids, &vec![1.0; b], &mut d_x);
+
+        // Router backward: d_scores at retained (t, e) entries, then softmax.
+        let e_count = self.num_experts();
+        let mut d_scores = Tensor::zeros(ctx.x.rows(), e_count);
+        for i in 0..b {
+            let t = ctx.pft.token_ids[i];
+            let e = ctx.pft.expert_ids[i];
+            let v = d_scores.get(t, e);
+            d_scores.set(t, e, v + d_w[i]);
+        }
+        // Auxiliary load-balancing loss: dL/dscores[t, e] = alpha*E*f_e/S.
+        if self.aux_alpha != 0.0 {
+            let f = Self::load_fractions(ctx);
+            let s_inv = 1.0 / ctx.x.rows().max(1) as f32;
+            let coef = self.aux_alpha * e_count as f32 * s_inv;
+            for t in 0..ctx.x.rows() {
+                let row = d_scores.row_mut(t);
+                for e in 0..e_count {
+                    row[e] += coef * f[e];
+                }
+            }
+        }
+        let mut d_logits = Tensor::zeros(ctx.x.rows(), e_count);
+        for t in 0..ctx.x.rows() {
+            let s_row = ctx.scores.row(t);
+            let ds_row = d_scores.row(t);
+            let inner: f32 = s_row.iter().zip(ds_row).map(|(s, d)| s * d).sum();
+            let dl_row = d_logits.row_mut(t);
+            for j in 0..e_count {
+                dl_row[j] = s_row[j] * (ds_row[j] - inner);
+            }
+        }
+        let dg = matmul(&ctx.x.transpose(), &d_logits);
+        add_assign(&mut self.g_gate, &dg);
+        let d_x_gate = matmul_transpose_b(&d_logits, &self.gate);
+        add_assign(&mut d_x, &d_x_gate);
+        d_x
+    }
+
+    /// Zero all gradients.
+    pub fn zero_grads(&mut self) {
+        for v in self.g_gate.as_mut_slice() {
+            *v = 0.0;
+        }
+        for (g1, g2) in &mut self.g_experts {
+            for v in g1.as_mut_slice() {
+                *v = 0.0;
+            }
+            for v in g2.as_mut_slice() {
+                *v = 0.0;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(policy: DropPolicy, capacity: usize, seed: u64) -> TrainableMoe {
+        TrainableMoe::new(6, 5, 4, 2, capacity, policy, seed)
+    }
+
+    /// Scalar probe loss: fixed random projection of the output.
+    fn probe_loss(layer: &TrainableMoe, x: &Tensor, probe: &Tensor) -> f64 {
+        let (out, _) = layer.forward(x);
+        out.as_slice()
+            .iter()
+            .zip(probe.as_slice())
+            .map(|(&o, &p)| (o * p) as f64)
+            .sum()
+    }
+
+    #[test]
+    fn forward_shapes_and_residual() {
+        let layer = tiny(DropPolicy::CapacityOnly, 100, 1);
+        let x = Tensor::rand_uniform(7, 6, 1.0, 2);
+        let (out, ctx) = layer.forward(&x);
+        assert_eq!(out.shape(), (7, 6));
+        assert_eq!(ctx.pft.len(), 7 * 2);
+        // With zeroed expert w2, output would equal x; with real weights it
+        // must differ (the MoE contributes).
+        assert!(!out.allclose(&x, 1e-6));
+    }
+
+    #[test]
+    fn expert_gradients_match_finite_difference_under_topk() {
+        // Expert weights do not influence routing, so their gradients are
+        // exactly differentiable even with k < E.
+        let base = tiny(DropPolicy::CapacityOnly, 100, 11);
+        let x = Tensor::rand_uniform(5, 6, 1.0, 12);
+        let probe = Tensor::rand_uniform(5, 6, 1.0, 13);
+        let mut layer = base.clone();
+        let (_, ctx) = layer.forward(&x);
+        let _ = layer.backward(&ctx, &probe);
+
+        let eps = 1e-2f32;
+        let rel_ok = |fd: f64, an: f64| (fd - an).abs() < 3e-2 * (1.0 + an.abs().max(fd.abs()));
+        for &(e, r, c) in &[(0usize, 0usize, 0usize), (1, 2, 3), (3, 5, 1)] {
+            let w0 = base.experts[e].0.get(r, c);
+            let fd = {
+                let mut up = base.clone();
+                up.experts[e].0.set(r, c, w0 + eps);
+                let mut dn = base.clone();
+                dn.experts[e].0.set(r, c, w0 - eps);
+                (probe_loss(&up, &x, &probe) - probe_loss(&dn, &x, &probe)) / (2.0 * eps as f64)
+            };
+            let an = layer.g_experts[e].0.get(r, c) as f64;
+            assert!(rel_ok(fd, an), "dW1[{e}][{r},{c}] fd {fd} an {an}");
+        }
+        for &(e, r, c) in &[(0usize, 1usize, 2usize), (2, 4, 5)] {
+            let w0 = base.experts[e].1.get(r, c);
+            let fd = {
+                let mut up = base.clone();
+                up.experts[e].1.set(r, c, w0 + eps);
+                let mut dn = base.clone();
+                dn.experts[e].1.set(r, c, w0 - eps);
+                (probe_loss(&up, &x, &probe) - probe_loss(&dn, &x, &probe)) / (2.0 * eps as f64)
+            };
+            let an = layer.g_experts[e].1.get(r, c) as f64;
+            assert!(rel_ok(fd, an), "dW2[{e}][{r},{c}] fd {fd} an {an}");
+        }
+    }
+
+    #[test]
+    fn router_and_input_gradients_match_fd_with_full_k() {
+        // With k = E every expert is selected, so there is no selection
+        // boundary and the router/input gradients are exact.
+        let mut base = tiny(DropPolicy::CapacityOnly, 100, 51);
+        base.top_k = base.num_experts();
+        let x = Tensor::rand_uniform(5, 6, 1.0, 52);
+        let probe = Tensor::rand_uniform(5, 6, 1.0, 53);
+        let mut layer = base.clone();
+        let (_, ctx) = layer.forward(&x);
+        let d_x = layer.backward(&ctx, &probe);
+
+        let eps = 1e-2f32;
+        let rel_ok = |fd: f64, an: f64| (fd - an).abs() < 3e-2 * (1.0 + an.abs().max(fd.abs()));
+        for &(r, c) in &[(0usize, 0usize), (3, 2), (5, 3)] {
+            let w0 = base.gate.get(r, c);
+            let fd = {
+                let mut up = base.clone();
+                up.gate.set(r, c, w0 + eps);
+                let mut dn = base.clone();
+                dn.gate.set(r, c, w0 - eps);
+                (probe_loss(&up, &x, &probe) - probe_loss(&dn, &x, &probe)) / (2.0 * eps as f64)
+            };
+            let an = layer.g_gate.get(r, c) as f64;
+            assert!(rel_ok(fd, an), "dGate[{r},{c}] fd {fd} an {an}");
+        }
+        for &(r, c) in &[(0usize, 0usize), (2, 4)] {
+            let v0 = x.get(r, c);
+            let fd = {
+                let mut up = x.clone();
+                up.set(r, c, v0 + eps);
+                let mut dn = x.clone();
+                dn.set(r, c, v0 - eps);
+                (probe_loss(&base, &up, &probe) - probe_loss(&base, &dn, &probe))
+                    / (2.0 * eps as f64)
+            };
+            let an = d_x.get(r, c) as f64;
+            assert!(rel_ok(fd, an), "dX[{r},{c}] fd {fd} an {an}");
+        }
+    }
+
+    #[test]
+    fn dropped_tokens_receive_no_expert_gradient() {
+        // Capacity 1: most assignments drop; gradients must remain finite
+        // and the drop fraction visible.
+        let layer = tiny(DropPolicy::CapacityOnly, 1, 21);
+        let x = Tensor::rand_uniform(8, 6, 1.0, 22);
+        let (out, ctx) = layer.forward(&x);
+        assert!(ctx.pft.dropped > 0);
+        let frac = TrainableMoe::last_drop_fraction(&ctx, 2);
+        assert!(frac > 0.0 && frac < 1.0);
+        let mut l2 = layer.clone();
+        let d = Tensor::full(out.rows(), out.cols(), 1.0);
+        let d_x = l2.backward(&ctx, &d);
+        assert!(d_x.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn negative_logit_policy_drops_more() {
+        let x = Tensor::rand_uniform(16, 6, 1.0, 31);
+        let cap = 100;
+        let (_, ctx_x) = tiny(DropPolicy::CapacityOnly, cap, 30).forward(&x);
+        let (_, ctx_d) = tiny(DropPolicy::CapacityAndNegativeLogit, cap, 30).forward(&x);
+        assert!(ctx_d.pft.dropped >= ctx_x.pft.dropped);
+        assert!(ctx_d.pft.len() <= ctx_x.pft.len());
+    }
+
+    #[test]
+    fn zero_grads_clears_everything() {
+        let mut layer = tiny(DropPolicy::CapacityOnly, 100, 41);
+        let x = Tensor::rand_uniform(4, 6, 1.0, 42);
+        let (out, ctx) = layer.forward(&x);
+        let d = Tensor::full(out.rows(), out.cols(), 1.0);
+        let _ = layer.backward(&ctx, &d);
+        assert!(layer.g_gate.norm() > 0.0);
+        layer.zero_grads();
+        assert_eq!(layer.g_gate.norm(), 0.0);
+        assert!(layer
+            .g_experts
+            .iter()
+            .all(|(a, b)| a.norm() == 0.0 && b.norm() == 0.0));
+    }
+}

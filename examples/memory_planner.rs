@@ -1,0 +1,90 @@
+//! Memory planner: find the largest trainable DeepSeek-style model and the
+//! best parallel configuration for a given GPU budget.
+//!
+//! ```sh
+//! cargo run --release --example memory_planner
+//! cargo run --release --example memory_planner -- 512
+//! ```
+//!
+//! For each Table 3 model, the planner sweeps EP/TP/ZeRO under each
+//! training system's memory model and reports whether it fits on the given
+//! number of Frontier GCDs, the winning configuration, and the modelled
+//! throughput.
+
+use xmoe::core::config::MoeModelConfig;
+use xmoe::core::memory::{best_trainable_config, total_per_gpu, MoeSystem, GIB};
+use xmoe::core::perf::PerfModel;
+
+fn main() {
+    let world: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(256);
+    let hbm = 64_000_000_000u64;
+    println!("planning for {world} Frontier GCDs (64 GB HBM each)");
+    println!("(the paper's Super-545B result needs 1024 GPUs: rerun with `-- 1024`)\n");
+
+    let models = [
+        MoeModelConfig::small(),
+        MoeModelConfig::medium(),
+        MoeModelConfig::large(),
+        MoeModelConfig::super_(),
+    ];
+    let pm = PerfModel::frontier(world);
+
+    for cfg in &models {
+        println!(
+            "--- {} ({:.1}B params, {:.1}B activated) ---",
+            cfg.name,
+            cfg.total_params() as f64 / 1e9,
+            cfg.activated_params() as f64 / 1e9
+        );
+        for sys in MoeSystem::ALL {
+            match best_trainable_config(cfg, world, sys, hbm) {
+                Some(par) => {
+                    let mem = total_per_gpu(cfg, &par, sys);
+                    let perf = pm.best_throughput(cfg, world, sys, 1024);
+                    let tf = perf.map_or("-".to_string(), |r| {
+                        format!("{:.1} TF/GPU", r.tflops_per_gpu)
+                    });
+                    println!(
+                        "  {:14} fits: EP={:<3} TP={} ZeRO-{} SSMB={:5} -> {:5.1} GiB/GPU, {tf}",
+                        sys.name(),
+                        par.ep,
+                        par.tp,
+                        par.zero_stage,
+                        par.ssmb,
+                        mem.total() as f64 / GIB,
+                    );
+                }
+                None => println!("  {:14} OOM in every swept configuration", sys.name()),
+            }
+        }
+        println!();
+    }
+
+    // Largest-trainable summary (the paper's "10x larger" headline).
+    let largest = |sys: MoeSystem| {
+        models
+            .iter()
+            .filter(|cfg| best_trainable_config(cfg, world, sys, hbm).is_some())
+            .map(|cfg| cfg.total_params())
+            .max()
+            .unwrap_or(0)
+    };
+    let best_baseline = MoeSystem::ALL
+        .iter()
+        .filter(|&&s| s != MoeSystem::XMoe)
+        .map(|&s| largest(s))
+        .max()
+        .unwrap_or(0);
+    let xmoe_best = largest(MoeSystem::XMoe);
+    if best_baseline > 0 {
+        println!(
+            "largest trainable: X-MoE {:.1}B vs best baseline {:.1}B ({:.1}x larger)",
+            xmoe_best as f64 / 1e9,
+            best_baseline as f64 / 1e9,
+            xmoe_best as f64 / best_baseline as f64
+        );
+    }
+}

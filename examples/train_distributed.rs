@@ -1,0 +1,85 @@
+//! Distributed data+expert-parallel training on the simulated cluster:
+//! the paper's full training step — gating, PFT dispatch over an uneven
+//! all-to-all, per-expert FFN forward *and backward*, the two mirrored
+//! gradient all-to-alls (4 per MoE layer per step), gradient averaging for
+//! the replicated dense stack, and a local Adam update.
+//!
+//! ```sh
+//! cargo run --release --example train_distributed
+//! ```
+
+use xmoe::collectives::SimCluster;
+use xmoe::core::gating::DropPolicy;
+use xmoe::train::model::build_moe_layers;
+use xmoe::train::{DistMoeLm, MarkovCorpus, TrainConfig};
+
+fn main() {
+    let world = 4usize;
+    let steps = 60usize;
+    let mut cfg = TrainConfig::fig15(DropPolicy::CapacityOnly);
+    cfg.vocab = 32;
+    cfg.hidden = 16;
+    cfg.ffn = 8;
+    cfg.num_experts = 8;
+    cfg.top_k = 2;
+    cfg.layers = 2;
+    cfg.seq_len = 16;
+    cfg.batch = 4;
+    cfg.lr = 5e-3;
+
+    println!(
+        "training a {}-layer MoE LM ({} experts, top-{}) across {world} simulated ranks\n",
+        cfg.layers, cfg.num_experts, cfg.top_k
+    );
+
+    let full_layers = build_moe_layers(&cfg);
+    let results = {
+        let cfg = &cfg;
+        let full_layers = &full_layers;
+        SimCluster::frontier(world).run(move |ctx| {
+            let mut model = DistMoeLm::new(cfg, full_layers, ctx.rank, world);
+            let mut corpus = MarkovCorpus::new(cfg.vocab, 3, 6000 + ctx.rank as u64);
+            let mut losses = Vec::new();
+            for _ in 0..steps {
+                let batch = corpus.batch(cfg.batch, cfg.seq_len);
+                losses.push(model.train_step(&batch, &ctx.world, &mut ctx.clock));
+            }
+            (losses, ctx.clock.buckets().to_vec(), ctx.world.traffic())
+        })
+    };
+
+    let (losses, buckets, traffic) = &results[0];
+    println!("step   global loss");
+    for (i, l) in losses.iter().enumerate().step_by(10) {
+        println!("{i:>4}   {l:.4}");
+    }
+    println!("{:>4}   {:.4}", steps - 1, losses.last().unwrap());
+
+    println!("\nsimulated communication time per rank (whole run):");
+    for label in [
+        "dispatch_a2a",
+        "combine_a2a",
+        "bwd_combine_a2a",
+        "bwd_dispatch_a2a",
+    ] {
+        let t = buckets
+            .iter()
+            .find(|(l, _)| l == label)
+            .map_or(0.0, |(_, t)| *t);
+        println!("  {label:<18} {:.2} ms", t * 1e3);
+    }
+    println!(
+        "\nbytes moved by rank 0: {:.2} MiB intra-node, {:.2} MiB inter-node",
+        traffic.intra_node as f64 / (1 << 20) as f64,
+        traffic.inter_node as f64 / (1 << 20) as f64
+    );
+    assert!(
+        losses.last().unwrap() < &losses[0],
+        "training must make progress"
+    );
+    println!(
+        "\ndistributed training OK (loss {:.3} -> {:.3})",
+        losses[0],
+        losses.last().unwrap()
+    );
+}

@@ -1,0 +1,201 @@
+//! `xmoe-cli` — query the X-MoE models from the command line.
+//!
+//! ```text
+//! xmoe-cli plan <small|medium|large|super> [gpus]
+//!     Memory-plan the model on a Frontier slice: per-system trainability,
+//!     best parallel configuration and modelled throughput.
+//!
+//! xmoe-cli redundancy <experts> <topk> [gpus-per-node]
+//!     Dispatch redundancy rate per EP size (the Fig 4 table).
+//!
+//! xmoe-cli throughput <small|medium|large|super> <gpus>
+//!     Modelled TFLOP/s per GPU for all four systems.
+//!
+//! xmoe-cli alltoall <gpus> <mbytes-per-rank>
+//!     Cost-model estimate of one uneven all-to-all at that scale.
+//!
+//! xmoe-cli analyze <experts> <topk> [tokens]
+//!     Routing analytics for a random router: load balance, entropy,
+//!     expert co-activation and realized combination count.
+//! ```
+
+use xmoe::core::analysis::{distinct_combinations, routing_report};
+use xmoe::core::config::MoeModelConfig;
+use xmoe::core::gating::{DropPolicy, Router};
+use xmoe::core::memory::{best_trainable_config, total_per_gpu, MoeSystem, GIB};
+use xmoe::core::perf::PerfModel;
+use xmoe::core::pft::Pft;
+use xmoe::core::rbd::expected_redundancy_uniform;
+use xmoe::tensor::Tensor;
+use xmoe::topology::{ClusterTopology, CostModel, MachineSpec};
+
+fn model_by_name(name: &str) -> Option<MoeModelConfig> {
+    match name.to_ascii_lowercase().as_str() {
+        "small" => Some(MoeModelConfig::small()),
+        "medium" => Some(MoeModelConfig::medium()),
+        "large" => Some(MoeModelConfig::large()),
+        "super" => Some(MoeModelConfig::super_()),
+        _ => None,
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  xmoe-cli plan <small|medium|large|super> [gpus]\n  \
+         xmoe-cli redundancy <experts> <topk> [gpus-per-node]\n  \
+         xmoe-cli throughput <small|medium|large|super> <gpus>\n  \
+         xmoe-cli alltoall <gpus> <mbytes-per-rank>\n  \
+         xmoe-cli analyze <experts> <topk> [tokens]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("plan") => cmd_plan(&args[1..]),
+        Some("redundancy") => cmd_redundancy(&args[1..]),
+        Some("throughput") => cmd_throughput(&args[1..]),
+        Some("alltoall") => cmd_alltoall(&args[1..]),
+        Some("analyze") => cmd_analyze(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn cmd_plan(args: &[String]) {
+    let cfg = args
+        .first()
+        .and_then(|n| model_by_name(n))
+        .unwrap_or_else(|| usage());
+    let gpus: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(256);
+    let hbm = 64_000_000_000u64;
+    println!(
+        "{} ({:.1}B params, {:.1}B activated) on {gpus} Frontier GCDs:",
+        cfg.name,
+        cfg.total_params() as f64 / 1e9,
+        cfg.activated_params() as f64 / 1e9
+    );
+    let pm = PerfModel::frontier(gpus);
+    for sys in MoeSystem::ALL {
+        match best_trainable_config(&cfg, gpus, sys, hbm) {
+            Some(par) => {
+                let mem = total_per_gpu(&cfg, &par, sys);
+                let tf = pm
+                    .best_throughput(&cfg, gpus, sys, 1024)
+                    .map_or("-".into(), |r| format!("{:.1} TF/GPU", r.tflops_per_gpu));
+                println!(
+                    "  {:14} EP={:<3} TP={} ZeRO-{} SSMB={:<5} {:6.1} GiB/GPU  {tf}",
+                    sys.name(),
+                    par.ep,
+                    par.tp,
+                    par.zero_stage,
+                    par.ssmb,
+                    mem.total() as f64 / GIB
+                );
+            }
+            None => println!("  {:14} OOM in every swept configuration", sys.name()),
+        }
+    }
+}
+
+fn cmd_redundancy(args: &[String]) {
+    let experts: usize = args
+        .first()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| usage());
+    let topk: usize = args
+        .get(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| usage());
+    let gpn: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(8);
+    println!("redundancy for E={experts}, k={topk}, {gpn} GPUs/node (uniform routing):");
+    println!("{:>8} {:>7} {:>12}", "EP size", "nodes", "redundancy");
+    let mut ep = gpn;
+    while ep <= experts.max(gpn) && ep <= 1024 {
+        let nodes = ep.div_ceil(gpn);
+        let r = expected_redundancy_uniform(topk, nodes);
+        println!("{ep:>8} {nodes:>7} {:>11.1}%", 100.0 * r);
+        ep *= 2;
+    }
+}
+
+fn cmd_throughput(args: &[String]) {
+    let cfg = args
+        .first()
+        .and_then(|n| model_by_name(n))
+        .unwrap_or_else(|| usage());
+    let gpus: usize = args
+        .get(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| usage());
+    let pm = PerfModel::frontier(gpus);
+    println!("{} on {gpus} Frontier GCDs (global batch 1024):", cfg.name);
+    for sys in MoeSystem::ALL {
+        match pm.best_throughput(&cfg, gpus, sys, 1024) {
+            Some(r) => println!(
+                "  {:14} {:6.1} TF/GPU  ({:.2} PF aggregate, step {:.2} s)",
+                sys.name(),
+                r.tflops_per_gpu,
+                r.aggregate_pflops,
+                r.step_time
+            ),
+            None => println!("  {:14} OOM", sys.name()),
+        }
+    }
+}
+
+fn cmd_alltoall(args: &[String]) {
+    let gpus: usize = args
+        .first()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| usage());
+    let mb: f64 = args
+        .get(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| usage());
+    let topo = ClusterTopology::new(MachineSpec::frontier(), gpus);
+    let cost = CostModel::new(topo);
+    let group: Vec<usize> = (0..gpus).collect();
+    let per_pair = ((mb * 1e6) / gpus as f64) as u64;
+    let t = cost.alltoall_even_time(&group, per_pair);
+    println!(
+        "even all-to-all over {gpus} GCDs, {mb} MB/rank: {:.2} ms (expected, incl. congestion at this scale)",
+        t * 1e3
+    );
+}
+
+fn cmd_analyze(args: &[String]) {
+    let experts: usize = args
+        .first()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| usage());
+    let topk: usize = args
+        .get(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| usage());
+    let tokens: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(2048);
+    let router = Router::new(64, experts, topk, 0xA11CE);
+    let batch = Tensor::rand_uniform(tokens, 64, 1.0, 0xB0B);
+    let capacity = ((1.25 * (tokens * topk) as f64) / experts as f64).ceil() as usize;
+    let pft = Pft::construct(
+        &router.gate(&batch),
+        experts,
+        capacity,
+        DropPolicy::CapacityOnly,
+    );
+    let r = routing_report(&pft);
+    println!("routing analytics (random router, E={experts}, k={topk}, {tokens} tokens, c=1.25):");
+    println!("  routed entries   : {} ({} dropped)", r.routed, r.dropped);
+    println!("  load imbalance   : {:.3} (max/mean)", r.load_imbalance);
+    println!(
+        "  load entropy     : {:.3} nats (uniform = {:.3})",
+        r.load_entropy,
+        (experts as f64).ln()
+    );
+    println!("  idle experts     : {:.1}%", 100.0 * r.idle_fraction);
+    println!("  mean gate weight : {:.4}", r.mean_weight);
+    println!(
+        "  expert combos    : {} realized of C({experts},{topk}) possible",
+        distinct_combinations(&pft)
+    );
+}

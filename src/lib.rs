@@ -1,0 +1,23 @@
+//! # X-MoE (reproduction)
+//!
+//! Facade crate for the X-MoE workspace: a Rust reproduction of
+//! *"X-MoE: Enabling Scalable Training for Emerging Mixture-of-Experts
+//! Architectures on HPC Platforms"* (SC 2025).
+//!
+//! The workspace implements the paper's three techniques — the padding-free
+//! PFT pipeline, hierarchical Redundancy-Bypassing Dispatch (RBD), and hybrid
+//! parallelism with Sequence-Sharded MoE Blocks (SSMB) — together with every
+//! substrate they need: a CPU tensor library, a simulated hierarchical HPC
+//! cluster with a communication cost model, a threads-as-ranks collectives
+//! runtime, baselines (DeepSpeed-MoE-style dense padded pipeline, a
+//! Tutel-flavoured variant, TED parallelism), analytic memory/performance
+//! models, and a manual-backprop training stack for loss validation.
+//!
+//! Start with [`core`] for the MoE pipelines, or run
+//! `cargo run --release --example quickstart`.
+
+pub use xmoe_collectives as collectives;
+pub use xmoe_core as core;
+pub use xmoe_tensor as tensor;
+pub use xmoe_topology as topology;
+pub use xmoe_train as train;

@@ -1,0 +1,114 @@
+//! Load-balancing auxiliary loss: gradient correctness by finite
+//! differences, and the functional claim — training with the aux loss
+//! balances expert load.
+
+use xmoe::core::gating::DropPolicy;
+use xmoe::tensor::Tensor;
+use xmoe::train::TrainableMoe;
+
+/// Scalar probe of (output projection + aux loss).
+fn probe_loss(layer: &TrainableMoe, x: &Tensor, probe: &Tensor) -> f64 {
+    let (out, ctx) = layer.forward(x);
+    let main: f64 = out
+        .as_slice()
+        .iter()
+        .zip(probe.as_slice())
+        .map(|(&o, &p)| (o * p) as f64)
+        .sum();
+    main + layer.aux_loss(&ctx)
+}
+
+#[test]
+fn aux_gradient_matches_finite_difference_with_full_k() {
+    // k = E removes the selection discontinuity; f_e is then constant and
+    // the aux path through P_e is exactly differentiable.
+    let (h, f, e) = (6usize, 5usize, 4usize);
+    let mut base =
+        TrainableMoe::new(h, f, e, e, 100_000, DropPolicy::CapacityOnly, 31).with_aux(0.7);
+    base.top_k = e;
+    let x = Tensor::rand_uniform(5, h, 1.0, 32);
+    let probe = Tensor::rand_uniform(5, h, 1.0, 33);
+
+    let mut layer = base.clone();
+    let (_, ctx) = layer.forward(&x);
+    let _ = layer.backward(&ctx, &probe);
+
+    let eps = 1e-2f32;
+    for &(r, c) in &[(0usize, 0usize), (3, 2), (5, 3)] {
+        let w0 = base.gate.get(r, c);
+        let fd = {
+            let mut up = base.clone();
+            up.gate.set(r, c, w0 + eps);
+            let mut dn = base.clone();
+            dn.gate.set(r, c, w0 - eps);
+            (probe_loss(&up, &x, &probe) - probe_loss(&dn, &x, &probe)) / (2.0 * eps as f64)
+        };
+        let an = layer.g_gate.get(r, c) as f64;
+        assert!(
+            (fd - an).abs() < 3e-2 * (1.0 + an.abs().max(fd.abs())),
+            "dGate[{r},{c}] with aux: fd {fd} an {an}"
+        );
+    }
+}
+
+#[test]
+fn aux_loss_value_is_one_at_perfect_balance_limit() {
+    // With k = E every expert receives every token, so f_e = 1/E and
+    // sum_e P_e = 1: L_aux = alpha * E * (1/E) * sum_e P_e / ... = alpha.
+    let (h, f, e) = (6usize, 4usize, 4usize);
+    let layer = TrainableMoe::new(h, f, e, e, 100_000, DropPolicy::CapacityOnly, 41).with_aux(1.0);
+    let x = Tensor::rand_uniform(8, h, 1.0, 42);
+    let (_, ctx) = layer.forward(&x);
+    let l = layer.aux_loss(&ctx);
+    assert!(
+        (l - 1.0).abs() < 1e-5,
+        "aux at full k must equal alpha: {l}"
+    );
+}
+
+#[test]
+fn training_with_aux_balances_expert_load() {
+    // A skewed input distribution makes the untrained router concentrate
+    // load; SGD on the aux loss alone must spread it out.
+    let (h, f, e, k) = (8usize, 6usize, 8usize, 2usize);
+    let s = 256usize;
+    // Inputs clustered in one half-space -> initial routing is skewed.
+    let mut x = Tensor::rand_uniform(s, h, 0.3, 52);
+    for r in 0..s {
+        let v = x.get(r, 0);
+        x.set(r, 0, v + 1.0);
+    }
+
+    let imbalance_of = |layer: &TrainableMoe| -> f64 {
+        let (_, ctx) = layer.forward(&x);
+        let loads = ctx_loads(&ctx);
+        let max = *loads.iter().max().unwrap() as f64;
+        let mean = loads.iter().sum::<usize>() as f64 / e as f64;
+        max / mean
+    };
+    fn ctx_loads(ctx: &xmoe::train::moe_layer::MoeCtx) -> Vec<usize> {
+        ctx.tokens_per_expert().to_vec()
+    }
+
+    let mut layer =
+        TrainableMoe::new(h, f, e, k, 100_000, DropPolicy::CapacityOnly, 51).with_aux(1.0);
+    let before = imbalance_of(&layer);
+    // Pure aux-loss descent on the gate.
+    for _ in 0..200 {
+        let (_, ctx) = layer.forward(&x);
+        layer.zero_grads();
+        // Backward with zero task gradient: only the aux path contributes.
+        let d_out = Tensor::zeros(s, h);
+        let _ = layer.backward(&ctx, &d_out);
+        let lr = 0.5f32;
+        let (gate, g) = (&mut layer.gate, &layer.g_gate);
+        for (w, gv) in gate.as_mut_slice().iter_mut().zip(g.as_slice()) {
+            *w -= lr * gv;
+        }
+    }
+    let after = imbalance_of(&layer);
+    assert!(
+        after < before - 0.2 || after < 1.3,
+        "aux loss must reduce load imbalance: {before:.2} -> {after:.2}"
+    );
+}

@@ -1,0 +1,177 @@
+//! End-to-end distributed training equivalence: a 4-rank data+expert-
+//! parallel run (experts sharded EP=world, dense/router replicated with
+//! averaged gradients, 4 all-to-alls per MoE layer per step) must follow
+//! the same optimization trajectory as a single process training on the
+//! concatenation of the four ranks' batches.
+//!
+//! This exercises the full stack — gating, PFT, routed dispatch, expert
+//! FFN forward/backward, the mirrored gradient all-to-alls, gradient
+//! averaging over the world, and Adam — against the hand-written
+//! single-rank reference.
+
+use xmoe::collectives::SimCluster;
+use xmoe::core::gating::DropPolicy;
+use xmoe::train::model::build_moe_layers;
+use xmoe::train::{DistMoeLm, MarkovCorpus, MoeLm, TrainConfig};
+
+fn cfg() -> TrainConfig {
+    let mut c = TrainConfig::fig15(DropPolicy::CapacityOnly);
+    // Small but non-trivial; huge capacity so per-rank vs global capacity
+    // granularity cannot change the retained set.
+    c.vocab = 32;
+    c.hidden = 16;
+    c.ffn = 8;
+    c.num_experts = 8;
+    c.top_k = 2;
+    c.layers = 2;
+    c.seq_len = 12;
+    c.batch = 2; // per rank
+    c.capacity_factor = 1e6;
+    c.seed = 2025;
+    c
+}
+
+/// Per-rank batches for `steps` steps: rank r draws from its own corpus.
+fn rank_batches(cfg: &TrainConfig, world: usize, steps: usize) -> Vec<Vec<Vec<Vec<usize>>>> {
+    (0..world)
+        .map(|r| {
+            let mut corpus = MarkovCorpus::new(cfg.vocab, 3, 4000 + r as u64);
+            (0..steps)
+                .map(|_| corpus.batch(cfg.batch, cfg.seq_len))
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn four_rank_dp_ep_training_matches_single_process() {
+    let cfg = cfg();
+    let world = 4usize;
+    let steps = 4usize;
+    let per_rank = rank_batches(&cfg, world, steps);
+
+    // --- Single-process reference on the concatenated batches ----------
+    let mut reference = MoeLm::new(cfg.clone());
+    let mut ref_losses = Vec::new();
+    for step in 0..steps {
+        let mut concat = Vec::new();
+        for r in 0..world {
+            concat.extend(per_rank[r][step].clone());
+        }
+        ref_losses.push(reference.train_step(&concat).loss);
+    }
+
+    // --- Distributed run ------------------------------------------------
+    let full_layers = build_moe_layers(&cfg);
+    let dist_results = {
+        let cfg = &cfg;
+        let per_rank = &per_rank;
+        let full_layers = &full_layers;
+        SimCluster::frontier(world).run(move |ctx| {
+            let mut model = DistMoeLm::new(cfg, full_layers, ctx.rank, world);
+            let mut losses = Vec::new();
+            for step in 0..steps {
+                losses.push(model.train_step(
+                    &per_rank[ctx.rank][step],
+                    &ctx.world,
+                    &mut ctx.clock,
+                ));
+            }
+            // Return the replicated head weights and this rank's expert
+            // shard for trajectory comparison.
+            let head = model.head.weight.clone();
+            let gate0 = model.blocks[0].moe.gate.clone();
+            let shard0: Vec<_> = model.blocks[0].moe.shard.clone();
+            (
+                losses,
+                head,
+                gate0,
+                shard0,
+                model.blocks[0].moe.first_expert,
+            )
+        })
+    };
+
+    // Losses match step by step on every rank (they are globally averaged).
+    for (rank, (losses, ..)) in dist_results.iter().enumerate() {
+        for (step, (&d, &s)) in losses.iter().zip(&ref_losses).enumerate() {
+            assert!(
+                (d - s).abs() < 2e-3,
+                "rank {rank} step {step}: dist loss {d} vs reference {s}"
+            );
+        }
+    }
+
+    // Replicated parameters are identical across ranks and match the
+    // reference trajectory.
+    let (_, head0, gate0, _, _) = &dist_results[0];
+    for (rank, (_, head, gate, _, _)) in dist_results.iter().enumerate().skip(1) {
+        assert!(
+            head.allclose(head0, 1e-6),
+            "head replicas diverged at rank {rank}"
+        );
+        assert!(
+            gate.allclose(gate0, 1e-6),
+            "gate replicas diverged at rank {rank}"
+        );
+    }
+    assert!(
+        head0.allclose(&reference.head.weight, 5e-3),
+        "head trajectory diverged: max diff {}",
+        head0.max_abs_diff(&reference.head.weight)
+    );
+    assert!(
+        gate0.allclose(&reference.blocks[0].moe.gate, 5e-3),
+        "gate trajectory diverged: max diff {}",
+        gate0.max_abs_diff(&reference.blocks[0].moe.gate)
+    );
+
+    // Expert shards match the corresponding reference experts.
+    for (_, _, _, shard, first) in &dist_results {
+        for (i, (w1, w2)) in shard.iter().enumerate() {
+            let global = first + i;
+            let (ref_w1, ref_w2) = &reference.blocks[0].moe.experts[global];
+            assert!(
+                w1.allclose(ref_w1, 5e-3),
+                "expert {global} w1 diverged: {}",
+                w1.max_abs_diff(ref_w1)
+            );
+            assert!(
+                w2.allclose(ref_w2, 5e-3),
+                "expert {global} w2 diverged: {}",
+                w2.max_abs_diff(ref_w2)
+            );
+        }
+    }
+}
+
+#[test]
+fn distributed_training_reduces_loss() {
+    // Longer distributed-only run: the loss must actually go down.
+    let mut cfg = cfg();
+    cfg.lr = 1e-2;
+    cfg.batch = 4;
+    let world = 2usize;
+    let steps = 80usize;
+    let per_rank = rank_batches(&cfg, world, steps);
+    let full_layers = build_moe_layers(&cfg);
+    let losses = {
+        let cfg = &cfg;
+        let per_rank = &per_rank;
+        let full_layers = &full_layers;
+        SimCluster::frontier(world).run(move |ctx| {
+            let mut model = DistMoeLm::new(cfg, full_layers, ctx.rank, world);
+            let mut l = Vec::new();
+            for step in 0..steps {
+                l.push(model.train_step(&per_rank[ctx.rank][step], &ctx.world, &mut ctx.clock));
+            }
+            l
+        })
+    };
+    let first = losses[0][0];
+    let last = *losses[0].last().unwrap();
+    assert!(
+        last < first - 0.4,
+        "distributed loss should decrease markedly: {first} -> {last}"
+    );
+}

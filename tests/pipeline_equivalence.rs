@@ -1,0 +1,291 @@
+//! Cross-crate integration tests: the four transports (single-rank
+//! reference, dense padded baseline, padding-free EP, RBD, SSMB) must all
+//! compute the same MoE layer, across cluster shapes that exercise every
+//! link class of the simulated Frontier topology.
+
+use xmoe::collectives::SimCluster;
+use xmoe::core::expert::ExpertShard;
+use xmoe::core::gating::{DropPolicy, Router};
+use xmoe::core::pipeline::{self, DenseDropOrder, MoeLayerSpec};
+use xmoe::core::rbd::{self, RbdComms};
+use xmoe::core::ssmb::{self, SsmbComms};
+use xmoe::tensor::{DetRng, Tensor};
+
+struct Case {
+    world: usize,
+    seq: usize,
+    hidden: usize,
+    ffn: usize,
+    experts: usize,
+    top_k: usize,
+    capacity: usize,
+    seed: u64,
+}
+
+fn reference(case: &Case, rank: usize) -> Tensor {
+    let router = Router::new(case.hidden, case.experts, case.top_k, case.seed);
+    let experts = ExpertShard::full(case.experts, case.hidden, case.ffn, case.seed + 1);
+    let spec = MoeLayerSpec::new(case.experts, case.capacity);
+    let tokens = Tensor::rand_uniform(case.seq, case.hidden, 1.0, 5000 + rank as u64);
+    pipeline::padding_free::forward_single(&tokens, &router, &experts, &spec)
+}
+
+fn check(case: &Case, outputs: &[Tensor], what: &str) {
+    for (rank, out) in outputs.iter().enumerate() {
+        let want = reference(case, rank);
+        assert!(
+            out.allclose(&want, 2e-4),
+            "{what}: world {} rank {rank} diverges (max diff {})",
+            case.world,
+            out.max_abs_diff(&want)
+        );
+    }
+}
+
+fn run_case(case: &Case) {
+    let router = Router::new(case.hidden, case.experts, case.top_k, case.seed);
+    let spec = MoeLayerSpec::new(case.experts, case.capacity);
+
+    // Padding-free distributed.
+    let pf = {
+        let (router, spec) = (&router, &spec);
+        SimCluster::frontier(case.world).run(move |ctx| {
+            let shard = ExpertShard::for_rank(
+                ctx.rank,
+                case.world,
+                case.experts,
+                case.hidden,
+                case.ffn,
+                case.seed + 1,
+            );
+            let tokens = Tensor::rand_uniform(case.seq, case.hidden, 1.0, 5000 + ctx.rank as u64);
+            pipeline::padding_free::forward_ep(
+                &tokens,
+                router,
+                &shard,
+                spec,
+                &ctx.world,
+                &mut ctx.clock,
+            )
+        })
+    };
+    check(case, &pf, "padding-free EP");
+
+    // Dense padded distributed (weight-ranked drops to match PFT retention).
+    let dense = {
+        let (router, spec) = (&router, &spec);
+        SimCluster::frontier(case.world).run(move |ctx| {
+            let shard = ExpertShard::for_rank(
+                ctx.rank,
+                case.world,
+                case.experts,
+                case.hidden,
+                case.ffn,
+                case.seed + 1,
+            );
+            let tokens = Tensor::rand_uniform(case.seq, case.hidden, 1.0, 5000 + ctx.rank as u64);
+            pipeline::dense::forward_ep_dense(
+                &tokens,
+                router,
+                &shard,
+                spec,
+                DenseDropOrder::WeightRanked,
+                &ctx.world,
+                &mut ctx.clock,
+            )
+        })
+    };
+    check(case, &dense, "dense padded EP");
+
+    // RBD distributed.
+    let rbd_out = {
+        let (router, spec) = (&router, &spec);
+        SimCluster::frontier(case.world).run(move |ctx| {
+            let shard = ExpertShard::for_rank(
+                ctx.rank,
+                case.world,
+                case.experts,
+                case.hidden,
+                case.ffn,
+                case.seed + 1,
+            );
+            let tokens = Tensor::rand_uniform(case.seq, case.hidden, 1.0, 5000 + ctx.rank as u64);
+            let comms = RbdComms::create(&ctx.world, &mut ctx.clock);
+            let mut rng = DetRng::new(case.seed + 77 + ctx.rank as u64);
+            rbd::forward_ep_rbd(
+                &tokens,
+                router,
+                &shard,
+                spec,
+                &comms,
+                &mut rng,
+                &mut ctx.clock,
+            )
+        })
+    };
+    check(case, &rbd_out, "RBD EP");
+}
+
+#[test]
+fn transports_agree_single_node() {
+    run_case(&Case {
+        world: 4,
+        seq: 24,
+        hidden: 16,
+        ffn: 8,
+        experts: 8,
+        top_k: 3,
+        capacity: 10_000,
+        seed: 101,
+    });
+}
+
+#[test]
+fn transports_agree_two_nodes() {
+    run_case(&Case {
+        world: 16,
+        seq: 16,
+        hidden: 12,
+        ffn: 8,
+        experts: 16,
+        top_k: 5,
+        capacity: 10_000,
+        seed: 202,
+    });
+}
+
+#[test]
+fn transports_agree_with_tight_capacity() {
+    run_case(&Case {
+        world: 8,
+        seq: 40,
+        hidden: 12,
+        ffn: 8,
+        experts: 8,
+        top_k: 4,
+        capacity: 9,
+        seed: 303,
+    });
+}
+
+#[test]
+fn transports_agree_top1_routing() {
+    run_case(&Case {
+        world: 4,
+        seq: 20,
+        hidden: 8,
+        ffn: 4,
+        experts: 4,
+        top_k: 1,
+        capacity: 10_000,
+        seed: 404,
+    });
+}
+
+#[test]
+fn transports_agree_one_expert_per_rank() {
+    run_case(&Case {
+        world: 8,
+        seq: 24,
+        hidden: 12,
+        ffn: 8,
+        experts: 8,
+        top_k: 4,
+        capacity: 10_000,
+        seed: 505,
+    });
+}
+
+#[test]
+fn transports_agree_at_eight_node_scale() {
+    // 64 ranks = 8 simulated Frontier nodes: exercises many-threaded
+    // mailboxes, multi-node RBD grouping and the full link-class spread.
+    // Capacity is kept realistic: the dense baseline *physically
+    // allocates* E x C padded rows, so an unbounded capacity would make
+    // this test quadratic in disguise.
+    run_case(&Case {
+        world: 64,
+        seq: 8,
+        hidden: 8,
+        ffn: 4,
+        experts: 64,
+        top_k: 6,
+        capacity: 4,
+        seed: 909,
+    });
+}
+
+#[test]
+fn ssmb_matches_reference_over_tp_dp_grid() {
+    // TP=2, DP=2, EP=4 over 4 ranks: SSMB shards the sequence then
+    // restores it; results must match the single-rank reference of the
+    // DP group's sequence.
+    let (seq, hidden, ffn, experts, top_k) = (16usize, 12usize, 8usize, 8usize, 3usize);
+    let seed = 606u64;
+    let router = Router::new(hidden, experts, top_k, seed);
+    let spec = MoeLayerSpec::new(experts, 10_000);
+    let out = {
+        let (router, spec) = (&router, &spec);
+        SimCluster::frontier(4).run(move |ctx| {
+            let shard = ExpertShard::for_rank(ctx.rank, 4, experts, hidden, ffn, seed + 1);
+            let dp_group = ctx.rank / 2;
+            let tokens = Tensor::rand_uniform(seq, hidden, 1.0, 9000 + dp_group as u64);
+            let comms = SsmbComms::create(&ctx.world, 2, &mut ctx.clock);
+            ssmb::forward_ssmb(&tokens, router, &shard, spec, &comms, &mut ctx.clock)
+        })
+    };
+    let full_experts = ExpertShard::full(experts, hidden, ffn, seed + 1);
+    for rank in 0..4 {
+        let dp_group = rank / 2;
+        let tokens = Tensor::rand_uniform(seq, hidden, 1.0, 9000 + dp_group as u64);
+        let want = pipeline::padding_free::forward_single(&tokens, &router, &full_experts, &spec);
+        assert!(
+            out[rank].allclose(&want, 2e-4),
+            "SSMB rank {rank} diverges, max diff {}",
+            out[rank].max_abs_diff(&want)
+        );
+    }
+}
+
+#[test]
+fn drop_policies_differ_only_in_retention() {
+    // Same batch under both policies: the X-MoE output restricted to
+    // entries both retained must match is hard to observe from outputs, but
+    // the DS policy output must equal an X-MoE run whose router zeroes the
+    // dropped entries. We verify the weaker, still-sharp property: with no
+    // negative logits the two policies coincide exactly.
+    let (seq, hidden, ffn, experts, top_k) = (24usize, 12usize, 8usize, 8usize, 3usize);
+    let router = Router::new(hidden, experts, top_k, 707);
+    let experts_full = ExpertShard::full(experts, hidden, ffn, 708);
+    // Shift tokens so all gate logits are comfortably positive.
+    let mut tokens = Tensor::rand_uniform(seq, hidden, 0.05, 709);
+    // Build a rank-1 direction that yields positive logits for every expert.
+    let probe = Tensor::full(1, hidden, 1.0);
+    let logits = xmoe::tensor::matmul(&probe, &router.weight);
+    if logits.as_slice().iter().all(|&v| v > 0.0) {
+        for r in 0..tokens.rows() {
+            for c in 0..tokens.cols() {
+                let v = tokens.get(r, c);
+                tokens.set(r, c, v + 1.0);
+            }
+        }
+        let g = router.gate(&tokens);
+        if g.top_logits.iter().flatten().all(|&l| l > 0.0) {
+            let spec_x = MoeLayerSpec::new(experts, 10_000).with_policy(DropPolicy::CapacityOnly);
+            let spec_d = MoeLayerSpec::new(experts, 10_000)
+                .with_policy(DropPolicy::CapacityAndNegativeLogit);
+            let out_x =
+                pipeline::padding_free::forward_single(&tokens, &router, &experts_full, &spec_x);
+            let out_d =
+                pipeline::padding_free::forward_single(&tokens, &router, &experts_full, &spec_d);
+            assert!(
+                out_x.allclose(&out_d, 1e-6),
+                "policies must coincide with no negatives"
+            );
+            return;
+        }
+    }
+    // If the random direction did not give all-positive logits, the
+    // property is vacuous for this seed; the unit tests cover the
+    // differing-retention side.
+}
