@@ -1,9 +1,10 @@
-//! Criterion benchmarks over the live MoE pipelines at reduced dimensions:
-//! PFT construction, single-rank dense vs padding-free forward, and the
+//! Benchmarks over the live MoE pipelines at reduced dimensions: PFT
+//! construction, single-rank dense vs padding-free forward, and the
 //! distributed variants (plain uneven all-to-all vs RBD) on the
-//! threads-as-ranks runtime.
+//! threads-as-ranks runtime. Self-contained timing harness.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::{Duration, Instant};
+
 use xmoe_collectives::SimCluster;
 use xmoe_core::expert::ExpertShard;
 use xmoe_core::gating::{DropPolicy, Router};
@@ -12,123 +13,122 @@ use xmoe_core::pipeline::{self, DenseDropOrder, MoeLayerSpec};
 use xmoe_core::rbd::{self, RbdComms};
 use xmoe_tensor::{DetRng, Tensor};
 
-fn bench_pft_construction(c: &mut Criterion) {
-    let mut g = c.benchmark_group("pft_construction");
+fn bench(name: &str, mut f: impl FnMut()) {
+    f(); // warmup
+    let budget = Duration::from_millis(300);
+    let start = Instant::now();
+    let mut iters = 0u64;
+    while start.elapsed() < budget && iters < 10_000 {
+        f();
+        iters += 1;
+    }
+    let per = start.elapsed().as_secs_f64() / iters as f64;
+    println!("{name:<44} {:>12.3} us/iter  ({iters} iters)", per * 1e6);
+}
+
+fn bench_pft_construction() {
     for &(s, e, k) in &[(1024usize, 64usize, 6usize), (4096, 256, 8)] {
         let router = Router::new(64, e, k, 1);
         let tokens = Tensor::rand_uniform(s, 64, 1.0, 2);
         let gating = router.gate(&tokens);
         let cap = (s * k * 2) / e;
-        g.bench_with_input(
-            BenchmarkId::from_parameter(format!("s{s}_e{e}_k{k}")),
-            &(),
-            |b, _| b.iter(|| Pft::construct(&gating, e, cap, DropPolicy::CapacityOnly)),
-        );
+        bench(&format!("pft_construction/s{s}_e{e}_k{k}"), || {
+            std::hint::black_box(Pft::construct(&gating, e, cap, DropPolicy::CapacityOnly));
+        });
     }
-    g.finish();
 }
 
-fn bench_single_rank_pipelines(c: &mut Criterion) {
-    let mut g = c.benchmark_group("single_rank_forward");
+fn bench_single_rank_pipelines() {
     let (s, h, f, e, k) = (512usize, 128usize, 64usize, 16usize, 4usize);
     let router = Router::new(h, e, k, 3);
     let experts = ExpertShard::full(e, h, f, 4);
     let tokens = Tensor::rand_uniform(s, h, 1.0, 5);
     let cap = (s * k * 5 / 4) / e;
     let spec = MoeLayerSpec::new(e, cap);
-    g.bench_function("padding_free", |b| {
-        b.iter(|| pipeline::padding_free::forward_single(&tokens, &router, &experts, &spec))
+    bench("single_rank_forward/padding_free", || {
+        std::hint::black_box(pipeline::padding_free::forward_single(
+            &tokens, &router, &experts, &spec,
+        ));
     });
-    g.bench_function("dense_padded", |b| {
-        b.iter(|| {
-            pipeline::dense::forward_single_dense(
-                &tokens,
-                &router,
-                &experts,
-                &spec,
-                DenseDropOrder::TokenOrder,
-            )
-        })
+    bench("single_rank_forward/dense_padded", || {
+        std::hint::black_box(pipeline::dense::forward_single_dense(
+            &tokens,
+            &router,
+            &experts,
+            &spec,
+            DenseDropOrder::TokenOrder,
+        ));
     });
-    g.finish();
 }
 
-fn bench_distributed_pipelines(c: &mut Criterion) {
-    let mut g = c.benchmark_group("distributed_forward_8rank");
-    g.sample_size(10);
-    let (s, h, f, e, k) = (256usize, 64usize, 32usize, 16usize, 4usize);
+fn bench_distributed_pipelines() {
+    let (s, h, f, e) = (256usize, 64usize, 32usize, 16usize);
     let world = 8usize;
-    let router = Router::new(h, e, k, 6);
+    let router = Router::new(h, e, 4, 6);
     let spec = MoeLayerSpec::new(e, 10_000);
 
-    g.bench_function("padding_free_ep", |b| {
+    bench("distributed_forward_8rank/padding_free_ep", || {
         let router = &router;
         let spec = &spec;
-        b.iter(|| {
-            SimCluster::frontier(world).run(move |ctx| {
-                let shard = ExpertShard::for_rank(ctx.rank, world, e, h, f, 7);
-                let tokens = Tensor::rand_uniform(s, h, 1.0, 8 + ctx.rank as u64);
-                pipeline::padding_free::forward_ep(
-                    &tokens,
-                    router,
-                    &shard,
-                    spec,
-                    &ctx.world,
-                    &mut ctx.clock,
-                )
-                .norm()
-            })
-        })
+        let norms = SimCluster::frontier(world).run(move |ctx| {
+            let shard = ExpertShard::for_rank(ctx.rank, world, e, h, f, 7);
+            let tokens = Tensor::rand_uniform(s, h, 1.0, 8 + ctx.rank as u64);
+            pipeline::padding_free::forward_ep(
+                &tokens,
+                router,
+                &shard,
+                spec,
+                &ctx.world,
+                &mut ctx.clock,
+            )
+            .norm()
+        });
+        std::hint::black_box(norms);
     });
-    g.bench_function("dense_ep", |b| {
+    bench("distributed_forward_8rank/dense_ep", || {
         let router = &router;
         let spec = &spec;
-        b.iter(|| {
-            SimCluster::frontier(world).run(move |ctx| {
-                let shard = ExpertShard::for_rank(ctx.rank, world, e, h, f, 7);
-                let tokens = Tensor::rand_uniform(s, h, 1.0, 8 + ctx.rank as u64);
-                pipeline::dense::forward_ep_dense(
-                    &tokens,
-                    router,
-                    &shard,
-                    spec,
-                    DenseDropOrder::TokenOrder,
-                    &ctx.world,
-                    &mut ctx.clock,
-                )
-                .norm()
-            })
-        })
+        let norms = SimCluster::frontier(world).run(move |ctx| {
+            let shard = ExpertShard::for_rank(ctx.rank, world, e, h, f, 7);
+            let tokens = Tensor::rand_uniform(s, h, 1.0, 8 + ctx.rank as u64);
+            pipeline::dense::forward_ep_dense(
+                &tokens,
+                router,
+                &shard,
+                spec,
+                DenseDropOrder::TokenOrder,
+                &ctx.world,
+                &mut ctx.clock,
+            )
+            .norm()
+        });
+        std::hint::black_box(norms);
     });
-    g.bench_function("rbd_ep", |b| {
+    bench("distributed_forward_8rank/rbd_ep", || {
         let router = &router;
         let spec = &spec;
-        b.iter(|| {
-            SimCluster::frontier(world).run(move |ctx| {
-                let shard = ExpertShard::for_rank(ctx.rank, world, e, h, f, 7);
-                let tokens = Tensor::rand_uniform(s, h, 1.0, 8 + ctx.rank as u64);
-                let comms = RbdComms::create(&ctx.world, &mut ctx.clock);
-                let mut rng = DetRng::new(9 + ctx.rank as u64);
-                rbd::forward_ep_rbd(
-                    &tokens,
-                    router,
-                    &shard,
-                    spec,
-                    &comms,
-                    &mut rng,
-                    &mut ctx.clock,
-                )
-                .norm()
-            })
-        })
+        let norms = SimCluster::frontier(world).run(move |ctx| {
+            let shard = ExpertShard::for_rank(ctx.rank, world, e, h, f, 7);
+            let tokens = Tensor::rand_uniform(s, h, 1.0, 8 + ctx.rank as u64);
+            let comms = RbdComms::create(&ctx.world, &mut ctx.clock);
+            let mut rng = DetRng::new(9 + ctx.rank as u64);
+            rbd::forward_ep_rbd(
+                &tokens,
+                router,
+                &shard,
+                spec,
+                &comms,
+                &mut rng,
+                &mut ctx.clock,
+            )
+            .norm()
+        });
+        std::hint::black_box(norms);
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_pft_construction,
-    bench_single_rank_pipelines,
-    bench_distributed_pipelines
-);
-criterion_main!(benches);
+fn main() {
+    bench_pft_construction();
+    bench_single_rank_pipelines();
+    bench_distributed_pipelines();
+}

@@ -1,61 +1,60 @@
-//! Criterion benchmarks over the analytic models themselves: a full Fig 9
+//! Benchmarks over the analytic models themselves: a full Fig 9
 //! configuration sweep and memory-accounting evaluation. These make
 //! `cargo bench` exercise the paper-scale harness paths end to end.
+//! Self-contained timing harness.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::{Duration, Instant};
+
 use xmoe_core::config::{MoeModelConfig, ParallelConfig};
 use xmoe_core::memory::{self, MoeSystem};
 use xmoe_core::perf::{PerfModel, PerfOpts};
 
-fn bench_best_throughput_sweep(c: &mut Criterion) {
-    let pm = PerfModel::frontier(256);
-    let medium = MoeModelConfig::medium();
-    c.bench_function("fig9_medium_sweep_all_systems", |b| {
-        b.iter(|| {
-            MoeSystem::ALL
-                .iter()
-                .map(|&sys| {
-                    pm.best_throughput(&medium, 256, sys, 1024)
-                        .map(|r| r.tflops_per_gpu)
-                })
-                .collect::<Vec<_>>()
-        })
-    });
+fn bench(name: &str, mut f: impl FnMut()) {
+    f(); // warmup
+    let budget = Duration::from_millis(300);
+    let start = Instant::now();
+    let mut iters = 0u64;
+    while start.elapsed() < budget && iters < 100_000 {
+        f();
+        iters += 1;
+    }
+    let per = start.elapsed().as_secs_f64() / iters as f64;
+    println!("{name:<40} {:>12.3} us/iter  ({iters} iters)", per * 1e6);
 }
 
-fn bench_step_model(c: &mut Criterion) {
+fn main() {
+    let pm = PerfModel::frontier(256);
+    let medium = MoeModelConfig::medium();
+    bench("fig9_medium_sweep_all_systems", || {
+        let v: Vec<_> = MoeSystem::ALL
+            .iter()
+            .map(|&sys| {
+                pm.best_throughput(&medium, 256, sys, 1024)
+                    .map(|r| r.tflops_per_gpu)
+            })
+            .collect();
+        std::hint::black_box(v);
+    });
+
     let pm = PerfModel::frontier(1024);
     let sup = MoeModelConfig::super_();
     let par = ParallelConfig::new(1024, 256)
         .with_tp(2)
         .with_ssmb(true)
         .with_batch(1, 1024);
-    c.bench_function("step_model_super_1024", |b| {
-        b.iter(|| {
+    bench("step_model_super_1024", || {
+        std::hint::black_box(
             pm.step(&sup, &par, MoeSystem::XMoe, &PerfOpts::xmoe())
-                .step_time
-        })
+                .step_time,
+        );
     });
-}
 
-fn bench_memory_accounting(c: &mut Criterion) {
     let large = MoeModelConfig::large();
-    c.bench_function("memory_total_per_gpu_large", |b| {
-        b.iter(|| {
-            MoeSystem::ALL
-                .iter()
-                .map(|&sys| {
-                    memory::total_per_gpu(&large, &ParallelConfig::new(256, 64), sys).total()
-                })
-                .sum::<u64>()
-        })
+    bench("memory_total_per_gpu_large", || {
+        let total: u64 = MoeSystem::ALL
+            .iter()
+            .map(|&sys| memory::total_per_gpu(&large, &ParallelConfig::new(256, 64), sys).total())
+            .sum();
+        std::hint::black_box(total);
     });
 }
-
-criterion_group!(
-    benches,
-    bench_best_throughput_sweep,
-    bench_step_model,
-    bench_memory_accounting
-);
-criterion_main!(benches);

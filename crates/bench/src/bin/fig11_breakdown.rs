@@ -10,7 +10,7 @@
 //!    labels from actual message sizes.
 
 use xmoe_bench::{fmt_time, print_table, shape_check};
-use xmoe_collectives::SimCluster;
+use xmoe_collectives::{RankTrace, SimCluster, StepReport};
 use xmoe_core::config::{MoeModelConfig, ParallelConfig};
 use xmoe_core::expert::ExpertShard;
 use xmoe_core::gating::Router;
@@ -118,10 +118,10 @@ fn main() {
     // GShard capacity rule at the live dimensions.
     let capacity = (1.25 * (s * k) as f64 / e as f64).ceil() as usize;
     let spec = MoeLayerSpec::new(e, capacity);
-    let live = |dense: bool| -> Vec<(String, f64)> {
+    let live = |dense: bool| -> StepReport {
         let router = &router;
         let spec = &spec;
-        SimCluster::frontier(8).run(move |ctx| {
+        let traces = SimCluster::frontier(8).run(move |ctx| {
             let shard = ExpertShard::for_rank(ctx.rank, 8, e, h, f, 778);
             let tokens = Tensor::rand_uniform(s, h, 1.0, 900 + ctx.rank as u64);
             if dense {
@@ -144,9 +144,9 @@ fn main() {
                     &mut ctx.clock,
                 );
             }
-            ctx.clock.buckets().to_vec()
-        })[0]
-            .clone()
+            RankTrace::capture(ctx.rank, &mut ctx.clock, ctx.world.traffic())
+        });
+        StepReport::from_ranks(&traces)
     };
     let ds_live = live(true);
     let x_live = live(false);
@@ -161,27 +161,42 @@ fn main() {
     let rows: Vec<Vec<String>> = labels
         .iter()
         .map(|&l| {
-            let d = ds_live
-                .iter()
-                .find(|(n, _)| n == l)
-                .map_or(0.0, |(_, t)| *t);
-            let x = x_live.iter().find(|(n, _)| n == l).map_or(0.0, |(_, t)| *t);
-            vec![l.to_string(), fmt_time(d), fmt_time(x)]
+            let straggler = x_live.stage(l).map_or(0, |st| st.straggler);
+            vec![
+                l.to_string(),
+                fmt_time(ds_live.mean(l)),
+                fmt_time(x_live.mean(l)),
+                fmt_time(x_live.max(l)),
+                format!("r{straggler}"),
+            ]
         })
         .collect();
     print_table(
-        "live stage times (reduced dims)",
-        &["stage", "DS-MoE", "X-MoE"],
+        "live stage times (reduced dims, mean over 8 ranks)",
+        &[
+            "stage",
+            "DS-MoE mean",
+            "X-MoE mean",
+            "X-MoE max",
+            "X straggler",
+        ],
         &rows,
     );
-    let total = |b: &[(String, f64)]| -> f64 { b.iter().map(|(_, t)| t).sum() };
+    println!(
+        "  sync-wait (mean per rank): DS {}  X {}  | off-node bytes: DS {}  X {}",
+        fmt_time(ds_live.total_mean_wait()),
+        fmt_time(x_live.total_mean_wait()),
+        ds_live.total_traffic().off_node(),
+        x_live.total_traffic().off_node(),
+    );
     shape_check(
         "live: X-MoE layer faster end to end at reduced dims too",
-        total(&x_live) < total(&ds_live),
+        x_live.total_mean_work() + x_live.total_mean_wait()
+            < ds_live.total_mean_work() + ds_live.total_mean_wait(),
         &format!(
             "X {} vs DS {}",
-            fmt_time(total(&x_live)),
-            fmt_time(total(&ds_live))
+            fmt_time(x_live.total_mean_work() + x_live.total_mean_wait()),
+            fmt_time(ds_live.total_mean_work() + ds_live.total_mean_wait())
         ),
     );
 }

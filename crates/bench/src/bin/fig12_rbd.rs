@@ -6,7 +6,7 @@
 //! whose simulated clocks split the stages the same way.
 
 use xmoe_bench::{fmt_time, print_table, shape_check};
-use xmoe_collectives::SimCluster;
+use xmoe_collectives::{RankTrace, SimCluster, StepReport};
 use xmoe_core::config::{MoeModelConfig, ParallelConfig};
 use xmoe_core::expert::ExpertShard;
 use xmoe_core::gating::Router;
@@ -75,10 +75,10 @@ fn main() {
     let (s, h, f, e, k) = (512usize, 128usize, 32usize, 32usize, 8usize);
     let router = Router::new(h, e, k, 121);
     let spec = MoeLayerSpec::new(e, usize::MAX / 2);
-    let plain_buckets = {
+    let plain_report = {
         let router = &router;
         let spec = &spec;
-        SimCluster::frontier(32).run(move |ctx| {
+        let traces = SimCluster::frontier(32).run(move |ctx| {
             let shard = ExpertShard::for_rank(ctx.rank, 32, e, h, f, 122);
             let tokens = Tensor::rand_uniform(s, h, 1.0, 1000 + ctx.rank as u64);
             let _ = pipeline::padding_free::forward_ep(
@@ -89,16 +89,14 @@ fn main() {
                 &ctx.world,
                 &mut ctx.clock,
             );
-            (
-                ctx.clock.bucket("dispatch_a2a"),
-                ctx.clock.bucket("combine_a2a"),
-            )
-        })[0]
+            RankTrace::capture(ctx.rank, &mut ctx.clock, ctx.world.traffic())
+        });
+        StepReport::from_ranks(&traces)
     };
-    let rbd_buckets = {
+    let rbd_report = {
         let router = &router;
         let spec = &spec;
-        SimCluster::frontier(32).run(move |ctx| {
+        let traces = SimCluster::frontier(32).run(move |ctx| {
             let shard = ExpertShard::for_rank(ctx.rank, 32, e, h, f, 122);
             let tokens = Tensor::rand_uniform(s, h, 1.0, 1000 + ctx.rank as u64);
             let comms = RbdComms::create(&ctx.world, &mut ctx.clock);
@@ -112,35 +110,58 @@ fn main() {
                 &mut rng,
                 &mut ctx.clock,
             );
-            (
-                ctx.clock.bucket("dispatch_a2a_inter") + ctx.clock.bucket("dispatch_a2a_intra"),
-                ctx.clock.bucket("combine_a2a_inter") + ctx.clock.bucket("combine_a2a_intra"),
-            )
-        })[0]
+            RankTrace::capture(ctx.rank, &mut ctx.clock, ctx.world.traffic())
+        });
+        StepReport::from_ranks(&traces)
     };
+    let plain_a2a = (
+        plain_report.mean("dispatch_a2a"),
+        plain_report.mean("combine_a2a"),
+    );
+    let rbd_a2a = (
+        rbd_report.mean("dispatch_a2a_inter") + rbd_report.mean("dispatch_a2a_intra"),
+        rbd_report.mean("combine_a2a_inter") + rbd_report.mean("combine_a2a_intra"),
+    );
     print_table(
-        "live all-to-all time per layer (reduced dims)",
-        &["variant", "dispatch a2a", "combine a2a"],
+        "live all-to-all time per layer (reduced dims, mean over 32 ranks)",
+        &["variant", "dispatch a2a", "combine a2a", "off-node GiB"],
         &[
             vec![
                 "PFT (no RBD)".into(),
-                fmt_time(plain_buckets.0),
-                fmt_time(plain_buckets.1),
+                fmt_time(plain_a2a.0),
+                fmt_time(plain_a2a.1),
+                format!(
+                    "{:.3}",
+                    plain_report.total_traffic().off_node() as f64 / (1u64 << 30) as f64
+                ),
             ],
             vec![
                 "PFT + RBD".into(),
-                fmt_time(rbd_buckets.0),
-                fmt_time(rbd_buckets.1),
+                fmt_time(rbd_a2a.0),
+                fmt_time(rbd_a2a.1),
+                format!(
+                    "{:.3}",
+                    rbd_report.total_traffic().off_node() as f64 / (1u64 << 30) as f64
+                ),
             ],
         ],
     );
     shape_check(
         "live: RBD reduces total a2a time at 4-node scale",
-        rbd_buckets.0 + rbd_buckets.1 < plain_buckets.0 + plain_buckets.1,
+        rbd_a2a.0 + rbd_a2a.1 < plain_a2a.0 + plain_a2a.1,
         &format!(
             "RBD {} vs plain {}",
-            fmt_time(rbd_buckets.0 + rbd_buckets.1),
-            fmt_time(plain_buckets.0 + plain_buckets.1)
+            fmt_time(rbd_a2a.0 + rbd_a2a.1),
+            fmt_time(plain_a2a.0 + plain_a2a.1)
+        ),
+    );
+    shape_check(
+        "live: RBD cuts off-node traffic",
+        rbd_report.total_traffic().off_node() < plain_report.total_traffic().off_node(),
+        &format!(
+            "RBD {} vs plain {} bytes",
+            rbd_report.total_traffic().off_node(),
+            plain_report.total_traffic().off_node()
         ),
     );
 }

@@ -1,16 +1,44 @@
-//! Per-rank simulated time with named accounting buckets.
+//! Per-rank simulated time with complete, span-level accounting.
 //!
 //! Compute stages charge analytic kernel times; collectives charge cost-model
-//! times (see [`crate::Communicator`]). The named buckets reproduce the
-//! paper's stage breakdowns (Fig 11: gating / buffer dispatch / dispatch
-//! all-to-all / expert / combine all-to-all / buffer combine; Fig 12: RBD
-//! stage split).
+//! times (see [`crate::Communicator`]). Every second the clock advances is
+//! recorded as a [`Span`] — either productive work or straggler sync-wait —
+//! so the named stage buckets plus their `sync_wait:` companions always sum
+//! exactly to [`SimClock::now`]. The stage names reproduce the paper's
+//! breakdowns (Fig 11: gating / buffer dispatch / dispatch all-to-all /
+//! expert / combine all-to-all / buffer combine; Fig 12: RBD stage split).
+//!
+//! # Attribution model
+//!
+//! Collectives do not know which pipeline stage they serve, so they record
+//! *pending* time (tagged with the collective op name as a fallback label).
+//! The call site then claims everything pending with
+//! [`commit`](SimClock::commit), which drains it into the stage's bucket —
+//! transfer time under the stage label, straggler-wait time under
+//! `sync_wait:<stage>`. Pending time never silently disappears: a
+//! [`charge`](SimClock::charge) or [`flush`](SimClock::flush) first drains
+//! any leftovers under their fallback labels. This replaces the old
+//! `bucket_last` pattern, which attributed only the final `advance` delta
+//! and dropped sync-wait (and any earlier unclaimed advance) on the floor.
+
+use crate::trace::Span;
+
+/// One not-yet-committed slice of time, labeled with the fallback name of
+/// whatever advanced the clock (a collective op, or "unattributed").
+#[derive(Clone, Debug)]
+struct Pending {
+    fallback: String,
+    start: f64,
+    dur: f64,
+    wait: bool,
+}
 
 /// Simulated wall-clock of one rank, in seconds.
 #[derive(Clone, Debug, Default)]
 pub struct SimClock {
     now: f64,
-    last_delta: f64,
+    spans: Vec<Span>,
+    pending: Vec<Pending>,
     buckets: Vec<(String, f64)>,
 }
 
@@ -24,38 +52,121 @@ impl SimClock {
         self.now
     }
 
-    /// The duration charged by the most recent [`advance`](Self::advance) /
-    /// [`advance_to`](Self::advance_to) call. Lets callers attribute a
-    /// collective's cost to a named bucket after the fact.
-    pub fn last_delta(&self) -> f64 {
-        self.last_delta
-    }
-
-    /// Advance by `dt` seconds (`dt >= 0`).
+    /// Advance by `dt` seconds of work (`dt >= 0`), attribution deferred to
+    /// the next [`commit`](Self::commit) (or fallback-labeled on flush).
     pub fn advance(&mut self, dt: f64) {
-        debug_assert!(dt >= 0.0, "negative time step {dt}");
-        self.now += dt;
-        self.last_delta = dt;
+        self.advance_op("unattributed", dt);
     }
 
-    /// Jump to an absolute time not before the current one (used by
-    /// collectives to synchronize to the group max before charging).
+    /// Jump to an absolute time not before the current one; the gap is
+    /// recorded as pending sync-wait. Used by collectives to synchronize to
+    /// the group max before charging transfer time.
     pub fn advance_to(&mut self, t: f64) {
-        let target = t.max(self.now);
-        self.last_delta = target - self.now;
-        self.now = target;
+        self.advance_to_op("unattributed", t);
     }
 
-    /// Advance by `dt` and attribute it to `label`.
+    /// [`advance`](Self::advance) with an explicit fallback label (the
+    /// collective op name, e.g. `"all_to_all"`).
+    pub fn advance_op(&mut self, op: &str, dt: f64) {
+        debug_assert!(dt >= 0.0, "negative time step {dt}");
+        if dt > 0.0 {
+            self.pending.push(Pending {
+                fallback: op.to_string(),
+                start: self.now,
+                dur: dt,
+                wait: false,
+            });
+        }
+        self.now += dt;
+    }
+
+    /// [`advance_to`](Self::advance_to) with an explicit fallback label.
+    pub fn advance_to_op(&mut self, op: &str, t: f64) {
+        if t > self.now {
+            self.pending.push(Pending {
+                fallback: op.to_string(),
+                start: self.now,
+                dur: t - self.now,
+                wait: true,
+            });
+            self.now = t;
+        }
+    }
+
+    /// Advance by `dt` and attribute it to `label` immediately. Any pending
+    /// collective time is flushed first (under its fallback labels) so spans
+    /// stay chronological.
     pub fn charge(&mut self, label: &str, dt: f64) {
-        self.advance(dt);
-        self.attribute(label, dt);
+        self.flush();
+        debug_assert!(dt >= 0.0, "negative time step {dt}");
+        let start = self.now;
+        self.now += dt;
+        self.record(label, start, dt, false);
     }
 
-    /// Attribute the last advance to `label` (e.g. after a collective call).
-    pub fn bucket_last(&mut self, label: &str) {
-        let dt = self.last_delta;
-        self.attribute(label, dt);
+    /// Claim all pending time for `label`: transfer/work slices land in the
+    /// `label` bucket, sync-wait slices in `sync_wait:<label>`. Returns the
+    /// total duration committed. This is the span-complete replacement for
+    /// the old `bucket_last`.
+    pub fn commit(&mut self, label: &str) -> f64 {
+        let drained = std::mem::take(&mut self.pending);
+        let mut total = 0.0;
+        for p in drained {
+            total += p.dur;
+            self.record(label, p.start, p.dur, p.wait);
+        }
+        total
+    }
+
+    /// Drain pending time under the fallback labels recorded by whoever
+    /// advanced the clock. Call before reading buckets/spans when the last
+    /// collective was not followed by a [`commit`](Self::commit).
+    pub fn flush(&mut self) {
+        let drained = std::mem::take(&mut self.pending);
+        for p in drained {
+            let label = p.fallback.clone();
+            self.record(&label, p.start, p.dur, p.wait);
+        }
+    }
+
+    /// Position marker into the pending queue, for collectives that build on
+    /// other collectives (see [`pending_work_since`](Self::pending_work_since)).
+    pub fn mark(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Total non-wait (transfer/work) time recorded since `mark`. Lets a
+    /// composite collective price itself as `max(own_cost, inner_cost)`
+    /// without guessing which advance was the inner one.
+    pub fn pending_work_since(&self, mark: usize) -> f64 {
+        self.pending[mark.min(self.pending.len())..]
+            .iter()
+            .filter(|p| !p.wait)
+            .map(|p| p.dur)
+            .sum()
+    }
+
+    /// Rewrite the fallback label of everything pending since `mark` (a
+    /// composite collective claiming its inner collectives' time).
+    pub fn relabel_pending_since(&mut self, mark: usize, op: &str) {
+        let lo = mark.min(self.pending.len());
+        for p in &mut self.pending[lo..] {
+            p.fallback = op.to_string();
+        }
+    }
+
+    fn record(&mut self, label: &str, start: f64, dur: f64, wait: bool) {
+        if wait {
+            self.attribute(&format!("sync_wait:{label}"), dur);
+        } else {
+            self.attribute(label, dur);
+        }
+        self.spans.push(Span {
+            label: label.to_string(),
+            start,
+            dur,
+            wait,
+        });
     }
 
     fn attribute(&mut self, label: &str, dt: f64) {
@@ -66,7 +177,8 @@ impl SimClock {
         }
     }
 
-    /// Accumulated time in `label`'s bucket.
+    /// Accumulated time in `label`'s bucket (wait buckets are named
+    /// `sync_wait:<label>`).
     pub fn bucket(&self, label: &str) -> f64 {
         self.buckets
             .iter()
@@ -74,14 +186,23 @@ impl SimClock {
             .map_or(0.0, |(_, t)| *t)
     }
 
-    /// All buckets in first-charge order.
+    /// All buckets in first-charge order. Excludes still-pending time; call
+    /// [`flush`](Self::flush) first for a complete view.
     pub fn buckets(&self) -> &[(String, f64)] {
         &self.buckets
     }
 
-    /// Clear buckets but keep the current time (per-step breakdowns).
+    /// All committed spans in chronological order.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// Clear buckets and spans but keep the current time (per-step
+    /// breakdowns). Pending time is flushed first so it is not lost.
     pub fn reset_buckets(&mut self) {
+        self.flush();
         self.buckets.clear();
+        self.spans.clear();
     }
 }
 
@@ -95,7 +216,6 @@ mod tests {
         c.advance(1.5);
         c.advance(0.5);
         assert_eq!(c.now(), 2.0);
-        assert_eq!(c.last_delta(), 0.5);
     }
 
     #[test]
@@ -104,10 +224,8 @@ mod tests {
         c.advance(5.0);
         c.advance_to(3.0);
         assert_eq!(c.now(), 5.0);
-        assert_eq!(c.last_delta(), 0.0);
         c.advance_to(7.0);
         assert_eq!(c.now(), 7.0);
-        assert_eq!(c.last_delta(), 2.0);
     }
 
     #[test]
@@ -123,11 +241,56 @@ mod tests {
     }
 
     #[test]
-    fn bucket_last_attributes_previous_advance() {
+    fn commit_claims_work_and_wait_separately() {
         let mut c = SimClock::new();
-        c.advance(0.75);
-        c.bucket_last("comm");
-        assert_eq!(c.bucket("comm"), 0.75);
+        c.advance_to_op("all_to_all", 0.25); // straggler wait
+        c.advance_op("all_to_all", 0.75); // transfer
+        let total = c.commit("dispatch_a2a");
+        assert_eq!(total, 1.0);
+        assert_eq!(c.bucket("dispatch_a2a"), 0.75);
+        assert_eq!(c.bucket("sync_wait:dispatch_a2a"), 0.25);
+        assert_eq!(c.spans().len(), 2);
+        assert!(c.spans()[0].wait && !c.spans()[1].wait);
+    }
+
+    #[test]
+    fn flush_uses_fallback_labels() {
+        let mut c = SimClock::new();
+        c.advance_op("all_gather", 0.5);
+        c.advance_to_op("all_gather", 0.8);
+        c.charge("expert", 1.0); // implicit flush
+        assert_eq!(c.bucket("all_gather"), 0.5);
+        assert!((c.bucket("sync_wait:all_gather") - 0.3).abs() < 1e-12);
+        assert_eq!(c.bucket("expert"), 1.0);
+    }
+
+    #[test]
+    fn spans_sum_to_now_after_flush() {
+        let mut c = SimClock::new();
+        c.charge("gating", 0.1);
+        c.advance_to_op("all_to_all", 0.3);
+        c.advance_op("all_to_all", 0.2);
+        c.commit("dispatch_a2a");
+        c.advance_op("split", 0.05);
+        c.flush();
+        let sum: f64 = c.spans().iter().map(|s| s.dur).sum();
+        assert!((sum - c.now()).abs() < 1e-12);
+        let bsum: f64 = c.buckets().iter().map(|(_, t)| t).sum();
+        assert!((bsum - c.now()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn composite_marks_measure_inner_work() {
+        let mut c = SimClock::new();
+        let m = c.mark();
+        c.advance_to_op("all_gather", 0.4); // wait: not counted as work
+        c.advance_op("all_gather", 0.3);
+        assert!((c.pending_work_since(m) - 0.3).abs() < 1e-12);
+        c.relabel_pending_since(m, "all_reduce");
+        c.flush();
+        assert_eq!(c.bucket("all_reduce"), 0.3);
+        assert_eq!(c.bucket("sync_wait:all_reduce"), 0.4);
+        assert_eq!(c.bucket("all_gather"), 0.0);
     }
 
     #[test]
@@ -137,5 +300,6 @@ mod tests {
         c.reset_buckets();
         assert_eq!(c.now(), 1.0);
         assert!(c.buckets().is_empty());
+        assert!(c.spans().is_empty());
     }
 }

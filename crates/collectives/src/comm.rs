@@ -7,9 +7,9 @@
 
 use std::any::Any;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use xmoe_topology::{CostModel, LinkClass};
 
 use crate::SimClock;
@@ -51,7 +51,10 @@ struct Packet {
 
 struct Link {
     tx: Sender<Packet>,
-    rx: Receiver<Packet>,
+    /// `std::sync::mpsc::Receiver` is `!Sync`; the mutex makes the link
+    /// matrix shareable. Only the destination rank ever locks it, so the
+    /// lock is always uncontended.
+    rx: Mutex<Receiver<Packet>>,
 }
 
 /// Shared state of one communicator: the member ranks (global ids) and the
@@ -73,8 +76,11 @@ impl CommState {
             .map(|_| {
                 (0..n)
                     .map(|_| {
-                        let (tx, rx) = unbounded();
-                        Link { tx, rx }
+                        let (tx, rx) = channel();
+                        Link {
+                            tx,
+                            rx: Mutex::new(rx),
+                        }
                     })
                     .collect()
             })
@@ -188,6 +194,8 @@ impl Communicator {
     fn recv_from(&self, src: usize) -> Packet {
         self.state.links[src][self.me]
             .rx
+            .lock()
+            .expect("link mutex poisoned")
             .recv()
             .expect("peer rank hung up mid-collective")
     }
@@ -243,8 +251,8 @@ impl Communicator {
             .state
             .cost
             .alltoallv_time(&self.state.ranks, &|i, j| size_rows[i][j]);
-        clock.advance_to(start);
-        clock.advance(t);
+        clock.advance_to_op("all_to_all", start);
+        clock.advance_op("all_to_all", t);
         recv
     }
 
@@ -297,20 +305,26 @@ impl Communicator {
             max_bytes = max_bytes.max(bytes);
         }
         let t = self.state.cost.allgather_time(&self.state.ranks, max_bytes);
-        clock.advance_to(start);
-        clock.advance(t);
+        clock.advance_to_op("all_gather", start);
+        clock.advance_op("all_gather", t);
         out
     }
 
     /// All-reduce (sum) of an `f32` buffer; all ranks must pass equal-length
     /// buffers and all end with the identical elementwise sum.
     pub fn all_reduce_sum_f32(&self, buf: &mut [f32], clock: &mut SimClock) {
+        let mark = clock.mark();
         let parts = self.all_gather(buf.to_vec(), clock);
-        // Replace the all-gather charge with the (cheaper) ring all-reduce.
-        let gathered_dt = clock.last_delta();
+        // Price as a ring all-reduce: top up the inner all-gather's work time
+        // (measured, not guessed from the last advance) to the all-reduce
+        // cost, and claim the whole thing under one op label.
+        let inner_work = clock.pending_work_since(mark);
         let bytes = buf.len() as u64 * 4;
         let t = self.state.cost.allreduce_time(&self.state.ranks, bytes);
-        clock.advance(t - gathered_dt.min(t));
+        if t > inner_work {
+            clock.advance_op("all_reduce", t - inner_work);
+        }
+        clock.relabel_pending_since(mark, "all_reduce");
         for (i, part) in parts.iter().enumerate() {
             if i == self.me {
                 continue;
@@ -335,13 +349,20 @@ impl Communicator {
         let send: Vec<Vec<f32>> = (0..n)
             .map(|j| buf[j * chunk..(j + 1) * chunk].to_vec())
             .collect();
+        let mark = clock.mark();
         let parts = self.all_to_all_v(send, clock);
-        let gathered_dt = clock.last_delta();
+        // Top up the inner all-to-all's work time to the reduce-scatter cost
+        // (the old code read `last_delta`, wrongly assuming the preceding
+        // advance was an internal all-gather) and claim it as one op.
+        let inner_work = clock.pending_work_since(mark);
         let t = self
             .state
             .cost
             .reduce_scatter_time(&self.state.ranks, buf.len() as u64 * 4);
-        clock.advance(t - gathered_dt.min(t));
+        if t > inner_work {
+            clock.advance_op("reduce_scatter", t - inner_work);
+        }
+        clock.relabel_pending_since(mark, "reduce_scatter");
         let mut out = vec![0.0f32; chunk];
         for part in &parts {
             for (o, p) in out.iter_mut().zip(part) {
@@ -371,7 +392,7 @@ impl Communicator {
             }
             let bytes = v.len() as u64 * std::mem::size_of::<T>() as u64;
             let t = self.state.cost.allgather_time(&self.state.ranks, bytes);
-            clock.advance(t);
+            clock.advance_op("broadcast", t);
             v
         } else {
             let pkt = self.recv_from(root);
@@ -381,22 +402,26 @@ impl Communicator {
                 .expect("collective type mismatch in broadcast");
             let bytes = v.len() as u64 * std::mem::size_of::<T>() as u64;
             let t = self.state.cost.allgather_time(&self.state.ranks, bytes);
-            clock.advance_to(pkt.clock);
-            clock.advance(t);
+            clock.advance_to_op("broadcast", pkt.clock);
+            clock.advance_op("broadcast", t);
             v
         }
     }
 
     /// Synchronize all ranks (and their simulated clocks).
     pub fn barrier(&self, clock: &mut SimClock) {
+        let mark = clock.mark();
         let _ = self.all_gather::<u8>(Vec::new(), clock);
+        clock.relabel_pending_since(mark, "barrier");
     }
 
     /// Collectively split into sub-communicators by `color`. Ranks with the
     /// same color form a new communicator, ordered by their local rank in
     /// the parent. Every member of the parent must call `split`.
     pub fn split(&self, color: usize, clock: &mut SimClock) -> Communicator {
+        let mark = clock.mark();
         let colors = self.all_gather(vec![color as u64], clock);
+        clock.relabel_pending_since(mark, "split");
         let members: Vec<usize> = (0..self.size())
             .filter(|&i| colors[i][0] == color as u64)
             .collect();

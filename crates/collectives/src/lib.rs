@@ -21,8 +21,10 @@ pub mod clock;
 pub mod comm;
 pub mod hierarchical;
 pub mod runtime;
+pub mod trace;
 
 pub use clock::SimClock;
 pub use comm::{Communicator, TrafficStats};
 pub use hierarchical::HierarchicalComm;
 pub use runtime::{RankCtx, SimCluster};
+pub use trace::{RankTrace, Span, StageStat, StepReport};

@@ -158,9 +158,9 @@ mod tests {
         let total: usize = co.iter().flatten().sum();
         assert_eq!(total, 32 * 3);
         // Lower triangle and diagonal stay zero by construction.
-        for a in 0..6 {
-            for b in 0..=a {
-                assert_eq!(co[a][b], 0);
+        for (a, row) in co.iter().enumerate() {
+            for &v in row.iter().take(a + 1) {
+                assert_eq!(v, 0);
             }
         }
     }

@@ -641,8 +641,10 @@ mod tests {
         let large = MoeModelConfig::large();
         let par = ParallelConfig::new(32, 32);
         let plain = pm.moe_stage_times(&large, MoeSystem::XMoe, &par, &PerfOpts::default());
-        let mut o = PerfOpts::default();
-        o.rbd = true;
+        let o = PerfOpts {
+            rbd: true,
+            ..PerfOpts::default()
+        };
         let rbd = pm.moe_stage_times(&large, MoeSystem::XMoe, &par, &o);
         let speedup = plain.dispatch_a2a / rbd.dispatch_a2a;
         assert!(

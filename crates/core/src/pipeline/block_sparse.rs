@@ -12,11 +12,13 @@
 //! equivalent — zero rows contribute nothing) plus the padding-waste
 //! accounting the `ablation_blocksparse` bench sweeps.
 
+use xmoe_collectives::{Communicator, SimClock};
 use xmoe_tensor::{gather_rows, scatter_rows_scaled, Tensor};
 
 use crate::expert::ExpertShard;
 use crate::gating::Router;
 use crate::pft::Pft;
+use crate::pipeline::padding_free::EpRoute;
 use crate::pipeline::MoeLayerSpec;
 
 /// Round `n` up to a multiple of `block`.
@@ -107,10 +109,114 @@ pub fn forward_single_block_sparse(
     out
 }
 
+/// Copy `counts[e]` rows per expert from `src` into segments of
+/// `dst_counts[e]` rows in a zeroed buffer (block padding), or back out
+/// (stripping) when `dst_counts` is the unpadded side.
+fn copy_segments(src: &Tensor, src_counts: &[usize], dst: &mut Tensor, dst_counts: &[usize]) {
+    let hidden = src.cols();
+    let d = dst.as_mut_slice();
+    let (mut src_row, mut dst_row) = (0usize, 0usize);
+    for e in 0..src_counts.len() {
+        let real = src_counts[e].min(dst_counts[e]);
+        if real > 0 {
+            d[dst_row * hidden..(dst_row + real) * hidden]
+                .copy_from_slice(&src.as_slice()[src_row * hidden..(src_row + real) * hidden]);
+        }
+        src_row += src_counts[e];
+        dst_row += dst_counts[e];
+    }
+}
+
+/// Distributed block-sparse MoE layer over an expert-parallel group: the
+/// same uneven dispatch/combine as [`crate::pipeline::padding_free::forward_ep`],
+/// but each local expert's segment is zero-padded to a multiple of the tile
+/// size before the GEMM (and the padded rows' FLOPs are charged — the waste
+/// the paper measures). Charges the six Fig 11 stage labels.
+pub fn forward_ep_block_sparse(
+    tokens: &Tensor,
+    router: &Router,
+    shard: &ExpertShard,
+    spec: &MoeLayerSpec,
+    block: usize,
+    ep: &Communicator,
+    clock: &mut SimClock,
+) -> Tensor {
+    let cost = ep.cost().clone();
+    let hidden = tokens.cols();
+
+    // --- Gating + PFT construction -------------------------------------
+    let gating = router.gate(tokens);
+    let pft = Pft::construct(&gating, spec.num_experts, spec.capacity, spec.policy);
+    let gate_flops = 2.0 * tokens.rows() as f64 * hidden as f64 * spec.num_experts as f64;
+    let pft_bytes = (tokens.rows() * gating.k()) as f64 * 32.0;
+    clock.charge(
+        "gating",
+        cost.compute_time(gate_flops) + cost.mem_bound_time(pft_bytes),
+    );
+
+    // --- Buffer dispatch ------------------------------------------------
+    let dispatch_in = gather_rows(tokens, &pft.token_ids);
+    clock.charge(
+        "buffer_dispatch",
+        cost.mem_bound_time(2.0 * (pft.len() * hidden * 4) as f64),
+    );
+
+    // --- Dispatch all-to-all (uneven) -----------------------------------
+    let route = EpRoute::build(pft, spec, ep, clock);
+    clock.commit("dispatch_a2a_meta");
+    let expert_input = route.to_experts(&dispatch_in, ep, clock);
+    clock.commit("dispatch_a2a");
+
+    // --- Block-pad each local expert segment to the tile boundary -------
+    let counts = &route.tokens_per_local_expert;
+    let padded_counts: Vec<usize> = counts.iter().map(|&c| round_up(c, block)).collect();
+    let padded_total: usize = padded_counts.iter().sum();
+    let mut padded_buf = Tensor::zeros(padded_total, hidden);
+    copy_segments(&expert_input, counts, &mut padded_buf, &padded_counts);
+    clock.charge(
+        "buffer_dispatch",
+        cost.mem_bound_time(2.0 * (padded_total * hidden * 4) as f64),
+    );
+
+    // --- Expert computation over the padded tiles -----------------------
+    let out_padded = shard.forward_segments(&padded_buf, &padded_counts);
+    let ffn = shard.experts.first().map_or(0, |e| e.w1.cols());
+    let expert_flops = 4.0 * padded_total as f64 * hidden as f64 * ffn as f64;
+    clock.charge("expert", cost.compute_time(expert_flops));
+
+    // --- Strip the padding ----------------------------------------------
+    let mut mlp_out = Tensor::zeros(route.recv_total(), hidden);
+    copy_segments(&out_padded, &padded_counts, &mut mlp_out, counts);
+    clock.charge(
+        "buffer_combine",
+        cost.mem_bound_time(2.0 * (route.recv_total() * hidden * 4) as f64),
+    );
+
+    // --- Combine all-to-all (reverse route) -----------------------------
+    let combine_in = route.to_source(&mlp_out, ep, clock);
+    clock.commit("combine_a2a");
+
+    // --- Buffer combine -------------------------------------------------
+    let mut out = Tensor::zeros(tokens.rows(), hidden);
+    scatter_rows_scaled(
+        &combine_in,
+        &route.pft.token_ids,
+        &route.pft.combine_weights,
+        &mut out,
+    );
+    clock.charge(
+        "buffer_combine",
+        cost.mem_bound_time(2.0 * (route.pft.len() * hidden * 4) as f64),
+    );
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::gating::DropPolicy;
     use crate::pipeline::padding_free;
+    use xmoe_collectives::SimCluster;
 
     #[test]
     fn round_up_basics() {
@@ -148,6 +254,83 @@ mod tests {
         // Counts 3 and 5 with block 4 -> padded 4 + 8 = 12 for 8 real rows.
         let w = block_padding_waste(&[3, 5], 4);
         assert!((w - (1.0 - 8.0 / 12.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distributed_block_sparse_matches_padding_free_ep() {
+        let (s, h, f, e, k) = (24usize, 16usize, 8usize, 8usize, 3usize);
+        let world = 4usize;
+        let router = Router::new(h, e, k, 301);
+        let sp = MoeLayerSpec::new(e, 10_000).with_policy(DropPolicy::CapacityOnly);
+        let reference = SimCluster::frontier(world).run(|ctx| {
+            let shard = ExpertShard::for_rank(ctx.rank, world, e, h, f, 302);
+            let tokens = Tensor::rand_uniform(s, h, 1.0, 303 + ctx.rank as u64);
+            padding_free::forward_ep(&tokens, &router, &shard, &sp, &ctx.world, &mut ctx.clock)
+        });
+        for block in [1usize, 4, 64] {
+            let outs = SimCluster::frontier(world).run(|ctx| {
+                let shard = ExpertShard::for_rank(ctx.rank, world, e, h, f, 302);
+                let tokens = Tensor::rand_uniform(s, h, 1.0, 303 + ctx.rank as u64);
+                forward_ep_block_sparse(
+                    &tokens,
+                    &router,
+                    &shard,
+                    &sp,
+                    block,
+                    &ctx.world,
+                    &mut ctx.clock,
+                )
+            });
+            for (r, (a, b)) in reference.iter().zip(&outs).enumerate() {
+                assert!(
+                    a.allclose(b, 1e-4),
+                    "block {block} rank {r}: max diff {}",
+                    a.max_abs_diff(b)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn distributed_block_sparse_charges_stages_and_padded_flops() {
+        let (s, h, f, e, k) = (16usize, 8usize, 4usize, 4usize, 2usize);
+        let router = Router::new(h, e, k, 311);
+        let sp = MoeLayerSpec::new(e, 1000).with_policy(DropPolicy::CapacityOnly);
+        let run = |block: usize| {
+            let router = &router;
+            let sp = &sp;
+            SimCluster::frontier(4).run(move |ctx| {
+                let shard = ExpertShard::for_rank(ctx.rank, 4, e, h, f, 312);
+                let tokens = Tensor::rand_uniform(s, h, 1.0, 313);
+                let _ = forward_ep_block_sparse(
+                    &tokens,
+                    router,
+                    &shard,
+                    sp,
+                    block,
+                    &ctx.world,
+                    &mut ctx.clock,
+                );
+                (ctx.clock.bucket("expert"), ctx.clock.buckets().to_vec())
+            })
+        };
+        let fine = run(1);
+        let padded = run(128);
+        for ((e1, labels), (e128, _)) in fine.iter().zip(&padded) {
+            let names: Vec<&str> = labels.iter().map(|(l, _)| l.as_str()).collect();
+            for want in [
+                "gating",
+                "buffer_dispatch",
+                "dispatch_a2a",
+                "expert",
+                "combine_a2a",
+                "buffer_combine",
+            ] {
+                assert!(names.contains(&want), "missing stage {want}: {names:?}");
+            }
+            // Padding to 128-row tiles must charge strictly more expert time.
+            assert!(e128 > e1, "padded expert {e128} must exceed unpadded {e1}");
+        }
     }
 
     #[test]

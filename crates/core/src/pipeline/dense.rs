@@ -176,7 +176,7 @@ pub fn forward_ep_dense(
         })
         .collect();
     let recv = ep.all_to_all(send, clock);
-    clock.bucket_last("dispatch_a2a");
+    clock.commit("dispatch_a2a");
 
     // Arrange expert input: for local expert e, concatenate every source's
     // C-row slab (total W*C rows per expert).
@@ -212,7 +212,7 @@ pub fn forward_ep_dense(
         })
         .collect();
     let recv_back = ep.all_to_all(send_back, clock);
-    clock.bucket_last("combine_a2a");
+    clock.commit("combine_a2a");
 
     // Reassemble the [E*C, H] output buffer in global-expert order.
     let mut full_out = Tensor::zeros(spec.num_experts * c, hidden);

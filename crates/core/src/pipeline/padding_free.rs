@@ -208,9 +208,13 @@ pub fn forward_ep(
     );
 
     // --- Dispatch all-to-all (uneven, no padding) -----------------------
+    // The count-exchange metadata all-to-all is charged separately from the
+    // token payload so payload comparisons across pipelines stay apples to
+    // apples.
     let route = EpRoute::build(pft, spec, ep, clock);
+    clock.commit("dispatch_a2a_meta");
     let expert_input = route.to_experts(&dispatch_in, ep, clock);
-    clock.bucket_last("dispatch_a2a");
+    clock.commit("dispatch_a2a");
 
     // --- Expert computation: sequential GEMM ---------------------------
     let mlp_out = shard.forward_segments(&expert_input, &route.tokens_per_local_expert);
@@ -220,7 +224,7 @@ pub fn forward_ep(
 
     // --- Combine all-to-all (reverse route) -----------------------------
     let combine_in = route.to_source(&mlp_out, ep, clock);
-    clock.bucket_last("combine_a2a");
+    clock.commit("combine_a2a");
 
     // --- Buffer combine: weighted scatter back to sequence order -------
     let mut out = Tensor::zeros(tokens.rows(), hidden);

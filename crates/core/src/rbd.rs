@@ -322,9 +322,9 @@ pub fn forward_ep_rbd_with_policy(
         .map(|r| encode_pilots(r))
         .collect();
     let rows_recv = ep.all_to_all_v(rows_send, clock);
-    clock.bucket_last("dispatch_a2a_inter");
+    clock.commit("dispatch_a2a_inter");
     let meta_recv = ep.all_to_all_v(meta_send, clock);
-    clock.bucket_last("dispatch_a2a_meta");
+    clock.commit("dispatch_a2a_meta");
 
     // --- S1.5: local replica reconstruction ------------------------------
     // Parse pilots per source; queue replica copies for node peers.
@@ -382,9 +382,9 @@ pub fn forward_ep_rbd_with_policy(
 
     // --- S2: intra-node exchange of replicas ------------------------------
     let rep_rows_recv = node.all_to_all_v(rep_rows_send, clock);
-    clock.bucket_last("dispatch_a2a_intra");
+    clock.commit("dispatch_a2a_intra");
     let rep_meta_recv = node.all_to_all_v(rep_meta_send, clock);
-    clock.bucket_last("dispatch_a2a_meta");
+    clock.commit("dispatch_a2a_meta_intra");
     for (peer, meta) in rep_meta_recv.iter().enumerate() {
         for (j, quad) in meta.chunks_exact(4).enumerate() {
             let rep_expert = quad[0] as usize;
@@ -444,9 +444,9 @@ pub fn forward_ep_rbd_with_policy(
         }
     }
     let crep_rows_recv = node.all_to_all_v(crep_rows_send, clock);
-    clock.bucket_last("combine_a2a_intra");
+    clock.commit("combine_a2a_intra");
     let crep_meta_recv = node.all_to_all_v(crep_meta_send, clock);
-    clock.bucket_last("combine_a2a_meta");
+    clock.commit("combine_a2a_meta");
     for (peer, meta) in crep_meta_recv.iter().enumerate() {
         for (j, pair) in meta.chunks_exact(2).enumerate() {
             let (src, idx) = (pair[0] as usize, pair[1] as usize);
@@ -461,7 +461,7 @@ pub fn forward_ep_rbd_with_policy(
     // Inter-node return of per-(token, node) partial sums.
     let back_send: Vec<Vec<f32>> = acc.iter().map(|t| t.as_slice().to_vec()).collect();
     let back_recv = ep.all_to_all_v(back_send, clock);
-    clock.bucket_last("combine_a2a_inter");
+    clock.commit("combine_a2a_inter");
 
     // Scatter the partials (weights already applied) by the pilot order we
     // originally sent to each destination.

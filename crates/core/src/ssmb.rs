@@ -78,7 +78,7 @@ pub fn forward_ssmb(
     let local_out = padding_free::forward_ep(&my_slice, router, shard, spec, &comms.ep, clock);
     // ③ all-gather the shard outputs to restore the replicated sequence.
     let gathered = comms.tp.all_gather(local_out.into_vec(), clock);
-    clock.bucket_last("ssmb_allgather");
+    clock.commit("ssmb_allgather");
     let hidden = tokens.cols();
     crate::pipeline::vecs_to_tensor(gathered, hidden)
 }
@@ -102,7 +102,7 @@ pub fn forward_ssmb_rbd(
     let my_slice = tokens.slice_rows(start, end);
     let local_out = crate::rbd::forward_ep_rbd(&my_slice, router, shard, spec, rbd, rng, clock);
     let gathered = comms.tp.all_gather(local_out.into_vec(), clock);
-    clock.bucket_last("ssmb_allgather");
+    clock.commit("ssmb_allgather");
     let hidden = tokens.cols();
     crate::pipeline::vecs_to_tensor(gathered, hidden)
 }
@@ -158,9 +158,9 @@ mod tests {
                 let tokens = Tensor::rand_uniform(s, h, 1.0, 400 + dp_group as u64);
                 let comms = SsmbComms::create(&ctx.world, tp, &mut ctx.clock);
                 if use_ssmb {
-                    forward_ssmb(&tokens, &router, &shard, &spec, &comms, &mut ctx.clock)
+                    forward_ssmb(&tokens, router, &shard, spec, &comms, &mut ctx.clock)
                 } else {
-                    forward_unsharded(&tokens, &router, &shard, &spec, &comms, &mut ctx.clock)
+                    forward_unsharded(&tokens, router, &shard, spec, &comms, &mut ctx.clock)
                 }
             })
         };

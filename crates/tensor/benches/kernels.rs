@@ -1,44 +1,55 @@
 //! Microbenchmarks for the tensor substrate kernels: GEMM, gather/scatter
 //! (the Triton-kernel analogues of paper §4.1.2) and the sequential GEMM.
+//! Self-contained timing harness (`cargo bench -p xmoe-tensor`); prints
+//! time per iteration, no external framework.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::{Duration, Instant};
+
 use xmoe_tensor::{gather_rows, matmul, scatter_rows_scaled, sequential_gemm, Tensor};
 
-fn bench_matmul(c: &mut Criterion) {
-    let mut g = c.benchmark_group("matmul");
+fn bench(name: &str, mut f: impl FnMut()) {
+    for _ in 0..2 {
+        f(); // warmup
+    }
+    let budget = Duration::from_millis(300);
+    let start = Instant::now();
+    let mut iters = 0u64;
+    while start.elapsed() < budget && iters < 100_000 {
+        f();
+        iters += 1;
+    }
+    let per = start.elapsed().as_secs_f64() / iters as f64;
+    println!("{name:<40} {:>12.3} us/iter  ({iters} iters)", per * 1e6);
+}
+
+fn bench_matmul() {
     for &n in &[64usize, 128, 256] {
         let a = Tensor::rand_uniform(n, n, 1.0, 1);
         let b = Tensor::rand_uniform(n, n, 1.0, 2);
-        g.throughput(Throughput::Elements((2 * n * n * n) as u64));
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
-            bch.iter(|| matmul(&a, &b));
+        bench(&format!("matmul/{n}"), || {
+            std::hint::black_box(matmul(&a, &b));
         });
     }
-    g.finish();
 }
 
-fn bench_gather_scatter(c: &mut Criterion) {
-    let mut g = c.benchmark_group("routing_kernels");
+fn bench_gather_scatter() {
     let hidden = 512usize;
     let tokens = 4096usize;
     let src = Tensor::rand_uniform(tokens, hidden, 1.0, 3);
     let ids: Vec<usize> = (0..tokens).map(|i| (i * 7919) % tokens).collect();
     let weights = vec![0.5f32; tokens];
-    g.throughput(Throughput::Bytes((tokens * hidden * 4) as u64));
-    g.bench_function("gather_4096x512", |b| b.iter(|| gather_rows(&src, &ids)));
-    let gathered = gather_rows(&src, &ids);
-    g.bench_function("scatter_4096x512", |b| {
-        b.iter(|| {
-            let mut out = Tensor::zeros(tokens, hidden);
-            scatter_rows_scaled(&gathered, &ids, &weights, &mut out);
-            out
-        })
+    bench("routing_kernels/gather_4096x512", || {
+        std::hint::black_box(gather_rows(&src, &ids));
     });
-    g.finish();
+    let gathered = gather_rows(&src, &ids);
+    bench("routing_kernels/scatter_4096x512", || {
+        let mut out = Tensor::zeros(tokens, hidden);
+        scatter_rows_scaled(&gathered, &ids, &weights, &mut out);
+        std::hint::black_box(out);
+    });
 }
 
-fn bench_sequential_gemm(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sequential_gemm");
+fn bench_sequential_gemm() {
     let hidden = 256;
     let ffn = 128;
     let experts = 16;
@@ -48,16 +59,13 @@ fn bench_sequential_gemm(c: &mut Criterion) {
     let ws: Vec<Tensor> = (0..experts)
         .map(|e| Tensor::rand_uniform(hidden, ffn, 1.0, 100 + e as u64))
         .collect();
-    g.bench_function("16experts_64tok", |b| {
-        b.iter(|| sequential_gemm(&input, &tpe, &ws))
+    bench("sequential_gemm/16experts_64tok", || {
+        std::hint::black_box(sequential_gemm(&input, &tpe, &ws));
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_matmul,
-    bench_gather_scatter,
-    bench_sequential_gemm
-);
-criterion_main!(benches);
+fn main() {
+    bench_matmul();
+    bench_gather_scatter();
+    bench_sequential_gemm();
+}

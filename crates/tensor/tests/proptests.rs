@@ -1,9 +1,13 @@
-//! Property-based tests for the tensor substrate.
+//! Randomized-but-deterministic property tests for the tensor substrate.
+//! Each test sweeps a fixed number of `DetRng`-derived cases, so failures
+//! reproduce exactly without an external property-testing framework.
 
-use proptest::prelude::*;
 use xmoe_tensor::{
-    argsort_desc_by, cumsum, histogram, matmul, matmul_transpose_b, softmax_rows, topk_rows, Tensor,
+    argsort_desc_by, cumsum, histogram, matmul, matmul_transpose_b, softmax_rows, topk_rows,
+    DetRng, Tensor,
 };
+
+const CASES: u64 = 48;
 
 fn naive_matmul(a: &Tensor, b: &Tensor) -> Tensor {
     let (m, k) = a.shape();
@@ -21,84 +25,94 @@ fn naive_matmul(a: &Tensor, b: &Tensor) -> Tensor {
     c
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn matmul_matches_naive(
-        m in 1usize..40,
-        k in 1usize..40,
-        n in 1usize..40,
-        seed in 0u64..1000,
-    ) {
-        let a = Tensor::rand_uniform(m, k, 1.0, seed);
-        let b = Tensor::rand_uniform(k, n, 1.0, seed + 1);
+#[test]
+fn matmul_matches_naive() {
+    let mut rng = DetRng::new(0x11);
+    for case in 0..CASES {
+        let (m, k, n) = (
+            1 + rng.next_below(39),
+            1 + rng.next_below(39),
+            1 + rng.next_below(39),
+        );
+        let a = Tensor::rand_uniform(m, k, 1.0, 1000 + case);
+        let b = Tensor::rand_uniform(k, n, 1.0, 1001 + case);
         let fast = matmul(&a, &b);
         let slow = naive_matmul(&a, &b);
-        prop_assert!(fast.allclose(&slow, 1e-3 * k as f32));
+        assert!(
+            fast.allclose(&slow, 1e-3 * k as f32),
+            "case {case} ({m}x{k}x{n}): max diff {}",
+            fast.max_abs_diff(&slow)
+        );
     }
+}
 
-    #[test]
-    fn matmul_transpose_identity(
-        m in 1usize..20,
-        k in 1usize..20,
-        n in 1usize..20,
-        seed in 0u64..1000,
-    ) {
-        // (A B)^T == B^T A^T
-        let a = Tensor::rand_uniform(m, k, 1.0, seed);
-        let b = Tensor::rand_uniform(k, n, 1.0, seed + 7);
+#[test]
+fn matmul_transpose_identity() {
+    // (A B)^T == B^T A^T
+    let mut rng = DetRng::new(0x12);
+    for case in 0..CASES {
+        let (m, k, n) = (
+            1 + rng.next_below(19),
+            1 + rng.next_below(19),
+            1 + rng.next_below(19),
+        );
+        let a = Tensor::rand_uniform(m, k, 1.0, 2000 + case);
+        let b = Tensor::rand_uniform(k, n, 1.0, 2007 + case);
         let left = matmul(&a, &b).transpose();
         let right = matmul(&b.transpose(), &a.transpose());
-        prop_assert!(left.allclose(&right, 1e-3));
+        assert!(left.allclose(&right, 1e-3), "case {case}");
     }
+}
 
-    #[test]
-    fn matmul_transpose_b_consistent(
-        m in 1usize..20,
-        k in 1usize..20,
-        n in 1usize..20,
-        seed in 0u64..1000,
-    ) {
-        let a = Tensor::rand_uniform(m, k, 1.0, seed);
-        let b = Tensor::rand_uniform(n, k, 1.0, seed + 13);
+#[test]
+fn matmul_transpose_b_consistent() {
+    let mut rng = DetRng::new(0x13);
+    for case in 0..CASES {
+        let (m, k, n) = (
+            1 + rng.next_below(19),
+            1 + rng.next_below(19),
+            1 + rng.next_below(19),
+        );
+        let a = Tensor::rand_uniform(m, k, 1.0, 3000 + case);
+        let b = Tensor::rand_uniform(n, k, 1.0, 3013 + case);
         let fast = matmul_transpose_b(&a, &b);
         let explicit = matmul(&a, &b.transpose());
-        prop_assert!(fast.allclose(&explicit, 1e-3));
+        assert!(fast.allclose(&explicit, 1e-3), "case {case}");
     }
+}
 
-    #[test]
-    fn transpose_is_involutive(
-        m in 1usize..50,
-        n in 1usize..50,
-        seed in 0u64..1000,
-    ) {
-        let t = Tensor::rand_uniform(m, n, 1.0, seed);
-        prop_assert!(t.transpose().transpose().allclose(&t, 0.0));
+#[test]
+fn transpose_is_involutive() {
+    let mut rng = DetRng::new(0x14);
+    for case in 0..CASES {
+        let (m, n) = (1 + rng.next_below(49), 1 + rng.next_below(49));
+        let t = Tensor::rand_uniform(m, n, 1.0, 4000 + case);
+        assert!(t.transpose().transpose().allclose(&t, 0.0), "case {case}");
     }
+}
 
-    #[test]
-    fn softmax_rows_sum_to_one(
-        m in 1usize..20,
-        n in 1usize..20,
-        seed in 0u64..1000,
-    ) {
-        let mut t = Tensor::rand_uniform(m, n, 5.0, seed);
+#[test]
+fn softmax_rows_sum_to_one() {
+    let mut rng = DetRng::new(0x15);
+    for case in 0..CASES {
+        let (m, n) = (1 + rng.next_below(19), 1 + rng.next_below(19));
+        let mut t = Tensor::rand_uniform(m, n, 5.0, 5000 + case);
         softmax_rows(&mut t);
         for r in 0..m {
             let s: f32 = t.row(r).iter().sum();
-            prop_assert!((s - 1.0).abs() < 1e-4, "row {r} sums to {s}");
-            prop_assert!(t.row(r).iter().all(|&v| v >= 0.0));
+            assert!((s - 1.0).abs() < 1e-4, "case {case} row {r} sums to {s}");
+            assert!(t.row(r).iter().all(|&v| v >= 0.0));
         }
     }
+}
 
-    #[test]
-    fn softmax_is_shift_invariant(
-        n in 2usize..16,
-        shift in -50.0f32..50.0,
-        seed in 0u64..1000,
-    ) {
-        let base = Tensor::rand_uniform(1, n, 3.0, seed);
+#[test]
+fn softmax_is_shift_invariant() {
+    let mut rng = DetRng::new(0x16);
+    for case in 0..CASES {
+        let n = 2 + rng.next_below(14);
+        let shift = (rng.next_f32() - 0.5) * 100.0;
+        let base = Tensor::rand_uniform(1, n, 3.0, 6000 + case);
         let mut a = base.clone();
         softmax_rows(&mut a);
         let mut b = base.clone();
@@ -106,65 +120,78 @@ proptest! {
             *v += shift;
         }
         softmax_rows(&mut b);
-        prop_assert!(a.allclose(&b, 1e-4));
+        assert!(a.allclose(&b, 1e-4), "case {case} shift {shift}");
     }
+}
 
-    #[test]
-    fn topk_first_is_row_max(
-        n in 1usize..24,
-        k_off in 0usize..8,
-        seed in 0u64..1000,
-    ) {
-        let k = (1 + k_off).min(n);
-        let t = Tensor::rand_uniform(3, n, 1.0, seed);
+#[test]
+fn topk_first_is_row_max() {
+    let mut rng = DetRng::new(0x17);
+    for case in 0..CASES {
+        let n = 1 + rng.next_below(23);
+        let k = (1 + rng.next_below(8)).min(n);
+        let t = Tensor::rand_uniform(3, n, 1.0, 7000 + case);
         let (idx, vals) = topk_rows(&t, k);
         for r in 0..3 {
             let max = t.row(r).iter().cloned().fold(f32::MIN, f32::max);
-            prop_assert_eq!(vals[r][0], max);
+            assert_eq!(vals[r][0], max, "case {case} row {r}");
             // Indices are distinct and values descending.
             let mut seen = std::collections::HashSet::new();
             for (j, &i) in idx[r].iter().enumerate() {
-                prop_assert!(seen.insert(i));
+                assert!(seen.insert(i));
                 if j > 0 {
-                    prop_assert!(vals[r][j - 1] >= vals[r][j]);
+                    assert!(vals[r][j - 1] >= vals[r][j]);
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn argsort_desc_is_sorted_permutation(xs in prop::collection::vec(-100.0f32..100.0, 0..50)) {
+#[test]
+fn argsort_desc_is_sorted_permutation() {
+    let mut rng = DetRng::new(0x18);
+    for case in 0..CASES {
+        let len = rng.next_below(50);
+        let xs: Vec<f32> = (0..len).map(|_| (rng.next_f32() - 0.5) * 200.0).collect();
         let order = argsort_desc_by(&xs);
         // Permutation of 0..len.
         let mut sorted = order.clone();
         sorted.sort_unstable();
-        prop_assert_eq!(sorted, (0..xs.len()).collect::<Vec<_>>());
+        assert_eq!(sorted, (0..xs.len()).collect::<Vec<_>>(), "case {case}");
         // Descending values.
         for w in order.windows(2) {
-            prop_assert!(xs[w[0]] >= xs[w[1]]);
+            assert!(xs[w[0]] >= xs[w[1]]);
         }
     }
+}
 
-    #[test]
-    fn cumsum_is_monotone_and_totals(xs in prop::collection::vec(0usize..100, 0..50)) {
+#[test]
+fn cumsum_is_monotone_and_totals() {
+    let mut rng = DetRng::new(0x19);
+    for case in 0..CASES {
+        let len = rng.next_below(50);
+        let xs: Vec<usize> = (0..len).map(|_| rng.next_below(100)).collect();
         let c = cumsum(&xs);
-        prop_assert_eq!(c.len(), xs.len());
+        assert_eq!(c.len(), xs.len(), "case {case}");
         for w in c.windows(2) {
-            prop_assert!(w[1] >= w[0]);
+            assert!(w[1] >= w[0]);
         }
         if let Some(&last) = c.last() {
-            prop_assert_eq!(last, xs.iter().sum::<usize>());
+            assert_eq!(last, xs.iter().sum::<usize>());
         }
     }
+}
 
-    #[test]
-    fn histogram_conserves_counts(
-        values in prop::collection::vec(0usize..16, 0..100),
-    ) {
+#[test]
+fn histogram_conserves_counts() {
+    let mut rng = DetRng::new(0x1A);
+    for case in 0..CASES {
+        let len = rng.next_below(100);
+        let values: Vec<usize> = (0..len).map(|_| rng.next_below(16)).collect();
         let h = histogram(&values, 16);
-        prop_assert_eq!(h.iter().sum::<usize>(), values.len());
+        assert_eq!(h.iter().sum::<usize>(), values.len(), "case {case}");
         for (bin, &count) in h.iter().enumerate() {
-            prop_assert_eq!(count, values.iter().filter(|&&v| v == bin).count());
+            assert_eq!(count, values.iter().filter(|&&v| v == bin).count());
         }
     }
 }

@@ -327,13 +327,7 @@ mod tests {
         // Same total bytes; variant B routes the inter-node share intra-node.
         let m = frontier_model(16);
         let group: Vec<usize> = (0..16).collect();
-        let all = m.alltoallv_time(&group, &|i, j| {
-            if (group[i] < 8) != (group[j] < 8) {
-                1_000_000
-            } else {
-                1_000_000
-            }
-        });
+        let all = m.alltoallv_time(&group, &|_i, _j| 1_000_000);
         let intra_only = m.alltoallv_time(&group, &|i, j| {
             if (group[i] < 8) != (group[j] < 8) {
                 0

@@ -304,12 +304,9 @@ mod tests {
         let eps = 1e-3f32;
         let rel_ok = |fd: f64, an: f64| (fd - an).abs() < 2e-2 * (1.0 + an.abs().max(fd.abs()));
         // One entry from each projection.
-        let checks: [(
-            &str,
-            fn(&Attention) -> &Tensor,
-            fn(&mut Attention) -> &mut Tensor,
-            fn(&Attention) -> &Tensor,
-        ); 4] = [
+        type Get = fn(&Attention) -> &Tensor;
+        type GetMut = fn(&mut Attention) -> &mut Tensor;
+        let checks: [(&str, Get, GetMut, Get); 4] = [
             ("wq", |a| &a.wq, |a| &mut a.wq, |a| &a.gq),
             ("wk", |a| &a.wk, |a| &mut a.wk, |a| &a.gk),
             ("wv", |a| &a.wv, |a| &mut a.wv, |a| &a.gv),

@@ -135,8 +135,9 @@ impl DistMoe {
 
         let dispatch_in = gather_rows(x, &pft.token_ids);
         let route = EpRoute::build(pft, &self.spec(), ep, clock);
+        clock.commit("dispatch_a2a_meta");
         let expert_input = route.to_experts(&dispatch_in, ep, clock);
-        clock.bucket_last("dispatch_a2a");
+        clock.commit("dispatch_a2a");
 
         // Per-expert FFN over expert-major segments, saving intermediates.
         let f = self.shard[0].0.cols();
@@ -166,7 +167,7 @@ impl DistMoe {
         }
 
         let combine_in = route.to_source(&y, ep, clock);
-        clock.bucket_last("combine_a2a");
+        clock.commit("combine_a2a");
 
         let mut out = x.clone();
         scatter_rows_scaled(
@@ -220,7 +221,7 @@ impl DistMoe {
 
         // Backward all-to-all #1: gradients to the expert side.
         let d_y = ctx.route.to_experts(&d_combine, ep, clock);
-        clock.bucket_last("bwd_combine_a2a");
+        clock.commit("bwd_combine_a2a");
 
         // Expert FFN backward over segments; expert grads stay local.
         let mut d_expert_in = Tensor::zeros(ctx.expert_input.rows(), hidden);
@@ -248,7 +249,7 @@ impl DistMoe {
 
         // Backward all-to-all #2: dispatch gradients back to sources.
         let d_dispatch = ctx.route.to_source(&d_expert_in, ep, clock);
-        clock.bucket_last("bwd_dispatch_a2a");
+        clock.commit("bwd_dispatch_a2a");
         scatter_rows_scaled(
             &d_dispatch,
             &ctx.route.pft.token_ids,
@@ -455,6 +456,7 @@ impl DistMoeLm {
                 scale_assign(g2, inv);
             }
         }
+        clock.commit("grad_allreduce");
 
         // --- Local Adam update -----------------------------------------
         let mut pairs: Vec<(&mut Tensor, &Tensor)> = Vec::new();
@@ -501,6 +503,7 @@ impl DistMoeLm {
         // Average the reported loss across ranks for a global curve.
         let mut l = vec![local_loss as f32];
         world.all_reduce_sum_f32(&mut l, clock);
+        clock.commit("loss_allreduce");
         (l[0] / w) as f64
     }
 }

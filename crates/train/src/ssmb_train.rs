@@ -47,7 +47,7 @@ impl SsmbMoe {
         let my_slice = tokens.slice_rows(start, end);
         let (local_out, inner) = self.inner.forward(&my_slice, ep, clock);
         let gathered = tp.all_gather(local_out.into_vec(), clock);
-        clock.bucket_last("ssmb_allgather");
+        clock.commit("ssmb_allgather");
         let hidden = tokens.cols();
         let mut data = Vec::with_capacity(tokens.rows() * hidden);
         for chunk in gathered {
@@ -90,7 +90,7 @@ impl SsmbMoe {
         let d_local = self.inner.backward(&ctx.inner, &d_slice, ep, clock);
         // ③ all-gather the full input gradient across TP ranks.
         let gathered = tp.all_gather(d_local.into_vec(), clock);
-        clock.bucket_last("ssmb_bwd_allgather");
+        clock.commit("ssmb_bwd_allgather");
         let hidden = d_out.cols();
         let mut data = Vec::with_capacity(ctx.seq_len * hidden);
         for chunk in gathered {

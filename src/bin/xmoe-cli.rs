@@ -17,16 +17,28 @@
 //! xmoe-cli analyze <experts> <topk> [tokens]
 //!     Routing analytics for a random router: load balance, entropy,
 //!     expert co-activation and realized combination count.
+//!
+//! xmoe-cli step <dense|pft|blocksparse|rbd> [ranks] [--trace <path>] [--csv <path>]
+//!     Run one live forward step of the chosen pipeline on the
+//!     threads-as-ranks runtime and print the cross-rank stage report
+//!     (min/mean/max/straggler per stage, sync-wait split out).
+//!     `--trace` writes a Chrome trace-event JSON (open in Perfetto);
+//!     `--csv` writes the raw per-rank spans.
 //! ```
 
+use std::path::Path;
+
+use xmoe::collectives::{trace, RankTrace, SimCluster, StepReport};
 use xmoe::core::analysis::{distinct_combinations, routing_report};
 use xmoe::core::config::MoeModelConfig;
+use xmoe::core::expert::ExpertShard;
 use xmoe::core::gating::{DropPolicy, Router};
 use xmoe::core::memory::{best_trainable_config, total_per_gpu, MoeSystem, GIB};
 use xmoe::core::perf::PerfModel;
 use xmoe::core::pft::Pft;
-use xmoe::core::rbd::expected_redundancy_uniform;
-use xmoe::tensor::Tensor;
+use xmoe::core::pipeline::{self, DenseDropOrder, MoeLayerSpec};
+use xmoe::core::rbd::{self, expected_redundancy_uniform, RbdComms};
+use xmoe::tensor::{DetRng, Tensor};
 use xmoe::topology::{ClusterTopology, CostModel, MachineSpec};
 
 fn model_by_name(name: &str) -> Option<MoeModelConfig> {
@@ -45,7 +57,8 @@ fn usage() -> ! {
          xmoe-cli redundancy <experts> <topk> [gpus-per-node]\n  \
          xmoe-cli throughput <small|medium|large|super> <gpus>\n  \
          xmoe-cli alltoall <gpus> <mbytes-per-rank>\n  \
-         xmoe-cli analyze <experts> <topk> [tokens]"
+         xmoe-cli analyze <experts> <topk> [tokens]\n  \
+         xmoe-cli step <dense|pft|blocksparse|rbd> [ranks] [--trace <path>] [--csv <path>]"
     );
     std::process::exit(2);
 }
@@ -58,7 +71,142 @@ fn main() {
         Some("throughput") => cmd_throughput(&args[1..]),
         Some("alltoall") => cmd_alltoall(&args[1..]),
         Some("analyze") => cmd_analyze(&args[1..]),
+        Some("step") => cmd_step(&args[1..]),
         _ => usage(),
+    }
+}
+
+fn cmd_step(args: &[String]) {
+    let pipeline_name = args.first().map(String::as_str).unwrap_or_else(|| usage());
+    let mut ranks = 8usize;
+    let mut trace_path: Option<&str> = None;
+    let mut csv_path: Option<&str> = None;
+    let mut i = 1usize;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--trace" => {
+                trace_path = Some(
+                    args.get(i + 1)
+                        .map(String::as_str)
+                        .unwrap_or_else(|| usage()),
+                );
+                i += 2;
+            }
+            "--csv" => {
+                csv_path = Some(
+                    args.get(i + 1)
+                        .map(String::as_str)
+                        .unwrap_or_else(|| usage()),
+                );
+                i += 2;
+            }
+            s => {
+                ranks = s.parse().unwrap_or_else(|_| usage());
+                i += 1;
+            }
+        }
+    }
+    // Reduced-dimension live step: experts divide the EP size; every rank
+    // carries a different local batch.
+    let (s, h, f) = (256usize, 64usize, 32usize);
+    let e = ranks * 2;
+    let k = 4usize.min(e);
+    let router = Router::new(h, e, k, 0x57E9);
+    let spec = MoeLayerSpec::new(e, 10_000);
+    let name = pipeline_name.to_ascii_lowercase();
+    let traces: Vec<RankTrace> = {
+        let router = &router;
+        let spec = &spec;
+        let name = name.as_str();
+        SimCluster::frontier(ranks).run(move |ctx| {
+            let shard = ExpertShard::for_rank(ctx.rank, ranks, e, h, f, 0x57EA);
+            let tokens = Tensor::rand_uniform(s, h, 1.0, 0x57EB + ctx.rank as u64);
+            match name {
+                "dense" => {
+                    let _ = pipeline::dense::forward_ep_dense(
+                        &tokens,
+                        router,
+                        &shard,
+                        spec,
+                        DenseDropOrder::TokenOrder,
+                        &ctx.world,
+                        &mut ctx.clock,
+                    );
+                }
+                "pft" | "padding_free" => {
+                    let _ = pipeline::padding_free::forward_ep(
+                        &tokens,
+                        router,
+                        &shard,
+                        spec,
+                        &ctx.world,
+                        &mut ctx.clock,
+                    );
+                }
+                "blocksparse" | "block_sparse" => {
+                    let _ = pipeline::block_sparse::forward_ep_block_sparse(
+                        &tokens,
+                        router,
+                        &shard,
+                        spec,
+                        128,
+                        &ctx.world,
+                        &mut ctx.clock,
+                    );
+                }
+                "rbd" => {
+                    let comms = RbdComms::create(&ctx.world, &mut ctx.clock);
+                    let mut rng = DetRng::new(0x57EC + ctx.rank as u64);
+                    let _ = rbd::forward_ep_rbd(
+                        &tokens,
+                        router,
+                        &shard,
+                        spec,
+                        &comms,
+                        &mut rng,
+                        &mut ctx.clock,
+                    );
+                }
+                _ => usage(),
+            }
+            RankTrace::capture(ctx.rank, &mut ctx.clock, ctx.world.traffic())
+        })
+    };
+    let report = StepReport::from_ranks(&traces);
+    println!("{name} pipeline, one forward step, {ranks} simulated Frontier ranks (reduced dims):");
+    println!(
+        "{:<28} {:>11} {:>11} {:>11} {:>10} {:>6}",
+        "stage", "min", "mean", "max", "imbalance", "worst"
+    );
+    for st in &report.stages {
+        println!(
+            "{:<28} {:>9.1}us {:>9.1}us {:>9.1}us {:>9.2}x {:>6}",
+            st.label,
+            st.min * 1e6,
+            st.mean * 1e6,
+            st.max * 1e6,
+            st.imbalance(),
+            format!("r{}", st.straggler)
+        );
+    }
+    let tr = report.total_traffic();
+    println!(
+        "step time {:.1}us | work {:.1}us + sync-wait {:.1}us (mean/rank) | \
+         bytes intra {} inter {} cross-rack {}",
+        report.step_time * 1e6,
+        report.total_mean_work() * 1e6,
+        report.total_mean_wait() * 1e6,
+        tr.intra_node,
+        tr.inter_node,
+        tr.cross_rack
+    );
+    if let Some(p) = trace_path {
+        trace::write_chrome_trace(Path::new(p), &traces).expect("write trace file");
+        println!("wrote Chrome trace to {p} (open at https://ui.perfetto.dev)");
+    }
+    if let Some(p) = csv_path {
+        trace::write_spans_csv(Path::new(p), &traces).expect("write csv file");
+        println!("wrote span CSV to {p}");
     }
 }
 

@@ -55,8 +55,8 @@ fn four_rank_dp_ep_training_matches_single_process() {
     let mut ref_losses = Vec::new();
     for step in 0..steps {
         let mut concat = Vec::new();
-        for r in 0..world {
-            concat.extend(per_rank[r][step].clone());
+        for rank_batches in per_rank.iter().take(world) {
+            concat.extend(rank_batches[step].clone());
         }
         ref_losses.push(reference.train_step(&concat).loss);
     }
@@ -70,12 +70,8 @@ fn four_rank_dp_ep_training_matches_single_process() {
         SimCluster::frontier(world).run(move |ctx| {
             let mut model = DistMoeLm::new(cfg, full_layers, ctx.rank, world);
             let mut losses = Vec::new();
-            for step in 0..steps {
-                losses.push(model.train_step(
-                    &per_rank[ctx.rank][step],
-                    &ctx.world,
-                    &mut ctx.clock,
-                ));
+            for batch in per_rank[ctx.rank].iter().take(steps) {
+                losses.push(model.train_step(batch, &ctx.world, &mut ctx.clock));
             }
             // Return the replicated head weights and this rank's expert
             // shard for trajectory comparison.
@@ -162,8 +158,8 @@ fn distributed_training_reduces_loss() {
         SimCluster::frontier(world).run(move |ctx| {
             let mut model = DistMoeLm::new(cfg, full_layers, ctx.rank, world);
             let mut l = Vec::new();
-            for step in 0..steps {
-                l.push(model.train_step(&per_rank[ctx.rank][step], &ctx.world, &mut ctx.clock));
+            for batch in per_rank[ctx.rank].iter().take(steps) {
+                l.push(model.train_step(batch, &ctx.world, &mut ctx.clock));
             }
             l
         })

@@ -1,15 +1,18 @@
-//! Property-based tests over the core data structures and models:
-//! PFT construction invariants, routing-kernel roundtrips, redundancy
-//! bounds, cost-model monotonicity and memory-model monotonicity.
+//! Randomized-but-deterministic property tests over the core data
+//! structures and models: PFT construction invariants, routing-kernel
+//! roundtrips, redundancy bounds, cost-model monotonicity and memory-model
+//! monotonicity. Cases are derived from `DetRng`, so failures reproduce
+//! exactly without an external property-testing framework.
 
-use proptest::prelude::*;
 use xmoe::core::config::MoeModelConfig;
 use xmoe::core::gating::{DropPolicy, GatingOutput, Router};
 use xmoe::core::memory::{moe_layer_activation, MoeSystem};
 use xmoe::core::pft::Pft;
 use xmoe::core::rbd::{expected_redundancy_uniform, redundancy_rate};
-use xmoe::tensor::{gather_rows, scatter_rows_scaled, sequential_gemm, Tensor};
+use xmoe::tensor::{gather_rows, scatter_rows_scaled, sequential_gemm, DetRng, Tensor};
 use xmoe::topology::{ClusterTopology, CongestionModel, CostModel, MachineSpec};
+
+const CASES: u64 = 64;
 
 /// Random gating output over `s` tokens, `e` experts, `k` selections.
 fn arb_gating(s: usize, e: usize, k: usize, seed: u64) -> GatingOutput {
@@ -18,210 +21,233 @@ fn arb_gating(s: usize, e: usize, k: usize, seed: u64) -> GatingOutput {
     router.gate(&tokens)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn pft_construction_invariants(
-        s in 1usize..80,
-        e_pow in 1usize..5,
-        seed in 0u64..1000,
-        cap in 1usize..40,
-    ) {
-        let e = 1usize << e_pow;
-        let k = (e / 2).max(1).min(4);
+#[test]
+fn pft_construction_invariants() {
+    let mut rng = DetRng::new(0x31);
+    for case in 0..CASES {
+        let s = 1 + rng.next_below(79);
+        let e = 1usize << (1 + rng.next_below(4));
+        let seed = rng.next_below(1000) as u64;
+        let cap = 1 + rng.next_below(39);
+        let k = (e / 2).clamp(1, 4);
         let g = arb_gating(s, e, k, seed);
         let pft = Pft::construct(&g, e, cap, DropPolicy::CapacityOnly);
         // Structural invariants.
         pft.validate(s);
         // Conservation: retained + dropped = all routed assignments.
-        prop_assert_eq!(pft.len() + pft.dropped, s * k);
+        assert_eq!(pft.len() + pft.dropped, s * k, "case {case}");
         // Capacity respected per expert.
-        prop_assert!(pft.tokens_per_expert.iter().all(|&c| c <= cap));
+        assert!(pft.tokens_per_expert.iter().all(|&c| c <= cap));
         // Each retained weight appears in the gating output for its token.
         for i in 0..pft.len() {
             let t = pft.token_ids[i];
             let e_id = pft.expert_ids[i];
             let j = g.top_experts[t].iter().position(|&x| x == e_id);
-            prop_assert!(j.is_some(), "retained pair not in gating output");
-            prop_assert_eq!(pft.combine_weights[i], g.combine_weights[t][j.unwrap()]);
+            assert!(j.is_some(), "retained pair not in gating output");
+            assert_eq!(pft.combine_weights[i], g.combine_weights[t][j.unwrap()]);
         }
     }
+}
 
-    #[test]
-    fn pft_drop_policies_are_ordered(
-        s in 1usize..60,
-        seed in 0u64..500,
-    ) {
+#[test]
+fn pft_drop_policies_are_ordered() {
+    let mut rng = DetRng::new(0x32);
+    for case in 0..CASES {
+        let s = 1 + rng.next_below(59);
+        let seed = rng.next_below(500) as u64;
         let (e, k) = (8usize, 3usize);
         let g = arb_gating(s, e, k, seed);
         let x = Pft::construct(&g, e, 1_000, DropPolicy::CapacityOnly);
         let d = Pft::construct(&g, e, 1_000, DropPolicy::CapacityAndNegativeLogit);
         // The DeepSpeed policy can only retain a subset.
-        prop_assert!(d.len() <= x.len());
+        assert!(d.len() <= x.len(), "case {case}");
     }
+}
 
-    #[test]
-    fn gather_scatter_roundtrip(
-        rows in 1usize..40,
-        cols in 1usize..24,
-        seed in 0u64..1000,
-    ) {
-        let src = Tensor::rand_uniform(rows, cols, 1.0, seed);
+#[test]
+fn gather_scatter_roundtrip() {
+    let mut rng = DetRng::new(0x33);
+    for case in 0..CASES {
+        let rows = 1 + rng.next_below(39);
+        let cols = 1 + rng.next_below(23);
+        let src = Tensor::rand_uniform(rows, cols, 1.0, 8000 + case);
         // Random permutation of rows.
         let mut ids: Vec<usize> = (0..rows).collect();
-        let mut rng = xmoe::tensor::DetRng::new(seed ^ 0xBEEF);
         rng.shuffle(&mut ids);
         let gathered = gather_rows(&src, &ids);
         let mut restored = Tensor::zeros(rows, cols);
         scatter_rows_scaled(&gathered, &ids, &vec![1.0; rows], &mut restored);
-        prop_assert!(restored.allclose(&src, 0.0));
+        assert!(restored.allclose(&src, 0.0), "case {case}");
     }
+}
 
-    #[test]
-    fn scatter_linearity_in_weights(
-        rows in 1usize..20,
-        cols in 1usize..12,
-        w in 0.0f32..4.0,
-        seed in 0u64..1000,
-    ) {
+#[test]
+fn scatter_linearity_in_weights() {
+    let mut rng = DetRng::new(0x34);
+    for case in 0..CASES {
         // scatter with weight w == w * scatter with weight 1.
-        let src = Tensor::rand_uniform(rows, cols, 1.0, seed);
+        let rows = 1 + rng.next_below(19);
+        let cols = 1 + rng.next_below(11);
+        let w = rng.next_f32() * 4.0;
+        let src = Tensor::rand_uniform(rows, cols, 1.0, 9000 + case);
         let ids: Vec<usize> = (0..rows).collect();
         let mut a = Tensor::zeros(rows, cols);
         scatter_rows_scaled(&src, &ids, &vec![w; rows], &mut a);
         let mut b = Tensor::zeros(rows, cols);
         scatter_rows_scaled(&src, &ids, &vec![1.0; rows], &mut b);
         xmoe::tensor::scale_assign(&mut b, w);
-        prop_assert!(a.allclose(&b, 1e-5));
+        assert!(a.allclose(&b, 1e-5), "case {case}");
     }
+}
 
-    #[test]
-    fn sequential_gemm_matches_segmentwise_matmul(
-        seg_sizes in prop::collection::vec(0usize..12, 1..6),
-        inner in 1usize..10,
-        out_dim in 1usize..10,
-        seed in 0u64..1000,
-    ) {
+#[test]
+fn sequential_gemm_matches_segmentwise_matmul() {
+    let mut rng = DetRng::new(0x35);
+    for case in 0..CASES {
+        let n_segs = 1 + rng.next_below(5);
+        let seg_sizes: Vec<usize> = (0..n_segs).map(|_| rng.next_below(12)).collect();
+        let inner = 1 + rng.next_below(9);
+        let out_dim = 1 + rng.next_below(9);
         let total: usize = seg_sizes.iter().sum();
-        let input = Tensor::rand_uniform(total.max(1), inner, 1.0, seed);
+        let input = Tensor::rand_uniform(total.max(1), inner, 1.0, 10_000 + case);
         let input = input.slice_rows(0, total);
         let ws: Vec<Tensor> = (0..seg_sizes.len())
-            .map(|i| Tensor::rand_uniform(inner, out_dim, 1.0, seed + 31 * i as u64))
+            .map(|i| Tensor::rand_uniform(inner, out_dim, 1.0, 10_000 + case + 31 * i as u64))
             .collect();
         let out = sequential_gemm(&input, &seg_sizes, &ws);
-        prop_assert_eq!(out.shape(), (total, out_dim));
+        assert_eq!(out.shape(), (total, out_dim), "case {case}");
         let mut row = 0usize;
         for (i, &cnt) in seg_sizes.iter().enumerate() {
-            if cnt == 0 { continue; }
+            if cnt == 0 {
+                continue;
+            }
             let seg = input.slice_rows(row, row + cnt);
             let want = xmoe::tensor::matmul(&seg, &ws[i]);
-            prop_assert!(out.slice_rows(row, row + cnt).allclose(&want, 1e-4));
+            assert!(out.slice_rows(row, row + cnt).allclose(&want, 1e-4));
             row += cnt;
         }
     }
+}
 
-    #[test]
-    fn redundancy_rate_bounds(
-        s in 1usize..100,
-        nodes_pow in 0usize..4,
-        seed in 0u64..500,
-    ) {
+#[test]
+fn redundancy_rate_bounds() {
+    let mut rng = DetRng::new(0x36);
+    for case in 0..CASES {
+        let s = 1 + rng.next_below(99);
+        let nodes = 1usize << rng.next_below(4); // 1..8 nodes
+        let seed = rng.next_below(500) as u64;
         let (e, k) = (16usize, 4usize);
-        let nodes = 1usize << nodes_pow; // 1..8 nodes
         let g = arb_gating(s, e, k, seed);
         let pft = Pft::construct(&g, e, 10_000, DropPolicy::CapacityOnly);
         let rate = redundancy_rate(&pft, |ex| ex % nodes);
         // Bounds: 0 <= rate <= (k-1)/k (a token needs >= 1 copy per node).
-        prop_assert!((0.0..=((k - 1) as f64 / k as f64) + 1e-9).contains(&rate));
+        assert!(
+            (0.0..=((k - 1) as f64 / k as f64) + 1e-9).contains(&rate),
+            "case {case}"
+        );
         if nodes == 1 {
             // One node: everything beyond the first copy is redundant.
-            prop_assert!((rate - (k - 1) as f64 / k as f64).abs() < 1e-9);
+            assert!((rate - (k - 1) as f64 / k as f64).abs() < 1e-9);
         }
     }
+}
 
-    #[test]
-    fn expected_redundancy_monotone_in_nodes(k in 1usize..17) {
+#[test]
+fn expected_redundancy_monotone_in_nodes() {
+    for k in 1usize..17 {
         let mut prev = f64::MAX;
         for nodes in [1usize, 2, 4, 8, 16, 64] {
             let r = expected_redundancy_uniform(k, nodes);
-            prop_assert!(r <= prev + 1e-12, "redundancy must not grow with node count");
-            prop_assert!((0.0..=1.0).contains(&r));
+            assert!(
+                r <= prev + 1e-12,
+                "redundancy must not grow with node count"
+            );
+            assert!((0.0..=1.0).contains(&r));
             prev = r;
         }
     }
+}
 
-    #[test]
-    fn alltoall_cost_monotone_in_bytes(
-        n_pow in 1usize..6,
-        b1 in 1u64..1_000_000,
-        extra in 1u64..1_000_000,
-    ) {
-        let n = 1usize << n_pow;
+#[test]
+fn alltoall_cost_monotone_in_bytes() {
+    let mut rng = DetRng::new(0x37);
+    for case in 0..CASES {
+        let n = 1usize << (1 + rng.next_below(5));
+        let b1 = 1 + rng.next_below(1_000_000) as u64;
+        let extra = 1 + rng.next_below(1_000_000) as u64;
         let topo = ClusterTopology::new(MachineSpec::frontier(), n);
         let cost = CostModel::new(topo).with_congestion(CongestionModel::none());
         let group: Vec<usize> = (0..n).collect();
         let t1 = cost.alltoall_even_time(&group, b1);
         let t2 = cost.alltoall_even_time(&group, b1 + extra);
-        prop_assert!(t2 >= t1, "more bytes cannot be faster");
-        prop_assert!(t1 > 0.0);
+        assert!(t2 >= t1, "case {case}: more bytes cannot be faster");
+        assert!(t1 > 0.0);
     }
+}
 
-    #[test]
-    fn collective_costs_nonnegative_and_scale(
-        n_pow in 1usize..6,
-        bytes in 1u64..10_000_000,
-    ) {
-        let n = 1usize << n_pow;
+#[test]
+fn collective_costs_nonnegative_and_scale() {
+    let mut rng = DetRng::new(0x38);
+    for case in 0..CASES {
+        let n = 1usize << (1 + rng.next_below(5));
+        let bytes = 1 + rng.next_below(10_000_000) as u64;
         let topo = ClusterTopology::new(MachineSpec::frontier(), n);
         let cost = CostModel::new(topo).with_congestion(CongestionModel::none());
         let group: Vec<usize> = (0..n).collect();
         let ag = cost.allgather_time(&group, bytes);
         let ar = cost.allreduce_time(&group, bytes);
         let rs = cost.reduce_scatter_time(&group, bytes);
-        prop_assert!(ag >= 0.0 && ar >= 0.0 && rs >= 0.0);
+        assert!(ag >= 0.0 && ar >= 0.0 && rs >= 0.0, "case {case}");
         if n > 1 {
             // all-reduce = reduce-scatter + all-gather of shards: the ring
             // identities make it at least as expensive as reduce-scatter.
-            prop_assert!(ar >= rs);
+            assert!(ar >= rs);
         }
     }
+}
 
-    #[test]
-    fn activation_memory_monotone_in_tokens(
-        tokens in 64usize..4096,
-        extra in 1usize..2048,
-    ) {
-        let cfg = MoeModelConfig::large();
+#[test]
+fn activation_memory_monotone_in_tokens() {
+    let mut rng = DetRng::new(0x39);
+    let cfg = MoeModelConfig::large();
+    for case in 0..CASES {
+        let tokens = 64 + rng.next_below(4032);
+        let extra = 1 + rng.next_below(2047);
         for sys in MoeSystem::ALL {
             let a = moe_layer_activation(&cfg, sys, tokens, 1).total();
             let b = moe_layer_activation(&cfg, sys, tokens + extra, 1).total();
-            prop_assert!(b >= a, "{sys:?}: more tokens cannot shrink activations");
+            assert!(
+                b >= a,
+                "case {case} {sys:?}: more tokens cannot shrink activations"
+            );
         }
     }
+}
 
-    #[test]
-    fn ssmb_sharding_never_increases_memory(
-        tokens in 64usize..4096,
-        tp_pow in 0usize..4,
-    ) {
-        let cfg = MoeModelConfig::large();
-        let tp = 1usize << tp_pow;
+#[test]
+fn ssmb_sharding_never_increases_memory() {
+    let mut rng = DetRng::new(0x3A);
+    let cfg = MoeModelConfig::large();
+    for case in 0..CASES {
+        let tokens = 64 + rng.next_below(4032);
+        let tp = 1usize << rng.next_below(4);
         let base = moe_layer_activation(&cfg, MoeSystem::XMoe, tokens, 1).total();
         let sharded = moe_layer_activation(&cfg, MoeSystem::XMoe, tokens, tp).total();
-        prop_assert!(sharded <= base);
+        assert!(sharded <= base, "case {case}");
     }
+}
 
-    #[test]
-    fn xmoe_activation_never_above_padded_baselines(
-        tokens in 256usize..4096,
-    ) {
+#[test]
+fn xmoe_activation_never_above_padded_baselines() {
+    let mut rng = DetRng::new(0x3B);
+    let cfg = MoeModelConfig::large();
+    for case in 0..CASES {
         // PFT stores only routed entries; the padded baselines store at
         // least the capacity-padded volume, so X-MoE is never worse.
-        let cfg = MoeModelConfig::large();
+        let tokens = 256 + rng.next_below(3840);
         let x = moe_layer_activation(&cfg, MoeSystem::XMoe, tokens, 1).total();
         let ds = moe_layer_activation(&cfg, MoeSystem::DsMoe, tokens, 1).total();
         let tutel = moe_layer_activation(&cfg, MoeSystem::Tutel, tokens, 1).total();
-        prop_assert!(x <= ds && x <= tutel);
+        assert!(x <= ds && x <= tutel, "case {case}");
     }
 }

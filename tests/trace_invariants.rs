@@ -1,0 +1,240 @@
+//! Cross-pipeline tracing invariants (tier-1).
+//!
+//! 1. Exactness: after a forward pass through any of the four distributed
+//!    pipelines, every rank's spans — work buckets plus `sync_wait:*`
+//!    buckets — sum to exactly `clock.now()` (within 1e-9). The span
+//!    recorder makes this true by construction; these tests pin it.
+//! 2. Golden exporter check: the Chrome trace-event JSON is syntactically
+//!    valid and carries all six Fig-11 stage labels on every rank's track.
+
+use xmoe::collectives::{trace, RankTrace, SimCluster};
+use xmoe::core::expert::ExpertShard;
+use xmoe::core::gating::Router;
+use xmoe::core::pipeline::{self, DenseDropOrder, MoeLayerSpec};
+use xmoe::core::rbd::{self, RbdComms};
+use xmoe::tensor::{DetRng, Tensor};
+
+const WORLD: usize = 8;
+const S: usize = 192;
+const H: usize = 48;
+const F: usize = 24;
+const E: usize = 16;
+const K: usize = 4;
+
+fn run_pipeline(which: &'static str) -> Vec<RankTrace> {
+    let router = Router::new(H, E, K, 0xBEE);
+    let spec = MoeLayerSpec::new(E, 10_000);
+    let router = &router;
+    let spec = &spec;
+    SimCluster::frontier(WORLD).run(move |ctx| {
+        let shard = ExpertShard::for_rank(ctx.rank, WORLD, E, H, F, 0xBEF);
+        let tokens = Tensor::rand_uniform(S, H, 1.0, 0xBF0 + ctx.rank as u64);
+        match which {
+            "dense" => {
+                let _ = pipeline::dense::forward_ep_dense(
+                    &tokens,
+                    router,
+                    &shard,
+                    spec,
+                    DenseDropOrder::TokenOrder,
+                    &ctx.world,
+                    &mut ctx.clock,
+                );
+            }
+            "padding_free" => {
+                let _ = pipeline::padding_free::forward_ep(
+                    &tokens,
+                    router,
+                    &shard,
+                    spec,
+                    &ctx.world,
+                    &mut ctx.clock,
+                );
+            }
+            "block_sparse" => {
+                let _ = pipeline::block_sparse::forward_ep_block_sparse(
+                    &tokens,
+                    router,
+                    &shard,
+                    spec,
+                    64,
+                    &ctx.world,
+                    &mut ctx.clock,
+                );
+            }
+            "rbd" => {
+                let comms = RbdComms::create(&ctx.world, &mut ctx.clock);
+                let mut rng = DetRng::new(0xBF1 + ctx.rank as u64);
+                let _ = rbd::forward_ep_rbd(
+                    &tokens,
+                    router,
+                    &shard,
+                    spec,
+                    &comms,
+                    &mut rng,
+                    &mut ctx.clock,
+                );
+            }
+            other => panic!("unknown pipeline {other}"),
+        }
+        RankTrace::capture(ctx.rank, &mut ctx.clock, ctx.world.traffic())
+    })
+}
+
+fn assert_spans_account_for_all_time(traces: &[RankTrace], pipeline_name: &str) {
+    assert_eq!(traces.len(), WORLD);
+    for tr in traces {
+        let span_sum: f64 = tr.spans.iter().map(|s| s.dur).sum();
+        assert!(
+            (span_sum - tr.end).abs() < 1e-9,
+            "{pipeline_name} rank {}: spans sum to {span_sum} but clock says {}",
+            tr.rank,
+            tr.end
+        );
+        let bucket_sum: f64 = tr.bucket_totals().iter().map(|(_, v)| v).sum();
+        assert!(
+            (bucket_sum - tr.end).abs() < 1e-9,
+            "{pipeline_name} rank {}: buckets sum to {bucket_sum} but clock says {}",
+            tr.rank,
+            tr.end
+        );
+        assert!(
+            tr.end > 0.0,
+            "{pipeline_name} rank {} advanced no time",
+            tr.rank
+        );
+        // Spans must be non-overlapping and cover [0, end] back to back.
+        let mut cursor = 0.0f64;
+        for s in &tr.spans {
+            assert!(
+                (s.start - cursor).abs() < 1e-9,
+                "{pipeline_name} rank {}: gap before span {:?} at {cursor}",
+                tr.rank,
+                s.label
+            );
+            cursor = s.start + s.dur;
+        }
+    }
+}
+
+#[test]
+fn dense_pipeline_spans_sum_to_clock() {
+    assert_spans_account_for_all_time(&run_pipeline("dense"), "dense");
+}
+
+#[test]
+fn padding_free_pipeline_spans_sum_to_clock() {
+    assert_spans_account_for_all_time(&run_pipeline("padding_free"), "padding_free");
+}
+
+#[test]
+fn block_sparse_pipeline_spans_sum_to_clock() {
+    assert_spans_account_for_all_time(&run_pipeline("block_sparse"), "block_sparse");
+}
+
+#[test]
+fn rbd_pipeline_spans_sum_to_clock() {
+    assert_spans_account_for_all_time(&run_pipeline("rbd"), "rbd");
+}
+
+/// Minimal JSON syntax walker: validates balanced structure, strings and
+/// literals without pulling in a parser dependency. Rejects trailing junk.
+fn check_json(s: &str) {
+    let b = s.as_bytes();
+    let mut i = 0usize;
+    let mut stack: Vec<u8> = Vec::new();
+    let mut seen_value = false;
+    while i < b.len() {
+        match b[i] {
+            b'{' | b'[' => {
+                stack.push(b[i]);
+                i += 1;
+            }
+            b'}' => {
+                assert_eq!(stack.pop(), Some(b'{'), "unbalanced }} at byte {i}");
+                seen_value = true;
+                i += 1;
+            }
+            b']' => {
+                assert_eq!(stack.pop(), Some(b'['), "unbalanced ] at byte {i}");
+                seen_value = true;
+                i += 1;
+            }
+            b'"' => {
+                i += 1;
+                while i < b.len() && b[i] != b'"' {
+                    if b[i] == b'\\' {
+                        i += 1;
+                        assert!(i < b.len(), "dangling escape");
+                        assert!(
+                            matches!(
+                                b[i],
+                                b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't' | b'u'
+                            ),
+                            "bad escape \\{} at byte {i}",
+                            b[i] as char
+                        );
+                    }
+                    assert!(b[i] >= 0x20, "unescaped control char in string at byte {i}");
+                    i += 1;
+                }
+                assert!(i < b.len(), "unterminated string");
+                seen_value = true;
+                i += 1;
+            }
+            b',' | b':' => {
+                assert!(!stack.is_empty(), "separator outside container at byte {i}");
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            _ => {
+                // number / true / false / null token
+                let start = i;
+                while i < b.len()
+                    && (b[i].is_ascii_alphanumeric()
+                        || matches!(b[i], b'-' | b'+' | b'.' | b'e' | b'E'))
+                {
+                    i += 1;
+                }
+                let tok = &s[start..i];
+                assert!(
+                    tok == "true" || tok == "false" || tok == "null" || tok.parse::<f64>().is_ok(),
+                    "bad JSON token {tok:?} at byte {start}"
+                );
+                seen_value = true;
+            }
+        }
+    }
+    assert!(stack.is_empty(), "unbalanced containers at end of input");
+    assert!(seen_value, "empty JSON document");
+}
+
+#[test]
+fn chrome_trace_is_valid_json_with_all_stage_labels_per_rank() {
+    let traces = run_pipeline("padding_free");
+    let json = trace::chrome_trace(&traces);
+    check_json(&json);
+    assert!(json.contains("\"traceEvents\""));
+    let stage_labels = [
+        "gating",
+        "buffer_dispatch",
+        "dispatch_a2a",
+        "expert",
+        "combine_a2a",
+        "buffer_combine",
+    ];
+    // Every rank has a named thread track and every stage label appears on it.
+    for tr in &traces {
+        let track = format!("\"tid\":{}", tr.rank);
+        assert!(json.contains(&track), "no events for rank {}", tr.rank);
+        for label in stage_labels {
+            assert!(
+                tr.spans.iter().any(|sp| !sp.wait && sp.label == label),
+                "rank {} trace missing stage {label}",
+                tr.rank
+            );
+            let event = format!("\"name\":\"{label}\"");
+            assert!(json.contains(&event), "exporter dropped stage {label}");
+        }
+    }
+}
