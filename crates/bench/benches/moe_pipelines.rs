@@ -81,6 +81,7 @@ fn bench_distributed_pipelines() {
                 &ctx.world,
                 &mut ctx.clock,
             )
+            .unwrap()
             .norm()
         });
         std::hint::black_box(norms);
@@ -100,6 +101,7 @@ fn bench_distributed_pipelines() {
                 &ctx.world,
                 &mut ctx.clock,
             )
+            .unwrap()
             .norm()
         });
         std::hint::black_box(norms);
@@ -110,7 +112,7 @@ fn bench_distributed_pipelines() {
         let norms = SimCluster::frontier(world).run(move |ctx| {
             let shard = ExpertShard::for_rank(ctx.rank, world, e, h, f, 7);
             let tokens = Tensor::rand_uniform(s, h, 1.0, 8 + ctx.rank as u64);
-            let comms = RbdComms::create(&ctx.world, &mut ctx.clock);
+            let comms = RbdComms::create(&ctx.world, &mut ctx.clock).unwrap();
             let mut rng = DetRng::new(9 + ctx.rank as u64);
             rbd::forward_ep_rbd(
                 &tokens,
@@ -121,6 +123,7 @@ fn bench_distributed_pipelines() {
                 &mut rng,
                 &mut ctx.clock,
             )
+            .unwrap()
             .norm()
         });
         std::hint::black_box(norms);

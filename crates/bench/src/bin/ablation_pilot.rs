@@ -30,7 +30,7 @@ fn main() {
         let out = SimCluster::frontier(world).run(move |ctx| {
             let shard = ExpertShard::for_rank(ctx.rank, world, e, h, f, 3002);
             let tokens = Tensor::rand_uniform(s, h, 1.0, 3100 + ctx.rank as u64);
-            let comms = RbdComms::create(&ctx.world, &mut ctx.clock);
+            let comms = RbdComms::create(&ctx.world, &mut ctx.clock).unwrap();
             let mut rng = DetRng::new(3200 + ctx.rank as u64);
             let _ = forward_ep_rbd_with_policy(
                 &tokens,

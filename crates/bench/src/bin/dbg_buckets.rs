@@ -1,0 +1,47 @@
+use xmoe_bench::print_table;
+use xmoe_collectives::{RankTrace, SimCluster};
+use xmoe_core::gating::DropPolicy;
+use xmoe_topology::FaultPlan;
+use xmoe_train::{run_chaos_rank, ChaosConfig, TrainConfig};
+
+const WORLD: usize = 8;
+const STEPS: u64 = 12;
+const KILL_AT: u64 = 9;
+
+fn cfg() -> TrainConfig {
+    let mut c = TrainConfig::fig15(DropPolicy::CapacityOnly);
+    c.vocab = 64;
+    c.hidden = 16;
+    c.ffn = 8;
+    c.num_experts = 2 * WORLD;
+    c.top_k = 2;
+    c.layers = 2;
+    c.seq_len = 12;
+    c.batch = 2;
+    c.capacity_factor = 1e6;
+    c.seed = 0xBE2C;
+    c
+}
+
+fn main() {
+    let _ = print_table;
+    let c = cfg();
+    let mut plan = FaultPlan::new(1);
+    for r in WORLD / 2..WORLD {
+        plan = plan.kill(r, KILL_AT);
+    }
+    let chaos = ChaosConfig {
+        steps: STEPS,
+        ckpt_every: 0,
+    };
+    let c = &c;
+    let out = SimCluster::frontier(WORLD)
+        .with_faults(plan)
+        .run(move |ctx| {
+            run_chaos_rank(c, &chaos, ctx).unwrap();
+            RankTrace::capture(ctx.rank, &mut ctx.clock, ctx.world.traffic())
+        });
+    for (l, v) in out[0].bucket_totals() {
+        println!("{l}: {v:e}");
+    }
+}

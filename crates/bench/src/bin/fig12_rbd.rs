@@ -99,7 +99,7 @@ fn main() {
         let traces = SimCluster::frontier(32).run(move |ctx| {
             let shard = ExpertShard::for_rank(ctx.rank, 32, e, h, f, 122);
             let tokens = Tensor::rand_uniform(s, h, 1.0, 1000 + ctx.rank as u64);
-            let comms = RbdComms::create(&ctx.world, &mut ctx.clock);
+            let comms = RbdComms::create(&ctx.world, &mut ctx.clock).unwrap();
             let mut rng = DetRng::new(123 + ctx.rank as u64);
             let _ = rbd::forward_ep_rbd(
                 &tokens,

@@ -1,0 +1,110 @@
+//! Checkpoint-interval vs recovery-overhead sweep for the chaos engine.
+//!
+//! Kills half the ranks mid-run and measures, per checkpoint interval:
+//! the steady-state checkpointing overhead (simulated time spent in the
+//! `checkpoint` stage), the number of steps replayed after the failure,
+//! and the MTTR (detect + re-group + restore + replay). The classic
+//! trade-off: frequent checkpoints cost steady-state time but bound the
+//! replay; rare checkpoints are cheap until something dies.
+
+use xmoe_bench::print_table;
+use xmoe_collectives::{RankTrace, SimCluster};
+use xmoe_core::gating::DropPolicy;
+use xmoe_topology::FaultPlan;
+use xmoe_train::{run_chaos_rank, ChaosConfig, ChaosReport, TrainConfig};
+
+const WORLD: usize = 8;
+const STEPS: u64 = 12;
+const KILL_AT: u64 = 9;
+
+fn cfg() -> TrainConfig {
+    let mut c = TrainConfig::fig15(DropPolicy::CapacityOnly);
+    c.vocab = 64;
+    c.hidden = 16;
+    c.ffn = 8;
+    c.num_experts = 2 * WORLD;
+    c.top_k = 2;
+    c.layers = 2;
+    c.seq_len = 12;
+    c.batch = 2;
+    c.capacity_factor = 1e6;
+    c.seed = 0xBE2C;
+    c
+}
+
+fn sweep_point(ckpt_every: u64) -> (ChaosReport, f64, f64) {
+    let c = cfg();
+    // Kill the upper half of the ranks at KILL_AT.
+    let mut plan = FaultPlan::new(1);
+    for r in WORLD / 2..WORLD {
+        plan = plan.kill(r, KILL_AT);
+    }
+    let chaos = ChaosConfig {
+        steps: STEPS,
+        ckpt_every,
+    };
+    let c = &c;
+    let out = SimCluster::frontier(WORLD)
+        .with_faults(plan)
+        .run(move |ctx| {
+            let report = run_chaos_rank(c, &chaos, ctx).expect("unrecoverable comm fault");
+            let trace = RankTrace::capture(ctx.rank, &mut ctx.clock, ctx.world.traffic());
+            (report, trace)
+        });
+    let (report, trace) = &out[0];
+    let ckpt_time: f64 = trace
+        .bucket_totals()
+        .iter()
+        .filter(|(l, _)| l == "checkpoint" || l == "ckpt_restore")
+        .map(|(_, v)| v)
+        .sum::<f64>()
+        .max(0.0); // empty float sums yield -0.0
+    (report.clone(), ckpt_time, trace.end)
+}
+
+fn main() {
+    println!(
+        "elastic recovery sweep: {WORLD} Frontier ranks, {STEPS} steps, \
+         ranks {}..{WORLD} killed at step {KILL_AT}",
+        WORLD / 2
+    );
+    let mut rows = Vec::new();
+    for ckpt_every in [0u64, 1, 2, 3, 6] {
+        let (report, ckpt_time, total) = sweep_point(ckpt_every);
+        let rec = report
+            .recoveries
+            .first()
+            .expect("survivor must have recovered");
+        rows.push(vec![
+            if ckpt_every == 0 {
+                "never".to_string()
+            } else {
+                format!("{ckpt_every}")
+            },
+            format!("{}", rec.steps_replayed),
+            format!("{:.2}", ckpt_time * 1e6),
+            format!("{:.2}", rec.mttr * 1e3),
+            format!("{:.2}", total * 1e3),
+            format!(
+                "{}",
+                report.last_ckpt.as_ref().map_or(0, std::vec::Vec::len)
+            ),
+        ]);
+    }
+    print_table(
+        "checkpoint interval vs recovery overhead",
+        &[
+            "ckpt every",
+            "replayed",
+            "ckpt+restore us",
+            "mttr ms",
+            "total ms",
+            "ckpt bytes",
+        ],
+        &rows,
+    );
+    println!(
+        "\nMTTR = detect + re-group + restore + replay; the checkpoint column is\n\
+         simulated time spent serializing/gathering checkpoints plus reloading one."
+    );
+}

@@ -2,11 +2,12 @@
 //!
 //! Compute stages charge analytic kernel times; collectives charge cost-model
 //! times (see [`crate::Communicator`]). Every second the clock advances is
-//! recorded as a [`Span`] — either productive work or straggler sync-wait —
-//! so the named stage buckets plus their `sync_wait:` companions always sum
-//! exactly to [`SimClock::now`]. The stage names reproduce the paper's
-//! breakdowns (Fig 11: gating / buffer dispatch / dispatch all-to-all /
-//! expert / combine all-to-all / buffer combine; Fig 12: RBD stage split).
+//! recorded as a [`Span`] — productive work, straggler sync-wait, or a
+//! fault-retry attempt — so the named stage buckets plus their `sync_wait:`
+//! and `fault_retry:` companions always sum exactly to [`SimClock::now`].
+//! The stage names reproduce the paper's breakdowns (Fig 11: gating / buffer
+//! dispatch / dispatch all-to-all / expert / combine all-to-all / buffer
+//! combine; Fig 12: RBD stage split).
 //!
 //! # Attribution model
 //!
@@ -15,13 +16,25 @@
 //! The call site then claims everything pending with
 //! [`commit`](SimClock::commit), which drains it into the stage's bucket —
 //! transfer time under the stage label, straggler-wait time under
-//! `sync_wait:<stage>`. Pending time never silently disappears: a
-//! [`charge`](SimClock::charge) or [`flush`](SimClock::flush) first drains
-//! any leftovers under their fallback labels. This replaces the old
-//! `bucket_last` pattern, which attributed only the final `advance` delta
-//! and dropped sync-wait (and any earlier unclaimed advance) on the floor.
+//! `sync_wait:<stage>`, failed-attempt time under `fault_retry:<stage>`.
+//! Pending time never silently disappears: a [`charge`](SimClock::charge) or
+//! [`flush`](SimClock::flush) first drains any leftovers under their fallback
+//! labels. This replaces the old `bucket_last` pattern, which attributed only
+//! the final `advance` delta and dropped sync-wait (and any earlier unclaimed
+//! advance) on the floor.
 
 use crate::trace::Span;
+
+/// What a slice of simulated time was spent on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Kind {
+    /// Productive transfer/compute time.
+    Work,
+    /// Straggler sync-wait at a collective rendezvous.
+    Wait,
+    /// A failed collective attempt plus its backoff (transient link fault).
+    Retry,
+}
 
 /// One not-yet-committed slice of time, labeled with the fallback name of
 /// whatever advanced the clock (a collective op, or "unattributed").
@@ -30,7 +43,7 @@ struct Pending {
     fallback: String,
     start: f64,
     dur: f64,
-    wait: bool,
+    kind: Kind,
 }
 
 /// Simulated wall-clock of one rank, in seconds.
@@ -68,13 +81,24 @@ impl SimClock {
     /// [`advance`](Self::advance) with an explicit fallback label (the
     /// collective op name, e.g. `"all_to_all"`).
     pub fn advance_op(&mut self, op: &str, dt: f64) {
+        self.push_pending(op, dt, Kind::Work);
+    }
+
+    /// Advance by `dt` seconds of *failed-attempt* time: a collective try
+    /// that a transient link fault killed, plus its backoff. Committed under
+    /// `fault_retry:<stage>` instead of the stage's work bucket.
+    pub fn advance_retry_op(&mut self, op: &str, dt: f64) {
+        self.push_pending(op, dt, Kind::Retry);
+    }
+
+    fn push_pending(&mut self, op: &str, dt: f64, kind: Kind) {
         debug_assert!(dt >= 0.0, "negative time step {dt}");
         if dt > 0.0 {
             self.pending.push(Pending {
                 fallback: op.to_string(),
                 start: self.now,
                 dur: dt,
-                wait: false,
+                kind,
             });
         }
         self.now += dt;
@@ -87,7 +111,7 @@ impl SimClock {
                 fallback: op.to_string(),
                 start: self.now,
                 dur: t - self.now,
-                wait: true,
+                kind: Kind::Wait,
             });
             self.now = t;
         }
@@ -101,19 +125,19 @@ impl SimClock {
         debug_assert!(dt >= 0.0, "negative time step {dt}");
         let start = self.now;
         self.now += dt;
-        self.record(label, start, dt, false);
+        self.record(label, start, dt, Kind::Work);
     }
 
     /// Claim all pending time for `label`: transfer/work slices land in the
-    /// `label` bucket, sync-wait slices in `sync_wait:<label>`. Returns the
-    /// total duration committed. This is the span-complete replacement for
-    /// the old `bucket_last`.
+    /// `label` bucket, sync-wait slices in `sync_wait:<label>`, retry slices
+    /// in `fault_retry:<label>`. Returns the total duration committed. This
+    /// is the span-complete replacement for the old `bucket_last`.
     pub fn commit(&mut self, label: &str) -> f64 {
         let drained = std::mem::take(&mut self.pending);
         let mut total = 0.0;
         for p in drained {
             total += p.dur;
-            self.record(label, p.start, p.dur, p.wait);
+            self.record(label, p.start, p.dur, p.kind);
         }
         total
     }
@@ -125,7 +149,7 @@ impl SimClock {
         let drained = std::mem::take(&mut self.pending);
         for p in drained {
             let label = p.fallback.clone();
-            self.record(&label, p.start, p.dur, p.wait);
+            self.record(&label, p.start, p.dur, p.kind);
         }
     }
 
@@ -135,13 +159,14 @@ impl SimClock {
         self.pending.len()
     }
 
-    /// Total non-wait (transfer/work) time recorded since `mark`. Lets a
-    /// composite collective price itself as `max(own_cost, inner_cost)`
-    /// without guessing which advance was the inner one.
+    /// Total productive work time recorded since `mark` (sync-wait and retry
+    /// attempts excluded). Lets a composite collective price itself as
+    /// `max(own_cost, inner_cost)` without guessing which advance was the
+    /// inner one.
     pub fn pending_work_since(&self, mark: usize) -> f64 {
         self.pending[mark.min(self.pending.len())..]
             .iter()
-            .filter(|p| !p.wait)
+            .filter(|p| p.kind == Kind::Work)
             .map(|p| p.dur)
             .sum()
     }
@@ -155,17 +180,18 @@ impl SimClock {
         }
     }
 
-    fn record(&mut self, label: &str, start: f64, dur: f64, wait: bool) {
-        if wait {
-            self.attribute(&format!("sync_wait:{label}"), dur);
-        } else {
-            self.attribute(label, dur);
+    fn record(&mut self, label: &str, start: f64, dur: f64, kind: Kind) {
+        match kind {
+            Kind::Work => self.attribute(label, dur),
+            Kind::Wait => self.attribute(&format!("sync_wait:{label}"), dur),
+            Kind::Retry => self.attribute(&format!("fault_retry:{label}"), dur),
         }
         self.spans.push(Span {
             label: label.to_string(),
             start,
             dur,
-            wait,
+            wait: kind == Kind::Wait,
+            retry: kind == Kind::Retry,
         });
     }
 
@@ -178,7 +204,7 @@ impl SimClock {
     }
 
     /// Accumulated time in `label`'s bucket (wait buckets are named
-    /// `sync_wait:<label>`).
+    /// `sync_wait:<label>`, retry buckets `fault_retry:<label>`).
     pub fn bucket(&self, label: &str) -> f64 {
         self.buckets
             .iter()
@@ -251,6 +277,33 @@ mod tests {
         assert_eq!(c.bucket("sync_wait:dispatch_a2a"), 0.25);
         assert_eq!(c.spans().len(), 2);
         assert!(c.spans()[0].wait && !c.spans()[1].wait);
+    }
+
+    #[test]
+    fn retry_time_lands_in_its_own_bucket() {
+        let mut c = SimClock::new();
+        c.advance_retry_op("all_to_all", 0.3); // failed attempt + backoff
+        c.advance_op("all_to_all", 0.5); // successful transfer
+        c.commit("dispatch_a2a");
+        assert_eq!(c.bucket("fault_retry:dispatch_a2a"), 0.3);
+        assert_eq!(c.bucket("dispatch_a2a"), 0.5);
+        assert!(c.spans()[0].retry && !c.spans()[0].wait);
+        assert!(!c.spans()[1].retry);
+        let sum: f64 = c.spans().iter().map(|s| s.dur).sum();
+        assert!((sum - c.now()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn retry_is_not_counted_as_composite_work() {
+        let mut c = SimClock::new();
+        let m = c.mark();
+        c.advance_retry_op("all_gather", 0.4);
+        c.advance_op("all_gather", 0.3);
+        assert!((c.pending_work_since(m) - 0.3).abs() < 1e-12);
+        c.relabel_pending_since(m, "all_reduce");
+        c.flush();
+        assert_eq!(c.bucket("fault_retry:all_reduce"), 0.4);
+        assert_eq!(c.bucket("all_reduce"), 0.3);
     }
 
     #[test]

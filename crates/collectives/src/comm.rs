@@ -4,15 +4,55 @@
 //! **SPMD discipline**: like MPI, every rank of a communicator must call the
 //! same sequence of collectives on it. Channels are FIFO per (src, dst)
 //! pair, so matching is by program order and no tags are needed.
+//!
+//! **Failure awareness**: collectives return `Result<_, CommError>`. A rank
+//! that a [`FaultPlan`] declares dead is detected *before* any payload moves
+//! (every survivor errs at the same collective, keeping SPMD order intact —
+//! with threads-as-ranks a dead peer's channel endpoints live on in the
+//! shared link matrix, so rendezvous-by-recv would deadlock, not error).
+//! Transient link flaps retry with exponential backoff, charged to the clock
+//! as retry spans; link degradation stretches the priced collective time.
 
 use std::any::Any;
+use std::cell::Cell;
+use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 
-use xmoe_topology::{CostModel, LinkClass};
+use xmoe_topology::{CostModel, FaultPlan, LinkClass};
 
 use crate::SimClock;
+
+/// Why a collective could not complete.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CommError {
+    /// A member of the group is dead per the fault plan. Every surviving
+    /// rank of the group observes this error at the same collective; the
+    /// caller is expected to re-form a communicator over the survivors via
+    /// [`Communicator::split`] and recover from a checkpoint.
+    DeadPeer { global_rank: usize, step: u64 },
+    /// A channel endpoint was dropped mid-collective (a peer's communicator
+    /// was destroyed — only possible through a driver bug, since the link
+    /// matrix is shared).
+    ChannelClosed { op: &'static str },
+    /// A link mutex was poisoned by a panicking peer.
+    LockPoisoned { op: &'static str },
+}
+
+impl fmt::Display for CommError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommError::DeadPeer { global_rank, step } => {
+                write!(f, "rank {global_rank} is dead at step {step}")
+            }
+            CommError::ChannelClosed { op } => write!(f, "channel closed during {op}"),
+            CommError::LockPoisoned { op } => write!(f, "link mutex poisoned during {op}"),
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
 
 /// Bytes this communicator moved on behalf of one rank, split by link
 /// class. Counted at send time from the actual payload sizes — the ground
@@ -57,8 +97,8 @@ struct Link {
     rx: Mutex<Receiver<Packet>>,
 }
 
-/// Shared state of one communicator: the member ranks (global ids) and the
-/// full channel matrix.
+/// Shared state of one communicator: the member ranks (global ids), the
+/// full channel matrix, and the fault plan (if chaos is enabled).
 struct CommState {
     /// Global rank of each local position, ascending.
     ranks: Vec<usize>,
@@ -67,10 +107,13 @@ struct CommState {
     cost: Arc<CostModel>,
     /// Per-local-rank sent-bytes counters.
     traffic: Vec<TrafficCounters>,
+    /// The deterministic fault schedule; `None` runs the fault-free fast
+    /// path. Inherited by communicators created via `split`.
+    fault: Option<Arc<FaultPlan>>,
 }
 
 impl CommState {
-    fn new(ranks: Vec<usize>, cost: Arc<CostModel>) -> Self {
+    fn new(ranks: Vec<usize>, cost: Arc<CostModel>, fault: Option<Arc<FaultPlan>>) -> Self {
         let n = ranks.len();
         let links = (0..n)
             .map(|_| {
@@ -91,6 +134,7 @@ impl CommState {
             links,
             cost,
             traffic,
+            fault,
         }
     }
 }
@@ -98,23 +142,38 @@ impl CommState {
 /// A handle to a communicator, bound to one member rank.
 ///
 /// Cheap to clone within a thread; collectives take `&mut SimClock` so the
-/// simulated time of the owning rank advances with each call.
+/// simulated time of the owning rank advances with each call. The handle
+/// carries the owning rank's current training step (see
+/// [`set_step`](Communicator::set_step)), which the fault plan is queried
+/// against; cloning copies the step value, so the driver must call
+/// `set_step` on the handle it actually uses.
 #[derive(Clone)]
 pub struct Communicator {
     state: Arc<CommState>,
     me: usize,
+    step: Cell<u64>,
 }
 
 impl Communicator {
     /// Build the world communicator over all ranks of the cost model's
     /// topology, returning one handle per rank (index = global rank).
     pub fn world_set(cost: Arc<CostModel>) -> Vec<Communicator> {
+        Self::world_set_with_faults(cost, None)
+    }
+
+    /// [`world_set`](Self::world_set) with a fault plan wired into the
+    /// communicator (and inherited by every communicator split off it).
+    pub fn world_set_with_faults(
+        cost: Arc<CostModel>,
+        fault: Option<Arc<FaultPlan>>,
+    ) -> Vec<Communicator> {
         let n = cost.topology().n_ranks();
-        let state = Arc::new(CommState::new((0..n).collect(), cost));
+        let state = Arc::new(CommState::new((0..n).collect(), cost, fault));
         (0..n)
             .map(|me| Communicator {
                 state: state.clone(),
                 me,
+                step: Cell::new(0),
             })
             .collect()
     }
@@ -142,6 +201,22 @@ impl Communicator {
     /// The cost model (and through it, the topology).
     pub fn cost(&self) -> &CostModel {
         &self.state.cost
+    }
+
+    /// The fault plan, when chaos is enabled.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.state.fault.as_deref()
+    }
+
+    /// Tell this handle which training step the rank is in; the fault plan
+    /// is evaluated at this step for every subsequent collective.
+    pub fn set_step(&self, step: u64) {
+        self.step.set(step);
+    }
+
+    /// The training step this handle currently evaluates faults at.
+    pub fn step(&self) -> u64 {
+        self.step.get()
     }
 
     /// Snapshot of the bytes this rank has sent through this communicator,
@@ -184,20 +259,82 @@ impl Communicator {
         }
     }
 
-    fn send_to(&self, dst: usize, clock: f64, payload: Box<dyn Any + Send>) {
+    fn send_to(
+        &self,
+        dst: usize,
+        clock: f64,
+        payload: Box<dyn Any + Send>,
+    ) -> Result<(), CommError> {
         self.state.links[self.me][dst]
             .tx
             .send(Packet { clock, payload })
-            .expect("peer rank hung up mid-collective");
+            .map_err(|_| CommError::ChannelClosed { op: "send" })
     }
 
-    fn recv_from(&self, src: usize) -> Packet {
+    fn recv_from(&self, src: usize) -> Result<Packet, CommError> {
         self.state.links[src][self.me]
             .rx
             .lock()
-            .expect("link mutex poisoned")
+            .map_err(|_| CommError::LockPoisoned { op: "recv" })?
             .recv()
-            .expect("peer rank hung up mid-collective")
+            .map_err(|_| CommError::ChannelClosed { op: "recv" })
+    }
+
+    /// Is the member at local position `pos` dead at this handle's step?
+    fn is_dead_local(&self, pos: usize, step: u64) -> bool {
+        self.state
+            .fault
+            .as_ref()
+            .is_some_and(|p| p.is_dead(self.state.ranks[pos], step))
+    }
+
+    /// Fail fast (and deterministically) if any group member is dead:
+    /// called before any payload is sent, so every survivor errs at the
+    /// same collective with no partial messages left in the channels. The
+    /// detection timeout is charged to the clock.
+    fn check_dead(&self, clock: &mut SimClock) -> Result<(), CommError> {
+        let Some(plan) = &self.state.fault else {
+            return Ok(());
+        };
+        let step = self.step.get();
+        for &g in &self.state.ranks {
+            if plan.is_dead(g, step) {
+                clock.charge("fault_detect", plan.detect_timeout);
+                return Err(CommError::DeadPeer {
+                    global_rank: g,
+                    step,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Degradation multiplier for this group at the current step.
+    fn fault_link_mult(&self) -> f64 {
+        match &self.state.fault {
+            Some(plan) => plan.link_multiplier(
+                self.state.cost.group_class(&self.state.ranks),
+                self.step.get(),
+            ),
+            None => 1.0,
+        }
+    }
+
+    /// Apply link faults to a priced collective: stretch `base` by the
+    /// degradation multiplier and charge one retry span per transient flap
+    /// (the failed attempt costs the full stretched transfer plus backoff).
+    /// Returns the stretched time of the successful attempt.
+    fn fault_shaped_time(&self, op: &str, base: f64, clock: &mut SimClock) -> f64 {
+        let Some(plan) = &self.state.fault else {
+            return base;
+        };
+        let step = self.step.get();
+        let class = self.state.cost.group_class(&self.state.ranks);
+        let t = base * plan.link_multiplier(class, step);
+        for attempt in 0..plan.flap_retries(class, step) {
+            clock.advance_retry_op(op, t + plan.backoff(attempt));
+        }
+        t
     }
 
     /// Uneven all-to-all (`MPI_Alltoallv`). `send[j]` goes to local rank `j`
@@ -211,7 +348,8 @@ impl Communicator {
         &self,
         mut send: Vec<Vec<T>>,
         clock: &mut SimClock,
-    ) -> Vec<Vec<T>> {
+    ) -> Result<Vec<Vec<T>>, CommError> {
+        self.check_dead(clock)?;
         let n = self.size();
         assert_eq!(send.len(), n, "all_to_all_v needs one send buffer per rank");
         let elem = std::mem::size_of::<T>() as u64;
@@ -225,7 +363,7 @@ impl Communicator {
             }
             let data = std::mem::take(&mut send[dst]);
             self.record_send(dst, my_sizes[dst]);
-            self.send_to(dst, clock.now(), Box::new((data, my_sizes.clone())));
+            self.send_to(dst, clock.now(), Box::new((data, my_sizes.clone())))?;
         }
 
         let mut recv: Vec<Vec<T>> = (0..n).map(|_| Vec::new()).collect();
@@ -237,7 +375,7 @@ impl Communicator {
             if src == self.me {
                 continue;
             }
-            let pkt = self.recv_from(src);
+            let pkt = self.recv_from(src)?;
             start = start.max(pkt.clock);
             let (data, sizes) = *pkt
                 .payload
@@ -252,8 +390,9 @@ impl Communicator {
             .cost
             .alltoallv_time(&self.state.ranks, &|i, j| size_rows[i][j]);
         clock.advance_to_op("all_to_all", start);
+        let t = self.fault_shaped_time("all_to_all", t, clock);
         clock.advance_op("all_to_all", t);
-        recv
+        Ok(recv)
     }
 
     /// Even all-to-all: equal-sized buffers to every rank.
@@ -261,7 +400,7 @@ impl Communicator {
         &self,
         send: Vec<Vec<T>>,
         clock: &mut SimClock,
-    ) -> Vec<Vec<T>> {
+    ) -> Result<Vec<Vec<T>>, CommError> {
         let first = send.first().map_or(0, Vec::len);
         assert!(
             send.iter().all(|v| v.len() == first),
@@ -276,7 +415,8 @@ impl Communicator {
         &self,
         mine: Vec<T>,
         clock: &mut SimClock,
-    ) -> Vec<Vec<T>> {
+    ) -> Result<Vec<Vec<T>>, CommError> {
+        self.check_dead(clock)?;
         let n = self.size();
         let elem = std::mem::size_of::<T>() as u64;
         let my_bytes = mine.len() as u64 * elem;
@@ -285,7 +425,7 @@ impl Communicator {
                 continue;
             }
             self.record_send(dst, my_bytes);
-            self.send_to(dst, clock.now(), Box::new((mine.clone(), my_bytes)));
+            self.send_to(dst, clock.now(), Box::new((mine.clone(), my_bytes)))?;
         }
         let mut out: Vec<Vec<T>> = (0..n).map(|_| Vec::new()).collect();
         out[self.me] = mine;
@@ -295,7 +435,7 @@ impl Communicator {
             if src == self.me {
                 continue;
             }
-            let pkt = self.recv_from(src);
+            let pkt = self.recv_from(src)?;
             start = start.max(pkt.clock);
             let (data, bytes) = *pkt
                 .payload
@@ -306,39 +446,58 @@ impl Communicator {
         }
         let t = self.state.cost.allgather_time(&self.state.ranks, max_bytes);
         clock.advance_to_op("all_gather", start);
+        let t = self.fault_shaped_time("all_gather", t, clock);
         clock.advance_op("all_gather", t);
-        out
+        Ok(out)
     }
 
     /// All-reduce (sum) of an `f32` buffer; all ranks must pass equal-length
     /// buffers and all end with the identical elementwise sum.
-    pub fn all_reduce_sum_f32(&self, buf: &mut [f32], clock: &mut SimClock) {
+    pub fn all_reduce_sum_f32(
+        &self,
+        buf: &mut [f32],
+        clock: &mut SimClock,
+    ) -> Result<(), CommError> {
         let mark = clock.mark();
-        let parts = self.all_gather(buf.to_vec(), clock);
+        let parts = self.all_gather(buf.to_vec(), clock)?;
         // Price as a ring all-reduce: top up the inner all-gather's work time
         // (measured, not guessed from the last advance) to the all-reduce
-        // cost, and claim the whole thing under one op label.
+        // cost, and claim the whole thing under one op label. The inner
+        // all-gather already paid any flap retries; only the degradation
+        // multiplier applies to the top-up target.
         let inner_work = clock.pending_work_since(mark);
         let bytes = buf.len() as u64 * 4;
-        let t = self.state.cost.allreduce_time(&self.state.ranks, bytes);
+        let t = self.state.cost.allreduce_time(&self.state.ranks, bytes) * self.fault_link_mult();
         if t > inner_work {
             clock.advance_op("all_reduce", t - inner_work);
         }
         clock.relabel_pending_since(mark, "all_reduce");
-        for (i, part) in parts.iter().enumerate() {
-            if i == self.me {
-                continue;
-            }
+        // Accumulate in canonical group-index order (parts[me] is this
+        // rank's own contribution) so every rank computes the bitwise-same
+        // float sum. Seeding with the local buffer and adding peers would
+        // make the order — and thus the low mantissa bits — rank-dependent,
+        // silently de-synchronizing "replicated" parameters and breaking
+        // rank-agnostic checkpoint/restore.
+        for part in &parts {
             assert_eq!(part.len(), buf.len(), "all_reduce buffer length mismatch");
-            for (b, p) in buf.iter_mut().zip(part) {
-                *b += p;
-            }
         }
+        for (j, b) in buf.iter_mut().enumerate() {
+            let mut acc = parts[0][j];
+            for part in &parts[1..] {
+                acc += part[j];
+            }
+            *b = acc;
+        }
+        Ok(())
     }
 
     /// Reduce-scatter (sum): each rank passes `n * chunk` elements and
     /// receives the summed chunk at its own position.
-    pub fn reduce_scatter_sum_f32(&self, buf: &[f32], clock: &mut SimClock) -> Vec<f32> {
+    pub fn reduce_scatter_sum_f32(
+        &self,
+        buf: &[f32],
+        clock: &mut SimClock,
+    ) -> Result<Vec<f32>, CommError> {
         let n = self.size();
         assert_eq!(
             buf.len() % n,
@@ -350,7 +509,7 @@ impl Communicator {
             .map(|j| buf[j * chunk..(j + 1) * chunk].to_vec())
             .collect();
         let mark = clock.mark();
-        let parts = self.all_to_all_v(send, clock);
+        let parts = self.all_to_all_v(send, clock)?;
         // Top up the inner all-to-all's work time to the reduce-scatter cost
         // (the old code read `last_delta`, wrongly assuming the preceding
         // advance was an internal all-gather) and claim it as one op.
@@ -358,7 +517,8 @@ impl Communicator {
         let t = self
             .state
             .cost
-            .reduce_scatter_time(&self.state.ranks, buf.len() as u64 * 4);
+            .reduce_scatter_time(&self.state.ranks, buf.len() as u64 * 4)
+            * self.fault_link_mult();
         if t > inner_work {
             clock.advance_op("reduce_scatter", t - inner_work);
         }
@@ -369,7 +529,7 @@ impl Communicator {
                 *o += p;
             }
         }
-        out
+        Ok(out)
     }
 
     /// Broadcast from `root` (local rank). Non-roots pass `None`.
@@ -378,7 +538,8 @@ impl Communicator {
         root: usize,
         value: Option<Vec<T>>,
         clock: &mut SimClock,
-    ) -> Vec<T> {
+    ) -> Result<Vec<T>, CommError> {
+        self.check_dead(clock)?;
         let n = self.size();
         if self.me == root {
             let v = value.expect("root must supply the broadcast value");
@@ -388,14 +549,14 @@ impl Communicator {
                     continue;
                 }
                 self.record_send(dst, bytes);
-                self.send_to(dst, clock.now(), Box::new(v.clone()));
+                self.send_to(dst, clock.now(), Box::new(v.clone()))?;
             }
-            let bytes = v.len() as u64 * std::mem::size_of::<T>() as u64;
             let t = self.state.cost.allgather_time(&self.state.ranks, bytes);
+            let t = self.fault_shaped_time("broadcast", t, clock);
             clock.advance_op("broadcast", t);
-            v
+            Ok(v)
         } else {
-            let pkt = self.recv_from(root);
+            let pkt = self.recv_from(root)?;
             let v = *pkt
                 .payload
                 .downcast::<Vec<T>>()
@@ -403,27 +564,71 @@ impl Communicator {
             let bytes = v.len() as u64 * std::mem::size_of::<T>() as u64;
             let t = self.state.cost.allgather_time(&self.state.ranks, bytes);
             clock.advance_to_op("broadcast", pkt.clock);
+            let t = self.fault_shaped_time("broadcast", t, clock);
             clock.advance_op("broadcast", t);
-            v
+            Ok(v)
         }
     }
 
     /// Synchronize all ranks (and their simulated clocks).
-    pub fn barrier(&self, clock: &mut SimClock) {
+    pub fn barrier(&self, clock: &mut SimClock) -> Result<(), CommError> {
         let mark = clock.mark();
-        let _ = self.all_gather::<u8>(Vec::new(), clock);
+        let _ = self.all_gather::<u8>(Vec::new(), clock)?;
         clock.relabel_pending_since(mark, "barrier");
+        Ok(())
     }
 
     /// Collectively split into sub-communicators by `color`. Ranks with the
     /// same color form a new communicator, ordered by their local rank in
-    /// the parent. Every member of the parent must call `split`.
-    pub fn split(&self, color: usize, clock: &mut SimClock) -> Communicator {
-        let mark = clock.mark();
-        let colors = self.all_gather(vec![color as u64], clock);
-        clock.relabel_pending_since(mark, "split");
-        let members: Vec<usize> = (0..self.size())
-            .filter(|&i| colors[i][0] == color as u64)
+    /// the parent. Every *surviving* member of the parent must call `split`.
+    ///
+    /// Unlike the data collectives, `split` tolerates dead peers — it is the
+    /// recovery primitive survivors use to re-form a communicator after a
+    /// rank failure. Dead members are skipped at the color exchange and
+    /// excluded from the child; with no fault plan (or no deaths) the
+    /// behavior is identical to a plain MPI `Comm_split`.
+    pub fn split(&self, color: usize, clock: &mut SimClock) -> Result<Communicator, CommError> {
+        let step = self.step.get();
+        let n = self.size();
+        let alive: Vec<usize> = (0..n).filter(|&i| !self.is_dead_local(i, step)).collect();
+        assert!(
+            alive.contains(&self.me),
+            "a rank the fault plan declares dead called split"
+        );
+
+        // Exchange colors among the survivors (a tiny all-gather priced
+        // over the surviving group).
+        for &dst in &alive {
+            if dst == self.me {
+                continue;
+            }
+            self.record_send(dst, 8);
+            self.send_to(dst, clock.now(), Box::new(color as u64))?;
+        }
+        let mut colors: Vec<(usize, u64)> = vec![(self.me, color as u64)];
+        let mut start = clock.now();
+        for &src in &alive {
+            if src == self.me {
+                continue;
+            }
+            let pkt = self.recv_from(src)?;
+            start = start.max(pkt.clock);
+            let c = *pkt
+                .payload
+                .downcast::<u64>()
+                .expect("collective type mismatch in split");
+            colors.push((src, c));
+        }
+        colors.sort_unstable_by_key(|&(i, _)| i);
+        let alive_globals: Vec<usize> = alive.iter().map(|&i| self.state.ranks[i]).collect();
+        let t = self.state.cost.allgather_time(&alive_globals, 8);
+        clock.advance_to_op("split", start);
+        clock.advance_op("split", t);
+
+        let members: Vec<usize> = colors
+            .iter()
+            .filter(|&&(_, c)| c == color as u64)
+            .map(|&(i, _)| i)
             .collect();
         let leader = members[0];
         let my_pos = members
@@ -432,29 +637,35 @@ impl Communicator {
             .expect("split: caller not in its own color group");
         if self.me == leader {
             let globals: Vec<usize> = members.iter().map(|&m| self.state.ranks[m]).collect();
-            let child = Arc::new(CommState::new(globals, self.state.cost.clone()));
+            let child = Arc::new(CommState::new(
+                globals,
+                self.state.cost.clone(),
+                self.state.fault.clone(),
+            ));
             for &m in &members[1..] {
-                self.send_to(m, clock.now(), Box::new(child.clone()));
+                self.send_to(m, clock.now(), Box::new(child.clone()))?;
             }
-            Communicator {
+            Ok(Communicator {
                 state: child,
                 me: 0,
-            }
+                step: Cell::new(step),
+            })
         } else {
-            let pkt = self.recv_from(leader);
+            let pkt = self.recv_from(leader)?;
             let child = *pkt
                 .payload
                 .downcast::<Arc<CommState>>()
                 .expect("collective type mismatch in split");
-            Communicator {
+            Ok(Communicator {
                 state: child,
                 me: my_pos,
-            }
+                step: Cell::new(step),
+            })
         }
     }
 
     /// Split into node-local communicators (color = node index).
-    pub fn split_by_node(&self, clock: &mut SimClock) -> Communicator {
+    pub fn split_by_node(&self, clock: &mut SimClock) -> Result<Communicator, CommError> {
         let node = self.cost().topology().node_of(self.global_rank());
         self.split(node, clock)
     }

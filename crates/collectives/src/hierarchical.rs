@@ -7,6 +7,7 @@
 //! placement (Appendix C), applied to gradient synchronization — RCCL does
 //! this internally on Frontier.
 
+use crate::comm::CommError;
 use crate::{Communicator, SimClock};
 
 /// A world communicator staged into node-local + node-leader tiers.
@@ -21,27 +22,31 @@ pub struct HierarchicalComm {
 
 impl HierarchicalComm {
     /// Collectively build the tiers (every world rank must call this).
-    pub fn create(world: &Communicator, clock: &mut SimClock) -> Self {
-        let node = world.split_by_node(clock);
+    pub fn create(world: &Communicator, clock: &mut SimClock) -> Result<Self, CommError> {
+        let node = world.split_by_node(clock)?;
         let is_leader = node.rank() == 0;
         // All ranks participate in the split; non-leaders land in a spare
         // communicator they never use.
-        let tier = world.split(if is_leader { 0 } else { 1 }, clock);
-        Self {
+        let tier = world.split(if is_leader { 0 } else { 1 }, clock)?;
+        Ok(Self {
             world: world.clone(),
             node,
             leaders: is_leader.then_some(tier),
-        }
+        })
     }
 
     /// Node-staged all-reduce (sum): intra-node all-reduce, leader-tier
     /// all-reduce, intra-node broadcast of the global sum.
-    pub fn all_reduce_sum_f32(&self, buf: &mut [f32], clock: &mut SimClock) {
+    pub fn all_reduce_sum_f32(
+        &self,
+        buf: &mut [f32],
+        clock: &mut SimClock,
+    ) -> Result<(), CommError> {
         // Tier 1: every node member holds the node-local sum.
-        self.node.all_reduce_sum_f32(buf, clock);
+        self.node.all_reduce_sum_f32(buf, clock)?;
         // Tier 2: leaders exchange node sums over inter-node links.
         if let Some(leaders) = &self.leaders {
-            leaders.all_reduce_sum_f32(buf, clock);
+            leaders.all_reduce_sum_f32(buf, clock)?;
         }
         // Tier 3: leaders fan the global sum back out locally.
         if self.node.size() > 1 {
@@ -50,9 +55,10 @@ impl HierarchicalComm {
             } else {
                 None
             };
-            let global = self.node.broadcast(0, value, clock);
+            let global = self.node.broadcast(0, value, clock)?;
             buf.copy_from_slice(&global);
         }
+        Ok(())
     }
 
     /// Inter-node bytes a flat ring all-reduce of `bytes` would move from
@@ -72,9 +78,9 @@ mod tests {
     fn staged_allreduce_matches_flat_sum() {
         // 16 ranks = 2 simulated Frontier nodes.
         let out = SimCluster::frontier(16).run(|ctx| {
-            let h = HierarchicalComm::create(&ctx.world, &mut ctx.clock);
+            let h = HierarchicalComm::create(&ctx.world, &mut ctx.clock).unwrap();
             let mut buf = vec![ctx.rank as f32, 1.0, -(ctx.rank as f32)];
-            h.all_reduce_sum_f32(&mut buf, &mut ctx.clock);
+            h.all_reduce_sum_f32(&mut buf, &mut ctx.clock).unwrap();
             buf
         });
         let expect = vec![120.0, 16.0, -120.0]; // sum 0..16
@@ -86,7 +92,7 @@ mod tests {
     #[test]
     fn exactly_one_leader_per_node() {
         let flags = SimCluster::frontier(24).run(|ctx| {
-            let h = HierarchicalComm::create(&ctx.world, &mut ctx.clock);
+            let h = HierarchicalComm::create(&ctx.world, &mut ctx.clock).unwrap();
             h.is_leader()
         });
         for node in 0..3 {
@@ -105,13 +111,15 @@ mod tests {
         let elems = 50_000usize;
         let flat = SimCluster::frontier(32).run(move |ctx| {
             let mut buf = vec![1.0f32; elems];
-            ctx.world.all_reduce_sum_f32(&mut buf, &mut ctx.clock);
+            ctx.world
+                .all_reduce_sum_f32(&mut buf, &mut ctx.clock)
+                .unwrap();
             ctx.world.traffic().off_node()
         });
         let staged = SimCluster::frontier(32).run(move |ctx| {
-            let h = HierarchicalComm::create(&ctx.world, &mut ctx.clock);
+            let h = HierarchicalComm::create(&ctx.world, &mut ctx.clock).unwrap();
             let mut buf = vec![1.0f32; elems];
-            h.all_reduce_sum_f32(&mut buf, &mut ctx.clock);
+            h.all_reduce_sum_f32(&mut buf, &mut ctx.clock).unwrap();
             // Off-node traffic flows only through the leader tier.
             h.world.traffic().off_node() + h.leaders.as_ref().map_or(0, |l| l.traffic().off_node())
         });
@@ -126,9 +134,9 @@ mod tests {
     #[test]
     fn single_node_world_degenerates_gracefully() {
         let out = SimCluster::frontier(4).run(|ctx| {
-            let h = HierarchicalComm::create(&ctx.world, &mut ctx.clock);
+            let h = HierarchicalComm::create(&ctx.world, &mut ctx.clock).unwrap();
             let mut buf = vec![2.0f32];
-            h.all_reduce_sum_f32(&mut buf, &mut ctx.clock);
+            h.all_reduce_sum_f32(&mut buf, &mut ctx.clock).unwrap();
             buf[0]
         });
         assert!(out.iter().all(|&v| v == 8.0));

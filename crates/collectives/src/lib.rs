@@ -24,7 +24,11 @@ pub mod runtime;
 pub mod trace;
 
 pub use clock::SimClock;
-pub use comm::{Communicator, TrafficStats};
+pub use comm::{CommError, Communicator, TrafficStats};
 pub use hierarchical::HierarchicalComm;
 pub use runtime::{RankCtx, SimCluster};
-pub use trace::{RankTrace, Span, StageStat, StepReport};
+pub use trace::{RankTrace, RecoveryStats, Span, StageStat, StepReport};
+// Fault-injection types live in the topology crate (the plan shapes link
+// costs) but are re-exported here because the communicator is their main
+// consumer.
+pub use xmoe_topology::{FaultEvent, FaultPlan, LinkTier};

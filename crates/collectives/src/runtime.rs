@@ -3,7 +3,7 @@
 
 use std::sync::Arc;
 
-use xmoe_topology::{ClusterTopology, CongestionModel, CostModel, MachineSpec};
+use xmoe_topology::{ClusterTopology, CongestionModel, CostModel, FaultPlan, MachineSpec};
 
 use crate::{Communicator, SimClock};
 
@@ -16,6 +16,8 @@ pub struct RankCtx {
     /// Communicator over the whole cluster.
     pub world: Communicator,
     cost: Arc<CostModel>,
+    fault: Option<Arc<FaultPlan>>,
+    step: u64,
 }
 
 impl RankCtx {
@@ -32,15 +34,43 @@ impl RankCtx {
         self.cost.topology()
     }
 
+    /// The fault plan injected via [`SimCluster::with_faults`], if any.
+    pub fn fault_plan(&self) -> Option<&Arc<FaultPlan>> {
+        self.fault.as_ref()
+    }
+
+    /// The training step faults are currently evaluated at.
+    pub fn step(&self) -> u64 {
+        self.step
+    }
+
+    /// Enter training step `step`: compute charges pick up this step's
+    /// slowdown factor and the world communicator evaluates deaths / link
+    /// faults at it. Sub-communicators split off earlier keep their own
+    /// step cells — call [`Communicator::set_step`] on those directly.
+    pub fn set_step(&mut self, step: u64) {
+        self.step = step;
+        self.world.set_step(step);
+    }
+
+    /// Slowdown multiplier for this rank at the current step (1.0 without
+    /// faults — a straggler's kernels take proportionally longer).
+    fn slowdown(&self) -> f64 {
+        match &self.fault {
+            Some(plan) => plan.slowdown(self.rank, self.step),
+            None => 1.0,
+        }
+    }
+
     /// Charge the simulated clock for a dense compute kernel.
     pub fn charge_compute(&mut self, label: &str, flops: f64) {
-        let t = self.cost.compute_time(flops);
+        let t = self.cost.compute_time(flops) * self.slowdown();
         self.clock.charge(label, t);
     }
 
     /// Charge the simulated clock for a bandwidth-bound kernel.
     pub fn charge_membound(&mut self, label: &str, bytes: f64) {
-        let t = self.cost.mem_bound_time(bytes);
+        let t = self.cost.mem_bound_time(bytes) * self.slowdown();
         self.clock.charge(label, t);
     }
 }
@@ -48,6 +78,7 @@ impl RankCtx {
 /// Spawns and joins the rank threads.
 pub struct SimCluster {
     cost: Arc<CostModel>,
+    fault: Option<Arc<FaultPlan>>,
 }
 
 impl SimCluster {
@@ -55,6 +86,7 @@ impl SimCluster {
     pub fn new(cost: CostModel) -> Self {
         Self {
             cost: Arc::new(cost),
+            fault: None,
         }
     }
 
@@ -69,6 +101,13 @@ impl SimCluster {
     pub fn dgx_a100(n_ranks: usize) -> Self {
         let topo = ClusterTopology::new(MachineSpec::dgx_a100(), n_ranks);
         Self::new(CostModel::new(topo))
+    }
+
+    /// Inject a deterministic fault schedule: every rank's context and the
+    /// world communicator (plus everything split off it) consult the plan.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.fault = Some(Arc::new(plan));
+        self
     }
 
     pub fn cost(&self) -> &CostModel {
@@ -86,7 +125,7 @@ impl SimCluster {
         R: Send,
         F: Fn(&mut RankCtx) -> R + Sync,
     {
-        let comms = Communicator::world_set(self.cost.clone());
+        let comms = Communicator::world_set_with_faults(self.cost.clone(), self.fault.clone());
         let f = &f;
         let mut results: Vec<Option<R>> = Vec::new();
         for _ in 0..self.n_ranks() {
@@ -96,12 +135,15 @@ impl SimCluster {
             let mut handles = Vec::with_capacity(self.n_ranks());
             for (rank, world) in comms.into_iter().enumerate() {
                 let cost = self.cost.clone();
+                let fault = self.fault.clone();
                 handles.push(s.spawn(move || {
                     let mut ctx = RankCtx {
                         rank,
                         clock: SimClock::new(),
                         world,
                         cost,
+                        fault,
+                        step: 0,
                     };
                     f(&mut ctx)
                 }));
@@ -123,6 +165,8 @@ impl SimCluster {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::comm::CommError;
+    use xmoe_topology::LinkTier;
 
     #[test]
     fn ranks_see_their_ids_in_order() {
@@ -139,7 +183,7 @@ mod tests {
             let send: Vec<Vec<u64>> = (0..4)
                 .map(|dst| vec![(ctx.rank * 10 + dst) as u64])
                 .collect();
-            let recv = ctx.world.all_to_all_v(send, &mut ctx.clock);
+            let recv = ctx.world.all_to_all_v(send, &mut ctx.clock).unwrap();
             recv.into_iter().flatten().collect::<Vec<u64>>()
         });
         for (rank, recv) in out.iter().enumerate() {
@@ -155,7 +199,7 @@ mod tests {
             // Rank r sends r copies of its id to rank 0, nothing elsewhere.
             let mut send: Vec<Vec<u32>> = vec![Vec::new(); 3];
             send[0] = vec![ctx.rank as u32; ctx.rank];
-            ctx.world.all_to_all_v(send, &mut ctx.clock)
+            ctx.world.all_to_all_v(send, &mut ctx.clock).unwrap()
         });
         assert_eq!(out[0], vec![vec![], vec![1], vec![2, 2]]);
         assert!(out[1].iter().all(Vec::is_empty));
@@ -169,7 +213,7 @@ mod tests {
             // Ranks start with different local compute times.
             ctx.clock.advance(ctx.rank as f64 * 0.010);
             let send: Vec<Vec<f32>> = (0..8).map(|_| vec![1.0; 1024]).collect();
-            let _ = ctx.world.all_to_all_v(send, &mut ctx.clock);
+            let _ = ctx.world.all_to_all_v(send, &mut ctx.clock).unwrap();
             ctx.clock.now()
         });
         let t0 = clocks[0];
@@ -186,7 +230,10 @@ mod tests {
     fn all_gather_collects_everyone() {
         let cluster = SimCluster::frontier(4);
         let out = cluster.run(|ctx| {
-            let parts = ctx.world.all_gather(vec![ctx.rank as u64], &mut ctx.clock);
+            let parts = ctx
+                .world
+                .all_gather(vec![ctx.rank as u64], &mut ctx.clock)
+                .unwrap();
             parts.into_iter().flatten().collect::<Vec<u64>>()
         });
         for recv in out {
@@ -199,7 +246,9 @@ mod tests {
         let cluster = SimCluster::frontier(4);
         let out = cluster.run(|ctx| {
             let mut buf = vec![ctx.rank as f32, 1.0];
-            ctx.world.all_reduce_sum_f32(&mut buf, &mut ctx.clock);
+            ctx.world
+                .all_reduce_sum_f32(&mut buf, &mut ctx.clock)
+                .unwrap();
             buf
         });
         for recv in out {
@@ -213,7 +262,9 @@ mod tests {
         let out = cluster.run(|ctx| {
             // Both ranks contribute [1, 2, 3, 4]; chunk size 2.
             let buf = vec![1.0f32, 2.0, 3.0, 4.0];
-            ctx.world.reduce_scatter_sum_f32(&buf, &mut ctx.clock)
+            ctx.world
+                .reduce_scatter_sum_f32(&buf, &mut ctx.clock)
+                .unwrap()
         });
         assert_eq!(out[0], vec![2.0, 4.0]);
         assert_eq!(out[1], vec![6.0, 8.0]);
@@ -228,7 +279,7 @@ mod tests {
             } else {
                 None
             };
-            ctx.world.broadcast(2, value, &mut ctx.clock)
+            ctx.world.broadcast(2, value, &mut ctx.clock).unwrap()
         });
         for recv in out {
             assert_eq!(recv, vec![7, 8, 9]);
@@ -240,8 +291,10 @@ mod tests {
         // 16 Frontier ranks = 2 nodes of 8.
         let cluster = SimCluster::frontier(16);
         let out = cluster.run(|ctx| {
-            let node_comm = ctx.world.split_by_node(&mut ctx.clock);
-            let ids = node_comm.all_gather(vec![ctx.rank as u64], &mut ctx.clock);
+            let node_comm = ctx.world.split_by_node(&mut ctx.clock).unwrap();
+            let ids = node_comm
+                .all_gather(vec![ctx.rank as u64], &mut ctx.clock)
+                .unwrap();
             (
                 node_comm.size(),
                 node_comm.rank(),
@@ -257,13 +310,52 @@ mod tests {
     }
 
     #[test]
+    fn split_by_node_on_single_node_cluster_is_identity() {
+        // 4 Frontier ranks fit in one node: the node communicator must be
+        // the whole world, with unchanged ranks.
+        let cluster = SimCluster::frontier(4);
+        let out = cluster.run(|ctx| {
+            let node_comm = ctx.world.split_by_node(&mut ctx.clock).unwrap();
+            (
+                node_comm.size(),
+                node_comm.rank(),
+                node_comm.group_ranks().to_vec(),
+            )
+        });
+        for (rank, (size, local, globals)) in out.iter().enumerate() {
+            assert_eq!(*size, 4);
+            assert_eq!(*local, rank);
+            assert_eq!(globals, &vec![0, 1, 2, 3]);
+        }
+    }
+
+    #[test]
+    fn split_by_node_handles_partial_last_node() {
+        // 12 Frontier ranks = one full node of 8 plus a partial node of 4.
+        let cluster = SimCluster::frontier(12);
+        let out = cluster.run(|ctx| {
+            let node_comm = ctx.world.split_by_node(&mut ctx.clock).unwrap();
+            (node_comm.size(), node_comm.rank())
+        });
+        for (rank, (size, local)) in out.iter().enumerate() {
+            if rank < 8 {
+                assert_eq!(*size, 8, "rank {rank}");
+                assert_eq!(*local, rank);
+            } else {
+                assert_eq!(*size, 4, "rank {rank}");
+                assert_eq!(*local, rank - 8);
+            }
+        }
+    }
+
+    #[test]
     fn split_supports_multiple_collectives_after() {
         let cluster = SimCluster::frontier(8);
         let out = cluster.run(|ctx| {
             // Even/odd split, then all_reduce within each.
-            let sub = ctx.world.split(ctx.rank % 2, &mut ctx.clock);
+            let sub = ctx.world.split(ctx.rank % 2, &mut ctx.clock).unwrap();
             let mut v = vec![ctx.rank as f32];
-            sub.all_reduce_sum_f32(&mut v, &mut ctx.clock);
+            sub.all_reduce_sum_f32(&mut v, &mut ctx.clock).unwrap();
             v[0]
         });
         assert_eq!(out, vec![12.0, 16.0, 12.0, 16.0, 12.0, 16.0, 12.0, 16.0]);
@@ -274,7 +366,7 @@ mod tests {
         let cluster = SimCluster::frontier(4);
         let clocks = cluster.run(|ctx| {
             ctx.clock.advance((4 - ctx.rank) as f64);
-            ctx.world.barrier(&mut ctx.clock);
+            ctx.world.barrier(&mut ctx.clock).unwrap();
             ctx.clock.now()
         });
         let t0 = clocks[0];
@@ -287,7 +379,7 @@ mod tests {
         let run = || {
             SimCluster::frontier(8).run(|ctx| {
                 let send: Vec<Vec<f32>> = (0..8).map(|d| vec![0.5; (ctx.rank + d) * 100]).collect();
-                let _ = ctx.world.all_to_all_v(send, &mut ctx.clock);
+                let _ = ctx.world.all_to_all_v(send, &mut ctx.clock).unwrap();
                 ctx.clock.now()
             })
         };
@@ -299,12 +391,117 @@ mod tests {
         let time_for = |elems: usize| {
             SimCluster::frontier(8).run(move |ctx| {
                 let send: Vec<Vec<f32>> = (0..8).map(|_| vec![1.0; elems]).collect();
-                let _ = ctx.world.all_to_all_v(send, &mut ctx.clock);
+                let _ = ctx.world.all_to_all_v(send, &mut ctx.clock).unwrap();
                 ctx.clock.now()
             })[0]
         };
         // Small messages are startup-latency bound; large ones bandwidth
         // bound, so time must grow clearly super-linearly past the knee.
         assert!(time_for(2_000_000) > 5.0 * time_for(1_000));
+    }
+
+    #[test]
+    fn slowdown_fault_stretches_compute_charges() {
+        let plan = FaultPlan::new(7).slow(1, 4.0, 0, u64::MAX);
+        let cluster = SimCluster::frontier(2).with_faults(plan);
+        let times = cluster.run(|ctx| {
+            ctx.charge_compute("gemm", 1e12);
+            ctx.clock.now()
+        });
+        assert!(
+            (times[1] / times[0] - 4.0).abs() < 1e-9,
+            "straggler must run 4x slower: {times:?}"
+        );
+    }
+
+    #[test]
+    fn link_degradation_stretches_collective_time() {
+        let clean = SimCluster::frontier(16);
+        let degraded = SimCluster::frontier(16).with_faults(FaultPlan::new(7).degrade(
+            LinkTier::Inter,
+            3.0,
+            0,
+            u64::MAX,
+        ));
+        let run = |cluster: &SimCluster| {
+            cluster.run(|ctx| {
+                let n = ctx.n_ranks();
+                let send: Vec<Vec<f32>> = (0..n).map(|_| vec![1.0; 100_000]).collect();
+                let _ = ctx.world.all_to_all_v(send, &mut ctx.clock).unwrap();
+                ctx.clock.now()
+            })[0]
+        };
+        let (t_clean, t_degraded) = (run(&clean), run(&degraded));
+        assert!(
+            t_degraded > 2.0 * t_clean,
+            "3x inter-node degradation must clearly slow the all-to-all: \
+             clean {t_clean}, degraded {t_degraded}"
+        );
+    }
+
+    #[test]
+    fn dead_rank_fails_survivors_at_the_same_collective() {
+        let plan = FaultPlan::new(7).kill(3, 2);
+        let cluster = SimCluster::frontier(4).with_faults(plan);
+        let out = cluster.run(|ctx| {
+            // Step 1: everyone is alive, collective succeeds.
+            ctx.set_step(1);
+            let mut v = vec![1.0f32];
+            ctx.world
+                .all_reduce_sum_f32(&mut v, &mut ctx.clock)
+                .unwrap();
+            // Step 2: rank 3 is dead; survivors must all see DeadPeer
+            // without deadlocking, and the dead rank must not communicate.
+            ctx.set_step(2);
+            if ctx
+                .fault_plan()
+                .is_some_and(|p| p.is_dead(ctx.rank, ctx.step()))
+            {
+                return None;
+            }
+            let mut v = vec![1.0f32];
+            Some(ctx.world.all_reduce_sum_f32(&mut v, &mut ctx.clock))
+        });
+        for (rank, res) in out.iter().enumerate() {
+            match (rank, res) {
+                (3, None) => {}
+                (
+                    _,
+                    Some(Err(CommError::DeadPeer {
+                        global_rank: 3,
+                        step: 2,
+                    })),
+                ) => {}
+                other => panic!("unexpected outcome for rank {rank}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn survivors_split_and_continue_after_a_death() {
+        let plan = FaultPlan::new(7).kill(3, 1);
+        let cluster = SimCluster::frontier(4).with_faults(plan);
+        let out = cluster.run(|ctx| {
+            ctx.set_step(1);
+            if ctx
+                .fault_plan()
+                .is_some_and(|p| p.is_dead(ctx.rank, ctx.step()))
+            {
+                return None;
+            }
+            // Survivors re-form a communicator (split skips the dead rank)
+            // and keep doing collectives on it.
+            let sub = ctx.world.split(0, &mut ctx.clock).unwrap();
+            let mut v = vec![ctx.rank as f32];
+            sub.all_reduce_sum_f32(&mut v, &mut ctx.clock).unwrap();
+            Some((sub.size(), sub.group_ranks().to_vec(), v[0]))
+        });
+        assert_eq!(out[3], None);
+        for survivor in &out[..3] {
+            let (size, globals, sum) = survivor.clone().unwrap();
+            assert_eq!(size, 3);
+            assert_eq!(globals, vec![0, 1, 2]);
+            assert_eq!(sum, 3.0); // 0 + 1 + 2
+        }
     }
 }

@@ -24,13 +24,18 @@ pub struct Span {
     pub dur: f64,
     /// True if this span is straggler sync-wait rather than productive work.
     pub wait: bool,
+    /// True if this span is a failed collective attempt (plus backoff)
+    /// caused by a transient link fault.
+    pub retry: bool,
 }
 
 impl Span {
     /// The bucket key this span accumulates into (`sync_wait:<label>` for
-    /// wait spans).
+    /// wait spans, `fault_retry:<label>` for retry spans).
     pub fn bucket_name(&self) -> String {
-        if self.wait {
+        if self.retry {
+            format!("fault_retry:{}", self.label)
+        } else if self.wait {
             format!("sync_wait:{}", self.label)
         } else {
             self.label.clone()
@@ -106,18 +111,45 @@ impl StageStat {
     }
 }
 
+/// What an elastic-recovery episode cost, attached to a [`StepReport`] when
+/// the run survived a rank failure.
+#[derive(Clone, Debug, Default)]
+pub struct RecoveryStats {
+    /// Global ranks declared dead.
+    pub failed_ranks: Vec<usize>,
+    /// Training step at which the failure was detected.
+    pub failed_at_step: u64,
+    /// Step of the checkpoint the survivors resumed from.
+    pub resumed_from_step: u64,
+    /// Steps whose work was lost and re-executed (0 when the failure landed
+    /// exactly on a checkpoint boundary).
+    pub steps_replayed: u64,
+    /// Simulated seconds spent noticing the dead peers (`fault_detect`).
+    pub detect_time: f64,
+    /// Simulated seconds spent re-forming communicators and reloading the
+    /// checkpoint (`ckpt_restore` + `split`).
+    pub restore_time: f64,
+    /// Mean time to recovery: detect + restore + replayed-step time. The
+    /// quantity the `bench recovery` sweep trades against checkpoint
+    /// interval.
+    pub mttr: f64,
+}
+
 /// Cross-rank aggregation of one step: per-stage min/mean/max and straggler
 /// rank, plus step time and per-rank traffic.
 #[derive(Clone, Debug, Default)]
 pub struct StepReport {
     pub n_ranks: usize,
     /// Stages in first-appearance order across ranks (wait buckets included,
-    /// prefixed `sync_wait:`).
+    /// prefixed `sync_wait:`; retry buckets prefixed `fault_retry:`).
     pub stages: Vec<StageStat>,
     /// Max `end` clock across ranks.
     pub step_time: f64,
     /// Per-rank traffic, indexed by position in the input slice.
     pub traffic: Vec<TrafficStats>,
+    /// Elastic-recovery episode stats, when the traced run survived a rank
+    /// failure.
+    pub recovery: Option<RecoveryStats>,
 }
 
 impl StepReport {
@@ -168,7 +200,14 @@ impl StepReport {
             stages,
             step_time: traces.iter().map(|t| t.end).fold(0.0, f64::max),
             traffic: traces.iter().map(|t| t.traffic).collect(),
+            recovery: None,
         }
+    }
+
+    /// Attach an elastic-recovery episode to this report.
+    pub fn with_recovery(mut self, recovery: RecoveryStats) -> Self {
+        self.recovery = Some(recovery);
+        self
     }
 
     pub fn stage(&self, label: &str) -> Option<&StageStat> {
@@ -185,11 +224,12 @@ impl StepReport {
         self.stage(label).map_or(0.0, |s| s.max)
     }
 
-    /// Sum of mean stage times over non-wait stages.
+    /// Sum of mean stage times over productive stages (sync-wait and
+    /// fault-retry buckets excluded).
     pub fn total_mean_work(&self) -> f64 {
         self.stages
             .iter()
-            .filter(|s| !s.label.starts_with("sync_wait:"))
+            .filter(|s| !s.label.starts_with("sync_wait:") && !s.label.starts_with("fault_retry:"))
             .map(|s| s.mean)
             .sum()
     }
@@ -199,6 +239,16 @@ impl StepReport {
         self.stages
             .iter()
             .filter(|s| s.label.starts_with("sync_wait:"))
+            .map(|s| s.mean)
+            .sum()
+    }
+
+    /// Sum of mean fault-retry times (failed collective attempts and their
+    /// backoffs under transient link faults).
+    pub fn total_mean_retry(&self) -> f64 {
+        self.stages
+            .iter()
+            .filter(|s| s.label.starts_with("fault_retry:"))
             .map(|s| s.mean)
             .sum()
     }
@@ -283,7 +333,13 @@ pub fn chrome_trace(traces: &[RankTrace]) -> String {
     }
     for t in traces {
         for s in &t.spans {
-            let cat = if s.wait { "sync_wait" } else { "stage" };
+            let cat = if s.retry {
+                "fault_retry"
+            } else if s.wait {
+                "sync_wait"
+            } else {
+                "stage"
+            };
             push(
                 &mut out,
                 format!(
@@ -321,7 +377,13 @@ pub fn spans_csv(traces: &[RankTrace]) -> String {
     let mut out = String::from("rank,label,kind,start_s,dur_s\n");
     for t in traces {
         for s in &t.spans {
-            let kind = if s.wait { "sync_wait" } else { "work" };
+            let kind = if s.retry {
+                "retry"
+            } else if s.wait {
+                "sync_wait"
+            } else {
+                "work"
+            };
             let _ = writeln!(
                 out,
                 "{},{},{},{:.9},{:.9}",

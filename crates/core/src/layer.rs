@@ -2,7 +2,7 @@
 //! spec behind one constructor — the entry point a downstream user reaches
 //! for first.
 
-use xmoe_collectives::{Communicator, SimClock};
+use xmoe_collectives::{CommError, Communicator, SimClock};
 use xmoe_tensor::{DetRng, Tensor};
 
 use crate::config::MoeModelConfig;
@@ -77,7 +77,12 @@ impl MoeLayer {
     }
 
     /// Expert-parallel forward over `ep` with the plain uneven all-to-all.
-    pub fn forward_ep(&self, tokens: &Tensor, ep: &Communicator, clock: &mut SimClock) -> Tensor {
+    pub fn forward_ep(
+        &self,
+        tokens: &Tensor,
+        ep: &Communicator,
+        clock: &mut SimClock,
+    ) -> Result<Tensor, CommError> {
         pipeline::padding_free::forward_ep(
             tokens,
             &self.router,
@@ -95,7 +100,7 @@ impl MoeLayer {
         comms: &RbdComms,
         rng: &mut DetRng,
         clock: &mut SimClock,
-    ) -> Tensor {
+    ) -> Result<Tensor, CommError> {
         rbd::forward_ep_rbd(
             tokens,
             &self.router,
@@ -136,7 +141,9 @@ mod tests {
             let tokens = &tokens;
             SimCluster::frontier(4).run(move |ctx| {
                 let layer = MoeLayer::for_rank(cfg, ctx.rank, 4, 3).with_capacity(10_000);
-                layer.forward_ep(tokens, &ctx.world, &mut ctx.clock)
+                layer
+                    .forward_ep(tokens, &ctx.world, &mut ctx.clock)
+                    .unwrap()
             })
         };
         for g in &got {
@@ -153,10 +160,14 @@ mod tests {
             let tokens = &tokens;
             SimCluster::frontier(8).run(move |ctx| {
                 let layer = MoeLayer::for_rank(cfg, ctx.rank, 8, 5).with_capacity(10_000);
-                let plain = layer.forward_ep(tokens, &ctx.world, &mut ctx.clock);
-                let comms = RbdComms::create(&ctx.world, &mut ctx.clock);
+                let plain = layer
+                    .forward_ep(tokens, &ctx.world, &mut ctx.clock)
+                    .unwrap();
+                let comms = RbdComms::create(&ctx.world, &mut ctx.clock).unwrap();
                 let mut rng = DetRng::new(60 + ctx.rank as u64);
-                let with_rbd = layer.forward_ep_rbd(tokens, &comms, &mut rng, &mut ctx.clock);
+                let with_rbd = layer
+                    .forward_ep_rbd(tokens, &comms, &mut rng, &mut ctx.clock)
+                    .unwrap();
                 plain.allclose(&with_rbd, 1e-4)
             })
         };

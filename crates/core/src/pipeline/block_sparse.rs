@@ -12,7 +12,7 @@
 //! equivalent — zero rows contribute nothing) plus the padding-waste
 //! accounting the `ablation_blocksparse` bench sweeps.
 
-use xmoe_collectives::{Communicator, SimClock};
+use xmoe_collectives::{CommError, Communicator, SimClock};
 use xmoe_tensor::{gather_rows, scatter_rows_scaled, Tensor};
 
 use crate::expert::ExpertShard;
@@ -140,7 +140,7 @@ pub fn forward_ep_block_sparse(
     block: usize,
     ep: &Communicator,
     clock: &mut SimClock,
-) -> Tensor {
+) -> Result<Tensor, CommError> {
     let cost = ep.cost().clone();
     let hidden = tokens.cols();
 
@@ -162,9 +162,9 @@ pub fn forward_ep_block_sparse(
     );
 
     // --- Dispatch all-to-all (uneven) -----------------------------------
-    let route = EpRoute::build(pft, spec, ep, clock);
+    let route = EpRoute::build(pft, spec, ep, clock)?;
     clock.commit("dispatch_a2a_meta");
-    let expert_input = route.to_experts(&dispatch_in, ep, clock);
+    let expert_input = route.to_experts(&dispatch_in, ep, clock)?;
     clock.commit("dispatch_a2a");
 
     // --- Block-pad each local expert segment to the tile boundary -------
@@ -193,7 +193,7 @@ pub fn forward_ep_block_sparse(
     );
 
     // --- Combine all-to-all (reverse route) -----------------------------
-    let combine_in = route.to_source(&mlp_out, ep, clock);
+    let combine_in = route.to_source(&mlp_out, ep, clock)?;
     clock.commit("combine_a2a");
 
     // --- Buffer combine -------------------------------------------------
@@ -208,7 +208,7 @@ pub fn forward_ep_block_sparse(
         "buffer_combine",
         cost.mem_bound_time(2.0 * (route.pft.len() * hidden * 4) as f64),
     );
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -266,6 +266,7 @@ mod tests {
             let shard = ExpertShard::for_rank(ctx.rank, world, e, h, f, 302);
             let tokens = Tensor::rand_uniform(s, h, 1.0, 303 + ctx.rank as u64);
             padding_free::forward_ep(&tokens, &router, &shard, &sp, &ctx.world, &mut ctx.clock)
+                .unwrap()
         });
         for block in [1usize, 4, 64] {
             let outs = SimCluster::frontier(world).run(|ctx| {
@@ -280,6 +281,7 @@ mod tests {
                     &ctx.world,
                     &mut ctx.clock,
                 )
+                .unwrap()
             });
             for (r, (a, b)) in reference.iter().zip(&outs).enumerate() {
                 assert!(
@@ -310,7 +312,8 @@ mod tests {
                     block,
                     &ctx.world,
                     &mut ctx.clock,
-                );
+                )
+                .unwrap();
                 (ctx.clock.bucket("expert"), ctx.clock.buckets().to_vec())
             })
         };

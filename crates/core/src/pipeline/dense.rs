@@ -8,7 +8,7 @@
 //! masked combine produce the output. The padding is physically allocated
 //! and communicated — exactly the inefficiency PFT removes.
 
-use xmoe_collectives::{Communicator, SimClock};
+use xmoe_collectives::{CommError, Communicator, SimClock};
 use xmoe_tensor::{argsort_desc_by, Tensor};
 
 use crate::expert::ExpertShard;
@@ -144,7 +144,7 @@ pub fn forward_ep_dense(
     order: DenseDropOrder,
     ep: &Communicator,
     clock: &mut SimClock,
-) -> Tensor {
+) -> Result<Tensor, CommError> {
     let w = ep.size();
     assert_eq!(spec.num_experts % w, 0);
     let e_local = spec.num_experts / w;
@@ -175,7 +175,7 @@ pub fn forward_ep_dense(
             crate::pipeline::rows_to_vec(&d.buffers, dst * e_local * c, (dst + 1) * e_local * c)
         })
         .collect();
-    let recv = ep.all_to_all(send, clock);
+    let recv = ep.all_to_all(send, clock)?;
     clock.commit("dispatch_a2a");
 
     // Arrange expert input: for local expert e, concatenate every source's
@@ -211,7 +211,7 @@ pub fn forward_ep_dense(
             v
         })
         .collect();
-    let recv_back = ep.all_to_all(send_back, clock);
+    let recv_back = ep.all_to_all(send_back, clock)?;
     clock.commit("combine_a2a");
 
     // Reassemble the [E*C, H] output buffer in global-expert order.
@@ -228,7 +228,7 @@ pub fn forward_ep_dense(
     let out = combine_dense(tokens.rows(), hidden, &full_out, &d.entries, c);
     let combine_flops = 2.0 * tokens.rows() as f64 * (spec.num_experts * c) as f64 * hidden as f64;
     clock.charge("buffer_combine", cost.compute_time(combine_flops));
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -362,6 +362,7 @@ mod tests {
                 &ctx.world,
                 &mut ctx.clock,
             )
+            .unwrap()
         });
         for d in &out {
             assert!(
@@ -390,13 +391,15 @@ mod tests {
                 DenseDropOrder::TokenOrder,
                 &ctx.world,
                 &mut ctx.clock,
-            );
+            )
+            .unwrap();
             ctx.clock.bucket("dispatch_a2a")
         });
         let pf_t = SimCluster::frontier(4).run(|ctx| {
             let shard = ExpertShard::for_rank(ctx.rank, 4, e, h, f, 38);
             let _ =
-                padding_free::forward_ep(&tokens, &router, &shard, &sp, &ctx.world, &mut ctx.clock);
+                padding_free::forward_ep(&tokens, &router, &shard, &sp, &ctx.world, &mut ctx.clock)
+                    .unwrap();
             ctx.clock.bucket("dispatch_a2a")
         });
         assert!(

@@ -11,7 +11,7 @@
 //! reuses the same route in reverse — gradients travel the exact same two
 //! all-to-alls mirrored (the paper's 4 all-to-alls per layer per step).
 
-use xmoe_collectives::{Communicator, SimClock};
+use xmoe_collectives::{CommError, Communicator, SimClock};
 use xmoe_tensor::{gather_rows, scatter_rows_scaled, Tensor};
 
 use crate::expert::ExpertShard;
@@ -71,7 +71,7 @@ impl EpRoute {
         spec: &MoeLayerSpec,
         ep: &Communicator,
         clock: &mut SimClock,
-    ) -> EpRoute {
+    ) -> Result<EpRoute, CommError> {
         let w = ep.size();
         assert_eq!(spec.num_experts % w, 0, "experts must divide EP size");
         let e_local = spec.num_experts / w;
@@ -83,7 +83,7 @@ impl EpRoute {
                     .collect()
             })
             .collect();
-        let tpe_recv = ep.all_to_all_v(tpe_send, clock);
+        let tpe_recv = ep.all_to_all_v(tpe_send, clock)?;
 
         let send_per_dst = pft.counts_per_shard(w);
         let recv_per_src: Vec<usize> = tpe_recv
@@ -116,14 +116,14 @@ impl EpRoute {
         for (expert_major, &wire) in perm.iter().enumerate() {
             inv_perm[wire] = expert_major;
         }
-        EpRoute {
+        Ok(EpRoute {
             pft,
             send_per_dst,
             recv_per_src,
             tokens_per_local_expert,
             perm,
             inv_perm,
-        }
+        })
     }
 
     /// Rows received on this rank (the expert-side buffer length).
@@ -133,7 +133,12 @@ impl EpRoute {
 
     /// Push `rows` (PFT order, `[B, H]`) along the dispatch direction;
     /// returns the expert-major `[B_exp, H]` buffer on the receiving side.
-    pub fn to_experts(&self, rows: &Tensor, ep: &Communicator, clock: &mut SimClock) -> Tensor {
+    pub fn to_experts(
+        &self,
+        rows: &Tensor,
+        ep: &Communicator,
+        clock: &mut SimClock,
+    ) -> Result<Tensor, CommError> {
         let hidden = rows.cols();
         debug_assert_eq!(rows.rows(), self.pft.len(), "payload must be in PFT order");
         let mut offset = 0usize;
@@ -146,15 +151,20 @@ impl EpRoute {
                 v
             })
             .collect();
-        let recv = ep.all_to_all_v(send, clock);
+        let recv = ep.all_to_all_v(send, clock)?;
         let wire = vecs_to_tensor(recv, hidden);
         debug_assert_eq!(wire.rows(), self.recv_total());
-        gather_rows(&wire, &self.perm)
+        Ok(gather_rows(&wire, &self.perm))
     }
 
     /// Push `rows` (expert-major, `[B_exp, H]`) back to their source
     /// ranks; returns `[B, H]` in the sender's original PFT order.
-    pub fn to_source(&self, rows: &Tensor, ep: &Communicator, clock: &mut SimClock) -> Tensor {
+    pub fn to_source(
+        &self,
+        rows: &Tensor,
+        ep: &Communicator,
+        clock: &mut SimClock,
+    ) -> Result<Tensor, CommError> {
         let hidden = rows.cols();
         debug_assert_eq!(
             rows.rows(),
@@ -168,10 +178,10 @@ impl EpRoute {
             send.push(rows_to_vec(&wire_order, offset, offset + cnt));
             offset += cnt;
         }
-        let recv = ep.all_to_all_v(send, clock);
+        let recv = ep.all_to_all_v(send, clock)?;
         // Chunks arrive per destination in the order dispatch rows were
         // sent, so plain concatenation restores PFT order.
-        vecs_to_tensor(recv, hidden)
+        Ok(vecs_to_tensor(recv, hidden))
     }
 }
 
@@ -186,7 +196,7 @@ pub fn forward_ep(
     spec: &MoeLayerSpec,
     ep: &Communicator,
     clock: &mut SimClock,
-) -> Tensor {
+) -> Result<Tensor, CommError> {
     let cost = ep.cost().clone();
     let hidden = tokens.cols();
 
@@ -211,9 +221,9 @@ pub fn forward_ep(
     // The count-exchange metadata all-to-all is charged separately from the
     // token payload so payload comparisons across pipelines stay apples to
     // apples.
-    let route = EpRoute::build(pft, spec, ep, clock);
+    let route = EpRoute::build(pft, spec, ep, clock)?;
     clock.commit("dispatch_a2a_meta");
-    let expert_input = route.to_experts(&dispatch_in, ep, clock);
+    let expert_input = route.to_experts(&dispatch_in, ep, clock)?;
     clock.commit("dispatch_a2a");
 
     // --- Expert computation: sequential GEMM ---------------------------
@@ -223,7 +233,7 @@ pub fn forward_ep(
     clock.charge("expert", cost.compute_time(expert_flops));
 
     // --- Combine all-to-all (reverse route) -----------------------------
-    let combine_in = route.to_source(&mlp_out, ep, clock);
+    let combine_in = route.to_source(&mlp_out, ep, clock)?;
     clock.commit("combine_a2a");
 
     // --- Buffer combine: weighted scatter back to sequence order -------
@@ -238,7 +248,7 @@ pub fn forward_ep(
         "buffer_combine",
         cost.mem_bound_time(2.0 * (route.pft.len() * hidden * 4) as f64),
     );
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -287,7 +297,7 @@ mod tests {
                 SimCluster::frontier(world).run(|ctx| {
                     let shard = ExpertShard::for_rank(ctx.rank, world, e, h, f, seed + 1);
                     let tokens = Tensor::rand_uniform(s, h, 1.0, 100 + ctx.rank as u64);
-                    forward_ep(&tokens, &router, &shard, &sp, &ctx.world, &mut ctx.clock)
+                    forward_ep(&tokens, &router, &shard, &sp, &ctx.world, &mut ctx.clock).unwrap()
                 })
             };
             for (r, (a, b)) in reference.iter().zip(&distributed).enumerate() {
@@ -308,7 +318,7 @@ mod tests {
         let buckets = SimCluster::frontier(4).run(|ctx| {
             let shard = ExpertShard::for_rank(ctx.rank, 4, e, h, f, 22);
             let tokens = Tensor::rand_uniform(s, h, 1.0, 23);
-            let _ = forward_ep(&tokens, &router, &shard, &sp, &ctx.world, &mut ctx.clock);
+            let _ = forward_ep(&tokens, &router, &shard, &sp, &ctx.world, &mut ctx.clock).unwrap();
             ctx.clock.buckets().to_vec()
         });
         for labels in &buckets {
@@ -338,7 +348,7 @@ mod tests {
         let reference = forward_single(&tokens, &router, &experts_full, &sp);
         let distributed = SimCluster::frontier(4).run(|ctx| {
             let shard = ExpertShard::for_rank(ctx.rank, 4, e, h, f, 32);
-            forward_ep(&tokens, &router, &shard, &sp, &ctx.world, &mut ctx.clock)
+            forward_ep(&tokens, &router, &shard, &sp, &ctx.world, &mut ctx.clock).unwrap()
         });
         for d in &distributed {
             assert!(
@@ -361,9 +371,11 @@ mod tests {
             let gating = router.gate(&tokens);
             let pft = Pft::construct(&gating, e, sp.capacity, sp.policy);
             let payload = Tensor::rand_uniform(pft.len(), h, 1.0, 300 + ctx.rank as u64);
-            let route = EpRoute::build(pft, &sp, &ctx.world, &mut ctx.clock);
-            let there = route.to_experts(&payload, &ctx.world, &mut ctx.clock);
-            let back = route.to_source(&there, &ctx.world, &mut ctx.clock);
+            let route = EpRoute::build(pft, &sp, &ctx.world, &mut ctx.clock).unwrap();
+            let there = route
+                .to_experts(&payload, &ctx.world, &mut ctx.clock)
+                .unwrap();
+            let back = route.to_source(&there, &ctx.world, &mut ctx.clock).unwrap();
             back.allclose(&payload, 0.0)
         });
         assert!(ok.iter().all(|&b| b), "route roundtrip failed: {ok:?}");
@@ -379,7 +391,7 @@ mod tests {
             let gating = router.gate(&tokens);
             let pft = Pft::construct(&gating, e, sp.capacity, sp.policy);
             let b = pft.len();
-            let route = EpRoute::build(pft, &sp, &ctx.world, &mut ctx.clock);
+            let route = EpRoute::build(pft, &sp, &ctx.world, &mut ctx.clock).unwrap();
             let send_total: usize = route.send_per_dst.iter().sum();
             let recv_total: usize = route.recv_per_src.iter().sum();
             let expert_total: usize = route.tokens_per_local_expert.iter().sum();

@@ -23,7 +23,7 @@
 //! crosses back inter-node. The final scatter adds per-node partials — the
 //! same value as the plain pipeline's per-entry weighted sum.
 
-use xmoe_collectives::{Communicator, SimClock};
+use xmoe_collectives::{CommError, Communicator, SimClock};
 use xmoe_tensor::{gather_rows, DetRng, Tensor};
 
 use crate::expert::ExpertShard;
@@ -41,13 +41,13 @@ pub struct RbdComms {
 
 impl RbdComms {
     /// Collectively split the EP group by physical node.
-    pub fn create(ep: &Communicator, clock: &mut SimClock) -> Self {
+    pub fn create(ep: &Communicator, clock: &mut SimClock) -> Result<Self, CommError> {
         let node_id = ep.cost().topology().node_of(ep.global_rank());
-        let node = ep.split(node_id, clock);
-        Self {
+        let node = ep.split(node_id, clock)?;
+        Ok(Self {
             ep: ep.clone(),
             node,
-        }
+        })
     }
 }
 
@@ -183,7 +183,7 @@ pub fn forward_ep_rbd(
     comms: &RbdComms,
     rng: &mut DetRng,
     clock: &mut SimClock,
-) -> Tensor {
+) -> Result<Tensor, CommError> {
     forward_ep_rbd_with_policy(
         tokens,
         router,
@@ -207,7 +207,7 @@ pub fn forward_ep_rbd_with_policy(
     rng: &mut DetRng,
     clock: &mut SimClock,
     policy: PilotPolicy,
-) -> Tensor {
+) -> Result<Tensor, CommError> {
     let ep = &comms.ep;
     let node = &comms.node;
     let w = ep.size();
@@ -321,9 +321,9 @@ pub fn forward_ep_rbd_with_policy(
         .iter()
         .map(|r| encode_pilots(r))
         .collect();
-    let rows_recv = ep.all_to_all_v(rows_send, clock);
+    let rows_recv = ep.all_to_all_v(rows_send, clock)?;
     clock.commit("dispatch_a2a_inter");
-    let meta_recv = ep.all_to_all_v(meta_send, clock);
+    let meta_recv = ep.all_to_all_v(meta_send, clock)?;
     clock.commit("dispatch_a2a_meta");
 
     // --- S1.5: local replica reconstruction ------------------------------
@@ -381,9 +381,9 @@ pub fn forward_ep_rbd_with_policy(
     );
 
     // --- S2: intra-node exchange of replicas ------------------------------
-    let rep_rows_recv = node.all_to_all_v(rep_rows_send, clock);
+    let rep_rows_recv = node.all_to_all_v(rep_rows_send, clock)?;
     clock.commit("dispatch_a2a_intra");
-    let rep_meta_recv = node.all_to_all_v(rep_meta_send, clock);
+    let rep_meta_recv = node.all_to_all_v(rep_meta_send, clock)?;
     clock.commit("dispatch_a2a_meta_intra");
     for (peer, meta) in rep_meta_recv.iter().enumerate() {
         for (j, quad) in meta.chunks_exact(4).enumerate() {
@@ -443,9 +443,9 @@ pub fn forward_ep_rbd_with_policy(
             }
         }
     }
-    let crep_rows_recv = node.all_to_all_v(crep_rows_send, clock);
+    let crep_rows_recv = node.all_to_all_v(crep_rows_send, clock)?;
     clock.commit("combine_a2a_intra");
-    let crep_meta_recv = node.all_to_all_v(crep_meta_send, clock);
+    let crep_meta_recv = node.all_to_all_v(crep_meta_send, clock)?;
     clock.commit("combine_a2a_meta");
     for (peer, meta) in crep_meta_recv.iter().enumerate() {
         for (j, pair) in meta.chunks_exact(2).enumerate() {
@@ -460,7 +460,7 @@ pub fn forward_ep_rbd_with_policy(
 
     // Inter-node return of per-(token, node) partial sums.
     let back_send: Vec<Vec<f32>> = acc.iter().map(|t| t.as_slice().to_vec()).collect();
-    let back_recv = ep.all_to_all_v(back_send, clock);
+    let back_recv = ep.all_to_all_v(back_send, clock)?;
     clock.commit("combine_a2a_inter");
 
     // Scatter the partials (weights already applied) by the pilot order we
@@ -482,7 +482,7 @@ pub fn forward_ep_rbd_with_policy(
         "buffer_combine",
         cost.mem_bound_time(2.0 * (pft.len() * hidden * 4) as f64),
     );
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -561,11 +561,12 @@ mod tests {
             let shard = ExpertShard::for_rank(ctx.rank, world, e, h, f, seed + 1);
             let tokens = Tensor::rand_uniform(s, h, 1.0, 200 + ctx.rank as u64);
             padding_free::forward_ep(&tokens, &router, &shard, &spec, &ctx.world, &mut ctx.clock)
+                .unwrap()
         });
         let rbd = SimCluster::frontier(world).run(|ctx| {
             let shard = ExpertShard::for_rank(ctx.rank, world, e, h, f, seed + 1);
             let tokens = Tensor::rand_uniform(s, h, 1.0, 200 + ctx.rank as u64);
-            let comms = RbdComms::create(&ctx.world, &mut ctx.clock);
+            let comms = RbdComms::create(&ctx.world, &mut ctx.clock).unwrap();
             let mut rng = DetRng::new(seed + ctx.rank as u64);
             forward_ep_rbd(
                 &tokens,
@@ -576,6 +577,7 @@ mod tests {
                 &mut rng,
                 &mut ctx.clock,
             )
+            .unwrap()
         });
         for (r, (a, b)) in plain.iter().zip(&rbd).enumerate() {
             assert!(
@@ -621,13 +623,14 @@ mod tests {
                 &spec,
                 &ctx.world,
                 &mut ctx.clock,
-            );
+            )
+            .unwrap();
             ctx.clock.bucket("dispatch_a2a") + ctx.clock.bucket("combine_a2a")
         });
         let rbd_t = SimCluster::frontier(world).run(|ctx| {
             let shard = ExpertShard::for_rank(ctx.rank, world, e, h, f, 52);
             let tokens = Tensor::rand_uniform(s, h, 1.0, 300 + ctx.rank as u64);
-            let comms = RbdComms::create(&ctx.world, &mut ctx.clock);
+            let comms = RbdComms::create(&ctx.world, &mut ctx.clock).unwrap();
             let mut rng = DetRng::new(53 + ctx.rank as u64);
             let _ = forward_ep_rbd(
                 &tokens,
@@ -637,7 +640,8 @@ mod tests {
                 &comms,
                 &mut rng,
                 &mut ctx.clock,
-            );
+            )
+            .unwrap();
             ctx.clock.bucket("dispatch_a2a_inter") + ctx.clock.bucket("combine_a2a_inter")
         });
         assert!(

@@ -12,7 +12,7 @@
 //! TP degree; the only extra communication is one all-gather of `[S, H]`
 //! per layer (and one in backward).
 
-use xmoe_collectives::{Communicator, SimClock};
+use xmoe_collectives::{CommError, Communicator, SimClock};
 use xmoe_tensor::Tensor;
 
 use crate::expert::ExpertShard;
@@ -31,17 +31,21 @@ pub struct SsmbComms {
 impl SsmbComms {
     /// Collectively build from a world communicator: TP groups are
     /// consecutive ranks of size `tp`, the EP group is the whole world.
-    pub fn create(world: &Communicator, tp: usize, clock: &mut SimClock) -> Self {
+    pub fn create(
+        world: &Communicator,
+        tp: usize,
+        clock: &mut SimClock,
+    ) -> Result<Self, CommError> {
         assert!(
             tp >= 1 && world.size().is_multiple_of(tp),
             "TP must divide world size"
         );
         let tp_color = world.rank() / tp;
-        let tp_comm = world.split(tp_color, clock);
-        Self {
+        let tp_comm = world.split(tp_color, clock)?;
+        Ok(Self {
             ep: world.clone(),
             tp: tp_comm,
-        }
+        })
     }
 }
 
@@ -70,17 +74,17 @@ pub fn forward_ssmb(
     spec: &MoeLayerSpec,
     comms: &SsmbComms,
     clock: &mut SimClock,
-) -> Tensor {
+) -> Result<Tensor, CommError> {
     let (start, end) = shard_range(tokens.rows(), comms.tp.size(), comms.tp.rank());
     // ① drop the other TP ranks' token slices.
     let my_slice = tokens.slice_rows(start, end);
     // ② run the MoE block over the shard, with this worker as an EP rank.
-    let local_out = padding_free::forward_ep(&my_slice, router, shard, spec, &comms.ep, clock);
+    let local_out = padding_free::forward_ep(&my_slice, router, shard, spec, &comms.ep, clock)?;
     // ③ all-gather the shard outputs to restore the replicated sequence.
-    let gathered = comms.tp.all_gather(local_out.into_vec(), clock);
+    let gathered = comms.tp.all_gather(local_out.into_vec(), clock)?;
     clock.commit("ssmb_allgather");
     let hidden = tokens.cols();
-    crate::pipeline::vecs_to_tensor(gathered, hidden)
+    Ok(crate::pipeline::vecs_to_tensor(gathered, hidden))
 }
 
 /// The complete X-MoE data path: SSMB sequence sharding composed with
@@ -97,14 +101,14 @@ pub fn forward_ssmb_rbd(
     rbd: &crate::rbd::RbdComms,
     rng: &mut xmoe_tensor::DetRng,
     clock: &mut SimClock,
-) -> Tensor {
+) -> Result<Tensor, CommError> {
     let (start, end) = shard_range(tokens.rows(), comms.tp.size(), comms.tp.rank());
     let my_slice = tokens.slice_rows(start, end);
-    let local_out = crate::rbd::forward_ep_rbd(&my_slice, router, shard, spec, rbd, rng, clock);
-    let gathered = comms.tp.all_gather(local_out.into_vec(), clock);
+    let local_out = crate::rbd::forward_ep_rbd(&my_slice, router, shard, spec, rbd, rng, clock)?;
+    let gathered = comms.tp.all_gather(local_out.into_vec(), clock)?;
     clock.commit("ssmb_allgather");
     let hidden = tokens.cols();
-    crate::pipeline::vecs_to_tensor(gathered, hidden)
+    Ok(crate::pipeline::vecs_to_tensor(gathered, hidden))
 }
 
 /// Reference without sequence sharding (the "TED-style" MoE entry): every
@@ -116,7 +120,7 @@ pub fn forward_unsharded(
     spec: &MoeLayerSpec,
     comms: &SsmbComms,
     clock: &mut SimClock,
-) -> Tensor {
+) -> Result<Tensor, CommError> {
     padding_free::forward_ep(tokens, router, shard, spec, &comms.ep, clock)
 }
 
@@ -156,11 +160,12 @@ mod tests {
                 // DP group = rank / tp; same sequence within a TP group.
                 let dp_group = ctx.rank / tp;
                 let tokens = Tensor::rand_uniform(s, h, 1.0, 400 + dp_group as u64);
-                let comms = SsmbComms::create(&ctx.world, tp, &mut ctx.clock);
+                let comms = SsmbComms::create(&ctx.world, tp, &mut ctx.clock).unwrap();
                 if use_ssmb {
-                    forward_ssmb(&tokens, router, &shard, spec, &comms, &mut ctx.clock)
+                    forward_ssmb(&tokens, router, &shard, spec, &comms, &mut ctx.clock).unwrap()
                 } else {
                     forward_unsharded(&tokens, router, &shard, spec, &comms, &mut ctx.clock)
+                        .unwrap()
                 }
             })
         };
@@ -184,8 +189,8 @@ mod tests {
             let shard = ExpertShard::for_rank(ctx.rank, 4, e, h, f, 72);
             let dp_group = ctx.rank / 2;
             let tokens = Tensor::rand_uniform(s, h, 1.0, 500 + dp_group as u64);
-            let comms = SsmbComms::create(&ctx.world, 2, &mut ctx.clock);
-            forward_ssmb(&tokens, &router, &shard, &spec, &comms, &mut ctx.clock)
+            let comms = SsmbComms::create(&ctx.world, 2, &mut ctx.clock).unwrap();
+            forward_ssmb(&tokens, &router, &shard, &spec, &comms, &mut ctx.clock).unwrap()
         });
         assert!(out[0].allclose(&out[1], 1e-6), "TP group 0 replicas differ");
         assert!(out[2].allclose(&out[3], 1e-6), "TP group 1 replicas differ");
@@ -199,8 +204,8 @@ mod tests {
         let buckets = SimCluster::frontier(4).run(|ctx| {
             let shard = ExpertShard::for_rank(ctx.rank, 4, e, h, f, 82);
             let tokens = Tensor::rand_uniform(s, h, 1.0, 83);
-            let comms = SsmbComms::create(&ctx.world, 2, &mut ctx.clock);
-            let _ = forward_ssmb(&tokens, &router, &shard, &spec, &comms, &mut ctx.clock);
+            let comms = SsmbComms::create(&ctx.world, 2, &mut ctx.clock).unwrap();
+            let _ = forward_ssmb(&tokens, &router, &shard, &spec, &comms, &mut ctx.clock).unwrap();
             ctx.clock.bucket("ssmb_allgather")
         });
         assert!(
@@ -224,9 +229,9 @@ mod tests {
                 let shard = ExpertShard::for_rank(ctx.rank, 16, e, h, f, 132);
                 let dp_group = ctx.rank / 2;
                 let tokens = Tensor::rand_uniform(s, h, 1.0, 700 + dp_group as u64);
-                let comms = SsmbComms::create(&ctx.world, 2, &mut ctx.clock);
+                let comms = SsmbComms::create(&ctx.world, 2, &mut ctx.clock).unwrap();
                 if use_rbd {
-                    let rbd = crate::rbd::RbdComms::create(&ctx.world, &mut ctx.clock);
+                    let rbd = crate::rbd::RbdComms::create(&ctx.world, &mut ctx.clock).unwrap();
                     let mut rng = xmoe_tensor::DetRng::new(133 + ctx.rank as u64);
                     forward_ssmb_rbd(
                         &tokens,
@@ -238,8 +243,9 @@ mod tests {
                         &mut rng,
                         &mut ctx.clock,
                     )
+                    .unwrap()
                 } else {
-                    forward_ssmb(&tokens, router, &shard, spec, &comms, &mut ctx.clock)
+                    forward_ssmb(&tokens, router, &shard, spec, &comms, &mut ctx.clock).unwrap()
                 }
             })
         };
@@ -262,8 +268,9 @@ mod tests {
         let out = SimCluster::frontier(2).run(|ctx| {
             let shard = ExpertShard::for_rank(ctx.rank, 2, e, h, f, 92);
             let tokens = Tensor::rand_uniform(s, h, 1.0, 93 + ctx.rank as u64);
-            let comms = SsmbComms::create(&ctx.world, 1, &mut ctx.clock);
-            let ssmb = forward_ssmb(&tokens, &router, &shard, &spec, &comms, &mut ctx.clock);
+            let comms = SsmbComms::create(&ctx.world, 1, &mut ctx.clock).unwrap();
+            let ssmb =
+                forward_ssmb(&tokens, &router, &shard, &spec, &comms, &mut ctx.clock).unwrap();
             let plain = padding_free::forward_ep(
                 &tokens,
                 &router,
@@ -271,7 +278,8 @@ mod tests {
                 &spec,
                 &ctx.world,
                 &mut ctx.clock,
-            );
+            )
+            .unwrap();
             ssmb.allclose(&plain, 1e-6)
         });
         assert!(out.iter().all(|&ok| ok));

@@ -25,6 +25,18 @@ impl DetRng {
         }
     }
 
+    /// Snapshot the raw generator state for checkpointing.
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
+    /// Rebuild a generator from a [`DetRng::state`] snapshot. Unlike
+    /// [`DetRng::new`] this performs no seed mixing: the restored stream
+    /// continues exactly where the snapshot was taken.
+    pub fn from_state(state: u64) -> Self {
+        Self { state }
+    }
+
     /// Derive an independent child generator, e.g. one per rank.
     pub fn fork(&mut self, tag: u64) -> DetRng {
         let s = self.next_u64();

@@ -226,10 +226,10 @@ impl CostModel {
         bytes / self.topo.spec().mem_bw
     }
 
-    /// Slowest link bandwidth present among any pair in the group, with mean
-    /// congestion applied if the group spans racks.
-    fn bottleneck_bw(&self, group: &[usize]) -> f64 {
-        let spec = self.topo.spec();
+    /// Worst (most expensive) link class present between any pair of ranks
+    /// in the group. This is the class a ring collective bottlenecks on, and
+    /// the class link-level faults are matched against.
+    pub fn group_class(&self, group: &[usize]) -> LinkClass {
         let mut class = LinkClass::Local;
         'outer: for (i, &a) in group.iter().enumerate() {
             for &b in &group[i + 1..] {
@@ -239,7 +239,26 @@ impl CostModel {
                 }
             }
         }
-        match class {
+        class
+    }
+
+    /// Fault-induced time multiplier for a collective over `group` at
+    /// training step `step`: the [`FaultPlan`]'s degradation factor for the
+    /// group's bottleneck link class (1.0 when nothing is degraded).
+    pub fn fault_link_multiplier(
+        &self,
+        group: &[usize],
+        plan: &crate::fault::FaultPlan,
+        step: u64,
+    ) -> f64 {
+        plan.link_multiplier(self.group_class(group), step)
+    }
+
+    /// Slowest link bandwidth present among any pair in the group, with mean
+    /// congestion applied if the group spans racks.
+    fn bottleneck_bw(&self, group: &[usize]) -> f64 {
+        let spec = self.topo.spec();
+        match self.group_class(group) {
             LinkClass::Local | LinkClass::IntraNode => spec.intra_node_bw,
             LinkClass::InterNode => spec.inter_node_bw / self.congestion.spillover,
             LinkClass::CrossRack => spec.inter_node_bw / self.congestion.mean_multiplier(),
@@ -395,6 +414,27 @@ mod tests {
         let m = frontier_model(8);
         let t = m.compute_time(191.5e12 * 0.45);
         assert!((t - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn group_class_finds_the_bottleneck() {
+        let m = frontier_model(512);
+        assert_eq!(m.group_class(&[3]), LinkClass::Local);
+        assert_eq!(m.group_class(&[0, 1, 7]), LinkClass::IntraNode);
+        assert_eq!(m.group_class(&[0, 1, 8]), LinkClass::InterNode);
+        assert_eq!(m.group_class(&[0, 8, 300]), LinkClass::CrossRack);
+    }
+
+    #[test]
+    fn fault_multiplier_matches_group_tier() {
+        use crate::fault::{FaultPlan, LinkTier};
+        let m = frontier_model(16);
+        let plan = FaultPlan::new(0).degrade(LinkTier::Inter, 3.0, 0, 10);
+        let intra: Vec<usize> = (0..8).collect();
+        let spanning: Vec<usize> = (0..16).collect();
+        assert_eq!(m.fault_link_multiplier(&intra, &plan, 5), 1.0);
+        assert_eq!(m.fault_link_multiplier(&spanning, &plan, 5), 3.0);
+        assert_eq!(m.fault_link_multiplier(&spanning, &plan, 10), 1.0);
     }
 
     #[test]

@@ -1,0 +1,446 @@
+//! Deterministic fault injection plans (the chaos engine's schedule).
+//!
+//! Week-long MoE runs on HPC partitions see slow nodes, degraded Slingshot
+//! links, and outright rank loss. A [`FaultPlan`] scripts those events on the
+//! simulated cluster: every event is pinned to a training-step window, so the
+//! same plan replayed against the same seed produces bitwise-identical
+//! timelines — faults are part of the experiment, not noise.
+//!
+//! The plan is consulted from three places:
+//! * `RankCtx::charge_*` multiplies compute/membound kernel times by
+//!   [`FaultPlan::slowdown`], so a slow rank shows up as a straggler in the
+//!   existing stage breakdowns;
+//! * the communicator prices collectives with
+//!   [`CostModel::fault_link_multiplier`](crate::CostModel::fault_link_multiplier)
+//!   and retries transient flaps with [`FaultPlan::backoff`];
+//! * dead ranks are detected *by plan*, not by channel teardown: in the
+//!   threads-as-ranks runtime a failed rank's senders live in the shared link
+//!   matrix forever, so a real `recv` on it would deadlock. Survivors instead
+//!   agree on who is dead from the plan and the current step, which keeps the
+//!   SPMD program order intact.
+
+use crate::LinkClass;
+
+/// Which class of links a link-level fault hits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LinkTier {
+    /// Intra-node fabric (Infinity Fabric / NVLink).
+    Intra,
+    /// Anything leaving the node: Slingshot NICs, including cross-rack
+    /// traffic (which rides the same NIC).
+    Inter,
+}
+
+impl LinkTier {
+    /// Does this tier cover the given point-to-point link class?
+    pub fn covers(self, class: LinkClass) -> bool {
+        match self {
+            LinkTier::Intra => class == LinkClass::IntraNode,
+            LinkTier::Inter => matches!(class, LinkClass::InterNode | LinkClass::CrossRack),
+        }
+    }
+}
+
+/// One scheduled fault. Step windows are half-open: active for
+/// `from <= step < until`.
+#[derive(Clone, Debug)]
+pub enum FaultEvent {
+    /// Rank `rank`'s kernels run `factor`x slower during the window.
+    Slowdown {
+        rank: usize,
+        factor: f64,
+        from: u64,
+        until: u64,
+    },
+    /// Links of `tier` deliver bytes `factor`x slower during the window.
+    LinkDegrade {
+        tier: LinkTier,
+        factor: f64,
+        from: u64,
+        until: u64,
+    },
+    /// Links of `tier` drop each collective `retries` times before it goes
+    /// through; each attempt is re-charged with exponential backoff.
+    LinkFlap {
+        tier: LinkTier,
+        retries: u32,
+        from: u64,
+        until: u64,
+    },
+    /// Rank `rank` dies permanently at the start of step `at`.
+    RankFail { rank: usize, at: u64 },
+}
+
+impl FaultEvent {
+    fn active(&self, step: u64) -> bool {
+        match *self {
+            FaultEvent::Slowdown { from, until, .. }
+            | FaultEvent::LinkDegrade { from, until, .. }
+            | FaultEvent::LinkFlap { from, until, .. } => from <= step && step < until,
+            FaultEvent::RankFail { at, .. } => step >= at,
+        }
+    }
+}
+
+/// A deterministic schedule of faults, plus the recovery-time constants the
+/// runtime charges when reacting to them.
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    /// Seed recorded with the plan (spec strings and sweeps key off it; the
+    /// plan itself is fully deterministic given its events).
+    pub seed: u64,
+    pub events: Vec<FaultEvent>,
+    /// Simulated seconds a survivor spends noticing a dead peer (the
+    /// heartbeat/timeout budget), charged once per failed collective.
+    pub detect_timeout: f64,
+    /// Base backoff before the first retry of a flapped collective;
+    /// attempt `k` waits `retry_backoff * 2^k`.
+    pub retry_backoff: f64,
+}
+
+impl FaultPlan {
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            events: Vec::new(),
+            detect_timeout: 5e-3,
+            retry_backoff: 1e-4,
+        }
+    }
+
+    pub fn with_detect_timeout(mut self, t: f64) -> Self {
+        self.detect_timeout = t;
+        self
+    }
+
+    pub fn with_retry_backoff(mut self, t: f64) -> Self {
+        self.retry_backoff = t;
+        self
+    }
+
+    /// Schedule a rank slowdown for `from <= step < until`.
+    pub fn slow(mut self, rank: usize, factor: f64, from: u64, until: u64) -> Self {
+        assert!(factor >= 1.0, "slowdown factor must be >= 1");
+        self.events.push(FaultEvent::Slowdown {
+            rank,
+            factor,
+            from,
+            until,
+        });
+        self
+    }
+
+    /// Schedule a link-bandwidth degradation.
+    pub fn degrade(mut self, tier: LinkTier, factor: f64, from: u64, until: u64) -> Self {
+        assert!(factor >= 1.0, "degradation factor must be >= 1");
+        self.events.push(FaultEvent::LinkDegrade {
+            tier,
+            factor,
+            from,
+            until,
+        });
+        self
+    }
+
+    /// Schedule transient link flaps (collectives retry `retries` times).
+    pub fn flap(mut self, tier: LinkTier, retries: u32, from: u64, until: u64) -> Self {
+        self.events.push(FaultEvent::LinkFlap {
+            tier,
+            retries,
+            from,
+            until,
+        });
+        self
+    }
+
+    /// Schedule a permanent rank failure at the start of step `at`.
+    pub fn kill(mut self, rank: usize, at: u64) -> Self {
+        self.events.push(FaultEvent::RankFail { rank, at });
+        self
+    }
+
+    /// Combined kernel-time multiplier for `rank` at `step`.
+    pub fn slowdown(&self, rank: usize, step: u64) -> f64 {
+        self.events
+            .iter()
+            .filter_map(|e| match *e {
+                FaultEvent::Slowdown {
+                    rank: r, factor, ..
+                } if r == rank && e.active(step) => Some(factor),
+                _ => None,
+            })
+            .product()
+    }
+
+    /// Combined bandwidth-degradation multiplier for traffic of `class` at
+    /// `step` (1.0 when no degradation is active or the class is local).
+    pub fn link_multiplier(&self, class: LinkClass, step: u64) -> f64 {
+        if class == LinkClass::Local {
+            return 1.0;
+        }
+        self.events
+            .iter()
+            .filter_map(|e| match *e {
+                FaultEvent::LinkDegrade { tier, factor, .. }
+                    if tier.covers(class) && e.active(step) =>
+                {
+                    Some(factor)
+                }
+                _ => None,
+            })
+            .product()
+    }
+
+    /// Number of failed attempts a collective over links of `class` suffers
+    /// at `step` before succeeding.
+    pub fn flap_retries(&self, class: LinkClass, step: u64) -> u32 {
+        if class == LinkClass::Local {
+            return 0;
+        }
+        self.events
+            .iter()
+            .filter_map(|e| match *e {
+                FaultEvent::LinkFlap { tier, retries, .. }
+                    if tier.covers(class) && e.active(step) =>
+                {
+                    Some(retries)
+                }
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Is `rank` dead at `step`? Death is permanent: true for every step at
+    /// or after the scheduled failure.
+    pub fn is_dead(&self, rank: usize, step: u64) -> bool {
+        self.events
+            .iter()
+            .any(|e| matches!(*e, FaultEvent::RankFail { rank: r, at } if r == rank && step >= at))
+    }
+
+    /// The step at which `rank` dies, if scheduled.
+    pub fn dies_at(&self, rank: usize) -> Option<u64> {
+        self.events
+            .iter()
+            .filter_map(|e| match *e {
+                FaultEvent::RankFail { rank: r, at } if r == rank => Some(at),
+                _ => None,
+            })
+            .min()
+    }
+
+    /// All ranks dead at `step`, ascending.
+    pub fn dead_ranks(&self, step: u64) -> Vec<usize> {
+        let mut out: Vec<usize> = self
+            .events
+            .iter()
+            .filter_map(|e| match *e {
+                FaultEvent::RankFail { rank, at } if step >= at => Some(rank),
+                _ => None,
+            })
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Earliest scheduled rank failure, if any.
+    pub fn first_failure(&self) -> Option<u64> {
+        self.events
+            .iter()
+            .filter_map(|e| match *e {
+                FaultEvent::RankFail { at, .. } => Some(at),
+                _ => None,
+            })
+            .min()
+    }
+
+    /// Backoff delay before retry attempt `k` (exponential, deterministic —
+    /// every surviving rank computes the same value, keeping clocks aligned).
+    pub fn backoff(&self, attempt: u32) -> f64 {
+        self.retry_backoff * f64::from(1u32 << attempt.min(16))
+    }
+
+    /// True when the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Parse a CLI fault spec: semicolon-separated events, each
+    /// `kind:key=value,...`.
+    ///
+    /// ```text
+    /// slow:rank=2,x=4,from=0,until=10
+    /// degrade:tier=inter,x=3,from=2,until=6
+    /// flap:tier=inter,retries=2,from=3,until=4
+    /// kill:rank=5,at=4
+    /// ```
+    ///
+    /// `from` defaults to 0, `until` to forever.
+    pub fn parse(seed: u64, spec: &str) -> Result<Self, String> {
+        let mut plan = Self::new(seed);
+        for ev in spec.split(';').filter(|s| !s.trim().is_empty()) {
+            let ev = ev.trim();
+            let (kind, rest) = ev
+                .split_once(':')
+                .ok_or_else(|| format!("fault event '{ev}' missing ':'"))?;
+            let mut rank = None;
+            let mut factor = None;
+            let mut tier = None;
+            let mut retries = None;
+            let mut from = 0u64;
+            let mut until = u64::MAX;
+            let mut at = None;
+            for kv in rest.split(',').filter(|s| !s.trim().is_empty()) {
+                let (k, v) = kv
+                    .split_once('=')
+                    .ok_or_else(|| format!("fault field '{kv}' missing '='"))?;
+                let (k, v) = (k.trim(), v.trim());
+                match k {
+                    "rank" => rank = Some(parse_num::<usize>(k, v)?),
+                    "x" | "factor" => factor = Some(parse_num::<f64>(k, v)?),
+                    "tier" => {
+                        tier = Some(match v {
+                            "intra" => LinkTier::Intra,
+                            "inter" => LinkTier::Inter,
+                            _ => return Err(format!("unknown link tier '{v}'")),
+                        })
+                    }
+                    "retries" => retries = Some(parse_num::<u32>(k, v)?),
+                    "from" => from = parse_num::<u64>(k, v)?,
+                    "until" => until = parse_num::<u64>(k, v)?,
+                    "at" => at = Some(parse_num::<u64>(k, v)?),
+                    _ => return Err(format!("unknown fault field '{k}'")),
+                }
+            }
+            fn need<T>(field: Option<T>, kind: &str, name: &str) -> Result<T, String> {
+                field.ok_or_else(|| format!("{kind} event needs '{name}='"))
+            }
+            plan = match kind {
+                "slow" => {
+                    let r = need(rank, kind, "rank")?;
+                    let f = need(factor, kind, "x")?;
+                    plan.slow(r, f, from, until)
+                }
+                "degrade" => {
+                    let t = need(tier, kind, "tier")?;
+                    let f = need(factor, kind, "x")?;
+                    plan.degrade(t, f, from, until)
+                }
+                "flap" => {
+                    let t = need(tier, kind, "tier")?;
+                    let r = need(retries, kind, "retries")?;
+                    plan.flap(t, r, from, until)
+                }
+                "kill" => {
+                    let r = need(rank, kind, "rank")?;
+                    let a = need(at, kind, "at")?;
+                    plan.kill(r, a)
+                }
+                _ => return Err(format!("unknown fault kind '{kind}'")),
+            };
+        }
+        Ok(plan)
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(key: &str, v: &str) -> Result<T, String> {
+    v.parse()
+        .map_err(|_| format!("cannot parse '{v}' for '{key}'"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slowdown_applies_only_in_window() {
+        let p = FaultPlan::new(1).slow(2, 4.0, 3, 6);
+        assert_eq!(p.slowdown(2, 2), 1.0);
+        assert_eq!(p.slowdown(2, 3), 4.0);
+        assert_eq!(p.slowdown(2, 5), 4.0);
+        assert_eq!(p.slowdown(2, 6), 1.0);
+        assert_eq!(p.slowdown(1, 4), 1.0);
+    }
+
+    #[test]
+    fn overlapping_slowdowns_compose() {
+        let p = FaultPlan::new(1).slow(0, 2.0, 0, 10).slow(0, 3.0, 5, 10);
+        assert_eq!(p.slowdown(0, 2), 2.0);
+        assert_eq!(p.slowdown(0, 7), 6.0);
+    }
+
+    #[test]
+    fn link_tiers_cover_the_right_classes() {
+        assert!(LinkTier::Intra.covers(LinkClass::IntraNode));
+        assert!(!LinkTier::Intra.covers(LinkClass::InterNode));
+        assert!(LinkTier::Inter.covers(LinkClass::InterNode));
+        assert!(LinkTier::Inter.covers(LinkClass::CrossRack));
+        assert!(!LinkTier::Inter.covers(LinkClass::IntraNode));
+    }
+
+    #[test]
+    fn degrade_and_flap_queries() {
+        let p =
+            FaultPlan::new(7)
+                .degrade(LinkTier::Inter, 3.0, 2, 6)
+                .flap(LinkTier::Inter, 2, 3, 4);
+        assert_eq!(p.link_multiplier(LinkClass::InterNode, 1), 1.0);
+        assert_eq!(p.link_multiplier(LinkClass::InterNode, 2), 3.0);
+        assert_eq!(p.link_multiplier(LinkClass::CrossRack, 5), 3.0);
+        assert_eq!(p.link_multiplier(LinkClass::IntraNode, 3), 1.0);
+        assert_eq!(p.link_multiplier(LinkClass::Local, 3), 1.0);
+        assert_eq!(p.flap_retries(LinkClass::InterNode, 3), 2);
+        assert_eq!(p.flap_retries(LinkClass::InterNode, 4), 0);
+        assert_eq!(p.flap_retries(LinkClass::IntraNode, 3), 0);
+    }
+
+    #[test]
+    fn death_is_permanent() {
+        let p = FaultPlan::new(1).kill(5, 4);
+        assert!(!p.is_dead(5, 3));
+        assert!(p.is_dead(5, 4));
+        assert!(p.is_dead(5, 100));
+        assert!(!p.is_dead(4, 100));
+        assert_eq!(p.dies_at(5), Some(4));
+        assert_eq!(p.dies_at(0), None);
+        assert_eq!(p.dead_ranks(4), vec![5]);
+        assert!(p.dead_ranks(3).is_empty());
+        assert_eq!(p.first_failure(), Some(4));
+    }
+
+    #[test]
+    fn backoff_is_exponential() {
+        let p = FaultPlan::new(1).with_retry_backoff(1e-3);
+        assert!((p.backoff(0) - 1e-3).abs() < 1e-15);
+        assert!((p.backoff(1) - 2e-3).abs() < 1e-15);
+        assert!((p.backoff(3) - 8e-3).abs() < 1e-15);
+    }
+
+    #[test]
+    fn spec_string_round_trips_the_readme_example() {
+        let p = FaultPlan::parse(
+            9,
+            "slow:rank=2,x=4,from=0,until=10;degrade:tier=inter,x=3,from=2,until=6;\
+             flap:tier=inter,retries=2,from=3,until=4;kill:rank=5,at=4",
+        )
+        .unwrap();
+        assert_eq!(p.events.len(), 4);
+        assert_eq!(p.slowdown(2, 1), 4.0);
+        assert_eq!(p.link_multiplier(LinkClass::InterNode, 4), 3.0);
+        assert_eq!(p.flap_retries(LinkClass::CrossRack, 3), 2);
+        assert_eq!(p.dies_at(5), Some(4));
+    }
+
+    #[test]
+    fn spec_defaults_and_errors() {
+        let p = FaultPlan::parse(0, "slow:rank=0,x=2").unwrap();
+        assert_eq!(p.slowdown(0, 0), 2.0);
+        assert_eq!(p.slowdown(0, u64::MAX - 1), 2.0);
+        assert!(FaultPlan::parse(0, "slow:rank=0").is_err());
+        assert!(FaultPlan::parse(0, "explode:rank=0").is_err());
+        assert!(FaultPlan::parse(0, "kill:rank=zero,at=1").is_err());
+        assert!(FaultPlan::parse(0, "degrade:tier=quantum,x=2").is_err());
+        assert!(FaultPlan::parse(0, "").unwrap().is_empty());
+    }
+}

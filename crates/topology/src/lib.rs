@@ -17,16 +17,23 @@
 //!   performance model;
 //! * [`congestion`] — the stochastic cross-rack outlier injector that
 //!   reproduces the paper's Fig 18 latency regions;
+//! * [`fault`] — deterministic fault schedules ([`FaultPlan`]): rank
+//!   slowdowns, link degradation/flaps, and permanent rank failures that the
+//!   cost model and the simulated runtime consult per training step;
 //! * [`placement`] — EP-first vs DP-first process-grid placement
 //!   (paper Appendix C).
 
 pub mod congestion;
 pub mod cost;
+pub mod fault;
 pub mod placement;
 
 pub use congestion::CongestionModel;
 pub use cost::CostModel;
-pub use placement::{build_grid, PlacementPolicy, ProcessGrid};
+pub use fault::{FaultEvent, FaultPlan, LinkTier};
+pub use placement::{
+    build_grid, build_grid_excluding, build_grid_tp, PlacementPolicy, ProcessGrid,
+};
 
 /// Gigabyte (10^9 bytes), the unit vendors quote link bandwidth in.
 pub const GB: f64 = 1e9;

@@ -117,6 +117,42 @@ pub fn build_grid_tp(
     }
 }
 
+/// Build an EP × DP grid over the survivors of a partial failure: the ranks
+/// of `excluded` (a failed node, typically) are dropped and the remaining
+/// *original* global ranks are packed into a fresh grid in ascending order.
+///
+/// Group members are original global rank ids, so a survivor can look up its
+/// post-recovery EP/DP peers with [`ProcessGrid::ep_group_of`] before the
+/// shrunken communicator even exists; its new dense rank is its position in
+/// the survivor list. The survivor count must still be divisible by
+/// `ep_size` — elastic recovery drops whole nodes so the expert shards stay
+/// rebalanceable.
+pub fn build_grid_excluding(
+    n_ranks: usize,
+    excluded: &[usize],
+    ep_size: usize,
+    policy: PlacementPolicy,
+) -> ProcessGrid {
+    let survivors: Vec<usize> = (0..n_ranks).filter(|r| !excluded.contains(r)).collect();
+    assert!(
+        !survivors.is_empty(),
+        "cannot build a grid with every rank excluded"
+    );
+    let mut grid = build_grid(survivors.len(), ep_size, policy);
+    for groups in [
+        &mut grid.ep_groups,
+        &mut grid.dp_groups,
+        &mut grid.tp_groups,
+    ] {
+        for grp in groups.iter_mut() {
+            for r in grp.iter_mut() {
+                *r = survivors[*r];
+            }
+        }
+    }
+    grid
+}
+
 impl ProcessGrid {
     /// EP group (by index) that contains `rank`'s TP leader.
     pub fn ep_group_of(&self, rank: usize) -> &[usize] {
@@ -227,5 +263,53 @@ mod tests {
     #[should_panic(expected = "not divisible")]
     fn rejects_non_divisible_grid() {
         let _ = build_grid(10, 4, PlacementPolicy::EpFirst);
+    }
+
+    #[test]
+    fn degenerate_single_group_grids() {
+        // All ranks in one TP group: one logical worker, EP = DP = 1.
+        let g = build_grid_tp(8, 8, 1, PlacementPolicy::EpFirst);
+        assert_eq!((g.ep_size, g.dp_size), (1, 1));
+        assert_eq!(g.tp_groups, vec![(0..8).collect::<Vec<usize>>()]);
+        assert_eq!(g.ep_groups, vec![vec![0]]);
+        // All ranks in one EP group: a single-node cluster with no replicas.
+        let g = build_grid_tp(8, 1, 8, PlacementPolicy::DpFirst);
+        assert_eq!((g.tp_size, g.dp_size), (1, 1));
+        assert_eq!(g.ep_groups, vec![(0..8).collect::<Vec<usize>>()]);
+        for r in 0..8 {
+            assert_eq!(g.dp_group_of(r), &[r]);
+        }
+    }
+
+    #[test]
+    fn excluding_a_node_rebuilds_over_survivors() {
+        // 16 ranks = 2 Frontier nodes; node 1 (ranks 8..16) fails.
+        let excluded: Vec<usize> = (8..16).collect();
+        let g = build_grid_excluding(16, &excluded, 4, PlacementPolicy::EpFirst);
+        assert_eq!(g.n_ranks, 8);
+        assert_eq!(g.dp_size, 2);
+        assert_eq!(g.ep_groups[0], vec![0, 1, 2, 3]);
+        assert_eq!(g.ep_groups[1], vec![4, 5, 6, 7]);
+        for r in 0..8 {
+            assert!(g.ep_group_of(r).contains(&r));
+        }
+    }
+
+    #[test]
+    fn excluding_interior_ranks_keeps_global_ids() {
+        // Drop node 0 of a 2-node cluster: survivors keep ids 8..16.
+        let excluded: Vec<usize> = (0..8).collect();
+        let g = build_grid_excluding(16, &excluded, 4, PlacementPolicy::DpFirst);
+        assert_eq!(g.ep_groups[0], vec![8, 10, 12, 14]);
+        assert_eq!(g.dp_groups[0], vec![8, 9]);
+        assert_eq!(g.ep_group_of(12), &[8, 10, 12, 14]);
+        let all: Vec<usize> = g.ep_groups.iter().flatten().copied().collect();
+        assert!(all.iter().all(|r| (8..16).contains(r)));
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn excluding_rejects_unbalanced_survivors() {
+        let _ = build_grid_excluding(16, &[3], 4, PlacementPolicy::EpFirst);
     }
 }

@@ -34,6 +34,27 @@ impl Adam {
         }
     }
 
+    /// Number of optimizer steps taken so far (drives bias correction).
+    pub fn step_count(&self) -> u64 {
+        self.step
+    }
+
+    /// First/second moment buffers in visitation order, for checkpointing.
+    /// Slots the optimizer has not seen yet are simply absent.
+    pub fn moments(&self) -> (&[Vec<f32>], &[Vec<f32>]) {
+        (&self.m, &self.v)
+    }
+
+    /// Restore optimizer state captured by [`Adam::step_count`] and
+    /// [`Adam::moments`]. The moment vectors must be in the same visitation
+    /// order the optimizer will see on the next [`Adam::step`] call.
+    pub fn restore(&mut self, step: u64, m: Vec<Vec<f32>>, v: Vec<Vec<f32>>) {
+        assert_eq!(m.len(), v.len(), "mismatched moment buffer counts");
+        self.step = step;
+        self.m = m;
+        self.v = v;
+    }
+
     /// Apply one update over `(param, grad)` pairs delivered by a visitor.
     ///
     /// The caller must deliver the same parameters in the same order every

@@ -1,0 +1,208 @@
+//! Chaos harness: fault-injected distributed training with deterministic
+//! checkpoint/restore and elastic recovery.
+//!
+//! [`run_chaos_rank`] is the per-rank body for
+//! [`xmoe_collectives::SimCluster::run`]: it trains a [`DistMoeLm`] under a
+//! [`xmoe_topology::FaultPlan`], periodically capturing canonical
+//! checkpoints, and when a peer dies it re-forms the group from the
+//! survivors, reloads the last checkpoint and continues at the reduced
+//! world size.
+//!
+//! Two properties make the recovery *deterministic*:
+//!
+//! * The training data stream is stateless per step: a harness
+//!   [`DetRng`] draws one `step_seed` per step (the same on every rank,
+//!   and its state is part of the checkpoint), and [`step_batch`] derives
+//!   each rank's batch from `step_seed` and the rank's *dense* index in
+//!   the current group. Survivors at dense ranks `0..N` therefore see
+//!   exactly the tokens a fresh `N`-rank run would see.
+//! * Checkpoints are rank-agnostic and bitwise exact
+//!   ([`crate::checkpoint`]), so restoring onto the survivors yields the
+//!   same parameters a fresh `N`-rank run restoring the same bytes would
+//!   hold — and from identical parameters, data and RNG state, the loss
+//!   trajectory is bitwise identical.
+//!
+//! When the failure lands exactly on a checkpoint boundary no steps are
+//! replayed and MTTR reduces to detect + restore time.
+
+use xmoe_collectives::{CommError, RankCtx, RecoveryStats};
+use xmoe_tensor::DetRng;
+use xmoe_topology::{build_grid_excluding, PlacementPolicy};
+
+use crate::checkpoint::Checkpoint;
+use crate::data::MarkovCorpus;
+use crate::dist::DistMoeLm;
+use crate::model::{build_moe_layers, TrainConfig};
+
+/// Seed tweak separating the data-stream RNG from weight-init streams.
+const DATA_STREAM_SALT: u64 = 0xC4A0_5EED;
+
+/// Knobs of one chaos run (the model itself comes from [`TrainConfig`]).
+#[derive(Clone, Copy, Debug)]
+pub struct ChaosConfig {
+    /// Training steps to attempt.
+    pub steps: u64,
+    /// Capture a checkpoint after every `ckpt_every` completed steps
+    /// (0 disables checkpointing — recovery then restarts from scratch).
+    pub ckpt_every: u64,
+}
+
+/// What one rank experienced during a chaos run.
+#[derive(Clone, Debug)]
+pub struct ChaosReport {
+    /// This rank's immutable global id.
+    pub global_rank: usize,
+    /// `(step, loss)` for every step in the *final* trajectory: entries
+    /// invalidated by a rollback are pruned, so survivors' vectors read as
+    /// one uninterrupted curve.
+    pub losses: Vec<(u64, f64)>,
+    /// `Some(step)` if the fault plan killed this rank at `step`.
+    pub exited_at: Option<u64>,
+    /// One entry per failure this rank recovered from.
+    pub recoveries: Vec<RecoveryStats>,
+    /// Encoded bytes of the last checkpoint captured (also the restore
+    /// source for the determinism tests).
+    pub last_ckpt: Option<Vec<u8>>,
+    /// Group size when the rank finished (or exited).
+    pub final_world: usize,
+}
+
+/// The batch rank `dense_rank` trains on at the step identified by
+/// `step_seed`. Stateless: the corpus is rebuilt from the seed each step,
+/// so the stream depends only on `(step_seed, dense_rank)` — the property
+/// elastic recovery's determinism rests on.
+pub fn step_batch(cfg: &TrainConfig, step_seed: u64, dense_rank: usize) -> Vec<Vec<usize>> {
+    let salt = (dense_rank as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    MarkovCorpus::new(cfg.vocab, 3, step_seed ^ salt).batch(cfg.batch, cfg.seq_len)
+}
+
+/// Per-rank chaos-run body. Returns `Err` only for faults the harness does
+/// not model (poisoned locks, closed channels); planned rank deaths and
+/// recoveries are part of the `Ok` report.
+pub fn run_chaos_rank(
+    cfg: &TrainConfig,
+    chaos: &ChaosConfig,
+    ctx: &mut RankCtx,
+) -> Result<ChaosReport, CommError> {
+    let plan = ctx.fault_plan().cloned();
+    let world0 = ctx.n_ranks();
+    let my_global = ctx.world.global_rank();
+    let mut comm = ctx.world.clone();
+    let full_layers = build_moe_layers(cfg);
+    let mut model = DistMoeLm::new(cfg, &full_layers, comm.rank(), comm.size());
+    let mut rng = DetRng::new(cfg.seed ^ DATA_STREAM_SALT);
+    let mut report = ChaosReport {
+        global_rank: my_global,
+        losses: Vec::new(),
+        exited_at: None,
+        recoveries: Vec::new(),
+        last_ckpt: None,
+        final_world: comm.size(),
+    };
+    let mut dead_so_far: Vec<usize> = Vec::new();
+    // `(recovery index, clock at failure)` until the replay catches back up.
+    let mut catch_up: Option<(usize, f64)> = None;
+
+    let mut step = 0u64;
+    while step < chaos.steps {
+        if let Some(p) = &plan {
+            if p.is_dead(my_global, step) {
+                report.exited_at = Some(step);
+                report.final_world = comm.size();
+                return Ok(report);
+            }
+        }
+        if let Some((i, t_err)) = catch_up {
+            if step >= report.recoveries[i].failed_at_step {
+                let r = &mut report.recoveries[i];
+                r.mttr = r.detect_time + (ctx.clock.now() - t_err);
+                catch_up = None;
+            }
+        }
+        ctx.set_step(step);
+        comm.set_step(step);
+        let step_seed = rng.next_u64();
+        let batch = step_batch(cfg, step_seed, comm.rank());
+        match model.train_step(&batch, &comm, &mut ctx.clock) {
+            Ok(loss) => {
+                report.losses.push((step, loss));
+                if chaos.ckpt_every > 0 && (step + 1).is_multiple_of(chaos.ckpt_every) {
+                    let ckpt =
+                        model.capture_checkpoint(step + 1, rng.state(), &comm, &mut ctx.clock)?;
+                    report.last_ckpt = Some(ckpt.encode());
+                }
+                step += 1;
+            }
+            Err(CommError::DeadPeer { .. }) => {
+                // `check_dead` already charged `fault_detect` before erring,
+                // so `t_err` marks the end of detection.
+                let t_err = ctx.clock.now();
+                let p = plan
+                    .as_ref()
+                    .expect("DeadPeer reported without a fault plan");
+                let newly_dead: Vec<usize> = comm
+                    .group_ranks()
+                    .iter()
+                    .copied()
+                    .filter(|&g| p.is_dead(g, step))
+                    .collect();
+                assert!(
+                    !newly_dead.is_empty(),
+                    "DeadPeer error but the plan lists no dead group member"
+                );
+                dead_so_far.extend(newly_dead.iter().copied());
+                dead_so_far.sort_unstable();
+                dead_so_far.dedup();
+                let survivors = comm.size() - newly_dead.len();
+                assert!(
+                    survivors > 0 && cfg.num_experts.is_multiple_of(survivors),
+                    "cannot re-shard {} experts over {survivors} survivors",
+                    cfg.num_experts
+                );
+
+                // Re-form the group: every survivor joins color 0. The
+                // placement grid rebuilt without the dead ranks must agree
+                // with what the collective layer produced.
+                let new_comm = comm.split(0, &mut ctx.clock)?;
+                let grid =
+                    build_grid_excluding(world0, &dead_so_far, survivors, PlacementPolicy::EpFirst);
+                assert_eq!(
+                    grid.ep_groups[0].as_slice(),
+                    new_comm.group_ranks(),
+                    "recovered communicator disagrees with the placement grid"
+                );
+
+                let resumed = if let Some(bytes) = &report.last_ckpt {
+                    let ckpt = Checkpoint::decode(bytes).expect("own checkpoint must decode");
+                    let t_io = ctx.cost().mem_bound_time(bytes.len() as f64);
+                    ctx.clock.charge("ckpt_restore", t_io);
+                    model =
+                        DistMoeLm::from_checkpoint(cfg, &ckpt, new_comm.rank(), new_comm.size());
+                    rng = DetRng::from_state(ckpt.rng_state);
+                    ckpt.step
+                } else {
+                    model = DistMoeLm::new(cfg, &full_layers, new_comm.rank(), new_comm.size());
+                    rng = DetRng::new(cfg.seed ^ DATA_STREAM_SALT);
+                    0
+                };
+                report.losses.retain(|&(s, _)| s < resumed);
+                let t_done = ctx.clock.now();
+                report.recoveries.push(RecoveryStats {
+                    failed_ranks: newly_dead,
+                    failed_at_step: step,
+                    resumed_from_step: resumed,
+                    steps_replayed: step - resumed,
+                    detect_time: p.detect_timeout,
+                    restore_time: t_done - t_err,
+                    mttr: p.detect_timeout + (t_done - t_err),
+                });
+                catch_up = Some((report.recoveries.len() - 1, t_err));
+                comm = new_comm;
+                step = resumed;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    report.final_world = comm.size();
+    Ok(report)
+}

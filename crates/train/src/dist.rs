@@ -17,7 +17,7 @@
 //! live on exactly one rank (EP = world) and their gradients are already
 //! global because every rank's tokens were dispatched to them.
 
-use xmoe_collectives::{Communicator, SimClock};
+use xmoe_collectives::{CommError, Communicator, SimClock};
 use xmoe_core::gating::{DropPolicy, GatingOutput};
 use xmoe_core::pft::Pft;
 use xmoe_core::pipeline::padding_free::EpRoute;
@@ -29,6 +29,7 @@ use xmoe_tensor::{
 
 use crate::adam::Adam;
 use crate::attention::Attention;
+use crate::checkpoint::Checkpoint;
 use crate::layers::{DenseMlp, Embedding, Head};
 use crate::moe_layer::TrainableMoe;
 
@@ -114,7 +115,7 @@ impl DistMoe {
         x: &Tensor,
         ep: &Communicator,
         clock: &mut SimClock,
-    ) -> (Tensor, DistMoeCtx) {
+    ) -> Result<(Tensor, DistMoeCtx), CommError> {
         let hidden = x.cols();
         let logits = matmul(x, &self.gate);
         let mut scores = logits.clone();
@@ -134,9 +135,9 @@ impl DistMoe {
         let pft = Pft::construct(&gating, self.num_experts, self.capacity, self.policy);
 
         let dispatch_in = gather_rows(x, &pft.token_ids);
-        let route = EpRoute::build(pft, &self.spec(), ep, clock);
+        let route = EpRoute::build(pft, &self.spec(), ep, clock)?;
         clock.commit("dispatch_a2a_meta");
-        let expert_input = route.to_experts(&dispatch_in, ep, clock);
+        let expert_input = route.to_experts(&dispatch_in, ep, clock)?;
         clock.commit("dispatch_a2a");
 
         // Per-expert FFN over expert-major segments, saving intermediates.
@@ -166,7 +167,7 @@ impl DistMoe {
             seg_offsets.push(row);
         }
 
-        let combine_in = route.to_source(&y, ep, clock);
+        let combine_in = route.to_source(&y, ep, clock)?;
         clock.commit("combine_a2a");
 
         let mut out = x.clone();
@@ -176,7 +177,7 @@ impl DistMoe {
             &route.pft.combine_weights,
             &mut out,
         );
-        (
+        Ok((
             out,
             DistMoeCtx {
                 x: x.clone(),
@@ -188,7 +189,7 @@ impl DistMoe {
                 seg_offsets,
                 combine_in,
             },
-        )
+        ))
     }
 
     /// Distributed backward: accumulates local grads, returns `d_x`.
@@ -199,7 +200,7 @@ impl DistMoe {
         d_out: &Tensor,
         ep: &Communicator,
         clock: &mut SimClock,
-    ) -> Tensor {
+    ) -> Result<Tensor, CommError> {
         let hidden = ctx.x.cols();
         let b = ctx.route.pft.len();
         let mut d_x = d_out.clone(); // residual
@@ -220,7 +221,7 @@ impl DistMoe {
         }
 
         // Backward all-to-all #1: gradients to the expert side.
-        let d_y = ctx.route.to_experts(&d_combine, ep, clock);
+        let d_y = ctx.route.to_experts(&d_combine, ep, clock)?;
         clock.commit("bwd_combine_a2a");
 
         // Expert FFN backward over segments; expert grads stay local.
@@ -248,7 +249,7 @@ impl DistMoe {
         }
 
         // Backward all-to-all #2: dispatch gradients back to sources.
-        let d_dispatch = ctx.route.to_source(&d_expert_in, ep, clock);
+        let d_dispatch = ctx.route.to_source(&d_expert_in, ep, clock)?;
         clock.commit("bwd_dispatch_a2a");
         scatter_rows_scaled(
             &d_dispatch,
@@ -280,7 +281,7 @@ impl DistMoe {
         add_assign(&mut self.g_gate, &dg);
         let d_x_gate = matmul_transpose_b(&d_logits, &self.gate);
         add_assign(&mut d_x, &d_x_gate);
-        d_x
+        Ok(d_x)
     }
 
     pub fn zero_grads(&mut self) {
@@ -306,10 +307,10 @@ impl DistMoe {
         x: &Tensor,
         ep: &Communicator,
         clock: &mut SimClock,
-    ) -> (Tensor, Tensor) {
-        let (out, _ctx) = self.forward(x, ep, clock);
+    ) -> Result<(Tensor, Tensor), CommError> {
+        let (out, _ctx) = self.forward(x, ep, clock)?;
         // Discard the context; keep only the input.
-        (out, x.clone())
+        Ok((out, x.clone()))
     }
 
     /// Backward for a checkpointed layer: recompute forward from the saved
@@ -321,8 +322,8 @@ impl DistMoe {
         d_out: &Tensor,
         ep: &Communicator,
         clock: &mut SimClock,
-    ) -> Tensor {
-        let (_, ctx) = self.forward(saved_input, ep, clock);
+    ) -> Result<Tensor, CommError> {
+        let (_, ctx) = self.forward(saved_input, ep, clock)?;
         self.backward(&ctx, d_out, ep, clock)
     }
 }
@@ -389,7 +390,7 @@ impl DistMoeLm {
         batch: &[Vec<usize>],
         world: &Communicator,
         clock: &mut SimClock,
-    ) -> f64 {
+    ) -> Result<f64, CommError> {
         let mut inputs = Vec::new();
         let mut targets = Vec::new();
         for seq in batch {
@@ -407,13 +408,13 @@ impl DistMoeLm {
                 c
             });
             let (x1, c1) = block.mlp.forward(&x);
-            let (x2, c2) = block.moe.forward(&x1, world, clock);
+            let (x2, c2) = block.moe.forward(&x1, world, clock)?;
             ctxs.push((attn_ctx, c1, c2));
             x = x2;
         }
         let (local_loss, mut d_x) = self.head.loss_and_backward(&x, &targets);
         for (block, (ca, c1, c2)) in self.blocks.iter_mut().zip(&ctxs).rev() {
-            d_x = block.moe.backward(c2, &d_x, world, clock);
+            d_x = block.moe.backward(c2, &d_x, world, clock)?;
             d_x = block.mlp.backward(c1, &d_x);
             if let (Some(a), Some(c)) = (block.attn.as_mut(), ca.as_ref()) {
                 d_x = a.backward(c, &d_x);
@@ -427,28 +428,28 @@ impl DistMoeLm {
         // parameters additionally all-reduce.
         let w = self.world_size as f32;
         let inv = 1.0 / w;
-        let mut reduce_avg = |t: &mut Tensor| {
+        let mut reduce_avg = |t: &mut Tensor| -> Result<(), CommError> {
             scale_assign(t, inv);
-            world.all_reduce_sum_f32(t.as_mut_slice(), clock);
+            world.all_reduce_sum_f32(t.as_mut_slice(), clock)
         };
-        reduce_avg(&mut self.embed.grad);
-        reduce_avg(&mut self.head.grad);
+        reduce_avg(&mut self.embed.grad)?;
+        reduce_avg(&mut self.head.grad)?;
         for block in &mut self.blocks {
             if let Some(a) = block.attn.as_mut() {
-                reduce_avg(&mut a.gq);
-                reduce_avg(&mut a.gk);
-                reduce_avg(&mut a.gv);
-                reduce_avg(&mut a.go);
-                reduce_avg(&mut a.norm.g_gamma);
-                reduce_avg(&mut a.norm.g_beta);
+                reduce_avg(&mut a.gq)?;
+                reduce_avg(&mut a.gk)?;
+                reduce_avg(&mut a.gv)?;
+                reduce_avg(&mut a.go)?;
+                reduce_avg(&mut a.norm.g_gamma)?;
+                reduce_avg(&mut a.norm.g_beta)?;
             }
             let mlp = &mut block.mlp;
-            reduce_avg(&mut mlp.g1);
-            reduce_avg(&mut mlp.g2);
-            reduce_avg(&mut mlp.norm.g_gamma);
-            reduce_avg(&mut mlp.norm.g_beta);
+            reduce_avg(&mut mlp.g1)?;
+            reduce_avg(&mut mlp.g2)?;
+            reduce_avg(&mut mlp.norm.g_gamma)?;
+            reduce_avg(&mut mlp.norm.g_beta)?;
             let moe = &mut block.moe;
-            reduce_avg(&mut moe.g_gate);
+            reduce_avg(&mut moe.g_gate)?;
             // Expert grads are already global (every rank's tokens were
             // dispatched here); they only need the 1/W loss scaling.
             for (g1, g2) in &mut moe.g_shard {
@@ -502,9 +503,214 @@ impl DistMoeLm {
 
         // Average the reported loss across ranks for a global curve.
         let mut l = vec![local_loss as f32];
-        world.all_reduce_sum_f32(&mut l, clock);
+        world.all_reduce_sum_f32(&mut l, clock)?;
         clock.commit("loss_allreduce");
-        (l[0] / w) as f64
+        Ok((l[0] / w) as f64)
+    }
+
+    /// Snapshot the *canonical full model* into a [`Checkpoint`]: replicated
+    /// parameters are taken locally (they are bitwise-identical on every
+    /// rank), expert shards and their Adam moments are all-gathered so every
+    /// rank ends up holding the complete expert set under global names.
+    /// Because the result is rank-agnostic, a checkpoint captured at world
+    /// size W restores onto any world size that divides the expert count —
+    /// the substrate of elastic recovery.
+    ///
+    /// `step` is the number of *completed* training steps; `rng_state` is
+    /// the data-stream RNG state at that point (see
+    /// [`crate::chaos`]). Collective time is charged under `checkpoint`.
+    pub fn capture_checkpoint(
+        &self,
+        step: u64,
+        rng_state: u64,
+        world: &Communicator,
+        clock: &mut SimClock,
+    ) -> Result<Checkpoint, CommError> {
+        let (mm, vv) = self.opt.moments();
+        let moment = |idx: usize, t: &Tensor, bufs: &[Vec<f32>]| -> Tensor {
+            match bufs.get(idx) {
+                Some(b) => Tensor::from_vec(t.rows(), t.cols(), b.clone()),
+                // Adam initializes moment slots lazily; before the first
+                // step they are implicitly zero.
+                None => Tensor::zeros(t.rows(), t.cols()),
+            }
+        };
+        let mut ckpt = Checkpoint::new(step, rng_state, self.opt.step_count());
+        // Walk the exact Adam visitation order of `train_step`, tracking the
+        // moment index; replicated params go straight in, expert slots are
+        // filled from the gathered blobs below.
+        let mut idx = 0usize;
+        let push = |ckpt: &mut Checkpoint, idx: &mut usize, name: String, t: &Tensor| {
+            ckpt.push(format!("adam.m.{name}"), moment(*idx, t, mm));
+            ckpt.push(format!("adam.v.{name}"), moment(*idx, t, vv));
+            ckpt.push(name, t.clone());
+            *idx += 1;
+        };
+        push(
+            &mut ckpt,
+            &mut idx,
+            "embed.weight".into(),
+            &self.embed.weight,
+        );
+        for (l, block) in self.blocks.iter().enumerate() {
+            if let Some(a) = &block.attn {
+                push(&mut ckpt, &mut idx, format!("block{l}.attn.wq"), &a.wq);
+                push(&mut ckpt, &mut idx, format!("block{l}.attn.wk"), &a.wk);
+                push(&mut ckpt, &mut idx, format!("block{l}.attn.wv"), &a.wv);
+                push(&mut ckpt, &mut idx, format!("block{l}.attn.wo"), &a.wo);
+                push(
+                    &mut ckpt,
+                    &mut idx,
+                    format!("block{l}.attn.gamma"),
+                    &a.norm.gamma,
+                );
+                push(
+                    &mut ckpt,
+                    &mut idx,
+                    format!("block{l}.attn.beta"),
+                    &a.norm.beta,
+                );
+            }
+            let mlp = &block.mlp;
+            push(&mut ckpt, &mut idx, format!("block{l}.mlp.w1"), &mlp.w1);
+            push(&mut ckpt, &mut idx, format!("block{l}.mlp.w2"), &mlp.w2);
+            push(
+                &mut ckpt,
+                &mut idx,
+                format!("block{l}.mlp.gamma"),
+                &mlp.norm.gamma,
+            );
+            push(
+                &mut ckpt,
+                &mut idx,
+                format!("block{l}.mlp.beta"),
+                &mlp.norm.beta,
+            );
+            let moe = &block.moe;
+            push(&mut ckpt, &mut idx, format!("block{l}.moe.gate"), &moe.gate);
+
+            // Expert shards: each rank contributes, per local expert,
+            // `w1 | m(w1) | v(w1) | w2 | m(w2) | v(w2)` as one flat blob.
+            // The all-gather gives every rank the full expert set; global
+            // expert g lives in blob `g / per`, slot `g % per`.
+            let per = moe.shard.len();
+            let (h, f) = moe.shard[0].0.shape();
+            let slot = 6 * h * f;
+            let mut blob = Vec::with_capacity(per * slot);
+            for (i, (w1, w2)) in moe.shard.iter().enumerate() {
+                for t in [
+                    w1.clone(),
+                    moment(idx + 2 * i, w1, mm),
+                    moment(idx + 2 * i, w1, vv),
+                ] {
+                    blob.extend_from_slice(t.as_slice());
+                }
+                for t in [
+                    w2.clone(),
+                    moment(idx + 2 * i + 1, w2, mm),
+                    moment(idx + 2 * i + 1, w2, vv),
+                ] {
+                    blob.extend_from_slice(t.as_slice());
+                }
+            }
+            idx += 2 * per;
+            let blobs = world.all_gather(blob, clock)?;
+            for g in 0..moe.num_experts {
+                let (owner, s) = (g / per, g % per);
+                let base = s * slot;
+                let chunk = |k: usize, rows: usize, cols: usize| -> Tensor {
+                    let start = base + k * h * f;
+                    Tensor::from_vec(rows, cols, blobs[owner][start..start + h * f].to_vec())
+                };
+                let name = format!("block{l}.moe.expert{g}");
+                ckpt.push(format!("adam.m.{name}.w1"), chunk(1, h, f));
+                ckpt.push(format!("adam.v.{name}.w1"), chunk(2, h, f));
+                ckpt.push(format!("{name}.w1"), chunk(0, h, f));
+                ckpt.push(format!("adam.m.{name}.w2"), chunk(4, f, h));
+                ckpt.push(format!("adam.v.{name}.w2"), chunk(5, f, h));
+                ckpt.push(format!("{name}.w2"), chunk(3, f, h));
+            }
+        }
+        push(&mut ckpt, &mut idx, "head.weight".into(), &self.head.weight);
+
+        // Charge the serialization as a bandwidth-bound write and claim the
+        // gathers under one stage label.
+        let bytes: usize = ckpt
+            .entries()
+            .iter()
+            .map(|(n, t)| n.len() + 20 + t.len() * 4)
+            .sum();
+        let t_io = world.cost().mem_bound_time(bytes as f64);
+        clock.charge("checkpoint", t_io);
+        clock.commit("checkpoint");
+        Ok(ckpt)
+    }
+
+    /// Rebuild a model at `(rank, world)` from a canonical [`Checkpoint`]:
+    /// construct the skeleton, overwrite every parameter by name, slice the
+    /// expert range `[rank·E/W, (rank+1)·E/W)` out of the global expert set,
+    /// and restore the Adam moments in this rank's visitation order.
+    ///
+    /// Restoring a 16-rank checkpoint at world size 8 is exactly the elastic
+    /// recovery path: survivors each adopt twice the experts, with optimizer
+    /// state intact, and the subsequent loss trajectory is bitwise identical
+    /// to a fresh 8-rank run resumed from the same bytes.
+    pub fn from_checkpoint(
+        cfg: &crate::model::TrainConfig,
+        ckpt: &Checkpoint,
+        rank: usize,
+        world: usize,
+    ) -> Self {
+        let full_layers = crate::model::build_moe_layers(cfg);
+        let mut model = Self::new(cfg, &full_layers, rank, world);
+        let mut m: Vec<Vec<f32>> = Vec::new();
+        let mut v: Vec<Vec<f32>> = Vec::new();
+        {
+            let mut load = |name: String, dst: &mut Tensor| {
+                let src = ckpt
+                    .tensor(&name)
+                    .unwrap_or_else(|| panic!("checkpoint missing entry {name}"));
+                assert_eq!(
+                    src.shape(),
+                    dst.shape(),
+                    "checkpoint entry {name} has the wrong shape"
+                );
+                dst.as_mut_slice().copy_from_slice(src.as_slice());
+                let grab = |prefix: &str| -> Vec<f32> {
+                    ckpt.tensor(&format!("{prefix}.{name}"))
+                        .map(|t| t.as_slice().to_vec())
+                        .unwrap_or_else(|| vec![0.0; src.len()])
+                };
+                m.push(grab("adam.m"));
+                v.push(grab("adam.v"));
+            };
+            load("embed.weight".into(), &mut model.embed.weight);
+            for (l, block) in model.blocks.iter_mut().enumerate() {
+                if let Some(a) = block.attn.as_mut() {
+                    load(format!("block{l}.attn.wq"), &mut a.wq);
+                    load(format!("block{l}.attn.wk"), &mut a.wk);
+                    load(format!("block{l}.attn.wv"), &mut a.wv);
+                    load(format!("block{l}.attn.wo"), &mut a.wo);
+                    load(format!("block{l}.attn.gamma"), &mut a.norm.gamma);
+                    load(format!("block{l}.attn.beta"), &mut a.norm.beta);
+                }
+                let mlp = &mut block.mlp;
+                load(format!("block{l}.mlp.w1"), &mut mlp.w1);
+                load(format!("block{l}.mlp.w2"), &mut mlp.w2);
+                load(format!("block{l}.mlp.gamma"), &mut mlp.norm.gamma);
+                load(format!("block{l}.mlp.beta"), &mut mlp.norm.beta);
+                let moe = &mut block.moe;
+                load(format!("block{l}.moe.gate"), &mut moe.gate);
+                for (i, (w1, w2)) in moe.shard.iter_mut().enumerate() {
+                    let g = moe.first_expert + i;
+                    load(format!("block{l}.moe.expert{g}.w1"), w1);
+                    load(format!("block{l}.moe.expert{g}.w2"), w2);
+                }
+            }
+            load("head.weight".into(), &mut model.head.weight);
+        }
+        model.opt.restore(ckpt.adam_step, m, v);
+        model
     }
 }
 
@@ -525,7 +731,7 @@ mod tests {
         let outs = SimCluster::frontier(world).run(|ctx| {
             let layer = DistMoe::from_trainable(&full, ctx.rank, world);
             let x = Tensor::rand_uniform(10, 8, 1.0, 700 + ctx.rank as u64);
-            let (out, _) = layer.forward(&x, &ctx.world, &mut ctx.clock);
+            let (out, _) = layer.forward(&x, &ctx.world, &mut ctx.clock).unwrap();
             out
         });
         for rank in 0..world {
@@ -550,8 +756,10 @@ mod tests {
             let mut layer = DistMoe::from_trainable(&full, ctx.rank, world);
             let x = Tensor::rand_uniform(12, 8, 1.0, 800 + ctx.rank as u64);
             let d_out = Tensor::rand_uniform(12, 8, 1.0, 900 + ctx.rank as u64);
-            let (_, ctx_f) = layer.forward(&x, &ctx.world, &mut ctx.clock);
-            let d_x = layer.backward(&ctx_f, &d_out, &ctx.world, &mut ctx.clock);
+            let (_, ctx_f) = layer.forward(&x, &ctx.world, &mut ctx.clock).unwrap();
+            let d_x = layer
+                .backward(&ctx_f, &d_out, &ctx.world, &mut ctx.clock)
+                .unwrap();
             (layer.g_shard.clone(), layer.g_gate.clone(), d_x)
         });
 
@@ -616,8 +824,10 @@ mod tests {
             let d_out = Tensor::rand_uniform(6, 8, 1.0, 980 + ctx.rank as u64);
             // Plain path.
             let mut plain = DistMoe::from_trainable(&full, ctx.rank, world);
-            let (out_a, c) = plain.forward(&x, &ctx.world, &mut ctx.clock);
-            let dx_a = plain.backward(&c, &d_out, &ctx.world, &mut ctx.clock);
+            let (out_a, c) = plain.forward(&x, &ctx.world, &mut ctx.clock).unwrap();
+            let dx_a = plain
+                .backward(&c, &d_out, &ctx.world, &mut ctx.clock)
+                .unwrap();
             let plain_a2a = ctx.clock.bucket("dispatch_a2a")
                 + ctx.clock.bucket("combine_a2a")
                 + ctx.clock.bucket("bwd_dispatch_a2a")
@@ -625,8 +835,10 @@ mod tests {
             ctx.clock.reset_buckets();
             // Checkpointed path.
             let mut ckpt = DistMoe::from_trainable(&full, ctx.rank, world);
-            let (out_b, saved) = ckpt.forward_ckpt(&x, &ctx.world, &mut ctx.clock);
-            let dx_b = ckpt.backward_ckpt(&saved, &d_out, &ctx.world, &mut ctx.clock);
+            let (out_b, saved) = ckpt.forward_ckpt(&x, &ctx.world, &mut ctx.clock).unwrap();
+            let dx_b = ckpt
+                .backward_ckpt(&saved, &d_out, &ctx.world, &mut ctx.clock)
+                .unwrap();
             let ckpt_a2a = ctx.clock.bucket("dispatch_a2a")
                 + ctx.clock.bucket("combine_a2a")
                 + ctx.clock.bucket("bwd_dispatch_a2a")
@@ -662,8 +874,10 @@ mod tests {
         let buckets = SimCluster::frontier(world).run(|ctx| {
             let mut layer = DistMoe::from_trainable(&full, ctx.rank, world);
             let x = Tensor::rand_uniform(6, 8, 1.0, 810 + ctx.rank as u64);
-            let (out, c) = layer.forward(&x, &ctx.world, &mut ctx.clock);
-            let _ = layer.backward(&c, &out, &ctx.world, &mut ctx.clock);
+            let (out, c) = layer.forward(&x, &ctx.world, &mut ctx.clock).unwrap();
+            let _ = layer
+                .backward(&c, &out, &ctx.world, &mut ctx.clock)
+                .unwrap();
             ctx.clock.buckets().to_vec()
         });
         for b in &buckets {

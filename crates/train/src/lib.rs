@@ -32,6 +32,8 @@
 
 pub mod adam;
 pub mod attention;
+pub mod chaos;
+pub mod checkpoint;
 pub mod data;
 pub mod dist;
 pub mod layers;
@@ -41,8 +43,10 @@ pub mod ssmb_train;
 
 pub use adam::Adam;
 pub use attention::Attention;
+pub use chaos::{run_chaos_rank, step_batch, ChaosConfig, ChaosReport};
+pub use checkpoint::{Checkpoint, CkptError};
 pub use data::{HigherOrderCorpus, MarkovCorpus};
 pub use dist::{DistMoe, DistMoeLm};
-pub use model::{MoeLm, TrainConfig, TrainStats};
+pub use model::{build_moe_layers, MoeLm, TrainConfig, TrainStats};
 pub use moe_layer::TrainableMoe;
 pub use ssmb_train::SsmbMoe;

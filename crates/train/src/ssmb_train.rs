@@ -9,7 +9,7 @@
 //! Wraps [`DistMoe`] (which already implements the mirrored gradient
 //! all-to-alls) with the sequence shard/gather boundary.
 
-use xmoe_collectives::{Communicator, SimClock};
+use xmoe_collectives::{CommError, Communicator, SimClock};
 use xmoe_core::ssmb::shard_range;
 use xmoe_tensor::Tensor;
 
@@ -42,18 +42,18 @@ impl SsmbMoe {
         ep: &Communicator,
         tp: &Communicator,
         clock: &mut SimClock,
-    ) -> (Tensor, SsmbCtx) {
+    ) -> Result<(Tensor, SsmbCtx), CommError> {
         let (start, end) = shard_range(tokens.rows(), tp.size(), tp.rank());
         let my_slice = tokens.slice_rows(start, end);
-        let (local_out, inner) = self.inner.forward(&my_slice, ep, clock);
-        let gathered = tp.all_gather(local_out.into_vec(), clock);
+        let (local_out, inner) = self.inner.forward(&my_slice, ep, clock)?;
+        let gathered = tp.all_gather(local_out.into_vec(), clock)?;
         clock.commit("ssmb_allgather");
         let hidden = tokens.cols();
         let mut data = Vec::with_capacity(tokens.rows() * hidden);
         for chunk in gathered {
             data.extend_from_slice(&chunk);
         }
-        (
+        Ok((
             Tensor::from_vec(tokens.rows(), hidden, data),
             SsmbCtx {
                 inner,
@@ -61,7 +61,7 @@ impl SsmbMoe {
                 end,
                 seq_len: tokens.rows(),
             },
-        )
+        ))
     }
 
     /// Backward: drop the other shards' gradient rows, mirror the MoE
@@ -78,7 +78,7 @@ impl SsmbMoe {
         ep: &Communicator,
         tp: &Communicator,
         clock: &mut SimClock,
-    ) -> Tensor {
+    ) -> Result<Tensor, CommError> {
         assert_eq!(
             d_out.rows(),
             ctx.seq_len,
@@ -87,16 +87,16 @@ impl SsmbMoe {
         // ① drop gradients outside this rank's shard.
         let d_slice = d_out.slice_rows(ctx.start, ctx.end);
         // ② expert-specific gradient computation + mirrored all-to-alls.
-        let d_local = self.inner.backward(&ctx.inner, &d_slice, ep, clock);
+        let d_local = self.inner.backward(&ctx.inner, &d_slice, ep, clock)?;
         // ③ all-gather the full input gradient across TP ranks.
-        let gathered = tp.all_gather(d_local.into_vec(), clock);
+        let gathered = tp.all_gather(d_local.into_vec(), clock)?;
         clock.commit("ssmb_bwd_allgather");
         let hidden = d_out.cols();
         let mut data = Vec::with_capacity(ctx.seq_len * hidden);
         for chunk in gathered {
             data.extend_from_slice(&chunk);
         }
-        Tensor::from_vec(ctx.seq_len, hidden, data)
+        Ok(Tensor::from_vec(ctx.seq_len, hidden, data))
     }
 }
 
@@ -120,9 +120,11 @@ mod tests {
         let world = 2;
         let outs = SimCluster::frontier(world).run(|ctx| {
             let layer = SsmbMoe::new(DistMoe::from_trainable(&full, ctx.rank, world));
-            let tp = ctx.world.split(0, &mut ctx.clock); // whole world is one TP group
+            let tp = ctx.world.split(0, &mut ctx.clock).unwrap(); // whole world is one TP group
             let tokens = Tensor::rand_uniform(12, 8, 1.0, 910);
-            let (out, _) = layer.forward(&tokens, &ctx.world, &tp, &mut ctx.clock);
+            let (out, _) = layer
+                .forward(&tokens, &ctx.world, &tp, &mut ctx.clock)
+                .unwrap();
             out
         });
         // Reference: single-rank full layer on the full sequence.
@@ -147,9 +149,13 @@ mod tests {
             let (tokens, d_out, full) = (&tokens, &d_out, &full);
             SimCluster::frontier(world).run(move |ctx| {
                 let mut layer = SsmbMoe::new(DistMoe::from_trainable(full, ctx.rank, world));
-                let tp = ctx.world.split(0, &mut ctx.clock);
-                let (_, c) = layer.forward(tokens, &ctx.world, &tp, &mut ctx.clock);
-                let d_x = layer.backward(&c, d_out, &ctx.world, &tp, &mut ctx.clock);
+                let tp = ctx.world.split(0, &mut ctx.clock).unwrap();
+                let (_, c) = layer
+                    .forward(tokens, &ctx.world, &tp, &mut ctx.clock)
+                    .unwrap();
+                let d_x = layer
+                    .backward(&c, d_out, &ctx.world, &tp, &mut ctx.clock)
+                    .unwrap();
                 (d_x, layer.inner.g_shard.clone(), layer.inner.g_gate.clone())
             })
         };
@@ -195,10 +201,14 @@ mod tests {
         let world = 2;
         let buckets = SimCluster::frontier(world).run(|ctx| {
             let mut layer = SsmbMoe::new(DistMoe::from_trainable(&full, ctx.rank, world));
-            let tp = ctx.world.split(0, &mut ctx.clock);
+            let tp = ctx.world.split(0, &mut ctx.clock).unwrap();
             let tokens = Tensor::rand_uniform(8, 8, 1.0, 950);
-            let (out, c) = layer.forward(&tokens, &ctx.world, &tp, &mut ctx.clock);
-            let _ = layer.backward(&c, &out, &ctx.world, &tp, &mut ctx.clock);
+            let (out, c) = layer
+                .forward(&tokens, &ctx.world, &tp, &mut ctx.clock)
+                .unwrap();
+            let _ = layer
+                .backward(&c, &out, &ctx.world, &tp, &mut ctx.clock)
+                .unwrap();
             (
                 ctx.clock.bucket("ssmb_allgather"),
                 ctx.clock.bucket("ssmb_bwd_allgather"),

@@ -49,7 +49,8 @@ fn main() {
                 spec,
                 &ctx.world,
                 &mut ctx.clock,
-            );
+            )
+            .unwrap();
             (out.norm(), ctx.clock.buckets().to_vec())
         })
     };
@@ -61,7 +62,7 @@ fn main() {
         SimCluster::frontier(world).run(move |ctx| {
             let shard = ExpertShard::for_rank(ctx.rank, world, experts, hidden, ffn, 13);
             let tokens = Tensor::rand_uniform(seq, hidden, 1.0, 100 + ctx.rank as u64);
-            let comms = RbdComms::create(&ctx.world, &mut ctx.clock);
+            let comms = RbdComms::create(&ctx.world, &mut ctx.clock).unwrap();
             let mut rng = DetRng::new(14 + ctx.rank as u64);
             let out = rbd::forward_ep_rbd(
                 &tokens,
@@ -71,7 +72,8 @@ fn main() {
                 &comms,
                 &mut rng,
                 &mut ctx.clock,
-            );
+            )
+            .unwrap();
             (out.norm(), ctx.clock.buckets().to_vec())
         })
     };

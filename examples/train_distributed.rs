@@ -42,7 +42,11 @@ fn main() {
             let mut losses = Vec::new();
             for _ in 0..steps {
                 let batch = corpus.batch(cfg.batch, cfg.seq_len);
-                losses.push(model.train_step(&batch, &ctx.world, &mut ctx.clock));
+                losses.push(
+                    model
+                        .train_step(&batch, &ctx.world, &mut ctx.clock)
+                        .unwrap(),
+                );
             }
             (losses, ctx.clock.buckets().to_vec(), ctx.world.traffic())
         })

@@ -24,6 +24,13 @@
 //!     (min/mean/max/straggler per stage, sync-wait split out).
 //!     `--trace` writes a Chrome trace-event JSON (open in Perfetto);
 //!     `--csv` writes the raw per-rank spans.
+//!
+//! xmoe-cli chaos [ranks] [--faults <spec>] [--ckpt-every N] [--steps N] [--seed S]
+//!     Fault-injected distributed training with checkpoint/restore and
+//!     elastic recovery. `<spec>` is a semicolon-separated fault schedule,
+//!     e.g. `slow:rank=2,x=4,from=1,until=3;kill:rank=6,at=4` (see
+//!     `FaultPlan::parse`). Prints the loss trajectory, every recovery
+//!     (failed ranks, replayed steps, MTTR) and the final world size.
 //! ```
 
 use std::path::Path;
@@ -39,7 +46,8 @@ use xmoe::core::pft::Pft;
 use xmoe::core::pipeline::{self, DenseDropOrder, MoeLayerSpec};
 use xmoe::core::rbd::{self, expected_redundancy_uniform, RbdComms};
 use xmoe::tensor::{DetRng, Tensor};
-use xmoe::topology::{ClusterTopology, CostModel, MachineSpec};
+use xmoe::topology::{ClusterTopology, CostModel, FaultPlan, MachineSpec};
+use xmoe::train::{run_chaos_rank, ChaosConfig, TrainConfig};
 
 fn model_by_name(name: &str) -> Option<MoeModelConfig> {
     match name.to_ascii_lowercase().as_str() {
@@ -58,7 +66,8 @@ fn usage() -> ! {
          xmoe-cli throughput <small|medium|large|super> <gpus>\n  \
          xmoe-cli alltoall <gpus> <mbytes-per-rank>\n  \
          xmoe-cli analyze <experts> <topk> [tokens]\n  \
-         xmoe-cli step <dense|pft|blocksparse|rbd> [ranks] [--trace <path>] [--csv <path>]"
+         xmoe-cli step <dense|pft|blocksparse|rbd> [ranks] [--trace <path>] [--csv <path>]\n  \
+         xmoe-cli chaos [ranks] [--faults <spec>] [--ckpt-every N] [--steps N] [--seed S]"
     );
     std::process::exit(2);
 }
@@ -72,8 +81,114 @@ fn main() {
         Some("alltoall") => cmd_alltoall(&args[1..]),
         Some("analyze") => cmd_analyze(&args[1..]),
         Some("step") => cmd_step(&args[1..]),
+        Some("chaos") => cmd_chaos(&args[1..]),
         _ => usage(),
     }
+}
+
+fn cmd_chaos(args: &[String]) {
+    let mut ranks = 4usize;
+    let mut faults = String::new();
+    let mut ckpt_every = 2u64;
+    let mut steps = 8u64;
+    let mut seed = 0u64;
+    let mut i = 0usize;
+    while i < args.len() {
+        let flag_val = |i: usize| {
+            args.get(i + 1)
+                .map(String::as_str)
+                .unwrap_or_else(|| usage())
+        };
+        match args[i].as_str() {
+            "--faults" => {
+                faults = flag_val(i).to_string();
+                i += 2;
+            }
+            "--ckpt-every" => {
+                ckpt_every = flag_val(i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--steps" => {
+                steps = flag_val(i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--seed" => {
+                seed = flag_val(i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            s => {
+                ranks = s.parse().unwrap_or_else(|_| usage());
+                i += 1;
+            }
+        }
+    }
+    let plan = FaultPlan::parse(seed, &faults).unwrap_or_else(|e| {
+        eprintln!("bad --faults spec: {e}");
+        std::process::exit(2);
+    });
+
+    // Reduced-dimension training config; experts divide the rank count so
+    // elastic recovery can re-shard onto survivors.
+    let mut cfg = TrainConfig::fig15(DropPolicy::CapacityOnly);
+    cfg.vocab = 64;
+    cfg.hidden = 16;
+    cfg.ffn = 8;
+    cfg.num_experts = 2 * ranks;
+    cfg.top_k = 2;
+    cfg.layers = 2;
+    cfg.seq_len = 12;
+    cfg.batch = 2;
+    cfg.capacity_factor = 1e6;
+    cfg.seed = seed ^ 0xC805;
+    let chaos = ChaosConfig { steps, ckpt_every };
+
+    println!(
+        "chaos run: {ranks} simulated Frontier ranks, {steps} steps, checkpoint every {} | faults: {}",
+        if ckpt_every == 0 { "never".to_string() } else { ckpt_every.to_string() },
+        if faults.is_empty() { "none" } else { &faults }
+    );
+    let reports = {
+        let cfg = &cfg;
+        let chaos = &chaos;
+        SimCluster::frontier(ranks)
+            .with_faults(plan)
+            .run(move |ctx| {
+                let report = run_chaos_rank(cfg, chaos, ctx).expect("unrecoverable comm fault");
+                (report, ctx.clock.now())
+            })
+    };
+
+    let (survivor, end_time) = reports
+        .iter()
+        .find(|(r, _)| r.exited_at.is_none())
+        .expect("at least one rank must survive the schedule");
+    for (step, loss) in &survivor.losses {
+        println!("  step {step:>3}  loss {loss:.6}");
+    }
+    for (r, _) in &reports {
+        if let Some(at) = r.exited_at {
+            println!("rank {} killed at step {at}", r.global_rank);
+        }
+    }
+    for rec in &survivor.recoveries {
+        println!(
+            "recovery: ranks {:?} died at step {} | resumed from {} ({} replayed) | \
+             detect {:.2}ms restore {:.2}ms mttr {:.2}ms",
+            rec.failed_ranks,
+            rec.failed_at_step,
+            rec.resumed_from_step,
+            rec.steps_replayed,
+            rec.detect_time * 1e3,
+            rec.restore_time * 1e3,
+            rec.mttr * 1e3
+        );
+    }
+    println!(
+        "final world {} of {ranks} | last checkpoint {} bytes | simulated time {:.2}ms",
+        survivor.final_world,
+        survivor.last_ckpt.as_ref().map_or(0, Vec::len),
+        end_time * 1e3
+    );
 }
 
 fn cmd_step(args: &[String]) {
@@ -155,7 +270,7 @@ fn cmd_step(args: &[String]) {
                     );
                 }
                 "rbd" => {
-                    let comms = RbdComms::create(&ctx.world, &mut ctx.clock);
+                    let comms = RbdComms::create(&ctx.world, &mut ctx.clock).unwrap();
                     let mut rng = DetRng::new(0x57EC + ctx.rank as u64);
                     let _ = rbd::forward_ep_rbd(
                         &tokens,

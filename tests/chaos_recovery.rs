@@ -1,0 +1,217 @@
+//! Tier-1 chaos-engine invariants.
+//!
+//! 1. **Elastic recovery is bitwise deterministic**: kill half the ranks
+//!    exactly on a checkpoint boundary; the survivors re-form the group,
+//!    reload the checkpoint, and their subsequent per-step losses are
+//!    bitwise identical (`f64::to_bits`) to a fresh run of the surviving
+//!    configuration restored from the same bytes.
+//! 2. **Same-world restore is a no-op**: capture mid-run, restore into a
+//!    fresh model at the same world size, and the continued trajectory is
+//!    bitwise identical to the uninterrupted run (pins Adam moment order,
+//!    including the gathered expert moments).
+//! 3. **Transient link flaps surface as `fault_retry:*` spans** and the
+//!    PR-1 span-exactness invariant (spans sum to `clock.now()`) holds
+//!    under retries.
+
+use xmoe::collectives::{FaultPlan, LinkTier, RankTrace, SimCluster};
+use xmoe::core::gating::DropPolicy;
+use xmoe::tensor::DetRng;
+use xmoe::train::{
+    run_chaos_rank, step_batch, ChaosConfig, ChaosReport, Checkpoint, DistMoeLm, TrainConfig,
+};
+
+fn cfg() -> TrainConfig {
+    let mut c = TrainConfig::fig15(DropPolicy::CapacityOnly);
+    c.vocab = 32;
+    c.hidden = 16;
+    c.ffn = 8;
+    c.num_experts = 8;
+    c.top_k = 2;
+    c.layers = 2;
+    c.seq_len = 10;
+    c.batch = 2;
+    c.capacity_factor = 1e6;
+    c.seed = 77;
+    c
+}
+
+fn chaos_run(world: usize, plan: Option<FaultPlan>, chaos: ChaosConfig) -> Vec<ChaosReport> {
+    let cfg = cfg();
+    let cluster = match plan {
+        Some(p) => SimCluster::frontier(world).with_faults(p),
+        None => SimCluster::frontier(world),
+    };
+    let cfg = &cfg;
+    cluster.run(move |ctx| run_chaos_rank(cfg, &chaos, ctx).unwrap())
+}
+
+/// Continue training from a checkpoint on a fresh cluster of `world` ranks.
+fn resume_reference(world: usize, bytes: &[u8], until: u64) -> Vec<Vec<(u64, f64)>> {
+    let cfg = cfg();
+    let cfg = &cfg;
+    SimCluster::frontier(world).run(move |ctx| {
+        let ckpt = Checkpoint::decode(bytes).unwrap();
+        let mut model = DistMoeLm::from_checkpoint(cfg, &ckpt, ctx.rank, world);
+        let mut rng = DetRng::from_state(ckpt.rng_state);
+        let comm = ctx.world.clone();
+        let mut losses = Vec::new();
+        for step in ckpt.step..until {
+            ctx.set_step(step);
+            comm.set_step(step);
+            let step_seed = rng.next_u64();
+            let batch = step_batch(cfg, step_seed, comm.rank());
+            let loss = model.train_step(&batch, &comm, &mut ctx.clock).unwrap();
+            losses.push((step, loss));
+        }
+        losses
+    })
+}
+
+#[test]
+fn elastic_recovery_on_checkpoint_boundary_is_bitwise_deterministic() {
+    let world = 4;
+    let steps = 6u64;
+    let chaos = ChaosConfig {
+        steps,
+        ckpt_every: 2,
+    };
+    // Ranks 2 and 3 die at step 4 — exactly the step the last checkpoint
+    // (captured at the end of step 3) covers, so nothing is replayed.
+    let plan = FaultPlan::new(1).kill(2, 4).kill(3, 4);
+    let reports = chaos_run(world, Some(plan), chaos);
+
+    for r in &reports[2..] {
+        assert_eq!(
+            r.exited_at,
+            Some(4),
+            "rank {} should die at 4",
+            r.global_rank
+        );
+        assert!(r.recoveries.is_empty());
+    }
+    for r in &reports[..2] {
+        assert_eq!(r.exited_at, None);
+        assert_eq!(r.final_world, 2);
+        assert_eq!(r.losses.len(), steps as usize, "one loss per step");
+        assert_eq!(r.recoveries.len(), 1);
+        let rec = &r.recoveries[0];
+        assert_eq!(rec.failed_ranks, vec![2, 3]);
+        assert_eq!(rec.failed_at_step, 4);
+        assert_eq!(rec.resumed_from_step, 4);
+        assert_eq!(rec.steps_replayed, 0, "boundary failure replays nothing");
+        assert!(rec.detect_time > 0.0 && rec.restore_time > 0.0);
+        assert!(rec.mttr >= rec.detect_time + rec.restore_time - 1e-12);
+    }
+    // Survivors agree on the loss curve (losses are world-averaged).
+    let bits = |l: &[(u64, f64)]| -> Vec<(u64, u64)> {
+        l.iter().map(|&(s, v)| (s, v.to_bits())).collect()
+    };
+    assert_eq!(bits(&reports[0].losses), bits(&reports[1].losses));
+
+    // A fault-free run of the same world, stopped at the failure step,
+    // reproduces the checkpoint the survivors recovered from.
+    let pre = chaos_run(
+        world,
+        None,
+        ChaosConfig {
+            steps: 4,
+            ckpt_every: 2,
+        },
+    );
+    let ckpt_bytes = pre[0].last_ckpt.clone().expect("checkpoint captured");
+    assert_eq!(Checkpoint::decode(&ckpt_bytes).unwrap().step, 4);
+    // Pre-failure prefix matches the fault-free run bitwise.
+    assert_eq!(
+        bits(&reports[0].losses[..4]),
+        bits(&pre[0].losses),
+        "pre-failure trajectory must be unaffected by the scheduled fault"
+    );
+
+    // The gold standard: a *fresh two-rank cluster* restoring the same
+    // bytes produces bitwise-identical losses to the survivors.
+    let reference = resume_reference(2, &ckpt_bytes, steps);
+    for (rank, r) in reference.iter().enumerate() {
+        assert_eq!(
+            bits(r),
+            bits(&reports[rank].losses[4..]),
+            "rank {rank}: post-recovery losses must match a fresh surviving-world run"
+        );
+    }
+}
+
+#[test]
+fn same_world_restore_continues_bitwise_identically() {
+    let world = 4;
+    // Uninterrupted 6-step run, checkpointing after step 4.
+    let full = chaos_run(
+        world,
+        None,
+        ChaosConfig {
+            steps: 6,
+            ckpt_every: 4,
+        },
+    );
+    let short = chaos_run(
+        world,
+        None,
+        ChaosConfig {
+            steps: 4,
+            ckpt_every: 4,
+        },
+    );
+    let bytes = short[0].last_ckpt.clone().unwrap();
+    let resumed = resume_reference(world, &bytes, 6);
+    for rank in 0..world {
+        let tail: Vec<(u64, u64)> = full[rank].losses[4..]
+            .iter()
+            .map(|&(s, v)| (s, v.to_bits()))
+            .collect();
+        let res: Vec<(u64, u64)> = resumed[rank]
+            .iter()
+            .map(|&(s, v)| (s, v.to_bits()))
+            .collect();
+        assert_eq!(tail, res, "rank {rank}: restore must not perturb training");
+    }
+}
+
+#[test]
+fn link_flaps_produce_retry_spans_and_exact_accounting() {
+    let world = 16; // two Frontier nodes => inter-node links exist
+    let mut c = cfg();
+    c.num_experts = 16;
+    let chaos = ChaosConfig {
+        steps: 2,
+        ckpt_every: 0,
+    };
+    let plan = FaultPlan::new(3).flap(LinkTier::Inter, 2, 0, 10);
+    let traces = {
+        let c = &c;
+        SimCluster::frontier(world)
+            .with_faults(plan)
+            .run(move |ctx| {
+                run_chaos_rank(c, &chaos, ctx).unwrap();
+                RankTrace::capture(ctx.rank, &mut ctx.clock, ctx.world.traffic())
+            })
+    };
+    let mut saw_retry = false;
+    for tr in &traces {
+        let span_sum: f64 = tr.spans.iter().map(|s| s.dur).sum();
+        assert!(
+            (span_sum - tr.end).abs() < 1e-9,
+            "rank {}: spans sum {span_sum} != clock {}",
+            tr.rank,
+            tr.end
+        );
+        if tr
+            .bucket_totals()
+            .iter()
+            .any(|(l, v)| l.starts_with("fault_retry:") && *v > 0.0)
+        {
+            saw_retry = true;
+        }
+    }
+    assert!(
+        saw_retry,
+        "flapping links must be visible as fault_retry:* spans"
+    );
+}

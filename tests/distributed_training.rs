@@ -71,7 +71,7 @@ fn four_rank_dp_ep_training_matches_single_process() {
             let mut model = DistMoeLm::new(cfg, full_layers, ctx.rank, world);
             let mut losses = Vec::new();
             for batch in per_rank[ctx.rank].iter().take(steps) {
-                losses.push(model.train_step(batch, &ctx.world, &mut ctx.clock));
+                losses.push(model.train_step(batch, &ctx.world, &mut ctx.clock).unwrap());
             }
             // Return the replicated head weights and this rank's expert
             // shard for trajectory comparison.
@@ -159,7 +159,7 @@ fn distributed_training_reduces_loss() {
             let mut model = DistMoeLm::new(cfg, full_layers, ctx.rank, world);
             let mut l = Vec::new();
             for batch in per_rank[ctx.rank].iter().take(steps) {
-                l.push(model.train_step(batch, &ctx.world, &mut ctx.clock));
+                l.push(model.train_step(batch, &ctx.world, &mut ctx.clock).unwrap());
             }
             l
         })

@@ -67,6 +67,7 @@ fn run_case(case: &Case) {
                 &ctx.world,
                 &mut ctx.clock,
             )
+            .unwrap()
         })
     };
     check(case, &pf, "padding-free EP");
@@ -93,6 +94,7 @@ fn run_case(case: &Case) {
                 &ctx.world,
                 &mut ctx.clock,
             )
+            .unwrap()
         })
     };
     check(case, &dense, "dense padded EP");
@@ -110,7 +112,7 @@ fn run_case(case: &Case) {
                 case.seed + 1,
             );
             let tokens = Tensor::rand_uniform(case.seq, case.hidden, 1.0, 5000 + ctx.rank as u64);
-            let comms = RbdComms::create(&ctx.world, &mut ctx.clock);
+            let comms = RbdComms::create(&ctx.world, &mut ctx.clock).unwrap();
             let mut rng = DetRng::new(case.seed + 77 + ctx.rank as u64);
             rbd::forward_ep_rbd(
                 &tokens,
@@ -121,6 +123,7 @@ fn run_case(case: &Case) {
                 &mut rng,
                 &mut ctx.clock,
             )
+            .unwrap()
         })
     };
     check(case, &rbd_out, "RBD EP");
@@ -230,8 +233,8 @@ fn ssmb_matches_reference_over_tp_dp_grid() {
             let shard = ExpertShard::for_rank(ctx.rank, 4, experts, hidden, ffn, seed + 1);
             let dp_group = ctx.rank / 2;
             let tokens = Tensor::rand_uniform(seq, hidden, 1.0, 9000 + dp_group as u64);
-            let comms = SsmbComms::create(&ctx.world, 2, &mut ctx.clock);
-            ssmb::forward_ssmb(&tokens, router, &shard, spec, &comms, &mut ctx.clock)
+            let comms = SsmbComms::create(&ctx.world, 2, &mut ctx.clock).unwrap();
+            ssmb::forward_ssmb(&tokens, router, &shard, spec, &comms, &mut ctx.clock).unwrap()
         })
     };
     let full_experts = ExpertShard::full(experts, hidden, ffn, seed + 1);

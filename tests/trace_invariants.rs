@@ -63,7 +63,7 @@ fn run_pipeline(which: &'static str) -> Vec<RankTrace> {
                 );
             }
             "rbd" => {
-                let comms = RbdComms::create(&ctx.world, &mut ctx.clock);
+                let comms = RbdComms::create(&ctx.world, &mut ctx.clock).unwrap();
                 let mut rng = DetRng::new(0xBF1 + ctx.rank as u64);
                 let _ = rbd::forward_ep_rbd(
                     &tokens,

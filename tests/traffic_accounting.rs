@@ -61,7 +61,7 @@ fn rbd_off_node_bytes_shrink_by_the_redundancy_factor() {
             .run(move |ctx| {
                 let shard = ExpertShard::for_rank(ctx.rank, WORLD, E, H, F, 1302);
                 let tokens = Tensor::rand_uniform(S, H, 1.0, 1400 + ctx.rank as u64);
-                let comms = RbdComms::create(&ctx.world, &mut ctx.clock);
+                let comms = RbdComms::create(&ctx.world, &mut ctx.clock).unwrap();
                 let mut rng = DetRng::new(1500 + ctx.rank as u64);
                 let _ = rbd::forward_ep_rbd(
                     &tokens,
