@@ -22,6 +22,26 @@
 //! labels. This replaces the old `bucket_last` pattern, which attributed only
 //! the final `advance` delta and dropped sync-wait (and any earlier unclaimed
 //! advance) on the floor.
+//!
+//! # Overlap regions
+//!
+//! A pipelined schedule (chunked dispatch all-to-all overlapped with expert
+//! GEMMs) advances communication and computation *concurrently*. Inside an
+//! overlap region ([`begin_overlap`](SimClock::begin_overlap) ..
+//! [`end_overlap`](SimClock::end_overlap)) the clock keeps one cursor per
+//! named track ([`set_track`](SimClock::set_track)); every advance lands on
+//! the active track, and closing the region jumps the wall clock to the max
+//! over tracks. Cross-track dependencies ("this GEMM needs chunk *i*'s data")
+//! are expressed by `advance_to_op` against the other track's time
+//! ([`track_time`](SimClock::track_time)), which records honest sync-wait on
+//! the waiting track.
+//!
+//! This extends the serial span-exactness invariant: *within each track* the
+//! spans sum exactly to the track's elapsed time, and the region's wall-clock
+//! advance equals the max over tracks. Bucket totals keep accumulating the
+//! full per-track durations — total *work* — so inside overlap regions the
+//! bucket sum exceeds the wall-clock advance by exactly the hidden
+//! (overlapped) time.
 
 use crate::trace::Span;
 
@@ -44,6 +64,20 @@ struct Pending {
     start: f64,
     dur: f64,
     kind: Kind,
+    /// Overlap track the slice was recorded on (`None` outside regions).
+    track: Option<String>,
+}
+
+/// An open overlap region: independent per-track cursors that start at the
+/// region's opening time and are joined (max) when the region closes.
+#[derive(Clone, Debug)]
+struct Overlap {
+    /// Wall-clock time the region opened; every track starts here.
+    t0: f64,
+    /// `(name, absolute cursor)` per track, in creation order.
+    tracks: Vec<(String, f64)>,
+    /// Which track new time lands on.
+    active: usize,
 }
 
 /// Simulated wall-clock of one rank, in seconds.
@@ -53,6 +87,7 @@ pub struct SimClock {
     spans: Vec<Span>,
     pending: Vec<Pending>,
     buckets: Vec<(String, f64)>,
+    overlap: Option<Overlap>,
 }
 
 impl SimClock {
@@ -60,9 +95,94 @@ impl SimClock {
         Self::default()
     }
 
-    /// Current simulated time in seconds.
+    /// Current simulated time in seconds. Inside an overlap region this is
+    /// the *active track's* cursor (the time the next advance starts at).
     pub fn now(&self) -> f64 {
-        self.now
+        match &self.overlap {
+            Some(o) => o.tracks.get(o.active).map_or(o.t0, |(_, t)| *t),
+            None => self.now,
+        }
+    }
+
+    /// The current cursor plus the track tag it belongs to, lazily creating
+    /// a default track when an overlap region is advanced before any
+    /// [`set_track`](Self::set_track).
+    fn cursor(&mut self) -> (f64, Option<String>) {
+        match &mut self.overlap {
+            Some(o) => {
+                if o.tracks.is_empty() {
+                    o.tracks.push(("main".to_string(), o.t0));
+                    o.active = 0;
+                }
+                let (name, t) = &o.tracks[o.active];
+                (*t, Some(name.clone()))
+            }
+            None => (self.now, None),
+        }
+    }
+
+    fn set_cursor(&mut self, t: f64) {
+        match &mut self.overlap {
+            Some(o) => o.tracks[o.active].1 = t,
+            None => self.now = t,
+        }
+    }
+
+    /// Open an overlap region. Pending time is flushed first (it belongs to
+    /// the serial prefix); regions do not nest.
+    pub fn begin_overlap(&mut self, _region: &str) {
+        assert!(self.overlap.is_none(), "overlap regions do not nest");
+        self.flush();
+        self.overlap = Some(Overlap {
+            t0: self.now,
+            tracks: Vec::new(),
+            active: 0,
+        });
+    }
+
+    /// Select (creating on first use) the track subsequent advances land on.
+    /// New tracks start at the region's opening time.
+    pub fn set_track(&mut self, name: &str) {
+        let o = self
+            .overlap
+            .as_mut()
+            .expect("set_track outside an overlap region");
+        match o.tracks.iter().position(|(n, _)| n == name) {
+            Some(i) => o.active = i,
+            None => {
+                o.tracks.push((name.to_string(), o.t0));
+                o.active = o.tracks.len() - 1;
+            }
+        }
+    }
+
+    /// Absolute cursor of a named track in the open region, if it exists.
+    /// Used to express cross-track dependencies (a compute chunk waiting on
+    /// its dispatch chunk's arrival time).
+    pub fn track_time(&self, name: &str) -> Option<f64> {
+        self.overlap
+            .as_ref()
+            .and_then(|o| o.tracks.iter().find(|(n, _)| n == name).map(|(_, t)| *t))
+    }
+
+    /// Is an overlap region currently open?
+    pub fn in_overlap(&self) -> bool {
+        self.overlap.is_some()
+    }
+
+    /// Close the open region: flush pending track time, jump the wall clock
+    /// to the max over tracks, and return the region's wall-clock duration.
+    pub fn end_overlap(&mut self) -> f64 {
+        let o = self
+            .overlap
+            .take()
+            .expect("end_overlap without begin_overlap");
+        // Pendings carry their own track tags, so flushing after the take
+        // still attributes them to the right track.
+        self.flush();
+        let wall = o.tracks.iter().fold(o.t0, |m, &(_, t)| m.max(t));
+        self.now = wall;
+        wall - o.t0
     }
 
     /// Advance by `dt` seconds of work (`dt >= 0`), attribution deferred to
@@ -93,27 +213,31 @@ impl SimClock {
 
     fn push_pending(&mut self, op: &str, dt: f64, kind: Kind) {
         debug_assert!(dt >= 0.0, "negative time step {dt}");
+        let (start, track) = self.cursor();
         if dt > 0.0 {
             self.pending.push(Pending {
                 fallback: op.to_string(),
-                start: self.now,
+                start,
                 dur: dt,
                 kind,
+                track,
             });
         }
-        self.now += dt;
+        self.set_cursor(start + dt);
     }
 
     /// [`advance_to`](Self::advance_to) with an explicit fallback label.
     pub fn advance_to_op(&mut self, op: &str, t: f64) {
-        if t > self.now {
+        let (cur, track) = self.cursor();
+        if t > cur {
             self.pending.push(Pending {
                 fallback: op.to_string(),
-                start: self.now,
-                dur: t - self.now,
+                start: cur,
+                dur: t - cur,
                 kind: Kind::Wait,
+                track,
             });
-            self.now = t;
+            self.set_cursor(t);
         }
     }
 
@@ -123,9 +247,9 @@ impl SimClock {
     pub fn charge(&mut self, label: &str, dt: f64) {
         self.flush();
         debug_assert!(dt >= 0.0, "negative time step {dt}");
-        let start = self.now;
-        self.now += dt;
-        self.record(label, start, dt, Kind::Work);
+        let (start, track) = self.cursor();
+        self.set_cursor(start + dt);
+        self.record(label, start, dt, Kind::Work, track);
     }
 
     /// Claim all pending time for `label`: transfer/work slices land in the
@@ -137,7 +261,7 @@ impl SimClock {
         let mut total = 0.0;
         for p in drained {
             total += p.dur;
-            self.record(label, p.start, p.dur, p.kind);
+            self.record(label, p.start, p.dur, p.kind, p.track);
         }
         total
     }
@@ -149,7 +273,7 @@ impl SimClock {
         let drained = std::mem::take(&mut self.pending);
         for p in drained {
             let label = p.fallback.clone();
-            self.record(&label, p.start, p.dur, p.kind);
+            self.record(&label, p.start, p.dur, p.kind, p.track);
         }
     }
 
@@ -180,7 +304,7 @@ impl SimClock {
         }
     }
 
-    fn record(&mut self, label: &str, start: f64, dur: f64, kind: Kind) {
+    fn record(&mut self, label: &str, start: f64, dur: f64, kind: Kind, track: Option<String>) {
         match kind {
             Kind::Work => self.attribute(label, dur),
             Kind::Wait => self.attribute(&format!("sync_wait:{label}"), dur),
@@ -192,6 +316,7 @@ impl SimClock {
             dur,
             wait: kind == Kind::Wait,
             retry: kind == Kind::Retry,
+            track,
         });
     }
 
@@ -218,7 +343,8 @@ impl SimClock {
         &self.buckets
     }
 
-    /// All committed spans in chronological order.
+    /// All committed spans in chronological order (per track; tracks of one
+    /// overlap region interleave by commit order).
     pub fn spans(&self) -> &[Span] {
         &self.spans
     }
@@ -354,5 +480,83 @@ mod tests {
         assert_eq!(c.now(), 1.0);
         assert!(c.buckets().is_empty());
         assert!(c.spans().is_empty());
+    }
+
+    #[test]
+    fn overlap_wall_is_max_over_tracks() {
+        let mut c = SimClock::new();
+        c.charge("gating", 1.0);
+        c.begin_overlap("dispatch_compute");
+        c.set_track("comm");
+        c.advance_op("all_to_all", 0.4);
+        c.commit("dispatch_a2a");
+        c.set_track("compute");
+        c.charge("expert", 0.7);
+        c.set_track("comm");
+        c.advance_op("all_to_all", 0.1);
+        c.commit("combine_a2a");
+        let wall = c.end_overlap();
+        // comm track elapsed 0.5, compute track 0.7 → region wall = 0.7.
+        assert!((wall - 0.7).abs() < 1e-12);
+        assert!((c.now() - 1.7).abs() < 1e-12);
+        // Buckets keep the full per-track work: 1.0 + 0.5 + 0.7 = 2.2.
+        let bsum: f64 = c.buckets().iter().map(|(_, t)| t).sum();
+        assert!((bsum - 2.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlap_tracks_start_at_region_open_and_resume_serial() {
+        let mut c = SimClock::new();
+        c.charge("a", 2.0);
+        c.begin_overlap("r");
+        c.set_track("x");
+        assert_eq!(c.now(), 2.0);
+        c.charge("wx", 1.0);
+        c.set_track("y");
+        assert_eq!(c.now(), 2.0); // new track starts at t0, not at x's cursor
+        c.charge("wy", 0.25);
+        c.end_overlap();
+        assert!((c.now() - 3.0).abs() < 1e-12);
+        c.charge("b", 1.0);
+        assert!((c.now() - 4.0).abs() < 1e-12);
+        // Serial spans are trackless; overlapped ones carry their track.
+        assert_eq!(c.spans()[0].track, None);
+        assert_eq!(c.spans()[1].track.as_deref(), Some("x"));
+        assert_eq!(c.spans()[2].track.as_deref(), Some("y"));
+        assert_eq!(c.spans()[3].track, None);
+    }
+
+    #[test]
+    fn cross_track_dependency_records_wait_on_waiting_track() {
+        let mut c = SimClock::new();
+        c.begin_overlap("r");
+        c.set_track("comm");
+        c.advance_op("all_to_all", 0.5);
+        c.commit("dispatch_a2a");
+        c.set_track("compute");
+        let ready = c.track_time("comm").unwrap();
+        c.advance_to_op("expert", ready);
+        c.charge("expert", 0.2);
+        let wall = c.end_overlap();
+        assert!((wall - 0.7).abs() < 1e-12);
+        assert!((c.bucket("sync_wait:expert") - 0.5).abs() < 1e-12);
+        // Per-track exactness: each track's spans sum to its elapsed time.
+        let track_sum = |name: &str| -> f64 {
+            c.spans()
+                .iter()
+                .filter(|s| s.track.as_deref() == Some(name))
+                .map(|s| s.dur)
+                .sum()
+        };
+        assert!((track_sum("comm") - 0.5).abs() < 1e-12);
+        assert!((track_sum("compute") - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap regions do not nest")]
+    fn overlap_regions_do_not_nest() {
+        let mut c = SimClock::new();
+        c.begin_overlap("a");
+        c.begin_overlap("b");
     }
 }

@@ -346,9 +346,28 @@ impl Communicator {
     /// advance by the same collective time.
     pub fn all_to_all_v<T: Clone + Send + 'static>(
         &self,
-        mut send: Vec<Vec<T>>,
+        send: Vec<Vec<T>>,
         clock: &mut SimClock,
     ) -> Result<Vec<Vec<T>>, CommError> {
+        self.issue_all_to_all_v(send, clock)?.wait(clock)
+    }
+
+    /// Nonblocking uneven all-to-all (`MPI_Ialltoallv`): fire all sends,
+    /// stamped with the caller's clock at issue time, and return a
+    /// [`PendingOp`] to be [`wait`](PendingOp::wait)-ed later. Between issue
+    /// and wait the caller may advance its clock with other work (e.g. an
+    /// expert GEMM on another overlap track) — the wait then synchronizes to
+    /// `max(own clock, peer issue stamps)` and charges the priced transfer.
+    ///
+    /// SPMD discipline still applies: every rank must issue and wait its
+    /// collectives in the same program order (channels are FIFO per
+    /// (src, dst) pair, so interleaved chunked exchanges match up as long as
+    /// the issue order is uniform across ranks).
+    pub fn issue_all_to_all_v<T: Clone + Send + 'static>(
+        &self,
+        mut send: Vec<Vec<T>>,
+        clock: &mut SimClock,
+    ) -> Result<PendingOp<T>, CommError> {
         self.check_dead(clock)?;
         let n = self.size();
         assert_eq!(send.len(), n, "all_to_all_v needs one send buffer per rank");
@@ -366,33 +385,11 @@ impl Communicator {
             self.send_to(dst, clock.now(), Box::new((data, my_sizes.clone())))?;
         }
 
-        let mut recv: Vec<Vec<T>> = (0..n).map(|_| Vec::new()).collect();
-        recv[self.me] = std::mem::take(&mut send[self.me]);
-
-        let mut size_rows: Vec<Arc<Vec<u64>>> = vec![my_sizes.clone(); n];
-        let mut start = clock.now();
-        for src in 0..n {
-            if src == self.me {
-                continue;
-            }
-            let pkt = self.recv_from(src)?;
-            start = start.max(pkt.clock);
-            let (data, sizes) = *pkt
-                .payload
-                .downcast::<(Vec<T>, Arc<Vec<u64>>)>()
-                .expect("collective type mismatch: ranks diverged from SPMD order");
-            recv[src] = data;
-            size_rows[src] = sizes;
-        }
-
-        let t = self
-            .state
-            .cost
-            .alltoallv_time(&self.state.ranks, &|i, j| size_rows[i][j]);
-        clock.advance_to_op("all_to_all", start);
-        let t = self.fault_shaped_time("all_to_all", t, clock);
-        clock.advance_op("all_to_all", t);
-        Ok(recv)
+        Ok(PendingOp {
+            comm: self.clone(),
+            kept_self: std::mem::take(&mut send[self.me]),
+            my_sizes,
+        })
     }
 
     /// Even all-to-all: equal-sized buffers to every rank.
@@ -430,7 +427,8 @@ impl Communicator {
         let mut out: Vec<Vec<T>> = (0..n).map(|_| Vec::new()).collect();
         out[self.me] = mine;
         let mut start = clock.now();
-        let mut max_bytes = my_bytes;
+        let mut bytes_per_rank = vec![0u64; n];
+        bytes_per_rank[self.me] = my_bytes;
         for (src, slot) in out.iter_mut().enumerate() {
             if src == self.me {
                 continue;
@@ -442,9 +440,15 @@ impl Communicator {
                 .downcast::<(Vec<T>, u64)>()
                 .expect("collective type mismatch: ranks diverged from SPMD order");
             *slot = data;
-            max_bytes = max_bytes.max(bytes);
+            bytes_per_rank[src] = bytes;
         }
-        let t = self.state.cost.allgather_time(&self.state.ranks, max_bytes);
+        // Price from the actual per-rank contribution vector: a ring moves
+        // Σ bytes − min(bytes), so a skewed gather (one big shard, tiny
+        // peers) is far cheaper than the old max-based pricing claimed.
+        let t = self
+            .state
+            .cost
+            .allgather_time_uneven(&self.state.ranks, &bytes_per_rank);
         clock.advance_to_op("all_gather", start);
         let t = self.fault_shaped_time("all_gather", t, clock);
         clock.advance_op("all_gather", t);
@@ -453,41 +457,70 @@ impl Communicator {
 
     /// All-reduce (sum) of an `f32` buffer; all ranks must pass equal-length
     /// buffers and all end with the identical elementwise sum.
+    ///
+    /// Implemented as a chunked reduce-scatter + all-gather: the buffer is
+    /// split into `n` near-equal chunks, chunk `c` is shipped to rank `c` in
+    /// one uneven all-to-all, each rank reduces its own chunk, and the
+    /// reduced chunks are all-gathered back. Per-rank payload is `O(buf)`
+    /// (each element crosses the wire twice) instead of the old full-buffer
+    /// all-gather's `O(n·buf)` blow-up.
+    ///
+    /// A textbook ring would rotate partial sums rank-to-rank, accumulating
+    /// chunk `c` in cyclic order `c+1, c+2, …, c` — a *rank-dependent*
+    /// float-summation order. We deliberately use the all-to-all form
+    /// instead: received parts arrive indexed by source rank, so every chunk
+    /// is reduced in canonical group-index order and the result stays
+    /// bitwise identical across ranks (and across world sizes re-sharding
+    /// the same group), which rank-agnostic checkpoint/restore relies on.
     pub fn all_reduce_sum_f32(
         &self,
         buf: &mut [f32],
         clock: &mut SimClock,
     ) -> Result<(), CommError> {
+        let n = self.size();
+        let len = buf.len();
         let mark = clock.mark();
-        let parts = self.all_gather(buf.to_vec(), clock)?;
-        // Price as a ring all-reduce: top up the inner all-gather's work time
-        // (measured, not guessed from the last advance) to the all-reduce
-        // cost, and claim the whole thing under one op label. The inner
-        // all-gather already paid any flap retries; only the degradation
-        // multiplier applies to the top-up target.
+        // Near-equal chunking: first `len % n` chunks get one extra element.
+        let base = len / n;
+        let rem = len % n;
+        let mut offs = Vec::with_capacity(n + 1);
+        offs.push(0usize);
+        for c in 0..n {
+            offs.push(offs[c] + base + usize::from(c < rem));
+        }
+        let send: Vec<Vec<f32>> = (0..n).map(|c| buf[offs[c]..offs[c + 1]].to_vec()).collect();
+        let parts = self.all_to_all_v(send, clock)?;
+        let my_len = offs[self.me + 1] - offs[self.me];
+        for part in &parts {
+            assert_eq!(part.len(), my_len, "all_reduce buffer length mismatch");
+        }
+        // Reduce this rank's chunk in canonical group-index order
+        // (parts[0] first, then +=) so every rank computes the bitwise-same
+        // float sum for any given element.
+        let mut reduced = vec![0.0f32; my_len];
+        for (j, r) in reduced.iter_mut().enumerate() {
+            let mut acc = parts[0][j];
+            for part in &parts[1..] {
+                acc += part[j];
+            }
+            *r = acc;
+        }
+        let gathered = self.all_gather(reduced, clock)?;
+        for (c, chunk) in gathered.iter().enumerate() {
+            buf[offs[c]..offs[c + 1]].copy_from_slice(chunk);
+        }
+        // Price as a ring all-reduce: top up the inner collectives' work
+        // time (measured, not guessed from the last advance) to the
+        // all-reduce cost, and claim the whole thing under one op label.
+        // The inner collectives already paid any flap retries; only the
+        // degradation multiplier applies to the top-up target.
         let inner_work = clock.pending_work_since(mark);
-        let bytes = buf.len() as u64 * 4;
+        let bytes = len as u64 * 4;
         let t = self.state.cost.allreduce_time(&self.state.ranks, bytes) * self.fault_link_mult();
         if t > inner_work {
             clock.advance_op("all_reduce", t - inner_work);
         }
         clock.relabel_pending_since(mark, "all_reduce");
-        // Accumulate in canonical group-index order (parts[me] is this
-        // rank's own contribution) so every rank computes the bitwise-same
-        // float sum. Seeding with the local buffer and adding peers would
-        // make the order — and thus the low mantissa bits — rank-dependent,
-        // silently de-synchronizing "replicated" parameters and breaking
-        // rank-agnostic checkpoint/restore.
-        for part in &parts {
-            assert_eq!(part.len(), buf.len(), "all_reduce buffer length mismatch");
-        }
-        for (j, b) in buf.iter_mut().enumerate() {
-            let mut acc = parts[0][j];
-            for part in &parts[1..] {
-                acc += part[j];
-            }
-            *b = acc;
-        }
         Ok(())
     }
 
@@ -668,5 +701,58 @@ impl Communicator {
     pub fn split_by_node(&self, clock: &mut SimClock) -> Result<Communicator, CommError> {
         let node = self.cost().topology().node_of(self.global_rank());
         self.split(node, clock)
+    }
+}
+
+/// An in-flight nonblocking all-to-all issued by
+/// [`Communicator::issue_all_to_all_v`]. The sends are already in the
+/// channels; [`wait`](PendingOp::wait) completes the receives and charges
+/// the priced collective time. Dropping a `PendingOp` without waiting
+/// leaves unmatched messages in the peers' channels and desynchronizes the
+/// SPMD program order — always wait, even on error paths.
+#[must_use = "an issued collective must be waited on or SPMD order breaks"]
+pub struct PendingOp<T> {
+    comm: Communicator,
+    /// This rank's self-destined chunk, moved out at issue time.
+    kept_self: Vec<T>,
+    /// Bytes this rank sent to each peer (row `me` of the byte matrix).
+    my_sizes: Arc<Vec<u64>>,
+}
+
+impl<T: Clone + Send + 'static> PendingOp<T> {
+    /// Complete the exchange: drain the receives, synchronize to
+    /// `max(own clock, peer issue stamps)` (recorded as pending sync-wait)
+    /// and advance by the cost-model time of the full byte matrix. Returns
+    /// `recv` where `recv[i]` came from local rank `i`.
+    pub fn wait(self, clock: &mut SimClock) -> Result<Vec<Vec<T>>, CommError> {
+        let comm = &self.comm;
+        let n = comm.size();
+        let mut recv: Vec<Vec<T>> = (0..n).map(|_| Vec::new()).collect();
+        recv[comm.me] = self.kept_self;
+
+        let mut size_rows: Vec<Arc<Vec<u64>>> = vec![self.my_sizes.clone(); n];
+        let mut start = clock.now();
+        for src in 0..n {
+            if src == comm.me {
+                continue;
+            }
+            let pkt = comm.recv_from(src)?;
+            start = start.max(pkt.clock);
+            let (data, sizes) = *pkt
+                .payload
+                .downcast::<(Vec<T>, Arc<Vec<u64>>)>()
+                .expect("collective type mismatch: ranks diverged from SPMD order");
+            recv[src] = data;
+            size_rows[src] = sizes;
+        }
+
+        let t = comm
+            .state
+            .cost
+            .alltoallv_time(&comm.state.ranks, &|i, j| size_rows[i][j]);
+        clock.advance_to_op("all_to_all", start);
+        let t = comm.fault_shaped_time("all_to_all", t, clock);
+        clock.advance_op("all_to_all", t);
+        Ok(recv)
     }
 }

@@ -27,6 +27,10 @@ pub struct Span {
     /// True if this span is a failed collective attempt (plus backoff)
     /// caused by a transient link fault.
     pub retry: bool,
+    /// Overlap track the span was recorded on (`None` for serial spans).
+    /// Within one track, spans are back-to-back; tracks of the same overlap
+    /// region run concurrently, so their spans share wall-clock time.
+    pub track: Option<String>,
 }
 
 impl Span {
@@ -69,7 +73,9 @@ impl RankTrace {
 
     /// Sum of all span durations. Equals [`end`](Self::end) minus whatever
     /// time predates the trace (zero when the clock started at zero and was
-    /// never `reset_buckets`).
+    /// never `reset_buckets`) — for serial runs. With overlap regions the
+    /// sum counts the full per-track work, exceeding `end` by exactly the
+    /// time hidden behind another track.
     pub fn total(&self) -> f64 {
         self.spans.iter().map(|s| s.dur).sum()
     }
@@ -301,10 +307,39 @@ fn json_escape(s: &str) -> String {
     out
 }
 
+/// `tid` for a span on `rank`: serial (trackless) spans keep `tid = rank`;
+/// overlap-track spans get a synthesized tid per (rank, track) so Perfetto
+/// renders the region's concurrent tracks as separate rows under the rank.
+fn chrome_tid(rank: usize, tracks: &[String], track: Option<&str>) -> usize {
+    match track {
+        None => rank,
+        Some(name) => {
+            let idx = tracks.iter().position(|t| t == name).unwrap_or(0);
+            (rank + 1) * 1000 + idx
+        }
+    }
+}
+
+/// Distinct overlap track names of one rank, in first-appearance order.
+fn rank_tracks(t: &RankTrace) -> Vec<String> {
+    let mut tracks: Vec<String> = Vec::new();
+    for s in &t.spans {
+        if let Some(name) = &s.track {
+            if !tracks.contains(name) {
+                tracks.push(name.clone());
+            }
+        }
+    }
+    tracks
+}
+
 /// Render the traces as Chrome trace-event JSON (the format Perfetto and
 /// `chrome://tracing` load). One track per rank (`tid` = rank), complete
 /// events (`ph:"X"`) with microsecond timestamps, sync-wait spans in their
-/// own category so they can be filtered.
+/// own category so they can be filtered. Spans recorded inside an overlap
+/// region carry a track tag and are emitted on their own per-(rank, track)
+/// tid (named `rank N [track]`), so the concurrent comm/compute timelines
+/// show as separate rows.
 pub fn chrome_trace(traces: &[RankTrace]) -> String {
     let mut out = String::from("{\"traceEvents\":[\n");
     let mut first = true;
@@ -330,8 +365,22 @@ pub fn chrome_trace(traces: &[RankTrace]) -> String {
                 t.rank, t.rank
             ),
         );
+        let tracks = rank_tracks(t);
+        for (i, name) in tracks.iter().enumerate() {
+            push(
+                &mut out,
+                format!(
+                    "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{},\
+                     \"args\":{{\"name\":\"rank {} [{}]\"}}}}",
+                    (t.rank + 1) * 1000 + i,
+                    t.rank,
+                    json_escape(name)
+                ),
+            );
+        }
     }
     for t in traces {
+        let tracks = rank_tracks(t);
         for s in &t.spans {
             let cat = if s.retry {
                 "fault_retry"
@@ -349,7 +398,7 @@ pub fn chrome_trace(traces: &[RankTrace]) -> String {
                     cat,
                     s.start * 1e6,
                     s.dur * 1e6,
-                    t.rank
+                    chrome_tid(t.rank, &tracks, s.track.as_deref())
                 ),
             );
         }
@@ -372,9 +421,10 @@ pub fn chrome_trace(traces: &[RankTrace]) -> String {
     out
 }
 
-/// Render the traces as flat CSV: `rank,label,kind,start_s,dur_s`.
+/// Render the traces as flat CSV: `rank,label,kind,start_s,dur_s,track`
+/// (the `track` field is empty for serial spans).
 pub fn spans_csv(traces: &[RankTrace]) -> String {
-    let mut out = String::from("rank,label,kind,start_s,dur_s\n");
+    let mut out = String::from("rank,label,kind,start_s,dur_s,track\n");
     for t in traces {
         for s in &t.spans {
             let kind = if s.retry {
@@ -386,8 +436,13 @@ pub fn spans_csv(traces: &[RankTrace]) -> String {
             };
             let _ = writeln!(
                 out,
-                "{},{},{},{:.9},{:.9}",
-                t.rank, s.label, kind, s.start, s.dur
+                "{},{},{},{:.9},{:.9},{}",
+                t.rank,
+                s.label,
+                kind,
+                s.start,
+                s.dur,
+                s.track.as_deref().unwrap_or("")
             );
         }
     }
@@ -452,6 +507,24 @@ mod tests {
         assert!(json.contains("\"name\":\"rank 1\""));
         assert!(json.contains("\"cat\":\"sync_wait\""));
         assert!(json.contains("\"ph\":\"X\""));
+    }
+
+    #[test]
+    fn chrome_trace_renders_overlap_tracks_separately() {
+        let mut c = SimClock::new();
+        c.begin_overlap("dispatch_compute");
+        c.set_track("comm");
+        c.advance_op("all_to_all", 0.2);
+        c.commit("dispatch_a2a");
+        c.set_track("compute");
+        c.charge("expert", 0.3);
+        c.end_overlap();
+        let t = RankTrace::capture(3, &mut c, TrafficStats::default());
+        let json = chrome_trace(&[t]);
+        assert!(json.contains("\"name\":\"rank 3 [comm]\""));
+        assert!(json.contains("\"name\":\"rank 3 [compute]\""));
+        assert!(json.contains("\"tid\":4000"));
+        assert!(json.contains("\"tid\":4001"));
     }
 
     #[test]

@@ -61,6 +61,36 @@ pub struct EpRoute {
     perm: Vec<usize>,
     /// Inverse of `perm`.
     inv_perm: Vec<usize>,
+    /// `tpe_recv[src][e]` = rows inbound from `src` for local expert `e`
+    /// (the raw count exchange), kept to derive per-chunk sub-routes.
+    tpe_recv: Vec<Vec<u64>>,
+}
+
+/// One chunk of an [`EpRoute`]: the sub-route covering a contiguous range of
+/// local experts, used to pipeline the uneven exchange against the expert
+/// GEMMs. Concatenating the chunks' expert-major buffers in order
+/// reconstructs the full route's expert-major buffer exactly.
+pub struct ChunkPlan {
+    /// Local-expert range `[e0, e1)` this chunk covers (on every rank —
+    /// chunking is by expert index, which is uniform across ranks).
+    pub experts: (usize, usize),
+    /// Send rows `[start, end)` in PFT order, per destination rank (the
+    /// PFT is expert-sorted, so each destination's chunk slice is
+    /// contiguous).
+    pub send_ranges: Vec<(usize, usize)>,
+    /// Rows received from each source rank in this chunk.
+    pub recv_per_src: Vec<usize>,
+    /// Chunk-local wire→expert-major permutation.
+    perm: Vec<usize>,
+    /// Inverse of `perm`.
+    inv_perm: Vec<usize>,
+}
+
+impl ChunkPlan {
+    /// Rows on the expert side of this chunk.
+    pub fn recv_total(&self) -> usize {
+        self.perm.len()
+    }
 }
 
 impl EpRoute {
@@ -123,12 +153,191 @@ impl EpRoute {
             tokens_per_local_expert,
             perm,
             inv_perm,
+            tpe_recv,
         })
+    }
+
+    /// Split the route into (up to) `chunks` sub-routes over contiguous
+    /// local-expert ranges, for the pipelined dispatch–compute overlap.
+    ///
+    /// The chunk boundaries are pure functions of uniform quantities
+    /// (`chunks`, the local expert count), so every rank derives the same
+    /// plan and the chunked collectives stay in SPMD order.
+    pub fn chunk_plans(&self, chunks: usize) -> Vec<ChunkPlan> {
+        let e_local = self.tokens_per_local_expert.len();
+        let w = self.send_per_dst.len();
+        let k = chunks.clamp(1, e_local.max(1));
+        // Global prefix over the PFT's per-expert counts: the PFT is sorted
+        // by global expert id, so rows destined for dst `d`'s local experts
+        // [e0, e1) are exactly PFT rows [gpre[d*e_local+e0], gpre[d*e_local+e1]).
+        let n_exp = self.pft.tokens_per_expert.len();
+        let mut gpre = vec![0usize; n_exp + 1];
+        for (e, &c) in self.pft.tokens_per_expert.iter().enumerate() {
+            gpre[e + 1] = gpre[e] + c;
+        }
+        let mut plans = Vec::with_capacity(k);
+        for c in 0..k {
+            let e0 = c * e_local / k;
+            let e1 = (c + 1) * e_local / k;
+            let send_ranges: Vec<(usize, usize)> = (0..w)
+                .map(|d| (gpre[d * e_local + e0], gpre[d * e_local + e1]))
+                .collect();
+            let recv_per_src: Vec<usize> = self
+                .tpe_recv
+                .iter()
+                .map(|r| r[e0..e1].iter().sum::<u64>() as usize)
+                .collect();
+            let mut src_base = vec![0usize; w];
+            for s in 1..w {
+                src_base[s] = src_base[s - 1] + recv_per_src[s - 1];
+            }
+            let total: usize = recv_per_src.iter().sum();
+            // Chunk wire order is (src, local_expert) like the full route;
+            // regroup (local_expert, src) so chunk buffers concatenate into
+            // the full expert-major order.
+            let mut perm = Vec::with_capacity(total);
+            for e in e0..e1 {
+                for (src, counts) in self.tpe_recv.iter().enumerate() {
+                    let before: usize = counts[e0..e].iter().map(|&c| c as usize).sum();
+                    let cnt = counts[e] as usize;
+                    let start = src_base[src] + before;
+                    perm.extend(start..start + cnt);
+                }
+            }
+            let mut inv_perm = vec![0usize; total];
+            for (expert_major, &wire) in perm.iter().enumerate() {
+                inv_perm[wire] = expert_major;
+            }
+            plans.push(ChunkPlan {
+                experts: (e0, e1),
+                send_ranges,
+                recv_per_src,
+                perm,
+                inv_perm,
+            });
+        }
+        plans
     }
 
     /// Rows received on this rank (the expert-side buffer length).
     pub fn recv_total(&self) -> usize {
         self.perm.len()
+    }
+
+    /// Pipelined `to_experts → compute → to_source`: the route is split into
+    /// `chunks` expert-contiguous sub-routes, every dispatch chunk is issued
+    /// up front (a NIC send queue), and chunk `i`'s expert compute runs on
+    /// the `compute` overlap track while chunk `i+1`'s payload is still in
+    /// flight on the `comm` track (paper §4.1's dispatch–compute overlap).
+    ///
+    /// Three tracks model a full-duplex NIC: dispatch chunks drain
+    /// back-to-back on `comm` (inbound), expert GEMMs run on `compute`, and
+    /// combine chunks drain on `comm_out` (outbound) — a combine transfer
+    /// cannot start before its own GEMM finished (enforced per chunk via
+    /// `advance_to_op`) but does not block dispatch chunks still in flight
+    /// the other way.
+    ///
+    /// `labels = (dispatch, compute, combine)` name the stage buckets.
+    /// `compute(c, plan, chunk_in, clock)` gets chunk `c`'s expert-major
+    /// `[rows_c, H]` buffer, must return the same-shaped output, and charges
+    /// its own compute time (any leftover pending time is committed under the
+    /// compute label). Concatenating the chunk buffers in order reproduces
+    /// the full route's expert-major buffer exactly, so the overlapped result
+    /// is bitwise identical to the serial schedule — only the simulated
+    /// timeline differs.
+    pub fn exchange_overlap<F>(
+        &self,
+        rows: &Tensor,
+        chunks: usize,
+        labels: (&str, &str, &str),
+        ep: &Communicator,
+        clock: &mut SimClock,
+        mut compute: F,
+    ) -> Result<Tensor, CommError>
+    where
+        F: FnMut(usize, &ChunkPlan, &Tensor, &mut SimClock) -> Tensor,
+    {
+        let (dispatch_label, compute_label, combine_label) = labels;
+        let hidden = rows.cols();
+        debug_assert_eq!(rows.rows(), self.pft.len(), "payload must be in PFT order");
+        let plans = self.chunk_plans(chunks);
+
+        clock.begin_overlap("dispatch_compute");
+        clock.set_track("comm");
+        // Issue every dispatch chunk before waiting on any: the sends sit in
+        // the FIFO per-(src,dst) channels like a NIC send queue, and the comm
+        // track serializes their priced transfer times as the waits drain.
+        // Issuing never blocks, so the interleaved schedule cannot deadlock.
+        let mut dispatch_pending = Vec::with_capacity(plans.len());
+        for plan in &plans {
+            let send: Vec<Vec<f32>> = plan
+                .send_ranges
+                .iter()
+                .map(|&(s0, s1)| rows_to_vec(rows, s0, s1))
+                .collect();
+            dispatch_pending.push(ep.issue_all_to_all_v(send, clock)?);
+        }
+
+        let mut out = Tensor::zeros(self.pft.len(), hidden);
+        let mut combine_pending = Vec::with_capacity(plans.len());
+        let mut gemm_done_at = Vec::with_capacity(plans.len());
+        for (c, (plan, pending)) in plans.iter().zip(dispatch_pending).enumerate() {
+            clock.set_track("comm");
+            let recv = pending.wait(clock)?;
+            clock.commit(dispatch_label);
+            let arrived = clock.track_time("comm").expect("comm track exists");
+
+            let wire = vecs_to_tensor(recv, hidden);
+            debug_assert_eq!(wire.rows(), plan.recv_total());
+            let chunk_in = gather_rows(&wire, &plan.perm);
+
+            clock.set_track("compute");
+            // Honest cross-track dependency: the GEMM cannot start before
+            // its chunk has arrived.
+            clock.advance_to_op(compute_label, arrived);
+            let chunk_out = compute(c, plan, &chunk_in, clock);
+            clock.commit(compute_label);
+            assert_eq!(
+                chunk_out.rows(),
+                plan.recv_total(),
+                "compute must map chunk rows 1:1"
+            );
+            let gemm_done = clock.track_time("compute").expect("compute track exists");
+            gemm_done_at.push(gemm_done);
+
+            // Issue the combine send from the compute track: injection is
+            // free, and the message carries the `gemm_done` stamp so peers
+            // cannot see chunk c's rows earlier than its GEMM finished.
+            // Transfer time is priced on the outbound track in the drain
+            // loop below.
+            let wire_order = gather_rows(&chunk_out, &plan.inv_perm);
+            let mut send = Vec::with_capacity(plan.recv_per_src.len());
+            let mut offset = 0usize;
+            for &cnt in &plan.recv_per_src {
+                send.push(rows_to_vec(&wire_order, offset, offset + cnt));
+                offset += cnt;
+            }
+            combine_pending.push(ep.issue_all_to_all_v(send, clock)?);
+        }
+
+        // Drain the combine exchanges in issue order on the outbound track;
+        // each chunk's rows return to the PFT positions they were dispatched
+        // from. The per-chunk `advance_to_op` pins the transfer start at the
+        // chunk's own GEMM completion; `wait` then maxes in the peers'
+        // injection stamps.
+        clock.set_track("comm_out");
+        for ((plan, pending), gemm_done) in plans.iter().zip(combine_pending).zip(gemm_done_at) {
+            clock.advance_to_op(combine_label, gemm_done);
+            let recv = pending.wait(clock)?;
+            clock.commit(combine_label);
+            for (src, data) in recv.into_iter().enumerate() {
+                let (s0, s1) = plan.send_ranges[src];
+                debug_assert_eq!(data.len(), (s1 - s0) * hidden);
+                out.as_mut_slice()[s0 * hidden..s1 * hidden].copy_from_slice(&data);
+            }
+        }
+        clock.end_overlap();
+        Ok(out)
     }
 
     /// Push `rows` (PFT order, `[B, H]`) along the dispatch direction;
@@ -251,11 +460,84 @@ pub fn forward_ep(
     Ok(out)
 }
 
+/// [`forward_ep`] with the dispatch/combine exchanges split into `chunks`
+/// expert-contiguous pieces and pipelined against the expert GEMMs via
+/// [`EpRoute::exchange_overlap`]. The output is bitwise identical to
+/// [`forward_ep`]; only the simulated timeline differs — the `comm` and
+/// `compute` tracks of the overlap region advance concurrently, so the
+/// step's wall clock hides whichever side is shorter.
+pub fn forward_ep_overlap(
+    tokens: &Tensor,
+    router: &Router,
+    shard: &ExpertShard,
+    spec: &MoeLayerSpec,
+    chunks: usize,
+    ep: &Communicator,
+    clock: &mut SimClock,
+) -> Result<Tensor, CommError> {
+    let cost = ep.cost().clone();
+    let hidden = tokens.cols();
+
+    // Serial prefix identical to `forward_ep`.
+    let gating = router.gate(tokens);
+    let pft = Pft::construct(&gating, spec.num_experts, spec.capacity, spec.policy);
+    let gate_flops = 2.0 * tokens.rows() as f64 * hidden as f64 * spec.num_experts as f64;
+    let pft_bytes = (tokens.rows() * gating.k()) as f64 * 32.0;
+    clock.charge(
+        "gating",
+        cost.compute_time(gate_flops) + cost.mem_bound_time(pft_bytes),
+    );
+
+    let dispatch_in = gather_rows(tokens, &pft.token_ids);
+    clock.charge(
+        "buffer_dispatch",
+        cost.mem_bound_time(2.0 * (pft.len() * hidden * 4) as f64),
+    );
+
+    let route = EpRoute::build(pft, spec, ep, clock)?;
+    clock.commit("dispatch_a2a_meta");
+
+    let ffn = shard.experts.first().map_or(0, |e| e.w1.cols());
+    let e_local = route.tokens_per_local_expert.len();
+    let combine_in = route.exchange_overlap(
+        &dispatch_in,
+        chunks,
+        ("dispatch_a2a", "expert", "combine_a2a"),
+        ep,
+        clock,
+        |_c, plan, chunk_in, clock| {
+            // Per-expert forwards over [e0, e1): a full-length count vector
+            // zeroed outside the chunk makes `forward_segments` walk exactly
+            // the serial schedule's row slices for these experts.
+            let (e0, e1) = plan.experts;
+            let mut counts = vec![0usize; e_local];
+            counts[e0..e1].copy_from_slice(&route.tokens_per_local_expert[e0..e1]);
+            let chunk_out = shard.forward_segments(chunk_in, &counts);
+            let flops = 4.0 * chunk_in.rows() as f64 * hidden as f64 * ffn as f64;
+            clock.charge("expert", cost.compute_time(flops));
+            chunk_out
+        },
+    )?;
+
+    let mut out = Tensor::zeros(tokens.rows(), hidden);
+    scatter_rows_scaled(
+        &combine_in,
+        &route.pft.token_ids,
+        &route.pft.combine_weights,
+        &mut out,
+    );
+    clock.charge(
+        "buffer_combine",
+        cost.mem_bound_time(2.0 * (route.pft.len() * hidden * 4) as f64),
+    );
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::gating::DropPolicy;
-    use xmoe_collectives::SimCluster;
+    use xmoe_collectives::{SimCluster, Span};
 
     fn spec(e: usize, cap: usize) -> MoeLayerSpec {
         MoeLayerSpec::new(e, cap).with_policy(DropPolicy::CapacityOnly)
@@ -379,6 +661,132 @@ mod tests {
             back.allclose(&payload, 0.0)
         });
         assert!(ok.iter().all(|&b| b), "route roundtrip failed: {ok:?}");
+    }
+
+    #[test]
+    fn overlap_forward_is_bitwise_identical_to_serial() {
+        let (s, h, f, e, k) = (24, 16, 8, 8, 3);
+        for world in [2usize, 4] {
+            let serial = {
+                let router = Router::new(h, e, k, 61);
+                let sp = spec(e, 10_000);
+                SimCluster::frontier(world).run(|ctx| {
+                    let shard = ExpertShard::for_rank(ctx.rank, world, e, h, f, 62);
+                    let tokens = Tensor::rand_uniform(s, h, 1.0, 500 + ctx.rank as u64);
+                    forward_ep(&tokens, &router, &shard, &sp, &ctx.world, &mut ctx.clock).unwrap()
+                })
+            };
+            for chunks in [1usize, 2, 4, 9] {
+                let router = Router::new(h, e, k, 61);
+                let sp = spec(e, 10_000);
+                let overlapped = SimCluster::frontier(world).run(|ctx| {
+                    let shard = ExpertShard::for_rank(ctx.rank, world, e, h, f, 62);
+                    let tokens = Tensor::rand_uniform(s, h, 1.0, 500 + ctx.rank as u64);
+                    forward_ep_overlap(
+                        &tokens,
+                        &router,
+                        &shard,
+                        &sp,
+                        chunks,
+                        &ctx.world,
+                        &mut ctx.clock,
+                    )
+                    .unwrap()
+                });
+                for (r, (a, b)) in serial.iter().zip(&overlapped).enumerate() {
+                    assert!(
+                        a.allclose(b, 0.0),
+                        "world {world} chunks {chunks} rank {r}: not bitwise identical \
+                         (max diff {})",
+                        a.max_abs_diff(b)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn overlap_hides_time_and_tracks_stay_exact() {
+        // The overlapped schedule must never be slower than its own serial
+        // work sum, and the per-track spans must sum exactly.
+        let (s, h, f, e, k) = (48, 16, 8, 8, 4);
+        let router = Router::new(h, e, k, 71);
+        let sp = spec(e, 10_000);
+        let world = 4;
+        let reports = SimCluster::frontier(world).run(|ctx| {
+            let shard = ExpertShard::for_rank(ctx.rank, world, e, h, f, 72);
+            let tokens = Tensor::rand_uniform(s, h, 1.0, 600 + ctx.rank as u64);
+            let _ =
+                forward_ep_overlap(&tokens, &router, &shard, &sp, 4, &ctx.world, &mut ctx.clock)
+                    .unwrap();
+            ctx.clock.flush();
+            let wall = ctx.clock.now();
+            let work: f64 = ctx.clock.buckets().iter().map(|(_, t)| t).sum();
+            let spans = ctx.clock.spans().to_vec();
+            (wall, work, spans)
+        });
+        for (wall, work, spans) in reports {
+            // Overlap hides time: total work strictly exceeds the wall
+            // clock whenever both tracks did anything.
+            assert!(work >= wall - 1e-12, "work {work} < wall {wall}");
+            // Per-track exactness: within each track, spans are
+            // back-to-back (sum == cursor advance over the track).
+            for track in ["comm", "compute"] {
+                let mut t: Vec<&Span> = spans
+                    .iter()
+                    .filter(|sp| sp.track.as_deref() == Some(track))
+                    .collect();
+                t.sort_by(|a, b| a.start.partial_cmp(&b.start).unwrap());
+                for w in t.windows(2) {
+                    assert!(
+                        (w[0].start + w[0].dur - w[1].start).abs() < 1e-9,
+                        "gap inside track {track}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_plans_partition_the_route() {
+        let (s, h, e, k) = (32usize, 6usize, 8usize, 3usize);
+        let router = Router::new(h, e, k, 81);
+        let sp = spec(e, 1000);
+        let world = 4;
+        let ok = SimCluster::frontier(world).run(|ctx| {
+            let tokens = Tensor::rand_uniform(s, h, 1.0, 700 + ctx.rank as u64);
+            let gating = router.gate(&tokens);
+            let pft = Pft::construct(&gating, e, sp.capacity, sp.policy);
+            let route = EpRoute::build(pft, &sp, &ctx.world, &mut ctx.clock).unwrap();
+            for chunks in [1usize, 2, 3, 100] {
+                let plans = route.chunk_plans(chunks);
+                // Expert ranges tile [0, e_local).
+                let e_local = route.tokens_per_local_expert.len();
+                assert_eq!(plans[0].experts.0, 0);
+                assert_eq!(plans.last().unwrap().experts.1, e_local);
+                for w in plans.windows(2) {
+                    assert_eq!(w[0].experts.1, w[1].experts.0);
+                }
+                // Per-destination send ranges tile each destination's PFT
+                // slice, and recv counts sum to the full route's.
+                for d in 0..world {
+                    for w in plans.windows(2) {
+                        assert_eq!(w[0].send_ranges[d].1, w[1].send_ranges[d].0);
+                    }
+                }
+                let sent: usize = plans
+                    .iter()
+                    .flat_map(|p| p.send_ranges.iter().map(|&(a, b)| b - a))
+                    .sum();
+                assert_eq!(sent, route.pft.len());
+                for src in 0..world {
+                    let recv: usize = plans.iter().map(|p| p.recv_per_src[src]).sum();
+                    assert_eq!(recv, route.recv_per_src[src]);
+                }
+            }
+            true
+        });
+        assert!(ok.iter().all(|&b| b));
     }
 
     #[test]

@@ -196,6 +196,37 @@ pub fn forward_ep_rbd(
     )
 }
 
+/// [`forward_ep_rbd`] with the S1 inter-node pilot exchange split into
+/// `chunks` contiguous source-rank groups and pipelined against replica
+/// reconstruction: while group `c+1`'s pilot rows are in flight on the
+/// `comm` track, group `c`'s replicas are reconstructed on the `compute`
+/// track. Source groups are processed in ascending rank order, so the
+/// staging buffer and entry list are built in exactly the serial order and
+/// the output stays bitwise identical to [`forward_ep_rbd`].
+#[allow(clippy::too_many_arguments)]
+pub fn forward_ep_rbd_overlap(
+    tokens: &Tensor,
+    router: &Router,
+    shard: &ExpertShard,
+    spec: &MoeLayerSpec,
+    comms: &RbdComms,
+    rng: &mut DetRng,
+    clock: &mut SimClock,
+    chunks: usize,
+) -> Result<Tensor, CommError> {
+    forward_ep_rbd_impl(
+        tokens,
+        router,
+        shard,
+        spec,
+        comms,
+        rng,
+        clock,
+        PilotPolicy::Random,
+        Some(chunks),
+    )
+}
+
 /// [`forward_ep_rbd`] with an explicit pilot-selection policy (ablation).
 #[allow(clippy::too_many_arguments)]
 pub fn forward_ep_rbd_with_policy(
@@ -207,6 +238,21 @@ pub fn forward_ep_rbd_with_policy(
     rng: &mut DetRng,
     clock: &mut SimClock,
     policy: PilotPolicy,
+) -> Result<Tensor, CommError> {
+    forward_ep_rbd_impl(tokens, router, shard, spec, comms, rng, clock, policy, None)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn forward_ep_rbd_impl(
+    tokens: &Tensor,
+    router: &Router,
+    shard: &ExpertShard,
+    spec: &MoeLayerSpec,
+    comms: &RbdComms,
+    rng: &mut DetRng,
+    clock: &mut SimClock,
+    policy: PilotPolicy,
+    overlap_chunks: Option<usize>,
 ) -> Result<Tensor, CommError> {
     let ep = &comms.ep;
     let node = &comms.node;
@@ -321,13 +367,7 @@ pub fn forward_ep_rbd_with_policy(
         .iter()
         .map(|r| encode_pilots(r))
         .collect();
-    let rows_recv = ep.all_to_all_v(rows_send, clock)?;
-    clock.commit("dispatch_a2a_inter");
-    let meta_recv = ep.all_to_all_v(meta_send, clock)?;
-    clock.commit("dispatch_a2a_meta");
-
-    // --- S1.5: local replica reconstruction ------------------------------
-    // Parse pilots per source; queue replica copies for node peers.
+    // --- S1.5 state: staging buffer + replica queues ---------------------
     struct Entry {
         local_expert: usize,
         weight: f32,
@@ -341,12 +381,16 @@ pub fn forward_ep_rbd_with_policy(
     let mut rep_meta_send: Vec<Vec<u64>> = vec![Vec::new(); node_n];
     let mut pilots_from_src: Vec<usize> = vec![0; w];
     let mut staging_rows = 0usize;
-    let mut replica_bytes = 0f64;
-    for (src, meta) in meta_recv.iter().enumerate() {
+    // Parse one source's pilots: append to the staging buffer, queue replica
+    // copies for node peers, return the replica bytes moved. Sources must be
+    // processed in ascending rank order — the staging/entry order (and hence
+    // the bitwise result) depends on it.
+    let mut process_src = |src: usize, rows: &[f32], meta: &[u64]| -> f64 {
         let recs = decode_pilots(meta);
         pilots_from_src[src] = recs.len();
+        let mut replica_bytes = 0f64;
         for (idx, rec) in recs.iter().enumerate() {
-            let row_data = &rows_recv[src][idx * hidden..(idx + 1) * hidden];
+            let row_data = &rows[idx * hidden..(idx + 1) * hidden];
             assert!(
                 rec.expert >= shard.first_expert && rec.expert < shard.first_expert + e_local,
                 "pilot arrived at the wrong rank"
@@ -374,11 +418,72 @@ pub fn forward_ep_rbd_with_policy(
                 replica_bytes += (hidden * 4) as f64;
             }
         }
+        replica_bytes
+    };
+
+    match overlap_chunks {
+        None => {
+            let rows_recv = ep.all_to_all_v(rows_send, clock)?;
+            clock.commit("dispatch_a2a_inter");
+            let meta_recv = ep.all_to_all_v(meta_send, clock)?;
+            clock.commit("dispatch_a2a_meta");
+            let mut replica_bytes = 0f64;
+            for src in 0..w {
+                replica_bytes += process_src(src, &rows_recv[src], &meta_recv[src]);
+            }
+            clock.charge(
+                "rbd_replica_reconstruct",
+                cost.mem_bound_time(2.0 * replica_bytes),
+            );
+        }
+        Some(chunks) => {
+            // Chunk the S1 exchange by contiguous source-rank groups: chunk
+            // `c` carries only group `c`'s payload (other ranks send empty
+            // buffers), so group `c`'s replica reconstruction overlaps with
+            // group `c+1`'s transfer. All chunks are issued before any wait
+            // (a NIC send queue), which also rules out deadlock.
+            let k = chunks.clamp(1, w);
+            let me = ep.rank();
+            let mut rows_send = rows_send;
+            let mut meta_send = meta_send;
+            clock.begin_overlap("rbd_dispatch_compute");
+            clock.set_track("comm");
+            let mut pend = Vec::with_capacity(k);
+            for c in 0..k {
+                let (s0, s1) = (c * w / k, (c + 1) * w / k);
+                let (r, m) = if (s0..s1).contains(&me) {
+                    (
+                        std::mem::replace(&mut rows_send, vec![Vec::new(); w]),
+                        std::mem::replace(&mut meta_send, vec![Vec::new(); w]),
+                    )
+                } else {
+                    (vec![Vec::new(); w], vec![Vec::new(); w])
+                };
+                let rows_p = ep.issue_all_to_all_v(r, clock)?;
+                let meta_p = ep.issue_all_to_all_v(m, clock)?;
+                pend.push(((s0, s1), rows_p, meta_p));
+            }
+            for ((s0, s1), rows_p, meta_p) in pend {
+                clock.set_track("comm");
+                let rows_recv = rows_p.wait(clock)?;
+                clock.commit("dispatch_a2a_inter");
+                let meta_recv = meta_p.wait(clock)?;
+                clock.commit("dispatch_a2a_meta");
+                let arrived = clock.track_time("comm").expect("comm track exists");
+                clock.set_track("compute");
+                clock.advance_to_op("rbd_replica_reconstruct", arrived);
+                let mut replica_bytes = 0f64;
+                for src in s0..s1 {
+                    replica_bytes += process_src(src, &rows_recv[src], &meta_recv[src]);
+                }
+                clock.charge(
+                    "rbd_replica_reconstruct",
+                    cost.mem_bound_time(2.0 * replica_bytes),
+                );
+            }
+            clock.end_overlap();
+        }
     }
-    clock.charge(
-        "rbd_replica_reconstruct",
-        cost.mem_bound_time(2.0 * replica_bytes),
-    );
 
     // --- S2: intra-node exchange of replicas ------------------------------
     let rep_rows_recv = node.all_to_all_v(rep_rows_send, clock)?;
@@ -602,6 +707,56 @@ mod tests {
     #[test]
     fn rbd_matches_plain_with_capacity_drops() {
         rbd_vs_plain(8, 24, 8, 4, 6, 47);
+    }
+
+    #[test]
+    fn rbd_overlap_is_bitwise_identical_to_serial() {
+        let (world, s, e, k, h, f) = (16usize, 12usize, 16usize, 6usize, 12usize, 8usize);
+        let router = Router::new(h, e, k, 91);
+        let spec = MoeLayerSpec::new(e, 10_000);
+        let serial = SimCluster::frontier(world).run(|ctx| {
+            let shard = ExpertShard::for_rank(ctx.rank, world, e, h, f, 92);
+            let tokens = Tensor::rand_uniform(s, h, 1.0, 400 + ctx.rank as u64);
+            let comms = RbdComms::create(&ctx.world, &mut ctx.clock).unwrap();
+            let mut rng = DetRng::new(93 + ctx.rank as u64);
+            forward_ep_rbd(
+                &tokens,
+                &router,
+                &shard,
+                &spec,
+                &comms,
+                &mut rng,
+                &mut ctx.clock,
+            )
+            .unwrap()
+        });
+        for chunks in [1usize, 2, 4, 16] {
+            let overlapped = SimCluster::frontier(world).run(|ctx| {
+                let shard = ExpertShard::for_rank(ctx.rank, world, e, h, f, 92);
+                let tokens = Tensor::rand_uniform(s, h, 1.0, 400 + ctx.rank as u64);
+                let comms = RbdComms::create(&ctx.world, &mut ctx.clock).unwrap();
+                let mut rng = DetRng::new(93 + ctx.rank as u64);
+                forward_ep_rbd_overlap(
+                    &tokens,
+                    &router,
+                    &shard,
+                    &spec,
+                    &comms,
+                    &mut rng,
+                    &mut ctx.clock,
+                    chunks,
+                )
+                .unwrap()
+            });
+            for (r, (a, b)) in serial.iter().zip(&overlapped).enumerate() {
+                assert!(
+                    a.allclose(b, 0.0),
+                    "chunks {chunks} rank {r}: RBD overlap not bitwise identical \
+                     (max diff {})",
+                    a.max_abs_diff(b)
+                );
+            }
+        }
     }
 
     #[test]

@@ -87,6 +87,31 @@ pub fn forward_ssmb(
     Ok(crate::pipeline::vecs_to_tensor(gathered, hidden))
 }
 
+/// [`forward_ssmb`] with the MoE block's dispatch/combine exchanges
+/// pipelined against the expert GEMMs in `chunks` expert-contiguous pieces
+/// (see [`padding_free::forward_ep_overlap`]). Bitwise identical output;
+/// the trailing all-gather stays serial (it is a layout restore, not part
+/// of the dispatch–compute critical path).
+#[allow(clippy::too_many_arguments)]
+pub fn forward_ssmb_overlap(
+    tokens: &Tensor,
+    router: &Router,
+    shard: &ExpertShard,
+    spec: &MoeLayerSpec,
+    comms: &SsmbComms,
+    chunks: usize,
+    clock: &mut SimClock,
+) -> Result<Tensor, CommError> {
+    let (start, end) = shard_range(tokens.rows(), comms.tp.size(), comms.tp.rank());
+    let my_slice = tokens.slice_rows(start, end);
+    let local_out =
+        padding_free::forward_ep_overlap(&my_slice, router, shard, spec, chunks, &comms.ep, clock)?;
+    let gathered = comms.tp.all_gather(local_out.into_vec(), clock)?;
+    clock.commit("ssmb_allgather");
+    let hidden = tokens.cols();
+    Ok(crate::pipeline::vecs_to_tensor(gathered, hidden))
+}
+
 /// The complete X-MoE data path: SSMB sequence sharding composed with
 /// Redundancy-Bypassing Dispatch — each TP rank keeps its `S/TP` shard,
 /// dispatches it with pilot/replica routing over the hierarchical network,
@@ -194,6 +219,49 @@ mod tests {
         });
         assert!(out[0].allclose(&out[1], 1e-6), "TP group 0 replicas differ");
         assert!(out[2].allclose(&out[3], 1e-6), "TP group 1 replicas differ");
+    }
+
+    #[test]
+    fn ssmb_overlap_is_bitwise_identical() {
+        let (s, h, f, e, k) = (16, 12, 8, 8, 3);
+        let router = Router::new(h, e, k, 61);
+        let spec = MoeLayerSpec::new(e, 10_000);
+        let world = 4;
+        let tp = 2;
+        let run = |chunks: Option<usize>| {
+            let router = &router;
+            let spec = &spec;
+            SimCluster::frontier(world).run(move |ctx| {
+                let shard = ExpertShard::for_rank(ctx.rank, world, e, h, f, 62);
+                let dp_group = ctx.rank / tp;
+                let tokens = Tensor::rand_uniform(s, h, 1.0, 400 + dp_group as u64);
+                let comms = SsmbComms::create(&ctx.world, tp, &mut ctx.clock).unwrap();
+                match chunks {
+                    Some(c) => forward_ssmb_overlap(
+                        &tokens,
+                        router,
+                        &shard,
+                        spec,
+                        &comms,
+                        c,
+                        &mut ctx.clock,
+                    )
+                    .unwrap(),
+                    None => {
+                        forward_ssmb(&tokens, router, &shard, spec, &comms, &mut ctx.clock).unwrap()
+                    }
+                }
+            })
+        };
+        let serial = run(None);
+        let overlapped = run(Some(2));
+        for (r, (a, b)) in serial.iter().zip(&overlapped).enumerate() {
+            assert!(
+                a.allclose(b, 0.0),
+                "rank {r}: SSMB overlap not bitwise identical, max diff {}",
+                a.max_abs_diff(b)
+            );
+        }
     }
 
     #[test]

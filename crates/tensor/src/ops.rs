@@ -101,31 +101,86 @@ fn gemm_rows(a: &[f32], b: &[f32], c: &mut [f32], r0: usize, rows: usize, k: usi
 
 /// `C = A @ B^T` where `A` is `[m, k]` and `B` is `[n, k]`.
 ///
-/// Used by backward passes (`dX = dY @ W^T`) without materialising the
-/// transpose for small `n`; for large matrices it falls back to an explicit
-/// transpose followed by [`matmul`], which is faster because the inner loops
-/// then stream contiguously.
+/// Used by backward passes (`dX = dY @ W^T`). Because both operands are
+/// row-major, `C[i][j]` is a dot product of two *contiguous* rows — no
+/// transpose is ever needed. The kernel partitions C's rows across scoped
+/// threads (like [`matmul_into`]) and tiles the B rows so a panel of them
+/// stays in cache while one A row streams through; this replaced an
+/// implementation that materialised a fresh `B^T` allocation on every
+/// backward GEMM of every step (see the `bench gemm` table in DESIGN.md).
 pub fn matmul_transpose_b(a: &Tensor, b: &Tensor) -> Tensor {
     let (m, k) = a.shape();
     let (n, kb) = b.shape();
     assert_eq!(k, kb, "matmul_transpose_b inner-dim mismatch");
-    if m * n * k >= 32 * 32 * 32 {
-        let bt = b.transpose();
-        return matmul(a, &bt);
-    }
     let mut c = Tensor::zeros(m, n);
-    for i in 0..m {
-        let a_row = a.row(i);
-        for j in 0..n {
-            let b_row = b.row(j);
-            let mut acc = 0.0;
-            for kk in 0..k {
-                acc += a_row[kk] * b_row[kk];
+    if m == 0 || n == 0 || k == 0 {
+        return c;
+    }
+    let a_data = a.as_slice();
+    let b_data = b.as_slice();
+    let c_data = c.as_mut_slice();
+    let threads = worker_threads().min(m);
+    if threads <= 1 || m * n * k < 64 * 64 * 64 {
+        gemm_tb_rows(a_data, b_data, c_data, 0, m, k, n);
+        return c;
+    }
+    let chunk = m.div_ceil(threads);
+    std::thread::scope(|s| {
+        let mut rest = c_data;
+        let mut row0 = 0usize;
+        while row0 < m {
+            let rows_here = chunk.min(m - row0);
+            let (mine, tail) = rest.split_at_mut(rows_here * n);
+            rest = tail;
+            let r0 = row0;
+            s.spawn(move || {
+                gemm_tb_rows(a_data, b_data, mine, r0, rows_here, k, n);
+            });
+            row0 += rows_here;
+        }
+    });
+    c
+}
+
+/// Microkernel for `C = A @ B^T`: `c_chunk` holds rows `r0..r0+rows_here` of
+/// C. Each dot product is split into `LANES` independent partial sums — a
+/// single accumulator is a strict-FP dependency chain the compiler may not
+/// vectorize, whereas fixed lanes map straight onto SIMD mul-adds. The lane
+/// layout is position-determined, so results are bit-deterministic for a
+/// given `k` (though not the naive left-to-right summation order).
+fn gemm_tb_rows(
+    a: &[f32],
+    b: &[f32],
+    c_chunk: &mut [f32],
+    r0: usize,
+    rows_here: usize,
+    k: usize,
+    n: usize,
+) {
+    const LANES: usize = 8;
+    for i in 0..rows_here {
+        let a_row = &a[(r0 + i) * k..(r0 + i + 1) * k];
+        let c_row = &mut c_chunk[i * n..(i + 1) * n];
+        for (j, cv) in c_row.iter_mut().enumerate() {
+            let b_row = &b[j * k..(j + 1) * k];
+            let a_chunks = a_row.chunks_exact(LANES);
+            let b_chunks = b_row.chunks_exact(LANES);
+            let mut acc = 0.0f32;
+            for (av, bv) in a_chunks.remainder().iter().zip(b_chunks.remainder()) {
+                acc += av * bv;
             }
-            c.set(i, j, acc);
+            let mut lanes = [0.0f32; LANES];
+            for (ac, bc) in a_chunks.zip(b_chunks) {
+                for l in 0..LANES {
+                    lanes[l] += ac[l] * bc[l];
+                }
+            }
+            for &lane in &lanes {
+                acc += lane;
+            }
+            *cv = acc;
         }
     }
-    c
 }
 
 /// Numerically stable row-wise softmax, in place.
@@ -283,6 +338,22 @@ mod tests {
         let b = Tensor::rand_uniform(25, 30, 1.0, 7);
         let expected = matmul(&a, &b.transpose());
         assert!(matmul_transpose_b(&a, &b).allclose(&expected, 1e-4));
+    }
+
+    #[test]
+    fn matmul_transpose_b_matches_explicit_threaded_sizes() {
+        // Big enough to take the multi-threaded path and exercise k-blocking.
+        let a = Tensor::rand_uniform(150, 300, 1.0, 8);
+        let b = Tensor::rand_uniform(90, 300, 1.0, 9);
+        let expected = matmul(&a, &b.transpose());
+        assert!(matmul_transpose_b(&a, &b).allclose(&expected, 1e-3));
+    }
+
+    #[test]
+    fn matmul_transpose_b_zero_dims() {
+        let a = Tensor::zeros(0, 5);
+        let b = Tensor::zeros(3, 5);
+        assert_eq!(matmul_transpose_b(&a, &b).shape(), (0, 3));
     }
 
     #[test]

@@ -194,6 +194,29 @@ impl CostModel {
         (n - 1) as f64 * bytes_per_rank as f64 / bw + self.startup_ring(group, n)
     }
 
+    /// Ring all-gather with *uneven* per-rank contributions. In a ring, link
+    /// `r → r+1` carries every chunk except the one that originates at
+    /// `r+1`, so the bottleneck link moves `Σ bytes − min(bytes)` and the
+    /// collective finishes in that link's drain time. Reduces exactly to
+    /// [`allgather_time`](Self::allgather_time) when all contributions are
+    /// equal; for a skewed gather (one big contributor, n−1 tiny ones) it is
+    /// up to n× cheaper than pricing every rank at the max.
+    pub fn allgather_time_uneven(&self, group: &[usize], bytes_per_rank: &[u64]) -> f64 {
+        let n = group.len();
+        assert_eq!(
+            bytes_per_rank.len(),
+            n,
+            "allgather_time_uneven needs one byte count per group member"
+        );
+        if n <= 1 {
+            return 0.0;
+        }
+        let total: u64 = bytes_per_rank.iter().sum();
+        let min = bytes_per_rank.iter().copied().min().unwrap_or(0);
+        let bw = self.bottleneck_bw(group);
+        (total - min) as f64 / bw + self.startup_ring(group, n)
+    }
+
     /// Ring all-reduce of `bytes` (reduce-scatter + all-gather):
     /// `2 (n-1)/n * bytes / bw`.
     pub fn allreduce_time(&self, group: &[usize], bytes: u64) -> f64 {
@@ -399,6 +422,33 @@ mod tests {
         let t8 = m.allgather_time(&g8, b);
         let t4 = m.allgather_time(&g4, b);
         assert!(t8 / t4 > 2.0 && t8 / t4 < 2.7, "ratio {}", t8 / t4);
+    }
+
+    #[test]
+    fn uneven_allgather_matches_even_formula_when_uniform() {
+        let m = frontier_model(64);
+        let g: Vec<usize> = (0..16).collect();
+        let b = 1 << 22;
+        let even = m.allgather_time(&g, b);
+        let uneven = m.allgather_time_uneven(&g, &[b; 16]);
+        assert!((even - uneven).abs() < 1e-12, "even {even} uneven {uneven}");
+    }
+
+    #[test]
+    fn skewed_allgather_is_cheaper_than_max_pricing() {
+        // One rank contributes everything: the ring moves ~1/n of what
+        // max-based pricing assumed.
+        let m = frontier_model(64);
+        let g: Vec<usize> = (0..16).collect();
+        let big = 1u64 << 26;
+        let mut bytes = vec![0u64; 16];
+        bytes[3] = big;
+        let skewed = m.allgather_time_uneven(&g, &bytes);
+        let max_priced = m.allgather_time(&g, big);
+        assert!(
+            skewed < max_priced / 8.0,
+            "skewed {skewed} vs max-priced {max_priced}"
+        );
     }
 
     #[test]

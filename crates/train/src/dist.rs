@@ -192,6 +192,117 @@ impl DistMoe {
         ))
     }
 
+    /// Chunked-overlap distributed forward: bitwise-identical numerics to
+    /// [`forward`](Self::forward), with the dispatch and combine all-to-alls
+    /// split into `chunks` expert-major chunks pipelined against the
+    /// per-expert FFNs via [`EpRoute::exchange_overlap`]. The train path
+    /// charges no simulated compute for expert GEMMs (matching the serial
+    /// forward), so the schedule — not the clock — is what changes here;
+    /// the priced overlap win is measured in `xmoe-core`/`bench overlap`.
+    pub fn forward_overlap(
+        &self,
+        x: &Tensor,
+        chunks: usize,
+        ep: &Communicator,
+        clock: &mut SimClock,
+    ) -> Result<(Tensor, DistMoeCtx), CommError> {
+        let hidden = x.cols();
+        let logits = matmul(x, &self.gate);
+        let mut scores = logits.clone();
+        softmax_rows(&mut scores);
+        let (top_experts, combine_weights) = topk_rows(&scores, self.top_k);
+        let top_logits = top_experts
+            .iter()
+            .enumerate()
+            .map(|(t, es)| es.iter().map(|&e| logits.get(t, e)).collect())
+            .collect();
+        let gating = GatingOutput {
+            top_experts,
+            combine_weights,
+            top_logits,
+            scores: scores.clone(),
+        };
+        let pft = Pft::construct(&gating, self.num_experts, self.capacity, self.policy);
+
+        let dispatch_in = gather_rows(x, &pft.token_ids);
+        let route = EpRoute::build(pft, &self.spec(), ep, clock)?;
+        clock.commit("dispatch_a2a_meta");
+
+        let f = self.shard[0].0.cols();
+        let counts = route.tokens_per_local_expert.clone();
+        let mut seg_offsets = Vec::with_capacity(self.shard.len() + 1);
+        seg_offsets.push(0usize);
+        for &cnt in &counts {
+            seg_offsets.push(seg_offsets.last().unwrap() + cnt);
+        }
+        let total = *seg_offsets.last().unwrap();
+        let mut expert_input = Tensor::zeros(total, hidden);
+        let mut h_pre = Tensor::zeros(total, f);
+        let mut h_act = Tensor::zeros(total, f);
+
+        let combine_in = route.exchange_overlap(
+            &dispatch_in,
+            chunks,
+            ("dispatch_a2a", "expert", "combine_a2a"),
+            ep,
+            clock,
+            |_c, plan, chunk_in, _clock| {
+                // Chunk c covers local experts [e0, e1); its rows are the
+                // expert-major slice [seg_offsets[e0], seg_offsets[e1]) of
+                // the full buffer, so saving them in place reproduces the
+                // serial `expert_input`/`h_pre`/`h_act` exactly.
+                let (e0, e1) = plan.experts;
+                let row0 = seg_offsets[e0];
+                expert_input.as_mut_slice()[row0 * hidden..(row0 + chunk_in.rows()) * hidden]
+                    .copy_from_slice(chunk_in.as_slice());
+                let mut y_chunk = Tensor::zeros(chunk_in.rows(), hidden);
+                let mut row = 0usize;
+                for e in e0..e1 {
+                    let cnt = counts[e];
+                    if cnt > 0 {
+                        let seg = chunk_in.slice_rows(row, row + cnt);
+                        let pre = matmul(&seg, &self.shard[e].0);
+                        let mut act = pre.clone();
+                        for v in act.as_mut_slice() {
+                            *v *= sigmoid(*v);
+                        }
+                        let out = matmul(&act, &self.shard[e].1);
+                        let g0 = row0 + row;
+                        h_pre.as_mut_slice()[g0 * f..(g0 + cnt) * f]
+                            .copy_from_slice(pre.as_slice());
+                        h_act.as_mut_slice()[g0 * f..(g0 + cnt) * f]
+                            .copy_from_slice(act.as_slice());
+                        y_chunk.as_mut_slice()[row * hidden..(row + cnt) * hidden]
+                            .copy_from_slice(out.as_slice());
+                    }
+                    row += cnt;
+                }
+                y_chunk
+            },
+        )?;
+
+        let mut out = x.clone();
+        scatter_rows_scaled(
+            &combine_in,
+            &route.pft.token_ids,
+            &route.pft.combine_weights,
+            &mut out,
+        );
+        Ok((
+            out,
+            DistMoeCtx {
+                x: x.clone(),
+                scores,
+                route,
+                expert_input,
+                h_pre,
+                h_act,
+                seg_offsets,
+                combine_in,
+            },
+        ))
+    }
+
     /// Distributed backward: accumulates local grads, returns `d_x`.
     /// Mirrors the forward route with two more all-to-alls.
     pub fn backward(
@@ -259,6 +370,109 @@ impl DistMoe {
         );
 
         // Router backward (local; router is replicated).
+        let e_count = self.num_experts;
+        let mut d_scores = Tensor::zeros(ctx.x.rows(), e_count);
+        for i in 0..b {
+            let t = ctx.route.pft.token_ids[i];
+            let e = ctx.route.pft.expert_ids[i];
+            let v = d_scores.get(t, e);
+            d_scores.set(t, e, v + d_w[i]);
+        }
+        let mut d_logits = Tensor::zeros(ctx.x.rows(), e_count);
+        for t in 0..ctx.x.rows() {
+            let s_row = ctx.scores.row(t);
+            let ds_row = d_scores.row(t);
+            let inner: f32 = s_row.iter().zip(ds_row).map(|(s, d)| s * d).sum();
+            let dl = d_logits.row_mut(t);
+            for j in 0..e_count {
+                dl[j] = s_row[j] * (ds_row[j] - inner);
+            }
+        }
+        let dg = matmul(&ctx.x.transpose(), &d_logits);
+        add_assign(&mut self.g_gate, &dg);
+        let d_x_gate = matmul_transpose_b(&d_logits, &self.gate);
+        add_assign(&mut d_x, &d_x_gate);
+        Ok(d_x)
+    }
+
+    /// Chunked-overlap distributed backward: bitwise-identical gradients to
+    /// [`backward`](Self::backward). The backward chain has the same shape
+    /// as the forward one — a dispatch-direction all-to-all (`d_combine` to
+    /// the expert side), per-expert GEMMs, and a combine-direction
+    /// all-to-all (`d_expert_in` back to sources) — so it pipelines through
+    /// the same [`EpRoute::exchange_overlap`] primitive.
+    pub fn backward_overlap(
+        &mut self,
+        ctx: &DistMoeCtx,
+        d_out: &Tensor,
+        chunks: usize,
+        ep: &Communicator,
+        clock: &mut SimClock,
+    ) -> Result<Tensor, CommError> {
+        let hidden = ctx.x.cols();
+        let b = ctx.route.pft.len();
+        let mut d_x = d_out.clone(); // residual
+
+        let mut d_combine = gather_rows(d_out, &ctx.route.pft.token_ids);
+        let mut d_w = vec![0.0f32; b];
+        for i in 0..b {
+            let w = ctx.route.pft.combine_weights[i];
+            let y_row = ctx.combine_in.row(i);
+            let dc = d_combine.row_mut(i);
+            let mut dot = 0.0f32;
+            for (dv, yv) in dc.iter_mut().zip(y_row) {
+                dot += *dv * yv;
+                *dv *= w;
+            }
+            d_w[i] = dot;
+        }
+
+        let shard = &self.shard;
+        let g_shard = &mut self.g_shard;
+        let d_dispatch = ctx.route.exchange_overlap(
+            &d_combine,
+            chunks,
+            ("bwd_combine_a2a", "bwd_expert", "bwd_dispatch_a2a"),
+            ep,
+            clock,
+            |_c, plan, chunk_dy, _clock| {
+                let (e0, e1) = plan.experts;
+                let mut d_chunk = Tensor::zeros(chunk_dy.rows(), hidden);
+                let mut row = 0usize;
+                for e in e0..e1 {
+                    let (start, end) = (ctx.seg_offsets[e], ctx.seg_offsets[e + 1]);
+                    let cnt = end - start;
+                    if cnt > 0 {
+                        let seg_x = ctx.expert_input.slice_rows(start, end);
+                        let seg_pre = ctx.h_pre.slice_rows(start, end);
+                        let seg_act = ctx.h_act.slice_rows(start, end);
+                        let seg_dy = chunk_dy.slice_rows(row, row + cnt);
+                        let dw2 = matmul(&seg_act.transpose(), &seg_dy);
+                        add_assign(&mut g_shard[e].1, &dw2);
+                        let mut d_h = matmul_transpose_b(&seg_dy, &shard[e].1);
+                        for (d, &pre) in d_h.as_mut_slice().iter_mut().zip(seg_pre.as_slice()) {
+                            *d *= silu_grad(pre);
+                        }
+                        let dw1 = matmul(&seg_x.transpose(), &d_h);
+                        add_assign(&mut g_shard[e].0, &dw1);
+                        let d_seg = matmul_transpose_b(&d_h, &shard[e].0);
+                        d_chunk.as_mut_slice()[row * hidden..(row + cnt) * hidden]
+                            .copy_from_slice(d_seg.as_slice());
+                    }
+                    row += cnt;
+                }
+                d_chunk
+            },
+        )?;
+        scatter_rows_scaled(
+            &d_dispatch,
+            &ctx.route.pft.token_ids,
+            &vec![1.0; b],
+            &mut d_x,
+        );
+
+        // Router backward (local; router is replicated) — identical to the
+        // serial path.
         let e_count = self.num_experts;
         let mut d_scores = Tensor::zeros(ctx.x.rows(), e_count);
         for i in 0..b {
@@ -722,6 +936,52 @@ mod tests {
     fn tiny_full(seed: u64) -> TrainableMoe {
         // 8 experts over H=8, F=6, top-2, ample capacity.
         TrainableMoe::new(8, 6, 8, 2, 100_000, DropPolicy::CapacityOnly, seed)
+    }
+
+    #[test]
+    fn overlapped_forward_backward_is_bitwise_identical_to_serial() {
+        let full = tiny_full(77);
+        let world = 4;
+        for chunks in [1usize, 2] {
+            let results = SimCluster::frontier(world).run(|ctx| {
+                let x = Tensor::rand_uniform(12, 8, 1.0, 810 + ctx.rank as u64);
+                let d_out = Tensor::rand_uniform(12, 8, 1.0, 910 + ctx.rank as u64);
+
+                let mut serial = DistMoe::from_trainable(&full, ctx.rank, world);
+                let (out_s, ctx_s) = serial.forward(&x, &ctx.world, &mut ctx.clock).unwrap();
+                let dx_s = serial
+                    .backward(&ctx_s, &d_out, &ctx.world, &mut ctx.clock)
+                    .unwrap();
+
+                let mut over = DistMoe::from_trainable(&full, ctx.rank, world);
+                let (out_o, ctx_o) = over
+                    .forward_overlap(&x, chunks, &ctx.world, &mut ctx.clock)
+                    .unwrap();
+                let dx_o = over
+                    .backward_overlap(&ctx_o, &d_out, chunks, &ctx.world, &mut ctx.clock)
+                    .unwrap();
+
+                let grads_equal = serial
+                    .g_shard
+                    .iter()
+                    .zip(&over.g_shard)
+                    .all(|((a1, a2), (b1, b2))| a1.allclose(b1, 0.0) && a2.allclose(b2, 0.0))
+                    && serial.g_gate.allclose(&over.g_gate, 0.0);
+                (
+                    out_s.allclose(&out_o, 0.0),
+                    dx_s.allclose(&dx_o, 0.0),
+                    grads_equal,
+                )
+            });
+            for (rank, (out_eq, dx_eq, grads_eq)) in results.iter().enumerate() {
+                assert!(
+                    out_eq,
+                    "chunks {chunks} rank {rank}: forward outputs differ"
+                );
+                assert!(dx_eq, "chunks {chunks} rank {rank}: input grads differ");
+                assert!(grads_eq, "chunks {chunks} rank {rank}: weight grads differ");
+            }
+        }
     }
 
     #[test]

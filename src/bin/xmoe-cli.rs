@@ -18,10 +18,14 @@
 //!     Routing analytics for a random router: load balance, entropy,
 //!     expert co-activation and realized combination count.
 //!
-//! xmoe-cli step <dense|pft|blocksparse|rbd> [ranks] [--trace <path>] [--csv <path>]
+//! xmoe-cli step <dense|pft|blocksparse|rbd> [ranks] [--overlap [chunks]]
+//!               [--trace <path>] [--csv <path>]
 //!     Run one live forward step of the chosen pipeline on the
 //!     threads-as-ranks runtime and print the cross-rank stage report
 //!     (min/mean/max/straggler per stage, sync-wait split out).
+//!     `--overlap` (pft and rbd) pipelines the dispatch all-to-all against
+//!     the expert compute in `chunks` pieces (default 4); the Chrome trace
+//!     then shows separate comm/compute tracks per rank.
 //!     `--trace` writes a Chrome trace-event JSON (open in Perfetto);
 //!     `--csv` writes the raw per-rank spans.
 //!
@@ -66,7 +70,7 @@ fn usage() -> ! {
          xmoe-cli throughput <small|medium|large|super> <gpus>\n  \
          xmoe-cli alltoall <gpus> <mbytes-per-rank>\n  \
          xmoe-cli analyze <experts> <topk> [tokens]\n  \
-         xmoe-cli step <dense|pft|blocksparse|rbd> [ranks] [--trace <path>] [--csv <path>]\n  \
+         xmoe-cli step <dense|pft|blocksparse|rbd> [ranks] [--overlap [chunks]] [--trace <path>] [--csv <path>]\n  \
          xmoe-cli chaos [ranks] [--faults <spec>] [--ckpt-every N] [--steps N] [--seed S]"
     );
     std::process::exit(2);
@@ -196,6 +200,7 @@ fn cmd_step(args: &[String]) {
     let mut ranks = 8usize;
     let mut trace_path: Option<&str> = None;
     let mut csv_path: Option<&str> = None;
+    let mut overlap: Option<usize> = None;
     let mut i = 1usize;
     while i < args.len() {
         match args[i].as_str() {
@@ -214,6 +219,19 @@ fn cmd_step(args: &[String]) {
                         .unwrap_or_else(|| usage()),
                 );
                 i += 2;
+            }
+            "--overlap" => {
+                // Optional chunk count; defaults to 4 pipeline chunks.
+                match args.get(i + 1).and_then(|s| s.parse::<usize>().ok()) {
+                    Some(c) => {
+                        overlap = Some(c);
+                        i += 2;
+                    }
+                    None => {
+                        overlap = Some(4);
+                        i += 1;
+                    }
+                }
             }
             s => {
                 ranks = s.parse().unwrap_or_else(|_| usage());
@@ -249,14 +267,25 @@ fn cmd_step(args: &[String]) {
                     );
                 }
                 "pft" | "padding_free" => {
-                    let _ = pipeline::padding_free::forward_ep(
-                        &tokens,
-                        router,
-                        &shard,
-                        spec,
-                        &ctx.world,
-                        &mut ctx.clock,
-                    );
+                    let _ = match overlap {
+                        Some(chunks) => pipeline::padding_free::forward_ep_overlap(
+                            &tokens,
+                            router,
+                            &shard,
+                            spec,
+                            chunks,
+                            &ctx.world,
+                            &mut ctx.clock,
+                        ),
+                        None => pipeline::padding_free::forward_ep(
+                            &tokens,
+                            router,
+                            &shard,
+                            spec,
+                            &ctx.world,
+                            &mut ctx.clock,
+                        ),
+                    };
                 }
                 "blocksparse" | "block_sparse" => {
                     let _ = pipeline::block_sparse::forward_ep_block_sparse(
@@ -272,15 +301,27 @@ fn cmd_step(args: &[String]) {
                 "rbd" => {
                     let comms = RbdComms::create(&ctx.world, &mut ctx.clock).unwrap();
                     let mut rng = DetRng::new(0x57EC + ctx.rank as u64);
-                    let _ = rbd::forward_ep_rbd(
-                        &tokens,
-                        router,
-                        &shard,
-                        spec,
-                        &comms,
-                        &mut rng,
-                        &mut ctx.clock,
-                    );
+                    let _ = match overlap {
+                        Some(chunks) => rbd::forward_ep_rbd_overlap(
+                            &tokens,
+                            router,
+                            &shard,
+                            spec,
+                            &comms,
+                            &mut rng,
+                            &mut ctx.clock,
+                            chunks,
+                        ),
+                        None => rbd::forward_ep_rbd(
+                            &tokens,
+                            router,
+                            &shard,
+                            spec,
+                            &comms,
+                            &mut rng,
+                            &mut ctx.clock,
+                        ),
+                    };
                 }
                 _ => usage(),
             }
@@ -288,7 +329,13 @@ fn cmd_step(args: &[String]) {
         })
     };
     let report = StepReport::from_ranks(&traces);
-    println!("{name} pipeline, one forward step, {ranks} simulated Frontier ranks (reduced dims):");
+    let mode = match overlap {
+        Some(c) => format!(" (overlap, {c} chunks)"),
+        None => String::new(),
+    };
+    println!(
+        "{name} pipeline{mode}, one forward step, {ranks} simulated Frontier ranks (reduced dims):"
+    );
     println!(
         "{:<28} {:>11} {:>11} {:>11} {:>10} {:>6}",
         "stage", "min", "mean", "max", "imbalance", "worst"

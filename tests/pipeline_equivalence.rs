@@ -218,6 +218,70 @@ fn transports_agree_at_eight_node_scale() {
     });
 }
 
+/// The chunked dispatch–compute overlap must be bitwise-identical to the
+/// serial padding-free forward — not merely close — across routing skews:
+/// skew concentrates tokens on few experts, producing empty and lopsided
+/// chunks, exactly the shapes where a chunking bug would reorder rows or
+/// re-associate a float.
+#[test]
+fn overlapped_padding_free_is_bitwise_identical_across_skews() {
+    let (world, seq, hidden, ffn, experts, top_k) = (8usize, 32usize, 12usize, 8usize, 16usize, 4);
+    let seed = 808u64;
+    let spec = MoeLayerSpec::new(experts, 10_000);
+    for &skew in &[0.0f32, 2.0, 8.0] {
+        // Bias the router weight column-wise so low expert ids are hot (the
+        // exponential popularity profile of `bench ablation_skew`).
+        let base = Router::new(hidden, experts, top_k, seed);
+        let mut w = base.weight.clone();
+        for r in 0..w.rows() {
+            for c in 0..w.cols() {
+                let bias = skew * (-(c as f32) / experts as f32 * 4.0).exp() / hidden as f32;
+                let v = w.get(r, c);
+                w.set(r, c, v + bias);
+            }
+        }
+        let router = Router::from_weight(w, top_k);
+        for chunks in [2usize, 3] {
+            let pairs = {
+                let (router, spec) = (&router, &spec);
+                SimCluster::frontier(world).run(move |ctx| {
+                    let shard =
+                        ExpertShard::for_rank(ctx.rank, world, experts, hidden, ffn, seed + 1);
+                    let tokens = Tensor::rand_uniform(seq, hidden, 1.0, 7000 + ctx.rank as u64);
+                    let serial = pipeline::padding_free::forward_ep(
+                        &tokens,
+                        router,
+                        &shard,
+                        spec,
+                        &ctx.world,
+                        &mut ctx.clock,
+                    )
+                    .unwrap();
+                    let overlapped = pipeline::padding_free::forward_ep_overlap(
+                        &tokens,
+                        router,
+                        &shard,
+                        spec,
+                        chunks,
+                        &ctx.world,
+                        &mut ctx.clock,
+                    )
+                    .unwrap();
+                    (serial, overlapped)
+                })
+            };
+            for (rank, (serial, overlapped)) in pairs.iter().enumerate() {
+                assert!(
+                    serial.allclose(overlapped, 0.0),
+                    "skew {skew} chunks {chunks} rank {rank}: overlap diverges bitwise \
+                     (max diff {})",
+                    serial.max_abs_diff(overlapped)
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn ssmb_matches_reference_over_tp_dp_grid() {
     // TP=2, DP=2, EP=4 over 4 ranks: SSMB shards the sequence then

@@ -209,6 +209,109 @@ fn check_json(s: &str) {
     assert!(seen_value, "empty JSON document");
 }
 
+/// Overlap extension of the exactness invariant: inside a region, spans of
+/// each track are back-to-back from the region's opening time and sum
+/// exactly to the track's cursor; the region's wall contribution is the max
+/// over tracks; the serial spans plus that wall reproduce `clock.now()`.
+#[test]
+fn overlap_region_per_track_spans_sum_exactly_and_wall_is_max() {
+    let router = Router::new(H, E, K, 0xBEE);
+    let spec = MoeLayerSpec::new(E, 10_000);
+    let router = &router;
+    let spec = &spec;
+    let traces = SimCluster::frontier(WORLD).run(move |ctx| {
+        let shard = ExpertShard::for_rank(ctx.rank, WORLD, E, H, F, 0xBEF);
+        let tokens = Tensor::rand_uniform(S, H, 1.0, 0xBF0 + ctx.rank as u64);
+        let _ = pipeline::padding_free::forward_ep_overlap(
+            &tokens,
+            router,
+            &shard,
+            spec,
+            2,
+            &ctx.world,
+            &mut ctx.clock,
+        );
+        RankTrace::capture(ctx.rank, &mut ctx.clock, ctx.world.traffic())
+    });
+
+    let mut hidden_somewhere = false;
+    for tr in &traces {
+        let tracked: Vec<_> = tr.spans.iter().filter(|s| s.track.is_some()).collect();
+        assert!(!tracked.is_empty(), "rank {}: no overlap spans", tr.rank);
+        let t0 = tracked
+            .iter()
+            .map(|s| s.start)
+            .fold(f64::INFINITY, f64::min);
+        let mut names: Vec<&str> = Vec::new();
+        for s in &tracked {
+            let name = s.track.as_deref().unwrap();
+            if !names.contains(&name) {
+                names.push(name);
+            }
+        }
+        assert!(names.len() >= 2, "rank {}: only tracks {names:?}", tr.rank);
+
+        let mut wall_end = t0;
+        let mut work_total = 0.0f64;
+        for name in &names {
+            let mut cursor = t0;
+            let mut sum = 0.0f64;
+            for s in tracked.iter().filter(|s| s.track.as_deref() == Some(name)) {
+                assert!(
+                    (s.start - cursor).abs() < 1e-9,
+                    "rank {} track {name}: gap before {:?} at {cursor}",
+                    tr.rank,
+                    s.label
+                );
+                cursor = s.start + s.dur;
+                sum += s.dur;
+            }
+            // Per-track spans sum exactly to the track's cursor.
+            assert!(
+                (sum - (cursor - t0)).abs() < 1e-9,
+                "rank {} track {name}: spans sum {sum} vs cursor {}",
+                tr.rank,
+                cursor - t0
+            );
+            wall_end = wall_end.max(cursor);
+            work_total += sum;
+        }
+        // Region wall = max over tracks: serial spans + the region wall
+        // reproduce the rank's final clock exactly.
+        let serial_sum: f64 = tr
+            .spans
+            .iter()
+            .filter(|s| s.track.is_none())
+            .map(|s| s.dur)
+            .sum();
+        assert!(
+            (serial_sum + (wall_end - t0) - tr.end).abs() < 1e-9,
+            "rank {}: serial {serial_sum} + wall {} != clock {}",
+            tr.rank,
+            wall_end - t0,
+            tr.end
+        );
+        // Work conservation: buckets keep the full per-track durations, so
+        // the total meets or exceeds the wall; any excess is hidden time.
+        assert!(work_total >= wall_end - t0 - 1e-9);
+        if work_total > wall_end - t0 + 1e-9 {
+            hidden_somewhere = true;
+        }
+    }
+    assert!(
+        hidden_somewhere,
+        "overlap hid no time on any rank — the region degenerated to serial"
+    );
+
+    // Overlap-aware Chrome export: each rank's region tracks render as their
+    // own named Perfetto rows next to the rank's serial track.
+    let json = trace::chrome_trace(&traces);
+    check_json(&json);
+    for needle in ["[comm]", "[compute]", "[comm_out]"] {
+        assert!(json.contains(needle), "chrome trace missing track {needle}");
+    }
+}
+
 #[test]
 fn chrome_trace_is_valid_json_with_all_stage_labels_per_rank() {
     let traces = run_pipeline("padding_free");
