@@ -30,10 +30,7 @@ fn main() {
     for r in WORLD / 2..WORLD {
         plan = plan.kill(r, KILL_AT);
     }
-    let chaos = ChaosConfig {
-        steps: STEPS,
-        ckpt_every: 0,
-    };
+    let chaos = ChaosConfig::new(STEPS, 0);
     let c = &c;
     let out = SimCluster::frontier(WORLD)
         .with_faults(plan)

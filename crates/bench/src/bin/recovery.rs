@@ -39,10 +39,7 @@ fn sweep_point(ckpt_every: u64) -> (ChaosReport, f64, f64) {
     for r in WORLD / 2..WORLD {
         plan = plan.kill(r, KILL_AT);
     }
-    let chaos = ChaosConfig {
-        steps: STEPS,
-        ckpt_every,
-    };
+    let chaos = ChaosConfig::new(STEPS, ckpt_every);
     let c = &c;
     let out = SimCluster::frontier(WORLD)
         .with_faults(plan)

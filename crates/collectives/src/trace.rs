@@ -139,6 +139,16 @@ pub struct RecoveryStats {
     /// quantity the `bench recovery` sweep trades against checkpoint
     /// interval.
     pub mttr: f64,
+    /// Steps between the (injected) silent corruption and the guard trip
+    /// that caught it — 0 when caught in the same step, and for fail-stop
+    /// recoveries, which are detected synchronously.
+    pub detect_latency_steps: u64,
+    /// Guard trips not attributable to any scheduled SDC event up to the
+    /// trip step (spurious detections; must be 0 on clean runs).
+    pub false_positives: u64,
+    /// Steps of completed work discarded by a rollback-to-checkpoint
+    /// policy action (0 for skip/backoff recoveries).
+    pub steps_lost_to_rollback: u64,
 }
 
 /// Cross-rank aggregation of one step: per-stage min/mean/max and straggler

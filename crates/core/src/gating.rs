@@ -103,6 +103,83 @@ impl Router {
     }
 }
 
+/// Router numerical-health guards. Large-scale MoE reports (Megatron Core
+/// MoE, ST-MoE) single out router logit blow-up as a first-order stability
+/// hazard: softmax saturates, one expert captures everything, and the
+/// z = logsumexp of the logits drifts until bf16 overflows. Two standard
+/// countermeasures, both exact and deterministic:
+/// * clamp logits into `[-limit, limit]` before the softmax;
+/// * penalize `z` with the ST-MoE z-loss `L_z = (1/S) * sum_t z_t^2`.
+#[derive(Clone, Copy, Debug)]
+pub struct RouterGuard {
+    /// Symmetric logit clamp bound (`0.0` disables clamping).
+    pub logit_clamp: f32,
+    /// Coefficient of the z-loss term (`0.0` disables it).
+    pub z_loss_coef: f32,
+}
+
+impl Default for RouterGuard {
+    fn default() -> Self {
+        Self {
+            logit_clamp: 0.0,
+            z_loss_coef: 0.0,
+        }
+    }
+}
+
+impl RouterGuard {
+    /// Is either guard active?
+    pub fn enabled(&self) -> bool {
+        self.logit_clamp != 0.0 || self.z_loss_coef != 0.0
+    }
+}
+
+/// Clamp every logit into `[-limit, limit]`; returns how many were clamped
+/// (a health signal the guard timeline can surface). `limit <= 0` is a
+/// no-op. Non-finite logits are left for the non-finite scan to report.
+pub fn clamp_logits(logits: &mut Tensor, limit: f32) -> usize {
+    if limit <= 0.0 {
+        return 0;
+    }
+    let mut clamped = 0usize;
+    for v in logits.as_mut_slice() {
+        if *v > limit {
+            *v = limit;
+            clamped += 1;
+        } else if *v < -limit {
+            *v = -limit;
+            clamped += 1;
+        }
+    }
+    clamped
+}
+
+/// Numerically stable per-row `log(sum(exp(logits)))` — the router's
+/// z-statistic. The max is subtracted before exponentiation so finite
+/// logits always produce a finite z.
+pub fn row_logsumexp(logits: &Tensor) -> Vec<f32> {
+    (0..logits.rows())
+        .map(|t| {
+            let row = logits.row(t);
+            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let sum: f32 = row.iter().map(|&v| (v - m).exp()).sum();
+            m + sum.ln()
+        })
+        .collect()
+}
+
+/// Value of the z-loss for the given per-row z statistics:
+/// `(1/S) * sum_t z_t^2`. The gradient with respect to logit `(t, j)` is
+/// `(2/S) * z_t * softmax(t, j)` — callers add it straight onto
+/// `d_logits`, bypassing the softmax backward, since z is a direct
+/// function of the logits.
+pub fn z_loss_value(lse: &[f32]) -> f64 {
+    if lse.is_empty() {
+        return 0.0;
+    }
+    lse.iter().map(|&z| (z as f64) * (z as f64)).sum::<f64>() / lse.len() as f64
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -169,5 +246,46 @@ mod tests {
     #[should_panic(expected = "top_k")]
     fn rejects_topk_larger_than_expert_count() {
         let _ = Router::new(8, 4, 5, 1);
+    }
+
+    #[test]
+    fn clamp_limits_logits_and_counts_hits() {
+        let mut t = Tensor::from_vec(2, 3, vec![-9.0, 0.5, 9.0, 2.0, -2.0, 30.0]);
+        let n = clamp_logits(&mut t, 2.0);
+        assert_eq!(n, 3);
+        assert_eq!(t.as_slice(), &[-2.0, 0.5, 2.0, 2.0, -2.0, 2.0]);
+        // limit 0 disables.
+        let mut u = Tensor::from_vec(1, 2, vec![100.0, -100.0]);
+        assert_eq!(clamp_logits(&mut u, 0.0), 0);
+        assert_eq!(u.as_slice(), &[100.0, -100.0]);
+    }
+
+    #[test]
+    fn logsumexp_is_stable_and_exact_on_known_rows() {
+        // Row of equal logits c: lse = c + ln(E).
+        let t = Tensor::from_vec(
+            2,
+            4,
+            vec![1.0; 4].into_iter().chain(vec![500.0; 4]).collect(),
+        );
+        let lse = row_logsumexp(&t);
+        assert!((lse[0] - (1.0 + 4.0f32.ln())).abs() < 1e-6);
+        // Huge logits stay finite thanks to max subtraction.
+        assert!(lse[1].is_finite());
+        assert!((lse[1] - (500.0 + 4.0f32.ln())).abs() < 1e-3);
+        let z = z_loss_value(&lse);
+        assert!(z.is_finite() && z > 0.0);
+        assert_eq!(z_loss_value(&[]), 0.0);
+    }
+
+    #[test]
+    fn router_guard_defaults_are_inert() {
+        let g = RouterGuard::default();
+        assert!(!g.enabled());
+        assert!(RouterGuard {
+            logit_clamp: 8.0,
+            z_loss_coef: 0.0
+        }
+        .enabled());
     }
 }

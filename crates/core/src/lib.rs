@@ -39,6 +39,6 @@ pub mod ssmb;
 
 pub use config::{DType, MoeModelConfig, ParallelConfig};
 pub use expert::{Expert, ExpertShard};
-pub use gating::{DropPolicy, GatingOutput, Router};
+pub use gating::{DropPolicy, GatingOutput, Router, RouterGuard};
 pub use layer::MoeLayer;
 pub use pft::Pft;

@@ -21,6 +21,54 @@
 
 use crate::LinkClass;
 
+/// Which tensor class a silent-data-corruption event hits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SdcSite {
+    /// Activations flowing between layers (corrupted before the LM head).
+    Act,
+    /// Gradients, corrupted after backward but before the gradient
+    /// all-reduce so the flip propagates like a real device-memory SDC.
+    Grad,
+    /// Raw checkpoint bytes, corrupted at capture time on the victim rank.
+    Ckpt,
+}
+
+impl SdcSite {
+    pub fn name(self) -> &'static str {
+        match self {
+            SdcSite::Act => "act",
+            SdcSite::Grad => "grad",
+            SdcSite::Ckpt => "ckpt",
+        }
+    }
+}
+
+/// One seeded bit-flip scheduled by the plan: the victim rank, the step,
+/// the site, and which bit of the chosen f32 word (or checkpoint byte) to
+/// flip. `element_hash` is a deterministic 64-bit value the injector
+/// reduces modulo the target length to pick the victim element, so the
+/// same plan always corrupts the same word.
+#[derive(Clone, Copy, Debug)]
+pub struct SdcBitFlip {
+    pub site: SdcSite,
+    /// Bit index inside the 32-bit float word (for `Ckpt`, inside the
+    /// chosen byte: `bit % 8`).
+    pub bit: u32,
+    /// Seeded hash used to pick the victim element deterministically.
+    pub element_hash: u64,
+}
+
+impl SdcBitFlip {
+    /// Victim element index within a buffer of `len` elements.
+    pub fn element(&self, len: usize) -> usize {
+        if len == 0 {
+            0
+        } else {
+            (self.element_hash % len as u64) as usize
+        }
+    }
+}
+
 /// Which class of links a link-level fault hits.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum LinkTier {
@@ -69,6 +117,26 @@ pub enum FaultEvent {
     },
     /// Rank `rank` dies permanently at the start of step `at`.
     RankFail { rank: usize, at: u64 },
+    /// A silent bit flip on rank `rank` at step `at`: one bit of one f32
+    /// word (or one checkpoint byte) at `site` is inverted. `bit` is the
+    /// explicit bit index if the spec pinned one; otherwise the injector
+    /// derives it from the plan seed.
+    BitFlip {
+        rank: usize,
+        at: u64,
+        site: SdcSite,
+        bit: Option<u32>,
+    },
+    /// Low-amplitude additive corruption on rank `rank` during the window:
+    /// every element at `site` is perturbed by a seeded uniform value in
+    /// `[-amp, amp]`. Stays finite, so only anomaly detection can catch it.
+    Noise {
+        rank: usize,
+        site: SdcSite,
+        amp: f64,
+        from: u64,
+        until: u64,
+    },
 }
 
 impl FaultEvent {
@@ -77,9 +145,21 @@ impl FaultEvent {
             FaultEvent::Slowdown { from, until, .. }
             | FaultEvent::LinkDegrade { from, until, .. }
             | FaultEvent::LinkFlap { from, until, .. } => from <= step && step < until,
+            FaultEvent::Noise { from, until, .. } => from <= step && step < until,
             FaultEvent::RankFail { at, .. } => step >= at,
+            FaultEvent::BitFlip { at, .. } => step == at,
         }
     }
+}
+
+/// splitmix64 — the same seeded mixer the data streams use; good enough to
+/// decorrelate (seed, rank, step, site) into an element/bit choice.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// A deterministic schedule of faults, plus the recovery-time constants the
@@ -156,6 +236,38 @@ impl FaultPlan {
     /// Schedule a permanent rank failure at the start of step `at`.
     pub fn kill(mut self, rank: usize, at: u64) -> Self {
         self.events.push(FaultEvent::RankFail { rank, at });
+        self
+    }
+
+    /// Schedule a single silent bit flip on `rank` at step `at`. Pass
+    /// `bit: None` to let the plan seed choose an exponent-region bit.
+    pub fn bitflip(mut self, rank: usize, at: u64, site: SdcSite, bit: Option<u32>) -> Self {
+        if let Some(b) = bit {
+            assert!(b < 32, "bit index must be < 32");
+        }
+        self.events.push(FaultEvent::BitFlip {
+            rank,
+            at,
+            site,
+            bit,
+        });
+        self
+    }
+
+    /// Schedule low-amplitude additive noise on `rank` for
+    /// `from <= step < until`.
+    pub fn noise(mut self, rank: usize, site: SdcSite, amp: f64, from: u64, until: u64) -> Self {
+        assert!(
+            amp.is_finite() && amp >= 0.0,
+            "noise amplitude must be >= 0"
+        );
+        self.events.push(FaultEvent::Noise {
+            rank,
+            site,
+            amp,
+            from,
+            until,
+        });
         self
     }
 
@@ -255,6 +367,104 @@ impl FaultPlan {
             .min()
     }
 
+    /// All bit flips scheduled for `rank` at `step` on `site`, in plan
+    /// order, with the element hash and bit index fully resolved so every
+    /// replay corrupts the same word. When the spec did not pin a bit, the
+    /// seed picks one in the exponent region (bits 23..30) — the flips a
+    /// real SDC study cares about, and the ones detectors must catch.
+    pub fn bitflips(&self, rank: usize, step: u64, site: SdcSite) -> Vec<SdcBitFlip> {
+        self.events
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| match *e {
+                FaultEvent::BitFlip {
+                    rank: r,
+                    at,
+                    site: s,
+                    bit,
+                } if r == rank && at == step && s == site => {
+                    let h = splitmix64(
+                        self.seed
+                            ^ (rank as u64).wrapping_mul(0x9E37_79B9)
+                            ^ step.wrapping_mul(0xD1B5_4A32_D192_ED03)
+                            ^ ((i as u64) << 48)
+                            ^ (site as u64) << 40,
+                    );
+                    Some(SdcBitFlip {
+                        site,
+                        bit: bit.unwrap_or(23 + ((h >> 32) % 8) as u32),
+                        element_hash: h,
+                    })
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Combined noise amplitude for `rank` at `step` on `site` (0.0 when
+    /// nothing is active). Amplitudes of overlapping events add.
+    pub fn noise_amp(&self, rank: usize, step: u64, site: SdcSite) -> f64 {
+        self.events
+            .iter()
+            .filter_map(|e| match *e {
+                FaultEvent::Noise {
+                    rank: r,
+                    site: s,
+                    amp,
+                    ..
+                } if r == rank && s == site && e.active(step) => Some(amp),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Earliest step at which any SDC event (bit flip or noise) fires on
+    /// `rank`, if one is scheduled. Used to classify guard trips as true or
+    /// false positives.
+    pub fn first_sdc_at(&self, rank: usize) -> Option<u64> {
+        self.events
+            .iter()
+            .filter_map(|e| match *e {
+                FaultEvent::BitFlip { rank: r, at, .. } if r == rank => Some(at),
+                FaultEvent::Noise { rank: r, from, .. } if r == rank => Some(from),
+                _ => None,
+            })
+            .min()
+    }
+
+    /// Latest SDC event step at or before `step` across all ranks —
+    /// detectors report latency relative to this.
+    pub fn last_sdc_at_or_before(&self, step: u64) -> Option<u64> {
+        self.events
+            .iter()
+            .filter_map(|e| match *e {
+                FaultEvent::BitFlip { at, .. } if at <= step => Some(at),
+                FaultEvent::Noise { from, .. } if from <= step => Some(from),
+                _ => None,
+            })
+            .max()
+    }
+
+    /// Does the plan schedule any silent-data-corruption event at all?
+    pub fn has_sdc(&self) -> bool {
+        self.events
+            .iter()
+            .any(|e| matches!(e, FaultEvent::BitFlip { .. } | FaultEvent::Noise { .. }))
+    }
+
+    /// Seeded per-(rank, step, site) stream seed for noise injection: the
+    /// injector feeds this to its own RNG so noise values are reproducible
+    /// and independent of buffer iteration order elsewhere.
+    pub fn sdc_stream_seed(&self, rank: usize, step: u64, site: SdcSite) -> u64 {
+        splitmix64(
+            self.seed
+                ^ 0x5DC5_DC5D_C5DC_5DC5
+                ^ (rank as u64).wrapping_mul(0xA24B_AED4_963E_E407)
+                ^ step.wrapping_mul(0x9FB2_1C65_1E98_DF25)
+                ^ ((site as u64) << 56),
+        )
+    }
+
     /// Backoff delay before retry attempt `k` (exponential, deterministic —
     /// every surviving rank computes the same value, keeping clocks aligned).
     pub fn backoff(&self, attempt: u32) -> f64 {
@@ -274,9 +484,13 @@ impl FaultPlan {
     /// degrade:tier=inter,x=3,from=2,until=6
     /// flap:tier=inter,retries=2,from=3,until=4
     /// kill:rank=5,at=4
+    /// bitflip:rank=2,at=5,site=grad,bit=30
+    /// noise:rank=1,site=act,amp=0.05,from=3,until=6
     /// ```
     ///
-    /// `from` defaults to 0, `until` to forever.
+    /// `from` defaults to 0, `until` to forever; `bit` is optional (the
+    /// seed picks an exponent bit when omitted); `site` is one of
+    /// `act`/`grad`/`ckpt`.
     pub fn parse(seed: u64, spec: &str) -> Result<Self, String> {
         let mut plan = Self::new(seed);
         for ev in spec.split(';').filter(|s| !s.trim().is_empty()) {
@@ -291,6 +505,9 @@ impl FaultPlan {
             let mut from = 0u64;
             let mut until = u64::MAX;
             let mut at = None;
+            let mut site = None;
+            let mut bit = None;
+            let mut amp = None;
             for kv in rest.split(',').filter(|s| !s.trim().is_empty()) {
                 let (k, v) = kv
                     .split_once('=')
@@ -310,6 +527,22 @@ impl FaultPlan {
                     "from" => from = parse_num::<u64>(k, v)?,
                     "until" => until = parse_num::<u64>(k, v)?,
                     "at" => at = Some(parse_num::<u64>(k, v)?),
+                    "site" => {
+                        site = Some(match v {
+                            "act" => SdcSite::Act,
+                            "grad" => SdcSite::Grad,
+                            "ckpt" => SdcSite::Ckpt,
+                            _ => return Err(format!("unknown sdc site '{v}'")),
+                        })
+                    }
+                    "bit" => {
+                        let b = parse_num::<u32>(k, v)?;
+                        if b >= 32 {
+                            return Err(format!("bit index '{v}' out of range (0..32)"));
+                        }
+                        bit = Some(b);
+                    }
+                    "amp" => amp = Some(parse_num::<f64>(k, v)?),
                     _ => return Err(format!("unknown fault field '{k}'")),
                 }
             }
@@ -336,6 +569,18 @@ impl FaultPlan {
                     let r = need(rank, kind, "rank")?;
                     let a = need(at, kind, "at")?;
                     plan.kill(r, a)
+                }
+                "bitflip" => {
+                    let r = need(rank, kind, "rank")?;
+                    let a = need(at, kind, "at")?;
+                    let s = need(site, kind, "site")?;
+                    plan.bitflip(r, a, s, bit)
+                }
+                "noise" => {
+                    let r = need(rank, kind, "rank")?;
+                    let s = need(site, kind, "site")?;
+                    let amp = need(amp, kind, "amp")?;
+                    plan.noise(r, s, amp, from, until)
                 }
                 _ => return Err(format!("unknown fault kind '{kind}'")),
             };
@@ -430,6 +675,88 @@ mod tests {
         assert_eq!(p.link_multiplier(LinkClass::InterNode, 4), 3.0);
         assert_eq!(p.flap_retries(LinkClass::CrossRack, 3), 2);
         assert_eq!(p.dies_at(5), Some(4));
+    }
+
+    #[test]
+    fn bitflip_fires_once_and_is_deterministic() {
+        let p = FaultPlan::new(42).bitflip(2, 5, SdcSite::Grad, Some(30));
+        assert!(p.bitflips(2, 4, SdcSite::Grad).is_empty());
+        assert!(p.bitflips(2, 6, SdcSite::Grad).is_empty());
+        assert!(p.bitflips(1, 5, SdcSite::Grad).is_empty());
+        assert!(p.bitflips(2, 5, SdcSite::Act).is_empty());
+        let hits = p.bitflips(2, 5, SdcSite::Grad);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].bit, 30);
+        // Same plan, same query -> same element choice, twice over.
+        assert_eq!(
+            hits[0].element(1000),
+            p.bitflips(2, 5, SdcSite::Grad)[0].element(1000)
+        );
+        assert!(hits[0].element(7) < 7);
+        assert_eq!(hits[0].element(0), 0);
+        assert!(p.has_sdc());
+        assert!(!FaultPlan::new(42).kill(0, 3).has_sdc());
+        assert_eq!(p.first_sdc_at(2), Some(5));
+        assert_eq!(p.first_sdc_at(0), None);
+        assert_eq!(p.last_sdc_at_or_before(4), None);
+        assert_eq!(p.last_sdc_at_or_before(9), Some(5));
+    }
+
+    #[test]
+    fn derived_bit_lands_in_exponent_region() {
+        for seed in 0..32u64 {
+            let p = FaultPlan::new(seed).bitflip(0, 1, SdcSite::Act, None);
+            let b = p.bitflips(0, 1, SdcSite::Act)[0].bit;
+            assert!(
+                (23..31).contains(&b),
+                "derived bit {b} outside exponent region"
+            );
+        }
+    }
+
+    #[test]
+    fn noise_window_and_amplitude_compose() {
+        let p =
+            FaultPlan::new(3)
+                .noise(1, SdcSite::Act, 0.05, 3, 6)
+                .noise(1, SdcSite::Act, 0.01, 5, 8);
+        assert_eq!(p.noise_amp(1, 2, SdcSite::Act), 0.0);
+        assert_eq!(p.noise_amp(1, 3, SdcSite::Act), 0.05);
+        assert!((p.noise_amp(1, 5, SdcSite::Act) - 0.06).abs() < 1e-12);
+        assert_eq!(p.noise_amp(1, 7, SdcSite::Act), 0.01);
+        assert_eq!(p.noise_amp(1, 8, SdcSite::Act), 0.0);
+        assert_eq!(p.noise_amp(0, 4, SdcSite::Act), 0.0);
+        assert_eq!(p.noise_amp(1, 4, SdcSite::Grad), 0.0);
+        // Stream seeds differ across (rank, step, site) but replay identically.
+        assert_eq!(
+            p.sdc_stream_seed(1, 4, SdcSite::Act),
+            p.sdc_stream_seed(1, 4, SdcSite::Act)
+        );
+        assert_ne!(
+            p.sdc_stream_seed(1, 4, SdcSite::Act),
+            p.sdc_stream_seed(1, 5, SdcSite::Act)
+        );
+    }
+
+    #[test]
+    fn sdc_spec_strings_parse() {
+        let p = FaultPlan::parse(
+            11,
+            "bitflip:rank=2,at=5,site=grad,bit=30;noise:rank=1,site=act,amp=0.05,from=3,until=6",
+        )
+        .unwrap();
+        assert_eq!(p.events.len(), 2);
+        let hits = p.bitflips(2, 5, SdcSite::Grad);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].bit, 30);
+        assert_eq!(p.noise_amp(1, 4, SdcSite::Act), 0.05);
+        // bit defaults to a seeded exponent bit when omitted.
+        let q = FaultPlan::parse(11, "bitflip:rank=0,at=1,site=ckpt").unwrap();
+        assert!((23..31).contains(&q.bitflips(0, 1, SdcSite::Ckpt)[0].bit));
+        assert!(FaultPlan::parse(0, "bitflip:rank=0,at=1").is_err());
+        assert!(FaultPlan::parse(0, "bitflip:rank=0,at=1,site=weights").is_err());
+        assert!(FaultPlan::parse(0, "bitflip:rank=0,at=1,site=grad,bit=32").is_err());
+        assert!(FaultPlan::parse(0, "noise:rank=0,site=act").is_err());
     }
 
     #[test]

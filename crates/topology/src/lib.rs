@@ -30,7 +30,7 @@ pub mod placement;
 
 pub use congestion::CongestionModel;
 pub use cost::CostModel;
-pub use fault::{FaultEvent, FaultPlan, LinkTier};
+pub use fault::{FaultEvent, FaultPlan, LinkTier, SdcBitFlip, SdcSite};
 pub use placement::{
     build_grid, build_grid_excluding, build_grid_tp, PlacementPolicy, ProcessGrid,
 };

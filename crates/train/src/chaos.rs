@@ -1,5 +1,5 @@
 //! Chaos harness: fault-injected distributed training with deterministic
-//! checkpoint/restore and elastic recovery.
+//! checkpoint/restore, elastic recovery, and a silent-fault defense layer.
 //!
 //! [`run_chaos_rank`] is the per-rank body for
 //! [`xmoe_collectives::SimCluster::run`]: it trains a [`DistMoeLm`] under a
@@ -8,7 +8,16 @@
 //! survivors, reloads the last checkpoint and continues at the reduced
 //! world size.
 //!
-//! Two properties make the recovery *deterministic*:
+//! On top of the fail-stop machinery sits the SDC defense
+//! ([`crate::guard`]): when [`crate::guard::GuardConfig::enabled`] is set,
+//! every step runs scaled by the dynamic loss scale, injected `bitflip:` /
+//! `noise:` events corrupt activations, gradients or checkpoint bytes,
+//! the synced gradients are scanned (non-finite count + global norm, made
+//! rank-consistent by a tiny status all-reduce charged as `guard:*`
+//! spans), and anomalies walk the policy ladder `skip_step` →
+//! `backoff_loss_scale` → `rollback_to_checkpoint`.
+//!
+//! Determinism properties:
 //!
 //! * The training data stream is stateless per step: a harness
 //!   [`DetRng`] draws one `step_seed` per step (the same on every rank,
@@ -21,17 +30,29 @@
 //!   same parameters a fresh `N`-rank run restoring the same bytes would
 //!   hold — and from identical parameters, data and RNG state, the loss
 //!   trajectory is bitwise identical.
+//! * SDC events are one-shot per `(step, site)`: a replay after rollback
+//!   does *not* re-fire an injection it already delivered (real bit flips
+//!   are transient), so a rollback replays clean and the post-rollback
+//!   trajectory is bitwise identical to an uninjected run's.
+//! * Every guard decision derives from rank-consistent statistics
+//!   (all-reduced status vector, global loss), so policies fire in
+//!   lockstep across the group and no rank deadlocks in a collective.
 //!
 //! When the failure lands exactly on a checkpoint boundary no steps are
 //! replayed and MTTR reduces to detect + restore time.
 
-use xmoe_collectives::{CommError, RankCtx, RecoveryStats};
+use std::collections::BTreeSet;
+
+use xmoe_collectives::{CommError, Communicator, RankCtx, RecoveryStats, SimClock};
 use xmoe_tensor::DetRng;
-use xmoe_topology::{build_grid_excluding, PlacementPolicy};
+use xmoe_topology::{build_grid_excluding, FaultPlan, PlacementPolicy, SdcSite};
 
 use crate::checkpoint::Checkpoint;
 use crate::data::MarkovCorpus;
 use crate::dist::DistMoeLm;
+use crate::guard::{
+    self, GuardConfig, GuardEvent, LossScale, PolicyAction, PolicyEngine, SpikeDetector, Verdict,
+};
 use crate::model::{build_moe_layers, TrainConfig};
 
 /// Seed tweak separating the data-stream RNG from weight-init streams.
@@ -45,6 +66,29 @@ pub struct ChaosConfig {
     /// Capture a checkpoint after every `ckpt_every` completed steps
     /// (0 disables checkpointing — recovery then restarts from scratch).
     pub ckpt_every: u64,
+    /// Silent-fault defense knobs; `guard.enabled = false` reproduces the
+    /// pre-guard step (and its simulated timeline) exactly.
+    pub guard: GuardConfig,
+}
+
+impl ChaosConfig {
+    /// Legacy-equivalent configuration: fail-stop chaos only, no guard.
+    pub fn new(steps: u64, ckpt_every: u64) -> Self {
+        Self {
+            steps,
+            ckpt_every,
+            guard: GuardConfig {
+                enabled: false,
+                ..GuardConfig::default()
+            },
+        }
+    }
+
+    /// Enable the silent-fault defense with the given knobs.
+    pub fn with_guard(mut self, guard: GuardConfig) -> Self {
+        self.guard = guard;
+        self
+    }
 }
 
 /// What one rank experienced during a chaos run.
@@ -58,13 +102,23 @@ pub struct ChaosReport {
     pub losses: Vec<(u64, f64)>,
     /// `Some(step)` if the fault plan killed this rank at `step`.
     pub exited_at: Option<u64>,
-    /// One entry per failure this rank recovered from.
+    /// One entry per failure this rank recovered from (fail-stop *and*
+    /// guard rollbacks; the latter have empty `failed_ranks`).
     pub recoveries: Vec<RecoveryStats>,
     /// Encoded bytes of the last checkpoint captured (also the restore
     /// source for the determinism tests).
     pub last_ckpt: Option<Vec<u8>>,
     /// Group size when the rank finished (or exited).
     pub final_world: usize,
+    /// Guard timeline: every detection, policy action and checkpoint
+    /// rejection, in step order.
+    pub guard_events: Vec<GuardEvent>,
+    /// Guard trips not attributable to any injected SDC event (must stay
+    /// 0 on clean runs — the no-false-positive contract).
+    pub guard_false_positives: u64,
+    /// Loss scale at the end of the run (init value when the guard is
+    /// off or never backed off).
+    pub final_loss_scale: f32,
 }
 
 /// The batch rank `dense_rank` trains on at the step identified by
@@ -74,6 +128,234 @@ pub struct ChaosReport {
 pub fn step_batch(cfg: &TrainConfig, step_seed: u64, dense_rank: usize) -> Vec<Vec<usize>> {
     let salt = (dense_rank as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
     MarkovCorpus::new(cfg.vocab, 3, step_seed ^ salt).batch(cfg.batch, cfg.seq_len)
+}
+
+/// Flip one bit of the `target`-th gradient element (global index across
+/// the canonical grad visitation order).
+fn inject_grad_flip(model: &mut DistMoeLm, target: usize, bit: u32) {
+    let mut seen = 0usize;
+    model.visit_grads_mut(&mut |_, xs| {
+        if target >= seen && target < seen + xs.len() {
+            guard::flip_bit_f32(xs, target - seen, bit);
+        }
+        seen += xs.len();
+    });
+}
+
+/// What the detectors concluded about one guarded step.
+struct StepVerdict {
+    global_loss: f64,
+    /// `(site, detector, value)` of the highest-priority anomaly, if any.
+    anomaly: Option<(&'static str, &'static str, f64)>,
+}
+
+/// Detector state carried across steps of a guarded run.
+struct GuardState {
+    loss_scale: LossScale,
+    norm_det: SpikeDetector,
+    loss_det: SpikeDetector,
+    policy: PolicyEngine,
+    /// `(step, site)` pairs whose injection already fired — SDC events
+    /// are one-shot, so replays after rollback stay clean.
+    applied: BTreeSet<(u64, u8)>,
+}
+
+impl GuardState {
+    fn new(g: &GuardConfig) -> Self {
+        Self {
+            loss_scale: LossScale::new(g.loss_scale),
+            norm_det: SpikeDetector::new(g.spike_factor, g.spike_window, g.spike_min_history),
+            loss_det: SpikeDetector::new(g.spike_factor, g.spike_window, g.spike_min_history),
+            policy: PolicyEngine::new(g.policy),
+            applied: BTreeSet::new(),
+        }
+    }
+
+    fn mark(&mut self, step: u64, site: SdcSite) {
+        self.applied.insert((step, site as u8));
+    }
+
+    fn is_applied(&self, step: u64, site: SdcSite) -> bool {
+        self.applied.contains(&(step, site as u8))
+    }
+}
+
+/// One guarded training step: scaled forward/backward with `site=act`
+/// injection, `site=grad` injection, gradient sync, the guard scan +
+/// status all-reduce, loss reduction, and anomaly detection. The optimizer
+/// update is *not* applied here — the caller applies or discards it
+/// according to the policy decision. All guard work is charged under
+/// `guard:*` span labels, so the span-exactness invariant keeps holding.
+#[allow(clippy::too_many_arguments)]
+fn guarded_step(
+    g: &GuardConfig,
+    model: &mut DistMoeLm,
+    plan: Option<&FaultPlan>,
+    my_global: usize,
+    step: u64,
+    batch: &[Vec<usize>],
+    comm: &Communicator,
+    clock: &mut SimClock,
+    gs: &mut GuardState,
+) -> Result<StepVerdict, CommError> {
+    // --- site=act injection hook (runs on the pre-head activations) ----
+    let mut act_flips: Vec<(u64, u32)> = Vec::new();
+    let mut act_noise: Option<(u64, f64)> = None;
+    if let Some(p) = plan {
+        if !gs.is_applied(step, SdcSite::Act) {
+            for fl in p.bitflips(my_global, step, SdcSite::Act) {
+                act_flips.push((fl.element_hash, fl.bit));
+            }
+            let amp = p.noise_amp(my_global, step, SdcSite::Act);
+            if amp > 0.0 {
+                act_noise = Some((p.sdc_stream_seed(my_global, step, SdcSite::Act), amp));
+            }
+        }
+    }
+    let inject_act = !act_flips.is_empty() || act_noise.is_some();
+    let mut hook = |xs: &mut [f32]| {
+        for &(h, bit) in &act_flips {
+            let elem = (h % xs.len().max(1) as u64) as usize;
+            guard::flip_bit_f32(xs, elem, bit);
+        }
+        if let Some((seed, amp)) = act_noise {
+            guard::apply_noise(xs, seed, amp);
+        }
+    };
+    let act_hook: Option<crate::dist::ActHook<'_>> =
+        if inject_act { Some(&mut hook) } else { None };
+
+    let local_loss =
+        model.forward_backward_hooked(batch, gs.loss_scale.scale(), act_hook, comm, clock)?;
+    if inject_act {
+        gs.mark(step, SdcSite::Act);
+    }
+
+    // --- site=grad injection (pre-sync, so corruption propagates through
+    // the all-reduce exactly like real device-memory SDC) ---------------
+    if let Some(p) = plan {
+        if !gs.is_applied(step, SdcSite::Grad) {
+            let mut fired = false;
+            let flips = p.bitflips(my_global, step, SdcSite::Grad);
+            if !flips.is_empty() {
+                let total = model.grad_elem_count();
+                for fl in &flips {
+                    inject_grad_flip(model, fl.element(total), fl.bit);
+                }
+                fired = true;
+            }
+            let amp = p.noise_amp(my_global, step, SdcSite::Grad);
+            if amp > 0.0 {
+                let base = p.sdc_stream_seed(my_global, step, SdcSite::Grad);
+                let mut i = 0u64;
+                model.visit_grads_mut(&mut |_, xs| {
+                    guard::apply_noise(xs, base.wrapping_add(i.wrapping_mul(0x9E37)), amp);
+                    i += 1;
+                });
+                fired = true;
+            }
+            if fired {
+                gs.mark(step, SdcSite::Grad);
+            }
+        }
+    }
+
+    model.sync_grads(comm, clock)?;
+
+    // --- guard scan: one mem-bound pass over every gradient ------------
+    // Post-sync, replicated grads are bitwise-identical on every rank;
+    // expert-shard stats are local and must be all-reduced before any
+    // rank acts on them, or policies would fire out of lockstep.
+    let mut rep_nonfin = 0usize;
+    let mut shard_nonfin = 0usize;
+    let mut rep_sq = 0.0f64;
+    let mut shard_sq = 0.0f64;
+    let mut total_elems = 0usize;
+    model.visit_grads(&mut |name, xs| {
+        total_elems += xs.len();
+        let nf = guard::count_non_finite(xs);
+        let sq = guard::sq_norm(xs);
+        if DistMoeLm::is_replicated_grad(name) {
+            rep_nonfin += nf;
+            rep_sq += sq;
+        } else {
+            shard_nonfin += nf;
+            shard_sq += sq;
+        }
+    });
+    if g.bf16_grads {
+        // Simulated-bf16 device gradients over f32 master weights: the
+        // synced (still loss-scaled) gradient is what low-precision
+        // hardware would hand the optimizer.
+        model.visit_grads_mut(&mut |_, xs| guard::bf16_round_slice(xs));
+        clock.charge(
+            "guard:bf16",
+            comm.cost().mem_bound_time(4.0 * total_elems as f64),
+        );
+    }
+    clock.charge(
+        "guard:scan",
+        comm.cost().mem_bound_time(4.0 * total_elems as f64),
+    );
+    // Guard status rides the loss all-reduce: one merged collective
+    // carries [loss, shard_nonfinite, shard_sq_norm], so the per-step
+    // guard traffic costs only its marginal bytes (charged as
+    // `guard:reduce`), not an extra latency-bound collective. Element 0
+    // sums in the same canonical order `reduce_loss` uses, so the global
+    // loss is bitwise what the unmerged path would produce.
+    let mut status = [local_loss as f32, shard_nonfin as f32, shard_sq as f32];
+    comm.all_reduce_sum_f32(&mut status, clock)?;
+    clock.commit("loss_allreduce");
+    clock.charge(
+        "guard:reduce",
+        comm.cost().mem_bound_time((status.len() - 1) as f64 * 4.0),
+    );
+    let global_loss = (status[0] / comm.size() as f32) as f64;
+    let nonfinite = rep_nonfin as f64 + status[1] as f64;
+    // Norm of the *unscaled* gradient: undo the loss scale (exact — the
+    // scale is a power of two) so the spike baseline is scale-invariant.
+    let inv = gs.loss_scale.inv_scale() as f64;
+    let grad_norm = (rep_sq + status[2] as f64).sqrt() * inv;
+
+    // --- detection ladder: non-finite first, then relative spikes ------
+    let anomaly = if nonfinite > 0.0 {
+        Some(("grad", "nonfinite", nonfinite))
+    } else if !global_loss.is_finite() {
+        Some(("loss", "nonfinite", 1.0))
+    } else {
+        match gs.norm_det.observe(grad_norm) {
+            Verdict::Spike { ratio } => Some(("grad", "spike", ratio)),
+            Verdict::NonFinite => Some(("grad", "nonfinite", 1.0)),
+            Verdict::Clean => match gs.loss_det.observe(global_loss) {
+                Verdict::Spike { ratio } => Some(("loss", "spike", ratio)),
+                Verdict::NonFinite => Some(("loss", "nonfinite", 1.0)),
+                Verdict::Clean => None,
+            },
+        }
+    };
+    Ok(StepVerdict {
+        global_loss,
+        anomaly,
+    })
+}
+
+/// Decode the newest intact checkpoint: `last` if its CRCs verify, else
+/// `prev` (the fallback), else `None`. Returns the decoded checkpoint,
+/// whether the fallback was taken, and the decode error that forced it.
+fn restore_source(
+    last: &Option<Vec<u8>>,
+    prev: &Option<Vec<u8>>,
+) -> (Option<Checkpoint>, bool, Option<String>) {
+    match last {
+        Some(bytes) => match Checkpoint::decode(bytes) {
+            Ok(c) => (Some(c), false, None),
+            Err(e) => {
+                let fb = prev.as_ref().and_then(|b| Checkpoint::decode(b).ok());
+                (fb, true, Some(e.to_string()))
+            }
+        },
+        None => (None, false, None),
+    }
 }
 
 /// Per-rank chaos-run body. Returns `Err` only for faults the harness does
@@ -91,6 +373,8 @@ pub fn run_chaos_rank(
     let full_layers = build_moe_layers(cfg);
     let mut model = DistMoeLm::new(cfg, &full_layers, comm.rank(), comm.size());
     let mut rng = DetRng::new(cfg.seed ^ DATA_STREAM_SALT);
+    let guard_on = chaos.guard.enabled;
+    let mut gs = GuardState::new(&chaos.guard);
     let mut report = ChaosReport {
         global_rank: my_global,
         losses: Vec::new(),
@@ -98,7 +382,11 @@ pub fn run_chaos_rank(
         recoveries: Vec::new(),
         last_ckpt: None,
         final_world: comm.size(),
+        guard_events: Vec::new(),
+        guard_false_positives: 0,
+        final_loss_scale: gs.loss_scale.scale(),
     };
+    let mut prev_ckpt: Option<Vec<u8>> = None;
     let mut dead_so_far: Vec<usize> = Vec::new();
     // `(recovery index, clock at failure)` until the replay catches back up.
     let mut catch_up: Option<(usize, f64)> = None;
@@ -109,6 +397,7 @@ pub fn run_chaos_rank(
             if p.is_dead(my_global, step) {
                 report.exited_at = Some(step);
                 report.final_world = comm.size();
+                report.final_loss_scale = gs.loss_scale.scale();
                 return Ok(report);
             }
         }
@@ -123,16 +412,187 @@ pub fn run_chaos_rank(
         comm.set_step(step);
         let step_seed = rng.next_u64();
         let batch = step_batch(cfg, step_seed, comm.rank());
-        match model.train_step(&batch, &comm, &mut ctx.clock) {
-            Ok(loss) => {
+
+        // ---- execute one step (guarded or legacy) ----------------------
+        let outcome: Result<Option<f64>, CommError> = if guard_on {
+            match guarded_step(
+                &chaos.guard,
+                &mut model,
+                plan.as_deref(),
+                my_global,
+                step,
+                &batch,
+                &comm,
+                &mut ctx.clock,
+                &mut gs,
+            ) {
+                Ok(v) => {
+                    if let Some((site, detector, value)) = v.anomaly {
+                        // All ranks saw identical statistics, so every rank
+                        // reaches the identical decision here — policies
+                        // fire in lockstep with no extra coordination.
+                        let action = gs.policy.decide();
+                        // A trip is a true positive iff the plan injected
+                        // *anything* at or before this step. The plan is the
+                        // harness oracle, identical on every rank, so the
+                        // classification is rank-consistent even though the
+                        // victim rank is not the detecting rank.
+                        let injected_at =
+                            plan.as_deref().and_then(|p| p.last_sdc_at_or_before(step));
+                        if injected_at.is_none() {
+                            report.guard_false_positives += 1;
+                        }
+                        let latency = injected_at.map_or(0, |s| step - s);
+                        report.guard_events.push(GuardEvent {
+                            step,
+                            site: site.into(),
+                            detector: detector.into(),
+                            action: action.name().into(),
+                            value,
+                        });
+                        match action {
+                            PolicyAction::SkipStep => {
+                                model.zero_all_grads();
+                                step += 1;
+                            }
+                            PolicyAction::BackoffLossScale => {
+                                model.zero_all_grads();
+                                gs.loss_scale.on_overflow();
+                                step += 1;
+                            }
+                            PolicyAction::RollbackToCheckpoint => {
+                                model.zero_all_grads();
+                                let t_trip = ctx.clock.now();
+                                let (src, fell_back, err) =
+                                    restore_source(&report.last_ckpt, &prev_ckpt);
+                                if fell_back {
+                                    report.guard_events.push(GuardEvent {
+                                        step,
+                                        site: "ckpt".into(),
+                                        detector: "crc".into(),
+                                        action: "fallback_prev_ckpt".into(),
+                                        value: 1.0,
+                                    });
+                                    if let Some(e) = err {
+                                        // Keep the section-naming message in
+                                        // the timeline for postmortems.
+                                        report.guard_events.last_mut().unwrap().site =
+                                            e.chars().take(64).collect();
+                                    }
+                                }
+                                let resumed = if let Some(ckpt) = src {
+                                    let bytes = report.last_ckpt.as_ref().map_or(0, Vec::len);
+                                    ctx.clock.charge(
+                                        "ckpt_restore",
+                                        ctx.cost().mem_bound_time(bytes as f64),
+                                    );
+                                    model = DistMoeLm::from_checkpoint(
+                                        cfg,
+                                        &ckpt,
+                                        comm.rank(),
+                                        comm.size(),
+                                    );
+                                    rng = DetRng::from_state(ckpt.rng_state);
+                                    ckpt.step
+                                } else {
+                                    model =
+                                        DistMoeLm::new(cfg, &full_layers, comm.rank(), comm.size());
+                                    rng = DetRng::new(cfg.seed ^ DATA_STREAM_SALT);
+                                    0
+                                };
+                                report.losses.retain(|&(s, _)| s < resumed);
+                                let t_done = ctx.clock.now();
+                                report.recoveries.push(RecoveryStats {
+                                    failed_ranks: Vec::new(),
+                                    failed_at_step: step,
+                                    resumed_from_step: resumed,
+                                    steps_replayed: step - resumed,
+                                    detect_time: 0.0,
+                                    restore_time: t_done - t_trip,
+                                    mttr: t_done - t_trip,
+                                    detect_latency_steps: latency,
+                                    false_positives: report.guard_false_positives,
+                                    steps_lost_to_rollback: step - resumed,
+                                });
+                                catch_up = Some((report.recoveries.len() - 1, t_trip));
+                                step = resumed;
+                            }
+                        }
+                        continue;
+                    }
+                    gs.policy.on_clean();
+                    gs.loss_scale.on_clean();
+                    model.apply_update();
+                    Ok(Some(v.global_loss))
+                }
+                Err(e) => Err(e),
+            }
+        } else {
+            model.train_step(&batch, &comm, &mut ctx.clock).map(Some)
+        };
+
+        match outcome {
+            Ok(Some(loss)) => {
                 report.losses.push((step, loss));
                 if chaos.ckpt_every > 0 && (step + 1).is_multiple_of(chaos.ckpt_every) {
                     let ckpt =
                         model.capture_checkpoint(step + 1, rng.state(), &comm, &mut ctx.clock)?;
-                    report.last_ckpt = Some(ckpt.encode());
+                    let mut bytes = ckpt.encode();
+                    if guard_on {
+                        // The per-section CRC pass is guard work.
+                        ctx.clock
+                            .charge("guard:crc", ctx.cost().mem_bound_time(bytes.len() as f64));
+                    }
+                    // site=ckpt injection: corrupt this rank's copy of the
+                    // freshly captured image.
+                    if let Some(p) = &plan {
+                        if !gs.is_applied(step, SdcSite::Ckpt) {
+                            let flips = p.bitflips(my_global, step, SdcSite::Ckpt);
+                            if !flips.is_empty() {
+                                let len = bytes.len();
+                                for fl in &flips {
+                                    guard::flip_bit_bytes(&mut bytes, fl.element(len), fl.bit);
+                                }
+                                gs.mark(step, SdcSite::Ckpt);
+                            }
+                        }
+                    }
+                    if guard_on {
+                        // Capture-time integrity vote: every rank checks its
+                        // copy's CRCs and the group keeps the capture only if
+                        // *all* copies verify. A corrupt copy on any rank
+                        // discards the capture everywhere, so later restores
+                        // agree on the bytes — rank-consistent by
+                        // construction.
+                        let ok = Checkpoint::decode(&bytes).is_ok();
+                        let mut flag = [if ok { 1.0f32 } else { 0.0 }];
+                        comm.all_reduce_sum_f32(&mut flag, &mut ctx.clock)?;
+                        ctx.clock.commit("guard:reduce");
+                        if flag[0] as usize == comm.size() {
+                            prev_ckpt = report.last_ckpt.take();
+                            report.last_ckpt = Some(bytes);
+                        } else {
+                            let injected =
+                                plan.as_deref().and_then(|p| p.last_sdc_at_or_before(step));
+                            if injected.is_none() {
+                                report.guard_false_positives += 1;
+                            }
+                            report.guard_events.push(GuardEvent {
+                                step,
+                                site: "ckpt".into(),
+                                detector: "crc".into(),
+                                action: "discard_corrupt_ckpt".into(),
+                                value: comm.size() as f64 - flag[0] as f64,
+                            });
+                        }
+                    } else {
+                        prev_ckpt = report.last_ckpt.take();
+                        report.last_ckpt = Some(bytes);
+                    }
                 }
                 step += 1;
             }
+            Ok(None) => unreachable!("anomaly outcomes continue the loop directly"),
             Err(CommError::DeadPeer { .. }) => {
                 // `check_dead` already charged `fault_detect` before erring,
                 // so `t_err` marks the end of detection.
@@ -172,9 +632,21 @@ pub fn run_chaos_rank(
                     "recovered communicator disagrees with the placement grid"
                 );
 
-                let resumed = if let Some(bytes) = &report.last_ckpt {
-                    let ckpt = Checkpoint::decode(bytes).expect("own checkpoint must decode");
-                    let t_io = ctx.cost().mem_bound_time(bytes.len() as f64);
+                // Restore from the newest intact checkpoint; a corrupt
+                // `last` falls back to `prev` (both CRC-verified on decode).
+                let (src, fell_back, err) = restore_source(&report.last_ckpt, &prev_ckpt);
+                if fell_back {
+                    report.guard_events.push(GuardEvent {
+                        step,
+                        site: err.map_or_else(|| "ckpt".into(), |e| e.chars().take(64).collect()),
+                        detector: "crc".into(),
+                        action: "fallback_prev_ckpt".into(),
+                        value: 1.0,
+                    });
+                }
+                let resumed = if let Some(ckpt) = src {
+                    let bytes = report.last_ckpt.as_ref().map_or(0, Vec::len);
+                    let t_io = ctx.cost().mem_bound_time(bytes as f64);
                     ctx.clock.charge("ckpt_restore", t_io);
                     model =
                         DistMoeLm::from_checkpoint(cfg, &ckpt, new_comm.rank(), new_comm.size());
@@ -195,6 +667,9 @@ pub fn run_chaos_rank(
                     detect_time: p.detect_timeout,
                     restore_time: t_done - t_err,
                     mttr: p.detect_timeout + (t_done - t_err),
+                    detect_latency_steps: 0,
+                    false_positives: report.guard_false_positives,
+                    steps_lost_to_rollback: 0,
                 });
                 catch_up = Some((report.recoveries.len() - 1, t_err));
                 comm = new_comm;
@@ -204,5 +679,6 @@ pub fn run_chaos_rank(
         }
     }
     report.final_world = comm.size();
+    report.final_loss_scale = gs.loss_scale.scale();
     Ok(report)
 }

@@ -542,6 +542,10 @@ impl DistMoe {
     }
 }
 
+/// Mutable hook over an activation buffer — the chaos engine's `site=act`
+/// injection point in [`DistMoeLm::forward_backward_hooked`].
+pub type ActHook<'a> = &'a mut dyn FnMut(&mut [f32]);
+
 /// A data+expert-parallel MoE language model: one rank's replica of the
 /// dense stack plus its expert shards, with gradient synchronization over
 /// the world communicator.
@@ -599,9 +603,43 @@ impl DistMoeLm {
     /// averaging across the world and a local Adam update (replicated
     /// parameters stay bitwise-identical across ranks because they see
     /// identical averaged gradients).
+    ///
+    /// Composed from the phase methods below in the canonical order; the
+    /// guarded chaos step composes the same phases with detection and
+    /// injection hooks in between, so both paths share one set of float
+    /// operations and the unguarded trajectory is bitwise-unchanged.
     pub fn train_step(
         &mut self,
         batch: &[Vec<usize>],
+        world: &Communicator,
+        clock: &mut SimClock,
+    ) -> Result<f64, CommError> {
+        let local_loss = self.forward_backward(batch, world, clock)?;
+        self.sync_grads(world, clock)?;
+        self.apply_update();
+        self.reduce_loss(local_loss, world, clock)
+    }
+
+    /// Phase 1: forward + backward over the local batch, accumulating
+    /// gradients. Returns the local mean loss.
+    pub fn forward_backward(
+        &mut self,
+        batch: &[Vec<usize>],
+        world: &Communicator,
+        clock: &mut SimClock,
+    ) -> Result<f64, CommError> {
+        self.forward_backward_hooked(batch, 1.0, None, world, clock)
+    }
+
+    /// Phase 1 with guard hooks: `loss_scale` multiplies the head gradient
+    /// (a power of two keeps scaling bitwise-invertible), and `act_hook`
+    /// — when present — runs over the pre-head activation buffer, which is
+    /// where the chaos engine injects `site=act` corruption.
+    pub fn forward_backward_hooked(
+        &mut self,
+        batch: &[Vec<usize>],
+        loss_scale: f32,
+        act_hook: Option<ActHook<'_>>,
         world: &Communicator,
         clock: &mut SimClock,
     ) -> Result<f64, CommError> {
@@ -626,7 +664,13 @@ impl DistMoeLm {
             ctxs.push((attn_ctx, c1, c2));
             x = x2;
         }
+        if let Some(hook) = act_hook {
+            hook(x.as_mut_slice());
+        }
         let (local_loss, mut d_x) = self.head.loss_and_backward(&x, &targets);
+        if loss_scale != 1.0 {
+            scale_assign(&mut d_x, loss_scale);
+        }
         for (block, (ca, c1, c2)) in self.blocks.iter_mut().zip(&ctxs).rev() {
             d_x = block.moe.backward(c2, &d_x, world, clock)?;
             d_x = block.mlp.backward(c1, &d_x);
@@ -635,13 +679,21 @@ impl DistMoeLm {
             }
         }
         self.embed.backward(&inputs, &d_x);
+        Ok(local_loss)
+    }
 
-        // --- Gradient synchronization --------------------------------
-        // Global loss is the average of per-rank means (equal token
-        // counts), so every gradient carries a 1/W factor; replicated
-        // parameters additionally all-reduce.
-        let w = self.world_size as f32;
-        let inv = 1.0 / w;
+    /// Phase 2: gradient synchronization.
+    ///
+    /// Global loss is the average of per-rank means (equal token counts),
+    /// so every gradient carries a 1/W factor; replicated parameters
+    /// additionally all-reduce. Expert grads are already global (every
+    /// rank's tokens were dispatched there); they only need the scaling.
+    pub fn sync_grads(
+        &mut self,
+        world: &Communicator,
+        clock: &mut SimClock,
+    ) -> Result<(), CommError> {
+        let inv = 1.0 / self.world_size as f32;
         let mut reduce_avg = |t: &mut Tensor| -> Result<(), CommError> {
             scale_assign(t, inv);
             world.all_reduce_sum_f32(t.as_mut_slice(), clock)
@@ -664,16 +716,18 @@ impl DistMoeLm {
             reduce_avg(&mut mlp.norm.g_beta)?;
             let moe = &mut block.moe;
             reduce_avg(&mut moe.g_gate)?;
-            // Expert grads are already global (every rank's tokens were
-            // dispatched here); they only need the 1/W loss scaling.
             for (g1, g2) in &mut moe.g_shard {
                 scale_assign(g1, inv);
                 scale_assign(g2, inv);
             }
         }
         clock.commit("grad_allreduce");
+        Ok(())
+    }
 
-        // --- Local Adam update -----------------------------------------
+    /// Phase 3: local Adam update over the canonical parameter order, then
+    /// zero every gradient for the next step.
+    pub fn apply_update(&mut self) {
         let mut pairs: Vec<(&mut Tensor, &Tensor)> = Vec::new();
         pairs.push((&mut self.embed.weight, &self.embed.grad));
         for block in &mut self.blocks {
@@ -699,8 +753,12 @@ impl DistMoeLm {
         }
         pairs.push((&mut self.head.weight, &self.head.grad));
         self.opt.step(pairs);
+        self.zero_all_grads();
+    }
 
-        // Zero grads for the next step.
+    /// Zero every gradient buffer — also the whole of a skipped step's
+    /// cleanup (discarding a poisoned gradient without touching params).
+    pub fn zero_all_grads(&mut self) {
         for v in self.embed.grad.as_mut_slice() {
             *v = 0.0;
         }
@@ -714,12 +772,106 @@ impl DistMoeLm {
             block.mlp.zero_grads();
             block.moe.zero_grads();
         }
+    }
 
-        // Average the reported loss across ranks for a global curve.
+    /// Average the local loss across ranks for the global curve.
+    pub fn reduce_loss(
+        &self,
+        local_loss: f64,
+        world: &Communicator,
+        clock: &mut SimClock,
+    ) -> Result<f64, CommError> {
         let mut l = vec![local_loss as f32];
         world.all_reduce_sum_f32(&mut l, clock)?;
         clock.commit("loss_allreduce");
-        Ok((l[0] / w) as f64)
+        Ok((l[0] / self.world_size as f32) as f64)
+    }
+
+    /// Visit every gradient buffer under its canonical name, in the same
+    /// replicated-first order `sync_grads` uses. Shard gradients are named
+    /// by global expert id. Read-only — the guard's scan path.
+    pub fn visit_grads(&self, f: &mut dyn FnMut(&str, &[f32])) {
+        f("embed.weight", self.embed.grad.as_slice());
+        f("head.weight", self.head.grad.as_slice());
+        for (l, block) in self.blocks.iter().enumerate() {
+            if let Some(a) = &block.attn {
+                f(&format!("block{l}.attn.wq"), a.gq.as_slice());
+                f(&format!("block{l}.attn.wk"), a.gk.as_slice());
+                f(&format!("block{l}.attn.wv"), a.gv.as_slice());
+                f(&format!("block{l}.attn.wo"), a.go.as_slice());
+                f(&format!("block{l}.attn.gamma"), a.norm.g_gamma.as_slice());
+                f(&format!("block{l}.attn.beta"), a.norm.g_beta.as_slice());
+            }
+            f(&format!("block{l}.mlp.w1"), block.mlp.g1.as_slice());
+            f(&format!("block{l}.mlp.w2"), block.mlp.g2.as_slice());
+            f(
+                &format!("block{l}.mlp.gamma"),
+                block.mlp.norm.g_gamma.as_slice(),
+            );
+            f(
+                &format!("block{l}.mlp.beta"),
+                block.mlp.norm.g_beta.as_slice(),
+            );
+            f(&format!("block{l}.moe.gate"), block.moe.g_gate.as_slice());
+            for (i, (g1, g2)) in block.moe.g_shard.iter().enumerate() {
+                let g = block.moe.first_expert + i;
+                f(&format!("block{l}.moe.expert{g}.w1"), g1.as_slice());
+                f(&format!("block{l}.moe.expert{g}.w2"), g2.as_slice());
+            }
+        }
+    }
+
+    /// Mutable variant of [`Self::visit_grads`] — the guard's injection
+    /// and unscale path.
+    pub fn visit_grads_mut(&mut self, f: &mut dyn FnMut(&str, &mut [f32])) {
+        f("embed.weight", self.embed.grad.as_mut_slice());
+        f("head.weight", self.head.grad.as_mut_slice());
+        for (l, block) in self.blocks.iter_mut().enumerate() {
+            if let Some(a) = block.attn.as_mut() {
+                f(&format!("block{l}.attn.wq"), a.gq.as_mut_slice());
+                f(&format!("block{l}.attn.wk"), a.gk.as_mut_slice());
+                f(&format!("block{l}.attn.wv"), a.gv.as_mut_slice());
+                f(&format!("block{l}.attn.wo"), a.go.as_mut_slice());
+                f(
+                    &format!("block{l}.attn.gamma"),
+                    a.norm.g_gamma.as_mut_slice(),
+                );
+                f(&format!("block{l}.attn.beta"), a.norm.g_beta.as_mut_slice());
+            }
+            let mlp = &mut block.mlp;
+            f(&format!("block{l}.mlp.w1"), mlp.g1.as_mut_slice());
+            f(&format!("block{l}.mlp.w2"), mlp.g2.as_mut_slice());
+            f(
+                &format!("block{l}.mlp.gamma"),
+                mlp.norm.g_gamma.as_mut_slice(),
+            );
+            f(
+                &format!("block{l}.mlp.beta"),
+                mlp.norm.g_beta.as_mut_slice(),
+            );
+            let moe = &mut block.moe;
+            f(&format!("block{l}.moe.gate"), moe.g_gate.as_mut_slice());
+            let first = moe.first_expert;
+            for (i, (g1, g2)) in moe.g_shard.iter_mut().enumerate() {
+                let g = first + i;
+                f(&format!("block{l}.moe.expert{g}.w1"), g1.as_mut_slice());
+                f(&format!("block{l}.moe.expert{g}.w2"), g2.as_mut_slice());
+            }
+        }
+    }
+
+    /// Total f32 elements across every gradient buffer (replicated +
+    /// local shard) — what the SDC injector reduces its element hash by.
+    pub fn grad_elem_count(&self) -> usize {
+        let mut n = 0usize;
+        self.visit_grads(&mut |_, xs| n += xs.len());
+        n
+    }
+
+    /// Is this gradient buffer replicated across ranks (all-reduced by
+    /// `sync_grads`) rather than a local expert shard?
+    pub fn is_replicated_grad(name: &str) -> bool {
+        !name.contains(".moe.expert")
     }
 
     /// Snapshot the *canonical full model* into a [`Checkpoint`]: replicated

@@ -36,6 +36,7 @@ pub mod chaos;
 pub mod checkpoint;
 pub mod data;
 pub mod dist;
+pub mod guard;
 pub mod layers;
 pub mod model;
 pub mod moe_layer;
@@ -47,6 +48,10 @@ pub use chaos::{run_chaos_rank, step_batch, ChaosConfig, ChaosReport};
 pub use checkpoint::{Checkpoint, CkptError};
 pub use data::{HigherOrderCorpus, MarkovCorpus};
 pub use dist::{DistMoe, DistMoeLm};
+pub use guard::{
+    Divergence, GuardConfig, GuardEvent, LossScale, LossScaleCfg, PolicyAction, PolicyCfg,
+    PolicyEngine, SpikeDetector, Verdict,
+};
 pub use model::{build_moe_layers, MoeLm, TrainConfig, TrainStats};
 pub use moe_layer::TrainableMoe;
 pub use ssmb_train::SsmbMoe;

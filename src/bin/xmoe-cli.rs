@@ -30,11 +30,19 @@
 //!     `--csv` writes the raw per-rank spans.
 //!
 //! xmoe-cli chaos [ranks] [--faults <spec>] [--ckpt-every N] [--steps N] [--seed S]
+//!               [--guard]
 //!     Fault-injected distributed training with checkpoint/restore and
 //!     elastic recovery. `<spec>` is a semicolon-separated fault schedule,
-//!     e.g. `slow:rank=2,x=4,from=1,until=3;kill:rank=6,at=4` (see
-//!     `FaultPlan::parse`). Prints the loss trajectory, every recovery
-//!     (failed ranks, replayed steps, MTTR) and the final world size.
+//!     e.g. `slow:rank=2,x=4,from=1,until=3;kill:rank=6,at=4`, and may
+//!     include silent-data-corruption events such as
+//!     `bitflip:rank=2,at=5,site=grad,bit=30` or
+//!     `noise:rank=1,site=act,amp=0.5,from=3,until=5` (see
+//!     `FaultPlan::parse`). SDC events switch on the numerical guard
+//!     (loss scaling, grad scan, spike detection, policy recovery);
+//!     `--guard` forces it on for clean runs too. Prints the loss
+//!     trajectory, the guard-event timeline (step, site, detector,
+//!     policy action), every recovery (failed ranks, replayed steps,
+//!     MTTR) and the final world size.
 //! ```
 
 use std::path::Path;
@@ -51,7 +59,7 @@ use xmoe::core::pipeline::{self, DenseDropOrder, MoeLayerSpec};
 use xmoe::core::rbd::{self, expected_redundancy_uniform, RbdComms};
 use xmoe::tensor::{DetRng, Tensor};
 use xmoe::topology::{ClusterTopology, CostModel, FaultPlan, MachineSpec};
-use xmoe::train::{run_chaos_rank, ChaosConfig, TrainConfig};
+use xmoe::train::{run_chaos_rank, ChaosConfig, GuardConfig, TrainConfig};
 
 fn model_by_name(name: &str) -> Option<MoeModelConfig> {
     match name.to_ascii_lowercase().as_str() {
@@ -71,7 +79,7 @@ fn usage() -> ! {
          xmoe-cli alltoall <gpus> <mbytes-per-rank>\n  \
          xmoe-cli analyze <experts> <topk> [tokens]\n  \
          xmoe-cli step <dense|pft|blocksparse|rbd> [ranks] [--overlap [chunks]] [--trace <path>] [--csv <path>]\n  \
-         xmoe-cli chaos [ranks] [--faults <spec>] [--ckpt-every N] [--steps N] [--seed S]"
+         xmoe-cli chaos [ranks] [--faults <spec>] [--ckpt-every N] [--steps N] [--seed S] [--guard]"
     );
     std::process::exit(2);
 }
@@ -96,6 +104,7 @@ fn cmd_chaos(args: &[String]) {
     let mut ckpt_every = 2u64;
     let mut steps = 8u64;
     let mut seed = 0u64;
+    let mut force_guard = false;
     let mut i = 0usize;
     while i < args.len() {
         let flag_val = |i: usize| {
@@ -119,6 +128,10 @@ fn cmd_chaos(args: &[String]) {
             "--seed" => {
                 seed = flag_val(i).parse().unwrap_or_else(|_| usage());
                 i += 2;
+            }
+            "--guard" => {
+                force_guard = true;
+                i += 1;
             }
             s => {
                 ranks = s.parse().unwrap_or_else(|_| usage());
@@ -144,12 +157,22 @@ fn cmd_chaos(args: &[String]) {
     cfg.batch = 2;
     cfg.capacity_factor = 1e6;
     cfg.seed = seed ^ 0xC805;
-    let chaos = ChaosConfig { steps, ckpt_every };
+    let guard_on = force_guard || plan.has_sdc();
+    let mut chaos = ChaosConfig::new(steps, ckpt_every);
+    if guard_on {
+        chaos = chaos.with_guard(GuardConfig::default());
+    }
 
     println!(
-        "chaos run: {ranks} simulated Frontier ranks, {steps} steps, checkpoint every {} | faults: {}",
-        if ckpt_every == 0 { "never".to_string() } else { ckpt_every.to_string() },
-        if faults.is_empty() { "none" } else { &faults }
+        "chaos run: {ranks} simulated Frontier ranks, {steps} steps, checkpoint every {} | \
+         faults: {} | guard: {}",
+        if ckpt_every == 0 {
+            "never".to_string()
+        } else {
+            ckpt_every.to_string()
+        },
+        if faults.is_empty() { "none" } else { &faults },
+        if guard_on { "on" } else { "off" }
     );
     let reports = {
         let cfg = &cfg;
@@ -173,6 +196,20 @@ fn cmd_chaos(args: &[String]) {
         if let Some(at) = r.exited_at {
             println!("rank {} killed at step {at}", r.global_rank);
         }
+    }
+    if !survivor.guard_events.is_empty() {
+        println!("guard events:");
+        for ev in &survivor.guard_events {
+            println!("  {}", ev.line());
+        }
+    }
+    if guard_on {
+        println!(
+            "guard summary: {} trips | {} false positives | final loss scale {}",
+            survivor.guard_events.len(),
+            survivor.guard_false_positives,
+            survivor.final_loss_scale
+        );
     }
     for rec in &survivor.recoveries {
         println!(

@@ -71,10 +71,7 @@ fn resume_reference(world: usize, bytes: &[u8], until: u64) -> Vec<Vec<(u64, f64
 fn elastic_recovery_on_checkpoint_boundary_is_bitwise_deterministic() {
     let world = 4;
     let steps = 6u64;
-    let chaos = ChaosConfig {
-        steps,
-        ckpt_every: 2,
-    };
+    let chaos = ChaosConfig::new(steps, 2);
     // Ranks 2 and 3 die at step 4 — exactly the step the last checkpoint
     // (captured at the end of step 3) covers, so nothing is replayed.
     let plan = FaultPlan::new(1).kill(2, 4).kill(3, 4);
@@ -110,14 +107,7 @@ fn elastic_recovery_on_checkpoint_boundary_is_bitwise_deterministic() {
 
     // A fault-free run of the same world, stopped at the failure step,
     // reproduces the checkpoint the survivors recovered from.
-    let pre = chaos_run(
-        world,
-        None,
-        ChaosConfig {
-            steps: 4,
-            ckpt_every: 2,
-        },
-    );
+    let pre = chaos_run(world, None, ChaosConfig::new(4, 2));
     let ckpt_bytes = pre[0].last_ckpt.clone().expect("checkpoint captured");
     assert_eq!(Checkpoint::decode(&ckpt_bytes).unwrap().step, 4);
     // Pre-failure prefix matches the fault-free run bitwise.
@@ -143,22 +133,8 @@ fn elastic_recovery_on_checkpoint_boundary_is_bitwise_deterministic() {
 fn same_world_restore_continues_bitwise_identically() {
     let world = 4;
     // Uninterrupted 6-step run, checkpointing after step 4.
-    let full = chaos_run(
-        world,
-        None,
-        ChaosConfig {
-            steps: 6,
-            ckpt_every: 4,
-        },
-    );
-    let short = chaos_run(
-        world,
-        None,
-        ChaosConfig {
-            steps: 4,
-            ckpt_every: 4,
-        },
-    );
+    let full = chaos_run(world, None, ChaosConfig::new(6, 4));
+    let short = chaos_run(world, None, ChaosConfig::new(4, 4));
     let bytes = short[0].last_ckpt.clone().unwrap();
     let resumed = resume_reference(world, &bytes, 6);
     for rank in 0..world {
@@ -179,10 +155,7 @@ fn link_flaps_produce_retry_spans_and_exact_accounting() {
     let world = 16; // two Frontier nodes => inter-node links exist
     let mut c = cfg();
     c.num_experts = 16;
-    let chaos = ChaosConfig {
-        steps: 2,
-        ckpt_every: 0,
-    };
+    let chaos = ChaosConfig::new(2, 0);
     let plan = FaultPlan::new(3).flap(LinkTier::Inter, 2, 0, 10);
     let traces = {
         let c = &c;
