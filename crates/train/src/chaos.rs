@@ -14,7 +14,9 @@
 //! `noise:` events corrupt activations, gradients or checkpoint bytes,
 //! the synced gradients are scanned (non-finite count + global norm, made
 //! rank-consistent by a tiny status all-reduce charged as `guard:*`
-//! spans), and anomalies walk the policy ladder `skip_step` →
+//! spans), then unscaled by the exact inverse scale — and, when
+//! [`GuardConfig::max_grad_norm`] is set, global-norm clipped — before
+//! Adam consumes them, and anomalies walk the policy ladder `skip_step` →
 //! `backoff_loss_scale` → `rollback_to_checkpoint`.
 //!
 //! Determinism properties:
@@ -116,6 +118,9 @@ pub struct ChaosReport {
     /// Guard trips not attributable to any injected SDC event (must stay
     /// 0 on clean runs — the no-false-positive contract).
     pub guard_false_positives: u64,
+    /// Clean steps whose gradients global-norm clipping rescaled (0 when
+    /// [`GuardConfig::max_grad_norm`] is disabled or never exceeded).
+    pub grad_clips: u64,
     /// Loss scale at the end of the run (init value when the guard is
     /// off or never backed off).
     pub final_loss_scale: f32,
@@ -147,6 +152,8 @@ struct StepVerdict {
     global_loss: f64,
     /// `(site, detector, value)` of the highest-priority anomaly, if any.
     anomaly: Option<(&'static str, &'static str, f64)>,
+    /// Whether global grad-norm clipping rescaled this step's gradients.
+    clipped: bool,
 }
 
 /// Detector state carried across steps of a guarded run.
@@ -293,6 +300,26 @@ fn guarded_step(
             comm.cost().mem_bound_time(4.0 * total_elems as f64),
         );
     }
+    // Unscale: the whole backward ran multiplied by the loss scale, so the
+    // synced (and bf16-rounded) gradients still carry it. Divide it back
+    // out *before* the optimizer ever sees them — Adam must always consume
+    // gradients at their true magnitude, or its m/v buffers would mix
+    // scales across growth/backoff transitions. Exact: scales are powers
+    // of two. (The scan statistics above were taken pre-unscale; the
+    // detector's norm applies `inv_scale` to them below, so both views
+    // agree.)
+    let unscale = gs.loss_scale.inv_scale();
+    if unscale != 1.0 {
+        model.visit_grads_mut(&mut |_, xs| {
+            for v in xs {
+                *v *= unscale;
+            }
+        });
+        clock.charge(
+            "guard:unscale",
+            comm.cost().mem_bound_time(4.0 * total_elems as f64),
+        );
+    }
     clock.charge(
         "guard:scan",
         comm.cost().mem_bound_time(4.0 * total_elems as f64),
@@ -333,29 +360,62 @@ fn guarded_step(
             },
         }
     };
+
+    // --- global grad-norm clipping (clean steps only: anomalous steps are
+    // discarded by the policy, so conditioning them would be wasted work).
+    // The factor derives from the all-reduced unscaled norm, so every rank
+    // rescales identically and replicated grads stay bitwise-identical.
+    let mut clipped = false;
+    if anomaly.is_none() && g.max_grad_norm > 0.0 {
+        let factor = guard::clip_factor(grad_norm, g.max_grad_norm);
+        if factor != 1.0 {
+            model.visit_grads_mut(&mut |_, xs| {
+                for v in xs {
+                    *v *= factor;
+                }
+            });
+            clock.charge(
+                "guard:clip",
+                comm.cost().mem_bound_time(4.0 * total_elems as f64),
+            );
+            clipped = true;
+        }
+    }
     Ok(StepVerdict {
         global_loss,
         anomaly,
+        clipped,
     })
 }
 
 /// Decode the newest intact checkpoint: `last` if its CRCs verify, else
-/// `prev` (the fallback), else `None`. Returns the decoded checkpoint,
-/// whether the fallback was taken, and the decode error that forced it.
+/// `prev` (the fallback), else `None`. On fallback the corrupt `last`
+/// image is discarded and the intact `prev` bytes are promoted into its
+/// slot, so later recoveries never re-decode a known-corrupt image.
+/// Returns the decoded checkpoint paired with the byte length actually
+/// restored (for the I/O time charge), whether the fallback was taken,
+/// and the decode error that forced it.
 fn restore_source(
-    last: &Option<Vec<u8>>,
-    prev: &Option<Vec<u8>>,
-) -> (Option<Checkpoint>, bool, Option<String>) {
-    match last {
+    last: &mut Option<Vec<u8>>,
+    prev: &mut Option<Vec<u8>>,
+) -> (Option<(Checkpoint, usize)>, bool, Option<String>) {
+    let err = match last.as_ref() {
+        None => return (None, false, None),
         Some(bytes) => match Checkpoint::decode(bytes) {
-            Ok(c) => (Some(c), false, None),
-            Err(e) => {
-                let fb = prev.as_ref().and_then(|b| Checkpoint::decode(b).ok());
-                (fb, true, Some(e.to_string()))
-            }
+            Ok(c) => return (Some((c, bytes.len())), false, None),
+            Err(e) => e.to_string(),
         },
-        None => (None, false, None),
-    }
+    };
+    *last = None;
+    let fb = prev.take().and_then(|b| match Checkpoint::decode(&b) {
+        Ok(c) => {
+            let n = b.len();
+            *last = Some(b);
+            Some((c, n))
+        }
+        Err(_) => None,
+    });
+    (fb, true, Some(err))
 }
 
 /// Per-rank chaos-run body. Returns `Err` only for faults the harness does
@@ -384,6 +444,7 @@ pub fn run_chaos_rank(
         final_world: comm.size(),
         guard_events: Vec::new(),
         guard_false_positives: 0,
+        grad_clips: 0,
         final_loss_scale: gs.loss_scale.scale(),
     };
     let mut prev_ckpt: Option<Vec<u8>> = None;
@@ -449,6 +510,7 @@ pub fn run_chaos_rank(
                             detector: detector.into(),
                             action: action.name().into(),
                             value,
+                            detail: String::new(),
                         });
                         match action {
                             PolicyAction::SkipStep => {
@@ -464,7 +526,7 @@ pub fn run_chaos_rank(
                                 model.zero_all_grads();
                                 let t_trip = ctx.clock.now();
                                 let (src, fell_back, err) =
-                                    restore_source(&report.last_ckpt, &prev_ckpt);
+                                    restore_source(&mut report.last_ckpt, &mut prev_ckpt);
                                 if fell_back {
                                     report.guard_events.push(GuardEvent {
                                         step,
@@ -472,16 +534,12 @@ pub fn run_chaos_rank(
                                         detector: "crc".into(),
                                         action: "fallback_prev_ckpt".into(),
                                         value: 1.0,
+                                        // The section-naming decode error,
+                                        // kept for postmortems.
+                                        detail: err.unwrap_or_default(),
                                     });
-                                    if let Some(e) = err {
-                                        // Keep the section-naming message in
-                                        // the timeline for postmortems.
-                                        report.guard_events.last_mut().unwrap().site =
-                                            e.chars().take(64).collect();
-                                    }
                                 }
-                                let resumed = if let Some(ckpt) = src {
-                                    let bytes = report.last_ckpt.as_ref().map_or(0, Vec::len);
+                                let resumed = if let Some((ckpt, bytes)) = src {
                                     ctx.clock.charge(
                                         "ckpt_restore",
                                         ctx.cost().mem_bound_time(bytes as f64),
@@ -522,6 +580,9 @@ pub fn run_chaos_rank(
                     }
                     gs.policy.on_clean();
                     gs.loss_scale.on_clean();
+                    if v.clipped {
+                        report.grad_clips += 1;
+                    }
                     model.apply_update();
                     Ok(Some(v.global_loss))
                 }
@@ -583,6 +644,7 @@ pub fn run_chaos_rank(
                                 detector: "crc".into(),
                                 action: "discard_corrupt_ckpt".into(),
                                 value: comm.size() as f64 - flag[0] as f64,
+                                detail: String::new(),
                             });
                         }
                     } else {
@@ -634,18 +696,19 @@ pub fn run_chaos_rank(
 
                 // Restore from the newest intact checkpoint; a corrupt
                 // `last` falls back to `prev` (both CRC-verified on decode).
-                let (src, fell_back, err) = restore_source(&report.last_ckpt, &prev_ckpt);
+                let (src, fell_back, err) =
+                    restore_source(&mut report.last_ckpt, &mut prev_ckpt);
                 if fell_back {
                     report.guard_events.push(GuardEvent {
                         step,
-                        site: err.map_or_else(|| "ckpt".into(), |e| e.chars().take(64).collect()),
+                        site: "ckpt".into(),
                         detector: "crc".into(),
                         action: "fallback_prev_ckpt".into(),
                         value: 1.0,
+                        detail: err.unwrap_or_default(),
                     });
                 }
-                let resumed = if let Some(ckpt) = src {
-                    let bytes = report.last_ckpt.as_ref().map_or(0, Vec::len);
+                let resumed = if let Some((ckpt, bytes)) = src {
                     let t_io = ctx.cost().mem_bound_time(bytes as f64);
                     ctx.clock.charge("ckpt_restore", t_io);
                     model =

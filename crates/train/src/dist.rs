@@ -667,10 +667,11 @@ impl DistMoeLm {
         if let Some(hook) = act_hook {
             hook(x.as_mut_slice());
         }
-        let (local_loss, mut d_x) = self.head.loss_and_backward(&x, &targets);
-        if loss_scale != 1.0 {
-            scale_assign(&mut d_x, loss_scale);
-        }
+        // The scale enters inside the head backward, at `d_logits`, so the
+        // head's own weight gradient carries it like every other gradient
+        // (scaling the returned `d_x` here would leave `head.grad`
+        // unscaled and the later exact unscale would shrink it).
+        let (local_loss, mut d_x) = self.head.loss_and_backward_scaled(&x, &targets, loss_scale);
         for (block, (ca, c1, c2)) in self.blocks.iter_mut().zip(&ctxs).rev() {
             d_x = block.moe.backward(c2, &d_x, world, clock)?;
             d_x = block.mlp.backward(c1, &d_x);

@@ -362,7 +362,8 @@ impl PolicyEngine {
 #[derive(Clone, Debug)]
 pub struct GuardEvent {
     pub step: u64,
-    /// Which site tripped: `grad`, `loss`, `act`, `ckpt`.
+    /// Which site tripped: `grad`, `loss`, `act`, `ckpt`. Always one of
+    /// those four tokens — timeline consumers filter and group on this.
     pub site: String,
     /// Which detector fired: `nonfinite`, `spike`, `crc`, `overflow`.
     pub detector: String,
@@ -370,15 +371,24 @@ pub struct GuardEvent {
     pub action: String,
     /// The statistic that tripped (count for scans, ratio for spikes).
     pub value: f64,
+    /// Free-form context (e.g. the CRC decode error naming the corrupt
+    /// section); empty when there is nothing to add. Never part of the
+    /// `site`/`detector`/`action` schema.
+    pub detail: String,
 }
 
 impl GuardEvent {
     /// One formatted timeline line (the CLI prints these).
     pub fn line(&self) -> String {
-        format!(
+        let mut s = format!(
             "step {:>4}  site {:<5} detector {:<9} action {:<22} value {:.3e}",
             self.step, self.site, self.detector, self.action, self.value
-        )
+        );
+        if !self.detail.is_empty() {
+            s.push_str("  # ");
+            s.push_str(&self.detail);
+        }
+        s
     }
 }
 
@@ -397,6 +407,11 @@ pub struct GuardConfig {
     pub spike_window: usize,
     /// Samples required before spike judgments begin.
     pub spike_min_history: usize,
+    /// Global grad-norm clip threshold, applied to the *unscaled*
+    /// gradients of every clean step via [`clip_factor`] (charged as
+    /// `guard:clip` when it actually rescales). `0.0` disables clipping,
+    /// keeping the clean trajectory bitwise-identical to an unguarded run.
+    pub max_grad_norm: f64,
     pub policy: PolicyCfg,
 }
 
@@ -409,6 +424,7 @@ impl Default for GuardConfig {
             spike_factor: 25.0,
             spike_window: 8,
             spike_min_history: 3,
+            max_grad_norm: 0.0,
             policy: PolicyCfg::default(),
         }
     }
@@ -645,17 +661,21 @@ mod tests {
 
     #[test]
     fn guard_event_line_is_readable() {
-        let e = GuardEvent {
+        let mut e = GuardEvent {
             step: 5,
             site: "grad".into(),
             detector: "nonfinite".into(),
             action: "skip_step".into(),
             value: 3.0,
+            detail: String::new(),
         };
         let line = e.line();
         assert!(line.contains("step    5"));
         assert!(line.contains("grad"));
         assert!(line.contains("nonfinite"));
         assert!(line.contains("skip_step"));
+        assert!(!line.contains('#'), "no detail marker when detail is empty");
+        e.detail = "section block0.moe.gate failed CRC".into();
+        assert!(e.line().contains("# section block0.moe.gate failed CRC"));
     }
 }

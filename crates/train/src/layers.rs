@@ -249,6 +249,21 @@ impl Head {
     /// Mean cross-entropy of `targets` under `softmax(x W)`, plus `d_x`.
     /// Weight gradient accumulates into `self.grad`.
     pub fn loss_and_backward(&mut self, x: &Tensor, targets: &[usize]) -> (f64, Tensor) {
+        self.loss_and_backward_scaled(x, targets, 1.0)
+    }
+
+    /// [`Self::loss_and_backward`] with the loss multiplied by
+    /// `loss_scale` — mixed-precision loss scaling. The scale enters at
+    /// `d_logits`, *before* the weight gradient is formed, so `self.grad`
+    /// and the returned `d_x` carry it consistently. A power-of-two scale
+    /// is folded in as an exact multiply on the `1/n` factor, so every
+    /// gradient is the bitwise-scaled image of the unscaled run's.
+    pub fn loss_and_backward_scaled(
+        &mut self,
+        x: &Tensor,
+        targets: &[usize],
+        loss_scale: f32,
+    ) -> (f64, Tensor) {
         assert_eq!(x.rows(), targets.len());
         let n = targets.len().max(1);
         let logits = matmul(x, &self.weight);
@@ -262,7 +277,7 @@ impl Head {
             let v = d_logits.get(i, t);
             d_logits.set(i, t, v - 1.0);
         }
-        xmoe_tensor::scale_assign(&mut d_logits, 1.0 / n as f32);
+        xmoe_tensor::scale_assign(&mut d_logits, (1.0 / n as f32) * loss_scale);
         // dW += x^T d_logits
         let x_t = x.transpose();
         let dw = matmul(&x_t, &d_logits);

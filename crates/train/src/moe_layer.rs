@@ -271,6 +271,16 @@ impl TrainableMoe {
 
     /// Backward: accumulates `g_gate` / `g_experts`, returns `d_x`.
     pub fn backward(&mut self, ctx: &MoeCtx, d_out: &Tensor) -> Tensor {
+        self.backward_scaled(ctx, d_out, 1.0)
+    }
+
+    /// Backward under a dynamic loss scale: `d_out` already carries
+    /// `loss_scale` (the caller multiplied the head gradient), so the
+    /// locally-generated aux and z-loss gradients are multiplied by the
+    /// same scale here — every term of the router gradient shares one
+    /// scale, and unscaling restores the exact unscaled mix. Power-of-two
+    /// scales keep this bitwise-invertible.
+    pub fn backward_scaled(&mut self, ctx: &MoeCtx, d_out: &Tensor, loss_scale: f32) -> Tensor {
         let h = ctx.x.cols();
         let b = ctx.pft.len();
         let mut d_x = d_out.clone(); // residual path
@@ -328,11 +338,12 @@ impl TrainableMoe {
             let v = d_scores.get(t, e);
             d_scores.set(t, e, v + d_w[i]);
         }
-        // Auxiliary load-balancing loss: dL/dscores[t, e] = alpha*E*f_e/S.
+        // Auxiliary load-balancing loss: dL/dscores[t, e] = alpha*E*f_e/S,
+        // multiplied by the loss scale so it matches the main-loss term.
         if self.aux_alpha != 0.0 {
             let f = Self::load_fractions(ctx);
             let s_inv = 1.0 / ctx.x.rows().max(1) as f32;
-            let coef = self.aux_alpha * e_count as f32 * s_inv;
+            let coef = self.aux_alpha * e_count as f32 * s_inv * loss_scale;
             for t in 0..ctx.x.rows() {
                 let row = d_scores.row_mut(t);
                 for e in 0..e_count {
@@ -351,9 +362,11 @@ impl TrainableMoe {
             }
         }
         // z-loss gradient goes straight onto the logits (z is a direct
-        // function of them): dL_z/dl[t,j] = coef * (2/S) * z_t * scores[t,j].
+        // function of them): dL_z/dl[t,j] = coef * (2/S) * z_t * scores[t,j],
+        // again carrying the loss scale of the main term.
         if self.router_guard.z_loss_coef != 0.0 {
-            let coef = self.router_guard.z_loss_coef * 2.0 / ctx.x.rows().max(1) as f32;
+            let coef =
+                self.router_guard.z_loss_coef * 2.0 * loss_scale / ctx.x.rows().max(1) as f32;
             for t in 0..ctx.x.rows() {
                 let z = ctx.lse[t];
                 let s_row = ctx.scores.row(t);
@@ -538,6 +551,54 @@ mod tests {
             let an = layer.g_gate.get(r, c) as f64;
             assert!(rel_ok(fd, an), "dGate[{r},{c}] fd {fd} an {an}");
         }
+    }
+
+    #[test]
+    fn scaled_backward_scales_aux_and_z_terms_with_the_main_loss() {
+        // Under a dynamic loss scale every router-gradient term — main
+        // loss (via d_out), aux load-balancing loss, and z-loss — must
+        // carry the same scale, or unscaling would change the effective
+        // aux/z weighting by 1/scale. Power-of-two scaling commutes
+        // bitwise with every float op in backward, so the scaled run must
+        // equal scale × the unscaled run exactly.
+        let scale = 4.0f32;
+        let base = tiny(DropPolicy::CapacityOnly, 100, 81)
+            .with_aux(0.05)
+            .with_router_guard(RouterGuard {
+                logit_clamp: 0.0,
+                z_loss_coef: 0.1,
+            });
+        let x = Tensor::rand_uniform(5, 6, 1.0, 82);
+        let probe = Tensor::rand_uniform(5, 6, 1.0, 83);
+        let mut probe_scaled = probe.clone();
+        for v in probe_scaled.as_mut_slice() {
+            *v *= scale;
+        }
+
+        let mut plain = base.clone();
+        let (_, ctx) = plain.forward(&x);
+        let d_x = plain.backward(&ctx, &probe);
+
+        let mut scaled = base.clone();
+        let (_, ctx_s) = scaled.forward(&x);
+        let d_x_s = scaled.backward_scaled(&ctx_s, &probe_scaled, scale);
+
+        let eq = |a: &Tensor, b: &Tensor| {
+            a.as_slice()
+                .iter()
+                .zip(b.as_slice())
+                .all(|(&p, &s)| (p * scale).to_bits() == s.to_bits())
+        };
+        assert!(eq(&plain.g_gate, &scaled.g_gate), "router grad not scaled");
+        for (e, ((p1, p2), (s1, s2))) in plain
+            .g_experts
+            .iter()
+            .zip(&scaled.g_experts)
+            .enumerate()
+        {
+            assert!(eq(p1, s1) && eq(p2, s2), "expert {e} grads not scaled");
+        }
+        assert!(eq(&d_x, &d_x_s), "input grad not scaled");
     }
 
     #[test]

@@ -30,7 +30,7 @@
 //!     `--csv` writes the raw per-rank spans.
 //!
 //! xmoe-cli chaos [ranks] [--faults <spec>] [--ckpt-every N] [--steps N] [--seed S]
-//!               [--guard]
+//!               [--guard] [--max-grad-norm X]
 //!     Fault-injected distributed training with checkpoint/restore and
 //!     elastic recovery. `<spec>` is a semicolon-separated fault schedule,
 //!     e.g. `slow:rank=2,x=4,from=1,until=3;kill:rank=6,at=4`, and may
@@ -38,11 +38,13 @@
 //!     `bitflip:rank=2,at=5,site=grad,bit=30` or
 //!     `noise:rank=1,site=act,amp=0.5,from=3,until=5` (see
 //!     `FaultPlan::parse`). SDC events switch on the numerical guard
-//!     (loss scaling, grad scan, spike detection, policy recovery);
-//!     `--guard` forces it on for clean runs too. Prints the loss
-//!     trajectory, the guard-event timeline (step, site, detector,
-//!     policy action), every recovery (failed ranks, replayed steps,
-//!     MTTR) and the final world size.
+//!     (loss scaling with exact unscale before Adam, grad scan, spike
+//!     detection, policy recovery); `--guard` forces it on for clean runs
+//!     too, and `--max-grad-norm X` additionally clips the unscaled
+//!     global grad norm to `X`. Prints the loss trajectory, the
+//!     guard-event timeline (step, site, detector, policy action), every
+//!     recovery (failed ranks, replayed steps, MTTR) and the final world
+//!     size.
 //! ```
 
 use std::path::Path;
@@ -79,7 +81,7 @@ fn usage() -> ! {
          xmoe-cli alltoall <gpus> <mbytes-per-rank>\n  \
          xmoe-cli analyze <experts> <topk> [tokens]\n  \
          xmoe-cli step <dense|pft|blocksparse|rbd> [ranks] [--overlap [chunks]] [--trace <path>] [--csv <path>]\n  \
-         xmoe-cli chaos [ranks] [--faults <spec>] [--ckpt-every N] [--steps N] [--seed S] [--guard]"
+         xmoe-cli chaos [ranks] [--faults <spec>] [--ckpt-every N] [--steps N] [--seed S] [--guard] [--max-grad-norm X]"
     );
     std::process::exit(2);
 }
@@ -105,6 +107,7 @@ fn cmd_chaos(args: &[String]) {
     let mut steps = 8u64;
     let mut seed = 0u64;
     let mut force_guard = false;
+    let mut max_grad_norm = 0.0f64;
     let mut i = 0usize;
     while i < args.len() {
         let flag_val = |i: usize| {
@@ -133,6 +136,11 @@ fn cmd_chaos(args: &[String]) {
                 force_guard = true;
                 i += 1;
             }
+            "--max-grad-norm" => {
+                max_grad_norm = flag_val(i).parse().unwrap_or_else(|_| usage());
+                force_guard = true;
+                i += 2;
+            }
             s => {
                 ranks = s.parse().unwrap_or_else(|_| usage());
                 i += 1;
@@ -160,7 +168,10 @@ fn cmd_chaos(args: &[String]) {
     let guard_on = force_guard || plan.has_sdc();
     let mut chaos = ChaosConfig::new(steps, ckpt_every);
     if guard_on {
-        chaos = chaos.with_guard(GuardConfig::default());
+        chaos = chaos.with_guard(GuardConfig {
+            max_grad_norm,
+            ..GuardConfig::default()
+        });
     }
 
     println!(
@@ -205,9 +216,10 @@ fn cmd_chaos(args: &[String]) {
     }
     if guard_on {
         println!(
-            "guard summary: {} trips | {} false positives | final loss scale {}",
+            "guard summary: {} trips | {} false positives | {} grad clips | final loss scale {}",
             survivor.guard_events.len(),
             survivor.guard_false_positives,
+            survivor.grad_clips,
             survivor.final_loss_scale
         );
     }

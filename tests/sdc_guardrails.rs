@@ -9,7 +9,8 @@
 //!    relies on: idempotent, low-16-bits-zero, round-to-nearest-even,
 //!    bounded relative error, specials preserved.
 //! 3. Gradient clipping never increases the norm and lands exactly on
-//!    `max_norm` when active.
+//!    `max_norm` when active — and, wired into the guarded step via
+//!    `max_grad_norm`, actually rescales the optimizer's gradients.
 //! 4. An injected `bitflip:site=grad` run detects the corruption, rolls
 //!    back to the last checkpoint, finishes with finite loss — and its
 //!    post-rollback trajectory is bitwise identical to a clean run's,
@@ -19,6 +20,13 @@
 //! 6. Guard overhead on a clean run stays under 5% of simulated step time,
 //!    measured from the `guard:*` spans of a clock that still satisfies
 //!    span-exactness (buckets sum to `now()`).
+//! 7. A grown loss scale is unscaled bitwise-exactly before the optimizer
+//!    consumes the gradients, so the loss trajectory is independent of
+//!    the scale schedule; `max_grad_norm` clipping actually rescales the
+//!    optimizer's inputs and is inert by default.
+//! 8. A corrupt checkpoint image makes restore fall back to the previous
+//!    intact one, recording a schema-clean `site=ckpt` event that carries
+//!    the decode error in `detail`.
 
 use xmoe::collectives::SimCluster;
 use xmoe::core::gating::DropPolicy;
@@ -349,4 +357,116 @@ fn guard_overhead_is_under_five_percent_and_spans_stay_exact() {
             100.0 * guard / now
         );
     }
+}
+
+// ---------------------------------------------------------------------------
+// 7. loss-scale exactness and clipping in the guarded step
+// ---------------------------------------------------------------------------
+
+#[test]
+fn grown_loss_scale_is_unscaled_exactly_leaving_the_trajectory_unchanged() {
+    let steps = 8u64;
+    // Default config pins the scale at 1.0 for a run this short
+    // (growth_interval = 64); the second config starts at 8 and doubles
+    // every 2 clean steps, so the two runs see very different scales.
+    let pinned = ChaosConfig::new(steps, 2).with_guard(GuardConfig::default());
+    let grown = ChaosConfig::new(steps, 2).with_guard(GuardConfig {
+        loss_scale: LossScaleCfg {
+            init: 8.0,
+            growth_interval: 2,
+            min: 0.5,
+            max: 65536.0,
+        },
+        ..GuardConfig::default()
+    });
+
+    let a = guarded_run(2, None, pinned);
+    let b = guarded_run(2, None, grown);
+    for ((rp, _, _), (rg, _, _)) in a.iter().zip(&b) {
+        assert!(rg.guard_events.is_empty(), "clean run must not trip");
+        assert_eq!(rg.guard_false_positives, 0);
+        assert!(
+            rg.final_loss_scale > 8.0,
+            "scale must actually grow, got {}",
+            rg.final_loss_scale
+        );
+        // Power-of-two scaling is exponent arithmetic: the backward pass
+        // is scale-equivariant and the unscale pass inverts it bitwise,
+        // so Adam consumes identical gradients under either schedule and
+        // the loss trajectory cannot move.
+        assert_eq!(loss_bits(rp), loss_bits(rg));
+    }
+}
+
+#[test]
+fn max_grad_norm_clips_clean_steps_and_is_inert_by_default() {
+    let steps = 8u64;
+    let stock = guarded_run(
+        2,
+        None,
+        ChaosConfig::new(steps, 2).with_guard(GuardConfig::default()),
+    );
+    let capped = guarded_run(
+        2,
+        None,
+        ChaosConfig::new(steps, 2).with_guard(GuardConfig {
+            max_grad_norm: 1e-3,
+            ..GuardConfig::default()
+        }),
+    );
+    for ((rs, _, _), (rc, _, _)) in stock.iter().zip(&capped) {
+        assert_eq!(rs.grad_clips, 0, "clipping is off by default");
+        assert!(rc.grad_clips > 0, "a tiny cap must rescale clean steps");
+        assert!(rc.guard_events.is_empty(), "a clip is not an anomaly");
+        assert_eq!(rc.guard_false_positives, 0);
+        assert!(rc.losses.iter().all(|&(_, l)| l.is_finite()));
+        assert_ne!(
+            loss_bits(rs),
+            loss_bits(rc),
+            "an active clip must change the optimizer trajectory"
+        );
+    }
+    // The factor derives from the all-reduced norm, so every rank makes
+    // the same clip decision on the same step.
+    assert!(
+        capped.windows(2).all(|w| w[0].0.grad_clips == w[1].0.grad_clips),
+        "clip decisions must be rank-consistent"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// 8. corrupt checkpoint image: restore falls back, event schema intact
+// ---------------------------------------------------------------------------
+
+#[test]
+fn dead_peer_restore_falls_back_past_a_corrupt_checkpoint_image() {
+    // Guard OFF: no capture-time CRC vote, so the ckpt flip at step 3
+    // leaves a corrupted step-4 image stored as `last` (step-2 stays
+    // intact in `prev`). When rank 1 dies at step 5 the survivor's
+    // restore must reject `last` on decode and fall back.
+    let chaos = ChaosConfig::new(8, 2);
+    let plan =
+        FaultPlan::parse(2, "bitflip:rank=0,at=3,site=ckpt;kill:rank=1,at=5").unwrap();
+
+    let reports = guarded_run(2, Some(plan), chaos);
+    let (r, _, _) = &reports[0]; // rank 0 is the survivor
+    let ev = r
+        .guard_events
+        .iter()
+        .find(|e| e.action == "fallback_prev_ckpt")
+        .expect("corrupt last image must force the fallback");
+    assert_eq!(ev.site, "ckpt", "fallback keeps the site schema");
+    assert_eq!(ev.detector, "crc");
+    assert!(
+        !ev.detail.is_empty(),
+        "the decode error rides in `detail`, not `site`"
+    );
+    let rec = r.recoveries.last().expect("dead-peer recovery recorded");
+    assert_eq!(rec.failed_ranks, vec![1]);
+    assert_eq!(
+        rec.resumed_from_step, 2,
+        "resumed from the intact step-2 image"
+    );
+    assert_eq!(r.losses.len(), 8, "survivor finishes every step");
+    assert!(r.losses.iter().all(|&(_, l)| l.is_finite()));
 }
