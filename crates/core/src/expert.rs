@@ -5,7 +5,7 @@
 //! fine-grained expert. Under expert parallelism each rank owns a contiguous
 //! block of `E / W` experts ([`ExpertShard`]).
 
-use xmoe_tensor::{matmul, silu, Tensor};
+use xmoe_tensor::{matmul, matmul_slices, silu, Tensor, Workspace};
 
 /// One expert FFN: `y = silu(x @ w1) @ w2`.
 #[derive(Clone, Debug)]
@@ -113,6 +113,67 @@ impl ExpertShard {
         }
         out
     }
+
+    /// [`Self::forward_segments`] running on workspace leases: the activation
+    /// scratch and the output come from `ws`, and each segment GEMM writes
+    /// straight into its sub-range of the leased buffers instead of
+    /// materialising per-segment tensors. Results are bitwise identical to
+    /// the unpooled variant; the caller recycles the returned tensor.
+    pub fn forward_segments_pooled(
+        &self,
+        input: &Tensor,
+        tokens_per_local_expert: &[usize],
+        ws: &mut Workspace,
+    ) -> Tensor {
+        assert_eq!(
+            tokens_per_local_expert.len(),
+            self.experts.len(),
+            "segment count must equal local expert count"
+        );
+        let total: usize = tokens_per_local_expert.iter().sum();
+        assert_eq!(total, input.rows(), "segment sum != input rows");
+        let hidden = self.experts.first().map_or(0, |e| e.w1.rows());
+        let ffn = self.experts.first().map_or(0, |e| e.w1.cols());
+        let mut h = ws.take(total, ffn);
+        let mut out = ws.take(total, hidden);
+        let mut row = 0;
+        for (e, &cnt) in tokens_per_local_expert.iter().enumerate() {
+            if cnt == 0 {
+                continue;
+            }
+            let ex = &self.experts[e];
+            let in_seg = &input.as_slice()[row * input.cols()..(row + cnt) * input.cols()];
+            let h_range = row * ffn..(row + cnt) * ffn;
+            matmul_slices(
+                in_seg,
+                cnt,
+                input.cols(),
+                ex.w1.as_slice(),
+                ffn,
+                &mut h.as_mut_slice()[h_range.clone()],
+            );
+            silu_slice(&mut h.as_mut_slice()[h_range.clone()]);
+            matmul_slices(
+                &h.as_slice()[h_range],
+                cnt,
+                ffn,
+                ex.w2.as_slice(),
+                hidden,
+                &mut out.as_mut_slice()[row * hidden..(row + cnt) * hidden],
+            );
+            row += cnt;
+        }
+        ws.recycle(h);
+        out
+    }
+}
+
+/// SiLU on a raw slice — the same elementwise map [`silu`] applies to a
+/// tensor, usable on a sub-range of a pooled buffer.
+fn silu_slice(xs: &mut [f32]) {
+    for v in xs {
+        *v *= 1.0 / (1.0 + (-*v).exp());
+    }
 }
 
 #[cfg(test)]
@@ -167,5 +228,35 @@ mod tests {
     #[should_panic(expected = "not divisible")]
     fn shard_requires_divisible_expert_count() {
         let _ = ExpertShard::for_rank(0, 3, 8, 4, 4, 1);
+    }
+
+    #[test]
+    fn forward_segments_handles_all_zero_segments() {
+        // Every expert idle: a [0, H] input must produce a [0, H] output on
+        // both the owned and pooled paths.
+        let shard = ExpertShard::full(3, 8, 4, 5);
+        let input = Tensor::zeros(0, 8);
+        let out = shard.forward_segments(&input, &[0, 0, 0]);
+        assert_eq!(out.shape(), (0, 8));
+        let mut ws = Workspace::new();
+        let pooled = shard.forward_segments_pooled(&input, &[0, 0, 0], &mut ws);
+        assert_eq!(pooled.shape(), (0, 8));
+        ws.recycle(pooled);
+    }
+
+    #[test]
+    fn forward_segments_pooled_is_bitwise_identical() {
+        let shard = ExpertShard::full(4, 12, 7, 15);
+        let input = Tensor::rand_uniform(11, 12, 1.0, 16);
+        let segs = [3usize, 0, 6, 2];
+        let expected = shard.forward_segments(&input, &segs);
+        let mut ws = Workspace::new();
+        // Two rounds: second reuses warm (dirty) buffers.
+        for _ in 0..2 {
+            let pooled = shard.forward_segments_pooled(&input, &segs, &mut ws);
+            assert!(pooled.allclose(&expected, 0.0), "pooled output diverged");
+            ws.recycle(pooled);
+        }
+        assert_eq!(ws.stats().pool_misses, 2, "steady state allocates");
     }
 }

@@ -7,7 +7,7 @@
 //! drops on capacity overflow. [`DropPolicy`] encodes both behaviours so the
 //! loss-validation experiment (Fig 15) can reproduce the gap.
 
-use xmoe_tensor::{matmul, softmax_rows, topk_rows, Tensor};
+use xmoe_tensor::{matmul, matmul_into, softmax_rows, topk_rows, topk_rows_into, Tensor};
 
 /// When is a routed (token, expert) pair eligible to be dropped before
 /// capacity is even considered?
@@ -21,15 +21,22 @@ pub enum DropPolicy {
 }
 
 /// Output of the gating function for a local batch of `S` tokens.
+///
+/// The per-token arrays are stored *flat* — length `S*k`, token `t`'s slot
+/// `j` at index `t*k + j` — so one gating call costs a constant number of
+/// allocations instead of the `2S+` a `Vec<Vec<_>>` layout incurs, and the
+/// buffers can be leased from a `Workspace`.
 #[derive(Clone, Debug)]
 pub struct GatingOutput {
-    /// `[S][k]` expert indices, per token, by descending score.
-    pub top_experts: Vec<Vec<usize>>,
-    /// `[S][k]` softmax scores of the selected experts.
-    pub combine_weights: Vec<Vec<f32>>,
-    /// `[S][k]` raw (pre-softmax) logits of the selected experts — consumed
-    /// by [`DropPolicy::CapacityAndNegativeLogit`].
-    pub top_logits: Vec<Vec<f32>>,
+    /// Flat `[S*k]` expert indices, per token by descending score.
+    pub top_experts: Vec<usize>,
+    /// Flat `[S*k]` softmax scores of the selected experts.
+    pub combine_weights: Vec<f32>,
+    /// Flat `[S*k]` raw (pre-softmax) logits of the selected experts —
+    /// consumed by [`DropPolicy::CapacityAndNegativeLogit`].
+    pub top_logits: Vec<f32>,
+    /// Routing factor `k` (stride of the flat arrays).
+    pub k: usize,
     /// Full `[S, E]` softmax scores (the training backward needs them).
     pub scores: Tensor,
 }
@@ -37,13 +44,44 @@ pub struct GatingOutput {
 impl GatingOutput {
     /// Number of tokens gated.
     pub fn tokens(&self) -> usize {
-        self.top_experts.len()
+        self.scores.rows()
     }
 
     /// Routing factor `k`.
     pub fn k(&self) -> usize {
-        self.top_experts.first().map_or(0, Vec::len)
+        self.k
     }
+
+    /// Token `t`'s selected experts (`k` of them, by descending score).
+    pub fn experts_of(&self, t: usize) -> &[usize] {
+        &self.top_experts[t * self.k..(t + 1) * self.k]
+    }
+
+    /// Token `t`'s combine weights, aligned with [`Self::experts_of`].
+    pub fn weights_of(&self, t: usize) -> &[f32] {
+        &self.combine_weights[t * self.k..(t + 1) * self.k]
+    }
+}
+
+impl Default for GatingOutput {
+    /// An empty gating output, ready to be filled by [`Router::gate_into`].
+    fn default() -> Self {
+        Self {
+            top_experts: Vec::new(),
+            combine_weights: Vec::new(),
+            top_logits: Vec::new(),
+            k: 0,
+            scores: Tensor::zeros(0, 0),
+        }
+    }
+}
+
+/// Reusable scratch for [`Router::gate_into`]: the logits tensor and the
+/// top-k selection order. Grow-only, like every pooled scratch.
+#[derive(Debug, Default)]
+pub struct GateScratch {
+    logits: Tensor,
+    order: Vec<usize>,
 }
 
 /// The learned router of one MoE layer: a single `[H, E]` projection.
@@ -88,18 +126,54 @@ impl Router {
         let logits = matmul(tokens, &self.weight);
         let mut scores = logits.clone();
         softmax_rows(&mut scores);
-        let (top_experts, combine_weights) = topk_rows(&scores, self.top_k);
+        let k = self.top_k;
+        let (top_experts, combine_weights) = topk_rows(&scores, k);
         let top_logits = top_experts
             .iter()
             .enumerate()
-            .map(|(t, experts)| experts.iter().map(|&e| logits.get(t, e)).collect())
+            .map(|(i, &e)| logits.get(i / k, e))
             .collect();
         GatingOutput {
             top_experts,
             combine_weights,
             top_logits,
+            k,
             scores,
         }
+    }
+
+    /// [`Router::gate`] on caller-owned buffers: logits land in the scratch
+    /// tensor, scores/top-k arrays in the reused `out`. Results are identical
+    /// to the owned variant; with warm buffers the call performs no heap
+    /// allocation.
+    pub fn gate_into(&self, tokens: &Tensor, scratch: &mut GateScratch, out: &mut GatingOutput) {
+        assert_eq!(
+            tokens.cols(),
+            self.weight.rows(),
+            "token hidden dim mismatch"
+        );
+        let logits = &mut scratch.logits;
+        logits.resize(tokens.rows(), self.weight.cols());
+        matmul_into(tokens, &self.weight, logits);
+        out.scores.resize(tokens.rows(), self.weight.cols());
+        out.scores.as_mut_slice().copy_from_slice(logits.as_slice());
+        softmax_rows(&mut out.scores);
+        let k = self.top_k;
+        topk_rows_into(
+            &out.scores,
+            k,
+            &mut out.top_experts,
+            &mut out.combine_weights,
+            &mut scratch.order,
+        );
+        out.top_logits.clear();
+        out.top_logits.extend(
+            out.top_experts
+                .iter()
+                .enumerate()
+                .map(|(i, &e)| logits.get(i / k, e)),
+        );
+        out.k = k;
     }
 }
 
@@ -158,14 +232,21 @@ pub fn clamp_logits(logits: &mut Tensor, limit: f32) -> usize {
 /// z-statistic. The max is subtracted before exponentiation so finite
 /// logits always produce a finite z.
 pub fn row_logsumexp(logits: &Tensor) -> Vec<f32> {
-    (0..logits.rows())
-        .map(|t| {
-            let row = logits.row(t);
-            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-            let sum: f32 = row.iter().map(|&v| (v - m).exp()).sum();
-            m + sum.ln()
-        })
-        .collect()
+    let mut out = Vec::new();
+    row_logsumexp_into(logits, &mut out);
+    out
+}
+
+/// [`row_logsumexp`] into a caller-owned buffer (cleared first) — the
+/// warm-buffer variant used by pooled training steps.
+pub fn row_logsumexp_into(logits: &Tensor, out: &mut Vec<f32>) {
+    out.clear();
+    out.extend((0..logits.rows()).map(|t| {
+        let row = logits.row(t);
+        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let sum: f32 = row.iter().map(|&v| (v - m).exp()).sum();
+        m + sum.ln()
+    }));
 }
 
 /// Value of the z-loss for the given per-row z statistics:
@@ -191,8 +272,9 @@ mod tests {
         let g = router.gate(&tokens);
         assert_eq!(g.tokens(), 10);
         assert_eq!(g.k(), 3);
-        for experts in &g.top_experts {
-            let mut e = experts.clone();
+        assert_eq!(g.top_experts.len(), 30);
+        for t in 0..g.tokens() {
+            let mut e = g.experts_of(t).to_vec();
             e.sort_unstable();
             e.dedup();
             assert_eq!(e.len(), 3, "duplicate expert selected");
@@ -204,11 +286,12 @@ mod tests {
         let router = Router::new(8, 6, 4, 1);
         let tokens = Tensor::rand_uniform(5, 8, 1.0, 2);
         let g = router.gate(&tokens);
-        for (t, w) in g.combine_weights.iter().enumerate() {
+        for t in 0..g.tokens() {
+            let w = g.weights_of(t);
             for i in 1..w.len() {
                 assert!(w[i - 1] >= w[i], "weights not descending");
             }
-            for (j, &e) in g.top_experts[t].iter().enumerate() {
+            for (j, &e) in g.experts_of(t).iter().enumerate() {
                 assert_eq!(g.scores.get(t, e), w[j]);
             }
             // Scores are softmax outputs: positive, <= 1.
@@ -225,8 +308,8 @@ mod tests {
         let router = Router::from_weight(w, 1);
         let tokens = Tensor::from_vec(2, 4, vec![1.0, 0.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0]);
         let g = router.gate(&tokens);
-        assert_eq!(g.top_experts[0][0], 0);
-        assert_eq!(g.top_experts[1][0], 1);
+        assert_eq!(g.experts_of(0)[0], 0);
+        assert_eq!(g.experts_of(1)[0], 1);
     }
 
     #[test]
@@ -237,7 +320,7 @@ mod tests {
         let logits = matmul(&tokens, &router.weight);
         for t in 0..4 {
             for j in 0..2 {
-                assert_eq!(g.top_logits[t][j], logits.get(t, g.top_experts[t][j]));
+                assert_eq!(g.top_logits[t * 2 + j], logits.get(t, g.experts_of(t)[j]));
             }
         }
     }
@@ -246,6 +329,24 @@ mod tests {
     #[should_panic(expected = "top_k")]
     fn rejects_topk_larger_than_expert_count() {
         let _ = Router::new(8, 4, 5, 1);
+    }
+
+    #[test]
+    fn gate_into_matches_owned_gate_bitwise() {
+        let router = Router::new(16, 8, 3, 42);
+        let mut scratch = GateScratch::default();
+        let mut pooled = GatingOutput::default();
+        // Reuse across differently-sized batches: results must stay equal.
+        for (s, seed) in [(10usize, 7u64), (4, 8), (25, 9)] {
+            let tokens = Tensor::rand_uniform(s, 16, 1.0, seed);
+            let owned = router.gate(&tokens);
+            router.gate_into(&tokens, &mut scratch, &mut pooled);
+            assert_eq!(pooled.top_experts, owned.top_experts);
+            assert_eq!(pooled.combine_weights, owned.combine_weights);
+            assert_eq!(pooled.top_logits, owned.top_logits);
+            assert_eq!(pooled.k, owned.k);
+            assert!(pooled.scores.allclose(&owned.scores, 0.0));
+        }
     }
 
     #[test]

@@ -20,11 +20,27 @@
 //! negative-logit dropping for the §5.6 comparison.
 
 use crate::gating::{DropPolicy, GatingOutput};
-use xmoe_tensor::argsort_desc_by;
+use xmoe_tensor::argsort_desc_into;
+
+/// Reusable scratch for [`Pft::construct_into`]: the flattened assignment
+/// arrays, ranking order and counting-sort tables. All buffers are grow-only,
+/// so a scratch reused across steps makes PFT construction allocation-free
+/// after warm-up.
+#[derive(Debug, Default)]
+pub struct PftScratch {
+    flat_tokens: Vec<usize>,
+    flat_experts: Vec<usize>,
+    flat_weights: Vec<f32>,
+    order: Vec<usize>,
+    rank_in_expert: Vec<usize>,
+    retained: Vec<bool>,
+    offsets: Vec<usize>,
+    cursor: Vec<usize>,
+}
 
 /// The ERI-arrays of one local batch (the token buffer `x` travels
 /// separately through the pipeline stages).
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct Pft {
     /// `[B]` original token index of each routed entry.
     pub token_ids: Vec<usize>,
@@ -75,35 +91,75 @@ impl Pft {
         capacity: usize,
         policy: DropPolicy,
     ) -> Pft {
+        let mut out = Pft {
+            token_ids: Vec::new(),
+            expert_ids: Vec::new(),
+            tokens_per_expert: Vec::new(),
+            combine_weights: Vec::new(),
+            dropped: 0,
+        };
+        let mut scratch = PftScratch::default();
+        Self::construct_into(
+            gating,
+            num_experts,
+            capacity,
+            policy,
+            &mut scratch,
+            &mut out,
+        );
+        out
+    }
+
+    /// [`Pft::construct`] writing into a reused `out` and `scratch` — the
+    /// same algorithm on caller-owned grow-only buffers, producing results
+    /// identical to the owned variant. With warm buffers the call performs no
+    /// heap allocation.
+    pub fn construct_into(
+        gating: &GatingOutput,
+        num_experts: usize,
+        capacity: usize,
+        policy: DropPolicy,
+        scratch: &mut PftScratch,
+        out: &mut Pft,
+    ) {
         let s = gating.tokens();
         let k = gating.k();
 
         // Step 1: flatten the [S, k] assignments (Listing 1 lines 20-21),
         // applying the policy pre-filter.
-        let mut flat_tokens = Vec::with_capacity(s * k);
-        let mut flat_experts = Vec::with_capacity(s * k);
-        let mut flat_weights = Vec::with_capacity(s * k);
+        let flat_tokens = &mut scratch.flat_tokens;
+        let flat_experts = &mut scratch.flat_experts;
+        let flat_weights = &mut scratch.flat_weights;
+        flat_tokens.clear();
+        flat_experts.clear();
+        flat_weights.clear();
         let mut prefiltered = 0usize;
         for t in 0..s {
             for j in 0..k {
-                if policy == DropPolicy::CapacityAndNegativeLogit && gating.top_logits[t][j] < 0.0 {
+                if policy == DropPolicy::CapacityAndNegativeLogit
+                    && gating.top_logits[t * k + j] < 0.0
+                {
                     prefiltered += 1;
                     continue;
                 }
                 flat_tokens.push(t);
-                flat_experts.push(gating.top_experts[t][j]);
-                flat_weights.push(gating.combine_weights[t][j]);
+                flat_experts.push(gating.top_experts[t * k + j]);
+                flat_weights.push(gating.combine_weights[t * k + j]);
             }
         }
 
         // Step 2: rank by combine weight and keep the top `capacity` per
-        // expert (lines 24-33). The stable descending argsort makes the
-        // retained set deterministic under ties.
-        let order = argsort_desc_by(&flat_weights);
-        let mut rank_in_expert = vec![0usize; num_experts];
-        let mut retained = vec![false; flat_tokens.len()];
+        // expert (lines 24-33). The descending argsort's index tie-break
+        // makes the retained set deterministic under ties.
+        argsort_desc_into(flat_weights, &mut scratch.order);
+        let rank_in_expert = &mut scratch.rank_in_expert;
+        rank_in_expert.clear();
+        rank_in_expert.resize(num_experts, 0);
+        let retained = &mut scratch.retained;
+        retained.clear();
+        retained.resize(flat_tokens.len(), false);
         let mut dropped = prefiltered;
-        for &i in &order {
+        for &i in &scratch.order {
             let e = flat_experts[i];
             assert!(e < num_experts, "expert id {e} out of range {num_experts}");
             if rank_in_expert[e] < capacity {
@@ -118,11 +174,10 @@ impl Pft {
         // within each expert segment (lines 34-40). Grouping by expert makes
         // each EP destination's slice of the dispatch buffer contiguous.
         let b: usize = rank_in_expert.iter().sum();
-        let mut token_ids = Vec::with_capacity(b);
-        let mut expert_ids = Vec::with_capacity(b);
-        let mut combine_weights = Vec::with_capacity(b);
         // Bucket by expert with a counting pass (O(B + E), no comparison sort).
-        let mut offsets = vec![0usize; num_experts + 1];
+        let offsets = &mut scratch.offsets;
+        offsets.clear();
+        offsets.resize(num_experts + 1, 0);
         for (i, &keep) in retained.iter().enumerate() {
             if keep {
                 offsets[flat_experts[i] + 1] += 1;
@@ -131,10 +186,18 @@ impl Pft {
         for e in 0..num_experts {
             offsets[e + 1] += offsets[e];
         }
+        let token_ids = &mut out.token_ids;
+        let expert_ids = &mut out.expert_ids;
+        let combine_weights = &mut out.combine_weights;
+        token_ids.clear();
         token_ids.resize(b, 0);
+        expert_ids.clear();
         expert_ids.resize(b, 0);
+        combine_weights.clear();
         combine_weights.resize(b, 0.0);
-        let mut cursor = offsets.clone();
+        let cursor = &mut scratch.cursor;
+        cursor.clear();
+        cursor.extend_from_slice(offsets);
         for i in 0..flat_tokens.len() {
             if !retained[i] {
                 continue;
@@ -146,17 +209,10 @@ impl Pft {
             expert_ids[pos] = e;
             combine_weights[pos] = flat_weights[i];
         }
-        let tokens_per_expert = (0..num_experts)
-            .map(|e| offsets[e + 1] - offsets[e])
-            .collect();
-
-        Pft {
-            token_ids,
-            expert_ids,
-            tokens_per_expert,
-            combine_weights,
-            dropped,
-        }
+        out.tokens_per_expert.clear();
+        out.tokens_per_expert
+            .extend((0..num_experts).map(|e| offsets[e + 1] - offsets[e]));
+        out.dropped = dropped;
     }
 
     /// Entries destined for each of `n_parts` equal expert shards
@@ -249,9 +305,10 @@ mod tests {
     fn overflow_keeps_highest_weight_entries() {
         // Force every token to expert 0 with distinct weights.
         let g = GatingOutput {
-            top_experts: vec![vec![0], vec![0], vec![0], vec![0]],
-            combine_weights: vec![vec![0.1], vec![0.9], vec![0.5], vec![0.7]],
-            top_logits: vec![vec![1.0]; 4],
+            top_experts: vec![0, 0, 0, 0],
+            combine_weights: vec![0.1, 0.9, 0.5, 0.7],
+            top_logits: vec![1.0; 4],
+            k: 1,
             scores: Tensor::zeros(4, 1),
         };
         let pft = Pft::construct(&g, 1, 2, DropPolicy::CapacityOnly);
@@ -265,9 +322,10 @@ mod tests {
     #[test]
     fn negative_logit_policy_prefilters() {
         let g = GatingOutput {
-            top_experts: vec![vec![0, 1], vec![1, 0]],
-            combine_weights: vec![vec![0.6, 0.4], vec![0.8, 0.2]],
-            top_logits: vec![vec![1.0, -0.5], vec![0.3, -0.1]],
+            top_experts: vec![0, 1, 1, 0],
+            combine_weights: vec![0.6, 0.4, 0.8, 0.2],
+            top_logits: vec![1.0, -0.5, 0.3, -0.1],
+            k: 2,
             scores: Tensor::zeros(2, 2),
         };
         let xmoe = Pft::construct(&g, 2, 100, DropPolicy::CapacityOnly);
@@ -307,10 +365,35 @@ mod tests {
             top_experts: vec![],
             combine_weights: vec![],
             top_logits: vec![],
+            k: 2,
             scores: Tensor::zeros(0, 4),
         };
         let pft = Pft::construct(&g, 4, 10, DropPolicy::CapacityOnly);
         assert!(pft.is_empty());
         assert_eq!(pft.tokens_per_expert, vec![0; 4]);
+    }
+
+    #[test]
+    fn construct_into_matches_owned_across_reuse() {
+        let mut scratch = PftScratch::default();
+        let mut pooled = Pft {
+            token_ids: Vec::new(),
+            expert_ids: Vec::new(),
+            tokens_per_expert: Vec::new(),
+            combine_weights: Vec::new(),
+            dropped: 0,
+        };
+        // Reuse the same scratch + output across differently-shaped batches
+        // and both drop policies: results must equal the owned constructor.
+        for (seed, cap, policy) in [
+            (11, 1_000, DropPolicy::CapacityOnly),
+            (12, 5, DropPolicy::CapacityOnly),
+            (13, 7, DropPolicy::CapacityAndNegativeLogit),
+            (11, 3, DropPolicy::CapacityAndNegativeLogit),
+        ] {
+            let g = gate(40, 16, 8, 3, seed);
+            Pft::construct_into(&g, 8, cap, policy, &mut scratch, &mut pooled);
+            assert_eq!(pooled, Pft::construct(&g, 8, cap, policy));
+        }
     }
 }

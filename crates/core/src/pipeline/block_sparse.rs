@@ -13,12 +13,12 @@
 //! accounting the `ablation_blocksparse` bench sweeps.
 
 use xmoe_collectives::{CommError, Communicator, SimClock};
-use xmoe_tensor::{gather_rows, scatter_rows_scaled, Tensor};
+use xmoe_tensor::{gather_rows, gather_rows_into, scatter_rows_scaled, Tensor};
 
 use crate::expert::ExpertShard;
 use crate::gating::Router;
 use crate::pft::Pft;
-use crate::pipeline::padding_free::EpRoute;
+use crate::pipeline::padding_free::{EpRoute, PooledSingleState};
 use crate::pipeline::MoeLayerSpec;
 
 /// Round `n` up to a multiple of `block`.
@@ -106,6 +106,69 @@ pub fn forward_single_block_sparse(
     }
     let mut out = Tensor::zeros(tokens.rows(), hidden);
     scatter_rows_scaled(&mlp_out, &pft.token_ids, &pft.combine_weights, &mut out);
+    out
+}
+
+/// [`forward_single_block_sparse`] on a [`PooledSingleState`]: pooled
+/// gating, PFT construction, padded staging and segment GEMMs. Bitwise
+/// identical to the unpooled variant (padding rows are zero either way);
+/// allocation-free at steady state. The returned output is leased from
+/// `state.ws` — recycle it there when done.
+pub fn forward_single_block_sparse_pooled(
+    tokens: &Tensor,
+    router: &Router,
+    experts: &ExpertShard,
+    spec: &MoeLayerSpec,
+    block: usize,
+    state: &mut PooledSingleState,
+) -> Tensor {
+    assert_eq!(experts.len(), spec.num_experts);
+    router.gate_into(tokens, &mut state.gate_scratch, &mut state.gating);
+    Pft::construct_into(
+        &state.gating,
+        spec.num_experts,
+        spec.capacity,
+        spec.policy,
+        &mut state.pft_scratch,
+        &mut state.pft,
+    );
+    gather_rows_into(tokens, &state.pft.token_ids, &mut state.dispatch_in);
+    let hidden = tokens.cols();
+
+    let mut padded_counts = state.ws.take_idx(spec.num_experts);
+    for (p, &c) in padded_counts.iter_mut().zip(&state.pft.tokens_per_expert) {
+        *p = round_up(c, block);
+    }
+    let padded_total: usize = padded_counts.iter().sum();
+    // take() zero-fills, so the pad rows are zero even on a reused buffer.
+    let mut padded_buf = state.ws.take(padded_total, hidden);
+    copy_segments(
+        &state.dispatch_in,
+        &state.pft.tokens_per_expert,
+        &mut padded_buf,
+        &padded_counts,
+    );
+
+    let out_padded = experts.forward_segments_pooled(&padded_buf, &padded_counts, &mut state.ws);
+
+    let mut mlp_out = state.ws.take(state.pft.len(), hidden);
+    copy_segments(
+        &out_padded,
+        &padded_counts,
+        &mut mlp_out,
+        &state.pft.tokens_per_expert,
+    );
+    let mut out = state.ws.take(tokens.rows(), hidden);
+    scatter_rows_scaled(
+        &mlp_out,
+        &state.pft.token_ids,
+        &state.pft.combine_weights,
+        &mut out,
+    );
+    state.ws.recycle(mlp_out);
+    state.ws.recycle(out_padded);
+    state.ws.recycle(padded_buf);
+    state.ws.recycle_idx(padded_counts);
     out
 }
 
@@ -242,6 +305,32 @@ mod tests {
                 out.max_abs_diff(&reference)
             );
         }
+    }
+
+    #[test]
+    fn pooled_block_sparse_is_bitwise_identical_across_steps() {
+        let (s, h, f, e, k) = (32usize, 16usize, 8usize, 8usize, 3usize);
+        let router = Router::new(h, e, k, 211);
+        let experts = ExpertShard::full(e, h, f, 212);
+        let spec = MoeLayerSpec::new(e, 9); // drops exercised
+        let mut state = PooledSingleState::default();
+        for block in [1usize, 4, 16] {
+            for step in 0..2 {
+                let tokens = Tensor::rand_uniform(s, h, 1.0, 220 + step);
+                let expected =
+                    forward_single_block_sparse(&tokens, &router, &experts, &spec, block);
+                let out = forward_single_block_sparse_pooled(
+                    &tokens, &router, &experts, &spec, block, &mut state,
+                );
+                assert!(
+                    out.allclose(&expected, 0.0),
+                    "block {block} step {step} diverged"
+                );
+                state.ws.recycle(out);
+            }
+        }
+        let misses = state.ws.stats().pool_misses;
+        assert!(misses <= 6, "arena kept allocating: {misses} misses");
     }
 
     #[test]

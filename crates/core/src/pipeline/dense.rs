@@ -63,18 +63,19 @@ pub fn build_dense_dispatch(
     if order == DenseDropOrder::WeightRanked {
         let weights: Vec<f32> = cands
             .iter()
-            .map(|&(t, j)| gating.combine_weights[t][j])
+            .map(|&(t, j)| gating.combine_weights[t * k + j])
             .collect();
         let perm = argsort_desc_by(&weights);
         cands = perm.into_iter().map(|i| cands[i]).collect();
     }
 
     for (t, j) in cands {
-        if spec.policy == DropPolicy::CapacityAndNegativeLogit && gating.top_logits[t][j] < 0.0 {
+        if spec.policy == DropPolicy::CapacityAndNegativeLogit && gating.top_logits[t * k + j] < 0.0
+        {
             dropped += 1;
             continue;
         }
-        let expert = gating.top_experts[t][j];
+        let expert = gating.top_experts[t * k + j];
         if fill[expert] >= c {
             dropped += 1;
             continue;
@@ -84,7 +85,7 @@ pub fn build_dense_dispatch(
         buffers
             .row_mut(expert * c + slot)
             .copy_from_slice(tokens.row(t));
-        entries.push((t, expert, slot, gating.combine_weights[t][j]));
+        entries.push((t, expert, slot, gating.combine_weights[t * k + j]));
     }
 
     DenseDispatch {
@@ -269,9 +270,10 @@ mod tests {
     #[test]
     fn token_order_dropping_keeps_earlier_tokens() {
         let g = GatingOutput {
-            top_experts: vec![vec![0], vec![0], vec![0]],
-            combine_weights: vec![vec![0.2], vec![0.9], vec![0.5]],
-            top_logits: vec![vec![1.0]; 3],
+            top_experts: vec![0, 0, 0],
+            combine_weights: vec![0.2, 0.9, 0.5],
+            top_logits: vec![1.0; 3],
+            k: 1,
             scores: Tensor::zeros(3, 1),
         };
         let tokens = Tensor::rand_uniform(3, 4, 1.0, 3);
@@ -285,9 +287,10 @@ mod tests {
     #[test]
     fn weight_ranked_dropping_matches_pft_retention() {
         let g = GatingOutput {
-            top_experts: vec![vec![0], vec![0], vec![0]],
-            combine_weights: vec![vec![0.2], vec![0.9], vec![0.5]],
-            top_logits: vec![vec![1.0]; 3],
+            top_experts: vec![0, 0, 0],
+            combine_weights: vec![0.2, 0.9, 0.5],
+            top_logits: vec![1.0; 3],
+            k: 1,
             scores: Tensor::zeros(3, 1),
         };
         let tokens = Tensor::rand_uniform(3, 4, 1.0, 3);

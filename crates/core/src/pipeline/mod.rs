@@ -16,9 +16,11 @@ pub mod block_sparse;
 pub mod dense;
 pub mod padding_free;
 
-pub use block_sparse::{block_padding_waste, forward_single_block_sparse};
+pub use block_sparse::{
+    block_padding_waste, forward_single_block_sparse, forward_single_block_sparse_pooled,
+};
 pub use dense::{build_dense_dispatch, DenseDispatch, DenseDropOrder};
-pub use padding_free::{forward_ep, forward_single};
+pub use padding_free::{forward_ep, forward_single, forward_single_pooled, PooledSingleState};
 
 use crate::gating::DropPolicy;
 

@@ -12,11 +12,11 @@
 //! all-to-alls mirrored (the paper's 4 all-to-alls per layer per step).
 
 use xmoe_collectives::{CommError, Communicator, SimClock};
-use xmoe_tensor::{gather_rows, scatter_rows_scaled, Tensor};
+use xmoe_tensor::{gather_rows, gather_rows_into, scatter_rows_scaled, Tensor, Workspace};
 
 use crate::expert::ExpertShard;
-use crate::gating::Router;
-use crate::pft::Pft;
+use crate::gating::{GateScratch, GatingOutput, Router};
+use crate::pft::{Pft, PftScratch};
 use crate::pipeline::{rows_to_vec, vecs_to_tensor, MoeLayerSpec};
 
 /// Single-rank reference: all experts local, no communication.
@@ -39,6 +39,64 @@ pub fn forward_single(
     let mlp_out = experts.forward_segments(&dispatch_in, &pft.tokens_per_expert);
     let mut out = Tensor::zeros(tokens.rows(), tokens.cols());
     scatter_rows_scaled(&mlp_out, &pft.token_ids, &pft.combine_weights, &mut out);
+    out
+}
+
+/// Persistent state for [`forward_single_pooled`]: the workspace arena plus
+/// every buffer the single-rank pipeline reuses across steps. One instance
+/// per rank, reused for the lifetime of the layer.
+#[derive(Default)]
+pub struct PooledSingleState {
+    /// The arena backing transient leases (dispatch, MLP scratch, output).
+    pub ws: Workspace,
+    pub(crate) gate_scratch: GateScratch,
+    pub(crate) gating: GatingOutput,
+    pub(crate) pft_scratch: PftScratch,
+    pub(crate) pft: Pft,
+    pub(crate) dispatch_in: Tensor,
+}
+
+/// [`forward_single`] with every intermediate buffer served from a
+/// [`PooledSingleState`]: pooled gating, pooled PFT construction, pooled
+/// dispatch staging and pooled segment GEMMs. Bitwise identical to the
+/// unpooled variant; after the first (warm-up) call, steady-state calls
+/// perform zero transient heap allocations. The returned output is leased
+/// from `state.ws` — recycle it there when done.
+pub fn forward_single_pooled(
+    tokens: &Tensor,
+    router: &Router,
+    experts: &ExpertShard,
+    spec: &MoeLayerSpec,
+    state: &mut PooledSingleState,
+) -> Tensor {
+    assert_eq!(
+        experts.len(),
+        spec.num_experts,
+        "single-rank forward needs the full expert set"
+    );
+    router.gate_into(tokens, &mut state.gate_scratch, &mut state.gating);
+    Pft::construct_into(
+        &state.gating,
+        spec.num_experts,
+        spec.capacity,
+        spec.policy,
+        &mut state.pft_scratch,
+        &mut state.pft,
+    );
+    gather_rows_into(tokens, &state.pft.token_ids, &mut state.dispatch_in);
+    let mlp_out = experts.forward_segments_pooled(
+        &state.dispatch_in,
+        &state.pft.tokens_per_expert,
+        &mut state.ws,
+    );
+    let mut out = state.ws.take(tokens.rows(), tokens.cols());
+    scatter_rows_scaled(
+        &mlp_out,
+        &state.pft.token_ids,
+        &state.pft.combine_weights,
+        &mut out,
+    );
+    state.ws.recycle(mlp_out);
     out
 }
 
@@ -551,11 +609,30 @@ mod tests {
         let tokens = Tensor::rand_uniform(1, 8, 1.0, 5);
         let out = forward_single(&tokens, &router, &experts, &spec(2, 100));
         let g = router.gate(&tokens);
-        let e = g.top_experts[0][0];
-        let w = g.combine_weights[0][0];
+        let e = g.top_experts[0];
+        let w = g.combine_weights[0];
         let mut expected = experts.experts[e].forward(&tokens);
         xmoe_tensor::scale_assign(&mut expected, w);
         assert!(out.allclose(&expected, 1e-5));
+    }
+
+    #[test]
+    fn pooled_single_rank_is_bitwise_identical_across_steps() {
+        let (s, h, f, e, k) = (24, 16, 8, 8, 3);
+        let router = Router::new(h, e, k, 31);
+        let experts = ExpertShard::full(e, h, f, 32);
+        let sp = spec(e, 7); // tight capacity: drops exercised too
+        let mut state = PooledSingleState::default();
+        for step in 0..4 {
+            let tokens = Tensor::rand_uniform(s, h, 1.0, 100 + step);
+            let expected = forward_single(&tokens, &router, &experts, &sp);
+            let out = forward_single_pooled(&tokens, &router, &experts, &sp, &mut state);
+            assert!(out.allclose(&expected, 0.0), "step {step} diverged");
+            state.ws.recycle(out);
+        }
+        // Warm-up allocates two arena buffers (the recycled MLP scratch is
+        // reused for the combine output); subsequent steps only reuse.
+        assert_eq!(state.ws.stats().pool_misses, 2);
     }
 
     #[test]

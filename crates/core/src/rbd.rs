@@ -24,7 +24,7 @@
 //! same value as the plain pipeline's per-entry weighted sum.
 
 use xmoe_collectives::{CommError, Communicator, SimClock};
-use xmoe_tensor::{gather_rows, DetRng, Tensor};
+use xmoe_tensor::{gather_rows, gather_rows_into, DetRng, Tensor, Workspace};
 
 use crate::expert::ExpertShard;
 use crate::gating::Router;
@@ -224,6 +224,38 @@ pub fn forward_ep_rbd_overlap(
         clock,
         PilotPolicy::Random,
         Some(chunks),
+        None,
+    )
+}
+
+/// [`forward_ep_rbd`] with every staging tensor — dispatch buffer, merged
+/// expert input, MLP scratch, and the combine output — leased from a
+/// per-rank [`Workspace`] instead of freshly allocated. Bitwise identical
+/// to [`forward_ep_rbd`] under the same `rng` stream. The returned output
+/// tensor is itself leased: recycle it back into `ws` once consumed to
+/// keep the steady state allocation-free.
+#[allow(clippy::too_many_arguments)]
+pub fn forward_ep_rbd_pooled(
+    tokens: &Tensor,
+    router: &Router,
+    shard: &ExpertShard,
+    spec: &MoeLayerSpec,
+    comms: &RbdComms,
+    rng: &mut DetRng,
+    clock: &mut SimClock,
+    ws: &mut Workspace,
+) -> Result<Tensor, CommError> {
+    forward_ep_rbd_impl(
+        tokens,
+        router,
+        shard,
+        spec,
+        comms,
+        rng,
+        clock,
+        PilotPolicy::Random,
+        None,
+        Some(ws),
     )
 }
 
@@ -239,7 +271,9 @@ pub fn forward_ep_rbd_with_policy(
     clock: &mut SimClock,
     policy: PilotPolicy,
 ) -> Result<Tensor, CommError> {
-    forward_ep_rbd_impl(tokens, router, shard, spec, comms, rng, clock, policy, None)
+    forward_ep_rbd_impl(
+        tokens, router, shard, spec, comms, rng, clock, policy, None, None,
+    )
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -253,6 +287,7 @@ fn forward_ep_rbd_impl(
     clock: &mut SimClock,
     policy: PilotPolicy,
     overlap_chunks: Option<usize>,
+    mut ws: Option<&mut Workspace>,
 ) -> Result<Tensor, CommError> {
     let ep = &comms.ep;
     let node = &comms.node;
@@ -279,7 +314,14 @@ fn forward_ep_rbd_impl(
     let gate_flops = 2.0 * tokens.rows() as f64 * hidden as f64 * spec.num_experts as f64;
     clock.charge("gating", cost.compute_time(gate_flops));
 
-    let dispatch_in = gather_rows(tokens, &pft.token_ids);
+    let dispatch_in = match ws.as_deref_mut() {
+        Some(w) => {
+            let mut t = w.take(0, 0);
+            gather_rows_into(tokens, &pft.token_ids, &mut t);
+            t
+        }
+        None => gather_rows(tokens, &pft.token_ids),
+    };
     clock.charge(
         "buffer_dispatch",
         cost.mem_bound_time(2.0 * (pft.len() * hidden * 4) as f64),
@@ -367,6 +409,9 @@ fn forward_ep_rbd_impl(
         .iter()
         .map(|r| encode_pilots(r))
         .collect();
+    if let Some(w) = ws.as_deref_mut() {
+        w.recycle(dispatch_in);
+    }
     // --- S1.5 state: staging buffer + replica queues ---------------------
     struct Entry {
         local_expert: usize,
@@ -512,17 +557,30 @@ fn forward_ep_rbd_impl(
     let mut order: Vec<usize> = (0..entries.len()).collect();
     order.sort_by_key(|&i| entries[i].local_expert);
     let perm: Vec<usize> = order.iter().map(|&i| entries[i].row).collect();
-    let expert_input = gather_rows(&staging, &perm);
+    let expert_input = match ws.as_deref_mut() {
+        Some(w) => {
+            let mut t = w.take(0, 0);
+            gather_rows_into(&staging, &perm, &mut t);
+            t
+        }
+        None => gather_rows(&staging, &perm),
+    };
     let mut tokens_per_local_expert = vec![0usize; e_local];
     for e in &entries {
         tokens_per_local_expert[e.local_expert] += 1;
     }
-    let mlp_out = shard.forward_segments(&expert_input, &tokens_per_local_expert);
+    let mlp_out = match ws.as_deref_mut() {
+        Some(w) => shard.forward_segments_pooled(&expert_input, &tokens_per_local_expert, w),
+        None => shard.forward_segments(&expert_input, &tokens_per_local_expert),
+    };
     let ffn = shard.experts.first().map_or(0, |e| e.w1.cols());
     clock.charge(
         "expert",
         cost.compute_time(4.0 * expert_input.rows() as f64 * hidden as f64 * ffn as f64),
     );
+    if let Some(w) = ws.as_deref_mut() {
+        w.recycle(expert_input);
+    }
 
     // --- Combine: reverse route -------------------------------------------
     // Scale outputs by their combine weights, then split by provenance.
@@ -548,6 +606,9 @@ fn forward_ep_rbd_impl(
             }
         }
     }
+    if let Some(w) = ws.as_deref_mut() {
+        w.recycle(mlp_out);
+    }
     let crep_rows_recv = node.all_to_all_v(crep_rows_send, clock)?;
     clock.commit("combine_a2a_intra");
     let crep_meta_recv = node.all_to_all_v(crep_meta_send, clock)?;
@@ -570,7 +631,11 @@ fn forward_ep_rbd_impl(
 
     // Scatter the partials (weights already applied) by the pilot order we
     // originally sent to each destination.
-    let mut out = Tensor::zeros(tokens.rows(), hidden);
+    // Leased when pooled: the caller recycles it once the output is consumed.
+    let mut out = match ws {
+        Some(w) => w.take(tokens.rows(), hidden),
+        None => Tensor::zeros(tokens.rows(), hidden),
+    };
     for (dst, idxs) in pilots_per_dst.iter().enumerate() {
         let chunk = &back_recv[dst];
         debug_assert_eq!(chunk.len(), idxs.len() * hidden);
@@ -756,6 +821,66 @@ mod tests {
                     a.max_abs_diff(b)
                 );
             }
+        }
+    }
+
+    #[test]
+    fn rbd_pooled_is_bitwise_identical_and_stops_missing() {
+        let (world, s, e, k, h, f) = (8usize, 12usize, 16usize, 4usize, 12usize, 8usize);
+        let router = Router::new(h, e, k, 71);
+        let spec = MoeLayerSpec::new(e, 10_000);
+        let baseline = SimCluster::frontier(world).run(|ctx| {
+            let shard = ExpertShard::for_rank(ctx.rank, world, e, h, f, 72);
+            let tokens = Tensor::rand_uniform(s, h, 1.0, 500 + ctx.rank as u64);
+            let comms = RbdComms::create(&ctx.world, &mut ctx.clock).unwrap();
+            let mut rng = DetRng::new(73 + ctx.rank as u64);
+            forward_ep_rbd(
+                &tokens,
+                &router,
+                &shard,
+                &spec,
+                &comms,
+                &mut rng,
+                &mut ctx.clock,
+            )
+            .unwrap()
+        });
+        let pooled = SimCluster::frontier(world).run(|ctx| {
+            let shard = ExpertShard::for_rank(ctx.rank, world, e, h, f, 72);
+            let tokens = Tensor::rand_uniform(s, h, 1.0, 500 + ctx.rank as u64);
+            let comms = RbdComms::create(&ctx.world, &mut ctx.clock).unwrap();
+            let mut ws = Workspace::default();
+            let mut last = Tensor::zeros(0, 0);
+            for _ in 0..3 {
+                // Fresh rng per step: identical pilot draws, so every step
+                // must reproduce the baseline bitwise.
+                let mut rng = DetRng::new(73 + ctx.rank as u64);
+                let out = forward_ep_rbd_pooled(
+                    &tokens,
+                    &router,
+                    &shard,
+                    &spec,
+                    &comms,
+                    &mut rng,
+                    &mut ctx.clock,
+                    &mut ws,
+                )
+                .unwrap();
+                ws.recycle(std::mem::replace(&mut last, out));
+            }
+            let misses = ws.stats().pool_misses;
+            (last, misses)
+        });
+        for (r, (a, (b, misses))) in baseline.iter().zip(&pooled).enumerate() {
+            assert!(
+                a.allclose(b, 0.0),
+                "rank {r}: pooled RBD not bitwise identical (max diff {})",
+                a.max_abs_diff(b)
+            );
+            // Mid-step recycling lets later leases reuse earlier buffers, so
+            // warm-up costs only 3 fresh allocations; every step after that
+            // is served entirely from the free lists.
+            assert_eq!(*misses, 3, "rank {r}: unexpected pool misses");
         }
     }
 

@@ -1,0 +1,129 @@
+//! Counting `#[global_allocator]` wrapper for allocation telemetry.
+//!
+//! The zero-allocation claim of the pooled hot path ([`crate::pool`]) is only
+//! worth anything if it is *measured*. [`CountingAlloc`] wraps
+//! `std::alloc::System` and keeps three relaxed atomic counters: cumulative
+//! allocation count, live bytes, and peak live bytes. Benches and the
+//! allocation-gate integration test declare their own static:
+//!
+//! ```ignore
+//! use xmoe_tensor::CountingAlloc;
+//! #[global_allocator]
+//! static ALLOC: CountingAlloc = CountingAlloc::new();
+//! // ... warm up ...
+//! let before = ALLOC.stats();
+//! run_steady_state_step();
+//! assert_eq!(ALLOC.stats().allocs - before.allocs, 0);
+//! ```
+//!
+//! Binaries that do not opt in pay nothing: the type lives here but the
+//! default global allocator is untouched. The counters use `Relaxed`
+//! ordering — they are statistics, not synchronisation — so the overhead per
+//! allocation is a handful of uncontended atomic adds.
+//!
+//! This module is the crate's only `unsafe` code: the `GlobalAlloc` impl
+//! forwards verbatim to `System`, upholding the same contract.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering::Relaxed};
+
+/// Snapshot of allocator counters at a point in time.
+///
+/// Deltas between snapshots bound the allocation behaviour of the code in
+/// between: `allocs` counts every `alloc`/`realloc` call, `live_bytes` is the
+/// current heap footprint attributed to this allocator, `peak_bytes` the
+/// high-water mark since process start (or the last [`CountingAlloc::reset_peak`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AllocStats {
+    /// Cumulative number of allocation calls (alloc + realloc).
+    pub allocs: u64,
+    /// Bytes currently allocated and not yet freed.
+    pub live_bytes: usize,
+    /// High-water mark of `live_bytes`.
+    pub peak_bytes: usize,
+}
+
+/// A counting wrapper around the system allocator. See the module docs.
+pub struct CountingAlloc {
+    allocs: AtomicU64,
+    live: AtomicUsize,
+    peak: AtomicUsize,
+}
+
+impl CountingAlloc {
+    #[allow(clippy::new_without_default)]
+    pub const fn new() -> Self {
+        Self {
+            allocs: AtomicU64::new(0),
+            live: AtomicUsize::new(0),
+            peak: AtomicUsize::new(0),
+        }
+    }
+
+    /// Snapshot the counters.
+    pub fn stats(&self) -> AllocStats {
+        AllocStats {
+            allocs: self.allocs.load(Relaxed),
+            live_bytes: self.live.load(Relaxed),
+            peak_bytes: self.peak.load(Relaxed),
+        }
+    }
+
+    /// Reset the peak-bytes high-water mark to the current live bytes, so a
+    /// subsequent snapshot measures the peak of one region of interest.
+    pub fn reset_peak(&self) {
+        self.peak.store(self.live.load(Relaxed), Relaxed);
+    }
+
+    fn on_alloc(&self, size: usize) {
+        self.allocs.fetch_add(1, Relaxed);
+        let live = self.live.fetch_add(size, Relaxed) + size;
+        self.peak.fetch_max(live, Relaxed);
+    }
+
+    fn on_dealloc(&self, size: usize) {
+        self.live.fetch_sub(size, Relaxed);
+    }
+}
+
+// SAFETY: every operation delegates directly to `System`, which satisfies the
+// `GlobalAlloc` contract; the counter updates have no effect on the returned
+// pointers or layouts.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = unsafe { System.alloc(layout) };
+        if !p.is_null() {
+            self.on_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let p = unsafe { System.alloc_zeroed(layout) };
+        if !p.is_null() {
+            self.on_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) };
+        self.on_dealloc(layout.size());
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = unsafe { System.realloc(ptr, layout, new_size) };
+        if !p.is_null() {
+            // Count as one allocation event; adjust live bytes by the delta.
+            self.allocs.fetch_add(1, Relaxed);
+            if new_size >= layout.size() {
+                let live = self.live.fetch_add(new_size - layout.size(), Relaxed)
+                    + (new_size - layout.size());
+                self.peak.fetch_max(live, Relaxed);
+            } else {
+                self.live.fetch_sub(layout.size() - new_size, Relaxed);
+            }
+        }
+        p
+    }
+}

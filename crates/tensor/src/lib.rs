@@ -13,20 +13,33 @@
 //! * Array utilities mirroring Listing 1: [`argsort_desc_by`], [`cumsum`],
 //!   [`histogram`].
 //!
+//! Steady-state allocation freedom is provided by [`pool::Workspace`], a
+//! per-rank arena that leases grow-only scratch tensors and index buffers to
+//! the pipeline stages, and verified by [`alloc::CountingAlloc`], an optional
+//! counting `#[global_allocator]` wrapper used by benches and tests.
+//!
 //! All parallelism uses `std::thread::scope` over disjoint row chunks, so the
-//! crate is `unsafe`-free and data-race free by construction.
+//! kernels are data-race free by construction. The only `unsafe` in the crate
+//! is the `GlobalAlloc` impl in [`alloc`], which delegates every operation to
+//! `std::alloc::System` and adds relaxed atomic counters.
 
+pub mod alloc;
 pub mod ops;
+pub mod pool;
 pub mod rng;
 pub mod routing;
 
+pub use alloc::{AllocStats, CountingAlloc};
 pub use ops::{
-    add_assign, gelu, matmul, matmul_into, matmul_transpose_b, relu, scale_assign, silu,
-    softmax_rows, topk_rows,
+    add_assign, gelu, matmul, matmul_into, matmul_slices, matmul_transpose_b,
+    matmul_transpose_b_into, matmul_transpose_b_slices, relu, scale_assign, silu, softmax_rows,
+    topk_rows, topk_rows_into,
 };
+pub use pool::{Workspace, WorkspaceStats};
 pub use rng::DetRng;
 pub use routing::{
-    argsort_desc_by, cumsum, gather_rows, histogram, scatter_rows_scaled, sequential_gemm,
+    argsort_desc_by, argsort_desc_into, cumsum, gather_rows, gather_rows_into, histogram,
+    scatter_rows_scaled, scatter_rows_unit, sequential_gemm,
 };
 
 /// Number of worker threads used by parallel kernels.
@@ -64,6 +77,13 @@ pub struct Tensor {
     rows: usize,
     cols: usize,
     data: Vec<f32>,
+}
+
+impl Default for Tensor {
+    /// An empty `0 x 0` tensor — the natural seed for grow-only scratch.
+    fn default() -> Self {
+        Tensor::zeros(0, 0)
+    }
 }
 
 impl std::fmt::Debug for Tensor {
@@ -172,6 +192,18 @@ impl Tensor {
         self.data
     }
 
+    /// Reshape in place to `rows x cols`, zero-filling the contents.
+    ///
+    /// The backing buffer's capacity only grows, never shrinks, so a tensor
+    /// reused across steps reaches a high-water size after warm-up and then
+    /// resizes allocation-free. This is the workhorse of [`pool::Workspace`].
+    pub fn resize(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
     /// Borrow row `r`.
     pub fn row(&self, r: usize) -> &[f32] {
         debug_assert!(
@@ -225,6 +257,13 @@ impl Tensor {
     /// Transpose into a new tensor.
     pub fn transpose(&self) -> Tensor {
         let mut out = Tensor::zeros(self.cols, self.rows);
+        self.transpose_into(&mut out);
+        out
+    }
+
+    /// Transpose into a caller-owned tensor, resized to `cols x rows`.
+    pub fn transpose_into(&self, out: &mut Tensor) {
+        out.resize(self.cols, self.rows);
         // Blocked transpose for cache friendliness.
         const B: usize = 32;
         for rb in (0..self.rows).step_by(B) {
@@ -236,7 +275,25 @@ impl Tensor {
                 }
             }
         }
-        out
+    }
+
+    /// Transpose rows `[start, end)` into a caller-owned tensor, resized to
+    /// `cols x (end-start)`. Equivalent to `self.slice_rows(start, end)
+    /// .transpose()` without materialising the slice.
+    pub fn transpose_rows_into(&self, start: usize, end: usize, out: &mut Tensor) {
+        assert!(start <= end && end <= self.rows, "row range out of bounds");
+        let seg = end - start;
+        out.resize(self.cols, seg);
+        const B: usize = 32;
+        for rb in (0..seg).step_by(B) {
+            for cb in (0..self.cols).step_by(B) {
+                for r in rb..(rb + B).min(seg) {
+                    for c in cb..(cb + B).min(self.cols) {
+                        out.data[c * seg + r] = self.data[(start + r) * self.cols + c];
+                    }
+                }
+            }
+        }
     }
 
     /// Frobenius norm.
@@ -320,6 +377,50 @@ mod tests {
         let c = Tensor::rand_uniform(4, 4, 1.0, 43);
         assert!(a.allclose(&b, 0.0));
         assert!(!a.allclose(&c, 0.0));
+    }
+
+    #[test]
+    fn resize_zeroes_and_keeps_capacity() {
+        let mut t = Tensor::from_fn(4, 4, |r, c| (r * 4 + c) as f32 + 1.0);
+        let cap_before = {
+            t.resize(2, 3);
+            t.data.capacity()
+        };
+        assert_eq!(t.shape(), (2, 3));
+        assert!(t.as_slice().iter().all(|&v| v == 0.0));
+        t.resize(4, 4);
+        assert_eq!(t.data.capacity(), cap_before, "grow-only capacity");
+        assert!(t.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn transpose_into_matches_owned() {
+        let t = Tensor::rand_uniform(37, 53, 1.0, 7);
+        let mut out = Tensor::zeros(0, 0);
+        t.transpose_into(&mut out);
+        assert!(out.allclose(&t.transpose(), 0.0));
+    }
+
+    #[test]
+    fn transpose_rows_into_matches_slice_then_transpose() {
+        let t = Tensor::rand_uniform(40, 9, 1.0, 8);
+        let mut out = Tensor::zeros(0, 0);
+        t.transpose_rows_into(7, 29, &mut out);
+        assert!(out.allclose(&t.slice_rows(7, 29).transpose(), 0.0));
+        // Empty segment is legal and yields a cols x 0 tensor.
+        t.transpose_rows_into(5, 5, &mut out);
+        assert_eq!(out.shape(), (9, 0));
+    }
+
+    #[test]
+    fn vstack_passes_zero_row_parts_through() {
+        let a = Tensor::from_fn(2, 3, |r, c| (r * 3 + c) as f32);
+        let empty = Tensor::zeros(0, 3);
+        let s = Tensor::vstack(&[&empty, &a, &empty]);
+        assert_eq!(s.shape(), (2, 3));
+        assert!(s.allclose(&a, 0.0));
+        let all_empty = Tensor::vstack(&[&empty, &empty]);
+        assert_eq!(all_empty.shape(), (0, 3));
     }
 
     #[test]

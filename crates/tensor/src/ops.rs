@@ -30,24 +30,34 @@ pub fn matmul_into(a: &Tensor, b: &Tensor, c: &mut Tensor) {
         m, k, kb, n
     );
     assert_eq!(c.shape(), (m, n), "matmul output shape mismatch");
+    matmul_slices(a.as_slice(), m, k, b.as_slice(), n, c.as_mut_slice());
+}
+
+/// Slice-level [`matmul_into`]: `C += A @ B` where `a` is `m*k` row-major,
+/// `b` is `k*n` and `c` is `m*n`. Taking raw slices lets pooled pipelines run
+/// segment GEMMs directly on sub-ranges of persistent workspace buffers —
+/// e.g. one expert's rows of a dispatch buffer into the matching rows of an
+/// activation buffer — without materializing per-segment tensors. Each output
+/// row is computed independently in the same k-order as [`matmul_into`], so
+/// results are bitwise identical to the tensor-level call.
+pub fn matmul_slices(a: &[f32], m: usize, k: usize, b: &[f32], n: usize, c: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "matmul_slices: A length mismatch");
+    assert_eq!(b.len(), k * n, "matmul_slices: B length mismatch");
+    assert_eq!(c.len(), m * n, "matmul_slices: C length mismatch");
     if m == 0 || n == 0 {
         return;
     }
 
     let threads = worker_threads().min(m.max(1));
-    let a_data = a.as_slice();
-    let b_data = b.as_slice();
-    let c_data = c.as_mut_slice();
-
     if threads <= 1 || m * n * k < 64 * 64 * 64 {
-        gemm_rows(a_data, b_data, c_data, 0, m, k, n);
+        gemm_rows(a, b, c, 0, m, k, n);
         return;
     }
 
     let chunk = m.div_ceil(threads);
     std::thread::scope(|s| {
         // Split C into disjoint row chunks; each thread owns its slice.
-        let mut rest = c_data;
+        let mut rest = c;
         let mut row0 = 0usize;
         while row0 < m {
             let rows_here = chunk.min(m - row0);
@@ -55,7 +65,7 @@ pub fn matmul_into(a: &Tensor, b: &Tensor, c: &mut Tensor) {
             rest = tail;
             let r0 = row0;
             s.spawn(move || {
-                gemm_rows_offset(a_data, b_data, mine, r0, rows_here, k, n);
+                gemm_rows_offset(a, b, mine, r0, rows_here, k, n);
             });
             row0 += rows_here;
         }
@@ -82,6 +92,9 @@ fn gemm_rows_offset(
             let c_row = &mut c_chunk[i * n..(i + 1) * n];
             for kk in kb0..k_end {
                 let aik = a_row[kk];
+                // Measured in `bench gemm`: dense-neutral (the always-false
+                // branch predicts perfectly; ~1.0x geomean) and ~2x on the
+                // zero-padded rows of the block-sparse/dense pipelines.
                 if aik == 0.0 {
                     continue;
                 }
@@ -109,24 +122,65 @@ fn gemm_rows(a: &[f32], b: &[f32], c: &mut [f32], r0: usize, rows: usize, k: usi
 /// implementation that materialised a fresh `B^T` allocation on every
 /// backward GEMM of every step (see the `bench gemm` table in DESIGN.md).
 pub fn matmul_transpose_b(a: &Tensor, b: &Tensor) -> Tensor {
+    let mut c = Tensor::zeros(a.rows(), b.rows());
+    matmul_transpose_b_into(a, b, &mut c);
+    c
+}
+
+/// `C = A @ B^T` written (overwritten, not accumulated) into an existing
+/// `[m, n]` output — the workspace-pooled form of [`matmul_transpose_b`].
+pub fn matmul_transpose_b_into(a: &Tensor, b: &Tensor, c: &mut Tensor) {
     let (m, k) = a.shape();
     let (n, kb) = b.shape();
     assert_eq!(k, kb, "matmul_transpose_b inner-dim mismatch");
-    let mut c = Tensor::zeros(m, n);
+    assert_eq!(
+        c.shape(),
+        (m, n),
+        "matmul_transpose_b output shape mismatch"
+    );
+    matmul_transpose_b_slices(a.as_slice(), m, k, b.as_slice(), n, c.as_mut_slice());
+}
+
+/// Slice-level [`matmul_transpose_b_into`]: `C = A @ B^T` on raw row-major
+/// slices (`a` is `m*k`, `b` is `n*k`, `c` is `m*n`, overwritten). Like
+/// [`matmul_slices`], this lets pooled backward passes run segment GEMMs on
+/// sub-ranges of workspace buffers; each output element is an independent
+/// dot product, so results are bitwise identical to the tensor-level call.
+pub fn matmul_transpose_b_slices(
+    a: &[f32],
+    m: usize,
+    k: usize,
+    b: &[f32],
+    n: usize,
+    c: &mut [f32],
+) {
+    assert_eq!(
+        a.len(),
+        m * k,
+        "matmul_transpose_b_slices: A length mismatch"
+    );
+    assert_eq!(
+        b.len(),
+        n * k,
+        "matmul_transpose_b_slices: B length mismatch"
+    );
+    assert_eq!(
+        c.len(),
+        m * n,
+        "matmul_transpose_b_slices: C length mismatch"
+    );
     if m == 0 || n == 0 || k == 0 {
-        return c;
+        c.fill(0.0);
+        return;
     }
-    let a_data = a.as_slice();
-    let b_data = b.as_slice();
-    let c_data = c.as_mut_slice();
     let threads = worker_threads().min(m);
     if threads <= 1 || m * n * k < 64 * 64 * 64 {
-        gemm_tb_rows(a_data, b_data, c_data, 0, m, k, n);
-        return c;
+        gemm_tb_rows(a, b, c, 0, m, k, n);
+        return;
     }
     let chunk = m.div_ceil(threads);
     std::thread::scope(|s| {
-        let mut rest = c_data;
+        let mut rest = c;
         let mut row0 = 0usize;
         while row0 < m {
             let rows_here = chunk.min(m - row0);
@@ -134,12 +188,11 @@ pub fn matmul_transpose_b(a: &Tensor, b: &Tensor) -> Tensor {
             rest = tail;
             let r0 = row0;
             s.spawn(move || {
-                gemm_tb_rows(a_data, b_data, mine, r0, rows_here, k, n);
+                gemm_tb_rows(a, b, mine, r0, rows_here, k, n);
             });
             row0 += rows_here;
         }
     });
-    c
 }
 
 /// Microkernel for `C = A @ B^T`: `c_chunk` holds rows `r0..r0+rows_here` of
@@ -204,14 +257,36 @@ pub fn softmax_rows(t: &mut Tensor) {
     }
 }
 
-/// Per-row top-k: returns `(indices, values)` each `rows x k`, with columns
-/// ordered by descending value (ties broken by lower index, so results are
-/// deterministic).
-pub fn topk_rows(t: &Tensor, k: usize) -> (Vec<Vec<usize>>, Vec<Vec<f32>>) {
+/// Per-row top-k: returns flat `(indices, values)`, each of length
+/// `rows * k` with row `r`'s selections at `[r*k .. (r+1)*k]`, ordered by
+/// descending value (ties broken by lower index, so results are
+/// deterministic). The flat layout replaces the former `Vec<Vec<_>>` return,
+/// which cost `2*rows` heap allocations per gating call.
+pub fn topk_rows(t: &Tensor, k: usize) -> (Vec<usize>, Vec<f32>) {
+    let mut idx_out = Vec::new();
+    let mut val_out = Vec::new();
+    let mut order = Vec::new();
+    topk_rows_into(t, k, &mut idx_out, &mut val_out, &mut order);
+    (idx_out, val_out)
+}
+
+/// [`topk_rows`] writing into caller-owned buffers (cleared first); `order`
+/// is selection scratch. With warm buffers the call is allocation-free.
+///
+/// The selection comparator totally orders candidate indices (value
+/// descending, then index ascending — no two candidates compare equal), so
+/// the in-place unstable sort used here is deterministic and agrees bitwise
+/// with a stable sort under the same comparator.
+pub fn topk_rows_into(
+    t: &Tensor,
+    k: usize,
+    idx_out: &mut Vec<usize>,
+    val_out: &mut Vec<f32>,
+    order: &mut Vec<usize>,
+) {
     assert!(k <= t.cols(), "top-{} of only {} columns", k, t.cols());
-    let mut idx_out = Vec::with_capacity(t.rows());
-    let mut val_out = Vec::with_capacity(t.rows());
-    let mut order: Vec<usize> = Vec::with_capacity(t.cols());
+    idx_out.clear();
+    val_out.clear();
     for r in 0..t.rows() {
         let row = t.row(r);
         order.clear();
@@ -220,12 +295,11 @@ pub fn topk_rows(t: &Tensor, k: usize) -> (Vec<Vec<usize>>, Vec<Vec<f32>>) {
         order.select_nth_unstable_by(k.saturating_sub(1).min(t.cols() - 1), |&a, &b| {
             row[b].partial_cmp(&row[a]).unwrap().then(a.cmp(&b))
         });
-        let mut top: Vec<usize> = order[..k].to_vec();
-        top.sort_by(|&a, &b| row[b].partial_cmp(&row[a]).unwrap().then(a.cmp(&b)));
-        val_out.push(top.iter().map(|&i| row[i]).collect());
-        idx_out.push(top);
+        let top = &mut order[..k];
+        top.sort_unstable_by(|&a, &b| row[b].partial_cmp(&row[a]).unwrap().then(a.cmp(&b)));
+        idx_out.extend_from_slice(top);
+        val_out.extend(top.iter().map(|&i| row[i]));
     }
-    (idx_out, val_out)
 }
 
 /// SiLU (x * sigmoid(x)) applied in place — the expert activation used by
@@ -379,22 +453,81 @@ mod tests {
     fn topk_selects_largest_in_order() {
         let t = Tensor::from_vec(1, 5, vec![0.1, 0.9, 0.3, 0.7, 0.5]);
         let (idx, vals) = topk_rows(&t, 3);
-        assert_eq!(idx[0], vec![1, 3, 4]);
-        assert_eq!(vals[0], vec![0.9, 0.7, 0.5]);
+        assert_eq!(idx, vec![1, 3, 4]);
+        assert_eq!(vals, vec![0.9, 0.7, 0.5]);
     }
 
     #[test]
     fn topk_breaks_ties_deterministically() {
         let t = Tensor::from_vec(1, 4, vec![0.5, 0.5, 0.5, 0.5]);
         let (idx, _) = topk_rows(&t, 2);
-        assert_eq!(idx[0], vec![0, 1]);
+        assert_eq!(idx, vec![0, 1]);
     }
 
     #[test]
     fn topk_full_width_is_argsort() {
         let t = Tensor::from_vec(1, 4, vec![0.2, 0.8, 0.4, 0.6]);
         let (idx, _) = topk_rows(&t, 4);
-        assert_eq!(idx[0], vec![1, 3, 2, 0]);
+        assert_eq!(idx, vec![1, 3, 2, 0]);
+    }
+
+    #[test]
+    fn topk_flat_layout_over_multiple_rows() {
+        let t = Tensor::from_vec(2, 3, vec![0.1, 0.9, 0.3, 0.8, 0.2, 0.7]);
+        let (idx, vals) = topk_rows(&t, 2);
+        assert_eq!(idx, vec![1, 2, 0, 2]);
+        assert_eq!(vals, vec![0.9, 0.3, 0.8, 0.7]);
+    }
+
+    #[test]
+    fn topk_into_reuses_warm_buffers() {
+        let t = Tensor::rand_uniform(9, 6, 1.0, 17);
+        let (idx, vals) = topk_rows(&t, 3);
+        let (mut i2, mut v2, mut scratch) = (Vec::new(), Vec::new(), Vec::new());
+        topk_rows_into(&t, 3, &mut i2, &mut v2, &mut scratch);
+        assert_eq!(idx, i2);
+        assert_eq!(vals, v2);
+        // Second call with dirty buffers must clear, not append.
+        topk_rows_into(&t, 3, &mut i2, &mut v2, &mut scratch);
+        assert_eq!(idx, i2);
+    }
+
+    #[test]
+    fn matmul_slices_segment_equals_tensor_call() {
+        // A pooled segment GEMM on a sub-range must be bitwise identical to
+        // the tensor-level per-segment call it replaces.
+        let big = Tensor::rand_uniform(12, 5, 1.0, 30);
+        let w = Tensor::rand_uniform(5, 7, 1.0, 31);
+        let seg = big.slice_rows(4, 9);
+        let expected = matmul(&seg, &w);
+        let mut out = Tensor::zeros(12, 7);
+        matmul_slices(
+            &big.as_slice()[4 * 5..9 * 5],
+            5,
+            5,
+            w.as_slice(),
+            7,
+            &mut out.as_mut_slice()[4 * 7..9 * 7],
+        );
+        assert!(out.slice_rows(4, 9).max_abs_diff(&expected) == 0.0);
+    }
+
+    #[test]
+    fn matmul_transpose_b_slices_segment_equals_tensor_call() {
+        let big = Tensor::rand_uniform(10, 6, 1.0, 32);
+        let w = Tensor::rand_uniform(8, 6, 1.0, 33);
+        let seg = big.slice_rows(2, 7);
+        let expected = matmul_transpose_b(&seg, &w);
+        let mut out = Tensor::zeros(10, 8);
+        matmul_transpose_b_slices(
+            &big.as_slice()[2 * 6..7 * 6],
+            5,
+            6,
+            w.as_slice(),
+            8,
+            &mut out.as_mut_slice()[2 * 8..7 * 8],
+        );
+        assert!(out.slice_rows(2, 7).max_abs_diff(&expected) == 0.0);
     }
 
     #[test]

@@ -12,14 +12,23 @@ use crate::{worker_threads, Tensor};
 /// row-major memcpy — the CPU equivalent of the paper's coalesced per-block
 /// vector copy.
 pub fn gather_rows(src: &Tensor, token_ids: &[usize]) -> Tensor {
+    let mut out = Tensor::zeros(token_ids.len(), src.cols());
+    gather_rows_into(src, token_ids, &mut out);
+    out
+}
+
+/// [`gather_rows`] into a caller-owned destination, resized (grow-only
+/// capacity) to `[token_ids.len(), src.cols()]`. With a warm workspace tensor
+/// the call is allocation-free on the serial path.
+pub fn gather_rows_into(src: &Tensor, token_ids: &[usize], out: &mut Tensor) {
     let cols = src.cols();
-    let mut out = Tensor::zeros(token_ids.len(), cols);
+    out.resize(token_ids.len(), cols);
     let threads = worker_threads().min(token_ids.len().max(1));
     if threads <= 1 || token_ids.len() * cols < 1 << 14 {
         for (i, &t) in token_ids.iter().enumerate() {
             out.row_mut(i).copy_from_slice(src.row(t));
         }
-        return out;
+        return;
     }
     let chunk = token_ids.len().div_ceil(threads);
     let out_slice = out.as_mut_slice();
@@ -35,7 +44,6 @@ pub fn gather_rows(src: &Tensor, token_ids: &[usize]) -> Tensor {
             });
         }
     });
-    out
 }
 
 /// Scatter-accumulate kernel (paper §4.1.2):
@@ -70,6 +78,28 @@ pub fn scatter_rows_scaled(
         let out_row = out.row_mut(dst);
         for (o, s) in out_row.iter_mut().zip(src_row) {
             *o += w * s;
+        }
+    }
+}
+
+/// [`scatter_rows_scaled`] with all-ones weights:
+/// `out[token_ids[i], :] += src[i, :]`.
+///
+/// The gradient scatter in the backward pass uses unit weights (the chain
+/// rule's combine-weight factor is applied upstream); this variant avoids
+/// materialising a `vec![1.0; b]` per step.
+pub fn scatter_rows_unit(src: &Tensor, token_ids: &[usize], out: &mut Tensor) {
+    assert_eq!(
+        src.rows(),
+        token_ids.len(),
+        "scatter: src rows != token_ids len"
+    );
+    assert_eq!(src.cols(), out.cols(), "scatter: hidden-dim mismatch");
+    for (i, &dst) in token_ids.iter().enumerate() {
+        let src_row = src.row(i);
+        let out_row = out.row_mut(dst);
+        for (o, s) in out_row.iter_mut().zip(src_row) {
+            *o += s;
         }
     }
 }
@@ -112,9 +142,20 @@ pub fn sequential_gemm(input: &Tensor, tokens_per_expert: &[usize], weights: &[T
 /// Indices that would sort `keys` in descending order (stable: ties keep
 /// their original relative order, making token dropping deterministic).
 pub fn argsort_desc_by(keys: &[f32]) -> Vec<usize> {
-    let mut idx: Vec<usize> = (0..keys.len()).collect();
-    idx.sort_by(|&a, &b| keys[b].partial_cmp(&keys[a]).unwrap().then(a.cmp(&b)));
+    let mut idx = Vec::new();
+    argsort_desc_into(keys, &mut idx);
     idx
+}
+
+/// [`argsort_desc_by`] into a caller-owned index buffer (cleared first).
+///
+/// Uses an in-place unstable sort: the comparator breaks key ties by index,
+/// so no two elements compare equal and the result is identical to the
+/// stable sort — without the stable sort's temporary allocation.
+pub fn argsort_desc_into(keys: &[f32], idx: &mut Vec<usize>) {
+    idx.clear();
+    idx.extend(0..keys.len());
+    idx.sort_unstable_by(|&a, &b| keys[b].partial_cmp(&keys[a]).unwrap().then(a.cmp(&b)));
 }
 
 /// Inclusive prefix sum.
@@ -219,6 +260,44 @@ mod tests {
     fn argsort_desc_stable_on_ties() {
         let keys = [0.5f32, 0.9, 0.5, 0.1];
         assert_eq!(argsort_desc_by(&keys), vec![1, 0, 2, 3]);
+    }
+
+    #[test]
+    fn argsort_into_matches_owned_variant() {
+        let keys: Vec<f32> = (0..97).map(|i| ((i * 31) % 17) as f32 * 0.25).collect();
+        let mut idx = Vec::new();
+        argsort_desc_into(&keys, &mut idx);
+        assert_eq!(idx, argsort_desc_by(&keys));
+        // Reuse with stale contents: must clear first.
+        argsort_desc_into(&keys[..5], &mut idx);
+        assert_eq!(idx, argsort_desc_by(&keys[..5]));
+    }
+
+    #[test]
+    fn scatter_unit_matches_scaled_with_ones() {
+        let src = Tensor::rand_uniform(6, 3, 1.0, 21);
+        let ids = vec![2usize, 0, 1, 2, 0, 1];
+        let mut a = Tensor::rand_uniform(3, 3, 1.0, 22);
+        let mut b = a.clone();
+        scatter_rows_scaled(&src, &ids, &[1.0; 6], &mut a);
+        scatter_rows_unit(&src, &ids, &mut b);
+        assert!(a.allclose(&b, 0.0));
+    }
+
+    #[test]
+    fn gather_into_reuses_buffer_across_shapes() {
+        let src = Tensor::from_fn(4, 2, |r, c| (r * 2 + c) as f32);
+        let mut out = Tensor::zeros(0, 0);
+        gather_rows_into(&src, &[3, 0], &mut out);
+        assert_eq!(out.row(0), &[6.0, 7.0]);
+        assert_eq!(out.row(1), &[0.0, 1.0]);
+        // Shrink then grow again without losing correctness.
+        gather_rows_into(&src, &[1], &mut out);
+        assert_eq!(out.shape(), (1, 2));
+        assert_eq!(out.row(0), &[2.0, 3.0]);
+        gather_rows_into(&src, &[0, 1, 2], &mut out);
+        assert_eq!(out.shape(), (3, 2));
+        assert_eq!(out.row(2), &[4.0, 5.0]);
     }
 
     #[test]

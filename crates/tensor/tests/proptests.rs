@@ -132,15 +132,18 @@ fn topk_first_is_row_max() {
         let k = (1 + rng.next_below(8)).min(n);
         let t = Tensor::rand_uniform(3, n, 1.0, 7000 + case);
         let (idx, vals) = topk_rows(&t, k);
+        assert_eq!(idx.len(), 3 * k);
+        assert_eq!(vals.len(), 3 * k);
         for r in 0..3 {
+            let (row_idx, row_vals) = (&idx[r * k..(r + 1) * k], &vals[r * k..(r + 1) * k]);
             let max = t.row(r).iter().cloned().fold(f32::MIN, f32::max);
-            assert_eq!(vals[r][0], max, "case {case} row {r}");
+            assert_eq!(row_vals[0], max, "case {case} row {r}");
             // Indices are distinct and values descending.
             let mut seen = std::collections::HashSet::new();
-            for (j, &i) in idx[r].iter().enumerate() {
+            for (j, &i) in row_idx.iter().enumerate() {
                 assert!(seen.insert(i));
                 if j > 0 {
-                    assert!(vals[r][j - 1] >= vals[r][j]);
+                    assert!(row_vals[j - 1] >= row_vals[j]);
                 }
             }
         }

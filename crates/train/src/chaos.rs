@@ -696,8 +696,7 @@ pub fn run_chaos_rank(
 
                 // Restore from the newest intact checkpoint; a corrupt
                 // `last` falls back to `prev` (both CRC-verified on decode).
-                let (src, fell_back, err) =
-                    restore_source(&mut report.last_ckpt, &mut prev_ckpt);
+                let (src, fell_back, err) = restore_source(&mut report.last_ckpt, &mut prev_ckpt);
                 if fell_back {
                     report.guard_events.push(GuardEvent {
                         step,

@@ -24,7 +24,7 @@ use xmoe_core::pipeline::padding_free::EpRoute;
 use xmoe_core::pipeline::MoeLayerSpec;
 use xmoe_tensor::{
     add_assign, gather_rows, matmul, matmul_transpose_b, scale_assign, scatter_rows_scaled,
-    softmax_rows, topk_rows, Tensor,
+    scatter_rows_unit, softmax_rows, topk_rows, Tensor,
 };
 
 use crate::adam::Adam;
@@ -124,12 +124,13 @@ impl DistMoe {
         let top_logits = top_experts
             .iter()
             .enumerate()
-            .map(|(t, es)| es.iter().map(|&e| logits.get(t, e)).collect())
+            .map(|(i, &e)| logits.get(i / self.top_k, e))
             .collect();
         let gating = GatingOutput {
             top_experts,
             combine_weights,
             top_logits,
+            k: self.top_k,
             scores: scores.clone(),
         };
         let pft = Pft::construct(&gating, self.num_experts, self.capacity, self.policy);
@@ -214,12 +215,13 @@ impl DistMoe {
         let top_logits = top_experts
             .iter()
             .enumerate()
-            .map(|(t, es)| es.iter().map(|&e| logits.get(t, e)).collect())
+            .map(|(i, &e)| logits.get(i / self.top_k, e))
             .collect();
         let gating = GatingOutput {
             top_experts,
             combine_weights,
             top_logits,
+            k: self.top_k,
             scores: scores.clone(),
         };
         let pft = Pft::construct(&gating, self.num_experts, self.capacity, self.policy);
@@ -362,12 +364,7 @@ impl DistMoe {
         // Backward all-to-all #2: dispatch gradients back to sources.
         let d_dispatch = ctx.route.to_source(&d_expert_in, ep, clock)?;
         clock.commit("bwd_dispatch_a2a");
-        scatter_rows_scaled(
-            &d_dispatch,
-            &ctx.route.pft.token_ids,
-            &vec![1.0; b],
-            &mut d_x,
-        );
+        scatter_rows_unit(&d_dispatch, &ctx.route.pft.token_ids, &mut d_x);
 
         // Router backward (local; router is replicated).
         let e_count = self.num_experts;
@@ -464,12 +461,7 @@ impl DistMoe {
                 d_chunk
             },
         )?;
-        scatter_rows_scaled(
-            &d_dispatch,
-            &ctx.route.pft.token_ids,
-            &vec![1.0; b],
-            &mut d_x,
-        );
+        scatter_rows_unit(&d_dispatch, &ctx.route.pft.token_ids, &mut d_x);
 
         // Router backward (local; router is replicated) — identical to the
         // serial path.

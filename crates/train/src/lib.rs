@@ -53,5 +53,5 @@ pub use guard::{
     PolicyEngine, SpikeDetector, Verdict,
 };
 pub use model::{build_moe_layers, MoeLm, TrainConfig, TrainStats};
-pub use moe_layer::TrainableMoe;
+pub use moe_layer::{MoeCtx, MoeTrainScratch, TrainableMoe};
 pub use ssmb_train::SsmbMoe;

@@ -8,11 +8,14 @@
 //! standard top-k MoE router gradient (dropped assignments receive none).
 
 use xmoe_core::gating::{
-    clamp_logits, row_logsumexp, z_loss_value, DropPolicy, GatingOutput, RouterGuard,
+    clamp_logits, row_logsumexp, row_logsumexp_into, z_loss_value, DropPolicy, GatingOutput,
+    RouterGuard,
 };
-use xmoe_core::pft::Pft;
+use xmoe_core::pft::{Pft, PftScratch};
 use xmoe_tensor::{
-    add_assign, gather_rows, matmul, matmul_transpose_b, softmax_rows, topk_rows, Tensor,
+    add_assign, gather_rows, gather_rows_into, matmul, matmul_into, matmul_slices,
+    matmul_transpose_b, matmul_transpose_b_slices, scatter_rows_unit, softmax_rows, topk_rows,
+    topk_rows_into, Tensor, Workspace,
 };
 
 /// A trainable MoE layer (all experts local — the loss-validation
@@ -42,6 +45,7 @@ pub struct TrainableMoe {
 }
 
 /// Saved forward state.
+#[derive(Default)]
 pub struct MoeCtx {
     x: Tensor,
     scores: Tensor,
@@ -80,6 +84,29 @@ impl MoeCtx {
     pub fn logits_clamped(&self) -> usize {
         self.logits_clamped
     }
+}
+
+/// Reusable scratch for the pooled training step: the workspace arena plus
+/// every persistent staging buffer [`TrainableMoe::forward_pooled`] and
+/// [`TrainableMoe::backward_scaled_pooled`] need. One instance per layer
+/// per rank; after warm-up every lease is served from warm memory and a
+/// steady-state step performs no transient heap allocation.
+#[derive(Default)]
+pub struct MoeTrainScratch {
+    /// Arena leasing step-lifetime tensors. The tensors the pooled methods
+    /// *return* (forward output, input gradient) are leased from here too —
+    /// recycle them once consumed to keep the steady state allocation-free.
+    pub ws: Workspace,
+    /// Saved forward state, rebuilt in place each step.
+    pub ctx: MoeCtx,
+    logits: Tensor,
+    order: Vec<usize>,
+    gating: GatingOutput,
+    pft_scratch: PftScratch,
+    d_w: Vec<f32>,
+    aux_f: Vec<f32>,
+    t_seg: Tensor,
+    xt: Tensor,
 }
 
 fn sigmoid(x: f32) -> f32 {
@@ -213,12 +240,13 @@ impl TrainableMoe {
         let top_logits = top_experts
             .iter()
             .enumerate()
-            .map(|(t, experts)| experts.iter().map(|&e| logits.get(t, e)).collect())
+            .map(|(i, &e)| logits.get(i / self.top_k, e))
             .collect();
         let gating = GatingOutput {
             top_experts,
             combine_weights,
             top_logits,
+            k: self.top_k,
             scores: scores.clone(),
         };
         let pft = Pft::construct(&gating, self.num_experts(), self.capacity, self.policy);
@@ -327,7 +355,7 @@ impl TrainableMoe {
             d_dispatch.as_mut_slice()[start * h..end * h].copy_from_slice(d_seg.as_slice());
         }
         // Scatter dispatch grads back to token positions (gather transpose).
-        xmoe_tensor::scatter_rows_scaled(&d_dispatch, &ctx.pft.token_ids, &vec![1.0; b], &mut d_x);
+        scatter_rows_unit(&d_dispatch, &ctx.pft.token_ids, &mut d_x);
 
         // Router backward: d_scores at retained (t, e) entries, then softmax.
         let e_count = self.num_experts();
@@ -380,6 +408,297 @@ impl TrainableMoe {
         add_assign(&mut self.g_gate, &dg);
         let d_x_gate = matmul_transpose_b(&d_logits, &self.gate);
         add_assign(&mut d_x, &d_x_gate);
+        d_x
+    }
+
+    /// [`Self::forward`] with every step-lifetime buffer reused from `st`.
+    /// Bitwise identical to the owned path (same kernels over the same
+    /// slices, zero-filled lease targets). The saved forward state lands in
+    /// `st.ctx`; the returned output is leased from `st.ws` — recycle it
+    /// once consumed.
+    pub fn forward_pooled(&self, x: &Tensor, st: &mut MoeTrainScratch) -> Tensor {
+        let e_count = self.num_experts();
+        let h = x.cols();
+        st.logits.resize(x.rows(), e_count);
+        matmul_into(x, &self.gate, &mut st.logits);
+        st.ctx.logits_clamped = clamp_logits(&mut st.logits, self.router_guard.logit_clamp);
+        if self.router_guard.z_loss_coef != 0.0 {
+            row_logsumexp_into(&st.logits, &mut st.ctx.lse);
+        } else {
+            st.ctx.lse.clear();
+        }
+        st.ctx.scores.resize(x.rows(), e_count);
+        st.ctx
+            .scores
+            .as_mut_slice()
+            .copy_from_slice(st.logits.as_slice());
+        softmax_rows(&mut st.ctx.scores);
+        topk_rows_into(
+            &st.ctx.scores,
+            self.top_k,
+            &mut st.gating.top_experts,
+            &mut st.gating.combine_weights,
+            &mut st.order,
+        );
+        let logits = &st.logits;
+        let k = self.top_k;
+        st.gating.top_logits.clear();
+        st.gating.top_logits.extend(
+            st.gating
+                .top_experts
+                .iter()
+                .enumerate()
+                .map(|(i, &e)| logits.get(i / k, e)),
+        );
+        st.gating.k = k;
+        st.gating.scores.resize(x.rows(), e_count);
+        st.gating
+            .scores
+            .as_mut_slice()
+            .copy_from_slice(st.ctx.scores.as_slice());
+        Pft::construct_into(
+            &st.gating,
+            e_count,
+            self.capacity,
+            self.policy,
+            &mut st.pft_scratch,
+            &mut st.ctx.pft,
+        );
+
+        gather_rows_into(x, &st.ctx.pft.token_ids, &mut st.ctx.dispatch_in);
+        let b = st.ctx.pft.len();
+        let f = self.experts[0].0.cols();
+        st.ctx.h_pre.resize(b, f);
+        st.ctx.h_act.resize(b, f);
+        st.ctx.y.resize(b, h);
+        st.ctx.seg_offsets.clear();
+        st.ctx.seg_offsets.push(0);
+        let mut row = 0usize;
+        for (e, &cnt) in st.ctx.pft.tokens_per_expert.iter().enumerate() {
+            if cnt > 0 {
+                let in_seg = &st.ctx.dispatch_in.as_slice()[row * h..(row + cnt) * h];
+                let seg_f = row * f..(row + cnt) * f;
+                // Lease targets are zero-filled, so the accumulating GEMM
+                // equals the owned path's fresh matmul bitwise.
+                matmul_slices(
+                    in_seg,
+                    cnt,
+                    h,
+                    self.experts[e].0.as_slice(),
+                    f,
+                    &mut st.ctx.h_pre.as_mut_slice()[seg_f.clone()],
+                );
+                let act_seg = &mut st.ctx.h_act.as_mut_slice()[seg_f.clone()];
+                act_seg.copy_from_slice(&st.ctx.h_pre.as_slice()[seg_f.clone()]);
+                for v in act_seg.iter_mut() {
+                    *v *= sigmoid(*v);
+                }
+                matmul_slices(
+                    &st.ctx.h_act.as_slice()[seg_f],
+                    cnt,
+                    f,
+                    self.experts[e].1.as_slice(),
+                    h,
+                    &mut st.ctx.y.as_mut_slice()[row * h..(row + cnt) * h],
+                );
+            }
+            row += cnt;
+            st.ctx.seg_offsets.push(row);
+        }
+
+        st.ctx.x.resize(x.rows(), h);
+        st.ctx.x.as_mut_slice().copy_from_slice(x.as_slice());
+        let mut out = st.ws.take(x.rows(), h);
+        out.as_mut_slice().copy_from_slice(x.as_slice());
+        xmoe_tensor::scatter_rows_scaled(
+            &st.ctx.y,
+            &st.ctx.pft.token_ids,
+            &st.ctx.pft.combine_weights,
+            &mut out,
+        );
+        out
+    }
+
+    /// Pooled [`Self::backward`]: consumes the forward state saved in
+    /// `st.ctx` by [`Self::forward_pooled`].
+    pub fn backward_pooled(&mut self, st: &mut MoeTrainScratch, d_out: &Tensor) -> Tensor {
+        self.backward_scaled_pooled(st, d_out, 1.0)
+    }
+
+    /// Pooled [`Self::backward_scaled`], bitwise identical to it. Gradient
+    /// accumulation stages every GEMM into a zero-filled leased temp and
+    /// `add_assign`s it (accumulating directly into `g_*` would reassociate
+    /// the float sums). The returned input gradient is leased from `st.ws`.
+    pub fn backward_scaled_pooled(
+        &mut self,
+        st: &mut MoeTrainScratch,
+        d_out: &Tensor,
+        loss_scale: f32,
+    ) -> Tensor {
+        let h = st.ctx.x.cols();
+        let b = st.ctx.pft.len();
+        let mut d_x = st.ws.take(d_out.rows(), d_out.cols());
+        d_x.as_mut_slice().copy_from_slice(d_out.as_slice()); // residual path
+
+        // d_y[i] = w_i * d_out[t_i]; d_w_i = <d_out[t_i], y[i]>.
+        let mut d_y = st.ws.take(0, 0);
+        gather_rows_into(d_out, &st.ctx.pft.token_ids, &mut d_y);
+        st.d_w.clear();
+        st.d_w.resize(b, 0.0);
+        for i in 0..b {
+            let w = st.ctx.pft.combine_weights[i];
+            let y_row = st.ctx.y.row(i);
+            let dy_row = d_y.row_mut(i);
+            let mut dot = 0.0f32;
+            for (dv, yv) in dy_row.iter_mut().zip(y_row) {
+                dot += *dv * yv;
+                *dv *= w;
+            }
+            st.d_w[i] = dot;
+        }
+
+        // Per-expert FFN backward over contiguous segments.
+        let mut d_dispatch = st.ws.take(b, h);
+        for e in 0..self.num_experts() {
+            let (start, end) = (st.ctx.seg_offsets[e], st.ctx.seg_offsets[e + 1]);
+            if start == end {
+                continue;
+            }
+            let cnt = end - start;
+            let f = self.experts[e].0.cols();
+            let dy_seg = &d_y.as_slice()[start * h..end * h];
+            // dW2 += act^T dy
+            st.ctx.h_act.transpose_rows_into(start, end, &mut st.t_seg);
+            let mut dw2 = st.ws.take(f, h);
+            matmul_slices(st.t_seg.as_slice(), f, cnt, dy_seg, h, dw2.as_mut_slice());
+            add_assign(&mut self.g_experts[e].1, &dw2);
+            st.ws.recycle(dw2);
+            // d_act = dy W2^T; through SiLU.
+            let mut d_h = st.ws.take(cnt, f);
+            matmul_transpose_b_slices(
+                dy_seg,
+                cnt,
+                h,
+                self.experts[e].1.as_slice(),
+                f,
+                d_h.as_mut_slice(),
+            );
+            for (d, &pre) in d_h
+                .as_mut_slice()
+                .iter_mut()
+                .zip(&st.ctx.h_pre.as_slice()[start * f..end * f])
+            {
+                *d *= silu_grad(pre);
+            }
+            // dW1 += x^T d_h
+            st.ctx
+                .dispatch_in
+                .transpose_rows_into(start, end, &mut st.t_seg);
+            let mut dw1 = st.ws.take(h, f);
+            matmul_slices(
+                st.t_seg.as_slice(),
+                h,
+                cnt,
+                d_h.as_slice(),
+                f,
+                dw1.as_mut_slice(),
+            );
+            add_assign(&mut self.g_experts[e].0, &dw1);
+            st.ws.recycle(dw1);
+            // d_seg = d_h W1^T, written straight into the dispatch-grad
+            // segment (the kernel overwrites, so this equals the owned
+            // path's compute-then-copy).
+            matmul_transpose_b_slices(
+                d_h.as_slice(),
+                cnt,
+                f,
+                self.experts[e].0.as_slice(),
+                h,
+                &mut d_dispatch.as_mut_slice()[start * h..end * h],
+            );
+            st.ws.recycle(d_h);
+        }
+        st.ws.recycle(d_y);
+        // Scatter dispatch grads back to token positions (gather transpose).
+        scatter_rows_unit(&d_dispatch, &st.ctx.pft.token_ids, &mut d_x);
+        st.ws.recycle(d_dispatch);
+
+        // Router backward: d_scores at retained (t, e) entries, then softmax.
+        let e_count = self.num_experts();
+        let s_rows = st.ctx.x.rows();
+        let mut d_scores = st.ws.take(s_rows, e_count);
+        for i in 0..b {
+            let t = st.ctx.pft.token_ids[i];
+            let e = st.ctx.pft.expert_ids[i];
+            let v = d_scores.get(t, e);
+            d_scores.set(t, e, v + st.d_w[i]);
+        }
+        if self.aux_alpha != 0.0 {
+            let total: usize = st.ctx.pft.tokens_per_expert.iter().sum();
+            let denom = total.max(1) as f32;
+            st.aux_f.clear();
+            st.aux_f.extend(
+                st.ctx
+                    .pft
+                    .tokens_per_expert
+                    .iter()
+                    .map(|&c| c as f32 / denom),
+            );
+            let s_inv = 1.0 / s_rows.max(1) as f32;
+            let coef = self.aux_alpha * e_count as f32 * s_inv * loss_scale;
+            for t in 0..s_rows {
+                let row = d_scores.row_mut(t);
+                for e in 0..e_count {
+                    row[e] += coef * st.aux_f[e];
+                }
+            }
+        }
+        let mut d_logits = st.ws.take(s_rows, e_count);
+        for t in 0..s_rows {
+            let s_row = st.ctx.scores.row(t);
+            let ds_row = d_scores.row(t);
+            let inner: f32 = s_row.iter().zip(ds_row).map(|(s, d)| s * d).sum();
+            let dl_row = d_logits.row_mut(t);
+            for j in 0..e_count {
+                dl_row[j] = s_row[j] * (ds_row[j] - inner);
+            }
+        }
+        if self.router_guard.z_loss_coef != 0.0 {
+            let coef = self.router_guard.z_loss_coef * 2.0 * loss_scale / s_rows.max(1) as f32;
+            for t in 0..s_rows {
+                let z = st.ctx.lse[t];
+                let s_row = st.ctx.scores.row(t);
+                let dl_row = d_logits.row_mut(t);
+                for j in 0..e_count {
+                    dl_row[j] += coef * z * s_row[j];
+                }
+            }
+        }
+        st.ws.recycle(d_scores);
+        st.ctx.x.transpose_into(&mut st.xt);
+        let mut dg = st.ws.take(h, e_count);
+        matmul_slices(
+            st.xt.as_slice(),
+            h,
+            s_rows,
+            d_logits.as_slice(),
+            e_count,
+            dg.as_mut_slice(),
+        );
+        add_assign(&mut self.g_gate, &dg);
+        st.ws.recycle(dg);
+        let mut d_x_gate = st.ws.take(s_rows, h);
+        matmul_transpose_b_slices(
+            d_logits.as_slice(),
+            s_rows,
+            e_count,
+            self.gate.as_slice(),
+            h,
+            d_x_gate.as_mut_slice(),
+        );
+        add_assign(&mut d_x, &d_x_gate);
+        st.ws.recycle(d_x_gate);
+        st.ws.recycle(d_logits);
         d_x
     }
 
@@ -590,12 +909,7 @@ mod tests {
                 .all(|(&p, &s)| (p * scale).to_bits() == s.to_bits())
         };
         assert!(eq(&plain.g_gate, &scaled.g_gate), "router grad not scaled");
-        for (e, ((p1, p2), (s1, s2))) in plain
-            .g_experts
-            .iter()
-            .zip(&scaled.g_experts)
-            .enumerate()
-        {
+        for (e, ((p1, p2), (s1, s2))) in plain.g_experts.iter().zip(&scaled.g_experts).enumerate() {
             assert!(eq(p1, s1) && eq(p2, s2), "expert {e} grads not scaled");
         }
         assert!(eq(&d_x, &d_x_s), "input grad not scaled");
@@ -657,6 +971,59 @@ mod tests {
         let (_, ctx_d) = tiny(DropPolicy::CapacityAndNegativeLogit, cap, 30).forward(&x);
         assert!(ctx_d.pft.dropped >= ctx_x.pft.dropped);
         assert!(ctx_d.pft.len() <= ctx_x.pft.len());
+    }
+
+    #[test]
+    fn pooled_step_is_bitwise_identical_to_owned() {
+        // Aux loss, both router guards, capacity drops, and a loss scale
+        // all on at once: the pooled step must still reproduce the owned
+        // step bit for bit, and after warm-up the arena must serve every
+        // lease from its free lists.
+        let base = tiny(DropPolicy::CapacityOnly, 4, 91)
+            .with_aux(0.05)
+            .with_router_guard(RouterGuard {
+                logit_clamp: 1.0,
+                z_loss_coef: 0.1,
+            });
+        let mut owned = base.clone();
+        let mut pooled = base.clone();
+        let mut st = MoeTrainScratch::default();
+        let scale = 2.0f32;
+        for step in 0..4u64 {
+            let x = Tensor::rand_uniform(9, 6, 1.0, 900 + step);
+            let probe = Tensor::rand_uniform(9, 6, 1.0, 950 + step);
+            let (out_o, ctx) = owned.forward(&x);
+            let d_o = owned.backward_scaled(&ctx, &probe, scale);
+            let out_p = pooled.forward_pooled(&x, &mut st);
+            let d_p = pooled.backward_scaled_pooled(&mut st, &probe, scale);
+            assert!(out_o.allclose(&out_p, 0.0), "step {step}: forward diverged");
+            assert!(d_o.allclose(&d_p, 0.0), "step {step}: d_x diverged");
+            assert_eq!(ctx.dropped(), st.ctx.dropped(), "step {step}: drops");
+            st.ws.recycle(out_p);
+            st.ws.recycle(d_p);
+        }
+        assert!(
+            owned.g_gate.allclose(&pooled.g_gate, 0.0),
+            "g_gate diverged"
+        );
+        for (e, ((a1, a2), (b1, b2))) in owned.g_experts.iter().zip(&pooled.g_experts).enumerate() {
+            assert!(
+                a1.allclose(b1, 0.0) && a2.allclose(b2, 0.0),
+                "expert {e} grads diverged"
+            );
+        }
+        let before = st.ws.stats().pool_misses;
+        let x = Tensor::rand_uniform(9, 6, 1.0, 990);
+        let probe = Tensor::rand_uniform(9, 6, 1.0, 991);
+        let out = pooled.forward_pooled(&x, &mut st);
+        let d = pooled.backward_scaled_pooled(&mut st, &probe, scale);
+        st.ws.recycle(out);
+        st.ws.recycle(d);
+        assert_eq!(
+            st.ws.stats().pool_misses,
+            before,
+            "warm step missed the pool"
+        );
     }
 
     #[test]

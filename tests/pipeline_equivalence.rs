@@ -337,7 +337,7 @@ fn drop_policies_differ_only_in_retention() {
             }
         }
         let g = router.gate(&tokens);
-        if g.top_logits.iter().flatten().all(|&l| l > 0.0) {
+        if g.top_logits.iter().all(|&l| l > 0.0) {
             let spec_x = MoeLayerSpec::new(experts, 10_000).with_policy(DropPolicy::CapacityOnly);
             let spec_d = MoeLayerSpec::new(experts, 10_000)
                 .with_policy(DropPolicy::CapacityAndNegativeLogit);

@@ -42,9 +42,13 @@ fn pft_construction_invariants() {
         for i in 0..pft.len() {
             let t = pft.token_ids[i];
             let e_id = pft.expert_ids[i];
-            let j = g.top_experts[t].iter().position(|&x| x == e_id);
+            let row = &g.top_experts[t * k..(t + 1) * k];
+            let j = row.iter().position(|&x| x == e_id);
             assert!(j.is_some(), "retained pair not in gating output");
-            assert_eq!(pft.combine_weights[i], g.combine_weights[t][j.unwrap()]);
+            assert_eq!(
+                pft.combine_weights[i],
+                g.combine_weights[t * k + j.unwrap()]
+            );
         }
     }
 }

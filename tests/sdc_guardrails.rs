@@ -429,7 +429,9 @@ fn max_grad_norm_clips_clean_steps_and_is_inert_by_default() {
     // The factor derives from the all-reduced norm, so every rank makes
     // the same clip decision on the same step.
     assert!(
-        capped.windows(2).all(|w| w[0].0.grad_clips == w[1].0.grad_clips),
+        capped
+            .windows(2)
+            .all(|w| w[0].0.grad_clips == w[1].0.grad_clips),
         "clip decisions must be rank-consistent"
     );
 }
@@ -445,8 +447,7 @@ fn dead_peer_restore_falls_back_past_a_corrupt_checkpoint_image() {
     // intact in `prev`). When rank 1 dies at step 5 the survivor's
     // restore must reject `last` on decode and fall back.
     let chaos = ChaosConfig::new(8, 2);
-    let plan =
-        FaultPlan::parse(2, "bitflip:rank=0,at=3,site=ckpt;kill:rank=1,at=5").unwrap();
+    let plan = FaultPlan::parse(2, "bitflip:rank=0,at=3,site=ckpt;kill:rank=1,at=5").unwrap();
 
     let reports = guarded_run(2, Some(plan), chaos);
     let (r, _, _) = &reports[0]; // rank 0 is the survivor

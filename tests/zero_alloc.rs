@@ -1,0 +1,100 @@
+//! The allocation-regression gate as a tier-1 test: after warm-up, a pooled
+//! MoE training step performs **zero** transient heap allocations, and the
+//! single-rank pooled forwards likewise. This file is its own test binary so
+//! the counting `#[global_allocator]` observes only this test's work, and it
+//! holds exactly one `#[test]` so no sibling test thread allocates
+//! concurrently with the counted window.
+//!
+//! The config keeps every kernel below its parallelism threshold
+//! (`thread::scope` spawns allocate): all matmuls under the 64^3 serial
+//! cutoff and all gathers under the serial row threshold.
+
+use xmoe::core::expert::ExpertShard;
+use xmoe::core::gating::{DropPolicy, Router};
+use xmoe::core::pipeline::{self, MoeLayerSpec, PooledSingleState};
+use xmoe::tensor::{CountingAlloc, Tensor};
+use xmoe::train::{MoeTrainScratch, TrainableMoe};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc::new();
+
+#[test]
+fn steady_state_pooled_hot_path_allocates_nothing() {
+    let (s, h, f, e, k) = (32usize, 16usize, 8usize, 8usize, 2usize);
+    let inputs: Vec<Tensor> = (0..4)
+        .map(|i| Tensor::rand_uniform(s, h, 1.0, 0x2E30 + i))
+        .collect();
+
+    // -- full training step: router + PFT + experts + exact backward -----
+    let mut layer = TrainableMoe::new(h, f, e, k, 10_000, DropPolicy::CapacityOnly, 0x2E20);
+    let d_out = Tensor::rand_uniform(s, h, 1.0, 0x2E40);
+    let mut st = MoeTrainScratch::default();
+    let train_step = |layer: &mut TrainableMoe, st: &mut MoeTrainScratch, i: usize| {
+        layer.zero_grads();
+        let out = layer.forward_pooled(&inputs[i % inputs.len()], st);
+        let d_x = layer.backward_pooled(st, &d_out);
+        st.ws.recycle(d_x);
+        st.ws.recycle(out);
+    };
+    // Warm-up: every grow-only buffer reaches its fixed point over the
+    // deterministic input cycle.
+    for i in 0..12 {
+        train_step(&mut layer, &mut st, i);
+    }
+    let before = ALLOC.stats();
+    for i in 0..16 {
+        train_step(&mut layer, &mut st, i);
+    }
+    let after = ALLOC.stats();
+    assert_eq!(
+        after.allocs - before.allocs,
+        0,
+        "steady-state pooled training step hit the heap"
+    );
+    assert_eq!(
+        after.live_bytes, before.live_bytes,
+        "steady-state live bytes drifted"
+    );
+
+    // -- single-rank pooled forwards (pft + block-sparse) ----------------
+    let router = Router::new(h, e, k, 0x2E50);
+    let experts = ExpertShard::full(e, h, f, 0x2E51);
+    let spec = MoeLayerSpec::new(e, 10_000);
+    let mut state = PooledSingleState::default();
+    let fwd_step = |state: &mut PooledSingleState, i: usize| {
+        let a = pipeline::padding_free::forward_single_pooled(
+            &inputs[i % inputs.len()],
+            &router,
+            &experts,
+            &spec,
+            state,
+        );
+        state.ws.recycle(a);
+        let b = pipeline::block_sparse::forward_single_block_sparse_pooled(
+            &inputs[i % inputs.len()],
+            &router,
+            &experts,
+            &spec,
+            4,
+            state,
+        );
+        state.ws.recycle(b);
+    };
+    for i in 0..12 {
+        fwd_step(&mut state, i);
+    }
+    let before = ALLOC.stats();
+    for i in 0..16 {
+        fwd_step(&mut state, i);
+    }
+    let after = ALLOC.stats();
+    assert_eq!(
+        after.allocs - before.allocs,
+        0,
+        "steady-state pooled single-rank forward hit the heap"
+    );
+    assert_eq!(
+        after.live_bytes, before.live_bytes,
+        "steady-state forward live bytes drifted"
+    );
+}
