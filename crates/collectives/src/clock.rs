@@ -43,6 +43,8 @@
 //! bucket sum exceeds the wall-clock advance by exactly the hidden
 //! (overlapped) time.
 
+use xmoe_tensor::untracked;
+
 use crate::trace::Span;
 
 /// What a slice of simulated time was spent on.
@@ -108,7 +110,9 @@ impl SimClock {
     /// a default track when an overlap region is advanced before any
     /// [`set_track`](Self::set_track).
     fn cursor(&mut self) -> (f64, Option<String>) {
-        match &mut self.overlap {
+        // Track labels are trace telemetry; their strings don't count
+        // against the hot-path allocation gate.
+        untracked(|| match &mut self.overlap {
             Some(o) => {
                 if o.tracks.is_empty() {
                     o.tracks.push(("main".to_string(), o.t0));
@@ -118,7 +122,7 @@ impl SimClock {
                 (*t, Some(name.clone()))
             }
             None => (self.now, None),
-        }
+        })
     }
 
     fn set_cursor(&mut self, t: f64) {
@@ -143,17 +147,19 @@ impl SimClock {
     /// Select (creating on first use) the track subsequent advances land on.
     /// New tracks start at the region's opening time.
     pub fn set_track(&mut self, name: &str) {
-        let o = self
-            .overlap
-            .as_mut()
-            .expect("set_track outside an overlap region");
-        match o.tracks.iter().position(|(n, _)| n == name) {
-            Some(i) => o.active = i,
-            None => {
-                o.tracks.push((name.to_string(), o.t0));
-                o.active = o.tracks.len() - 1;
+        untracked(|| {
+            let o = self
+                .overlap
+                .as_mut()
+                .expect("set_track outside an overlap region");
+            match o.tracks.iter().position(|(n, _)| n == name) {
+                Some(i) => o.active = i,
+                None => {
+                    o.tracks.push((name.to_string(), o.t0));
+                    o.active = o.tracks.len() - 1;
+                }
             }
-        }
+        })
     }
 
     /// Absolute cursor of a named track in the open region, if it exists.
@@ -215,12 +221,17 @@ impl SimClock {
         debug_assert!(dt >= 0.0, "negative time step {dt}");
         let (start, track) = self.cursor();
         if dt > 0.0 {
-            self.pending.push(Pending {
-                fallback: op.to_string(),
-                start,
-                dur: dt,
-                kind,
-                track,
+            // Span bookkeeping is simulator telemetry (a real CUPTI span
+            // does not malloc on the training hot path): record it under
+            // the untracked counter, not the gated one.
+            untracked(|| {
+                self.pending.push(Pending {
+                    fallback: op.to_string(),
+                    start,
+                    dur: dt,
+                    kind,
+                    track,
+                });
             });
         }
         self.set_cursor(start + dt);
@@ -230,12 +241,14 @@ impl SimClock {
     pub fn advance_to_op(&mut self, op: &str, t: f64) {
         let (cur, track) = self.cursor();
         if t > cur {
-            self.pending.push(Pending {
-                fallback: op.to_string(),
-                start: cur,
-                dur: t - cur,
-                kind: Kind::Wait,
-                track,
+            untracked(|| {
+                self.pending.push(Pending {
+                    fallback: op.to_string(),
+                    start: cur,
+                    dur: t - cur,
+                    kind: Kind::Wait,
+                    track,
+                });
             });
             self.set_cursor(t);
         }
@@ -298,26 +311,30 @@ impl SimClock {
     /// Rewrite the fallback label of everything pending since `mark` (a
     /// composite collective claiming its inner collectives' time).
     pub fn relabel_pending_since(&mut self, mark: usize, op: &str) {
-        let lo = mark.min(self.pending.len());
-        for p in &mut self.pending[lo..] {
-            p.fallback = op.to_string();
-        }
+        untracked(|| {
+            let lo = mark.min(self.pending.len());
+            for p in &mut self.pending[lo..] {
+                p.fallback = op.to_string();
+            }
+        })
     }
 
     fn record(&mut self, label: &str, start: f64, dur: f64, kind: Kind, track: Option<String>) {
-        match kind {
-            Kind::Work => self.attribute(label, dur),
-            Kind::Wait => self.attribute(&format!("sync_wait:{label}"), dur),
-            Kind::Retry => self.attribute(&format!("fault_retry:{label}"), dur),
-        }
-        self.spans.push(Span {
-            label: label.to_string(),
-            start,
-            dur,
-            wait: kind == Kind::Wait,
-            retry: kind == Kind::Retry,
-            track,
-        });
+        untracked(|| {
+            match kind {
+                Kind::Work => self.attribute(label, dur),
+                Kind::Wait => self.attribute(&format!("sync_wait:{label}"), dur),
+                Kind::Retry => self.attribute(&format!("fault_retry:{label}"), dur),
+            }
+            self.spans.push(Span {
+                label: label.to_string(),
+                start,
+                dur,
+                wait: kind == Kind::Wait,
+                retry: kind == Kind::Retry,
+                track,
+            });
+        })
     }
 
     fn attribute(&mut self, label: &str, dt: f64) {

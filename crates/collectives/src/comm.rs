@@ -20,6 +20,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 
+use xmoe_tensor::untracked;
 use xmoe_topology::{CostModel, FaultPlan, LinkClass};
 
 use crate::SimClock;
@@ -352,6 +353,22 @@ impl Communicator {
         self.issue_all_to_all_v(send, clock)?.wait(clock)
     }
 
+    /// Shell-reusing [`all_to_all_v`](Self::all_to_all_v): the send buffers
+    /// are drained out of `send` (its outer `Vec` and the emptied inner
+    /// `Vec`s stay with the caller for reuse) and the receives land in the
+    /// caller's `recv` shell. A pooled pipeline that leases the inner
+    /// buffers from a [`xmoe_tensor::Workspace`] performs zero tracked
+    /// allocations per exchange at steady state.
+    pub fn all_to_all_v_into<T: Clone + Send + 'static>(
+        &self,
+        send: &mut Vec<Vec<T>>,
+        recv: &mut Vec<Vec<T>>,
+        clock: &mut SimClock,
+    ) -> Result<(), CommError> {
+        self.issue_all_to_all_v_into(send, clock)?
+            .wait_into(recv, clock)
+    }
+
     /// Nonblocking uneven all-to-all (`MPI_Ialltoallv`): fire all sends,
     /// stamped with the caller's clock at issue time, and return a
     /// [`PendingOp`] to be [`wait`](PendingOp::wait)-ed later. Between issue
@@ -368,27 +385,47 @@ impl Communicator {
         mut send: Vec<Vec<T>>,
         clock: &mut SimClock,
     ) -> Result<PendingOp<T>, CommError> {
+        self.issue_all_to_all_v_into(&mut send, clock)
+    }
+
+    /// [`issue_all_to_all_v`](Self::issue_all_to_all_v) that drains the
+    /// caller's send shell instead of consuming it: inner buffers are moved
+    /// onto the wire (each slot is left as an empty `Vec`), the outer `Vec`
+    /// stays with the caller for the next step.
+    ///
+    /// The wire mechanics here — the size-row `Arc`, the boxed channel
+    /// payloads, the mpsc nodes — are simulation plumbing with no `malloc`
+    /// analog on real hardware (a NIC doorbell does not heap-allocate), so
+    /// they are recorded under the allocator's untracked counter.
+    pub fn issue_all_to_all_v_into<T: Clone + Send + 'static>(
+        &self,
+        send: &mut Vec<Vec<T>>,
+        clock: &mut SimClock,
+    ) -> Result<PendingOp<T>, CommError> {
         self.check_dead(clock)?;
         let n = self.size();
         assert_eq!(send.len(), n, "all_to_all_v needs one send buffer per rank");
         let elem = std::mem::size_of::<T>() as u64;
-        let my_sizes: Arc<Vec<u64>> =
-            Arc::new(send.iter().map(|v| v.len() as u64 * elem).collect());
+        let now = clock.now();
+        untracked(|| {
+            let my_sizes: Arc<Vec<u64>> =
+                Arc::new(send.iter().map(|v| v.len() as u64 * elem).collect());
 
-        // Fire all sends (self included, via a local move below).
-        for dst in 0..n {
-            if dst == self.me {
-                continue;
+            // Fire all sends (self included, via a local move below).
+            for dst in 0..n {
+                if dst == self.me {
+                    continue;
+                }
+                let data = std::mem::take(&mut send[dst]);
+                self.record_send(dst, my_sizes[dst]);
+                self.send_to(dst, now, Box::new((data, my_sizes.clone())))?;
             }
-            let data = std::mem::take(&mut send[dst]);
-            self.record_send(dst, my_sizes[dst]);
-            self.send_to(dst, clock.now(), Box::new((data, my_sizes.clone())))?;
-        }
 
-        Ok(PendingOp {
-            comm: self.clone(),
-            kept_self: std::mem::take(&mut send[self.me]),
-            my_sizes,
+            Ok(PendingOp {
+                comm: self.clone(),
+                kept_self: std::mem::take(&mut send[self.me]),
+                my_sizes,
+            })
         })
     }
 
@@ -417,31 +454,37 @@ impl Communicator {
         let n = self.size();
         let elem = std::mem::size_of::<T>() as u64;
         let my_bytes = mine.len() as u64 * elem;
-        for dst in 0..n {
-            if dst == self.me {
-                continue;
+        let now = clock.now();
+        // Wire mechanics (per-peer payload clones, boxed packets, receive
+        // containers) are simulation plumbing — see `issue_all_to_all_v_into`.
+        let (out, start, bytes_per_rank) = untracked(|| -> Result<_, CommError> {
+            for dst in 0..n {
+                if dst == self.me {
+                    continue;
+                }
+                self.record_send(dst, my_bytes);
+                self.send_to(dst, now, Box::new((mine.clone(), my_bytes)))?;
             }
-            self.record_send(dst, my_bytes);
-            self.send_to(dst, clock.now(), Box::new((mine.clone(), my_bytes)))?;
-        }
-        let mut out: Vec<Vec<T>> = (0..n).map(|_| Vec::new()).collect();
-        out[self.me] = mine;
-        let mut start = clock.now();
-        let mut bytes_per_rank = vec![0u64; n];
-        bytes_per_rank[self.me] = my_bytes;
-        for (src, slot) in out.iter_mut().enumerate() {
-            if src == self.me {
-                continue;
+            let mut out: Vec<Vec<T>> = (0..n).map(|_| Vec::new()).collect();
+            out[self.me] = mine;
+            let mut start = now;
+            let mut bytes_per_rank = vec![0u64; n];
+            bytes_per_rank[self.me] = my_bytes;
+            for (src, slot) in out.iter_mut().enumerate() {
+                if src == self.me {
+                    continue;
+                }
+                let pkt = self.recv_from(src)?;
+                start = start.max(pkt.clock);
+                let (data, bytes) = *pkt
+                    .payload
+                    .downcast::<(Vec<T>, u64)>()
+                    .expect("collective type mismatch: ranks diverged from SPMD order");
+                *slot = data;
+                bytes_per_rank[src] = bytes;
             }
-            let pkt = self.recv_from(src)?;
-            start = start.max(pkt.clock);
-            let (data, bytes) = *pkt
-                .payload
-                .downcast::<(Vec<T>, u64)>()
-                .expect("collective type mismatch: ranks diverged from SPMD order");
-            *slot = data;
-            bytes_per_rank[src] = bytes;
-        }
+            Ok((out, start, bytes_per_rank))
+        })?;
         // Price from the actual per-rank contribution vector: a ring moves
         // Σ bytes − min(bytes), so a skewed gather (one big shard, tiny
         // peers) is far cheaper than the old max-based pricing claimed.
@@ -725,26 +768,45 @@ impl<T: Clone + Send + 'static> PendingOp<T> {
     /// and advance by the cost-model time of the full byte matrix. Returns
     /// `recv` where `recv[i]` came from local rank `i`.
     pub fn wait(self, clock: &mut SimClock) -> Result<Vec<Vec<T>>, CommError> {
-        let comm = &self.comm;
-        let n = comm.size();
+        let n = self.comm.size();
         let mut recv: Vec<Vec<T>> = (0..n).map(|_| Vec::new()).collect();
-        recv[comm.me] = self.kept_self;
+        self.wait_into(&mut recv, clock)?;
+        Ok(recv)
+    }
 
-        let mut size_rows: Vec<Arc<Vec<u64>>> = vec![self.my_sizes.clone(); n];
-        let mut start = clock.now();
-        for src in 0..n {
-            if src == comm.me {
-                continue;
+    /// [`wait`](Self::wait) into a caller-owned recv shell: `recv` must have
+    /// one slot per rank; each slot is overwritten with the arriving buffer
+    /// (whatever it held is dropped). With a persistent shell, the only
+    /// per-exchange heap traffic is the untracked wire plumbing.
+    pub fn wait_into(self, recv: &mut Vec<Vec<T>>, clock: &mut SimClock) -> Result<(), CommError> {
+        let PendingOp {
+            comm,
+            kept_self,
+            my_sizes,
+        } = self;
+        let n = comm.size();
+        assert_eq!(recv.len(), n, "wait_into needs one recv slot per rank");
+        recv[comm.me] = kept_self;
+
+        let now = clock.now();
+        let (start, size_rows) = untracked(|| -> Result<_, CommError> {
+            let mut size_rows: Vec<Arc<Vec<u64>>> = vec![my_sizes.clone(); n];
+            let mut start = now;
+            for src in 0..n {
+                if src == comm.me {
+                    continue;
+                }
+                let pkt = comm.recv_from(src)?;
+                start = start.max(pkt.clock);
+                let (data, sizes) = *pkt
+                    .payload
+                    .downcast::<(Vec<T>, Arc<Vec<u64>>)>()
+                    .expect("collective type mismatch: ranks diverged from SPMD order");
+                recv[src] = data;
+                size_rows[src] = sizes;
             }
-            let pkt = comm.recv_from(src)?;
-            start = start.max(pkt.clock);
-            let (data, sizes) = *pkt
-                .payload
-                .downcast::<(Vec<T>, Arc<Vec<u64>>)>()
-                .expect("collective type mismatch: ranks diverged from SPMD order");
-            recv[src] = data;
-            size_rows[src] = sizes;
-        }
+            Ok((start, size_rows))
+        })?;
 
         let t = comm
             .state
@@ -753,6 +815,6 @@ impl<T: Clone + Send + 'static> PendingOp<T> {
         clock.advance_to_op("all_to_all", start);
         let t = comm.fault_shaped_time("all_to_all", t, clock);
         clock.advance_op("all_to_all", t);
-        Ok(recv)
+        Ok(())
     }
 }

@@ -76,6 +76,33 @@ impl MoeLayer {
         pipeline::padding_free::forward_single(tokens, &self.router, &self.experts, &self.spec)
     }
 
+    /// Forward through any [`pipeline::Pipeline`] under an explicit
+    /// execution context — pooling, transport and overlap are properties
+    /// of the `ctx`, not of the entry point:
+    ///
+    /// ```
+    /// use xmoe_core::config::MoeModelConfig;
+    /// use xmoe_core::layer::MoeLayer;
+    /// use xmoe_core::pipeline::{ExecCtx, PaddingFreePipeline};
+    /// use xmoe_tensor::Tensor;
+    ///
+    /// let cfg = MoeModelConfig::custom("demo", 64, 32, 16, 16, 4, 1);
+    /// let layer = MoeLayer::single_rank(&cfg, 42);
+    /// let tokens = Tensor::rand_uniform(64, 32, 1.0, 7);
+    /// let out = layer
+    ///     .forward_with(&tokens, &PaddingFreePipeline, &mut ExecCtx::single())
+    ///     .unwrap();
+    /// assert_eq!(out.shape(), (64, 32));
+    /// ```
+    pub fn forward_with(
+        &self,
+        tokens: &Tensor,
+        pipeline: &dyn pipeline::Pipeline,
+        ctx: &mut pipeline::ExecCtx,
+    ) -> Result<Tensor, pipeline::PipelineError> {
+        pipeline.forward(tokens, &self.router, &self.experts, &self.spec, ctx)
+    }
+
     /// Expert-parallel forward over `ep` with the plain uneven all-to-all.
     pub fn forward_ep(
         &self,
@@ -100,7 +127,7 @@ impl MoeLayer {
         comms: &RbdComms,
         rng: &mut DetRng,
         clock: &mut SimClock,
-    ) -> Result<Tensor, CommError> {
+    ) -> Result<Tensor, pipeline::PipelineError> {
         rbd::forward_ep_rbd(
             tokens,
             &self.router,

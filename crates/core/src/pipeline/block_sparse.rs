@@ -48,6 +48,10 @@ pub fn expected_block_waste(tokens: usize, k: usize, num_experts: usize, block: 
 
 /// Single-rank block-sparse forward: the PFT pipeline with each expert's
 /// segment zero-padded to a tile multiple before the GEMM.
+///
+/// One engine, two callers: this owned entry point runs the pooled
+/// implementation against a throwaway state, so the two paths cannot
+/// drift apart (the pooled variant is pinned bitwise identical).
 pub fn forward_single_block_sparse(
     tokens: &Tensor,
     router: &Router,
@@ -55,58 +59,8 @@ pub fn forward_single_block_sparse(
     spec: &MoeLayerSpec,
     block: usize,
 ) -> Tensor {
-    assert_eq!(experts.len(), spec.num_experts);
-    let gating = router.gate(tokens);
-    let pft = Pft::construct(&gating, spec.num_experts, spec.capacity, spec.policy);
-    let dispatch_in = gather_rows(tokens, &pft.token_ids);
-    let hidden = tokens.cols();
-
-    // Build the block-padded buffer: each expert's rows followed by zero
-    // rows up to the tile boundary.
-    let padded_counts: Vec<usize> = pft
-        .tokens_per_expert
-        .iter()
-        .map(|&c| round_up(c, block))
-        .collect();
-    let padded_total: usize = padded_counts.iter().sum();
-    let mut padded_buf = Tensor::zeros(padded_total, hidden);
-    {
-        let dst = padded_buf.as_mut_slice();
-        let mut src_row = 0usize;
-        let mut dst_row = 0usize;
-        for (e, &cnt) in pft.tokens_per_expert.iter().enumerate() {
-            if cnt > 0 {
-                dst[dst_row * hidden..(dst_row + cnt) * hidden].copy_from_slice(
-                    &dispatch_in.as_slice()[src_row * hidden..(src_row + cnt) * hidden],
-                );
-            }
-            src_row += cnt;
-            dst_row += padded_counts[e];
-        }
-    }
-
-    // Block-sparse "GEMM": experts run over their padded tiles.
-    let out_padded = experts.forward_segments(&padded_buf, &padded_counts);
-
-    // Strip the padding back out and combine.
-    let mut mlp_out = Tensor::zeros(pft.len(), hidden);
-    {
-        let dst = mlp_out.as_mut_slice();
-        let mut src_row = 0usize;
-        let mut dst_row = 0usize;
-        for (e, &cnt) in pft.tokens_per_expert.iter().enumerate() {
-            if cnt > 0 {
-                dst[dst_row * hidden..(dst_row + cnt) * hidden].copy_from_slice(
-                    &out_padded.as_slice()[src_row * hidden..(src_row + cnt) * hidden],
-                );
-            }
-            src_row += padded_counts[e];
-            dst_row += cnt;
-        }
-    }
-    let mut out = Tensor::zeros(tokens.rows(), hidden);
-    scatter_rows_scaled(&mlp_out, &pft.token_ids, &pft.combine_weights, &mut out);
-    out
+    let mut state = PooledSingleState::default();
+    forward_single_block_sparse_pooled(tokens, router, experts, spec, block, &mut state)
 }
 
 /// [`forward_single_block_sparse`] on a [`PooledSingleState`]: pooled
@@ -204,7 +158,7 @@ pub fn forward_ep_block_sparse(
     ep: &Communicator,
     clock: &mut SimClock,
 ) -> Result<Tensor, CommError> {
-    let cost = ep.cost().clone();
+    let cost = ep.cost();
     let hidden = tokens.cols();
 
     // --- Gating + PFT construction -------------------------------------

@@ -151,7 +151,7 @@ pub fn forward_ep_dense(
     let e_local = spec.num_experts / w;
     let c = spec.capacity;
     let hidden = tokens.cols();
-    let cost = ep.cost().clone();
+    let cost = ep.cost();
 
     // --- Gating + dense mask construction ------------------------------
     let gating = router.gate(tokens);

@@ -11,15 +11,25 @@
 //! Both run single-rank (reference) and distributed over an expert-parallel
 //! communicator; cross-pipeline equivalence is enforced by tests at the
 //! workspace level.
+//!
+//! [`engine`] unifies all of them (plus [`block_sparse`] and the RBD path in
+//! [`crate::rbd`]) behind one [`Pipeline`] trait: pooling, transport and
+//! dispatch–compute overlap are properties of the [`ExecCtx`] a forward runs
+//! under, not separate hand-cloned entry points.
 
 pub mod block_sparse;
 pub mod dense;
+pub mod engine;
 pub mod padding_free;
 
 pub use block_sparse::{
     block_padding_waste, forward_single_block_sparse, forward_single_block_sparse_pooled,
 };
 pub use dense::{build_dense_dispatch, DenseDispatch, DenseDropOrder};
+pub use engine::{
+    BlockSparsePipeline, CommCtx, DensePipeline, ExecCtx, PaddingFreePipeline, Pipeline,
+    PipelineError, RbdPipeline,
+};
 pub use padding_free::{forward_ep, forward_single, forward_single_pooled, PooledSingleState};
 
 use crate::gating::DropPolicy;

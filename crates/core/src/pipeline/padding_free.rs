@@ -28,23 +28,18 @@ pub fn forward_single(
     experts: &ExpertShard,
     spec: &MoeLayerSpec,
 ) -> Tensor {
-    assert_eq!(
-        experts.len(),
-        spec.num_experts,
-        "single-rank forward needs the full expert set"
-    );
-    let gating = router.gate(tokens);
-    let pft = Pft::construct(&gating, spec.num_experts, spec.capacity, spec.policy);
-    let dispatch_in = gather_rows(tokens, &pft.token_ids);
-    let mlp_out = experts.forward_segments(&dispatch_in, &pft.tokens_per_expert);
-    let mut out = Tensor::zeros(tokens.rows(), tokens.cols());
-    scatter_rows_scaled(&mlp_out, &pft.token_ids, &pft.combine_weights, &mut out);
-    out
+    // One engine, two callers: the owned variant is the pooled variant run
+    // against a throwaway state (pooled gating and construction are
+    // bitwise identical to their owned counterparts, pinned by tests).
+    let mut state = PooledSingleState::default();
+    forward_single_pooled(tokens, router, experts, spec, &mut state)
 }
 
-/// Persistent state for [`forward_single_pooled`]: the workspace arena plus
-/// every buffer the single-rank pipeline reuses across steps. One instance
-/// per rank, reused for the lifetime of the layer.
+/// Persistent state for every pooled pipeline: the workspace arena plus
+/// every buffer the pipelines reuse across steps. One instance per rank,
+/// reused for the lifetime of the layer. The padding-free, block-sparse and
+/// RBD paths all lease from the same state, so a rank running several
+/// pipelines still converges to one arena high-water mark.
 #[derive(Default)]
 pub struct PooledSingleState {
     /// The arena backing transient leases (dispatch, MLP scratch, output).
@@ -54,6 +49,8 @@ pub struct PooledSingleState {
     pub(crate) pft_scratch: PftScratch,
     pub(crate) pft: Pft,
     pub(crate) dispatch_in: Tensor,
+    /// RBD-specific plan/staging scratch (see [`crate::rbd`]).
+    pub(crate) rbd: crate::rbd::RbdScratch,
 }
 
 /// [`forward_single`] with every intermediate buffer served from a
@@ -464,7 +461,7 @@ pub fn forward_ep(
     ep: &Communicator,
     clock: &mut SimClock,
 ) -> Result<Tensor, CommError> {
-    let cost = ep.cost().clone();
+    let cost = ep.cost();
     let hidden = tokens.cols();
 
     // --- Gating + PFT construction -------------------------------------
@@ -533,7 +530,7 @@ pub fn forward_ep_overlap(
     ep: &Communicator,
     clock: &mut SimClock,
 ) -> Result<Tensor, CommError> {
-    let cost = ep.cost().clone();
+    let cost = ep.cost();
     let hidden = tokens.cols();
 
     // Serial prefix identical to `forward_ep`.

@@ -22,31 +22,68 @@
 //! into the pilot's accumulator, and a single partial sum per (token, node)
 //! crosses back inter-node. The final scatter adds per-node partials — the
 //! same value as the plain pipeline's per-entry weighted sum.
+//!
+//! # Allocation discipline
+//!
+//! There is exactly **one** forward implementation, and it always runs
+//! against a [`PooledSingleState`]: the plan arrays live in a grow-once
+//! [`RbdScratch`], every staging row buffer and metadata stream is leased
+//! from the state's [`Workspace`](xmoe_tensor::Workspace) flat-buffer API,
+//! and the collectives reuse persistent send/recv shells via the `*_into`
+//! variants. At steady state (recurring batch shapes) a pooled step
+//! performs zero transient heap allocations; the owned entry points run the
+//! same code against a throwaway state, so they are bitwise identical by
+//! construction. The overlap schedule keeps per-chunk owned wire buffers
+//! (issuing a chunk moves its payload) and is exempt from the zero-alloc
+//! gate. The replica-merge and combine accumulations use the 8-lane
+//! elementwise kernels ([`xmoe_tensor::axpy_slice`] and friends), which are
+//! bitwise identical to the scalar loops they replace.
 
 use xmoe_collectives::{CommError, Communicator, SimClock};
-use xmoe_tensor::{gather_rows, gather_rows_into, DetRng, Tensor, Workspace};
+use xmoe_tensor::{
+    add_assign_slice, axpy_slice, gather_rows_into, scaled_extend, DetRng, Tensor,
+};
 
 use crate::expert::ExpertShard;
 use crate::gating::Router;
 use crate::pft::Pft;
-use crate::pipeline::MoeLayerSpec;
+use crate::pipeline::{MoeLayerSpec, PipelineError, PooledSingleState};
 
 /// The two communicators RBD needs: the EP group and its node-local
-/// subgroup. Create once and reuse across layers/steps.
+/// subgroup, plus the precomputed position maps the hot path would
+/// otherwise rebuild (and heap-allocate) every step. Create once and reuse
+/// across layers/steps.
 pub struct RbdComms {
     pub ep: Communicator,
     /// EP ranks co-resident on this rank's node.
     pub node: Communicator,
+    /// Physical node index of each EP position.
+    node_of_ep_pos: Vec<usize>,
+    /// Node-communicator position of each EP position on *this* rank's
+    /// node; `None` for positions living on other nodes.
+    node_pos_of_ep_pos: Vec<Option<usize>>,
 }
 
 impl RbdComms {
     /// Collectively split the EP group by physical node.
     pub fn create(ep: &Communicator, clock: &mut SimClock) -> Result<Self, CommError> {
         let node_id = ep.cost().topology().node_of(ep.global_rank());
+        let node_of_ep_pos: Vec<usize> = {
+            let topo = ep.cost().topology();
+            ep.group_ranks().iter().map(|&g| topo.node_of(g)).collect()
+        };
         let node = ep.split(node_id, clock)?;
+        let mut node_pos_of_ep_pos = vec![None; ep.size()];
+        for (i, &g) in node.group_ranks().iter().enumerate() {
+            if let Some(pos) = ep.group_ranks().iter().position(|&eg| eg == g) {
+                node_pos_of_ep_pos[pos] = Some(i);
+            }
+        }
         Ok(Self {
             ep: ep.clone(),
             node,
+            node_of_ep_pos,
+            node_pos_of_ep_pos,
         })
     }
 }
@@ -94,60 +131,81 @@ pub fn expected_redundancy_uniform(k: usize, nodes: usize) -> f64 {
 }
 
 // ---------------------------------------------------------------------
-// Wire formats
+// Plan scratch
 // ---------------------------------------------------------------------
 
-/// Per-pilot metadata decoded from the S1 stream.
-struct PilotRec {
-    expert: usize,
-    weight: f32,
-    replicas: Vec<(usize, f32)>,
+/// Sentinel `peer` marking an expert-input row as a pilot (stays local on
+/// the combine path) rather than a replica returned to a node peer.
+const PILOT: usize = usize::MAX;
+
+/// One selected pilot: the PFT entry it wraps, its destination EP rank and
+/// its replica range in [`RbdScratch::replicas`].
+#[derive(Clone, Copy, Debug, Default)]
+struct PilotEntry {
+    dst: usize,
+    /// PFT entry index of the pilot (expert/token/weight live in the PFT).
+    idx: usize,
+    /// Replica range `[rep0, rep1)` in the flat replica array.
+    rep0: usize,
+    rep1: usize,
 }
 
-fn encode_pilots(recs: &[PilotRec]) -> Vec<u64> {
-    let mut out = Vec::with_capacity(recs.len() * 4);
-    for r in recs {
-        out.push(r.expert as u64);
-        out.push(r.weight.to_bits() as u64);
-        out.push(r.replicas.len() as u64);
-        for &(e, w) in &r.replicas {
-            out.push(e as u64);
-            out.push(w.to_bits() as u64);
-        }
-    }
-    out
-}
-
-fn decode_pilots(stream: &[u64]) -> Vec<PilotRec> {
-    let mut recs = Vec::new();
-    let mut i = 0;
-    while i < stream.len() {
-        let expert = stream[i] as usize;
-        let weight = f32::from_bits(stream[i + 1] as u32);
-        let n_rep = stream[i + 2] as usize;
-        i += 3;
-        let mut replicas = Vec::with_capacity(n_rep);
-        for _ in 0..n_rep {
-            replicas.push((stream[i] as usize, f32::from_bits(stream[i + 1] as u32)));
-            i += 2;
-        }
-        recs.push(PilotRec {
-            expert,
-            weight,
-            replicas,
-        });
-    }
-    recs
-}
-
-/// Where an expert-input row came from (drives the combine return path).
+/// One expert-input row on the receiving side: where it came from and how
+/// its output returns (`peer == PILOT` accumulates locally; otherwise the
+/// weighted output travels intra-node back to `peer`).
 #[derive(Clone, Copy, Debug)]
-enum Prov {
-    /// A pilot row: accumulate locally at `(src, idx)`.
-    Pilot { src: usize, idx: usize },
-    /// A replica row: return intra-node to `peer` (node-comm rank), which
-    /// accumulates it into its pilot `(src, idx)`.
-    Replica { peer: usize, src: usize, idx: usize },
+struct EntryRec {
+    local_expert: usize,
+    weight: f32,
+    peer: usize,
+    /// Source EP rank the pilot arrived from.
+    src: usize,
+    /// Pilot index within that source's chunk.
+    idx: usize,
+}
+
+/// Grow-once plan and shell scratch for the RBD forward. Lives inside
+/// [`PooledSingleState`]; every `Vec` here keeps its capacity across steps,
+/// so after warm-up the planning phase is allocation-free. The inner
+/// buffers of the send/recv shells are leased from (and recycled back to)
+/// the state's workspace each step — the shells only hold the outer
+/// `Vec<Vec<_>>` spines.
+#[derive(Default)]
+pub(crate) struct RbdScratch {
+    /// `(token, dst_node, pft_idx)` sort keys for pilot grouping.
+    keyed: Vec<(usize, usize, usize)>,
+    pilots: Vec<PilotEntry>,
+    /// Flat `(expert, weight_bits)` replica pairs referenced by range.
+    replicas: Vec<(usize, u32)>,
+    /// Pilot ranges per destination: dst `d` owns `pilots[dst_off[d]..dst_off[d+1]]`.
+    dst_off: Vec<usize>,
+    entries: Vec<EntryRec>,
+    pilots_from_src: Vec<usize>,
+    /// Flat-accumulator row offset per source rank (prefix of `pilots_from_src`).
+    acc_off: Vec<usize>,
+    // Persistent wire shells (outer spines only).
+    rows_send: Vec<Vec<f32>>,
+    meta_send: Vec<Vec<u64>>,
+    rows_recv: Vec<Vec<f32>>,
+    meta_recv: Vec<Vec<u64>>,
+    rep_rows_send: Vec<Vec<f32>>,
+    rep_meta_send: Vec<Vec<u64>>,
+    rep_rows_recv: Vec<Vec<f32>>,
+    rep_meta_recv: Vec<Vec<u64>>,
+    crep_rows_send: Vec<Vec<f32>>,
+    crep_meta_send: Vec<Vec<u64>>,
+    crep_rows_recv: Vec<Vec<f32>>,
+    crep_meta_recv: Vec<Vec<u64>>,
+    back_send: Vec<Vec<f32>>,
+    back_recv: Vec<Vec<f32>>,
+}
+
+/// Size a wire shell's outer spine (inner buffers untouched elsewhere).
+fn ensure_shell<T>(shell: &mut Vec<Vec<T>>, n: usize) {
+    if shell.len() != n {
+        shell.clear();
+        shell.resize_with(n, Vec::new);
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -169,12 +227,36 @@ pub enum PilotPolicy {
     SmallestExpertId,
 }
 
+/// Pick the pilot's PFT index from one `(token, node)` group of `keyed`
+/// triples. An empty group is a routing-plan contract violation — reported
+/// as [`PipelineError::EmptyPilotGroup`] instead of the panic the
+/// `min().unwrap()` / `next_below(0)` paths used to hit.
+fn select_pilot(
+    group: &[(usize, usize, usize)],
+    policy: PilotPolicy,
+    rng: &mut DetRng,
+) -> Result<usize, PipelineError> {
+    if group.is_empty() {
+        return Err(PipelineError::EmptyPilotGroup);
+    }
+    Ok(match policy {
+        PilotPolicy::Random => group[rng.next_below(group.len())].2,
+        // Entries are expert-sorted within the PFT, so the smallest
+        // pft index in the group has the smallest expert id.
+        PilotPolicy::SmallestExpertId => {
+            group.iter().map(|&(_, _, i)| i).min().unwrap_or_default()
+        }
+    })
+}
+
 /// Distributed padding-free MoE layer with RBD dispatch and combine.
 ///
 /// Functionally identical to
 /// [`crate::pipeline::padding_free::forward_ep`] (same gating, same PFT,
 /// same experts); only the transport differs. `rng` drives pilot selection
-/// under [`PilotPolicy::Random`].
+/// under [`PilotPolicy::Random`]. Owned baseline: runs the unified pooled
+/// implementation against a throwaway state (bitwise identical to
+/// [`forward_ep_rbd_pooled`] under the same `rng` stream).
 pub fn forward_ep_rbd(
     tokens: &Tensor,
     router: &Router,
@@ -183,8 +265,9 @@ pub fn forward_ep_rbd(
     comms: &RbdComms,
     rng: &mut DetRng,
     clock: &mut SimClock,
-) -> Result<Tensor, CommError> {
-    forward_ep_rbd_with_policy(
+) -> Result<Tensor, PipelineError> {
+    let mut state = PooledSingleState::default();
+    forward_ep_rbd_impl(
         tokens,
         router,
         shard,
@@ -193,6 +276,8 @@ pub fn forward_ep_rbd(
         rng,
         clock,
         PilotPolicy::Random,
+        None,
+        &mut state,
     )
 }
 
@@ -213,7 +298,8 @@ pub fn forward_ep_rbd_overlap(
     rng: &mut DetRng,
     clock: &mut SimClock,
     chunks: usize,
-) -> Result<Tensor, CommError> {
+) -> Result<Tensor, PipelineError> {
+    let mut state = PooledSingleState::default();
     forward_ep_rbd_impl(
         tokens,
         router,
@@ -224,16 +310,16 @@ pub fn forward_ep_rbd_overlap(
         clock,
         PilotPolicy::Random,
         Some(chunks),
-        None,
+        &mut state,
     )
 }
 
-/// [`forward_ep_rbd`] with every staging tensor — dispatch buffer, merged
-/// expert input, MLP scratch, and the combine output — leased from a
-/// per-rank [`Workspace`] instead of freshly allocated. Bitwise identical
-/// to [`forward_ep_rbd`] under the same `rng` stream. The returned output
-/// tensor is itself leased: recycle it back into `ws` once consumed to
-/// keep the steady state allocation-free.
+/// [`forward_ep_rbd`] with every staging buffer — dispatch rows, pilot and
+/// replica wire payloads, metadata streams, merged expert input, MLP
+/// scratch, combine accumulator and the output — leased from the per-rank
+/// [`PooledSingleState`]. Bitwise identical to [`forward_ep_rbd`] under the
+/// same `rng` stream; allocation-free at steady state. The returned output
+/// tensor is itself leased: recycle it back into `state.ws` once consumed.
 #[allow(clippy::too_many_arguments)]
 pub fn forward_ep_rbd_pooled(
     tokens: &Tensor,
@@ -243,8 +329,8 @@ pub fn forward_ep_rbd_pooled(
     comms: &RbdComms,
     rng: &mut DetRng,
     clock: &mut SimClock,
-    ws: &mut Workspace,
-) -> Result<Tensor, CommError> {
+    state: &mut PooledSingleState,
+) -> Result<Tensor, PipelineError> {
     forward_ep_rbd_impl(
         tokens,
         router,
@@ -255,7 +341,7 @@ pub fn forward_ep_rbd_pooled(
         clock,
         PilotPolicy::Random,
         None,
-        Some(ws),
+        state,
     )
 }
 
@@ -270,14 +356,17 @@ pub fn forward_ep_rbd_with_policy(
     rng: &mut DetRng,
     clock: &mut SimClock,
     policy: PilotPolicy,
-) -> Result<Tensor, CommError> {
+) -> Result<Tensor, PipelineError> {
+    let mut state = PooledSingleState::default();
     forward_ep_rbd_impl(
-        tokens, router, shard, spec, comms, rng, clock, policy, None, None,
+        tokens, router, shard, spec, comms, rng, clock, policy, None, &mut state,
     )
 }
 
+/// The single RBD implementation every public entry point funnels into
+/// (and the [`crate::pipeline::engine::RbdPipeline`] trait impl calls).
 #[allow(clippy::too_many_arguments)]
-fn forward_ep_rbd_impl(
+pub(crate) fn forward_ep_rbd_impl(
     tokens: &Tensor,
     router: &Router,
     shard: &ExpertShard,
@@ -287,41 +376,65 @@ fn forward_ep_rbd_impl(
     clock: &mut SimClock,
     policy: PilotPolicy,
     overlap_chunks: Option<usize>,
-    mut ws: Option<&mut Workspace>,
-) -> Result<Tensor, CommError> {
+    state: &mut PooledSingleState,
+) -> Result<Tensor, PipelineError> {
     let ep = &comms.ep;
     let node = &comms.node;
     let w = ep.size();
     assert_eq!(spec.num_experts % w, 0, "experts must divide EP size");
     let e_local = spec.num_experts / w;
     let hidden = tokens.cols();
-    let cost = ep.cost().clone();
-    let topo = cost.topology().clone();
-
-    // Map EP position -> node, and node-comm position of each node peer.
+    let cost = ep.cost();
     let owner_of = |e: usize| e / e_local;
-    let node_of_pos = |pos: usize| topo.node_of(ep.group_ranks()[pos]);
-    let my_node_pos_of_global: std::collections::HashMap<usize, usize> = node
-        .group_ranks()
-        .iter()
-        .enumerate()
-        .map(|(i, &g)| (g, i))
-        .collect();
+    let first_expert = shard.first_expert;
+
+    let PooledSingleState {
+        ws,
+        gate_scratch,
+        gating,
+        pft_scratch,
+        pft,
+        dispatch_in,
+        rbd: sc,
+    } = state;
+    let RbdScratch {
+        keyed,
+        pilots,
+        replicas,
+        dst_off,
+        entries,
+        pilots_from_src,
+        acc_off,
+        rows_send,
+        meta_send,
+        rows_recv,
+        meta_recv,
+        rep_rows_send,
+        rep_meta_send,
+        rep_rows_recv,
+        rep_meta_recv,
+        crep_rows_send,
+        crep_meta_send,
+        crep_rows_recv,
+        crep_meta_recv,
+        back_send,
+        back_recv,
+    } = sc;
 
     // --- Gating + PFT ---------------------------------------------------
-    let gating = router.gate(tokens);
-    let pft = Pft::construct(&gating, spec.num_experts, spec.capacity, spec.policy);
+    router.gate_into(tokens, gate_scratch, gating);
+    Pft::construct_into(
+        gating,
+        spec.num_experts,
+        spec.capacity,
+        spec.policy,
+        pft_scratch,
+        pft,
+    );
     let gate_flops = 2.0 * tokens.rows() as f64 * hidden as f64 * spec.num_experts as f64;
     clock.charge("gating", cost.compute_time(gate_flops));
 
-    let dispatch_in = match ws.as_deref_mut() {
-        Some(w) => {
-            let mut t = w.take(0, 0);
-            gather_rows_into(tokens, &pft.token_ids, &mut t);
-            t
-        }
-        None => gather_rows(tokens, &pft.token_ids),
-    };
+    gather_rows_into(tokens, &pft.token_ids, dispatch_in);
     clock.charge(
         "buffer_dispatch",
         cost.mem_bound_time(2.0 * (pft.len() * hidden * 4) as f64),
@@ -329,19 +442,19 @@ fn forward_ep_rbd_impl(
 
     // --- S0: pilot selection --------------------------------------------
     // Group this rank's routed entries by (token, destination node); pick a
-    // random pilot per group, attach the rest as replicas.
-    let mut keyed: Vec<(usize, usize, usize)> = (0..pft.len())
-        .map(|i| {
-            (
-                pft.token_ids[i],
-                node_of_pos(owner_of(pft.expert_ids[i])),
-                i,
-            )
-        })
-        .collect();
+    // random pilot per group, attach the rest as replicas (a flat range in
+    // `replicas` instead of a per-pilot Vec).
+    keyed.clear();
+    keyed.extend((0..pft.len()).map(|i| {
+        (
+            pft.token_ids[i],
+            comms.node_of_ep_pos[owner_of(pft.expert_ids[i])],
+            i,
+        )
+    }));
     keyed.sort_unstable();
-    let mut pilots_per_dst: Vec<Vec<usize>> = vec![Vec::new(); w]; // pft entry indices
-    let mut pilot_recs_per_dst: Vec<Vec<PilotRec>> = (0..w).map(|_| Vec::new()).collect();
+    pilots.clear();
+    replicas.clear();
     let mut g = 0;
     while g < keyed.len() {
         let (t, n, _) = keyed[g];
@@ -349,128 +462,131 @@ fn forward_ep_rbd_impl(
         while end < keyed.len() && keyed[end].0 == t && keyed[end].1 == n {
             end += 1;
         }
-        let group: Vec<usize> = keyed[g..end].iter().map(|&(_, _, i)| i).collect();
-        let pilot = match policy {
-            PilotPolicy::Random => group[rng.next_below(group.len())],
-            // Entries are expert-sorted within the PFT, so the smallest
-            // pft index in the group has the smallest expert id.
-            PilotPolicy::SmallestExpertId => *group.iter().min().unwrap(),
-        };
+        let pilot = select_pilot(&keyed[g..end], policy, rng)?;
         let dst = owner_of(pft.expert_ids[pilot]);
-        let replicas = group
-            .iter()
-            .filter(|&&i| i != pilot)
-            .map(|&i| (pft.expert_ids[i], pft.combine_weights[i]))
-            .collect();
-        pilots_per_dst[dst].push(pilot);
-        pilot_recs_per_dst[dst].push(PilotRec {
-            expert: pft.expert_ids[pilot],
-            weight: pft.combine_weights[pilot],
-            replicas,
+        let rep0 = replicas.len();
+        for &(_, _, i) in &keyed[g..end] {
+            if i != pilot {
+                replicas.push((pft.expert_ids[i], pft.combine_weights[i].to_bits()));
+            }
+        }
+        pilots.push(PilotEntry {
+            dst,
+            idx: pilot,
+            rep0,
+            rep1: replicas.len(),
         });
         g = end;
     }
-    // Deterministic per-destination order (by expert, then token).
-    for d in 0..w {
-        let mut order: Vec<usize> = (0..pilots_per_dst[d].len()).collect();
-        order.sort_by_key(|&j| {
-            let i = pilots_per_dst[d][j];
-            (pft.expert_ids[i], pft.token_ids[i])
-        });
-        pilots_per_dst[d] = order.iter().map(|&j| pilots_per_dst[d][j]).collect();
-        let mut recs = std::mem::take(&mut pilot_recs_per_dst[d]);
-        let mut reordered = Vec::with_capacity(recs.len());
-        for &j in &order {
-            reordered.push(std::mem::replace(
-                &mut recs[j],
-                PilotRec {
-                    expert: 0,
-                    weight: 0.0,
-                    replicas: Vec::new(),
-                },
-            ));
-        }
-        pilot_recs_per_dst[d] = reordered;
+    // Deterministic per-destination order (by expert, then token): one
+    // global in-place sort — the (dst, expert, token) keys are unique, so
+    // every destination's slice comes out exactly as the old per-dst
+    // stable sorts produced it, without per-dst index/reorder scratch.
+    pilots.sort_unstable_by_key(|p| (p.dst, pft.expert_ids[p.idx], pft.token_ids[p.idx]));
+    dst_off.clear();
+    dst_off.resize(w + 1, 0);
+    for p in pilots.iter() {
+        dst_off[p.dst + 1] += 1;
+    }
+    let mut run = 0usize;
+    for d in 0..=w {
+        run += dst_off[d];
+        dst_off[d] = run;
     }
     clock.charge("rbd_plan", cost.mem_bound_time((pft.len() * 24) as f64));
 
     // --- S1: inter-node exchange of pilots + metadata -------------------
-    let rows_send: Vec<Vec<f32>> = pilots_per_dst
-        .iter()
-        .map(|idxs| {
-            let mut v = Vec::with_capacity(idxs.len() * hidden);
-            for &i in idxs {
-                v.extend_from_slice(dispatch_in.row(i));
+    // Wire format per pilot: expert, weight bits, n_rep, then (expert,
+    // weight bits) per replica — all inline in one u64 stream per dst.
+    ensure_shell(rows_send, w);
+    ensure_shell(meta_send, w);
+    ensure_shell(rows_recv, w);
+    ensure_shell(meta_recv, w);
+    for d in 0..w {
+        let (p0, p1) = (dst_off[d], dst_off[d + 1]);
+        let mut rows = ws.take_f32((p1 - p0) * hidden);
+        let mut meta = ws.take_u64((p1 - p0) * 4);
+        for p in &pilots[p0..p1] {
+            rows.extend_from_slice(dispatch_in.row(p.idx));
+            meta.push(pft.expert_ids[p.idx] as u64);
+            meta.push(pft.combine_weights[p.idx].to_bits() as u64);
+            meta.push((p.rep1 - p.rep0) as u64);
+            for &(e, wbits) in &replicas[p.rep0..p.rep1] {
+                meta.push(e as u64);
+                meta.push(wbits as u64);
             }
-            v
-        })
-        .collect();
-    let meta_send: Vec<Vec<u64>> = pilot_recs_per_dst
-        .iter()
-        .map(|r| encode_pilots(r))
-        .collect();
-    if let Some(w) = ws.as_deref_mut() {
-        w.recycle(dispatch_in);
+        }
+        rows_send[d] = rows;
+        meta_send[d] = meta;
     }
+
     // --- S1.5 state: staging buffer + replica queues ---------------------
-    struct Entry {
-        local_expert: usize,
-        weight: f32,
-        prov: Prov,
-        row: usize, // row in the staging tensor
-    }
-    let mut staging: Vec<f32> = Vec::new();
-    let mut entries: Vec<Entry> = Vec::new();
     let node_n = node.size();
-    let mut rep_rows_send: Vec<Vec<f32>> = vec![Vec::new(); node_n];
-    let mut rep_meta_send: Vec<Vec<u64>> = vec![Vec::new(); node_n];
-    let mut pilots_from_src: Vec<usize> = vec![0; w];
-    let mut staging_rows = 0usize;
+    ensure_shell(rep_rows_send, node_n);
+    ensure_shell(rep_meta_send, node_n);
+    ensure_shell(rep_rows_recv, node_n);
+    ensure_shell(rep_meta_recv, node_n);
+    for peer in 0..node_n {
+        rep_rows_send[peer] = ws.take_f32(0);
+        rep_meta_send[peer] = ws.take_u64(0);
+    }
+    entries.clear();
+    pilots_from_src.clear();
+    pilots_from_src.resize(w, 0);
+    let mut staging = ws.take_f32(0);
+    let npos = &comms.node_pos_of_ep_pos;
     // Parse one source's pilots: append to the staging buffer, queue replica
     // copies for node peers, return the replica bytes moved. Sources must be
     // processed in ascending rank order — the staging/entry order (and hence
     // the bitwise result) depends on it.
     let mut process_src = |src: usize, rows: &[f32], meta: &[u64]| -> f64 {
-        let recs = decode_pilots(meta);
-        pilots_from_src[src] = recs.len();
         let mut replica_bytes = 0f64;
-        for (idx, rec) in recs.iter().enumerate() {
+        let mut idx = 0usize; // pilot index within this source's chunk
+        let mut i = 0usize;
+        while i < meta.len() {
+            let expert = meta[i] as usize;
+            let weight = f32::from_bits(meta[i + 1] as u32);
+            let n_rep = meta[i + 2] as usize;
+            i += 3;
             let row_data = &rows[idx * hidden..(idx + 1) * hidden];
             assert!(
-                rec.expert >= shard.first_expert && rec.expert < shard.first_expert + e_local,
+                expert >= first_expert && expert < first_expert + e_local,
                 "pilot arrived at the wrong rank"
             );
             staging.extend_from_slice(row_data);
-            entries.push(Entry {
-                local_expert: rec.expert - shard.first_expert,
-                weight: rec.weight,
-                prov: Prov::Pilot { src, idx },
-                row: staging_rows,
+            entries.push(EntryRec {
+                local_expert: expert - first_expert,
+                weight,
+                peer: PILOT,
+                src,
+                idx,
             });
-            staging_rows += 1;
-            for &(rep_expert, rep_weight) in &rec.replicas {
-                let peer_global = ep.group_ranks()[owner_of(rep_expert)];
-                let peer = *my_node_pos_of_global
-                    .get(&peer_global)
+            for _ in 0..n_rep {
+                let rep_expert = meta[i] as usize;
+                let rep_weight_bits = meta[i + 1] as u64;
+                i += 2;
+                let peer = npos[owner_of(rep_expert)]
                     .expect("replica target must be on the pilot's node");
                 rep_rows_send[peer].extend_from_slice(row_data);
                 rep_meta_send[peer].extend_from_slice(&[
                     rep_expert as u64,
-                    rep_weight.to_bits() as u64,
+                    rep_weight_bits,
                     src as u64,
                     idx as u64,
                 ]);
                 replica_bytes += (hidden * 4) as f64;
             }
+            idx += 1;
         }
+        pilots_from_src[src] = idx;
         replica_bytes
     };
 
     match overlap_chunks {
         None => {
-            let rows_recv = ep.all_to_all_v(rows_send, clock)?;
+            ep.all_to_all_v_into(rows_send, rows_recv, clock)?;
             clock.commit("dispatch_a2a_inter");
-            let meta_recv = ep.all_to_all_v(meta_send, clock)?;
+            ep.all_to_all_v_into(meta_send, meta_recv, clock)?;
             clock.commit("dispatch_a2a_meta");
             let mut replica_bytes = 0f64;
             for src in 0..w {
@@ -480,17 +596,23 @@ fn forward_ep_rbd_impl(
                 "rbd_replica_reconstruct",
                 cost.mem_bound_time(2.0 * replica_bytes),
             );
+            for v in rows_recv.iter_mut() {
+                ws.recycle_f32(std::mem::take(v));
+            }
+            for v in meta_recv.iter_mut() {
+                ws.recycle_u64(std::mem::take(v));
+            }
         }
         Some(chunks) => {
             // Chunk the S1 exchange by contiguous source-rank groups: chunk
             // `c` carries only group `c`'s payload (other ranks send empty
             // buffers), so group `c`'s replica reconstruction overlaps with
             // group `c+1`'s transfer. All chunks are issued before any wait
-            // (a NIC send queue), which also rules out deadlock.
+            // (a NIC send queue), which also rules out deadlock. The owned
+            // per-chunk wire buffers keep this arm outside the zero-alloc
+            // steady state.
             let k = chunks.clamp(1, w);
             let me = ep.rank();
-            let mut rows_send = rows_send;
-            let mut meta_send = meta_send;
             clock.begin_overlap("rbd_dispatch_compute");
             clock.set_track("comm");
             let mut pend = Vec::with_capacity(k);
@@ -498,8 +620,8 @@ fn forward_ep_rbd_impl(
                 let (s0, s1) = (c * w / k, (c + 1) * w / k);
                 let (r, m) = if (s0..s1).contains(&me) {
                     (
-                        std::mem::replace(&mut rows_send, vec![Vec::new(); w]),
-                        std::mem::replace(&mut meta_send, vec![Vec::new(); w]),
+                        rows_send.iter_mut().map(std::mem::take).collect(),
+                        meta_send.iter_mut().map(std::mem::take).collect(),
                     )
                 } else {
                     (vec![Vec::new(); w], vec![Vec::new(); w])
@@ -510,30 +632,40 @@ fn forward_ep_rbd_impl(
             }
             for ((s0, s1), rows_p, meta_p) in pend {
                 clock.set_track("comm");
-                let rows_recv = rows_p.wait(clock)?;
+                let chunk_rows = rows_p.wait(clock)?;
                 clock.commit("dispatch_a2a_inter");
-                let meta_recv = meta_p.wait(clock)?;
+                let chunk_meta = meta_p.wait(clock)?;
                 clock.commit("dispatch_a2a_meta");
                 let arrived = clock.track_time("comm").expect("comm track exists");
                 clock.set_track("compute");
                 clock.advance_to_op("rbd_replica_reconstruct", arrived);
                 let mut replica_bytes = 0f64;
                 for src in s0..s1 {
-                    replica_bytes += process_src(src, &rows_recv[src], &meta_recv[src]);
+                    replica_bytes += process_src(src, &chunk_rows[src], &chunk_meta[src]);
                 }
                 clock.charge(
                     "rbd_replica_reconstruct",
                     cost.mem_bound_time(2.0 * replica_bytes),
                 );
+                for v in chunk_rows {
+                    if v.capacity() > 0 {
+                        ws.recycle_f32(v);
+                    }
+                }
+                for v in chunk_meta {
+                    if v.capacity() > 0 {
+                        ws.recycle_u64(v);
+                    }
+                }
             }
             clock.end_overlap();
         }
     }
 
     // --- S2: intra-node exchange of replicas ------------------------------
-    let rep_rows_recv = node.all_to_all_v(rep_rows_send, clock)?;
+    node.all_to_all_v_into(rep_rows_send, rep_rows_recv, clock)?;
     clock.commit("dispatch_a2a_intra");
-    let rep_meta_recv = node.all_to_all_v(rep_meta_send, clock)?;
+    node.all_to_all_v_into(rep_meta_send, rep_meta_recv, clock)?;
     clock.commit("dispatch_a2a_meta_intra");
     for (peer, meta) in rep_meta_recv.iter().enumerate() {
         for (j, quad) in meta.chunks_exact(4).enumerate() {
@@ -542,116 +674,142 @@ fn forward_ep_rbd_impl(
             let src = quad[2] as usize;
             let idx = quad[3] as usize;
             staging.extend_from_slice(&rep_rows_recv[peer][j * hidden..(j + 1) * hidden]);
-            entries.push(Entry {
-                local_expert: rep_expert - shard.first_expert,
+            entries.push(EntryRec {
+                local_expert: rep_expert - first_expert,
                 weight,
-                prov: Prov::Replica { peer, src, idx },
-                row: staging_rows,
+                peer,
+                src,
+                idx,
             });
-            staging_rows += 1;
         }
     }
-    let staging = Tensor::from_vec(staging_rows, hidden, staging);
+    for v in rep_rows_recv.iter_mut() {
+        ws.recycle_f32(std::mem::take(v));
+    }
+    for v in rep_meta_recv.iter_mut() {
+        ws.recycle_u64(std::mem::take(v));
+    }
+    let n_rows = entries.len();
+    let staging = Tensor::from_vec(n_rows, hidden, staging);
 
     // --- Merge ordered by local expert; run experts padding-free ---------
-    let mut order: Vec<usize> = (0..entries.len()).collect();
-    order.sort_by_key(|&i| entries[i].local_expert);
-    let perm: Vec<usize> = order.iter().map(|&i| entries[i].row).collect();
-    let expert_input = match ws.as_deref_mut() {
-        Some(w) => {
-            let mut t = w.take(0, 0);
-            gather_rows_into(&staging, &perm, &mut t);
-            t
-        }
-        None => gather_rows(&staging, &perm),
-    };
-    let mut tokens_per_local_expert = vec![0usize; e_local];
-    for e in &entries {
-        tokens_per_local_expert[e.local_expert] += 1;
+    // Counting sort: stable by construction (equal experts keep arrival
+    // order), identical to the old stable sort_by_key without its
+    // temporary allocation. Entry row i is staging row i, so the sorted
+    // entry order doubles as the gather permutation.
+    let mut counts = ws.take_idx(e_local);
+    for e in entries.iter() {
+        counts[e.local_expert] += 1;
     }
-    let mlp_out = match ws.as_deref_mut() {
-        Some(w) => shard.forward_segments_pooled(&expert_input, &tokens_per_local_expert, w),
-        None => shard.forward_segments(&expert_input, &tokens_per_local_expert),
-    };
+    let mut cursor = ws.take_idx(e_local);
+    let mut run = 0usize;
+    for e in 0..e_local {
+        cursor[e] = run;
+        run += counts[e];
+    }
+    let mut order = ws.take_idx(n_rows);
+    for (i, e) in entries.iter().enumerate() {
+        order[cursor[e.local_expert]] = i;
+        cursor[e.local_expert] += 1;
+    }
+    let mut expert_input = ws.take(0, 0);
+    gather_rows_into(&staging, &order, &mut expert_input);
+    ws.recycle(staging);
+    let mlp_out = shard.forward_segments_pooled(&expert_input, &counts, ws);
     let ffn = shard.experts.first().map_or(0, |e| e.w1.cols());
     clock.charge(
         "expert",
         cost.compute_time(4.0 * expert_input.rows() as f64 * hidden as f64 * ffn as f64),
     );
-    if let Some(w) = ws.as_deref_mut() {
-        w.recycle(expert_input);
-    }
+    ws.recycle(expert_input);
 
     // --- Combine: reverse route -------------------------------------------
     // Scale outputs by their combine weights, then split by provenance.
-    let mut acc: Vec<Tensor> = pilots_from_src
-        .iter()
-        .map(|&c| Tensor::zeros(c, hidden))
-        .collect();
-    let mut crep_rows_send: Vec<Vec<f32>> = vec![Vec::new(); node_n];
-    let mut crep_meta_send: Vec<Vec<u64>> = vec![Vec::new(); node_n];
+    // One flat accumulator holds every source's pilot rows contiguously at
+    // `acc_off[src]` (the old code allocated one tensor per source).
+    acc_off.clear();
+    acc_off.resize(w + 1, 0);
+    let mut total_pilots = 0usize;
+    for src in 0..w {
+        acc_off[src] = total_pilots;
+        total_pilots += pilots_from_src[src];
+    }
+    acc_off[w] = total_pilots;
+    let mut acc = ws.take(total_pilots, hidden);
+    ensure_shell(crep_rows_send, node_n);
+    ensure_shell(crep_meta_send, node_n);
+    ensure_shell(crep_rows_recv, node_n);
+    ensure_shell(crep_meta_recv, node_n);
+    for peer in 0..node_n {
+        crep_rows_send[peer] = ws.take_f32(0);
+        crep_meta_send[peer] = ws.take_u64(0);
+    }
     for (pos, &ei) in order.iter().enumerate() {
         let e = &entries[ei];
         let out_row = mlp_out.row(pos);
-        match e.prov {
-            Prov::Pilot { src, idx } => {
-                let dst = acc[src].row_mut(idx);
-                for (d, v) in dst.iter_mut().zip(out_row) {
-                    *d += e.weight * v;
-                }
-            }
-            Prov::Replica { peer, src, idx } => {
-                crep_rows_send[peer].extend(out_row.iter().map(|v| e.weight * v));
-                crep_meta_send[peer].extend_from_slice(&[src as u64, idx as u64]);
-            }
+        if e.peer == PILOT {
+            axpy_slice(acc.row_mut(acc_off[e.src] + e.idx), e.weight, out_row);
+        } else {
+            scaled_extend(&mut crep_rows_send[e.peer], e.weight, out_row);
+            crep_meta_send[e.peer].extend_from_slice(&[e.src as u64, e.idx as u64]);
         }
     }
-    if let Some(w) = ws.as_deref_mut() {
-        w.recycle(mlp_out);
-    }
-    let crep_rows_recv = node.all_to_all_v(crep_rows_send, clock)?;
+    ws.recycle(mlp_out);
+    node.all_to_all_v_into(crep_rows_send, crep_rows_recv, clock)?;
     clock.commit("combine_a2a_intra");
-    let crep_meta_recv = node.all_to_all_v(crep_meta_send, clock)?;
+    node.all_to_all_v_into(crep_meta_send, crep_meta_recv, clock)?;
     clock.commit("combine_a2a_meta");
     for (peer, meta) in crep_meta_recv.iter().enumerate() {
         for (j, pair) in meta.chunks_exact(2).enumerate() {
             let (src, idx) = (pair[0] as usize, pair[1] as usize);
             let row = &crep_rows_recv[peer][j * hidden..(j + 1) * hidden];
-            let dst = acc[src].row_mut(idx);
-            for (d, v) in dst.iter_mut().zip(row) {
-                *d += v;
-            }
+            add_assign_slice(acc.row_mut(acc_off[src] + idx), row);
         }
     }
+    for v in crep_rows_recv.iter_mut() {
+        ws.recycle_f32(std::mem::take(v));
+    }
+    for v in crep_meta_recv.iter_mut() {
+        ws.recycle_u64(std::mem::take(v));
+    }
 
-    // Inter-node return of per-(token, node) partial sums.
-    let back_send: Vec<Vec<f32>> = acc.iter().map(|t| t.as_slice().to_vec()).collect();
-    let back_recv = ep.all_to_all_v(back_send, clock)?;
+    // Inter-node return of per-(token, node) partial sums: each source's
+    // accumulator block is contiguous, so staging is one slice copy.
+    ensure_shell(back_send, w);
+    ensure_shell(back_recv, w);
+    for src in 0..w {
+        let cnt = pilots_from_src[src];
+        let mut v = ws.take_f32(cnt * hidden);
+        v.extend_from_slice(&acc.as_slice()[acc_off[src] * hidden..(acc_off[src] + cnt) * hidden]);
+        back_send[src] = v;
+    }
+    ws.recycle(acc);
+    ep.all_to_all_v_into(back_send, back_recv, clock)?;
     clock.commit("combine_a2a_inter");
 
     // Scatter the partials (weights already applied) by the pilot order we
     // originally sent to each destination.
-    // Leased when pooled: the caller recycles it once the output is consumed.
-    let mut out = match ws {
-        Some(w) => w.take(tokens.rows(), hidden),
-        None => Tensor::zeros(tokens.rows(), hidden),
-    };
-    for (dst, idxs) in pilots_per_dst.iter().enumerate() {
+    // The output is leased: the caller recycles it once consumed.
+    let mut out = ws.take(tokens.rows(), hidden);
+    for dst in 0..w {
         let chunk = &back_recv[dst];
-        debug_assert_eq!(chunk.len(), idxs.len() * hidden);
-        for (j, &pilot_idx) in idxs.iter().enumerate() {
-            let t = pft.token_ids[pilot_idx];
-            let row = &chunk[j * hidden..(j + 1) * hidden];
-            let dst_row = out.row_mut(t);
-            for (d, v) in dst_row.iter_mut().zip(row) {
-                *d += v;
-            }
+        let (p0, p1) = (dst_off[dst], dst_off[dst + 1]);
+        debug_assert_eq!(chunk.len(), (p1 - p0) * hidden);
+        for (j, p) in pilots[p0..p1].iter().enumerate() {
+            let t = pft.token_ids[p.idx];
+            add_assign_slice(out.row_mut(t), &chunk[j * hidden..(j + 1) * hidden]);
         }
+    }
+    for v in back_recv.iter_mut() {
+        ws.recycle_f32(std::mem::take(v));
     }
     clock.charge(
         "buffer_combine",
         cost.mem_bound_time(2.0 * (pft.len() * hidden * 4) as f64),
     );
+    ws.recycle_idx(order);
+    ws.recycle_idx(cursor);
+    ws.recycle_idx(counts);
     Ok(out)
 }
 
@@ -701,26 +859,59 @@ mod tests {
     }
 
     #[test]
-    fn pilot_meta_roundtrip() {
-        let recs = vec![
-            PilotRec {
-                expert: 3,
-                weight: 0.25,
-                replicas: vec![(5, 0.5), (6, 0.125)],
-            },
-            PilotRec {
-                expert: 9,
-                weight: 1.0,
-                replicas: vec![],
-            },
-        ];
-        let dec = decode_pilots(&encode_pilots(&recs));
-        assert_eq!(dec.len(), 2);
-        assert_eq!(dec[0].expert, 3);
-        assert_eq!(dec[0].weight, 0.25);
-        assert_eq!(dec[0].replicas, vec![(5, 0.5), (6, 0.125)]);
-        assert_eq!(dec[1].expert, 9);
-        assert!(dec[1].replicas.is_empty());
+    fn empty_pilot_group_is_an_error_not_a_panic() {
+        // Both policies used to panic on an empty group (`min().unwrap()` /
+        // `next_below(0)`); now it is a typed PipelineError.
+        let mut rng = DetRng::new(7);
+        assert_eq!(
+            select_pilot(&[], PilotPolicy::SmallestExpertId, &mut rng),
+            Err(PipelineError::EmptyPilotGroup)
+        );
+        assert_eq!(
+            select_pilot(&[], PilotPolicy::Random, &mut rng),
+            Err(PipelineError::EmptyPilotGroup)
+        );
+        // Non-empty groups still select normally.
+        let group = [(0usize, 0usize, 5usize), (0, 0, 2)];
+        assert_eq!(
+            select_pilot(&group, PilotPolicy::SmallestExpertId, &mut rng),
+            Ok(2)
+        );
+    }
+
+    #[test]
+    fn zero_routed_tokens_forward_is_ok_under_both_policies() {
+        // Capacity 0 drops every routed entry: no pilot groups exist at
+        // all, and the forward must return zeros instead of panicking.
+        let (world, s, e, k, h, f) = (4usize, 8usize, 8usize, 2usize, 12usize, 8usize);
+        let router = Router::new(h, e, k, 99);
+        let spec = MoeLayerSpec::new(e, 0);
+        for policy in [PilotPolicy::Random, PilotPolicy::SmallestExpertId] {
+            let outs = SimCluster::frontier(world).run(|ctx| {
+                let shard = ExpertShard::for_rank(ctx.rank, world, e, h, f, 98);
+                let tokens = Tensor::rand_uniform(s, h, 1.0, 900 + ctx.rank as u64);
+                let comms = RbdComms::create(&ctx.world, &mut ctx.clock).unwrap();
+                let mut rng = DetRng::new(97 + ctx.rank as u64);
+                forward_ep_rbd_with_policy(
+                    &tokens,
+                    &router,
+                    &shard,
+                    &spec,
+                    &comms,
+                    &mut rng,
+                    &mut ctx.clock,
+                    policy,
+                )
+                .unwrap()
+            });
+            for (r, o) in outs.iter().enumerate() {
+                assert_eq!(o.shape(), (s, h), "rank {r}");
+                assert!(
+                    o.as_slice().iter().all(|&v| v == 0.0),
+                    "rank {r}: dropped-everything forward must be zero"
+                );
+            }
+        }
     }
 
     fn rbd_vs_plain(world: usize, s: usize, e: usize, k: usize, cap: usize, seed: u64) {
@@ -849,9 +1040,10 @@ mod tests {
             let shard = ExpertShard::for_rank(ctx.rank, world, e, h, f, 72);
             let tokens = Tensor::rand_uniform(s, h, 1.0, 500 + ctx.rank as u64);
             let comms = RbdComms::create(&ctx.world, &mut ctx.clock).unwrap();
-            let mut ws = Workspace::default();
+            let mut state = PooledSingleState::default();
             let mut last = Tensor::zeros(0, 0);
-            for _ in 0..3 {
+            let mut warm_misses = 0;
+            for step in 0..6 {
                 // Fresh rng per step: identical pilot draws, so every step
                 // must reproduce the baseline bitwise.
                 let mut rng = DetRng::new(73 + ctx.rank as u64);
@@ -863,24 +1055,29 @@ mod tests {
                     &comms,
                     &mut rng,
                     &mut ctx.clock,
-                    &mut ws,
+                    &mut state,
                 )
                 .unwrap();
-                ws.recycle(std::mem::replace(&mut last, out));
+                state.ws.recycle(std::mem::replace(&mut last, out));
+                if step == 2 {
+                    warm_misses = state.ws.stats().pool_misses;
+                }
             }
-            let misses = ws.stats().pool_misses;
-            (last, misses)
+            let misses = state.ws.stats().pool_misses;
+            (last, warm_misses, misses)
         });
-        for (r, (a, (b, misses))) in baseline.iter().zip(&pooled).enumerate() {
+        for (r, (a, (b, warm, end))) in baseline.iter().zip(&pooled).enumerate() {
             assert!(
                 a.allclose(b, 0.0),
                 "rank {r}: pooled RBD not bitwise identical (max diff {})",
                 a.max_abs_diff(b)
             );
-            // Mid-step recycling lets later leases reuse earlier buffers, so
-            // warm-up costs only 3 fresh allocations; every step after that
-            // is served entirely from the free lists.
-            assert_eq!(*misses, 3, "rank {r}: unexpected pool misses");
+            // The free lists reach their fixed point during warm-up; every
+            // later step is served entirely from recycled buffers.
+            assert_eq!(
+                warm, end,
+                "rank {r}: pool misses kept growing after warm-up"
+            );
         }
     }
 

@@ -126,7 +126,7 @@ pub fn forward_ssmb_rbd(
     rbd: &crate::rbd::RbdComms,
     rng: &mut xmoe_tensor::DetRng,
     clock: &mut SimClock,
-) -> Result<Tensor, CommError> {
+) -> Result<Tensor, crate::pipeline::PipelineError> {
     let (start, end) = shard_range(tokens.rows(), comms.tp.size(), comms.tp.rank());
     let my_slice = tokens.slice_rows(start, end);
     let local_out = crate::rbd::forward_ep_rbd(&my_slice, router, shard, spec, rbd, rng, clock)?;

@@ -25,7 +25,57 @@
 //! forwards verbatim to `System`, upholding the same contract.
 
 use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering::Relaxed};
+
+std::thread_local! {
+    /// Depth of nested [`untracked`] scopes on this thread. `const`-initialised
+    /// `Cell<u32>` needs no lazy init and no destructor, so reading it from
+    /// inside the global allocator is safe at any point of thread lifetime.
+    static UNTRACKED: Cell<u32> = const { Cell::new(0) };
+    /// Tracked allocation calls made by *this thread* — one simulated rank in
+    /// the threaded cluster. Lets a per-rank hot path attribute its own heap
+    /// traffic exactly, where the process-wide [`CountingAlloc`] counter mixes
+    /// all ranks together.
+    static THREAD_TRACKED: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Tracked allocation calls made by the current thread since it started.
+/// Deltas fence a per-rank region of interest with no cross-rank noise.
+pub fn thread_tracked_allocs() -> u64 {
+    THREAD_TRACKED.try_with(Cell::get).unwrap_or(0)
+}
+
+/// Run `f` with allocation *counting* suspended on this thread: allocations
+/// made inside the scope are recorded under
+/// [`AllocStats::untracked_allocs`] instead of [`AllocStats::allocs`].
+/// `live_bytes` / `peak_bytes` accounting is unaffected (it must stay
+/// symmetric with deallocation, which cannot know the scope of its alloc).
+///
+/// This exists for *simulation mechanics* that have no analog on real
+/// hardware: the simulated wire (boxed channel payloads, mpsc nodes, size
+/// metadata) and the trace clock's span labels. A real NIC DMA or a CUPTI
+/// span does not call `malloc` on the training hot path, so charging those
+/// against the zero-allocation gate would make the gate unreachable for any
+/// distributed pipeline. Tensor/staging work must never run inside this
+/// scope — only transport and telemetry bookkeeping.
+pub fn untracked<R>(f: impl FnOnce() -> R) -> R {
+    struct Guard;
+    impl Drop for Guard {
+        fn drop(&mut self) {
+            UNTRACKED.with(|c| c.set(c.get() - 1));
+        }
+    }
+    UNTRACKED.with(|c| c.set(c.get() + 1));
+    let _g = Guard;
+    f()
+}
+
+/// Is the current thread inside an [`untracked`] scope? `try_with` so the
+/// allocator can call this during thread teardown without panicking.
+fn is_untracked() -> bool {
+    UNTRACKED.try_with(|c| c.get() > 0).unwrap_or(false)
+}
 
 /// Snapshot of allocator counters at a point in time.
 ///
@@ -35,9 +85,13 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering::Relaxed};
 /// high-water mark since process start (or the last [`CountingAlloc::reset_peak`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct AllocStats {
-    /// Cumulative number of allocation calls (alloc + realloc).
+    /// Cumulative number of allocation calls (alloc + realloc) made outside
+    /// any [`untracked`] scope — the hot-path gate reads this.
     pub allocs: u64,
-    /// Bytes currently allocated and not yet freed.
+    /// Allocation calls made inside an [`untracked`] scope (simulated wire
+    /// and trace mechanics). Telemetry only; never gated.
+    pub untracked_allocs: u64,
+    /// Bytes currently allocated and not yet freed (tracked + untracked).
     pub live_bytes: usize,
     /// High-water mark of `live_bytes`.
     pub peak_bytes: usize,
@@ -46,6 +100,7 @@ pub struct AllocStats {
 /// A counting wrapper around the system allocator. See the module docs.
 pub struct CountingAlloc {
     allocs: AtomicU64,
+    untracked_allocs: AtomicU64,
     live: AtomicUsize,
     peak: AtomicUsize,
 }
@@ -55,6 +110,7 @@ impl CountingAlloc {
     pub const fn new() -> Self {
         Self {
             allocs: AtomicU64::new(0),
+            untracked_allocs: AtomicU64::new(0),
             live: AtomicUsize::new(0),
             peak: AtomicUsize::new(0),
         }
@@ -64,6 +120,7 @@ impl CountingAlloc {
     pub fn stats(&self) -> AllocStats {
         AllocStats {
             allocs: self.allocs.load(Relaxed),
+            untracked_allocs: self.untracked_allocs.load(Relaxed),
             live_bytes: self.live.load(Relaxed),
             peak_bytes: self.peak.load(Relaxed),
         }
@@ -76,7 +133,12 @@ impl CountingAlloc {
     }
 
     fn on_alloc(&self, size: usize) {
-        self.allocs.fetch_add(1, Relaxed);
+        if is_untracked() {
+            self.untracked_allocs.fetch_add(1, Relaxed);
+        } else {
+            self.allocs.fetch_add(1, Relaxed);
+            let _ = THREAD_TRACKED.try_with(|c| c.set(c.get() + 1));
+        }
         let live = self.live.fetch_add(size, Relaxed) + size;
         self.peak.fetch_max(live, Relaxed);
     }
@@ -115,7 +177,11 @@ unsafe impl GlobalAlloc for CountingAlloc {
         let p = unsafe { System.realloc(ptr, layout, new_size) };
         if !p.is_null() {
             // Count as one allocation event; adjust live bytes by the delta.
-            self.allocs.fetch_add(1, Relaxed);
+            if is_untracked() {
+                self.untracked_allocs.fetch_add(1, Relaxed);
+            } else {
+                self.allocs.fetch_add(1, Relaxed);
+            }
             if new_size >= layout.size() {
                 let live = self.live.fetch_add(new_size - layout.size(), Relaxed)
                     + (new_size - layout.size());

@@ -341,6 +341,85 @@ pub fn scale_assign(a: &mut Tensor, s: f32) {
     }
 }
 
+/// `dst[i] += w * src[i]` over a row slice, unrolled into 8 independent
+/// lanes so the compiler maps it onto SIMD mul-adds. Unlike the dot-product
+/// microkernel above, every element here is an *independent* accumulation —
+/// no cross-lane reduction — so the lane layout is bitwise identical to the
+/// naive scalar loop for any length. This is the replica-merge/combine
+/// kernel of the RBD pipeline.
+pub fn axpy_slice(dst: &mut [f32], w: f32, src: &[f32]) {
+    const LANES: usize = 8;
+    assert_eq!(dst.len(), src.len(), "axpy length mismatch");
+    let d_chunks = dst.chunks_exact_mut(LANES);
+    let s_chunks = src.chunks_exact(LANES);
+    for (d, s) in d_chunks.into_remainder().iter_mut().zip(s_chunks.remainder()) {
+        *d += w * s;
+    }
+    let d_chunks = dst.chunks_exact_mut(LANES);
+    let s_chunks = src.chunks_exact(LANES);
+    for (dc, sc) in d_chunks.zip(s_chunks) {
+        for l in 0..LANES {
+            dc[l] += w * sc[l];
+        }
+    }
+}
+
+/// `dst[i] += src[i]` over a row slice, 8-lane unrolled; bitwise identical
+/// to the scalar loop (independent elements, no reduction).
+pub fn add_assign_slice(dst: &mut [f32], src: &[f32]) {
+    const LANES: usize = 8;
+    assert_eq!(dst.len(), src.len(), "add_assign length mismatch");
+    let d_chunks = dst.chunks_exact_mut(LANES);
+    let s_chunks = src.chunks_exact(LANES);
+    for (d, s) in d_chunks.into_remainder().iter_mut().zip(s_chunks.remainder()) {
+        *d += s;
+    }
+    let d_chunks = dst.chunks_exact_mut(LANES);
+    let s_chunks = src.chunks_exact(LANES);
+    for (dc, sc) in d_chunks.zip(s_chunks) {
+        for l in 0..LANES {
+            dc[l] += sc[l];
+        }
+    }
+}
+
+/// Append `w * src[i]` for every element of `src` to `dst` (the replica
+/// return staging kernel): reserve-then-extend in 8-lane blocks. Values are
+/// identical to `dst.extend(src.iter().map(|v| w * v))`.
+pub fn scaled_extend(dst: &mut Vec<f32>, w: f32, src: &[f32]) {
+    const LANES: usize = 8;
+    dst.reserve(src.len());
+    let chunks = src.chunks_exact(LANES);
+    let rem = chunks.remainder();
+    for sc in chunks {
+        let mut lanes = [0.0f32; LANES];
+        for l in 0..LANES {
+            lanes[l] = w * sc[l];
+        }
+        dst.extend_from_slice(&lanes);
+    }
+    for &s in rem {
+        dst.push(w * s);
+    }
+}
+
+/// The combine-weight backward kernel shared by the training paths:
+/// returns `<dy, y>` and scales `dy *= w` in one pass.
+///
+/// Deliberately a *scalar sequential* loop: the dot product is a cross-lane
+/// reduction, and the bitwise-pinned training trajectories forbid
+/// reassociating it. Only the elementwise half would vectorise, which is not
+/// worth splitting the fused pass for.
+pub fn dot_and_scale(dy: &mut [f32], y: &[f32], w: f32) -> f32 {
+    debug_assert_eq!(dy.len(), y.len(), "dot_and_scale length mismatch");
+    let mut dot = 0.0f32;
+    for (dv, yv) in dy.iter_mut().zip(y) {
+        dot += *dv * yv;
+        *dv *= w;
+    }
+    dot
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

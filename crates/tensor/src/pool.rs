@@ -48,6 +48,8 @@ pub struct WorkspaceStats {
     pub retained_f32: usize,
     /// `usize` capacity currently held in the index free list.
     pub retained_idx: usize,
+    /// `u64` capacity currently held in the metadata free list.
+    pub retained_u64: usize,
     /// High-water mark of `f32` capacity ever handed out simultaneously.
     pub peak_leased_f32: usize,
 }
@@ -57,6 +59,7 @@ pub struct WorkspaceStats {
 pub struct Workspace {
     free_f32: Vec<Vec<f32>>,
     free_idx: Vec<Vec<usize>>,
+    free_u64: Vec<Vec<u64>>,
     takes: u64,
     pool_misses: u64,
     leased_f32: usize,
@@ -117,6 +120,59 @@ impl Workspace {
         self.free_idx.push(buf);
     }
 
+    /// Lease an **empty** flat `f32` buffer with capacity at least `cap`.
+    ///
+    /// This is the wire-staging lease: callers `extend` into it rather than
+    /// indexing, so it comes back empty instead of zero-filled. The backing
+    /// store is the same free list as [`Workspace::take`] — buffers received
+    /// over the simulated wire and recycled here feed later tensor leases
+    /// and vice versa, which is what keeps a distributed exchange's buffer
+    /// population closed (every rank recycles as many inner buffers as it
+    /// leases per step).
+    pub fn take_f32(&mut self, cap: usize) -> Vec<f32> {
+        self.takes += 1;
+        let mut buf = match self.free_f32.pop() {
+            Some(b) => b,
+            None => {
+                self.pool_misses += 1;
+                Vec::new()
+            }
+        };
+        buf.clear();
+        buf.reserve(cap);
+        self.leased_f32 += buf.capacity();
+        self.peak_leased_f32 = self.peak_leased_f32.max(self.leased_f32);
+        buf
+    }
+
+    /// Return a flat `f32` buffer to the free list (same list as recycled
+    /// tensors).
+    pub fn recycle_f32(&mut self, buf: Vec<f32>) {
+        self.leased_f32 = self.leased_f32.saturating_sub(buf.capacity());
+        self.free_f32.push(buf);
+    }
+
+    /// Lease an **empty** `u64` metadata buffer with capacity at least `cap`
+    /// (the pilot/replica metadata streams of the RBD exchanges).
+    pub fn take_u64(&mut self, cap: usize) -> Vec<u64> {
+        self.takes += 1;
+        let mut buf = match self.free_u64.pop() {
+            Some(b) => b,
+            None => {
+                self.pool_misses += 1;
+                Vec::new()
+            }
+        };
+        buf.clear();
+        buf.reserve(cap);
+        buf
+    }
+
+    /// Return a `u64` metadata buffer to the free list.
+    pub fn recycle_u64(&mut self, buf: Vec<u64>) {
+        self.free_u64.push(buf);
+    }
+
     /// Snapshot the arena counters.
     pub fn stats(&self) -> WorkspaceStats {
         WorkspaceStats {
@@ -124,6 +180,7 @@ impl Workspace {
             pool_misses: self.pool_misses,
             retained_f32: self.free_f32.iter().map(Vec::capacity).sum(),
             retained_idx: self.free_idx.iter().map(Vec::capacity).sum(),
+            retained_u64: self.free_u64.iter().map(Vec::capacity).sum(),
             peak_leased_f32: self.peak_leased_f32,
         }
     }
@@ -133,6 +190,7 @@ impl Workspace {
     pub fn reset(&mut self) {
         self.free_f32.clear();
         self.free_idx.clear();
+        self.free_u64.clear();
     }
 }
 
@@ -199,6 +257,30 @@ mod tests {
         let s = ws.stats();
         assert_eq!(s.retained_f32, 0);
         assert_eq!(s.takes, 1, "reset preserves counters");
+    }
+
+    #[test]
+    fn flat_leases_share_the_f32_free_list_with_tensors() {
+        let mut ws = Workspace::new();
+        let t = ws.take(4, 4);
+        ws.recycle(t);
+        // The flat lease reuses the recycled tensor's backing buffer.
+        let b = ws.take_f32(10);
+        assert!(b.is_empty());
+        assert!(b.capacity() >= 10);
+        ws.recycle_f32(b);
+        let t2 = ws.take(2, 5);
+        assert_eq!(t2.len(), 10);
+        assert_eq!(ws.stats().pool_misses, 1, "one backing buffer serves all");
+        ws.recycle(t2);
+
+        let m = ws.take_u64(6);
+        assert!(m.is_empty() && m.capacity() >= 6);
+        ws.recycle_u64(m);
+        let m2 = ws.take_u64(4);
+        assert!(m2.capacity() >= 6, "u64 lease reuses the recycled buffer");
+        ws.recycle_u64(m2);
+        assert!(ws.stats().retained_u64 >= 6);
     }
 
     #[test]

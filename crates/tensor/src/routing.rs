@@ -74,11 +74,9 @@ pub fn scatter_rows_scaled(
     for i in 0..src.rows() {
         let w = combine_weights[i];
         let dst = token_ids[i];
-        let src_row = src.row(i);
-        let out_row = out.row_mut(dst);
-        for (o, s) in out_row.iter_mut().zip(src_row) {
-            *o += w * s;
-        }
+        // Per-row accumulation is elementwise (no cross-lane reduction), so
+        // the 8-lane kernel is bitwise identical to a scalar loop.
+        crate::ops::axpy_slice(out.row_mut(dst), w, src.row(i));
     }
 }
 
@@ -96,11 +94,7 @@ pub fn scatter_rows_unit(src: &Tensor, token_ids: &[usize], out: &mut Tensor) {
     );
     assert_eq!(src.cols(), out.cols(), "scatter: hidden-dim mismatch");
     for (i, &dst) in token_ids.iter().enumerate() {
-        let src_row = src.row(i);
-        let out_row = out.row_mut(dst);
-        for (o, s) in out_row.iter_mut().zip(src_row) {
-            *o += s;
-        }
+        crate::ops::add_assign_slice(out.row_mut(dst), src.row(i));
     }
 }
 

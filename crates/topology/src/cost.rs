@@ -156,7 +156,11 @@ impl CostModel {
             return 0.0;
         }
         let spec = self.topo.spec();
-        let splits = self.traffic_splits(group, bytes);
+        // Pricing is simulation machinery with no malloc analog on real
+        // hardware (the split table models the NIC, it isn't training
+        // state), so its scratch Vec lives under the untracked counter —
+        // same policy as the simulated wire in the collectives crate.
+        let splits = xmoe_tensor::untracked(|| self.traffic_splits(group, bytes));
         let mut worst: f64 = 0.0;
         let mut any_inter = false;
         let mut any_intra = false;

@@ -325,12 +325,7 @@ impl DistMoe {
             let w = ctx.route.pft.combine_weights[i];
             let y_row = ctx.combine_in.row(i);
             let dc = d_combine.row_mut(i);
-            let mut dot = 0.0f32;
-            for (dv, yv) in dc.iter_mut().zip(y_row) {
-                dot += *dv * yv;
-                *dv *= w;
-            }
-            d_w[i] = dot;
+            d_w[i] = xmoe_tensor::dot_and_scale(dc, y_row, w);
         }
 
         // Backward all-to-all #1: gradients to the expert side.
@@ -416,12 +411,7 @@ impl DistMoe {
             let w = ctx.route.pft.combine_weights[i];
             let y_row = ctx.combine_in.row(i);
             let dc = d_combine.row_mut(i);
-            let mut dot = 0.0f32;
-            for (dv, yv) in dc.iter_mut().zip(y_row) {
-                dot += *dv * yv;
-                *dv *= w;
-            }
-            d_w[i] = dot;
+            d_w[i] = xmoe_tensor::dot_and_scale(dc, y_row, w);
         }
 
         let shard = &self.shard;

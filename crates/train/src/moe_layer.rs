@@ -320,12 +320,7 @@ impl TrainableMoe {
             let w = ctx.pft.combine_weights[i];
             let y_row = ctx.y.row(i);
             let dy_row = d_y.row_mut(i);
-            let mut dot = 0.0f32;
-            for (dv, yv) in dy_row.iter_mut().zip(y_row) {
-                dot += *dv * yv;
-                *dv *= w;
-            }
-            d_w[i] = dot;
+            d_w[i] = xmoe_tensor::dot_and_scale(dy_row, y_row, w);
         }
 
         // Per-expert FFN backward over contiguous segments.
@@ -549,12 +544,7 @@ impl TrainableMoe {
             let w = st.ctx.pft.combine_weights[i];
             let y_row = st.ctx.y.row(i);
             let dy_row = d_y.row_mut(i);
-            let mut dot = 0.0f32;
-            for (dv, yv) in dy_row.iter_mut().zip(y_row) {
-                dot += *dv * yv;
-                *dv *= w;
-            }
-            st.d_w[i] = dot;
+            st.d_w[i] = xmoe_tensor::dot_and_scale(dy_row, y_row, w);
         }
 
         // Per-expert FFN backward over contiguous segments.

@@ -6,8 +6,11 @@
 use xmoe::collectives::SimCluster;
 use xmoe::core::expert::ExpertShard;
 use xmoe::core::gating::{DropPolicy, Router};
-use xmoe::core::pipeline::{self, DenseDropOrder, MoeLayerSpec};
-use xmoe::core::rbd::{self, RbdComms};
+use xmoe::core::pipeline::{
+    self, BlockSparsePipeline, DenseDropOrder, DensePipeline, ExecCtx, MoeLayerSpec,
+    PaddingFreePipeline, Pipeline, PooledSingleState, RbdPipeline,
+};
+use xmoe::core::rbd::{self, PilotPolicy, RbdComms};
 use xmoe::core::ssmb::{self, SsmbComms};
 use xmoe::tensor::{DetRng, Tensor};
 
@@ -127,6 +130,143 @@ fn run_case(case: &Case) {
         })
     };
     check(case, &rbd_out, "RBD EP");
+}
+
+/// The unified engine surface: one config pushed through all four
+/// [`Pipeline`] impls in EP mode (dense via the weight-ranked drop order so
+/// its retention matches PFT), each against the single-rank reference. Also
+/// exercises the context axes the named entry points cannot: a pooled EP
+/// padding-free run through the trait, and the typed errors for missing or
+/// unsupported context.
+#[test]
+fn pipeline_trait_runs_all_four_impls_equivalently() {
+    let case = Case {
+        world: 4,
+        seq: 24,
+        hidden: 16,
+        ffn: 8,
+        experts: 8,
+        top_k: 3,
+        capacity: 10_000,
+        seed: 111,
+    };
+    let router = Router::new(case.hidden, case.experts, case.top_k, case.seed);
+    let spec = MoeLayerSpec::new(case.experts, case.capacity);
+    let outs = {
+        let (router, spec) = (&router, &spec);
+        SimCluster::frontier(case.world).run(move |ctx| {
+            let shard = ExpertShard::for_rank(
+                ctx.rank,
+                case.world,
+                case.experts,
+                case.hidden,
+                case.ffn,
+                case.seed + 1,
+            );
+            let tokens = Tensor::rand_uniform(case.seq, case.hidden, 1.0, 5000 + ctx.rank as u64);
+            let dense = DensePipeline {
+                order: DenseDropOrder::WeightRanked,
+            }
+            .forward(
+                &tokens,
+                router,
+                &shard,
+                spec,
+                &mut ExecCtx::ep(&ctx.world, &mut ctx.clock),
+            )
+            .unwrap();
+            let pft = PaddingFreePipeline
+                .forward(
+                    &tokens,
+                    router,
+                    &shard,
+                    spec,
+                    &mut ExecCtx::ep(&ctx.world, &mut ctx.clock),
+                )
+                .unwrap();
+            // Pooled + overlapped EP padding-free through the same trait
+            // call — context properties, not new entry points.
+            let mut state = PooledSingleState::default();
+            let pft_pooled_overlap = PaddingFreePipeline
+                .forward(
+                    &tokens,
+                    router,
+                    &shard,
+                    spec,
+                    &mut ExecCtx::ep(&ctx.world, &mut ctx.clock)
+                        .with_state(&mut state)
+                        .with_overlap(2),
+                )
+                .unwrap();
+            let blocksparse = BlockSparsePipeline { block: 4 }
+                .forward(
+                    &tokens,
+                    router,
+                    &shard,
+                    spec,
+                    &mut ExecCtx::ep(&ctx.world, &mut ctx.clock),
+                )
+                .unwrap();
+            let comms = RbdComms::create(&ctx.world, &mut ctx.clock).unwrap();
+            let mut rng = DetRng::new(case.seed + 77 + ctx.rank as u64);
+            let rbd_pipe = RbdPipeline {
+                policy: PilotPolicy::Random,
+            };
+            let rbd_out = rbd_pipe
+                .forward(
+                    &tokens,
+                    router,
+                    &shard,
+                    spec,
+                    &mut ExecCtx::hier(&comms, &mut ctx.clock).with_rng(&mut rng),
+                )
+                .unwrap();
+            // Context contract violations come back as typed errors.
+            assert!(matches!(
+                rbd_pipe.forward(&tokens, router, &shard, spec, &mut ExecCtx::single()),
+                Err(pipeline::PipelineError::MissingCtx(_))
+            ));
+            assert!(matches!(
+                DensePipeline {
+                    order: DenseDropOrder::WeightRanked,
+                }
+                .forward(
+                    &tokens,
+                    router,
+                    &shard,
+                    spec,
+                    &mut ExecCtx::ep(&ctx.world, &mut ctx.clock).with_overlap(2),
+                ),
+                Err(pipeline::PipelineError::Unsupported(_))
+            ));
+            (dense, pft, pft_pooled_overlap, blocksparse, rbd_out)
+        })
+    };
+    let (dense, pft, pft_po, bs, rbd_out): (Vec<_>, Vec<_>, Vec<_>, Vec<_>, Vec<_>) =
+        outs.into_iter().fold(
+            (vec![], vec![], vec![], vec![], vec![]),
+            |(mut a, mut b, mut c, mut d, mut e), t| {
+                a.push(t.0);
+                b.push(t.1);
+                c.push(t.2);
+                d.push(t.3);
+                e.push(t.4);
+                (a, b, c, d, e)
+            },
+        );
+    check(&case, &dense, "trait dense EP");
+    check(&case, &pft, "trait pft EP");
+    check(&case, &pft_po, "trait pft EP pooled+overlap");
+    check(&case, &bs, "trait blocksparse EP");
+    check(&case, &rbd_out, "trait rbd EP");
+    // The pooled/overlapped run must be bitwise the serial owned run, not
+    // merely close — same guarantee the named entry points are pinned to.
+    for (rank, (a, b)) in pft.iter().zip(&pft_po).enumerate() {
+        assert!(
+            a.allclose(b, 0.0),
+            "rank {rank}: pooled+overlap trait run diverges bitwise from serial"
+        );
+    }
 }
 
 #[test]

@@ -21,7 +21,7 @@ use xmoe::core::expert::ExpertShard;
 use xmoe::core::gating::{DropPolicy, GateScratch, GatingOutput, Router, RouterGuard};
 use xmoe::core::pipeline::{self, DenseDropOrder, MoeLayerSpec, PooledSingleState};
 use xmoe::core::rbd::{self, RbdComms};
-use xmoe::tensor::{DetRng, Tensor, Workspace};
+use xmoe::tensor::{DetRng, Tensor};
 use xmoe::train::{MoeTrainScratch, TrainableMoe};
 
 fn bits(t: &Tensor) -> Vec<u32> {
@@ -149,7 +149,7 @@ fn rbd_forward_trajectory_is_bitwise_identical() {
     SimCluster::frontier(world).run(move |ctx| {
         let shard = ExpertShard::for_rank(ctx.rank, world, e, h, f, 0x7D11);
         let comms = RbdComms::create(&ctx.world, &mut ctx.clock).expect("comms");
-        let mut ws = Workspace::new();
+        let mut state = PooledSingleState::default();
         let mut x = Tensor::rand_uniform(s, h, 1.0, 0x7D12 + ctx.rank as u64);
         for step in 0..4 {
             // Identical pilot RNG per call so both paths pick the same pilots.
@@ -167,7 +167,7 @@ fn rbd_forward_trajectory_is_bitwise_identical() {
                 &comms,
                 &mut rng_b,
                 &mut ctx.clock,
-                &mut ws,
+                &mut state,
             )
             .expect("pooled step");
             assert_eq!(
@@ -177,7 +177,7 @@ fn rbd_forward_trajectory_is_bitwise_identical() {
                 ctx.rank
             );
             x = chain(&pooled, &x);
-            ws.recycle(pooled);
+            state.ws.recycle(pooled);
         }
     });
 }

@@ -9,10 +9,12 @@
 //! (`thread::scope` spawns allocate): all matmuls under the 64^3 serial
 //! cutoff and all gathers under the serial row threshold.
 
+use xmoe::collectives::SimCluster;
 use xmoe::core::expert::ExpertShard;
 use xmoe::core::gating::{DropPolicy, Router};
 use xmoe::core::pipeline::{self, MoeLayerSpec, PooledSingleState};
-use xmoe::tensor::{CountingAlloc, Tensor};
+use xmoe::core::rbd::{self, RbdComms};
+use xmoe::tensor::{CountingAlloc, DetRng, Tensor};
 use xmoe::train::{MoeTrainScratch, TrainableMoe};
 
 #[global_allocator]
@@ -97,4 +99,53 @@ fn steady_state_pooled_hot_path_allocates_nothing() {
         after.live_bytes, before.live_bytes,
         "steady-state forward live bytes drifted"
     );
+
+    // -- distributed pooled RBD forward ----------------------------------
+    // Each simulated rank is one thread, so `thread_tracked_allocs` fences
+    // exactly the rank's own hot path — no barriers, no cross-thread
+    // harness noise on the process-wide counter. Wire plumbing a rank
+    // performs on behalf of the exchange is untracked (no malloc analog on
+    // real hardware); tensor/staging work a rank performs is tracked and
+    // attributed to that rank. The rng seed cycle recurs (period matches
+    // the input cycle) so every leased capacity reaches a fixed point
+    // during warm-up — the wire buffers circulate between the ranks'
+    // pools, so recurrence, not per-rank reuse, is what makes the
+    // capacities converge.
+    let world = 4usize;
+    let router = Router::new(h, e, k, 0x2E60);
+    let spec = MoeLayerSpec::new(e, 10_000);
+    let counted = {
+        let (router, spec) = (&router, &spec);
+        SimCluster::frontier(world).run(move |ctx| {
+            let shard = ExpertShard::for_rank(ctx.rank, world, e, h, f, 0x2E61);
+            let comms = RbdComms::create(&ctx.world, &mut ctx.clock).expect("rbd comms");
+            let tokens = Tensor::rand_uniform(s, h, 1.0, 0x2E62 + ctx.rank as u64);
+            let mut state = PooledSingleState::default();
+            let seed_of = |step: usize| 0x2E63 + ((step % 4) * world + ctx.rank) as u64;
+            let rbd_step = |state: &mut PooledSingleState,
+                                clock: &mut xmoe::collectives::SimClock,
+                                step: usize| {
+                let mut rng = DetRng::new(seed_of(step));
+                let out = rbd::forward_ep_rbd_pooled(
+                    &tokens, router, &shard, spec, &comms, &mut rng, clock, state,
+                )
+                .expect("rbd step");
+                state.ws.recycle(out);
+            };
+            for step in 0..12 {
+                rbd_step(&mut state, &mut ctx.clock, step);
+            }
+            let a0 = xmoe::tensor::thread_tracked_allocs();
+            for step in 0..8 {
+                rbd_step(&mut state, &mut ctx.clock, step);
+            }
+            xmoe::tensor::thread_tracked_allocs() - a0
+        })
+    };
+    for (rank, &d) in counted.iter().enumerate() {
+        assert_eq!(
+            d, 0,
+            "steady-state pooled RBD step hit the heap on rank {rank}"
+        );
+    }
 }
