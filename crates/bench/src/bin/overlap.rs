@@ -33,6 +33,7 @@
 
 use std::process::ExitCode;
 
+use xmoe_bench::report;
 use xmoe_bench::{fmt_time, print_table, shape_check};
 use xmoe_collectives::SimCluster;
 use xmoe_core::expert::ExpertShard;
@@ -149,13 +150,7 @@ fn run_config(top_k: usize, skew: f32) -> Record {
     }
 }
 
-fn json_escape_free(s: &str) -> &str {
-    // All strings we emit are ASCII identifiers; assert instead of escaping.
-    assert!(s.chars().all(|c| c.is_ascii() && c != '"' && c != '\\'));
-    s
-}
-
-fn write_json(path: &str, records: &[Record]) -> std::io::Result<()> {
+fn render_json(records: &[Record]) -> String {
     let mut out = String::from("[\n");
     for (i, r) in records.iter().enumerate() {
         let config = format!(
@@ -164,7 +159,7 @@ fn write_json(path: &str, records: &[Record]) -> std::io::Result<()> {
                 "\"tokens_per_rank\": {}, \"hidden\": {}, \"ffn\": {}, ",
                 "\"experts\": {}, \"top_k\": {}, \"skew\": {}, \"chunks\": {}}}"
             ),
-            json_escape_free(scaled_frontier().name),
+            report::json_safe(scaled_frontier().name),
             WORLD,
             TOKENS_PER_RANK,
             HIDDEN,
@@ -184,72 +179,23 @@ fn write_json(path: &str, records: &[Record]) -> std::io::Result<()> {
         ));
     }
     out.push_str("]\n");
-    std::fs::write(path, out)
+    out
 }
 
 /// Schema check for `BENCH_overlap.json`: a top-level array of objects, each
 /// carrying the keys `config`, `serial_step_s`, `overlap_step_s`, `speedup`
 /// with finite positive scalar times. Returns the number of records.
-fn validate(path: &str) -> Result<usize, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
-    let trimmed = text.trim();
-    if !trimmed.starts_with('[') || !trimmed.ends_with(']') {
-        return Err("top level is not a JSON array".into());
-    }
-    // Split into top-level objects by brace depth (no strings with braces are
-    // emitted, asserted at write time).
-    let inner = &trimmed[1..trimmed.len() - 1];
-    let mut objects = Vec::new();
-    let mut depth = 0usize;
-    let mut start = None;
-    for (i, c) in inner.char_indices() {
-        match c {
-            '{' => {
-                if depth == 0 {
-                    start = Some(i);
-                }
-                depth += 1;
-            }
-            '}' => {
-                depth = depth.checked_sub(1).ok_or("unbalanced braces")?;
-                if depth == 0 {
-                    let s = start.take().ok_or("unbalanced braces")?;
-                    objects.push(&inner[s..=i]);
-                }
-            }
-            _ => {}
-        }
-    }
-    if depth != 0 {
-        return Err("unbalanced braces".into());
-    }
-    if objects.is_empty() {
-        return Err("no records".into());
-    }
-    let scalar = |obj: &str, key: &str| -> Result<f64, String> {
-        let pat = format!("\"{key}\":");
-        let at = obj.find(&pat).ok_or(format!("missing key {key}"))?;
-        let rest = obj[at + pat.len()..].trim_start();
-        let end = rest
-            .find([',', '}'])
-            .ok_or(format!("unterminated value for {key}"))?;
-        rest[..end]
-            .trim()
-            .parse::<f64>()
-            .map_err(|e| format!("bad number for {key}: {e}"))
-    };
+fn validate(text: &str) -> Result<usize, String> {
+    let objects = report::split_records(text)?;
     for (i, obj) in objects.iter().enumerate() {
         if !obj.contains("\"config\":") {
             return Err(format!("record {i}: missing key config"));
         }
-        let s = scalar(obj, "serial_step_s")?;
-        let o = scalar(obj, "overlap_step_s")?;
-        let sp = scalar(obj, "speedup")?;
-        for (k, v) in [("serial_step_s", s), ("overlap_step_s", o), ("speedup", sp)] {
-            if !v.is_finite() || v <= 0.0 {
-                return Err(format!("record {i}: {k} = {v} is not a positive scalar"));
-            }
-        }
+        let s = report::positive_scalar(obj, "serial_step_s")
+            .map_err(|e| format!("record {i}: {e}"))?;
+        let o = report::positive_scalar(obj, "overlap_step_s")
+            .map_err(|e| format!("record {i}: {e}"))?;
+        let sp = report::positive_scalar(obj, "speedup").map_err(|e| format!("record {i}: {e}"))?;
         if (sp - s / o).abs() > 1e-3 * sp {
             return Err(format!("record {i}: speedup inconsistent with step times"));
         }
@@ -268,16 +214,7 @@ fn main() -> ExitCode {
             "--out" => out_path = it.next().expect("--out needs a path").clone(),
             "--validate" => {
                 let path = it.next().expect("--validate needs a path");
-                return match validate(path) {
-                    Ok(n) => {
-                        println!("{path}: OK ({n} records)");
-                        ExitCode::SUCCESS
-                    }
-                    Err(e) => {
-                        eprintln!("{path}: INVALID — {e}");
-                        ExitCode::FAILURE
-                    }
-                };
+                return report::validate_file_cli(path, validate);
             }
             other => {
                 eprintln!("unknown flag {other} (expected --smoke | --out <p> | --validate <p>)");
@@ -340,11 +277,7 @@ fn main() -> ExitCode {
         ),
     );
 
-    if let Err(e) = write_json(&out_path, &records) {
-        eprintln!("failed to write {out_path}: {e}");
-        return ExitCode::FAILURE;
-    }
-    match validate(&out_path) {
+    match report::write_validated(&out_path, &render_json(&records), validate) {
         Ok(n) => println!("wrote {out_path} ({n} records, schema OK)"),
         Err(e) => {
             eprintln!("{out_path} failed self-validation: {e}");

@@ -1,0 +1,382 @@
+//! `bench serving` — continuous-batching inference under naive vs
+//! histogram-optimized expert placement.
+//!
+//! Sweeps {placement: naive, optimized} × {arrival: steady, bursty,
+//! diurnal} × {skew: uniform, skewed} through the `xmoe_serve` engine: a
+//! deterministic request trace drives admission-controlled continuous
+//! batching over the padding-free pipeline on a simulated Frontier slice,
+//! while the optimized runs profile per-expert routing histograms and
+//! re-solve expert→rank placement against the topology cost model.
+//!
+//! The headline claim (gated at exit *and* in `--validate`): under skewed
+//! traffic, the MoETuner-style placement strictly reduces both priced
+//! off-node bytes and p99 latency versus naive round-robin — and the whole
+//! simulation is bitwise-reproducible for a fixed seed, checked by running
+//! one configuration twice.
+//!
+//! Output: a table on stdout plus `BENCH_serving.json` — a JSON array
+//! whose records carry a `config` object (placement/arrival/skew/world)
+//! and the scalars `p50_s`, `p99_s`, `goodput_tps`, `deadline_miss_rate`,
+//! `off_node_bytes`, `completed`, `rejected`, `resolves`.
+//!
+//! Flags: `--smoke` (fewer requests + arrivals, for CI), `--out <path>`,
+//! `--validate <path>` (schema-check an existing file and exit).
+
+use std::process::ExitCode;
+
+use xmoe_bench::report;
+use xmoe_bench::{fmt_time, print_table, shape_check};
+use xmoe_core::config::MoeModelConfig;
+use xmoe_serve::{serve, ArrivalProcess, PlacementMode, ServeConfig, ServeReport, TrafficConfig};
+
+const WORLD: usize = 32;
+const SEED: u64 = 42;
+const RATE_RPS: f64 = 400.0;
+const SKEW: f64 = 8.0;
+const TOPIC_WIDTH: usize = 6;
+
+/// The swept model: 64 experts over 32 ranks (4 Frontier nodes), top-k 6.
+fn model() -> MoeModelConfig {
+    MoeModelConfig::custom("serve-bench", 2048, 2048, 1408, 64, 6, 28)
+}
+
+struct Record {
+    placement: PlacementMode,
+    arrival: &'static str,
+    skew: f64,
+    requests: usize,
+    rep: ServeReport,
+}
+
+fn arrivals(smoke: bool) -> Vec<(&'static str, ArrivalProcess)> {
+    let mut v = vec![
+        ("steady", ArrivalProcess::Steady),
+        (
+            "bursty",
+            ArrivalProcess::Bursty {
+                on_s: 0.05,
+                off_s: 0.3,
+                burst_mult: 10.0,
+            },
+        ),
+    ];
+    if !smoke {
+        v.push((
+            "diurnal",
+            ArrivalProcess::Diurnal {
+                period_s: 0.5,
+                amplitude: 0.8,
+            },
+        ));
+    }
+    v
+}
+
+fn run_config(
+    placement: PlacementMode,
+    arrival: (&'static str, ArrivalProcess),
+    skew: f64,
+    requests: usize,
+) -> Record {
+    let mut traffic = TrafficConfig::steady(RATE_RPS, SEED).with_arrival(arrival.1);
+    if skew > 0.0 {
+        traffic = traffic.with_skew(skew, TOPIC_WIDTH);
+    }
+    let cfg = ServeConfig::new(model(), WORLD, traffic)
+        .with_requests(requests)
+        .with_placement(placement);
+    Record {
+        placement,
+        arrival: arrival.0,
+        skew,
+        requests,
+        rep: serve(cfg),
+    }
+}
+
+fn render_json(records: &[Record]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        let config = format!(
+            concat!(
+                "{{\"placement\": \"{}\", \"arrival\": \"{}\", \"skew\": {}, ",
+                "\"rate_rps\": {}, \"requests\": {}, \"world\": {}, ",
+                "\"experts\": {}, \"top_k\": {}}}"
+            ),
+            report::json_safe(r.placement.name()),
+            report::json_safe(r.arrival),
+            r.skew,
+            RATE_RPS,
+            r.requests,
+            WORLD,
+            model().num_experts,
+            model().top_k,
+        );
+        out.push_str(&format!(
+            concat!(
+                "  {{\"config\": {}, \"p50_s\": {:.9}, \"p99_s\": {:.9}, ",
+                "\"goodput_tps\": {:.3}, \"deadline_miss_rate\": {:.6}, ",
+                "\"off_node_bytes\": {}, \"completed\": {}, \"rejected\": {}, ",
+                "\"resolves\": {}}}{}\n"
+            ),
+            config,
+            r.rep.p50_s,
+            r.rep.p99_s,
+            r.rep.goodput_tps,
+            r.rep.deadline_miss_rate,
+            r.rep.off_node_bytes,
+            r.rep.completed,
+            r.rep.rejected,
+            r.rep.resolves,
+            if i + 1 < records.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Schema + claim check for `BENCH_serving.json`. Structural: every record
+/// carries the serving keys with sane ranges and `completed + rejected ==
+/// requests`. Semantic (the CI gate): for every (arrival, skew > 0) pair
+/// present under both placements, the optimized run must strictly cut both
+/// off-node bytes and p99 latency versus naive, and must never lose
+/// goodput.
+fn validate(text: &str) -> Result<usize, String> {
+    let objects = report::split_records(text)?;
+    struct Row {
+        arrival_skewed: Option<(String, f64, bool)>,
+        p99: f64,
+        off: f64,
+        goodput: f64,
+    }
+    let mut rows = Vec::new();
+    for (i, obj) in objects.iter().enumerate() {
+        if !obj.contains("\"config\":") || !obj.contains("\"placement\":") {
+            return Err(format!("record {i}: missing config.placement"));
+        }
+        let p50 = report::positive_scalar(obj, "p50_s").map_err(|e| format!("record {i}: {e}"))?;
+        let p99 = report::positive_scalar(obj, "p99_s").map_err(|e| format!("record {i}: {e}"))?;
+        if p99 < p50 {
+            return Err(format!("record {i}: p99 {p99} below p50 {p50}"));
+        }
+        let goodput = report::scalar(obj, "goodput_tps").map_err(|e| format!("record {i}: {e}"))?;
+        let miss =
+            report::scalar(obj, "deadline_miss_rate").map_err(|e| format!("record {i}: {e}"))?;
+        if !(0.0..=1.0).contains(&miss) {
+            return Err(format!(
+                "record {i}: deadline_miss_rate {miss} outside [0, 1]"
+            ));
+        }
+        let off = report::scalar(obj, "off_node_bytes").map_err(|e| format!("record {i}: {e}"))?;
+        let completed = report::scalar(obj, "completed").map_err(|e| format!("record {i}: {e}"))?;
+        let rejected = report::scalar(obj, "rejected").map_err(|e| format!("record {i}: {e}"))?;
+        let requests = report::scalar(obj, "requests").map_err(|e| format!("record {i}: {e}"))?;
+        if completed + rejected != requests {
+            return Err(format!(
+                "record {i}: completed {completed} + rejected {rejected} != requests {requests}"
+            ));
+        }
+        let skew = report::scalar(obj, "skew").map_err(|e| format!("record {i}: {e}"))?;
+        let arrival = ["steady", "bursty", "diurnal"]
+            .iter()
+            .find(|a| obj.contains(&format!("\"arrival\": \"{a}\"")))
+            .ok_or_else(|| format!("record {i}: unknown arrival process"))?;
+        let optimized = obj.contains("\"placement\": \"optimized\"");
+        if !optimized && !obj.contains("\"placement\": \"naive\"") {
+            return Err(format!("record {i}: unknown placement"));
+        }
+        rows.push(Row {
+            arrival_skewed: Some((arrival.to_string(), skew, optimized)),
+            p99,
+            off,
+            goodput,
+        });
+    }
+    // The headline gate: optimized strictly beats naive on skewed pairs.
+    let mut gated_pairs = 0usize;
+    for a in &rows {
+        let Some((arr, skew, optimized)) = &a.arrival_skewed else {
+            continue;
+        };
+        if !optimized || *skew <= 0.0 {
+            continue;
+        }
+        let naive = rows.iter().find(|b| {
+            b.arrival_skewed
+                .as_ref()
+                .is_some_and(|(ba, bs, bo)| ba == arr && bs == skew && !bo)
+        });
+        if let Some(n) = naive {
+            if a.off >= n.off {
+                return Err(format!(
+                    "claim violated: optimized off-node bytes {} !< naive {} ({arr}, skew {skew})",
+                    a.off, n.off
+                ));
+            }
+            if a.p99 >= n.p99 {
+                return Err(format!(
+                    "claim violated: optimized p99 {} !< naive {} ({arr}, skew {skew})",
+                    a.p99, n.p99
+                ));
+            }
+            if a.goodput < n.goodput {
+                return Err(format!(
+                    "claim violated: optimized goodput {} < naive {} ({arr}, skew {skew})",
+                    a.goodput, n.goodput
+                ));
+            }
+            gated_pairs += 1;
+        }
+    }
+    if gated_pairs == 0 {
+        return Err("no skewed naive/optimized pair to gate the placement claim on".into());
+    }
+    Ok(objects.len())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut out_path = "BENCH_serving.json".to_string();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out_path = it.next().expect("--out needs a path").clone(),
+            "--validate" => {
+                let path = it.next().expect("--validate needs a path");
+                return report::validate_file_cli(path, validate);
+            }
+            other => {
+                eprintln!("unknown flag {other} (expected --smoke | --out <p> | --validate <p>)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let requests = if smoke { 80 } else { 160 };
+    println!(
+        "== bench serving — continuous batching, naive vs optimized placement \
+         ({WORLD} ranks, {} experts top-k {}, {RATE_RPS} req/s, {requests} requests) ==",
+        model().num_experts,
+        model().top_k
+    );
+
+    // Bitwise reproducibility witness: same seed, same report, to the bit.
+    let rerun = |placement| {
+        run_config(
+            placement,
+            ("steady", ArrivalProcess::Steady),
+            SKEW,
+            requests,
+        )
+    };
+    let (a, b) = (
+        rerun(PlacementMode::Optimized),
+        rerun(PlacementMode::Optimized),
+    );
+    let bitwise = a.rep.output_checksum.to_bits() == b.rep.output_checksum.to_bits()
+        && a.rep.p99_s.to_bits() == b.rep.p99_s.to_bits()
+        && a.rep.off_node_bytes == b.rep.off_node_bytes
+        && a.rep.steps == b.rep.steps;
+    shape_check(
+        "same-seed serving runs are bitwise identical",
+        bitwise,
+        "checksum, p99, off-node bytes and step count must all match to the bit",
+    );
+
+    let mut records = Vec::new();
+    let mut rows = Vec::new();
+    let mut ledgers_ok = true;
+    for (label, arrival) in arrivals(smoke) {
+        for skew in [0.0, SKEW] {
+            for placement in [PlacementMode::Naive, PlacementMode::Optimized] {
+                let r = run_config(placement, (label, arrival), skew, requests);
+                ledgers_ok &= r.rep.ledger_ok;
+                rows.push(vec![
+                    label.to_string(),
+                    format!("{skew:.0}"),
+                    r.placement.name().to_string(),
+                    fmt_time(r.rep.p50_s),
+                    fmt_time(r.rep.p99_s),
+                    format!("{:.0}", r.rep.goodput_tps),
+                    format!("{:.1} MB", r.rep.off_node_bytes as f64 / 1e6),
+                    format!("{:.1}%", 100.0 * r.rep.deadline_miss_rate),
+                    format!("{}", r.rep.resolves),
+                ]);
+                records.push(r);
+            }
+        }
+    }
+    print_table(
+        "serving sweep",
+        &[
+            "arrival",
+            "skew",
+            "placement",
+            "p50",
+            "p99",
+            "goodput",
+            "off-node",
+            "miss",
+            "solves",
+        ],
+        &rows,
+    );
+
+    let pair = |arr: &str, skew: f64, opt: bool| {
+        records
+            .iter()
+            .find(|r| {
+                r.arrival == arr
+                    && r.skew == skew
+                    && (r.placement == PlacementMode::Optimized) == opt
+            })
+            .expect("sweep covers the full grid")
+    };
+    let (n, o) = (pair("steady", SKEW, false), pair("steady", SKEW, true));
+    shape_check(
+        "optimized placement strictly cuts off-node bytes under skew",
+        o.rep.off_node_bytes < n.rep.off_node_bytes,
+        &format!(
+            "{:.1} MB vs {:.1} MB — co-activated topic bands packed per node",
+            o.rep.off_node_bytes as f64 / 1e6,
+            n.rep.off_node_bytes as f64 / 1e6
+        ),
+    );
+    shape_check(
+        "optimized placement strictly cuts p99 latency under skew",
+        o.rep.p99_s < n.rep.p99_s,
+        &format!(
+            "{} vs {} — fewer dispatch messages per step on the hot path",
+            fmt_time(o.rep.p99_s),
+            fmt_time(n.rep.p99_s)
+        ),
+    );
+    shape_check(
+        "every windowed KV-ledger cross-check passed",
+        ledgers_ok,
+        "analytic reservation accounting must match the per-request recount",
+    );
+
+    match report::write_validated(&out_path, &render_json(&records), validate) {
+        Ok(cnt) => println!("wrote {out_path} ({cnt} records, schema + claims OK)"),
+        Err(e) => {
+            eprintln!("{out_path} failed self-validation: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    println!(
+        "note: uniform rows show near-equal placements by design — round-robin is \
+         already optimal when every expert is equally hot; the win appears once \
+         routing skew makes topic bands coherent."
+    );
+    if !(bitwise
+        && ledgers_ok
+        && o.rep.off_node_bytes < n.rep.off_node_bytes
+        && o.rep.p99_s < n.rep.p99_s)
+    {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

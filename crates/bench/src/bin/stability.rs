@@ -27,6 +27,7 @@
 
 use std::process::ExitCode;
 
+use xmoe_bench::report;
 use xmoe_bench::{print_table, shape_check};
 use xmoe_collectives::SimCluster;
 use xmoe_core::gating::DropPolicy;
@@ -101,16 +102,7 @@ fn main() -> ExitCode {
             "--out" => out_path = it.next().expect("--out needs a path").clone(),
             "--validate" => {
                 let path = it.next().expect("--validate needs a path");
-                return match validate(path) {
-                    Ok(n) => {
-                        println!("{path}: OK ({n} records)");
-                        ExitCode::SUCCESS
-                    }
-                    Err(e) => {
-                        eprintln!("{path}: INVALID — {e}");
-                        ExitCode::FAILURE
-                    }
-                };
+                return report::validate_file_cli(path, validate);
             }
             other => {
                 eprintln!("unknown flag {other} (expected --smoke | --out <p> | --validate <p>)");
@@ -245,11 +237,7 @@ fn main() -> ExitCode {
         &format!("caught {}/{}", exponent.detected, exponent.trials),
     );
 
-    if let Err(e) = write_json(&out_path, &records) {
-        eprintln!("failed to write {out_path}: {e}");
-        return ExitCode::FAILURE;
-    }
-    match validate(&out_path) {
+    match report::write_validated(&out_path, &render_json(&records), validate) {
         Ok(n) => println!("wrote {out_path} ({n} records, schema OK)"),
         Err(e) => {
             eprintln!("{out_path} failed self-validation: {e}");
@@ -267,14 +255,7 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn json_escape_free(s: &str) -> &str {
-    // All strings we emit are ASCII without quotes/backslashes; assert
-    // instead of escaping.
-    assert!(s.chars().all(|c| c.is_ascii() && c != '"' && c != '\\'));
-    s
-}
-
-fn write_json(path: &str, records: &[Record]) -> std::io::Result<()> {
+fn render_json(records: &[Record]) -> String {
     let mut out = String::from("[\n");
     for (i, r) in records.iter().enumerate() {
         let config = format!(
@@ -282,8 +263,8 @@ fn write_json(path: &str, records: &[Record]) -> std::io::Result<()> {
                 "{{\"family\": \"{}\", \"spec\": \"{}\", \"world\": {}, ",
                 "\"steps\": {}, \"inject_at\": {}}}"
             ),
-            json_escape_free(r.family),
-            json_escape_free(&r.spec),
+            report::json_safe(r.family),
+            report::json_safe(&r.spec),
             WORLD,
             STEPS,
             INJECT_AT,
@@ -302,7 +283,7 @@ fn write_json(path: &str, records: &[Record]) -> std::io::Result<()> {
         ));
     }
     out.push_str("]\n");
-    std::fs::write(path, out)
+    out
 }
 
 /// Schema check for `BENCH_stability.json`: a top-level array of objects,
@@ -310,60 +291,16 @@ fn write_json(path: &str, records: &[Record]) -> std::io::Result<()> {
 /// `guard_overhead_frac`, with the rate on [0, 1] consistent with
 /// `detected / trials` and the overhead a finite fraction under 0.05.
 /// Returns the number of records.
-fn validate(path: &str) -> Result<usize, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
-    let trimmed = text.trim();
-    if !trimmed.starts_with('[') || !trimmed.ends_with(']') {
-        return Err("top level is not a JSON array".into());
-    }
-    let inner = &trimmed[1..trimmed.len() - 1];
-    let mut objects = Vec::new();
-    let mut depth = 0usize;
-    let mut start = None;
-    for (i, c) in inner.char_indices() {
-        match c {
-            '{' => {
-                if depth == 0 {
-                    start = Some(i);
-                }
-                depth += 1;
-            }
-            '}' => {
-                depth = depth.checked_sub(1).ok_or("unbalanced braces")?;
-                if depth == 0 {
-                    let s = start.take().ok_or("unbalanced braces")?;
-                    objects.push(&inner[s..=i]);
-                }
-            }
-            _ => {}
-        }
-    }
-    if depth != 0 {
-        return Err("unbalanced braces".into());
-    }
-    if objects.is_empty() {
-        return Err("no records".into());
-    }
-    let scalar = |obj: &str, key: &str| -> Result<f64, String> {
-        let pat = format!("\"{key}\":");
-        let at = obj.find(&pat).ok_or(format!("missing key {key}"))?;
-        let rest = obj[at + pat.len()..].trim_start();
-        let end = rest
-            .find([',', '}'])
-            .ok_or(format!("unterminated value for {key}"))?;
-        rest[..end]
-            .trim()
-            .parse::<f64>()
-            .map_err(|e| format!("bad number for {key}: {e}"))
-    };
+fn validate(text: &str) -> Result<usize, String> {
+    let objects = report::split_records(text)?;
     for (i, obj) in objects.iter().enumerate() {
         if !obj.contains("\"config\":") {
             return Err(format!("record {i}: missing key config"));
         }
-        let trials = scalar(obj, "trials")?;
-        let detected = scalar(obj, "detected")?;
-        let rate = scalar(obj, "detection_rate")?;
-        let overhead = scalar(obj, "guard_overhead_frac")?;
+        let trials = report::scalar(obj, "trials")?;
+        let detected = report::scalar(obj, "detected")?;
+        let rate = report::scalar(obj, "detection_rate")?;
+        let overhead = report::scalar(obj, "guard_overhead_frac")?;
         if trials < 1.0 || detected < 0.0 || detected > trials {
             return Err(format!(
                 "record {i}: detected {detected} of {trials} trials"

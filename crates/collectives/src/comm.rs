@@ -361,8 +361,8 @@ impl Communicator {
     /// allocations per exchange at steady state.
     pub fn all_to_all_v_into<T: Clone + Send + 'static>(
         &self,
-        send: &mut Vec<Vec<T>>,
-        recv: &mut Vec<Vec<T>>,
+        send: &mut [Vec<T>],
+        recv: &mut [Vec<T>],
         clock: &mut SimClock,
     ) -> Result<(), CommError> {
         self.issue_all_to_all_v_into(send, clock)?
@@ -399,7 +399,7 @@ impl Communicator {
     /// they are recorded under the allocator's untracked counter.
     pub fn issue_all_to_all_v_into<T: Clone + Send + 'static>(
         &self,
-        send: &mut Vec<Vec<T>>,
+        send: &mut [Vec<T>],
         clock: &mut SimClock,
     ) -> Result<PendingOp<T>, CommError> {
         self.check_dead(clock)?;
@@ -778,7 +778,7 @@ impl<T: Clone + Send + 'static> PendingOp<T> {
     /// one slot per rank; each slot is overwritten with the arriving buffer
     /// (whatever it held is dropped). With a persistent shell, the only
     /// per-exchange heap traffic is the untracked wire plumbing.
-    pub fn wait_into(self, recv: &mut Vec<Vec<T>>, clock: &mut SimClock) -> Result<(), CommError> {
+    pub fn wait_into(self, recv: &mut [Vec<T>], clock: &mut SimClock) -> Result<(), CommError> {
         let PendingOp {
             comm,
             kept_self,

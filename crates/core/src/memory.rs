@@ -368,6 +368,52 @@ pub fn ssmb_beats_ted(cfg: &MoeModelConfig, tokens: usize) -> bool {
     cfg.ssmb_ratio() > 2.0 / (cfg.capacity_factor * tokens as f64)
 }
 
+// ---------------------------------------------------------------------
+// Inference-serving accounting: KV cache and per-rank admission budget.
+// ---------------------------------------------------------------------
+
+/// KV-cache bytes one token occupies for the whole model on one rank: a K
+/// and a V vector of `hidden` per layer at the model dtype. (No GQA/MLA
+/// compression modeled; attention heads are unsharded in serving.)
+pub fn kv_bytes_per_token(cfg: &MoeModelConfig) -> u64 {
+    2 * cfg.num_layers as u64 * cfg.hidden as u64 * cfg.dtype.bytes()
+}
+
+/// Model states per GPU for inference: parameters only — no gradients, no
+/// optimizer. Experts are EP-sharded over `ep` ranks; dense weights are
+/// replicated (serving runs TP=1 per replica in this simulation).
+pub fn inference_states_per_gpu(cfg: &MoeModelConfig, ep: usize) -> u64 {
+    let d = cfg.dtype.bytes();
+    let expert_params =
+        cfg.num_layers as u64 * (cfg.expert_params_per_layer() + cfg.router_params_per_layer());
+    let dense_params = cfg.num_layers as u64 * cfg.dense_params_per_layer()
+        + 2 * cfg.vocab as u64 * cfg.hidden as u64;
+    (expert_params / ep.max(1) as u64 + dense_params) * d
+}
+
+/// Per-rank KV-cache budget for serving: usable HBM minus inference model
+/// states, one layer's worth of forward activations for `batch_tokens`
+/// in-flight tokens (forward-only, so layer activations are transient),
+/// and the flat framework reserve. Saturates to zero when the model alone
+/// exceeds the device.
+pub fn serving_kv_budget(
+    cfg: &MoeModelConfig,
+    ep: usize,
+    hbm_bytes: u64,
+    batch_tokens: usize,
+) -> u64 {
+    let usable = hbm_bytes as f64 * USABLE_HBM_FRACTION;
+    let states = inference_states_per_gpu(cfg, ep);
+    let act = moe_layer_activation(cfg, MoeSystem::XMoe, batch_tokens, 1).total() as f64
+        * allocator_slack(MoeSystem::XMoe);
+    let budget = usable - states as f64 - act - FRAMEWORK_OVERHEAD_BYTES as f64;
+    if budget <= 0.0 {
+        0
+    } else {
+        budget as u64
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -604,6 +650,54 @@ mod tests {
             let cost = ssmb_min_model_cost(&cfg, g);
             assert_eq!(saving > cost, ssmb_beats_ted(&cfg, tokens), "g={g}");
         }
+    }
+
+    #[test]
+    fn kv_bytes_scale_with_layers_and_hidden() {
+        let cfg = large();
+        let per_tok = kv_bytes_per_token(&cfg);
+        assert_eq!(
+            per_tok,
+            2 * cfg.num_layers as u64 * cfg.hidden as u64 * cfg.dtype.bytes()
+        );
+        // A 4k-token request on Large must cost hundreds of MiB, not KiB —
+        // KV is the serving bottleneck the admission controller manages.
+        assert!(per_tok * 4096 > 100 * 1024 * 1024);
+    }
+
+    #[test]
+    fn inference_states_are_params_only_and_ep_sharded() {
+        let cfg = large();
+        let train = model_states_per_gpu(&cfg, &ParallelConfig::new(64, 64), MoeSystem::XMoe);
+        let infer = inference_states_per_gpu(&cfg, 64);
+        assert_eq!(
+            infer, train.params,
+            "inference = training params, nothing else"
+        );
+        assert!(infer < train.total() / 3, "no grads/optimizer at inference");
+        let wide = inference_states_per_gpu(&cfg, 8);
+        assert!(
+            wide > infer,
+            "narrower EP holds more expert params per rank"
+        );
+    }
+
+    #[test]
+    fn serving_budget_is_positive_and_monotone() {
+        let cfg = MoeModelConfig::small();
+        let hbm = 64_000_000_000u64;
+        let b = serving_kv_budget(&cfg, 8, hbm, 4096);
+        assert!(b > 0, "Small must leave KV room on Frontier HBM");
+        assert!(b < hbm, "budget is a remainder, not the device");
+        assert!(
+            serving_kv_budget(&cfg, 8, hbm, 16384) < b,
+            "more in-flight tokens shrink the budget"
+        );
+        // A model bigger than the device saturates to zero instead of wrapping.
+        assert_eq!(
+            serving_kv_budget(&MoeModelConfig::super_(), 1, 8_000_000_000, 4096),
+            0
+        );
     }
 
     #[test]

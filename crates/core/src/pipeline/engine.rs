@@ -166,15 +166,14 @@ impl<'a> ExecCtx<'a> {
         self.overlap_chunks = Some(chunks);
         self
     }
-
 }
 
 fn require_clock<'c>(
     clock: &'c mut Option<&mut SimClock>,
 ) -> Result<&'c mut SimClock, PipelineError> {
-    clock
-        .as_deref_mut()
-        .ok_or(PipelineError::MissingCtx("distributed forward needs a clock"))
+    clock.as_deref_mut().ok_or(PipelineError::MissingCtx(
+        "distributed forward needs a clock",
+    ))
 }
 
 /// A MoE forward algorithm, runnable under any [`ExecCtx`].
@@ -337,7 +336,13 @@ impl Pipeline for BlockSparsePipeline {
             Some(comm) => {
                 let clock = require_clock(clock)?;
                 Ok(block_sparse::forward_ep_block_sparse(
-                    tokens, router, experts, spec, self.block, comm.ep(), clock,
+                    tokens,
+                    router,
+                    experts,
+                    spec,
+                    self.block,
+                    comm.ep(),
+                    clock,
                 )?)
             }
         }

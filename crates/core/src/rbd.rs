@@ -40,9 +40,7 @@
 //! bitwise identical to the scalar loops they replace.
 
 use xmoe_collectives::{CommError, Communicator, SimClock};
-use xmoe_tensor::{
-    add_assign_slice, axpy_slice, gather_rows_into, scaled_extend, DetRng, Tensor,
-};
+use xmoe_tensor::{add_assign_slice, axpy_slice, gather_rows_into, scaled_extend, DetRng, Tensor};
 
 use crate::expert::ExpertShard;
 use crate::gating::Router;
@@ -243,9 +241,7 @@ fn select_pilot(
         PilotPolicy::Random => group[rng.next_below(group.len())].2,
         // Entries are expert-sorted within the PFT, so the smallest
         // pft index in the group has the smallest expert id.
-        PilotPolicy::SmallestExpertId => {
-            group.iter().map(|&(_, _, i)| i).min().unwrap_or_default()
-        }
+        PilotPolicy::SmallestExpertId => group.iter().map(|&(_, _, i)| i).min().unwrap_or_default(),
     })
 }
 
@@ -489,9 +485,9 @@ pub(crate) fn forward_ep_rbd_impl(
         dst_off[p.dst + 1] += 1;
     }
     let mut run = 0usize;
-    for d in 0..=w {
-        run += dst_off[d];
-        dst_off[d] = run;
+    for off in dst_off.iter_mut() {
+        run += *off;
+        *off = run;
     }
     clock.charge("rbd_plan", cost.mem_bound_time((pft.len() * 24) as f64));
 
@@ -563,10 +559,10 @@ pub(crate) fn forward_ep_rbd_impl(
             });
             for _ in 0..n_rep {
                 let rep_expert = meta[i] as usize;
-                let rep_weight_bits = meta[i + 1] as u64;
+                let rep_weight_bits = meta[i + 1];
                 i += 2;
-                let peer = npos[owner_of(rep_expert)]
-                    .expect("replica target must be on the pilot's node");
+                let peer =
+                    npos[owner_of(rep_expert)].expect("replica target must be on the pilot's node");
                 rep_rows_send[peer].extend_from_slice(row_data);
                 rep_meta_send[peer].extend_from_slice(&[
                     rep_expert as u64,

@@ -1,0 +1,38 @@
+//! `xmoe-serve` — inference serving simulation for X-MoE models.
+//!
+//! The training side of this repo reproduces the paper; this crate points
+//! the same machinery at the ROADMAP's north star: *serving*. It is a
+//! request-level, fully deterministic simulation that drives the existing
+//! [`Pipeline`](xmoe_core::pipeline::Pipeline) engine in forward-only mode
+//! while pricing the distributed consequences on the
+//! [`xmoe_topology`] cost model:
+//!
+//! * [`traffic`] — seeded arrival processes (steady / bursty / diurnal),
+//!   prompt/output length distributions, and topic-skewed routing with
+//!   optional mid-trace drift;
+//! * [`kv`] — a per-rank KV-cache ledger wired into
+//!   [`xmoe_core::memory`]'s analytic budget, cross-checked every window;
+//! * [`scheduler`] — Orca-style continuous batching with capacity-aware
+//!   admission, prefill/decode phases, per-request deadlines and
+//!   preemption on deadline risk;
+//! * [`engine`] — the serving loop: real gating + expert numerics per
+//!   step, per-step pricing of the dispatch/combine all-to-alls under the
+//!   live expert placement, and MoETuner-style placement re-optimization
+//!   from observed routing histograms when the skew drifts;
+//! * [`metrics`] — p50/p99 latency, goodput, deadline-miss rate, off-node
+//!   traffic.
+//!
+//! Everything is seeded [`xmoe_tensor::DetRng`] and single-threaded: the
+//! same [`engine::ServeConfig`] produces bitwise-identical reports.
+
+pub mod engine;
+pub mod kv;
+pub mod metrics;
+pub mod scheduler;
+pub mod traffic;
+
+pub use engine::{serve, PlacementMode, ServeConfig, ServeEngine};
+pub use kv::KvLedger;
+pub use metrics::ServeReport;
+pub use scheduler::{ReqState, Request};
+pub use traffic::{ArrivalProcess, RequestSpec, TrafficConfig, TrafficGen};

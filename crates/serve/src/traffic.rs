@@ -1,0 +1,294 @@
+//! Deterministic synthetic traffic: arrival processes, request shapes, and
+//! topic-skewed expert routing.
+//!
+//! Arrivals are drawn by thinning a homogeneous Poisson process at the
+//! peak rate — the standard construction for inhomogeneous Poisson
+//! arrivals — so one seeded [`DetRng`] stream fully determines the trace.
+//! Routing skew is modeled as *topics*: each request gets a topic drawn
+//! from an exponential popularity distribution over a seeded permutation
+//! of expert ids, and every token of the request routes to a small band of
+//! consecutive experts in popularity space. Hot topics therefore
+//! co-activate the same expert band (the structure a placement optimizer
+//! can exploit), while the seeded permutation scatters that band across
+//! ranks under naive round-robin placement.
+
+use xmoe_tensor::DetRng;
+
+/// Shape of the arrival-rate curve over time.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ArrivalProcess {
+    /// Constant-rate Poisson arrivals.
+    Steady,
+    /// On/off bursts: `burst_mult`× the base rate for `on_s` seconds, then
+    /// a tenth of the base rate for `off_s` seconds.
+    Bursty {
+        on_s: f64,
+        off_s: f64,
+        burst_mult: f64,
+    },
+    /// Sinusoidal day/night curve: `1 + amplitude * sin(2πt / period_s)`
+    /// times the base rate (amplitude < 1 keeps the rate positive).
+    Diurnal { period_s: f64, amplitude: f64 },
+}
+
+impl ArrivalProcess {
+    /// Instantaneous rate multiplier at time `t`.
+    pub fn multiplier(&self, t: f64) -> f64 {
+        match *self {
+            ArrivalProcess::Steady => 1.0,
+            ArrivalProcess::Bursty {
+                on_s,
+                off_s,
+                burst_mult,
+            } => {
+                let phase = t % (on_s + off_s);
+                if phase < on_s {
+                    burst_mult
+                } else {
+                    0.1
+                }
+            }
+            ArrivalProcess::Diurnal {
+                period_s,
+                amplitude,
+            } => 1.0 + amplitude * (2.0 * std::f64::consts::PI * t / period_s).sin(),
+        }
+    }
+
+    /// Upper bound of [`multiplier`](Self::multiplier) (the thinning
+    /// envelope).
+    pub fn peak_multiplier(&self) -> f64 {
+        match *self {
+            ArrivalProcess::Steady => 1.0,
+            ArrivalProcess::Bursty { burst_mult, .. } => burst_mult.max(0.1),
+            ArrivalProcess::Diurnal { amplitude, .. } => 1.0 + amplitude.abs(),
+        }
+    }
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            ArrivalProcess::Steady => "steady",
+            ArrivalProcess::Bursty { .. } => "bursty",
+            ArrivalProcess::Diurnal { .. } => "diurnal",
+        }
+    }
+}
+
+/// Full description of a synthetic workload.
+#[derive(Clone, Debug)]
+pub struct TrafficConfig {
+    pub arrival: ArrivalProcess,
+    /// Base arrival rate in requests per second.
+    pub rate_rps: f64,
+    /// Uniform prompt length range `[min, max]` in tokens.
+    pub prompt_tokens: (usize, usize),
+    /// Uniform output length range `[min, max]` in tokens.
+    pub output_tokens: (usize, usize),
+    /// Topic-popularity decay: 0 = uniform topics, larger = hotter head.
+    /// (Popularity of topic `i` is `exp(-skew * i / n_topics)`.)
+    pub skew: f64,
+    /// Consecutive experts (in popularity space) each request routes to.
+    pub topic_width: usize,
+    /// Rotate the expert-popularity permutation at this time, shifting
+    /// which experts are hot mid-trace (placement drift).
+    pub drift_at_s: Option<f64>,
+    /// Deadline slack multiplier over the engine's service-time estimate.
+    pub slo_scale: f64,
+    pub seed: u64,
+}
+
+impl TrafficConfig {
+    /// A moderate steady workload (tests and smoke runs).
+    pub fn steady(rate_rps: f64, seed: u64) -> Self {
+        Self {
+            arrival: ArrivalProcess::Steady,
+            rate_rps,
+            prompt_tokens: (24, 96),
+            output_tokens: (16, 64),
+            skew: 0.0,
+            topic_width: 0,
+            drift_at_s: None,
+            slo_scale: 4.0,
+            seed,
+        }
+    }
+
+    pub fn with_skew(mut self, skew: f64, topic_width: usize) -> Self {
+        self.skew = skew;
+        self.topic_width = topic_width;
+        self
+    }
+
+    pub fn with_arrival(mut self, arrival: ArrivalProcess) -> Self {
+        self.arrival = arrival;
+        self
+    }
+
+    pub fn with_drift(mut self, at_s: f64) -> Self {
+        self.drift_at_s = Some(at_s);
+        self
+    }
+}
+
+/// One generated request, before the scheduler owns it.
+#[derive(Clone, Copy, Debug)]
+pub struct RequestSpec {
+    pub id: u64,
+    pub arrival_s: f64,
+    pub prompt: usize,
+    pub output: usize,
+    /// Starting position of the request's expert band in popularity space.
+    pub topic: usize,
+}
+
+/// Seeded generator producing the request trace and the topic→expert map.
+pub struct TrafficGen {
+    cfg: TrafficConfig,
+    n_experts: usize,
+    rng: DetRng,
+    now: f64,
+    next_id: u64,
+    /// Popularity-rank → expert id (seeded shuffle, so hot experts are
+    /// scattered across round-robin ranks).
+    perm: Vec<usize>,
+    /// Topic-popularity weights for sampling.
+    topic_weights: Vec<f64>,
+}
+
+impl TrafficGen {
+    pub fn new(cfg: TrafficConfig, n_experts: usize) -> Self {
+        assert!(cfg.rate_rps > 0.0, "traffic needs a positive rate");
+        assert!(cfg.topic_width <= n_experts);
+        let mut rng = DetRng::new(cfg.seed ^ 0x7ea5_11c0_dead_beef);
+        let mut perm: Vec<usize> = (0..n_experts).collect();
+        rng.shuffle(&mut perm);
+        let topic_weights: Vec<f64> = (0..n_experts)
+            .map(|i| (-(cfg.skew) * i as f64 / n_experts as f64).exp())
+            .collect();
+        Self {
+            cfg,
+            n_experts,
+            rng,
+            now: 0.0,
+            next_id: 0,
+            perm,
+            topic_weights,
+        }
+    }
+
+    pub fn config(&self) -> &TrafficConfig {
+        &self.cfg
+    }
+
+    /// Draw the next request via thinning at the peak rate.
+    pub fn next_request(&mut self) -> RequestSpec {
+        let peak = self.cfg.rate_rps * self.cfg.arrival.peak_multiplier();
+        loop {
+            // Exponential inter-arrival at the envelope rate.
+            let u = self.rng.next_f64().max(1e-12);
+            self.now += -u.ln() / peak;
+            let accept = self.cfg.arrival.multiplier(self.now) / self.cfg.arrival.peak_multiplier();
+            if self.rng.next_f64() < accept {
+                break;
+            }
+        }
+        let (pmin, pmax) = self.cfg.prompt_tokens;
+        let (omin, omax) = self.cfg.output_tokens;
+        let prompt = pmin + self.rng.next_below(pmax - pmin + 1);
+        let output = omin + self.rng.next_below(omax - omin + 1);
+        let topic = self.rng.sample_weighted(&self.topic_weights);
+        let spec = RequestSpec {
+            id: self.next_id,
+            arrival_s: self.now,
+            prompt,
+            output,
+            topic,
+        };
+        self.next_id += 1;
+        spec
+    }
+
+    /// Generate a whole trace of `n` requests (arrival-ordered by
+    /// construction).
+    pub fn trace(&mut self, n: usize) -> Vec<RequestSpec> {
+        (0..n).map(|_| self.next_request()).collect()
+    }
+
+    /// The expert band a topic routes to at time `now`. After
+    /// `drift_at_s`, the band shifts half the popularity space: yesterday's
+    /// hot experts go cold and a disjoint set heats up.
+    pub fn experts_of_topic(&self, topic: usize, now: f64, out: &mut Vec<usize>) {
+        out.clear();
+        if self.cfg.topic_width == 0 {
+            return;
+        }
+        let shift = match self.cfg.drift_at_s {
+            Some(t) if now >= t => self.n_experts / 2,
+            _ => 0,
+        };
+        for j in 0..self.cfg.topic_width {
+            out.push(self.perm[(topic + shift + j) % self.n_experts]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrivals_are_monotone_and_deterministic() {
+        let mk = || TrafficGen::new(TrafficConfig::steady(50.0, 9), 16).trace(200);
+        let a = mk();
+        let b = mk();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.arrival_s.to_bits(), y.arrival_s.to_bits());
+            assert_eq!((x.prompt, x.output, x.topic), (y.prompt, y.output, y.topic));
+        }
+        for w in a.windows(2) {
+            assert!(w[1].arrival_s > w[0].arrival_s);
+        }
+        // Mean inter-arrival ≈ 1/rate.
+        let span = a.last().unwrap().arrival_s - a[0].arrival_s;
+        let mean = span / (a.len() - 1) as f64;
+        assert!((mean - 0.02).abs() < 0.006, "mean inter-arrival {mean}");
+    }
+
+    #[test]
+    fn bursty_concentrates_arrivals_in_the_on_phase() {
+        let cfg = TrafficConfig::steady(20.0, 3).with_arrival(ArrivalProcess::Bursty {
+            on_s: 1.0,
+            off_s: 4.0,
+            burst_mult: 8.0,
+        });
+        let trace = TrafficGen::new(cfg, 16).trace(400);
+        let on = trace.iter().filter(|r| r.arrival_s % 5.0 < 1.0).count();
+        assert!(
+            on as f64 > 0.8 * trace.len() as f64,
+            "only {on}/{} arrivals in bursts",
+            trace.len()
+        );
+    }
+
+    #[test]
+    fn skewed_topics_have_a_hot_head() {
+        let cfg = TrafficConfig::steady(10.0, 5).with_skew(8.0, 4);
+        let trace = TrafficGen::new(cfg, 64).trace(500);
+        let head = trace.iter().filter(|r| r.topic < 8).count();
+        assert!(head > trace.len() / 2, "head topics {head}/{}", trace.len());
+    }
+
+    #[test]
+    fn drift_shifts_the_expert_band() {
+        let cfg = TrafficConfig::steady(10.0, 5)
+            .with_skew(4.0, 4)
+            .with_drift(10.0);
+        let gen = TrafficGen::new(cfg, 64);
+        let mut before = Vec::new();
+        let mut after = Vec::new();
+        gen.experts_of_topic(0, 0.0, &mut before);
+        gen.experts_of_topic(0, 10.0, &mut after);
+        assert_eq!(before.len(), 4);
+        assert_ne!(before, after, "drift must move the hot band");
+    }
+}

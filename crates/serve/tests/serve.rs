@@ -1,0 +1,130 @@
+//! End-to-end serving-engine properties: bitwise reproducibility,
+//! ledger exactness, placement wins under skew, drift-triggered re-solves,
+//! and capacity-pressure behaviour.
+
+use xmoe_core::config::MoeModelConfig;
+use xmoe_serve::engine::serve;
+use xmoe_serve::{ArrivalProcess, PlacementMode, ServeConfig, TrafficConfig};
+
+/// A Small-flavoured model the tests can sweep quickly: 64 experts over
+/// 32 ranks (4 Frontier nodes), top-k 6.
+fn model() -> MoeModelConfig {
+    MoeModelConfig::custom("serve-test", 2048, 2048, 1408, 64, 6, 28)
+}
+
+fn skewed_traffic(seed: u64) -> TrafficConfig {
+    TrafficConfig::steady(400.0, seed).with_skew(8.0, 6)
+}
+
+fn base_cfg(traffic: TrafficConfig) -> ServeConfig {
+    ServeConfig::new(model(), 32, traffic).with_requests(120)
+}
+
+#[test]
+fn same_seed_is_bitwise_reproducible() {
+    let run = || serve(base_cfg(skewed_traffic(11)).with_placement(PlacementMode::Optimized));
+    let a = run();
+    let b = run();
+    assert_eq!(a.p50_s.to_bits(), b.p50_s.to_bits());
+    assert_eq!(a.p99_s.to_bits(), b.p99_s.to_bits());
+    assert_eq!(a.goodput_tps.to_bits(), b.goodput_tps.to_bits());
+    assert_eq!(a.output_checksum.to_bits(), b.output_checksum.to_bits());
+    assert_eq!(a.off_node_bytes, b.off_node_bytes);
+    assert_eq!(a.duration_s.to_bits(), b.duration_s.to_bits());
+    assert_eq!(a.steps, b.steps);
+    assert_eq!(a.resolves, b.resolves);
+}
+
+#[test]
+fn every_request_reaches_a_terminal_state() {
+    let rep = serve(base_cfg(skewed_traffic(5)));
+    assert_eq!(rep.completed + rep.rejected, rep.requests);
+    assert!(rep.completed > 0, "a sane config must complete requests");
+    assert!(rep.ledger_ok, "ledger cross-checks must all pass");
+    assert!(rep.steps > 0 && rep.duration_s > 0.0);
+    assert!(
+        rep.output_checksum.is_finite(),
+        "real numerics must have run"
+    );
+    assert!(rep.skew > 2.0, "skewed traffic must show skewed routing");
+}
+
+#[test]
+fn optimized_placement_beats_naive_under_skew() {
+    let naive = serve(base_cfg(skewed_traffic(7)).with_placement(PlacementMode::Naive));
+    let opt = serve(base_cfg(skewed_traffic(7)).with_placement(PlacementMode::Optimized));
+    assert!(opt.resolves >= 1, "optimized mode must solve at least once");
+    assert!(
+        opt.off_node_bytes < naive.off_node_bytes,
+        "optimized {} must strictly cut off-node bytes vs naive {}",
+        opt.off_node_bytes,
+        naive.off_node_bytes
+    );
+    assert!(
+        opt.p99_s < naive.p99_s,
+        "optimized p99 {} must beat naive {}",
+        opt.p99_s,
+        naive.p99_s
+    );
+    assert!(opt.goodput_tps >= naive.goodput_tps);
+}
+
+#[test]
+fn uniform_traffic_needs_no_placement_help() {
+    // No skew: naive round-robin is already fine and the optimizer must
+    // not make things worse.
+    let traffic = TrafficConfig::steady(400.0, 3);
+    let naive = serve(base_cfg(traffic.clone()));
+    let opt = serve(base_cfg(traffic).with_placement(PlacementMode::Optimized));
+    assert!(opt.off_node_bytes <= naive.off_node_bytes);
+    assert!(naive.resolves == 0);
+}
+
+#[test]
+fn drift_triggers_a_resolve() {
+    // Hot experts move mid-trace; the spike detector must notice the
+    // off-node drift and re-solve at least once past the profile window.
+    let traffic = TrafficConfig::steady(400.0, 13)
+        .with_skew(8.0, 6)
+        .with_drift(0.35);
+    let rep = serve(
+        base_cfg(traffic)
+            .with_placement(PlacementMode::Optimized)
+            .with_requests(400),
+    );
+    assert!(
+        rep.resolves >= 2,
+        "expected profile solve + drift re-solve, got {}",
+        rep.resolves
+    );
+    assert!(rep.migrated_experts > 0, "re-solves must move experts");
+}
+
+#[test]
+fn bursty_traffic_stresses_admission() {
+    let traffic = TrafficConfig::steady(400.0, 17)
+        .with_skew(4.0, 6)
+        .with_arrival(ArrivalProcess::Bursty {
+            on_s: 0.05,
+            off_s: 0.3,
+            burst_mult: 10.0,
+        });
+    let rep = serve(base_cfg(traffic));
+    assert_eq!(rep.completed + rep.rejected, rep.requests);
+    assert!(rep.ledger_ok);
+}
+
+#[test]
+fn deadline_pressure_causes_misses_not_hangs() {
+    // Impossibly tight SLOs: the engine must reject/miss and drain, not
+    // spin forever.
+    let mut traffic = skewed_traffic(23);
+    traffic.slo_scale = 0.01;
+    let rep = serve(base_cfg(traffic));
+    assert_eq!(rep.completed + rep.rejected, rep.requests);
+    assert!(
+        rep.deadline_miss_rate > 0.5,
+        "miss rate {}",
+        rep.deadline_miss_rate
+    );
+}

@@ -32,9 +32,8 @@ pub mod routing;
 pub use alloc::{thread_tracked_allocs, untracked, AllocStats, CountingAlloc};
 pub use ops::{
     add_assign, add_assign_slice, axpy_slice, dot_and_scale, gelu, matmul, matmul_into,
-    matmul_slices,
-    matmul_transpose_b, matmul_transpose_b_into, matmul_transpose_b_slices, relu, scale_assign,
-    scaled_extend, silu, softmax_rows, topk_rows, topk_rows_into,
+    matmul_slices, matmul_transpose_b, matmul_transpose_b_into, matmul_transpose_b_slices, relu,
+    scale_assign, scaled_extend, silu, softmax_rows, topk_rows, topk_rows_into,
 };
 pub use pool::{Workspace, WorkspaceStats};
 pub use rng::DetRng;

@@ -352,7 +352,11 @@ pub fn axpy_slice(dst: &mut [f32], w: f32, src: &[f32]) {
     assert_eq!(dst.len(), src.len(), "axpy length mismatch");
     let d_chunks = dst.chunks_exact_mut(LANES);
     let s_chunks = src.chunks_exact(LANES);
-    for (d, s) in d_chunks.into_remainder().iter_mut().zip(s_chunks.remainder()) {
+    for (d, s) in d_chunks
+        .into_remainder()
+        .iter_mut()
+        .zip(s_chunks.remainder())
+    {
         *d += w * s;
     }
     let d_chunks = dst.chunks_exact_mut(LANES);
@@ -371,7 +375,11 @@ pub fn add_assign_slice(dst: &mut [f32], src: &[f32]) {
     assert_eq!(dst.len(), src.len(), "add_assign length mismatch");
     let d_chunks = dst.chunks_exact_mut(LANES);
     let s_chunks = src.chunks_exact(LANES);
-    for (d, s) in d_chunks.into_remainder().iter_mut().zip(s_chunks.remainder()) {
+    for (d, s) in d_chunks
+        .into_remainder()
+        .iter_mut()
+        .zip(s_chunks.remainder())
+    {
         *d += s;
     }
     let d_chunks = dst.chunks_exact_mut(LANES);

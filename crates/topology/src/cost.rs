@@ -155,16 +155,23 @@ impl CostModel {
         if group.len() <= 1 {
             return 0.0;
         }
-        let spec = self.topo.spec();
         // Pricing is simulation machinery with no malloc analog on real
         // hardware (the split table models the NIC, it isn't training
         // state), so its scratch Vec lives under the untracked counter —
         // same policy as the simulated wire in the collectives crate.
         let splits = xmoe_tensor::untracked(|| self.traffic_splits(group, bytes));
+        let (worst, any_intra, any_inter) = self.worst_drain(&splits, cross_rack_mult);
+        worst + self.startup(group.len(), any_intra, any_inter)
+    }
+
+    /// Busiest-rank drain time over per-rank splits, plus which link
+    /// classes carried traffic at all.
+    fn worst_drain(&self, splits: &[TrafficSplit], cross_rack_mult: f64) -> (f64, bool, bool) {
+        let spec = self.topo.spec();
         let mut worst: f64 = 0.0;
         let mut any_inter = false;
         let mut any_intra = false;
-        for s in &splits {
+        for s in splits {
             let intra = s.intra_send.max(s.intra_recv) as f64 / spec.intra_node_bw;
             // Inter-node and cross-rack traffic share the NIC; the
             // cross-rack share is additionally stretched by congestion.
@@ -179,7 +186,45 @@ impl CostModel {
                 || s.cross_rack_send > 0
                 || s.cross_rack_recv > 0;
         }
-        worst + self.startup(group.len(), any_intra, any_inter)
+        (worst, any_intra, any_inter)
+    }
+
+    /// Time of a *sparse* uneven all-to-all — the MoE-dispatch shape where
+    /// most (src, dst) pairs carry nothing. Drains price exactly like
+    /// [`alltoallv_time`](Self::alltoallv_time), but the startup term is
+    /// per-message injection overhead: the busiest rank pays one α per
+    /// *distinct peer it actually sends to* (at that link's latency class)
+    /// instead of the dense collective's `α log₂ n` rounds. This is the
+    /// term expert placement moves: packing a token's experts onto fewer
+    /// nodes removes whole messages, not just bytes.
+    pub fn sparse_exchange_time(
+        &self,
+        group: &[usize],
+        bytes: &dyn Fn(usize, usize) -> u64,
+    ) -> f64 {
+        if group.len() <= 1 {
+            return 0.0;
+        }
+        let spec = self.topo.spec();
+        let splits = xmoe_tensor::untracked(|| self.traffic_splits(group, bytes));
+        let (worst, _, _) = self.worst_drain(&splits, self.congestion.mean_multiplier());
+        let n = group.len();
+        let mut max_startup: f64 = 0.0;
+        for i in 0..n {
+            let mut startup = 0.0;
+            for j in 0..n {
+                if i == j || bytes(i, j) == 0 {
+                    continue;
+                }
+                startup += match self.topo.link_class(group[i], group[j]) {
+                    LinkClass::Local => 0.0,
+                    LinkClass::IntraNode => spec.intra_latency,
+                    LinkClass::InterNode | LinkClass::CrossRack => spec.inter_latency,
+                };
+            }
+            max_startup = max_startup.max(startup);
+        }
+        worst + max_startup
     }
 
     /// Even all-to-all: every rank sends `bytes_per_pair` to every other.

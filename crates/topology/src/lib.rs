@@ -32,7 +32,8 @@ pub use congestion::CongestionModel;
 pub use cost::CostModel;
 pub use fault::{FaultEvent, FaultPlan, LinkTier, SdcBitFlip, SdcSite};
 pub use placement::{
-    build_grid, build_grid_excluding, build_grid_tp, PlacementPolicy, ProcessGrid,
+    build_grid, build_grid_excluding, build_grid_tp, optimize_placement, placement_cost,
+    ExpertPlacement, PlacementCost, PlacementPolicy, ProcessGrid, RouteSample, RoutingHistogram,
 };
 
 /// Gigabyte (10^9 bytes), the unit vendors quote link bandwidth in.

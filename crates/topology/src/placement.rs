@@ -1,4 +1,5 @@
-//! Process-grid placement: EP-first vs DP-first (paper Appendix C.1).
+//! Placement: process grids (paper Appendix C.1) and expert→rank
+//! placement solved from observed routing histograms (MoETuner-style).
 //!
 //! Combining expert parallelism (EP) and data parallelism (DP) over the same
 //! GPUs forces a locality trade-off:
@@ -175,6 +176,429 @@ impl ProcessGrid {
     }
 }
 
+// ---------------------------------------------------------------------
+// Expert → rank placement from observed routing histograms (MoETuner-style:
+// balance expert load across ranks and pack co-activated experts onto the
+// same node so hierarchical dispatch sends one copy per node instead of
+// one per expert).
+// ---------------------------------------------------------------------
+
+use crate::cost::CostModel;
+
+/// An assignment of every global expert to a serving rank. Every rank holds
+/// exactly `n_experts / n_ranks` experts (the shard shape the expert
+/// weights are materialized in), so placements are always applicable by
+/// swapping expert weights between ranks.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExpertPlacement {
+    /// `expert_to_rank[e]` is the rank holding global expert `e`.
+    pub expert_to_rank: Vec<usize>,
+    pub n_ranks: usize,
+}
+
+impl ExpertPlacement {
+    /// The naive round-robin baseline: expert `e` lives on rank
+    /// `e % n_ranks` (DeepSpeed-style dealing, ignorant of routing).
+    pub fn naive(n_experts: usize, n_ranks: usize) -> Self {
+        assert!(n_ranks >= 1, "placement needs at least one rank");
+        assert_eq!(
+            n_experts % n_ranks,
+            0,
+            "experts {n_experts} not divisible by ranks {n_ranks}"
+        );
+        Self {
+            expert_to_rank: (0..n_experts).map(|e| e % n_ranks).collect(),
+            n_ranks,
+        }
+    }
+
+    pub fn n_experts(&self) -> usize {
+        self.expert_to_rank.len()
+    }
+
+    pub fn experts_per_rank(&self) -> usize {
+        self.expert_to_rank.len() / self.n_ranks
+    }
+
+    pub fn rank_of(&self, expert: usize) -> usize {
+        self.expert_to_rank[expert]
+    }
+
+    /// Experts hosted on `rank`, ascending.
+    pub fn experts_on(&self, rank: usize) -> Vec<usize> {
+        (0..self.n_experts())
+            .filter(|&e| self.expert_to_rank[e] == rank)
+            .collect()
+    }
+
+    /// Number of experts whose rank differs between two placements (the
+    /// migration volume applying the new placement must move).
+    pub fn migrated_experts(&self, other: &ExpertPlacement) -> usize {
+        assert_eq!(self.n_experts(), other.n_experts());
+        self.expert_to_rank
+            .iter()
+            .zip(&other.expert_to_rank)
+            .filter(|(a, b)| a != b)
+            .count()
+    }
+}
+
+/// One observed token route: the source rank it was served on and the
+/// expert set its top-k gating selected.
+#[derive(Clone, Debug)]
+pub struct RouteSample {
+    pub src_rank: u32,
+    pub experts: Vec<u16>,
+}
+
+/// Live routing statistics collected over a profiling window: per-expert
+/// loads plus a sample of full token routes (the co-activation structure
+/// the per-expert marginals cannot express). `total_routed` counts every
+/// (token, expert) pair in the window; the samples are scaled up by
+/// `total_routed / sampled_routed` when pricing, so a capped sample buffer
+/// still prices the whole window.
+#[derive(Clone, Debug)]
+pub struct RoutingHistogram {
+    pub n_experts: usize,
+    pub n_ranks: usize,
+    /// (token, expert) pairs routed to each expert over the window.
+    pub expert_load: Vec<u64>,
+    /// Sampled token routes (capped; see [`RoutingHistogram::observe`]).
+    pub routes: Vec<RouteSample>,
+    /// All (token, expert) pairs observed, sampled or not.
+    pub total_routed: u64,
+    /// (token, expert) pairs covered by `routes`.
+    pub sampled_routed: u64,
+    max_samples: usize,
+}
+
+impl RoutingHistogram {
+    /// `max_samples` caps the retained route buffer; loads keep counting
+    /// past the cap and pricing rescales accordingly.
+    pub fn new(n_experts: usize, n_ranks: usize, max_samples: usize) -> Self {
+        assert!(max_samples >= 1, "histogram needs at least one sample slot");
+        Self {
+            n_experts,
+            n_ranks,
+            expert_load: vec![0; n_experts],
+            routes: Vec::new(),
+            total_routed: 0,
+            sampled_routed: 0,
+            max_samples,
+        }
+    }
+
+    /// Record one token's route.
+    pub fn observe(&mut self, src_rank: usize, experts: &[usize]) {
+        for &e in experts {
+            debug_assert!(e < self.n_experts);
+            self.expert_load[e] += 1;
+        }
+        self.total_routed += experts.len() as u64;
+        if self.routes.len() < self.max_samples {
+            self.sampled_routed += experts.len() as u64;
+            self.routes.push(RouteSample {
+                src_rank: src_rank as u32,
+                experts: experts.iter().map(|&e| e as u16).collect(),
+            });
+        }
+    }
+
+    /// Fold another window's statistics into this one (used when a
+    /// re-solve wants more history than one window).
+    pub fn merge(&mut self, other: &RoutingHistogram) {
+        assert_eq!(self.n_experts, other.n_experts);
+        for (a, b) in self.expert_load.iter_mut().zip(&other.expert_load) {
+            *a += b;
+        }
+        self.total_routed += other.total_routed;
+        for r in &other.routes {
+            if self.routes.len() >= self.max_samples {
+                break;
+            }
+            self.sampled_routed += r.experts.len() as u64;
+            self.routes.push(r.clone());
+        }
+    }
+
+    /// Reset for the next profiling window.
+    pub fn clear(&mut self) {
+        self.expert_load.iter_mut().for_each(|l| *l = 0);
+        self.routes.clear();
+        self.total_routed = 0;
+        self.sampled_routed = 0;
+    }
+
+    /// Max-over-mean expert load: 1.0 = perfectly uniform routing. The
+    /// drift statistic the serving engine feeds its spike detector.
+    pub fn skew(&self) -> f64 {
+        let total: u64 = self.expert_load.iter().sum();
+        if total == 0 {
+            return 1.0;
+        }
+        let max = *self.expert_load.iter().max().unwrap() as f64;
+        max / (total as f64 / self.n_experts as f64)
+    }
+
+    /// Scale factor from the sampled routes to the full window.
+    fn sample_scale(&self) -> f64 {
+        if self.sampled_routed == 0 {
+            0.0
+        } else {
+            self.total_routed as f64 / self.sampled_routed as f64
+        }
+    }
+
+    /// Upper-triangular co-activation counts over the sampled routes:
+    /// `co[a * E + b]` (a < b) = tokens that selected both experts.
+    fn coactivation(&self) -> Vec<u32> {
+        let e = self.n_experts;
+        let mut co = vec![0u32; e * e];
+        for r in &self.routes {
+            for (i, &a) in r.experts.iter().enumerate() {
+                for &b in &r.experts[i + 1..] {
+                    let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+                    co[lo as usize * e + hi as usize] += 1;
+                }
+            }
+        }
+        co
+    }
+}
+
+/// The priced consequences of one placement under one histogram.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PlacementCost {
+    /// Bytes crossing a node boundary per window (hierarchical dispatch:
+    /// one copy per destination *node* per token, then free intra-node
+    /// fan-out to the expert ranks on arrival's cheap links).
+    pub off_node_bytes: u64,
+    /// Priced time of the window's dispatch all-to-all (the combine is its
+    /// mirror image, so total a2a time is twice this).
+    pub dispatch_time: f64,
+    /// Max over ranks of hosted (token, expert) pairs — the expert-compute
+    /// straggler.
+    pub max_rank_load: u64,
+}
+
+/// Price a placement against a histogram on the cost model's topology.
+///
+/// Dispatch follows the repo's RBD discipline: a token reaches each
+/// destination node once, landing on that node's mirror of the source's
+/// node-local slot (striped pilots, so receive traffic stays spread over
+/// the node's NICs), then fans out over cheap intra-node links — so
+/// packing co-activated experts onto one node removes whole inter-node
+/// copies. Time prices via [`CostModel::sparse_exchange_time`]: the
+/// startup term is per-peer injection overhead, so fewer destination
+/// nodes means fewer messages, not just fewer bytes.
+pub fn placement_cost(
+    placement: &ExpertPlacement,
+    hist: &RoutingHistogram,
+    cost: &CostModel,
+    bytes_per_token: u64,
+) -> PlacementCost {
+    let topo = cost.topology();
+    let n = placement.n_ranks;
+    assert!(
+        n <= topo.n_ranks(),
+        "placement spans {n} ranks but topology has {}",
+        topo.n_ranks()
+    );
+    let scale = hist.sample_scale();
+    let gpn = topo.spec().gpus_per_node;
+    // Per-(src, dst) token copies under node-dedup dispatch.
+    let mut copies = vec![0u64; n * n];
+    let mut nodes: Vec<usize> = Vec::with_capacity(8);
+    for r in &hist.routes {
+        let src = r.src_rank as usize;
+        nodes.clear();
+        for &e in &r.experts {
+            let node = topo.node_of(placement.rank_of(e as usize));
+            if !nodes.contains(&node) {
+                nodes.push(node);
+            }
+        }
+        for &node in &nodes {
+            // Striped pilot: land on this node's mirror of the source slot
+            // (clamped for a final partial node).
+            let base = node * gpn;
+            let dst = base + (src % gpn).min(n - 1 - base);
+            copies[src * n + dst] += 1;
+        }
+    }
+    let mut off_node = 0u64;
+    for src in 0..n {
+        for dst in 0..n {
+            if copies[src * n + dst] > 0 && !topo.same_node(src, dst) {
+                off_node += copies[src * n + dst] * bytes_per_token;
+            }
+        }
+    }
+    let group: Vec<usize> = (0..n).collect();
+    let dispatch_time = cost.sparse_exchange_time(&group, &|i, j| {
+        (copies[i * n + j] as f64 * scale) as u64 * bytes_per_token
+    });
+    let mut rank_load = vec![0u64; n];
+    for (e, &l) in hist.expert_load.iter().enumerate() {
+        rank_load[placement.rank_of(e)] += l;
+    }
+    PlacementCost {
+        off_node_bytes: (off_node as f64 * scale) as u64,
+        dispatch_time,
+        max_rank_load: rank_load.into_iter().max().unwrap_or(0),
+    }
+}
+
+/// Solve expert→rank placement from an observed histogram, greedily over
+/// the cost model (MoETuner's objective: minimize priced inter-node token
+/// traffic while balancing per-rank expert load).
+///
+/// Two phases, both deterministic (ties break on lowest index, no rng):
+///
+/// 1. **Node grouping** — experts in descending load order go to the node
+///    with the highest co-activation affinity to the experts already
+///    grouped there, optionally under a per-node *load* cap on top of the
+///    slot capacity. Packing tight (no cap) minimizes off-node copies and
+///    message fan-out; capping spreads the NIC drain when a handful of
+///    nodes would otherwise absorb all receive traffic. Which wins depends
+///    on the histogram, so the solver builds one candidate per cap in a
+///    small deterministic portfolio and prices each one.
+/// 2. **Rank spreading** — within each node, experts go to the currently
+///    least-loaded rank with free slots, so the per-rank NIC drain and
+///    expert compute stay balanced.
+///
+/// Every candidate plus [`ExpertPlacement::naive`] is priced with
+/// [`placement_cost`]; the winner is the candidate with the lowest
+/// dispatch time, ties broken by off-node bytes then candidate order. The
+/// greedy winner is returned only if it is no worse than naive on *both*
+/// priced off-node bytes and dispatch time — the solver never degrades
+/// either metric.
+pub fn optimize_placement(
+    hist: &RoutingHistogram,
+    cost: &CostModel,
+    bytes_per_token: u64,
+) -> ExpertPlacement {
+    let e = hist.n_experts;
+    let n = hist.n_ranks;
+    let naive = ExpertPlacement::naive(e, n);
+    if n == 1 {
+        return naive;
+    }
+    let per_rank = e / n;
+    let topo = cost.topology();
+    // Node index of each rank and per-node rank lists.
+    let n_nodes = topo.node_of(n - 1) + 1;
+    let mut node_ranks: Vec<Vec<usize>> = vec![Vec::new(); n_nodes];
+    for r in 0..n {
+        node_ranks[topo.node_of(r)].push(r);
+    }
+    let co = hist.coactivation();
+    let node_cap: Vec<usize> = node_ranks.iter().map(|rs| rs.len() * per_rank).collect();
+    let total_load: u64 = hist.expert_load.iter().sum();
+    let mut order: Vec<usize> = (0..e).collect();
+    order.sort_by_key(|&x| (std::cmp::Reverse(hist.expert_load[x]), x));
+
+    // Phase 1 for one capacity factor: group experts onto nodes by
+    // co-activation affinity, load-capped at `factor` × the uniform share
+    // (None = slot capacity only).
+    let group_onto_nodes = |factor: Option<f64>| -> Vec<Vec<usize>> {
+        let load_cap = factor
+            .map(|f| (total_load as f64 / n_nodes as f64 * f).ceil() as u64)
+            .unwrap_or(u64::MAX);
+        let mut node_members: Vec<Vec<usize>> = vec![Vec::new(); n_nodes];
+        let mut node_load = vec![0u64; n_nodes];
+        for &x in &order {
+            let l = hist.expert_load[x];
+            let mut best: Option<(f64, usize)> = None;
+            let mut best_any: Option<(f64, usize)> = None;
+            for (node, members) in node_members.iter().enumerate() {
+                if members.len() >= node_cap[node] {
+                    continue;
+                }
+                let affinity: f64 = members
+                    .iter()
+                    .map(|&m| {
+                        let (lo, hi) = if m < x { (m, x) } else { (x, m) };
+                        co[lo * e + hi] as f64
+                    })
+                    .sum();
+                // Slight preference for load-lighter nodes on equal
+                // affinity keeps cold experts spread instead of piling
+                // after the hot set. `total_load` is 0 only for an empty
+                // histogram, where every load term is 0 anyway.
+                let balance = node_load[node] as f64 / (total_load.max(1)) as f64;
+                let score = affinity - 1e-9 * balance;
+                if node_load[node] + l <= load_cap && best.is_none_or(|(b, _)| score > b) {
+                    best = Some((score, node));
+                }
+                if best_any.is_none_or(|(b, _)| score > b) {
+                    best_any = Some((score, node));
+                }
+            }
+            // Fall back to ignoring the load cap when every node with free
+            // slots is over it (degenerate single-hot-expert histograms).
+            let (_, node) = best
+                .or(best_any)
+                .expect("capacities sum to the expert count");
+            node_members[node].push(x);
+            node_load[node] += l;
+        }
+        node_members
+    };
+
+    // Phase 2: spread each node's experts over its ranks, least-loaded
+    // first, so hot experts land on distinct NICs.
+    let spread_over_ranks = |node_members: Vec<Vec<usize>>| -> ExpertPlacement {
+        let mut expert_to_rank = vec![usize::MAX; e];
+        for (node, members) in node_members.iter().enumerate() {
+            let ranks = &node_ranks[node];
+            let mut load = vec![0u64; ranks.len()];
+            let mut slots = vec![per_rank; ranks.len()];
+            let mut ms = members.clone();
+            ms.sort_by_key(|&x| (std::cmp::Reverse(hist.expert_load[x]), x));
+            for x in ms {
+                let (i, _) = load
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, _)| slots[i] > 0)
+                    .min_by_key(|&(i, &l)| (l, i))
+                    .expect("node capacity covers its members");
+                expert_to_rank[x] = ranks[i];
+                load[i] += hist.expert_load[x];
+                slots[i] -= 1;
+            }
+        }
+        ExpertPlacement {
+            expert_to_rank,
+            n_ranks: n,
+        }
+    };
+
+    // Portfolio: tight packing plus progressively stricter drain-balancing
+    // caps; price each and keep the fastest (ties: fewest off-node bytes,
+    // then earliest candidate).
+    let mut winner: Option<(f64, u64, ExpertPlacement)> = None;
+    for factor in [None, Some(2.0), Some(1.5), Some(1.25)] {
+        let candidate = spread_over_ranks(group_onto_nodes(factor));
+        let c = placement_cost(&candidate, hist, cost, bytes_per_token);
+        let better = winner
+            .as_ref()
+            .is_none_or(|&(t, b, _)| (c.dispatch_time, c.off_node_bytes) < (t, b));
+        if better {
+            winner = Some((c.dispatch_time, c.off_node_bytes, candidate));
+        }
+    }
+    let (t_opt, b_opt, optimized) = winner.expect("portfolio is non-empty");
+
+    // Accept only if no worse than naive on both priced metrics.
+    let c_naive = placement_cost(&naive, hist, cost, bytes_per_token);
+    if b_opt <= c_naive.off_node_bytes && t_opt <= c_naive.dispatch_time {
+        optimized
+    } else {
+        naive
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -311,5 +735,162 @@ mod tests {
     #[should_panic(expected = "not divisible")]
     fn excluding_rejects_unbalanced_survivors() {
         let _ = build_grid_excluding(16, &[3], 4, PlacementPolicy::EpFirst);
+    }
+
+    // --- expert placement from routing histograms ---
+
+    use crate::{ClusterTopology, CongestionModel, CostModel, MachineSpec};
+    use xmoe_tensor::DetRng;
+
+    fn frontier_cost(n_ranks: usize) -> CostModel {
+        CostModel::new(ClusterTopology::new(MachineSpec::frontier(), n_ranks))
+            .with_congestion(CongestionModel::none())
+    }
+
+    /// Synthetic skewed histogram: expert popularity follows a seeded
+    /// exponential decay over a seeded *permutation* of expert ids, so hot
+    /// experts are scattered across ranks under naive round-robin. Tokens
+    /// co-select `k` consecutive experts in popularity space (strong
+    /// co-activation structure for the optimizer to exploit).
+    fn skewed_hist(
+        n_experts: usize,
+        n_ranks: usize,
+        k: usize,
+        seed: u64,
+        tokens: usize,
+    ) -> RoutingHistogram {
+        let mut rng = DetRng::new(seed);
+        let mut perm: Vec<usize> = (0..n_experts).collect();
+        rng.shuffle(&mut perm);
+        let weights: Vec<f64> = (0..n_experts)
+            .map(|i| (-(i as f64) / n_experts as f64 * 6.0).exp())
+            .collect();
+        let mut hist = RoutingHistogram::new(n_experts, n_ranks, tokens);
+        for _ in 0..tokens {
+            let src = rng.next_below(n_ranks);
+            let hot = rng.sample_weighted(&weights);
+            let experts: Vec<usize> = (0..k).map(|j| perm[(hot + j) % n_experts]).collect();
+            hist.observe(src, &experts);
+        }
+        hist
+    }
+
+    #[test]
+    fn naive_placement_is_round_robin() {
+        let p = ExpertPlacement::naive(16, 4);
+        assert_eq!(p.rank_of(0), 0);
+        assert_eq!(p.rank_of(5), 1);
+        assert_eq!(p.experts_on(2), vec![2, 6, 10, 14]);
+        assert_eq!(p.experts_per_rank(), 4);
+    }
+
+    #[test]
+    fn histogram_tracks_loads_skew_and_scaling() {
+        let mut h = RoutingHistogram::new(4, 2, 2);
+        h.observe(0, &[0, 1]);
+        h.observe(1, &[0, 2]);
+        h.observe(0, &[0, 3]); // past the sample cap: load counted, route dropped
+        assert_eq!(h.expert_load, vec![3, 1, 1, 1]);
+        assert_eq!(h.routes.len(), 2);
+        assert_eq!(h.total_routed, 6);
+        assert_eq!(h.sampled_routed, 4);
+        assert!((h.skew() - 2.0).abs() < 1e-12); // max 3 / mean 1.5
+        h.clear();
+        assert_eq!(h.total_routed, 0);
+        assert!((h.skew() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn optimized_never_increases_priced_inter_node_traffic() {
+        // Sweep seeds and shapes: the fall-back-to-naive guarantee plus the
+        // greedy phases must never price worse than round-robin.
+        for &(e, n, k) in &[(64usize, 16usize, 4usize), (64, 32, 8), (32, 16, 2)] {
+            let cost = frontier_cost(n);
+            for seed in 0..5u64 {
+                let hist = skewed_hist(e, n, k, 0x5eed + seed, 2000);
+                let opt = optimize_placement(&hist, &cost, 4096);
+                let naive = ExpertPlacement::naive(e, n);
+                let c_opt = placement_cost(&opt, &hist, &cost, 4096);
+                let c_naive = placement_cost(&naive, &hist, &cost, 4096);
+                assert!(
+                    c_opt.off_node_bytes <= c_naive.off_node_bytes,
+                    "E={e} N={n} k={k} seed={seed}: opt {} > naive {}",
+                    c_opt.off_node_bytes,
+                    c_naive.off_node_bytes
+                );
+                assert!(c_opt.dispatch_time <= c_naive.dispatch_time);
+            }
+        }
+    }
+
+    #[test]
+    fn optimized_strictly_beats_naive_under_skew() {
+        // The serving-bench gate in miniature: strong co-activation and
+        // popularity skew must yield a strict off-node-bytes win.
+        let cost = frontier_cost(32);
+        let hist = skewed_hist(64, 32, 8, 7, 4000);
+        let opt = optimize_placement(&hist, &cost, 4096);
+        let c_opt = placement_cost(&opt, &hist, &cost, 4096);
+        let c_naive = placement_cost(&ExpertPlacement::naive(64, 32), &hist, &cost, 4096);
+        assert!(
+            c_opt.off_node_bytes < c_naive.off_node_bytes,
+            "expected strict win: opt {} vs naive {}",
+            c_opt.off_node_bytes,
+            c_naive.off_node_bytes
+        );
+    }
+
+    #[test]
+    fn solver_is_deterministic_for_fixed_seed() {
+        let cost = frontier_cost(16);
+        let h1 = skewed_hist(64, 16, 4, 42, 1500);
+        let h2 = skewed_hist(64, 16, 4, 42, 1500);
+        let p1 = optimize_placement(&h1, &cost, 2048);
+        let p2 = optimize_placement(&h2, &cost, 2048);
+        assert_eq!(p1, p2);
+        let c1 = placement_cost(&p1, &h1, &cost, 2048);
+        let c2 = placement_cost(&p2, &h2, &cost, 2048);
+        assert_eq!(c1.off_node_bytes, c2.off_node_bytes);
+        assert_eq!(c1.dispatch_time.to_bits(), c2.dispatch_time.to_bits());
+    }
+
+    #[test]
+    fn placement_shape_is_always_balanced() {
+        let cost = frontier_cost(16);
+        let hist = skewed_hist(64, 16, 4, 3, 1000);
+        let p = optimize_placement(&hist, &cost, 2048);
+        for r in 0..16 {
+            assert_eq!(
+                p.experts_on(r).len(),
+                4,
+                "rank {r} must hold exactly 4 experts"
+            );
+        }
+        let mut all: Vec<usize> = p.expert_to_rank.clone();
+        all.sort_unstable();
+        assert_eq!(all.len(), 64);
+    }
+
+    #[test]
+    fn uniform_histogram_keeps_single_node_local() {
+        // All ranks on one node: everything is intra-node, so off-node
+        // bytes are zero under any placement and the solver must not panic.
+        let cost = frontier_cost(8);
+        let mut hist = RoutingHistogram::new(16, 8, 64);
+        for t in 0..64usize {
+            hist.observe(t % 8, &[t % 16, (t + 1) % 16]);
+        }
+        let p = optimize_placement(&hist, &cost, 1024);
+        let c = placement_cost(&p, &hist, &cost, 1024);
+        assert_eq!(c.off_node_bytes, 0);
+    }
+
+    #[test]
+    fn migrated_experts_counts_differences() {
+        let a = ExpertPlacement::naive(8, 2);
+        let mut b = a.clone();
+        b.expert_to_rank.swap(0, 1);
+        assert_eq!(a.migrated_experts(&a), 0);
+        assert_eq!(a.migrated_experts(&b), 2);
     }
 }

@@ -46,6 +46,18 @@
 //!     recovery (failed ranks, replayed steps, MTTR) and the final world
 //!     size.
 //!
+//! xmoe-cli serve [ranks] [--placement naive|optimized] [--arrival steady|bursty|diurnal]
+//!               [--requests N] [--rate R] [--skew S] [--drift T] [--seed S]
+//!     Deterministic inference-serving simulation of the Small model:
+//!     continuous batching (prefill/decode, KV-ledger admission control,
+//!     deadline-risk preemption) over the padding-free pipeline, pricing
+//!     each step's dispatch/combine on the Frontier cost model. With
+//!     `--placement optimized` the engine profiles per-expert routing
+//!     histograms and re-solves expert→rank placement when the skew
+//!     detector flags drift (`--drift T` moves the hot topics at T
+//!     seconds). Prints latency percentiles, goodput, deadline misses,
+//!     off-node traffic and placement-solve counts.
+//!
 //! xmoe-cli bench hotpath [--smoke] [--out <path>] [--validate <path>]
 //!     Zero-allocation steady-state benchmark of the MoE hot path under a
 //!     counting global allocator. Runs all four pipelines (dense, pft,
@@ -63,6 +75,7 @@
 use std::path::Path;
 use std::time::Instant;
 
+use xmoe::bench::report;
 use xmoe::collectives::{trace, RankTrace, SimCluster, StepReport};
 use xmoe::core::analysis::{distinct_combinations, routing_report};
 use xmoe::core::config::{DType, MoeModelConfig};
@@ -108,6 +121,7 @@ fn usage() -> ! {
          xmoe-cli step <dense|pft|blocksparse|rbd> [ranks] [--overlap [chunks]] [--trace <path>] [--csv <path>]\n  \
          \u{20}   (--overlap applies to pft and rbd; dense and blocksparse run serial-only)\n  \
          xmoe-cli chaos [ranks] [--faults <spec>] [--ckpt-every N] [--steps N] [--seed S] [--guard] [--max-grad-norm X]\n  \
+         xmoe-cli serve [ranks] [--placement naive|optimized] [--arrival steady|bursty|diurnal] [--requests N] [--rate R] [--skew S] [--drift T] [--seed S]\n  \
          xmoe-cli bench hotpath [--smoke] [--out <path>] [--validate <path>]"
     );
     std::process::exit(2);
@@ -123,6 +137,7 @@ fn main() {
         Some("analyze") => cmd_analyze(&args[1..]),
         Some("step") => cmd_step(&args[1..]),
         Some("chaos") => cmd_chaos(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         _ => usage(),
     }
@@ -213,21 +228,30 @@ fn cmd_chaos(args: &[String]) {
         if faults.is_empty() { "none" } else { &faults },
         if guard_on { "on" } else { "off" }
     );
-    let reports = {
+    let outcomes = {
         let cfg = &cfg;
         let chaos = &chaos;
         SimCluster::frontier(ranks)
             .with_faults(plan)
-            .run(move |ctx| {
-                let report = run_chaos_rank(cfg, chaos, ctx).expect("unrecoverable comm fault");
-                (report, ctx.clock.now())
-            })
+            .run(move |ctx| (run_chaos_rank(cfg, chaos, ctx), ctx.clock.now()))
     };
+    // A comm fault past the recovery policy's reach is an operational
+    // outcome, not a bug: report it and exit nonzero instead of panicking.
+    let mut reports = Vec::with_capacity(outcomes.len());
+    for (rank, (outcome, now)) in outcomes.into_iter().enumerate() {
+        match outcome {
+            Ok(report) => reports.push((report, now)),
+            Err(e) => {
+                eprintln!("chaos run failed: rank {rank} hit an unrecoverable comm fault: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
 
-    let (survivor, end_time) = reports
-        .iter()
-        .find(|(r, _)| r.exited_at.is_none())
-        .expect("at least one rank must survive the schedule");
+    let Some((survivor, end_time)) = reports.iter().find(|(r, _)| r.exited_at.is_none()) else {
+        eprintln!("chaos run failed: every rank exited before the schedule completed");
+        std::process::exit(1);
+    };
     for (step, loss) in &survivor.losses {
         println!("  step {step:>3}  loss {loss:.6}");
     }
@@ -270,6 +294,136 @@ fn cmd_chaos(args: &[String]) {
         survivor.last_ckpt.as_ref().map_or(0, Vec::len),
         end_time * 1e3
     );
+}
+
+/// `xmoe-cli serve` — one deterministic serving simulation on the Small
+/// model: continuous batching over the padding-free pipeline with
+/// KV-ledger admission control, optionally re-solving expert placement
+/// from live routing histograms.
+fn cmd_serve(args: &[String]) {
+    use xmoe::serve::{serve, ArrivalProcess, PlacementMode, ServeConfig, TrafficConfig};
+
+    let mut ranks = 32usize;
+    let mut placement = PlacementMode::Optimized;
+    let mut arrival = ArrivalProcess::Steady;
+    let mut requests = 200usize;
+    let mut rate = 400.0f64;
+    let mut skew = 8.0f64;
+    let mut drift: Option<f64> = None;
+    let mut seed = 42u64;
+    let mut i = 0usize;
+    if let Some(first) = args.first() {
+        if let Ok(r) = first.parse::<usize>() {
+            ranks = r;
+            i = 1;
+        }
+    }
+    while i < args.len() {
+        let value = |j: usize| args.get(j).cloned().unwrap_or_else(|| usage());
+        match args[i].as_str() {
+            "--placement" => {
+                placement = match value(i + 1).as_str() {
+                    "naive" => PlacementMode::Naive,
+                    "optimized" => PlacementMode::Optimized,
+                    _ => usage(),
+                };
+                i += 2;
+            }
+            "--arrival" => {
+                arrival = match value(i + 1).as_str() {
+                    "steady" => ArrivalProcess::Steady,
+                    "bursty" => ArrivalProcess::Bursty {
+                        on_s: 0.05,
+                        off_s: 0.3,
+                        burst_mult: 10.0,
+                    },
+                    "diurnal" => ArrivalProcess::Diurnal {
+                        period_s: 0.5,
+                        amplitude: 0.8,
+                    },
+                    _ => usage(),
+                };
+                i += 2;
+            }
+            "--requests" => {
+                requests = value(i + 1).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--rate" => {
+                rate = value(i + 1).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--skew" => {
+                skew = value(i + 1).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--drift" => {
+                drift = Some(value(i + 1).parse().unwrap_or_else(|_| usage()));
+                i += 2;
+            }
+            "--seed" => {
+                seed = value(i + 1).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            _ => usage(),
+        }
+    }
+
+    let model = MoeModelConfig::small();
+    if !model.num_experts.is_multiple_of(ranks) {
+        eprintln!(
+            "serve: ranks must divide the expert count ({})",
+            model.num_experts
+        );
+        std::process::exit(2);
+    }
+    let mut traffic = TrafficConfig::steady(rate, seed).with_arrival(arrival);
+    if skew > 0.0 {
+        traffic = traffic.with_skew(skew, 6);
+    }
+    if let Some(t) = drift {
+        traffic = traffic.with_drift(t);
+    }
+    println!(
+        "serve: {} on {ranks} simulated Frontier ranks | {} arrivals at {rate} req/s, \
+         skew {skew} | {} placement | {requests} requests, seed {seed}",
+        model.name,
+        arrival.name(),
+        placement.name()
+    );
+    let rep = serve(
+        ServeConfig::new(model, ranks, traffic)
+            .with_requests(requests)
+            .with_placement(placement),
+    );
+    println!(
+        "completed {}/{} ({} rejected, {} preemptions) in {:.3}s simulated, {} steps",
+        rep.completed, rep.requests, rep.rejected, rep.preemptions, rep.duration_s, rep.steps
+    );
+    println!(
+        "latency p50 {:.2}ms p99 {:.2}ms mean {:.2}ms | goodput {:.0} tok/s \
+         (throughput {:.0}) | deadline miss {:.1}%",
+        rep.p50_s * 1e3,
+        rep.p99_s * 1e3,
+        rep.mean_s * 1e3,
+        rep.goodput_tps,
+        rep.throughput_tps,
+        100.0 * rep.deadline_miss_rate
+    );
+    println!(
+        "routing skew {:.2} | off-node {:.1} MB | a2a time {:.1}ms | \
+         {} placement solves, {} experts migrated",
+        rep.skew,
+        rep.off_node_bytes as f64 / 1e6,
+        rep.dispatch_s * 1e3,
+        rep.resolves,
+        rep.migrated_experts
+    );
+    if !rep.ledger_ok {
+        eprintln!("serve: KV-ledger cross-check FAILED — accounting bug");
+        std::process::exit(1);
+    }
+    println!("kv ledger: every windowed cross-check passed");
 }
 
 fn cmd_step(args: &[String]) {
@@ -909,8 +1063,7 @@ fn bench_hot_rbd(smoke: bool, all_ok: &mut bool) -> HotRecord {
         let spec = &spec;
         SimCluster::frontier(ranks).run(move |ctx| {
             let shard = ExpertShard::for_rank(ctx.rank, ranks, HOT_E, HOT_H, HOT_F, 0x4BD1);
-            let comms =
-                RbdComms::create(&ctx.world, &mut ctx.clock).map_err(|e| e.to_string())?;
+            let comms = RbdComms::create(&ctx.world, &mut ctx.clock).map_err(|e| e.to_string())?;
             let tokens = Tensor::rand_uniform(HOT_S, HOT_H, 1.0, 0x4BD2 + ctx.rank as u64);
             let mut state = PooledSingleState::default();
             let seed_of = |step: usize| 0x4BD3 + ((step % 4) * ranks + ctx.rank) as u64;
@@ -950,7 +1103,9 @@ fn bench_hot_rbd(smoke: bool, all_ok: &mut bool) -> HotRecord {
             // Interleaved barrier-fenced timing passes, min per arm.
             let (mut t_pool, mut t_own) = (f64::INFINITY, f64::INFINITY);
             for _ in 0..2 {
-                ctx.world.barrier(&mut ctx.clock).map_err(|e| e.to_string())?;
+                ctx.world
+                    .barrier(&mut ctx.clock)
+                    .map_err(|e| e.to_string())?;
                 let t0 = Instant::now();
                 for step in 0..time_steps {
                     let mut rng = DetRng::new(seed_of(step));
@@ -967,7 +1122,9 @@ fn bench_hot_rbd(smoke: bool, all_ok: &mut bool) -> HotRecord {
                     .map_err(|e| e.to_string())?;
                     state.ws.recycle(out);
                 }
-                ctx.world.barrier(&mut ctx.clock).map_err(|e| e.to_string())?;
+                ctx.world
+                    .barrier(&mut ctx.clock)
+                    .map_err(|e| e.to_string())?;
                 t_pool = t_pool.min(t0.elapsed().as_secs_f64());
                 let t0 = Instant::now();
                 for step in 0..time_steps {
@@ -983,7 +1140,9 @@ fn bench_hot_rbd(smoke: bool, all_ok: &mut bool) -> HotRecord {
                     )
                     .map_err(|e| e.to_string())?;
                 }
-                ctx.world.barrier(&mut ctx.clock).map_err(|e| e.to_string())?;
+                ctx.world
+                    .barrier(&mut ctx.clock)
+                    .map_err(|e| e.to_string())?;
                 t_own = t_own.min(t0.elapsed().as_secs_f64());
             }
             Ok((t_pool, t_own, counted))
@@ -1057,16 +1216,7 @@ fn bench_hot_rbd(smoke: bool, all_ok: &mut bool) -> HotRecord {
     }
 }
 
-/// Assert-don't-escape: the JSON writer emits these verbatim inside quotes.
-fn hot_json_safe(s: &str) -> &str {
-    assert!(
-        s.is_ascii() && !s.contains('"') && !s.contains('\\'),
-        "string needs JSON escaping: {s}"
-    );
-    s
-}
-
-fn write_hotpath_json(path: &Path, recs: &[HotRecord]) {
+fn render_hotpath_json(recs: &[HotRecord]) -> String {
     let mut s = String::from("[\n");
     for (i, r) in recs.iter().enumerate() {
         s.push_str("  {\n");
@@ -1074,7 +1224,7 @@ fn write_hotpath_json(path: &Path, recs: &[HotRecord]) {
             "    \"config\": {{\"pipeline\": \"{}\", \"seq\": {HOT_S}, \"hidden\": {HOT_H}, \
              \"ffn\": {HOT_F}, \"experts\": {HOT_E}, \"top_k\": {HOT_K}, \"ranks\": {}, \
              \"steps\": {}}},\n",
-            hot_json_safe(r.pipeline),
+            report::json_safe(r.pipeline),
             r.ranks,
             r.steps
         ));
@@ -1098,19 +1248,7 @@ fn write_hotpath_json(path: &Path, recs: &[HotRecord]) {
         });
     }
     s.push_str("]\n");
-    std::fs::write(path, s).expect("write bench json");
-}
-
-fn hot_scalar(obj: &str, key: &str) -> Result<f64, String> {
-    let tag = format!("\"{key}\":");
-    let at = obj.find(&tag).ok_or_else(|| format!("missing key {key}"))?;
-    let rest = obj[at + tag.len()..].trim_start();
-    let end = rest
-        .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
-        .unwrap_or(rest.len());
-    rest[..end]
-        .parse::<f64>()
-        .map_err(|e| format!("unparseable {key}: {e}"))
+    s
 }
 
 /// Structural + semantic validation of a `BENCH_hotpath.json`. This is the
@@ -1118,58 +1256,20 @@ fn hot_scalar(obj: &str, key: &str) -> Result<f64, String> {
 /// steady-state allocations per training step and a pooled speedup >= 1x,
 /// and the RBD record likewise zero allocs/step across the whole cluster
 /// and a pooled speedup >= 1.2x over the owned-allocation baseline.
-fn validate_hotpath(path: &Path) -> Result<usize, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("read failed: {e}"))?;
-    let t = text.trim();
-    if !t.starts_with('[') || !t.ends_with(']') {
-        return Err("top-level value must be a JSON array".into());
-    }
-    // The writer asserts no braces inside strings, so brace depth alone
-    // delimits records (the nested `config` object sits at depth 2).
-    let mut objs: Vec<&str> = Vec::new();
-    let mut depth = 0usize;
-    let mut start = 0usize;
-    for (i, c) in t.char_indices() {
-        match c {
-            '{' => {
-                if depth == 0 {
-                    start = i;
-                }
-                depth += 1;
-            }
-            '}' => {
-                depth = depth.checked_sub(1).ok_or("unbalanced braces")?;
-                if depth == 0 {
-                    objs.push(&t[start..=i]);
-                }
-            }
-            _ => {}
-        }
-    }
-    if depth != 0 {
-        return Err("unbalanced braces".into());
-    }
-    if objs.is_empty() {
-        return Err("no records".into());
-    }
+fn validate_hotpath(text: &str) -> Result<usize, String> {
+    let objs = report::split_records(text)?;
     let mut seen: Vec<&str> = Vec::new();
     for obj in &objs {
         if !obj.contains("\"config\"") || !obj.contains("\"pipeline\"") {
             return Err("record lacks a config.pipeline tag".into());
         }
-        let tps = hot_scalar(obj, "tokens_per_s")?;
-        if !tps.is_finite() || tps <= 0.0 {
-            return Err(format!("tokens_per_s {tps} not positive/finite"));
-        }
-        let allocs = hot_scalar(obj, "steady_state_allocs_per_step")?;
+        report::positive_scalar(obj, "tokens_per_s")?;
+        let allocs = report::scalar(obj, "steady_state_allocs_per_step")?;
         if !allocs.is_finite() || allocs < 0.0 {
             return Err(format!("steady_state_allocs_per_step {allocs} invalid"));
         }
-        let peak = hot_scalar(obj, "peak_bytes")?;
-        let analytic = hot_scalar(obj, "analytic_bytes")?;
-        if peak <= 0.0 || analytic <= 0.0 {
-            return Err("peak_bytes/analytic_bytes must be positive".into());
-        }
+        report::positive_scalar(obj, "peak_bytes")?;
+        report::positive_scalar(obj, "analytic_bytes")?;
         for name in ["dense", "pft", "blocksparse", "rbd"] {
             if obj.contains(&format!("\"pipeline\": \"{name}\"")) {
                 seen.push(name);
@@ -1182,7 +1282,7 @@ fn validate_hotpath(path: &Path) -> Result<usize, String> {
                      steady-state allocs/step (must be exactly 0)"
                 ));
             }
-            let speedup = hot_scalar(obj, "speedup")?;
+            let speedup = report::scalar(obj, "speedup")?;
             if !speedup.is_finite() || speedup < 1.0 {
                 return Err(format!("pft pooled speedup {speedup:.3} < 1.0"));
             }
@@ -1194,7 +1294,7 @@ fn validate_hotpath(path: &Path) -> Result<usize, String> {
                      steady-state allocs/step across the cluster (must be exactly 0)"
                 ));
             }
-            let speedup = hot_scalar(obj, "speedup")?;
+            let speedup = report::scalar(obj, "speedup")?;
             if !speedup.is_finite() || speedup < 1.2 {
                 return Err(format!("rbd pooled speedup {speedup:.3} < 1.2"));
             }
@@ -1234,7 +1334,11 @@ fn cmd_bench(args: &[String]) {
         }
     }
     if let Some(p) = validate_only {
-        match validate_hotpath(Path::new(&p)) {
+        let text = std::fs::read_to_string(&p).unwrap_or_else(|e| {
+            eprintln!("{p}: INVALID — read failed: {e}");
+            std::process::exit(1);
+        });
+        match validate_hotpath(&text) {
             Ok(n) => println!("{p}: {n} records, schema + allocation gate OK"),
             Err(e) => {
                 eprintln!("{p}: INVALID — {e}");
@@ -1275,8 +1379,7 @@ fn cmd_bench(args: &[String]) {
             }
         );
     }
-    write_hotpath_json(Path::new(&out_path), &records);
-    match validate_hotpath(Path::new(&out_path)) {
+    match report::write_validated(&out_path, &render_hotpath_json(&records), validate_hotpath) {
         Ok(n) => println!("wrote {out_path} ({n} records, self-validated)"),
         Err(e) => {
             eprintln!("{out_path}: self-validation failed — {e}");

@@ -12,12 +12,17 @@
 //! runtime, baselines (DeepSpeed-MoE-style dense padded pipeline, a
 //! Tutel-flavoured variant, TED parallelism), analytic memory/performance
 //! models, and a manual-backprop training stack for loss validation.
+//! [`serve`] adds an inference-serving simulation on top: continuous
+//! batching with KV-cache admission control and histogram-driven
+//! MoETuner-style expert placement.
 //!
 //! Start with [`core`] for the MoE pipelines, or run
 //! `cargo run --release --example quickstart`.
 
+pub use xmoe_bench as bench;
 pub use xmoe_collectives as collectives;
 pub use xmoe_core as core;
+pub use xmoe_serve as serve;
 pub use xmoe_tensor as tensor;
 pub use xmoe_topology as topology;
 pub use xmoe_train as train;

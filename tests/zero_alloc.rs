@@ -123,8 +123,8 @@ fn steady_state_pooled_hot_path_allocates_nothing() {
             let mut state = PooledSingleState::default();
             let seed_of = |step: usize| 0x2E63 + ((step % 4) * world + ctx.rank) as u64;
             let rbd_step = |state: &mut PooledSingleState,
-                                clock: &mut xmoe::collectives::SimClock,
-                                step: usize| {
+                            clock: &mut xmoe::collectives::SimClock,
+                            step: usize| {
                 let mut rng = DetRng::new(seed_of(step));
                 let out = rbd::forward_ep_rbd_pooled(
                     &tokens, router, &shard, spec, &comms, &mut rng, clock, state,
