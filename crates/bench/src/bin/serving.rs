@@ -85,12 +85,16 @@ fn run_config(
     let cfg = ServeConfig::new(model(), WORLD, traffic)
         .with_requests(requests)
         .with_placement(placement);
+    let rep = serve(cfg).unwrap_or_else(|e| {
+        eprintln!("bench serving: {e}");
+        std::process::exit(1);
+    });
     Record {
         placement,
         arrival: arrival.0,
         skew,
         requests,
-        rep: serve(cfg),
+        rep,
     }
 }
 

@@ -745,6 +745,133 @@ impl Communicator {
         let node = self.cost().topology().node_of(self.global_rank());
         self.split(node, clock)
     }
+
+    /// Fail fast if either endpoint of a point-to-point transfer is dead.
+    /// Unlike [`check_dead`](Self::check_dead), unrelated group members do
+    /// not matter: a pipeline stage boundary only involves two ranks.
+    fn check_dead_pair(&self, peer: usize, clock: &mut SimClock) -> Result<(), CommError> {
+        let Some(plan) = &self.state.fault else {
+            return Ok(());
+        };
+        let step = self.step.get();
+        for pos in [self.me, peer] {
+            let g = self.state.ranks[pos];
+            if plan.is_dead(g, step) {
+                clock.charge("fault_detect", plan.detect_timeout);
+                return Err(CommError::DeadPeer {
+                    global_rank: g,
+                    step,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Point-to-point send (`MPI_Send` with a tag). The sender charges the
+    /// full priced transfer time as pending work (claim it with
+    /// [`SimClock::commit`] under the pipeline-stage label) and stamps the
+    /// message with its post-transfer clock; the matching
+    /// [`recv_p2p`](Self::recv_p2p) synchronizes to that stamp as sync-wait,
+    /// so aggregate transfer time is charged exactly once and every slice of
+    /// both ranks' time remains span-accounted (the PR-1 exactness
+    /// invariant).
+    ///
+    /// Unlike the collectives, p2p messages are tag-matched at the receiver
+    /// (via a [`P2pStash`]), so interleaved pipeline schedules may issue
+    /// sends on one channel in any causally consistent order.
+    pub fn send_p2p<T: Clone + Send + 'static>(
+        &self,
+        dst: usize,
+        tag: u64,
+        data: Vec<T>,
+        clock: &mut SimClock,
+    ) -> Result<(), CommError> {
+        self.check_dead_pair(dst, clock)?;
+        let bytes = data.len() as u64 * std::mem::size_of::<T>() as u64;
+        self.record_send(dst, bytes);
+        let (a, b) = (self.state.ranks[self.me], self.state.ranks[dst]);
+        let base = self.state.cost.p2p_time(a, b, bytes);
+        let t = match &self.state.fault {
+            Some(plan) => {
+                let step = self.step.get();
+                let class = self.state.cost.topology().link_class(a, b);
+                let t = base * plan.link_multiplier(class, step);
+                for attempt in 0..plan.flap_retries(class, step) {
+                    clock.advance_retry_op("p2p", t + plan.backoff(attempt));
+                }
+                t
+            }
+            None => base,
+        };
+        clock.advance_op("p2p", t);
+        // The boxed packet is simulated wire, not training state.
+        untracked(|| self.send_to(dst, clock.now(), Box::new((tag, data))))
+    }
+
+    /// Point-to-point receive matching `tag` from local rank `src`.
+    /// Messages arriving out of tag order park in `stash` until their
+    /// matching receive; the gap to the sender's stamp is recorded as
+    /// pending sync-wait (claim with [`SimClock::commit`]). Transfer time
+    /// was charged on the sender's clock — see
+    /// [`send_p2p`](Self::send_p2p).
+    pub fn recv_p2p<T: Clone + Send + 'static>(
+        &self,
+        src: usize,
+        tag: u64,
+        stash: &mut P2pStash,
+        clock: &mut SimClock,
+    ) -> Result<Vec<T>, CommError> {
+        self.check_dead_pair(src, clock)?;
+        if let Some(pos) = stash
+            .held
+            .iter()
+            .position(|(s, t, ..)| *s == src && *t == tag)
+        {
+            let (_, _, stamp, payload) = stash.held.swap_remove(pos);
+            clock.advance_to_op("p2p", stamp);
+            let (_, data) = *payload
+                .downcast::<(u64, Vec<T>)>()
+                .expect("p2p type mismatch: ranks diverged from the schedule");
+            return Ok(data);
+        }
+        loop {
+            let pkt = self.recv_from(src)?;
+            let (t, data) = *pkt
+                .payload
+                .downcast::<(u64, Vec<T>)>()
+                .expect("p2p type mismatch: ranks diverged from the schedule");
+            if t == tag {
+                clock.advance_to_op("p2p", pkt.clock);
+                return Ok(data);
+            }
+            untracked(|| stash.held.push((src, t, pkt.clock, Box::new((t, data)))));
+        }
+    }
+}
+
+/// Receiver-side reorder buffer for tag-matched point-to-point messages:
+/// packets that arrive before their matching [`Communicator::recv_p2p`] are
+/// parked here. One stash per receiving rank (it is not shared state).
+#[derive(Default)]
+pub struct P2pStash {
+    /// `(src local rank, tag, sender stamp, boxed (tag, payload))`.
+    held: Vec<(usize, u64, f64, Box<dyn Any + Send>)>,
+}
+
+impl P2pStash {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of parked messages (0 after a completed schedule — anything
+    /// left over means send/recv programs diverged).
+    pub fn len(&self) -> usize {
+        self.held.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.held.is_empty()
+    }
 }
 
 /// An in-flight nonblocking all-to-all issued by

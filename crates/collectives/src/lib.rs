@@ -24,7 +24,7 @@ pub mod runtime;
 pub mod trace;
 
 pub use clock::SimClock;
-pub use comm::{CommError, Communicator, PendingOp, TrafficStats};
+pub use comm::{CommError, Communicator, P2pStash, PendingOp, TrafficStats};
 pub use hierarchical::HierarchicalComm;
 pub use runtime::{RankCtx, SimCluster};
 pub use trace::{RankTrace, RecoveryStats, Span, StageStat, StepReport};

@@ -478,6 +478,118 @@ mod tests {
     }
 
     #[test]
+    fn p2p_transfers_data_and_charges_sender_once() {
+        let cluster = SimCluster::frontier(2);
+        let out = cluster.run(|ctx| {
+            let mut stash = crate::P2pStash::new();
+            if ctx.rank == 0 {
+                ctx.world
+                    .send_p2p(1, 7, vec![1.0f32, 2.0, 3.0], &mut ctx.clock)
+                    .unwrap();
+                ctx.clock.commit("pp_send");
+                (vec![], ctx.clock.now(), ctx.clock.bucket("pp_send"))
+            } else {
+                let data: Vec<f32> = ctx
+                    .world
+                    .recv_p2p(0, 7, &mut stash, &mut ctx.clock)
+                    .unwrap();
+                ctx.clock.commit("pp_recv");
+                (data, ctx.clock.now(), ctx.clock.bucket("sync_wait:pp_recv"))
+            }
+        });
+        let (_, t_send, work_send) = &out[0];
+        let (data, t_recv, wait_recv) = &out[1];
+        assert_eq!(data, &vec![1.0, 2.0, 3.0]);
+        // Transfer time is charged exactly once: all of it as sender work,
+        // and the receiver (idle from t=0) sees the same span as sync-wait.
+        assert!(*t_send > 0.0, "priced transfer must take time");
+        assert!((t_send - t_recv).abs() < 1e-12, "recv must sync to stamp");
+        assert!((work_send - t_send).abs() < 1e-12);
+        assert!((wait_recv - t_recv).abs() < 1e-12);
+    }
+
+    #[test]
+    fn p2p_tags_match_out_of_order_via_stash() {
+        let cluster = SimCluster::frontier(2);
+        let out = cluster.run(|ctx| {
+            let mut stash = crate::P2pStash::new();
+            if ctx.rank == 0 {
+                // Send tag 2 first; the receiver asks for tag 1 first.
+                ctx.world
+                    .send_p2p(1, 2, vec![20u32], &mut ctx.clock)
+                    .unwrap();
+                ctx.world
+                    .send_p2p(1, 1, vec![10u32], &mut ctx.clock)
+                    .unwrap();
+                vec![]
+            } else {
+                let a: Vec<u32> = ctx
+                    .world
+                    .recv_p2p(0, 1, &mut stash, &mut ctx.clock)
+                    .unwrap();
+                let b: Vec<u32> = ctx
+                    .world
+                    .recv_p2p(0, 2, &mut stash, &mut ctx.clock)
+                    .unwrap();
+                assert!(stash.is_empty(), "all parked messages consumed");
+                vec![a[0], b[0]]
+            }
+        });
+        assert_eq!(out[1], vec![10, 20]);
+    }
+
+    #[test]
+    fn p2p_preserves_span_exactness() {
+        let cluster = SimCluster::frontier(4);
+        let out = cluster.run(|ctx| {
+            let mut stash = crate::P2pStash::new();
+            // Ring: each rank sends to rank+1 and receives from rank-1,
+            // with unequal local compute first so waits are non-trivial.
+            ctx.charge_compute("local", (1 + ctx.rank) as f64 * 1e11);
+            let nxt = (ctx.rank + 1) % 4;
+            let prv = (ctx.rank + 3) % 4;
+            ctx.world
+                .send_p2p(nxt, 0, vec![ctx.rank as u64; 512], &mut ctx.clock)
+                .unwrap();
+            ctx.clock.commit("pp_send");
+            let got: Vec<u64> = ctx
+                .world
+                .recv_p2p(prv, 0, &mut stash, &mut ctx.clock)
+                .unwrap();
+            ctx.clock.commit("pp_recv");
+            assert_eq!(got, vec![prv as u64; 512]);
+            let accounted: f64 = ctx.clock.buckets().iter().map(|(_, t)| t).sum();
+            (ctx.clock.now(), accounted)
+        });
+        for (rank, (now, accounted)) in out.iter().enumerate() {
+            assert!(
+                (now - accounted).abs() < 1e-12,
+                "rank {rank}: buckets {accounted} must sum to clock {now}"
+            );
+        }
+    }
+
+    #[test]
+    fn p2p_send_to_dead_peer_fails_cleanly() {
+        let plan = FaultPlan::new(7).kill(1, 1);
+        let cluster = SimCluster::frontier(2).with_faults(plan);
+        let out = cluster.run(|ctx| {
+            ctx.set_step(1);
+            if ctx.rank == 1 {
+                return None;
+            }
+            Some(ctx.world.send_p2p(1, 0, vec![1u8], &mut ctx.clock))
+        });
+        match &out[0] {
+            Some(Err(CommError::DeadPeer {
+                global_rank: 1,
+                step: 1,
+            })) => {}
+            other => panic!("expected DeadPeer, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn survivors_split_and_continue_after_a_death() {
         let plan = FaultPlan::new(7).kill(3, 1);
         let cluster = SimCluster::frontier(4).with_faults(plan);

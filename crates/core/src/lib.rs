@@ -24,6 +24,9 @@
 //!   (§3.2, Table 2/4, Fig 3/13, Appendix C.2).
 //! * [`perf`] — the analytic performance model behind the throughput and
 //!   scaling experiments (Fig 9/10/11/12/14/20, Table 5).
+//! * [`plan`] — the auto-mapping planner: enumerate legal (PP, TP, EP, DP)
+//!   foldings, bound them with the memory model, price them with the cost
+//!   model, keep the Pareto frontier.
 
 pub mod analysis;
 pub mod config;
@@ -34,6 +37,7 @@ pub mod memory;
 pub mod perf;
 pub mod pft;
 pub mod pipeline;
+pub mod plan;
 pub mod rbd;
 pub mod ssmb;
 

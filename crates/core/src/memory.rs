@@ -296,6 +296,61 @@ pub fn total_per_gpu(cfg: &MoeModelConfig, par: &ParallelConfig, sys: MoeSystem)
     }
 }
 
+/// Per-GPU memory picture of an X-MoE run under a heterogeneous 4D
+/// [`ParallelMapping`](xmoe_topology::ParallelMapping): pipeline stages
+/// shard the layer stack, attention states shard over its TP×DP fold,
+/// expert states over the independent EP×TP×DP fold, and 1F1B keeps
+/// `min(microbatches, pp)` microbatches of activations in flight on the
+/// deepest rank.
+///
+/// `micro_batch` is sequences per microbatch per stage-rank. ZeRO-1 is
+/// assumed (optimizer states sharded over each parameter's own DP group)
+/// — the X-MoE default the planner searches under.
+pub fn folded_per_gpu(
+    cfg: &MoeModelConfig,
+    mapping: &xmoe_topology::ParallelMapping,
+    micro_batch: usize,
+) -> GpuMemory {
+    let d = cfg.dtype.bytes();
+    let layers_per_rank = cfg.num_layers.div_ceil(mapping.pp) as u64;
+
+    // Expert states shard over EP x TP of the MoE fold; dense states over
+    // the attention fold's TP. The embedding term is charged in full (the
+    // first/last stage's worst rank holds it).
+    let expert_params = layers_per_rank
+        * (cfg.expert_params_per_layer() + cfg.router_params_per_layer())
+        / (mapping.moe.ep * mapping.moe.tp) as u64;
+    let dense_params = layers_per_rank * cfg.dense_params_per_layer() / mapping.attn.tp as u64
+        + 2 * cfg.vocab as u64 * cfg.hidden as u64 / mapping.attn.tp as u64;
+    let expert_dp = mapping.moe.dp.max(1) as u64;
+    let dense_dp = mapping.attn.dp.max(1) as u64;
+    let states = StateBreakdown {
+        params: (expert_params + dense_params) * d,
+        // ZeRO-1: full grads, sharded optimizer.
+        grads: (expert_params + dense_params) * d,
+        optimizer: expert_params * OPT_BYTES_PER_PARAM / expert_dp
+            + dense_params * OPT_BYTES_PER_PARAM / dense_dp,
+    };
+
+    // 1F1B in-flight activations: the first pipeline rank buffers up to
+    // min(m, pp) microbatches of its layers' forward state.
+    let tokens = micro_batch * cfg.seq_len;
+    let in_flight = mapping.microbatches.min(mapping.pp).max(1) as u64;
+    let per_layer =
+        moe_layer_activation(cfg, MoeSystem::XMoe, tokens, mapping.moe.tp).total() as f64;
+    let moe_act = (per_layer
+        * (layers_per_rank * in_flight) as f64
+        * allocator_slack(MoeSystem::XMoe)) as u64;
+    let dense_act =
+        dense_activation_per_layer(cfg, tokens, mapping.attn.tp) * layers_per_rank * in_flight;
+    GpuMemory {
+        states,
+        moe_activations: moe_act,
+        dense_activations: dense_act,
+        overhead: FRAMEWORK_OVERHEAD_BYTES,
+    }
+}
+
 /// Sweep EP (and TP for TED) choices the way the paper's methodology does
 /// (§5.2) and report whether *any* swept configuration fits in HBM;
 /// returns the best-fitting config if so.

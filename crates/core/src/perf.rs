@@ -43,12 +43,12 @@ fn gemm_dim_derate(inner_dim: usize) -> f64 {
 /// Fixed kernel-launch/synchronization overhead charged per layer per pass
 /// (forward or backward); dominated by the many small kernels of an MoE
 /// block.
-const LAYER_OVERHEAD_S: f64 = 350e-6;
+pub const LAYER_OVERHEAD_S: f64 = 350e-6;
 /// Dense-block elementwise traffic per token per layer, in units of
 /// `H * dtype` (norms, residuals, activation functions, dropout masks).
 const DENSE_ELEMWISE_FACTOR: f64 = 20.0;
 /// Backward compute is ~2x forward for GEMM-dominated work.
-const BWD_COMPUTE_FACTOR: f64 = 2.0;
+pub const BWD_COMPUTE_FACTOR: f64 = 2.0;
 
 /// Per-stage forward times of one MoE layer on one rank, in seconds
 /// (labels match Fig 11).
@@ -356,8 +356,10 @@ impl PerfModel {
     }
 
     /// Dense-block (attention) forward time per layer per micro-batch,
-    /// including TP all-reduces.
-    fn dense_block_time(&self, cfg: &MoeModelConfig, par: &ParallelConfig) -> f64 {
+    /// including TP all-reduces. Public so the mapping planner can price
+    /// the attention fold of a heterogeneous mapping separately from the
+    /// MoE fold.
+    pub fn dense_block_time(&self, cfg: &MoeModelConfig, par: &ParallelConfig) -> f64 {
         let tokens = (par.micro_batch * cfg.seq_len) as f64;
         let h = cfg.hidden as f64;
         let s = cfg.seq_len as f64;
@@ -380,7 +382,7 @@ impl PerfModel {
     /// Per-step data-parallel gradient synchronization (expert grads over
     /// the expert-DP group, dense grads over the dense-DP group), under the
     /// chosen placement.
-    fn dp_sync_time(
+    pub fn dp_sync_time(
         &self,
         cfg: &MoeModelConfig,
         par: &ParallelConfig,

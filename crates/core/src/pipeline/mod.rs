@@ -21,6 +21,7 @@ pub mod block_sparse;
 pub mod dense;
 pub mod engine;
 pub mod padding_free;
+pub mod schedule;
 
 pub use block_sparse::{
     block_padding_waste, forward_single_block_sparse, forward_single_block_sparse_pooled,
@@ -31,6 +32,10 @@ pub use engine::{
     PipelineError, RbdPipeline,
 };
 pub use padding_free::{forward_ep, forward_single, forward_single_pooled, PooledSingleState};
+pub use schedule::{
+    bubble_fraction, rank_work, reference_forward, run_1f1b, MoeStageChunk, PipeOp, ScheduleSpec,
+    StageChunk, BWD_COMPUTE_FACTOR,
+};
 
 use crate::gating::DropPolicy;
 

@@ -31,6 +31,7 @@ use xmoe_topology::{
 };
 use xmoe_train::guard::{SpikeDetector, Verdict};
 
+use crate::error::ServeError;
 use crate::kv::KvLedger;
 use crate::metrics::ServeReport;
 use crate::scheduler::{BatchEntry, Request, Scheduler};
@@ -81,12 +82,10 @@ pub struct ServeConfig {
 
 impl ServeConfig {
     /// A Frontier-node-count sized default around the given traffic.
+    /// Construction is infallible; every shape requirement is checked by
+    /// [`validate`](Self::validate) when the engine is built, so a bad
+    /// CLI flag surfaces as a [`ServeError`] instead of a panic.
     pub fn new(model: MoeModelConfig, world: usize, traffic: TrafficConfig) -> Self {
-        assert!(
-            model.num_experts.is_multiple_of(world),
-            "experts {} must divide over {world} serving ranks",
-            model.num_experts
-        );
         Self {
             model,
             world,
@@ -109,6 +108,48 @@ impl ServeConfig {
     pub fn with_requests(mut self, n: usize) -> Self {
         self.n_requests = n;
         self
+    }
+
+    /// Reject every degenerate shape a CLI flag can reach before any
+    /// engine state is built. Traffic-side validity (rate, SLO scale,
+    /// token ranges) is checked by [`TrafficGen::new`].
+    pub fn validate(&self) -> Result<(), ServeError> {
+        if self.world < 1 {
+            return Err(ServeError::config("need at least one serving rank"));
+        }
+        if !self.model.num_experts.is_multiple_of(self.world) {
+            return Err(ServeError::config(format!(
+                "experts {} must divide over {} serving ranks",
+                self.model.num_experts, self.world
+            )));
+        }
+        if self.n_requests < 1 {
+            return Err(ServeError::config(
+                "need at least one request (an empty trace has no latencies to report)",
+            ));
+        }
+        if self.dim_scale < 1 {
+            return Err(ServeError::config(
+                "dim_scale must be >= 1 (it divides the numerics dimensions)",
+            ));
+        }
+        if self.max_batch_tokens < 1 || self.prefill_chunk < 1 {
+            return Err(ServeError::config(format!(
+                "batch budget and prefill chunk must both be >= 1 token, \
+                 got max_batch_tokens {} prefill_chunk {}",
+                self.max_batch_tokens, self.prefill_chunk
+            )));
+        }
+        if self.window_steps < 1 {
+            return Err(ServeError::config("window_steps must be >= 1"));
+        }
+        if !(self.max_sim_s.is_finite() && self.max_sim_s > 0.0) {
+            return Err(ServeError::config(format!(
+                "max_sim_s must be a positive finite horizon, got {}",
+                self.max_sim_s
+            )));
+        }
+        Ok(())
     }
 }
 
@@ -154,7 +195,8 @@ fn expert_flops(h: f64, f: f64) -> f64 {
 }
 
 impl ServeEngine {
-    pub fn new(cfg: ServeConfig) -> Self {
+    pub fn new(cfg: ServeConfig) -> Result<Self, ServeError> {
+        cfg.validate()?;
         let e = cfg.model.num_experts;
         let k = cfg.model.top_k;
         let h = (cfg.model.hidden / cfg.dim_scale).max(32);
@@ -164,7 +206,7 @@ impl ServeEngine {
         let cost = CostModel::new(topo).with_congestion(CongestionModel::none());
         let budget = serving_kv_budget(&cfg.model, cfg.world, hbm, cfg.max_batch_tokens);
         let ledger = KvLedger::new(cfg.world, budget, kv_bytes_per_token(&cfg.model));
-        let gen = TrafficGen::new(cfg.traffic.clone(), e);
+        let gen = TrafficGen::new(cfg.traffic.clone(), e)?;
         let seed = cfg.traffic.seed;
         let router = Router::new(h, e, k, seed ^ 0x5e4e_0001);
         let experts = ExpertShard::full(e, h, f, seed ^ 0x5e4e_0002);
@@ -180,8 +222,8 @@ impl ServeEngine {
         let est_step_s = cost.compute_time(
             per_rank_tokens as f64 * (attn_flops(hp) + k as f64 * expert_flops(hp, fp)),
         ) + 2.0 * uniform_a2a;
-        Self {
-            sched: Scheduler::new(cfg.max_batch_tokens, cfg.prefill_chunk),
+        Ok(Self {
+            sched: Scheduler::new(cfg.max_batch_tokens, cfg.prefill_chunk)?,
             ledger,
             cost,
             router,
@@ -205,7 +247,7 @@ impl ServeEngine {
             },
             gen,
             cfg,
-        }
+        })
     }
 
     /// The live expert placement (for telemetry / the CLI).
@@ -414,7 +456,73 @@ impl ServeEngine {
     }
 }
 
-/// Convenience: build, run, report.
-pub fn serve(cfg: ServeConfig) -> ServeReport {
-    ServeEngine::new(cfg).run()
+/// Convenience: validate, build, run, report.
+pub fn serve(cfg: ServeConfig) -> Result<ServeReport, ServeError> {
+    Ok(ServeEngine::new(cfg)?.run())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> ServeConfig {
+        ServeConfig::new(
+            MoeModelConfig::custom("degenerate", 2048, 2048, 1408, 64, 6, 28),
+            32,
+            TrafficConfig::steady(400.0, 1),
+        )
+    }
+
+    /// Regression: every one of these either panicked (asserts in
+    /// `ServeConfig::new` / `Scheduler::new` / `TrafficGen::new`) or hung
+    /// the arrival loop before construction became fallible.
+    #[test]
+    fn degenerate_configs_are_clean_errors() {
+        let mut uneven = base();
+        uneven.world = 24; // 64 % 24 != 0
+        assert!(serve(uneven).is_err());
+
+        let mut no_ranks = base();
+        no_ranks.world = 0;
+        assert!(serve(no_ranks).is_err());
+
+        assert!(serve(base().with_requests(0)).is_err());
+
+        let mut zero_batch = base();
+        zero_batch.max_batch_tokens = 0;
+        assert!(serve(zero_batch).is_err());
+
+        let mut zero_chunk = base();
+        zero_chunk.prefill_chunk = 0;
+        assert!(serve(zero_chunk).is_err());
+
+        let mut zero_dim = base();
+        zero_dim.dim_scale = 0;
+        assert!(serve(zero_dim).is_err());
+
+        let mut bad_horizon = base();
+        bad_horizon.max_sim_s = 0.0;
+        assert!(serve(bad_horizon).is_err());
+
+        let mut zero_rate = base();
+        zero_rate.traffic.rate_rps = 0.0;
+        assert!(serve(zero_rate).is_err());
+
+        let mut dead_slo = base();
+        dead_slo.traffic.slo_scale = -1.0;
+        assert!(serve(dead_slo).is_err());
+    }
+
+    /// The errors carry the offending value, not just a category.
+    #[test]
+    fn errors_name_the_bad_value() {
+        let mut zero_rate = base();
+        zero_rate.traffic.rate_rps = -3.0;
+        let msg = serve(zero_rate).unwrap_err().to_string();
+        assert!(msg.contains("-3"), "got: {msg}");
+        let mut uneven = base();
+        uneven.world = 24;
+        let msg = serve(uneven).unwrap_err().to_string();
+        assert!(msg.contains("64") && msg.contains("24"), "got: {msg}");
+    }
 }

@@ -1,0 +1,27 @@
+//! Clean construct-time errors for the serving stack.
+//!
+//! Every degenerate configuration a CLI flag can reach — a zero or
+//! negative arrival rate, a zero batch budget, an expert count that does
+//! not divide over the serving ranks — surfaces as a [`ServeError`]
+//! instead of a panic or a hung arrival loop, so `xmoe-cli serve` and
+//! `bench serving` can print a diagnostic and exit nonzero.
+
+use std::fmt;
+
+/// A serving configuration the engine refuses to run, with the reason.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ServeError(String);
+
+impl ServeError {
+    pub fn config(what: impl Into<String>) -> Self {
+        Self(what.into())
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid serving config: {}", self.0)
+    }
+}
+
+impl std::error::Error for ServeError {}

@@ -26,12 +26,14 @@
 //! same [`engine::ServeConfig`] produces bitwise-identical reports.
 
 pub mod engine;
+pub mod error;
 pub mod kv;
 pub mod metrics;
 pub mod scheduler;
 pub mod traffic;
 
 pub use engine::{serve, PlacementMode, ServeConfig, ServeEngine};
+pub use error::ServeError;
 pub use kv::KvLedger;
 pub use metrics::ServeReport;
 pub use scheduler::{ReqState, Request};

@@ -44,9 +44,11 @@ pub struct ServeReport {
 }
 
 /// Nearest-rank percentile of an ascending-sorted slice (`p` in [0, 100]).
+/// An empty slice reports 0.0, not NaN — a drained-empty run must still
+/// produce a finite, comparable report (and serializable JSON).
 pub fn percentile(sorted: &[f64], p: f64) -> f64 {
     if sorted.is_empty() {
-        return f64::NAN;
+        return 0.0;
     }
     let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
     sorted[rank.clamp(1, sorted.len()) - 1]
@@ -84,7 +86,7 @@ impl ServeReport {
         self.p50_s = percentile(&latencies, 50.0);
         self.p99_s = percentile(&latencies, 99.0);
         self.mean_s = if latencies.is_empty() {
-            f64::NAN
+            0.0
         } else {
             latencies.iter().sum::<f64>() / latencies.len() as f64
         };
@@ -110,7 +112,22 @@ mod tests {
         assert_eq!(percentile(&xs, 99.0), 99.0);
         assert_eq!(percentile(&xs, 100.0), 100.0);
         assert_eq!(percentile(&[7.0], 99.0), 7.0);
-        assert!(percentile(&[], 50.0).is_nan());
+        assert_eq!(percentile(&[], 50.0), 0.0, "empty trace must stay finite");
+    }
+
+    /// Regression: pre-fix, an empty request table put NaN in p50/p99 and
+    /// mean, which poisoned every downstream comparison and JSON field.
+    #[test]
+    fn empty_trace_summarizes_without_nans() {
+        let mut rep = ServeReport {
+            duration_s: 1.0,
+            ..Default::default()
+        };
+        rep.summarize(&[]);
+        assert!(rep.p50_s.is_finite() && rep.p99_s.is_finite() && rep.mean_s.is_finite());
+        assert_eq!((rep.p50_s, rep.p99_s, rep.mean_s), (0.0, 0.0, 0.0));
+        assert_eq!(rep.deadline_miss_rate, 0.0);
+        assert_eq!((rep.goodput_tps, rep.throughput_tps), (0.0, 0.0));
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! dropped and its prefix re-prefilled later), provided its own slack
 //! survives the round trip.
 
+use crate::error::ServeError;
 use crate::kv::KvLedger;
 use crate::traffic::RequestSpec;
 
@@ -124,16 +125,25 @@ pub struct Scheduler {
 }
 
 impl Scheduler {
-    pub fn new(max_batch_tokens: usize, prefill_chunk: usize) -> Self {
-        assert!(max_batch_tokens >= 1 && prefill_chunk >= 1);
-        Self {
+    /// A zero token budget or a zero prefill chunk would make every step
+    /// plan empty batches (or divide by zero in chunk counts), so both are
+    /// rejected up front instead of asserted — `--max-batch-tokens 0` is
+    /// one CLI flag away.
+    pub fn new(max_batch_tokens: usize, prefill_chunk: usize) -> Result<Self, ServeError> {
+        if max_batch_tokens < 1 || prefill_chunk < 1 {
+            return Err(ServeError::config(format!(
+                "batch budget and prefill chunk must both be >= 1 token, \
+                 got max_batch_tokens {max_batch_tokens} prefill_chunk {prefill_chunk}"
+            )));
+        }
+        Ok(Self {
             requests: Vec::new(),
             queue: Vec::new(),
             running: Vec::new(),
             max_batch_tokens,
             prefill_chunk,
             preemptions: 0,
-        }
+        })
     }
 
     /// Hand a newly arrived request to the scheduler.
@@ -327,7 +337,7 @@ mod tests {
 
     #[test]
     fn lifecycle_prefill_then_decode_then_finish() {
-        let mut s = Scheduler::new(64, 16);
+        let mut s = Scheduler::new(64, 16).unwrap();
         let mut l = ledger(1000);
         s.push(Request::new(&spec(0, 0.0, 20, 3), 0, 100.0));
         s.admit(0.0, &mut l);
@@ -349,7 +359,7 @@ mod tests {
 
     #[test]
     fn admission_skips_ahead_but_respects_capacity() {
-        let mut s = Scheduler::new(64, 16);
+        let mut s = Scheduler::new(64, 16).unwrap();
         let mut l = ledger(100);
         s.push(Request::new(&spec(0, 0.0, 80, 10), 0, 100.0)); // fits (90)
         s.push(Request::new(&spec(1, 0.0, 80, 10), 0, 100.0)); // blocked
@@ -362,7 +372,7 @@ mod tests {
 
     #[test]
     fn expired_queued_requests_are_rejected() {
-        let mut s = Scheduler::new(64, 16);
+        let mut s = Scheduler::new(64, 16).unwrap();
         let mut l = ledger(10);
         s.push(Request::new(&spec(0, 0.0, 8, 2), 0, 1.0));
         s.push(Request::new(&spec(1, 0.0, 8, 2), 0, 1.0)); // blocked by 0
@@ -375,7 +385,7 @@ mod tests {
 
     #[test]
     fn decode_tokens_preempt_long_slack_victims() {
-        let mut s = Scheduler::new(64, 64);
+        let mut s = Scheduler::new(64, 64).unwrap();
         let mut l = ledger(100);
         // Victim: loose deadline, resident and decoding.
         s.push(Request::new(&spec(0, 0.0, 60, 20), 0, 1000.0));
@@ -404,6 +414,15 @@ mod tests {
         assert_eq!(s.requests[1].state, ReqState::Prefill);
         let (res, live) = s.recount_kv(2);
         assert!(l.cross_check(&res, &live));
+    }
+
+    /// Regression: pre-fix these were `assert!`s a CLI flag could trip.
+    #[test]
+    fn degenerate_budgets_are_errors_not_panics() {
+        assert!(Scheduler::new(0, 16).is_err());
+        assert!(Scheduler::new(64, 0).is_err());
+        assert!(Scheduler::new(0, 0).is_err());
+        assert!(Scheduler::new(1, 1).is_ok());
     }
 
     #[test]

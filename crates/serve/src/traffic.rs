@@ -14,6 +14,8 @@
 
 use xmoe_tensor::DetRng;
 
+use crate::error::ServeError;
+
 /// Shape of the arrival-rate curve over time.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum ArrivalProcess {
@@ -156,16 +158,86 @@ pub struct TrafficGen {
 }
 
 impl TrafficGen {
-    pub fn new(cfg: TrafficConfig, n_experts: usize) -> Self {
-        assert!(cfg.rate_rps > 0.0, "traffic needs a positive rate");
-        assert!(cfg.topic_width <= n_experts);
+    /// Build a generator, rejecting any configuration that would hang the
+    /// thinning loop (`rate <= 0`, a NaN envelope, a zero-length burst
+    /// period), produce NaN deadlines (`slo_scale <= 0`), or index past
+    /// the expert table (`topic_width > n_experts`).
+    pub fn new(cfg: TrafficConfig, n_experts: usize) -> Result<Self, ServeError> {
+        if !(cfg.rate_rps.is_finite() && cfg.rate_rps > 0.0) {
+            return Err(ServeError::config(format!(
+                "arrival rate must be a positive finite req/s, got {}",
+                cfg.rate_rps
+            )));
+        }
+        match cfg.arrival {
+            ArrivalProcess::Bursty {
+                on_s,
+                off_s,
+                burst_mult,
+            } => {
+                if !(on_s.is_finite() && on_s > 0.0 && off_s.is_finite() && off_s >= 0.0) {
+                    return Err(ServeError::config(format!(
+                        "bursty arrivals need on_s > 0 and off_s >= 0, got on {on_s} off {off_s}"
+                    )));
+                }
+                if !burst_mult.is_finite() {
+                    return Err(ServeError::config(format!(
+                        "bursty burst_mult must be finite, got {burst_mult}"
+                    )));
+                }
+            }
+            ArrivalProcess::Diurnal {
+                period_s,
+                amplitude,
+            } => {
+                if !(period_s.is_finite() && period_s > 0.0 && amplitude.is_finite()) {
+                    return Err(ServeError::config(format!(
+                        "diurnal arrivals need a positive finite period and finite amplitude, \
+                         got period {period_s} amplitude {amplitude}"
+                    )));
+                }
+            }
+            ArrivalProcess::Steady => {}
+        }
+        let peak = cfg.rate_rps * cfg.arrival.peak_multiplier();
+        if !(peak.is_finite() && peak > 0.0) {
+            return Err(ServeError::config(format!(
+                "arrival envelope rate must be positive and finite, got {peak}"
+            )));
+        }
+        if cfg.topic_width > n_experts {
+            return Err(ServeError::config(format!(
+                "topic_width {} exceeds the {n_experts}-expert table",
+                cfg.topic_width
+            )));
+        }
+        let (pmin, pmax) = cfg.prompt_tokens;
+        let (omin, omax) = cfg.output_tokens;
+        if pmin == 0 || pmin > pmax || omin == 0 || omin > omax {
+            return Err(ServeError::config(format!(
+                "token ranges need 1 <= min <= max, got prompt {pmin}..={pmax} \
+                 output {omin}..={omax}"
+            )));
+        }
+        if !(cfg.slo_scale.is_finite() && cfg.slo_scale > 0.0) {
+            return Err(ServeError::config(format!(
+                "slo_scale must be positive and finite (it multiplies every deadline), got {}",
+                cfg.slo_scale
+            )));
+        }
+        if !cfg.skew.is_finite() {
+            return Err(ServeError::config(format!(
+                "topic skew must be finite, got {}",
+                cfg.skew
+            )));
+        }
         let mut rng = DetRng::new(cfg.seed ^ 0x7ea5_11c0_dead_beef);
         let mut perm: Vec<usize> = (0..n_experts).collect();
         rng.shuffle(&mut perm);
         let topic_weights: Vec<f64> = (0..n_experts)
             .map(|i| (-(cfg.skew) * i as f64 / n_experts as f64).exp())
             .collect();
-        Self {
+        Ok(Self {
             cfg,
             n_experts,
             rng,
@@ -173,7 +245,7 @@ impl TrafficGen {
             next_id: 0,
             perm,
             topic_weights,
-        }
+        })
     }
 
     pub fn config(&self) -> &TrafficConfig {
@@ -238,7 +310,11 @@ mod tests {
 
     #[test]
     fn arrivals_are_monotone_and_deterministic() {
-        let mk = || TrafficGen::new(TrafficConfig::steady(50.0, 9), 16).trace(200);
+        let mk = || {
+            TrafficGen::new(TrafficConfig::steady(50.0, 9), 16)
+                .unwrap()
+                .trace(200)
+        };
         let a = mk();
         let b = mk();
         for (x, y) in a.iter().zip(&b) {
@@ -261,7 +337,7 @@ mod tests {
             off_s: 4.0,
             burst_mult: 8.0,
         });
-        let trace = TrafficGen::new(cfg, 16).trace(400);
+        let trace = TrafficGen::new(cfg, 16).unwrap().trace(400);
         let on = trace.iter().filter(|r| r.arrival_s % 5.0 < 1.0).count();
         assert!(
             on as f64 > 0.8 * trace.len() as f64,
@@ -273,7 +349,7 @@ mod tests {
     #[test]
     fn skewed_topics_have_a_hot_head() {
         let cfg = TrafficConfig::steady(10.0, 5).with_skew(8.0, 4);
-        let trace = TrafficGen::new(cfg, 64).trace(500);
+        let trace = TrafficGen::new(cfg, 64).unwrap().trace(500);
         let head = trace.iter().filter(|r| r.topic < 8).count();
         assert!(head > trace.len() / 2, "head topics {head}/{}", trace.len());
     }
@@ -283,12 +359,55 @@ mod tests {
         let cfg = TrafficConfig::steady(10.0, 5)
             .with_skew(4.0, 4)
             .with_drift(10.0);
-        let gen = TrafficGen::new(cfg, 64);
+        let gen = TrafficGen::new(cfg, 64).unwrap();
         let mut before = Vec::new();
         let mut after = Vec::new();
         gen.experts_of_topic(0, 0.0, &mut before);
         gen.experts_of_topic(0, 10.0, &mut after);
         assert_eq!(before.len(), 4);
         assert_ne!(before, after, "drift must move the hot band");
+    }
+
+    /// Regression: pre-fix, `--rate 0` panicked in `new` and a NaN rate
+    /// or zero-length burst period hung the thinning loop forever.
+    #[test]
+    fn degenerate_traffic_is_a_clean_error() {
+        assert!(TrafficGen::new(TrafficConfig::steady(0.0, 1), 16).is_err());
+        assert!(TrafficGen::new(TrafficConfig::steady(-5.0, 1), 16).is_err());
+        assert!(TrafficGen::new(TrafficConfig::steady(f64::NAN, 1), 16).is_err());
+        assert!(TrafficGen::new(TrafficConfig::steady(f64::INFINITY, 1), 16).is_err());
+
+        let zero_burst = TrafficConfig::steady(10.0, 1).with_arrival(ArrivalProcess::Bursty {
+            on_s: 0.0,
+            off_s: 0.0,
+            burst_mult: 4.0,
+        });
+        assert!(TrafficGen::new(zero_burst, 16).is_err(), "t % 0 is NaN");
+
+        let bad_diurnal = TrafficConfig::steady(10.0, 1).with_arrival(ArrivalProcess::Diurnal {
+            period_s: 0.0,
+            amplitude: 0.5,
+        });
+        assert!(TrafficGen::new(bad_diurnal, 16).is_err());
+
+        let wide = TrafficConfig::steady(10.0, 1).with_skew(2.0, 32);
+        assert!(TrafficGen::new(wide, 16).is_err(), "band wider than table");
+
+        let mut bad_slo = TrafficConfig::steady(10.0, 1);
+        bad_slo.slo_scale = 0.0;
+        assert!(
+            TrafficGen::new(bad_slo, 16).is_err(),
+            "deadline would be arrival + 0"
+        );
+        let mut neg_slo = TrafficConfig::steady(10.0, 1);
+        neg_slo.slo_scale = -1.0;
+        assert!(TrafficGen::new(neg_slo, 16).is_err());
+
+        let mut bad_range = TrafficConfig::steady(10.0, 1);
+        bad_range.prompt_tokens = (8, 4);
+        assert!(TrafficGen::new(bad_range, 16).is_err());
+        let mut zero_range = TrafficConfig::steady(10.0, 1);
+        zero_range.output_tokens = (0, 4);
+        assert!(TrafficGen::new(zero_range, 16).is_err());
     }
 }

@@ -22,7 +22,8 @@ fn base_cfg(traffic: TrafficConfig) -> ServeConfig {
 
 #[test]
 fn same_seed_is_bitwise_reproducible() {
-    let run = || serve(base_cfg(skewed_traffic(11)).with_placement(PlacementMode::Optimized));
+    let run =
+        || serve(base_cfg(skewed_traffic(11)).with_placement(PlacementMode::Optimized)).unwrap();
     let a = run();
     let b = run();
     assert_eq!(a.p50_s.to_bits(), b.p50_s.to_bits());
@@ -37,7 +38,7 @@ fn same_seed_is_bitwise_reproducible() {
 
 #[test]
 fn every_request_reaches_a_terminal_state() {
-    let rep = serve(base_cfg(skewed_traffic(5)));
+    let rep = serve(base_cfg(skewed_traffic(5))).unwrap();
     assert_eq!(rep.completed + rep.rejected, rep.requests);
     assert!(rep.completed > 0, "a sane config must complete requests");
     assert!(rep.ledger_ok, "ledger cross-checks must all pass");
@@ -51,8 +52,8 @@ fn every_request_reaches_a_terminal_state() {
 
 #[test]
 fn optimized_placement_beats_naive_under_skew() {
-    let naive = serve(base_cfg(skewed_traffic(7)).with_placement(PlacementMode::Naive));
-    let opt = serve(base_cfg(skewed_traffic(7)).with_placement(PlacementMode::Optimized));
+    let naive = serve(base_cfg(skewed_traffic(7)).with_placement(PlacementMode::Naive)).unwrap();
+    let opt = serve(base_cfg(skewed_traffic(7)).with_placement(PlacementMode::Optimized)).unwrap();
     assert!(opt.resolves >= 1, "optimized mode must solve at least once");
     assert!(
         opt.off_node_bytes < naive.off_node_bytes,
@@ -74,8 +75,8 @@ fn uniform_traffic_needs_no_placement_help() {
     // No skew: naive round-robin is already fine and the optimizer must
     // not make things worse.
     let traffic = TrafficConfig::steady(400.0, 3);
-    let naive = serve(base_cfg(traffic.clone()));
-    let opt = serve(base_cfg(traffic).with_placement(PlacementMode::Optimized));
+    let naive = serve(base_cfg(traffic.clone())).unwrap();
+    let opt = serve(base_cfg(traffic).with_placement(PlacementMode::Optimized)).unwrap();
     assert!(opt.off_node_bytes <= naive.off_node_bytes);
     assert!(naive.resolves == 0);
 }
@@ -91,7 +92,8 @@ fn drift_triggers_a_resolve() {
         base_cfg(traffic)
             .with_placement(PlacementMode::Optimized)
             .with_requests(400),
-    );
+    )
+    .unwrap();
     assert!(
         rep.resolves >= 2,
         "expected profile solve + drift re-solve, got {}",
@@ -109,7 +111,7 @@ fn bursty_traffic_stresses_admission() {
             off_s: 0.3,
             burst_mult: 10.0,
         });
-    let rep = serve(base_cfg(traffic));
+    let rep = serve(base_cfg(traffic)).unwrap();
     assert_eq!(rep.completed + rep.rejected, rep.requests);
     assert!(rep.ledger_ok);
 }
@@ -120,7 +122,7 @@ fn deadline_pressure_causes_misses_not_hangs() {
     // spin forever.
     let mut traffic = skewed_traffic(23);
     traffic.slo_scale = 0.01;
-    let rep = serve(base_cfg(traffic));
+    let rep = serve(base_cfg(traffic)).unwrap();
     assert_eq!(rep.completed + rep.rejected, rep.requests);
     assert!(
         rep.deadline_miss_rate > 0.5,

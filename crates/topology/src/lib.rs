@@ -26,11 +26,16 @@
 pub mod congestion;
 pub mod cost;
 pub mod fault;
+pub mod mapping;
 pub mod placement;
 
 pub use congestion::CongestionModel;
 pub use cost::CostModel;
 pub use fault::{FaultEvent, FaultPlan, LinkTier, SdcBitFlip, SdcSite};
+pub use mapping::{
+    enumerate_foldings, stage_boundary_p2p_time, AttnFold, FoldSearchSpace, MappingError, MoeFold,
+    ParallelMapping,
+};
 pub use placement::{
     build_grid, build_grid_excluding, build_grid_tp, optimize_placement, placement_cost,
     ExpertPlacement, PlacementCost, PlacementPolicy, ProcessGrid, RouteSample, RoutingHistogram,

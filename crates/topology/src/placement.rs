@@ -185,10 +185,12 @@ impl ProcessGrid {
 
 use crate::cost::CostModel;
 
-/// An assignment of every global expert to a serving rank. Every rank holds
-/// exactly `n_experts / n_ranks` experts (the shard shape the expert
-/// weights are materialized in), so placements are always applicable by
-/// swapping expert weights between ranks.
+/// An assignment of every global expert to a serving rank. No rank ever
+/// holds more than `ceil(n_experts / n_ranks)` experts (the per-rank slot
+/// budget), so placements are always applicable by swapping expert
+/// weights between ranks. Ragged shapes — an expert count that does not
+/// divide the rank count, or fewer experts than ranks — are first-class:
+/// round-robin dealing and the solver both respect the ceiling budget.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ExpertPlacement {
     /// `expert_to_rank[e]` is the rank holding global expert `e`.
@@ -198,14 +200,12 @@ pub struct ExpertPlacement {
 
 impl ExpertPlacement {
     /// The naive round-robin baseline: expert `e` lives on rank
-    /// `e % n_ranks` (DeepSpeed-style dealing, ignorant of routing).
+    /// `e % n_ranks` (DeepSpeed-style dealing, ignorant of routing). For
+    /// ragged shapes the first `n_experts % n_ranks` ranks hold one more
+    /// expert than the rest; with `n_experts < n_ranks` the tail ranks
+    /// simply host none.
     pub fn naive(n_experts: usize, n_ranks: usize) -> Self {
         assert!(n_ranks >= 1, "placement needs at least one rank");
-        assert_eq!(
-            n_experts % n_ranks,
-            0,
-            "experts {n_experts} not divisible by ranks {n_ranks}"
-        );
         Self {
             expert_to_rank: (0..n_experts).map(|e| e % n_ranks).collect(),
             n_ranks,
@@ -216,8 +216,11 @@ impl ExpertPlacement {
         self.expert_to_rank.len()
     }
 
+    /// Per-rank slot budget: the most experts any rank may host
+    /// (`ceil(n_experts / n_ranks)`; equals the exact per-rank count when
+    /// the shape divides evenly).
     pub fn experts_per_rank(&self) -> usize {
-        self.expert_to_rank.len() / self.n_ranks
+        self.expert_to_rank.len().div_ceil(self.n_ranks)
     }
 
     pub fn rank_of(&self, expert: usize) -> usize {
@@ -484,7 +487,11 @@ pub fn optimize_placement(
     if n == 1 {
         return naive;
     }
-    let per_rank = e / n;
+    // Per-rank slot budget. `e / n` would under-count ragged shapes: with
+    // 10 experts on 8 ranks it left every node's capacity at its floor and
+    // the grouping loop ran out of slots before placing every expert (and
+    // with e < n it was zero, so *no* expert had anywhere to go).
+    let slot_budget = e.div_ceil(n);
     let topo = cost.topology();
     // Node index of each rank and per-node rank lists.
     let n_nodes = topo.node_of(n - 1) + 1;
@@ -493,7 +500,7 @@ pub fn optimize_placement(
         node_ranks[topo.node_of(r)].push(r);
     }
     let co = hist.coactivation();
-    let node_cap: Vec<usize> = node_ranks.iter().map(|rs| rs.len() * per_rank).collect();
+    let node_cap: Vec<usize> = node_ranks.iter().map(|rs| rs.len() * slot_budget).collect();
     let total_load: u64 = hist.expert_load.iter().sum();
     let mut order: Vec<usize> = (0..e).collect();
     order.sort_by_key(|&x| (std::cmp::Reverse(hist.expert_load[x]), x));
@@ -553,7 +560,7 @@ pub fn optimize_placement(
         for (node, members) in node_members.iter().enumerate() {
             let ranks = &node_ranks[node];
             let mut load = vec![0u64; ranks.len()];
-            let mut slots = vec![per_rank; ranks.len()];
+            let mut slots = vec![slot_budget; ranks.len()];
             let mut ms = members.clone();
             ms.sort_by_key(|&x| (std::cmp::Reverse(hist.expert_load[x]), x));
             for x in ms {
@@ -883,6 +890,63 @@ mod tests {
         let p = optimize_placement(&hist, &cost, 1024);
         let c = placement_cost(&p, &hist, &cost, 1024);
         assert_eq!(c.off_node_bytes, 0);
+    }
+
+    #[test]
+    fn naive_handles_ragged_shapes() {
+        // Regression: pre-fix this asserted `experts % ranks == 0`.
+        let p = ExpertPlacement::naive(10, 4);
+        assert_eq!(p.experts_on(0), vec![0, 4, 8]);
+        assert_eq!(p.experts_on(3), vec![3, 7]);
+        assert_eq!(p.experts_per_rank(), 3, "ceil budget, not floor");
+        let few = ExpertPlacement::naive(3, 8);
+        assert_eq!(few.experts_per_rank(), 1);
+        assert!(few.experts_on(5).is_empty(), "tail ranks host nothing");
+    }
+
+    /// Ragged-shape property sweep. Regression: pre-fix, the solver's
+    /// floor-based slot arithmetic (`per_rank = e / n`) ran out of node
+    /// capacity and panicked ("capacities sum to the expert count")
+    /// whenever `experts % ranks != 0`, and zeroed every slot when
+    /// `experts < ranks`.
+    #[test]
+    fn ragged_shapes_place_every_expert_within_budget() {
+        for &(e, n, k) in &[
+            (10usize, 8usize, 3usize), // experts % ranks != 0, single node
+            (12, 16, 2),               // fewer experts than ranks, 2 nodes
+            (30, 16, 4),               // experts % nodes != 0 (30 over 2 nodes)
+            (7, 16, 2),                // fewer experts than one node's ranks
+            (65, 32, 6),               // one straggler expert over 4 nodes
+        ] {
+            let cost = frontier_cost(n);
+            let budget = e.div_ceil(n);
+            for seed in 0..3u64 {
+                let hist = skewed_hist(e, n, k.min(e), 0xA66ED + seed, 1200);
+                let opt = optimize_placement(&hist, &cost, 2048);
+                // Every expert placed exactly once, on a real rank...
+                assert_eq!(opt.n_experts(), e);
+                assert!(opt.expert_to_rank.iter().all(|&r| r < n));
+                // ...within the per-rank slot budget on every rank.
+                for r in 0..n {
+                    let hosted = opt.experts_on(r).len();
+                    assert!(
+                        hosted <= budget,
+                        "E={e} N={n} seed={seed}: rank {r} hosts {hosted} > budget {budget}"
+                    );
+                }
+                // Never worse than round-robin on either priced metric.
+                let naive = ExpertPlacement::naive(e, n);
+                let c_opt = placement_cost(&opt, &hist, &cost, 2048);
+                let c_naive = placement_cost(&naive, &hist, &cost, 2048);
+                assert!(
+                    c_opt.off_node_bytes <= c_naive.off_node_bytes,
+                    "E={e} N={n} seed={seed}: opt {} > naive {}",
+                    c_opt.off_node_bytes,
+                    c_naive.off_node_bytes
+                );
+                assert!(c_opt.dispatch_time <= c_naive.dispatch_time);
+            }
+        }
     }
 
     #[test]

@@ -41,6 +41,7 @@ pub mod layers;
 pub mod model;
 pub mod moe_layer;
 pub mod ssmb_train;
+pub mod stages;
 
 pub use adam::Adam;
 pub use attention::Attention;
@@ -55,3 +56,4 @@ pub use guard::{
 pub use model::{build_moe_layers, MoeLm, TrainConfig, TrainStats};
 pub use moe_layer::{MoeCtx, MoeTrainScratch, TrainableMoe};
 pub use ssmb_train::SsmbMoe;
+pub use stages::StagePartition;

@@ -1,0 +1,161 @@
+//! Stage-partitioned model: carve a training configuration's layer stack
+//! into the `pp × v` contiguous virtual stages the 1F1B schedule
+//! ([`xmoe_core::pipeline::run_1f1b`]) executes.
+//!
+//! The partition reuses the trainer's per-layer seeding convention
+//! (`seed + l·7001`, see [`crate::model::build_moe_layers`]), so the same
+//! `TrainConfig` produces identical layer weights whether it is built as
+//! one unpipelined stack, as `pp` stages, or as `pp × v` interleaved
+//! chunks — which is what makes the pipelined run bitwise-comparable to
+//! the single-rank reference.
+
+use xmoe_core::config::MoeModelConfig;
+use xmoe_core::pipeline::{MoeStageChunk, PipelineError, ScheduleSpec};
+use xmoe_tensor::Tensor;
+
+use crate::model::TrainConfig;
+
+/// A validated split of a model's layers over a 1F1B schedule.
+pub struct StagePartition {
+    pub spec: ScheduleSpec,
+    /// Layers per virtual stage (`layers / (pp·v)`).
+    pub layers_per_stage: usize,
+    model: MoeModelConfig,
+    seed: u64,
+}
+
+impl StagePartition {
+    /// Partition `cfg`'s layers over `pp` ranks with `v` virtual chunks
+    /// each and `m` microbatches. Fails if the layer stack does not split
+    /// evenly into `pp·v` stages (a partial stage would break the uniform
+    /// per-op time the schedule's bubble analysis assumes).
+    pub fn new(cfg: &TrainConfig, pp: usize, v: usize, m: usize) -> Result<Self, PipelineError> {
+        let spec = ScheduleSpec::new(pp, v, m)?;
+        let stages = spec.num_virtual_stages();
+        if cfg.layers == 0 || !cfg.layers.is_multiple_of(stages) {
+            return Err(PipelineError::Unsupported(
+                "layer count must split evenly into pp * virtual_chunks stages",
+            ));
+        }
+        let model = MoeModelConfig::custom(
+            "staged",
+            cfg.seq_len,
+            cfg.hidden,
+            cfg.ffn,
+            cfg.num_experts,
+            cfg.top_k,
+            cfg.layers,
+        );
+        Ok(Self {
+            spec,
+            layers_per_stage: cfg.layers / stages,
+            model,
+            seed: cfg.seed,
+        })
+    }
+
+    /// Global layer ids of virtual stage `g`.
+    pub fn stage_layers(&self, g: usize) -> std::ops::Range<usize> {
+        g * self.layers_per_stage..(g + 1) * self.layers_per_stage
+    }
+
+    /// Build the `v` chunks pipeline rank `rank` owns (chunk `c` is
+    /// virtual stage `c·pp + rank`).
+    pub fn rank_chunks(&self, rank: usize) -> Vec<MoeStageChunk> {
+        (0..self.spec.virtual_chunks)
+            .map(|c| {
+                let g = self.spec.virtual_stage(rank, c);
+                MoeStageChunk::new(
+                    &self.model,
+                    self.stage_layers(g).start,
+                    self.layers_per_stage,
+                    self.seed,
+                )
+            })
+            .collect()
+    }
+
+    /// Every virtual stage in order — the unpipelined reference stack.
+    pub fn reference_stages(&self) -> Vec<MoeStageChunk> {
+        (0..self.spec.num_virtual_stages())
+            .map(|g| {
+                MoeStageChunk::new(
+                    &self.model,
+                    self.stage_layers(g).start,
+                    self.layers_per_stage,
+                    self.seed,
+                )
+            })
+            .collect()
+    }
+
+    /// Deterministic microbatch inputs: `m` activations of
+    /// `[batch · seq_len, hidden]` derived from the config seed.
+    pub fn microbatch_inputs(&self, cfg: &TrainConfig) -> Vec<Tensor> {
+        let rows = cfg.batch * cfg.seq_len;
+        (0..self.spec.microbatches)
+            .map(|i| Tensor::rand_uniform(rows, cfg.hidden, 1.0, cfg.seed ^ (0x5EED + i as u64)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmoe_collectives::SimCluster;
+    use xmoe_core::gating::DropPolicy;
+    use xmoe_core::pipeline::{reference_forward, run_1f1b, StageChunk};
+
+    fn cfg() -> TrainConfig {
+        let mut c = TrainConfig::fig15(DropPolicy::CapacityOnly);
+        c.layers = 4;
+        c.batch = 2;
+        c.seq_len = 8;
+        c
+    }
+
+    #[test]
+    fn partition_validates_layer_divisibility() {
+        let c = cfg();
+        assert!(StagePartition::new(&c, 2, 1, 4).is_ok());
+        assert!(StagePartition::new(&c, 2, 2, 4).is_ok());
+        assert!(
+            StagePartition::new(&c, 3, 1, 4).is_err(),
+            "4 layers / 3 stages"
+        );
+        assert!(
+            StagePartition::new(&c, 2, 2, 3).is_err(),
+            "interleaved m % pp"
+        );
+    }
+
+    #[test]
+    fn stage_layers_tile_the_stack() {
+        let part = StagePartition::new(&cfg(), 2, 2, 4).unwrap();
+        let covered: Vec<usize> = (0..4).flat_map(|g| part.stage_layers(g)).collect();
+        assert_eq!(covered, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn pipelined_partition_matches_reference_bitwise() {
+        let c = cfg();
+        let part = StagePartition::new(&c, 2, 1, 4).unwrap();
+        let inputs = part.microbatch_inputs(&c);
+        let stages = part.reference_stages();
+        let refs: Vec<&dyn StageChunk> = stages.iter().map(|s| s as &dyn StageChunk).collect();
+        let want = reference_forward(&refs, &inputs);
+        let got = {
+            let (part, inputs) = (&part, &inputs);
+            SimCluster::frontier(2).run(move |ctx| {
+                let chunks = part.rank_chunks(ctx.rank);
+                let refs: Vec<&dyn StageChunk> =
+                    chunks.iter().map(|c| c as &dyn StageChunk).collect();
+                run_1f1b(&part.spec, &refs, inputs, &ctx.world, &mut ctx.clock).unwrap()
+            })
+        };
+        assert_eq!(got[1].len(), 4);
+        for (g, w) in got[1].iter().zip(&want) {
+            assert_eq!(g.as_slice(), w.as_slice());
+        }
+    }
+}

@@ -29,6 +29,16 @@
 //!     `--trace` writes a Chrome trace-event JSON (open in Perfetto);
 //!     `--csv` writes the raw per-rank spans.
 //!
+//! xmoe-cli step --pp <stages> [--vpp <chunks>] [--microbatches <m>]
+//!     Run the (interleaved) 1F1B pipeline schedule live: one MoE layer
+//!     per virtual stage on `<stages>` simulated ranks with uniform
+//!     compute, checked bitwise against the unpipelined reference, then
+//!     the measured bubble fraction against the analytic
+//!     `(p-1)/(v·m+p-1)` ramp and the auto-mapping planner's priced view
+//!     of the same fold. Illegal shapes (layers not splitting into
+//!     `pp·vpp` stages, interleaved `m` not divisible by `pp`) exit 1
+//!     with a diagnostic.
+//!
 //! xmoe-cli chaos [ranks] [--faults <spec>] [--ckpt-every N] [--steps N] [--seed S]
 //!               [--guard] [--max-grad-norm X]
 //!     Fault-injected distributed training with checkpoint/restore and
@@ -56,7 +66,10 @@
 //!     histograms and re-solves expert→rank placement when the skew
 //!     detector flags drift (`--drift T` moves the hot topics at T
 //!     seconds). Prints latency percentiles, goodput, deadline misses,
-//!     off-node traffic and placement-solve counts.
+//!     off-node traffic and placement-solve counts. Degenerate values
+//!     (`--requests 0`, `--rate 0`, rank counts that do not divide the
+//!     expert count) are config errors: a one-line diagnostic and exit 1,
+//!     never a panic or a hang.
 //!
 //! xmoe-cli bench hotpath [--smoke] [--out <path>] [--validate <path>]
 //!     Zero-allocation steady-state benchmark of the MoE hot path under a
@@ -70,6 +83,18 @@
 //!     baseline measured in the same run. `--validate` re-checks an
 //!     existing file (schema + allocation-regression gate) and is what CI
 //!     runs; `--smoke` shortens the timed loops.
+//!
+//! xmoe-cli bench mapping [--smoke] [--out <path>] [--validate <path>]
+//!     Auto-mapping planner benchmark: enumerate every legal 4D folding
+//!     (PP x virtual chunks, attention TP x DP, MoE EP x TP x DP) of a
+//!     32-expert model over 16 clean-frontier GCDs, price each with the
+//!     analytic cost + memory models, and write a self-validated
+//!     `BENCH_mapping.json`. The gate requires >= 8 legal foldings
+//!     including pipelined (pp > 1) and interleaved (vpp > 1) points,
+//!     records sorted by step time, and a non-empty (step time, memory)
+//!     Pareto frontier with memory non-increasing along it. `--smoke` is
+//!     accepted for CI symmetry (the planner is analytic and already
+//!     instant); `--validate` re-checks an existing file.
 //! ```
 
 use std::path::Path;
@@ -86,12 +111,20 @@ use xmoe::core::memory::{
 };
 use xmoe::core::perf::PerfModel;
 use xmoe::core::pft::Pft;
-use xmoe::core::pipeline::{self, DenseDropOrder, MoeLayerSpec, PooledSingleState};
+use xmoe::core::pipeline::{
+    self, bubble_fraction, rank_work, reference_forward, run_1f1b, DenseDropOrder, MoeLayerSpec,
+    PooledSingleState, StageChunk,
+};
+use xmoe::core::plan::{plan_mappings, price_mapping, MappingPlan};
 use xmoe::core::rbd::{self, expected_redundancy_uniform, RbdComms};
 use xmoe::tensor::{CountingAlloc, DetRng, Tensor};
-use xmoe::topology::{ClusterTopology, CostModel, FaultPlan, MachineSpec};
+use xmoe::topology::{
+    AttnFold, ClusterTopology, CongestionModel, CostModel, FaultPlan, MachineSpec, MoeFold,
+    ParallelMapping,
+};
 use xmoe::train::{
-    run_chaos_rank, ChaosConfig, GuardConfig, MoeTrainScratch, TrainConfig, TrainableMoe,
+    run_chaos_rank, ChaosConfig, GuardConfig, MoeTrainScratch, StagePartition, TrainConfig,
+    TrainableMoe,
 };
 
 /// Counting allocator: the `bench hotpath` telemetry source. Forwards to the
@@ -120,9 +153,11 @@ fn usage() -> ! {
          xmoe-cli analyze <experts> <topk> [tokens]\n  \
          xmoe-cli step <dense|pft|blocksparse|rbd> [ranks] [--overlap [chunks]] [--trace <path>] [--csv <path>]\n  \
          \u{20}   (--overlap applies to pft and rbd; dense and blocksparse run serial-only)\n  \
+         xmoe-cli step --pp <stages> [--vpp <chunks>] [--microbatches <m>]\n  \
          xmoe-cli chaos [ranks] [--faults <spec>] [--ckpt-every N] [--steps N] [--seed S] [--guard] [--max-grad-norm X]\n  \
          xmoe-cli serve [ranks] [--placement naive|optimized] [--arrival steady|bursty|diurnal] [--requests N] [--rate R] [--skew S] [--drift T] [--seed S]\n  \
-         xmoe-cli bench hotpath [--smoke] [--out <path>] [--validate <path>]"
+         xmoe-cli bench hotpath [--smoke] [--out <path>] [--validate <path>]\n  \
+         xmoe-cli bench mapping [--smoke] [--out <path>] [--validate <path>]"
     );
     std::process::exit(2);
 }
@@ -370,13 +405,6 @@ fn cmd_serve(args: &[String]) {
     }
 
     let model = MoeModelConfig::small();
-    if !model.num_experts.is_multiple_of(ranks) {
-        eprintln!(
-            "serve: ranks must divide the expert count ({})",
-            model.num_experts
-        );
-        std::process::exit(2);
-    }
     let mut traffic = TrafficConfig::steady(rate, seed).with_arrival(arrival);
     if skew > 0.0 {
         traffic = traffic.with_skew(skew, 6);
@@ -391,11 +419,17 @@ fn cmd_serve(args: &[String]) {
         arrival.name(),
         placement.name()
     );
+    // Degenerate flags (`--requests 0`, `--rate 0`, ranks that don't
+    // divide the experts) come back as clean config errors, not panics.
     let rep = serve(
         ServeConfig::new(model, ranks, traffic)
             .with_requests(requests)
             .with_placement(placement),
-    );
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("serve: {e}");
+        std::process::exit(1);
+    });
     println!(
         "completed {}/{} ({} rejected, {} preemptions) in {:.3}s simulated, {} steps",
         rep.completed, rep.requests, rep.rejected, rep.preemptions, rep.duration_s, rep.steps
@@ -427,6 +461,11 @@ fn cmd_serve(args: &[String]) {
 }
 
 fn cmd_step(args: &[String]) {
+    // `--pp` switches from the single-layer pipelines to the 1F1B
+    // pipeline-parallel driver (no pipeline-name positional there).
+    if args.iter().any(|a| a == "--pp") {
+        return cmd_step_pipeline(args);
+    }
     let pipeline_name = args.first().map(String::as_str).unwrap_or_else(|| usage());
     let mut ranks = 8usize;
     let mut trace_path: Option<&str> = None;
@@ -601,6 +640,156 @@ fn cmd_step(args: &[String]) {
         trace::write_spans_csv(Path::new(p), &traces).expect("write csv file");
         println!("wrote span CSV to {p}");
     }
+}
+
+/// `xmoe-cli step --pp`: the (interleaved) 1F1B schedule live on the
+/// threads-as-ranks runtime — one reduced-dimension MoE layer per virtual
+/// stage — checked bitwise against the unpipelined reference and compared
+/// to the analytic bubble and the planner's priced view of the same fold.
+fn cmd_step_pipeline(args: &[String]) {
+    let mut pp = 2usize;
+    let mut vpp = 1usize;
+    let mut m = 8usize;
+    let mut i = 0usize;
+    while i < args.len() {
+        let value = |j: usize| args.get(j).map(String::as_str).unwrap_or_else(|| usage());
+        match args[i].as_str() {
+            "--pp" => {
+                pp = value(i + 1).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--vpp" => {
+                vpp = value(i + 1).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--microbatches" => {
+                m = value(i + 1).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            _ => usage(),
+        }
+    }
+    // Reduced-dimension stack, one layer per virtual stage. Shape errors
+    // (pp 0, layers not splitting, interleaved m % pp != 0) are config
+    // errors: diagnostic + exit 1, not a panic.
+    let mut cfg = TrainConfig::fig15(DropPolicy::CapacityOnly);
+    cfg.vocab = 64;
+    cfg.hidden = 16;
+    cfg.ffn = 8;
+    cfg.num_experts = 4;
+    cfg.top_k = 2;
+    cfg.layers = pp * vpp;
+    cfg.seq_len = 8;
+    cfg.batch = 2;
+    cfg.capacity_factor = 1e6;
+    let part = match StagePartition::new(&cfg, pp, vpp, m) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("step --pp: {e}");
+            std::process::exit(1);
+        }
+    };
+    let inputs = part.microbatch_inputs(&cfg);
+    let stages = part.reference_stages();
+    let refs: Vec<&dyn StageChunk> = stages.iter().map(|s| s as &dyn StageChunk).collect();
+    let want = reference_forward(&refs, &inputs);
+
+    // Uniform slow compute: every stage op costs the same and dwarfs the
+    // boundary hops, so the measured bubble converges to the analytic
+    // fill/drain ramp instead of the network's noise.
+    let mut spec = MachineSpec::frontier();
+    spec.peak_flops = 1e8;
+    spec.gemm_efficiency = 1.0;
+    let topo = ClusterTopology::new(spec, pp);
+    let cluster = SimCluster::new(CostModel::new(topo).with_congestion(CongestionModel::none()));
+    let per_rank = {
+        let (part, inputs) = (&part, &inputs);
+        cluster.run(move |ctx| {
+            let chunks = part.rank_chunks(ctx.rank);
+            let refs: Vec<&dyn StageChunk> = chunks.iter().map(|c| c as &dyn StageChunk).collect();
+            let outs = run_1f1b(&part.spec, &refs, inputs, &ctx.world, &mut ctx.clock);
+            (outs, ctx.clock.now(), rank_work(&ctx.clock))
+        })
+    };
+    let mut totals: Vec<(f64, f64)> = Vec::with_capacity(pp);
+    let mut outputs: Vec<Tensor> = Vec::new();
+    for (rank, (res, now, work)) in per_rank.into_iter().enumerate() {
+        match res {
+            Ok(o) => {
+                if rank == pp - 1 {
+                    outputs = o;
+                }
+                totals.push((now, work));
+            }
+            Err(e) => {
+                eprintln!("step --pp: rank {rank}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    println!(
+        "1f1b schedule: pp={pp} v={vpp} m={m} | {} layers ({} per virtual stage) | \
+         {} rows/microbatch on {pp} simulated uniform-compute ranks",
+        cfg.layers,
+        part.layers_per_stage,
+        cfg.batch * cfg.seq_len
+    );
+    let bitwise = outputs.len() == want.len()
+        && outputs
+            .iter()
+            .zip(&want)
+            .all(|(g, w)| g.as_slice() == w.as_slice());
+    if !bitwise {
+        eprintln!("DEVIATION pipelined outputs diverge from the unpipelined reference");
+        std::process::exit(1);
+    }
+    println!(
+        "PASS      pipelined outputs match the unpipelined reference bitwise ({m} microbatches)"
+    );
+    let measured = bubble_fraction(&totals);
+    let analytic = part.spec.analytic_bubble();
+    let off = if analytic > 0.0 {
+        100.0 * (measured - analytic) / analytic
+    } else {
+        0.0
+    };
+    println!(
+        "bubble: measured {measured:.4} vs analytic (p-1)/(v*m+p-1) = {analytic:.4} ({off:+.1}%)"
+    );
+
+    // The planner's priced view of the same fold (per-stage ranks collapse
+    // to 1, so this prices the schedule itself: ramps, hops, sync).
+    let mapping = ParallelMapping {
+        pp,
+        virtual_chunks: vpp,
+        microbatches: m,
+        attn: AttnFold { tp: 1, dp: 1 },
+        moe: MoeFold {
+            ep: 1,
+            tp: 1,
+            dp: 1,
+        },
+    };
+    let model = MoeModelConfig::custom(
+        "staged-cli",
+        cfg.seq_len,
+        cfg.hidden,
+        cfg.ffn,
+        cfg.num_experts,
+        cfg.top_k,
+        cfg.layers,
+    );
+    let plan = price_mapping(&PerfModel::frontier_clean(pp), &model, &mapping, cfg.batch);
+    println!(
+        "priced as {}: step {:.3} ms | {:.3} TF/GPU | boundary hop {:.1} us | {:.3} GiB/GPU ({})",
+        plan.mapping.label(),
+        plan.step_time * 1e3,
+        plan.tflops_per_gpu,
+        plan.p2p_time * 1e6,
+        plan.mem.total() as f64 / GIB,
+        if plan.fits { "fits" } else { "OOM" }
+    );
 }
 
 fn cmd_plan(args: &[String]) {
@@ -1309,13 +1498,18 @@ fn validate_hotpath(text: &str) -> Result<usize, String> {
 }
 
 fn cmd_bench(args: &[String]) {
-    if args.first().map(String::as_str) != Some("hotpath") {
-        usage();
+    match args.first().map(String::as_str) {
+        Some("hotpath") => cmd_bench_hotpath(&args[1..]),
+        Some("mapping") => cmd_bench_mapping(&args[1..]),
+        _ => usage(),
     }
+}
+
+fn cmd_bench_hotpath(args: &[String]) {
     let mut smoke = false;
     let mut out_path = "BENCH_hotpath.json".to_string();
     let mut validate_only: Option<String> = None;
-    let mut i = 1usize;
+    let mut i = 0usize;
     while i < args.len() {
         match args[i].as_str() {
             "--smoke" => {
@@ -1388,5 +1582,221 @@ fn cmd_bench(args: &[String]) {
     }
     if !all_ok {
         std::process::exit(1);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// bench mapping — auto-mapping planner over every legal 4D folding
+// ---------------------------------------------------------------------------
+
+/// Search shape for `bench mapping`: a 32-expert / 8-layer model over 16
+/// clean-frontier GCDs yields a rich legal frontier — pipelined,
+/// interleaved and flat foldings — while the purely analytic pricing
+/// keeps the whole enumeration instant.
+const MAP_WORLD: usize = 16;
+const MAP_MICRO_BATCH: usize = 1;
+const MAP_MICROBATCHES: usize = 8;
+
+fn mapping_model() -> MoeModelConfig {
+    MoeModelConfig::custom("plan-demo", 2048, 1024, 704, 32, 4, 8)
+}
+
+fn render_mapping_json(plans: &[MappingPlan]) -> String {
+    let mut s = String::from("[\n");
+    for (i, p) in plans.iter().enumerate() {
+        let m = &p.mapping;
+        s.push_str("  {\n");
+        s.push_str(&format!(
+            "    \"config\": {{\"label\": \"{}\", \"world\": {MAP_WORLD}, \"pp\": {}, \
+             \"vpp\": {}, \"microbatches\": {}, \"attn_tp\": {}, \"attn_dp\": {}, \
+             \"moe_ep\": {}, \"moe_tp\": {}, \"moe_dp\": {}}},\n",
+            report::json_safe(&m.label()),
+            m.pp,
+            m.virtual_chunks,
+            m.microbatches,
+            m.attn.tp,
+            m.attn.dp,
+            m.moe.ep,
+            m.moe.tp,
+            m.moe.dp
+        ));
+        s.push_str(&format!("    \"step_time_s\": {:.9},\n", p.step_time));
+        s.push_str(&format!(
+            "    \"tflops_per_gpu\": {:.4},\n",
+            p.tflops_per_gpu
+        ));
+        s.push_str(&format!("    \"bubble\": {:.6},\n", p.bubble));
+        s.push_str(&format!("    \"p2p_s\": {:.9},\n", p.p2p_time));
+        s.push_str(&format!("    \"dp_sync_s\": {:.9},\n", p.dp_sync));
+        s.push_str(&format!("    \"mem_bytes\": {},\n", p.mem.total()));
+        s.push_str(&format!("    \"fits\": {},\n", p.fits as u8));
+        s.push_str(&format!("    \"pareto\": {}\n", p.pareto as u8));
+        s.push_str(if i + 1 == plans.len() {
+            "  }\n"
+        } else {
+            "  },\n"
+        });
+    }
+    s.push_str("]\n");
+    s
+}
+
+/// Structural + semantic validation of a `BENCH_mapping.json`. The gate
+/// checks the planner's contract, not just the schema: at least 8 legal
+/// foldings with pipelined (pp > 1) and interleaved (vpp > 1) points,
+/// records sorted by step time, only fitting plans on the Pareto
+/// frontier, and memory non-increasing along it (time ascending and
+/// memory ascending at once would mean a dominated plan was marked).
+fn validate_mapping(text: &str) -> Result<usize, String> {
+    let objs = report::split_records(text)?;
+    if objs.len() < 8 {
+        return Err(format!(
+            "mapping frontier too thin: {} legal foldings (need >= 8)",
+            objs.len()
+        ));
+    }
+    let mut prev_time = 0.0f64;
+    let mut prev_pareto_mem = f64::INFINITY;
+    let mut any_pp = false;
+    let mut any_vpp = false;
+    let mut pareto_count = 0usize;
+    for obj in &objs {
+        if !obj.contains("\"config\"") || !obj.contains("\"label\"") {
+            return Err("record lacks a config.label tag".into());
+        }
+        let t = report::positive_scalar(obj, "step_time_s")?;
+        report::positive_scalar(obj, "tflops_per_gpu")?;
+        let mem = report::positive_scalar(obj, "mem_bytes")?;
+        let bubble = report::scalar(obj, "bubble")?;
+        if !(0.0..1.0).contains(&bubble) {
+            return Err(format!("bubble {bubble} outside [0, 1)"));
+        }
+        let pp = report::scalar(obj, "pp")?;
+        if pp < 1.0 {
+            return Err(format!("pp {pp} < 1"));
+        }
+        if pp > 1.0 {
+            any_pp = true;
+        } else if bubble != 0.0 {
+            return Err(format!(
+                "unpipelined plan reports a nonzero bubble {bubble}"
+            ));
+        }
+        if report::scalar(obj, "vpp")? > 1.0 {
+            any_vpp = true;
+        }
+        let fits = report::scalar(obj, "fits")?;
+        let pareto = report::scalar(obj, "pareto")?;
+        for (key, v) in [("fits", fits), ("pareto", pareto)] {
+            if v != 0.0 && v != 1.0 {
+                return Err(format!("{key} = {v} is not a 0/1 flag"));
+            }
+        }
+        if pareto == 1.0 && fits != 1.0 {
+            return Err("a non-fitting plan is marked Pareto-optimal".into());
+        }
+        if t < prev_time {
+            return Err("records are not sorted by step_time_s".into());
+        }
+        prev_time = t;
+        if pareto == 1.0 {
+            pareto_count += 1;
+            if mem > prev_pareto_mem {
+                return Err(format!(
+                    "Pareto frontier not monotone: memory rises {prev_pareto_mem} -> {mem} \
+                     as step time grows (a dominated plan is marked optimal)"
+                ));
+            }
+            prev_pareto_mem = mem;
+        }
+    }
+    if !any_pp {
+        return Err("no pipelined (pp > 1) folding in the enumeration".into());
+    }
+    if !any_vpp {
+        return Err("no interleaved (vpp > 1) folding in the enumeration".into());
+    }
+    if pareto_count == 0 {
+        return Err("no plan on the Pareto frontier".into());
+    }
+    Ok(objs.len())
+}
+
+fn cmd_bench_mapping(args: &[String]) {
+    let mut out_path = "BENCH_mapping.json".to_string();
+    let mut validate_only: Option<String> = None;
+    let mut i = 0usize;
+    while i < args.len() {
+        match args[i].as_str() {
+            // Accepted for CI symmetry with `bench hotpath`: the planner
+            // is analytic, so there is no long loop to shorten.
+            "--smoke" => {
+                i += 1;
+            }
+            "--out" => {
+                out_path = args.get(i + 1).cloned().unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--validate" => {
+                validate_only = Some(args.get(i + 1).cloned().unwrap_or_else(|| usage()));
+                i += 2;
+            }
+            _ => usage(),
+        }
+    }
+    if let Some(p) = validate_only {
+        let text = std::fs::read_to_string(&p).unwrap_or_else(|e| {
+            eprintln!("{p}: INVALID — read failed: {e}");
+            std::process::exit(1);
+        });
+        match validate_mapping(&text) {
+            Ok(n) => println!("{p}: {n} records, schema + planner gate OK"),
+            Err(e) => {
+                eprintln!("{p}: INVALID — {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    let cfg = mapping_model();
+    let perf = PerfModel::frontier_clean(MAP_WORLD);
+    let plans = plan_mappings(&perf, &cfg, MAP_MICRO_BATCH, MAP_MICROBATCHES);
+    let fitting = plans.iter().filter(|p| p.fits).count();
+    let pareto = plans.iter().filter(|p| p.pareto).count();
+    println!(
+        "== bench mapping — auto-mapping planner ({} on {MAP_WORLD} clean-frontier GCDs, \
+         micro-batch {MAP_MICRO_BATCH}, {MAP_MICROBATCHES} microbatches) ==",
+        cfg.name
+    );
+    println!(
+        "{} legal foldings priced | {fitting} fit in HBM | {pareto} on the (time, memory) \
+         Pareto frontier:",
+        plans.len()
+    );
+    println!(
+        "{:<46} {:>9} {:>8} {:>7} {:>9}",
+        "mapping", "step ms", "TF/GPU", "bubble", "GiB/GPU"
+    );
+    for p in plans.iter().filter(|p| p.pareto) {
+        println!(
+            "{:<46} {:>9.2} {:>8.2} {:>7.3} {:>9.2}",
+            p.mapping.label(),
+            p.step_time * 1e3,
+            p.tflops_per_gpu,
+            p.bubble,
+            p.mem.total() as f64 / GIB
+        );
+    }
+    println!(
+        "({} dominated / non-fitting plans omitted from the table; all are in the JSON)",
+        plans.len() - pareto
+    );
+    match report::write_validated(&out_path, &render_mapping_json(&plans), validate_mapping) {
+        Ok(n) => println!("wrote {out_path} ({n} records, self-validated)"),
+        Err(e) => {
+            eprintln!("{out_path}: self-validation failed — {e}");
+            std::process::exit(1);
+        }
     }
 }
