@@ -746,6 +746,86 @@ impl Communicator {
         self.split(node, clock)
     }
 
+    /// Collectively re-form a communicator over an explicit member list —
+    /// the dual of [`split`](Self::split), used when ranks *join* mid-run.
+    /// `members` are local positions in this communicator (typically the
+    /// world handle kept alive across recoveries); every listed rank must
+    /// call `grow` with the identical list, and no other rank may call.
+    ///
+    /// Unlike `split` there is no color exchange: the member list is already
+    /// agreed out of band (it is computable from the fault plan at the join
+    /// step), so the rendezvous is a tiny stamp exchange that synchronizes
+    /// the members' clocks, priced like the 8-byte all-gather `split` pays.
+    /// Like `split`, `grow` ignores dead or absent non-members entirely.
+    pub fn grow(&self, members: &[usize], clock: &mut SimClock) -> Result<Communicator, CommError> {
+        let step = self.step.get();
+        let mut members: Vec<usize> = members.to_vec();
+        members.sort_unstable();
+        members.dedup();
+        assert!(
+            members.contains(&self.me),
+            "a rank not in the member list called grow"
+        );
+
+        // Rendezvous: exchange clock stamps among the members so the new
+        // communicator starts from a common time base.
+        for &dst in &members {
+            if dst == self.me {
+                continue;
+            }
+            self.record_send(dst, 8);
+            self.send_to(dst, clock.now(), Box::new(0u64))?;
+        }
+        let mut start = clock.now();
+        for &src in &members {
+            if src == self.me {
+                continue;
+            }
+            let pkt = self.recv_from(src)?;
+            start = start.max(pkt.clock);
+            let _ = *pkt
+                .payload
+                .downcast::<u64>()
+                .expect("collective type mismatch in grow");
+        }
+        let member_globals: Vec<usize> = members.iter().map(|&i| self.state.ranks[i]).collect();
+        let t = self.state.cost.allgather_time(&member_globals, 8);
+        clock.advance_to_op("grow", start);
+        clock.advance_op("grow", t);
+
+        let leader = members[0];
+        let my_pos = members
+            .iter()
+            .position(|&m| m == self.me)
+            .expect("grow: caller not in the member list");
+        if self.me == leader {
+            let child = Arc::new(CommState::new(
+                member_globals,
+                self.state.cost.clone(),
+                self.state.fault.clone(),
+            ));
+            for &m in &members[1..] {
+                self.send_to(m, clock.now(), Box::new(child.clone()))?;
+            }
+            Ok(Communicator {
+                state: child,
+                me: 0,
+                step: Cell::new(step),
+            })
+        } else {
+            let pkt = self.recv_from(leader)?;
+            let child = *pkt
+                .payload
+                .downcast::<Arc<CommState>>()
+                .expect("collective type mismatch in grow");
+            Ok(Communicator {
+                state: child,
+                me: my_pos,
+                step: Cell::new(step),
+            })
+        }
+    }
+
     /// Fail fast if either endpoint of a point-to-point transfer is dead.
     /// Unlike [`check_dead`](Self::check_dead), unrelated group members do
     /// not matter: a pipeline stage boundary only involves two ranks.

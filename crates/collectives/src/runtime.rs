@@ -616,4 +616,56 @@ mod tests {
             assert_eq!(sum, 3.0); // 0 + 1 + 2
         }
     }
+
+    #[test]
+    fn grow_reunites_survivors_with_a_rejoined_rank() {
+        // Rank 3 dies at step 1 and rejoins at step 3: the survivors shrink
+        // via split, work on the sub-communicator, then all four ranks
+        // rendezvous via grow and all-reduce over the full world again.
+        let plan = FaultPlan::new(7).kill(3, 1).join(3, 3);
+        let cluster = SimCluster::frontier(4).with_faults(plan);
+        let out = cluster.run(|ctx| {
+            ctx.set_step(1);
+            if ctx
+                .fault_plan()
+                .is_some_and(|p| p.is_dead(ctx.rank, ctx.step()))
+            {
+                // The dead rank sleeps through the shrunken phase, then
+                // takes part in the grow rendezvous at its join step.
+                ctx.set_step(3);
+                let regrown = ctx.world.grow(&[0, 1, 2, 3], &mut ctx.clock).unwrap();
+                let mut v = vec![ctx.rank as f32];
+                regrown.all_reduce_sum_f32(&mut v, &mut ctx.clock).unwrap();
+                return (regrown.size(), regrown.rank(), v[0]);
+            }
+            let sub = ctx.world.split(0, &mut ctx.clock).unwrap();
+            let mut v = vec![ctx.rank as f32];
+            sub.all_reduce_sum_f32(&mut v, &mut ctx.clock).unwrap();
+            assert_eq!(v[0], 3.0);
+            ctx.set_step(3);
+            let regrown = ctx.world.grow(&[0, 1, 2, 3], &mut ctx.clock).unwrap();
+            let mut v = vec![ctx.rank as f32];
+            regrown.all_reduce_sum_f32(&mut v, &mut ctx.clock).unwrap();
+            (regrown.size(), regrown.rank(), v[0])
+        });
+        for (rank, (size, local, sum)) in out.iter().enumerate() {
+            assert_eq!(*size, 4);
+            assert_eq!(*local, rank);
+            assert_eq!(*sum, 6.0); // 0 + 1 + 2 + 3
+        }
+    }
+
+    #[test]
+    fn grow_aligns_member_clocks() {
+        let cluster = SimCluster::frontier(4);
+        let clocks = cluster.run(|ctx| {
+            ctx.clock.advance((ctx.rank + 1) as f64);
+            let g = ctx.world.grow(&[0, 1, 2, 3], &mut ctx.clock).unwrap();
+            assert_eq!(g.group_ranks(), &[0, 1, 2, 3]);
+            ctx.clock.now()
+        });
+        let t0 = clocks[0];
+        assert!(clocks.iter().all(|t| (t - t0).abs() < 1e-12));
+        assert!(t0 >= 4.0);
+    }
 }

@@ -117,6 +117,12 @@ pub enum FaultEvent {
     },
     /// Rank `rank` dies permanently at the start of step `at`.
     RankFail { rank: usize, at: u64 },
+    /// Rank `rank` joins (or rejoins) the run at the start of step `at`.
+    /// A join scheduled after a [`RankFail`](FaultEvent::RankFail) cancels
+    /// the death from `at` onward; a join with no earlier failure marks a
+    /// rank that is *absent* from the start and elastically scales the
+    /// world up at `at`.
+    RankJoin { rank: usize, at: u64 },
     /// A silent bit flip on rank `rank` at step `at`: one bit of one f32
     /// word (or one checkpoint byte) at `site` is inverted. `bit` is the
     /// explicit bit index if the spec pinned one; otherwise the injector
@@ -146,7 +152,7 @@ impl FaultEvent {
             | FaultEvent::LinkDegrade { from, until, .. }
             | FaultEvent::LinkFlap { from, until, .. } => from <= step && step < until,
             FaultEvent::Noise { from, until, .. } => from <= step && step < until,
-            FaultEvent::RankFail { at, .. } => step >= at,
+            FaultEvent::RankFail { at, .. } | FaultEvent::RankJoin { at, .. } => step >= at,
             FaultEvent::BitFlip { at, .. } => step == at,
         }
     }
@@ -239,6 +245,14 @@ impl FaultPlan {
         self
     }
 
+    /// Schedule rank `rank` to join (or rejoin) at the start of step `at`.
+    /// See [`FaultEvent::RankJoin`] for the semantics relative to an
+    /// earlier `kill`.
+    pub fn join(mut self, rank: usize, at: u64) -> Self {
+        self.events.push(FaultEvent::RankJoin { rank, at });
+        self
+    }
+
     /// Schedule a single silent bit flip on `rank` at step `at`. Pass
     /// `bit: None` to let the plan seed choose an exponent-region bit.
     pub fn bitflip(mut self, rank: usize, at: u64, site: SdcSite, bit: Option<u32>) -> Self {
@@ -322,12 +336,105 @@ impl FaultPlan {
             .sum()
     }
 
-    /// Is `rank` dead at `step`? Death is permanent: true for every step at
-    /// or after the scheduled failure.
-    pub fn is_dead(&self, rank: usize, step: u64) -> bool {
+    /// Latest `RankFail` for `rank` at or before `step`, if any.
+    fn last_fail_at(&self, rank: usize, step: u64) -> Option<u64> {
         self.events
             .iter()
-            .any(|e| matches!(*e, FaultEvent::RankFail { rank: r, at } if r == rank && step >= at))
+            .filter_map(|e| match *e {
+                FaultEvent::RankFail { rank: r, at } if r == rank && step >= at => Some(at),
+                _ => None,
+            })
+            .max()
+    }
+
+    /// Latest `RankJoin` for `rank` at or before `step`, if any.
+    fn last_join_at(&self, rank: usize, step: u64) -> Option<u64> {
+        self.events
+            .iter()
+            .filter_map(|e| match *e {
+                FaultEvent::RankJoin { rank: r, at } if r == rank && step >= at => Some(at),
+                _ => None,
+            })
+            .max()
+    }
+
+    /// Is `rank` dead at `step`? Death lasts from the scheduled failure
+    /// until a later [`join`](Self::join) (if any) revives the rank; a
+    /// kill and a join scheduled at the same step resolve to dead.
+    pub fn is_dead(&self, rank: usize, step: u64) -> bool {
+        match (self.last_fail_at(rank, step), self.last_join_at(rank, step)) {
+            (Some(fail), Some(join)) => fail >= join,
+            (Some(_), None) => true,
+            (None, _) => false,
+        }
+    }
+
+    /// Is `rank` participating in the run at `step`? False while dead, and
+    /// false for a fresh joiner (a `join` with no earlier `kill`) before
+    /// its join step — such a rank sits out the run until it joins.
+    pub fn is_present(&self, rank: usize, step: u64) -> bool {
+        if self.is_dead(rank, step) {
+            return false;
+        }
+        // A rank whose first scheduled event is a join is absent until it.
+        let first_join = self
+            .events
+            .iter()
+            .filter_map(|e| match *e {
+                FaultEvent::RankJoin { rank: r, at } if r == rank => Some(at),
+                _ => None,
+            })
+            .min();
+        let first_fail = self.dies_at(rank);
+        match (first_join, first_fail) {
+            (Some(j), None) => step >= j,
+            (Some(j), Some(f)) => f < j || step >= j,
+            (None, _) => true,
+        }
+    }
+
+    /// Steps at which `rank` is scheduled to join, ascending.
+    pub fn joins_of(&self, rank: usize) -> Vec<u64> {
+        let mut out: Vec<u64> = self
+            .events
+            .iter()
+            .filter_map(|e| match *e {
+                FaultEvent::RankJoin { rank: r, at } if r == rank => Some(at),
+                _ => None,
+            })
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Ranks scheduled to join exactly at `step`, ascending.
+    pub fn joining_at(&self, step: u64) -> Vec<usize> {
+        let mut out: Vec<usize> = self
+            .events
+            .iter()
+            .filter_map(|e| match *e {
+                FaultEvent::RankJoin { rank, at } if at == step => Some(rank),
+                _ => None,
+            })
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// All join steps scheduled by the plan, ascending and deduplicated.
+    pub fn join_steps(&self) -> Vec<u64> {
+        let mut out: Vec<u64> = self
+            .events
+            .iter()
+            .filter_map(|e| match *e {
+                FaultEvent::RankJoin { at, .. } => Some(at),
+                _ => None,
+            })
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
     }
 
     /// The step at which `rank` dies, if scheduled.
@@ -341,7 +448,7 @@ impl FaultPlan {
             .min()
     }
 
-    /// All ranks dead at `step`, ascending.
+    /// All ranks dead at `step` (net of any reviving joins), ascending.
     pub fn dead_ranks(&self, step: u64) -> Vec<usize> {
         let mut out: Vec<usize> = self
             .events
@@ -350,6 +457,7 @@ impl FaultPlan {
                 FaultEvent::RankFail { rank, at } if step >= at => Some(rank),
                 _ => None,
             })
+            .filter(|&r| self.is_dead(r, step))
             .collect();
         out.sort_unstable();
         out.dedup();
@@ -484,20 +592,27 @@ impl FaultPlan {
     /// degrade:tier=inter,x=3,from=2,until=6
     /// flap:tier=inter,retries=2,from=3,until=4
     /// kill:rank=5,at=4
+    /// join:rank=5,at=8
     /// bitflip:rank=2,at=5,site=grad,bit=30
     /// noise:rank=1,site=act,amp=0.05,from=3,until=6
     /// ```
     ///
     /// `from` defaults to 0, `until` to forever; `bit` is optional (the
     /// seed picks an exponent bit when omitted); `site` is one of
-    /// `act`/`grad`/`ckpt`.
+    /// `act`/`grad`/`ckpt`. Errors name the offending 1-based segment and
+    /// key, e.g. `join:rank=x` in the third segment fails with
+    /// "invalid rank in segment 3: cannot parse 'x'".
     pub fn parse(seed: u64, spec: &str) -> Result<Self, String> {
         let mut plan = Self::new(seed);
-        for ev in spec.split(';').filter(|s| !s.trim().is_empty()) {
+        for (idx, ev) in spec.split(';').enumerate() {
+            let seg = idx + 1;
             let ev = ev.trim();
-            let (kind, rest) = ev
-                .split_once(':')
-                .ok_or_else(|| format!("fault event '{ev}' missing ':'"))?;
+            if ev.is_empty() {
+                continue;
+            }
+            let (kind, rest) = ev.split_once(':').ok_or_else(|| {
+                format!("segment {seg} ('{ev}') is missing ':' between kind and fields")
+            })?;
             let mut rank = None;
             let mut factor = None;
             let mut tier = None;
@@ -511,87 +626,102 @@ impl FaultPlan {
             for kv in rest.split(',').filter(|s| !s.trim().is_empty()) {
                 let (k, v) = kv
                     .split_once('=')
-                    .ok_or_else(|| format!("fault field '{kv}' missing '='"))?;
+                    .ok_or_else(|| format!("field '{kv}' in segment {seg} is missing '='"))?;
                 let (k, v) = (k.trim(), v.trim());
                 match k {
-                    "rank" => rank = Some(parse_num::<usize>(k, v)?),
-                    "x" | "factor" => factor = Some(parse_num::<f64>(k, v)?),
+                    "rank" => rank = Some(parse_num::<usize>(k, v, seg)?),
+                    "x" | "factor" => factor = Some(parse_num::<f64>(k, v, seg)?),
                     "tier" => {
                         tier = Some(match v {
                             "intra" => LinkTier::Intra,
                             "inter" => LinkTier::Inter,
-                            _ => return Err(format!("unknown link tier '{v}'")),
+                            _ => {
+                                return Err(format!(
+                                    "invalid tier in segment {seg}: unknown link tier '{v}'"
+                                ))
+                            }
                         })
                     }
-                    "retries" => retries = Some(parse_num::<u32>(k, v)?),
-                    "from" => from = parse_num::<u64>(k, v)?,
-                    "until" => until = parse_num::<u64>(k, v)?,
-                    "at" => at = Some(parse_num::<u64>(k, v)?),
+                    "retries" => retries = Some(parse_num::<u32>(k, v, seg)?),
+                    "from" => from = parse_num::<u64>(k, v, seg)?,
+                    "until" => until = parse_num::<u64>(k, v, seg)?,
+                    "at" => at = Some(parse_num::<u64>(k, v, seg)?),
                     "site" => {
                         site = Some(match v {
                             "act" => SdcSite::Act,
                             "grad" => SdcSite::Grad,
                             "ckpt" => SdcSite::Ckpt,
-                            _ => return Err(format!("unknown sdc site '{v}'")),
+                            _ => {
+                                return Err(format!(
+                                    "invalid site in segment {seg}: unknown sdc site '{v}'"
+                                ))
+                            }
                         })
                     }
                     "bit" => {
-                        let b = parse_num::<u32>(k, v)?;
+                        let b = parse_num::<u32>(k, v, seg)?;
                         if b >= 32 {
-                            return Err(format!("bit index '{v}' out of range (0..32)"));
+                            return Err(format!(
+                                "invalid bit in segment {seg}: index '{v}' out of range (0..32)"
+                            ));
                         }
                         bit = Some(b);
                     }
-                    "amp" => amp = Some(parse_num::<f64>(k, v)?),
-                    _ => return Err(format!("unknown fault field '{k}'")),
+                    "amp" => amp = Some(parse_num::<f64>(k, v, seg)?),
+                    _ => return Err(format!("unknown field '{k}' in segment {seg}")),
                 }
             }
-            fn need<T>(field: Option<T>, kind: &str, name: &str) -> Result<T, String> {
-                field.ok_or_else(|| format!("{kind} event needs '{name}='"))
+            fn need<T>(field: Option<T>, kind: &str, name: &str, seg: usize) -> Result<T, String> {
+                field.ok_or_else(|| format!("{kind} event in segment {seg} needs '{name}='"))
             }
             plan = match kind {
                 "slow" => {
-                    let r = need(rank, kind, "rank")?;
-                    let f = need(factor, kind, "x")?;
+                    let r = need(rank, kind, "rank", seg)?;
+                    let f = need(factor, kind, "x", seg)?;
                     plan.slow(r, f, from, until)
                 }
                 "degrade" => {
-                    let t = need(tier, kind, "tier")?;
-                    let f = need(factor, kind, "x")?;
+                    let t = need(tier, kind, "tier", seg)?;
+                    let f = need(factor, kind, "x", seg)?;
                     plan.degrade(t, f, from, until)
                 }
                 "flap" => {
-                    let t = need(tier, kind, "tier")?;
-                    let r = need(retries, kind, "retries")?;
+                    let t = need(tier, kind, "tier", seg)?;
+                    let r = need(retries, kind, "retries", seg)?;
                     plan.flap(t, r, from, until)
                 }
                 "kill" => {
-                    let r = need(rank, kind, "rank")?;
-                    let a = need(at, kind, "at")?;
+                    let r = need(rank, kind, "rank", seg)?;
+                    let a = need(at, kind, "at", seg)?;
                     plan.kill(r, a)
                 }
+                "join" => {
+                    let r = need(rank, kind, "rank", seg)?;
+                    let a = need(at, kind, "at", seg)?;
+                    plan.join(r, a)
+                }
                 "bitflip" => {
-                    let r = need(rank, kind, "rank")?;
-                    let a = need(at, kind, "at")?;
-                    let s = need(site, kind, "site")?;
+                    let r = need(rank, kind, "rank", seg)?;
+                    let a = need(at, kind, "at", seg)?;
+                    let s = need(site, kind, "site", seg)?;
                     plan.bitflip(r, a, s, bit)
                 }
                 "noise" => {
-                    let r = need(rank, kind, "rank")?;
-                    let s = need(site, kind, "site")?;
-                    let amp = need(amp, kind, "amp")?;
+                    let r = need(rank, kind, "rank", seg)?;
+                    let s = need(site, kind, "site", seg)?;
+                    let amp = need(amp, kind, "amp", seg)?;
                     plan.noise(r, s, amp, from, until)
                 }
-                _ => return Err(format!("unknown fault kind '{kind}'")),
+                _ => return Err(format!("unknown fault kind '{kind}' in segment {seg}")),
             };
         }
         Ok(plan)
     }
 }
 
-fn parse_num<T: std::str::FromStr>(key: &str, v: &str) -> Result<T, String> {
+fn parse_num<T: std::str::FromStr>(key: &str, v: &str, seg: usize) -> Result<T, String> {
     v.parse()
-        .map_err(|_| format!("cannot parse '{v}' for '{key}'"))
+        .map_err(|_| format!("invalid {key} in segment {seg}: cannot parse '{v}'"))
 }
 
 #[cfg(test)]
@@ -652,6 +782,43 @@ mod tests {
         assert_eq!(p.dead_ranks(4), vec![5]);
         assert!(p.dead_ranks(3).is_empty());
         assert_eq!(p.first_failure(), Some(4));
+    }
+
+    #[test]
+    fn join_revives_a_killed_rank() {
+        let p = FaultPlan::new(1).kill(2, 3).join(2, 6);
+        assert!(!p.is_dead(2, 2));
+        assert!(p.is_dead(2, 3));
+        assert!(p.is_dead(2, 5));
+        assert!(!p.is_dead(2, 6));
+        assert!(!p.is_dead(2, 100));
+        assert!(p.is_present(2, 2));
+        assert!(!p.is_present(2, 4));
+        assert!(p.is_present(2, 6));
+        assert_eq!(p.dead_ranks(4), vec![2]);
+        assert!(p.dead_ranks(6).is_empty());
+        assert_eq!(p.joins_of(2), vec![6]);
+        assert_eq!(p.joining_at(6), vec![2]);
+        assert!(p.joining_at(5).is_empty());
+        assert_eq!(p.join_steps(), vec![6]);
+        // A second kill after the revival takes effect again.
+        let q = p.clone().kill(2, 9);
+        assert!(!q.is_dead(2, 8));
+        assert!(q.is_dead(2, 9));
+        // A kill and join at the same step resolve to dead.
+        let tie = FaultPlan::new(1).kill(0, 4).join(0, 4);
+        assert!(tie.is_dead(0, 4));
+    }
+
+    #[test]
+    fn fresh_joiner_is_absent_until_its_join_step() {
+        let p = FaultPlan::new(1).join(4, 5);
+        assert!(!p.is_dead(4, 0));
+        assert!(!p.is_present(4, 0));
+        assert!(!p.is_present(4, 4));
+        assert!(p.is_present(4, 5));
+        assert!(p.is_present(3, 0));
+        assert!(p.dead_ranks(0).is_empty());
     }
 
     #[test]
@@ -769,5 +936,48 @@ mod tests {
         assert!(FaultPlan::parse(0, "kill:rank=zero,at=1").is_err());
         assert!(FaultPlan::parse(0, "degrade:tier=quantum,x=2").is_err());
         assert!(FaultPlan::parse(0, "").unwrap().is_empty());
+    }
+
+    #[test]
+    fn join_spec_strings_parse() {
+        let p = FaultPlan::parse(3, "kill:rank=3,at=2;join:rank=3,at=5").unwrap();
+        assert!(p.is_dead(3, 3));
+        assert!(!p.is_dead(3, 5));
+        assert_eq!(p.joining_at(5), vec![3]);
+        assert!(FaultPlan::parse(0, "join:rank=1").is_err());
+        assert!(FaultPlan::parse(0, "join:at=4").is_err());
+    }
+
+    #[test]
+    fn parse_errors_name_segment_and_key() {
+        let e =
+            FaultPlan::parse(0, "kill:rank=0,at=1;slow:rank=1,x=2;join:rank=x,at=4").unwrap_err();
+        assert!(e.contains("invalid rank in segment 3"), "got: {e}");
+        assert!(e.contains("'x'"), "got: {e}");
+
+        let e = FaultPlan::parse(0, "kill:rank=0,at=oops").unwrap_err();
+        assert!(e.contains("invalid at in segment 1"), "got: {e}");
+
+        let e = FaultPlan::parse(0, "slow:rank=0,x=2;degrade:tier=quantum,x=2").unwrap_err();
+        assert!(e.contains("invalid tier in segment 2"), "got: {e}");
+
+        let e = FaultPlan::parse(0, "explode:rank=0").unwrap_err();
+        assert!(
+            e.contains("unknown fault kind 'explode' in segment 1"),
+            "got: {e}"
+        );
+
+        let e = FaultPlan::parse(0, "kill:rank=0,at=1;noise:rank=0,site=act").unwrap_err();
+        assert!(e.contains("segment 2"), "got: {e}");
+        assert!(e.contains("'amp='"), "got: {e}");
+
+        let e = FaultPlan::parse(0, "kill:rank=0,at=1;kill rank 2").unwrap_err();
+        assert!(e.contains("segment 2"), "got: {e}");
+
+        let e = FaultPlan::parse(0, "bitflip:rank=0,at=1,site=grad,bit=40").unwrap_err();
+        assert!(e.contains("invalid bit in segment 1"), "got: {e}");
+
+        let e = FaultPlan::parse(0, "slow:rank=0,x=2,wat=3").unwrap_err();
+        assert!(e.contains("unknown field 'wat' in segment 1"), "got: {e}");
     }
 }

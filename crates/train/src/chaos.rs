@@ -46,12 +46,16 @@
 use std::collections::BTreeSet;
 
 use xmoe_collectives::{CommError, Communicator, RankCtx, RecoveryStats, SimClock};
+use xmoe_core::memory::expert_replica_bytes;
 use xmoe_tensor::DetRng;
-use xmoe_topology::{build_grid_excluding, FaultPlan, PlacementPolicy, SdcSite};
+use xmoe_topology::{build_grid_excluding, FaultPlan, PlacementPolicy, RoutingHistogram, SdcSite};
 
 use crate::checkpoint::Checkpoint;
 use crate::data::MarkovCorpus;
 use crate::dist::DistMoeLm;
+use crate::elastic::{
+    assignment_cost, ExpertAssignment, RebalanceConfig, RebalanceDecision, RebalancePolicy,
+};
 use crate::guard::{
     self, GuardConfig, GuardEvent, LossScale, PolicyAction, PolicyEngine, SpikeDetector, Verdict,
 };
@@ -59,6 +63,10 @@ use crate::model::{build_moe_layers, TrainConfig};
 
 /// Seed tweak separating the data-stream RNG from weight-init streams.
 const DATA_STREAM_SALT: u64 = 0xC4A0_5EED;
+
+/// Cap on retained route samples per rebalance window (loads keep
+/// counting past it; pricing rescales — see [`RoutingHistogram`]).
+const MAX_ROUTE_SAMPLES: usize = 4096;
 
 /// Knobs of one chaos run (the model itself comes from [`TrainConfig`]).
 #[derive(Clone, Copy, Debug)]
@@ -71,6 +79,15 @@ pub struct ChaosConfig {
     /// Silent-fault defense knobs; `guard.enabled = false` reproduces the
     /// pre-guard step (and its simulated timeline) exactly.
     pub guard: GuardConfig,
+    /// Live expert-rebalance knobs; `None` (the default) disables route
+    /// tracking and reproduces the pre-elastic step exactly.
+    pub rebalance: Option<RebalanceConfig>,
+    /// Deterministic skew injector: `(a, b, delta)` adds `delta` to the
+    /// gate columns of experts `a` and `b` at model build, making the pair
+    /// co-hot on every rank (with `top_k = 2` every token routes to both).
+    /// The bias lives in the checkpointed gate weights, so every restore
+    /// carries it automatically.
+    pub hot_bias: Option<(usize, usize, f32)>,
 }
 
 impl ChaosConfig {
@@ -83,6 +100,8 @@ impl ChaosConfig {
                 enabled: false,
                 ..GuardConfig::default()
             },
+            rebalance: None,
+            hot_bias: None,
         }
     }
 
@@ -91,6 +110,35 @@ impl ChaosConfig {
         self.guard = guard;
         self
     }
+
+    /// Enable histogram-driven live expert rebalance.
+    pub fn with_rebalance(mut self, rb: RebalanceConfig) -> Self {
+        self.rebalance = Some(rb);
+        self
+    }
+
+    /// Bias two experts' router columns by `delta` to manufacture skew.
+    pub fn with_hot_bias(mut self, a: usize, b: usize, delta: f32) -> Self {
+        self.hot_bias = Some((a, b, delta));
+        self
+    }
+}
+
+/// One completed join rendezvous, as seen by a participating rank.
+#[derive(Clone, Debug)]
+pub struct JoinStats {
+    /// Ranks that (re)joined the run at this rendezvous.
+    pub joined_ranks: Vec<usize>,
+    /// Step the grown group resumed training at.
+    pub at_step: u64,
+    /// Simulated seconds from rendezvous start to training resumption on
+    /// this rank: live capture + grow + scatter broadcast + rebuild I/O.
+    /// On a joining rank the interval starts at its frozen pre-join clock,
+    /// so its value also counts the time it sat out; read join MTTR from
+    /// an incumbent's report.
+    pub mttr: f64,
+    /// Group size after the join.
+    pub world_after: usize,
 }
 
 /// What one rank experienced during a chaos run.
@@ -124,6 +172,18 @@ pub struct ChaosReport {
     /// Loss scale at the end of the run (init value when the guard is
     /// off or never backed off).
     pub final_loss_scale: f32,
+    /// One entry per join rendezvous this rank participated in.
+    pub joins: Vec<JoinStats>,
+    /// One entry per committed live rebalance (empty when
+    /// [`ChaosConfig::rebalance`] is `None` or the policy never fired).
+    pub rebalances: Vec<RebalanceDecision>,
+    /// The expert assignment the rank finished (or exited) under.
+    pub final_assignment: ExpertAssignment,
+    /// Encoded live snapshot taken at the most recent rebalance commit —
+    /// together with [`ChaosReport::final_assignment`] it lets a verifier
+    /// launch a fresh run in the post-migration configuration and demand
+    /// bitwise agreement.
+    pub rebalance_ckpt: Option<Vec<u8>>,
 }
 
 /// The batch rank `dense_rank` trains on at the step identified by
@@ -430,11 +490,38 @@ pub fn run_chaos_rank(
     let world0 = ctx.n_ranks();
     let my_global = ctx.world.global_rank();
     let mut comm = ctx.world.clone();
+    let mut dead_so_far: Vec<usize> = Vec::new();
+    // Ranks whose first scheduled event is a join sit out from step 0:
+    // the incumbents split into the present subset so the opening group
+    // matches the plan, and the dark ranks idle until their rendezvous.
+    if let Some(p) = &plan {
+        let absent0: Vec<usize> = (0..world0)
+            .filter(|&r| !p.is_present(r, 0) && !p.is_dead(r, 0))
+            .collect();
+        if !absent0.is_empty() {
+            ctx.set_step(0);
+            comm.set_step(0);
+            if !p.is_dead(my_global, 0) {
+                let color = usize::from(absent0.contains(&my_global));
+                comm = comm.split(color, &mut ctx.clock)?;
+                ctx.clock.commit("elastic_join");
+            }
+            dead_so_far = absent0;
+        }
+    }
     let full_layers = build_moe_layers(cfg);
     let mut model = DistMoeLm::new(cfg, &full_layers, comm.rank(), comm.size());
+    if let Some((a, b, delta)) = chaos.hot_bias {
+        model.bias_router(a, delta);
+        model.bias_router(b, delta);
+    }
     let mut rng = DetRng::new(cfg.seed ^ DATA_STREAM_SALT);
     let guard_on = chaos.guard.enabled;
     let mut gs = GuardState::new(&chaos.guard);
+    let mut policy = chaos.rebalance.map(RebalancePolicy::new);
+    if policy.is_some() {
+        model.set_route_tracking(true);
+    }
     let mut report = ChaosReport {
         global_rank: my_global,
         losses: Vec::new(),
@@ -446,19 +533,110 @@ pub fn run_chaos_rank(
         guard_false_positives: 0,
         grad_clips: 0,
         final_loss_scale: gs.loss_scale.scale(),
+        joins: Vec::new(),
+        rebalances: Vec::new(),
+        final_assignment: model.assignment().clone(),
+        rebalance_ckpt: None,
     };
     let mut prev_ckpt: Option<Vec<u8>> = None;
-    let mut dead_so_far: Vec<usize> = Vec::new();
+    // Join steps whose rendezvous already ran: a rollback replay that
+    // crosses a join step must not re-grow a group that already holds the
+    // joined ranks.
+    let mut joins_done: BTreeSet<u64> = BTreeSet::new();
     // `(recovery index, clock at failure)` until the replay catches back up.
     let mut catch_up: Option<(usize, f64)> = None;
 
     let mut step = 0u64;
     while step < chaos.steps {
+        // ---- elastic join rendezvous: dark ranks come (back) online ----
         if let Some(p) = &plan {
-            if p.is_dead(my_global, step) {
-                report.exited_at = Some(step);
+            let joiners: Vec<usize> = p
+                .joining_at(step)
+                .into_iter()
+                .filter(|&r| r < world0 && step > 0 && !p.is_present(r, step - 1))
+                .collect();
+            if !joiners.is_empty() && !joins_done.contains(&step) && p.is_present(my_global, step) {
+                let members: Vec<usize> = (0..world0).filter(|&r| p.is_present(r, step)).collect();
+                let i_join = joiners.contains(&my_global);
+                let t0 = ctx.clock.now();
+                ctx.set_step(step);
+                comm.set_step(step);
+                // Incumbents snapshot the live model collectively before
+                // the group changes; the image is rank-agnostic, so any
+                // single incumbent can scatter it to the grown group.
+                let scatter = if i_join {
+                    None
+                } else {
+                    let ckpt =
+                        model.capture_checkpoint(step, rng.state(), &comm, &mut ctx.clock)?;
+                    Some(ckpt.encode())
+                };
+                // Rendezvous: every present rank meets in the grown
+                // communicator; clocks align on the slowest member.
+                let new_comm = ctx.world.grow(&members, &mut ctx.clock)?;
+                ctx.clock.commit("elastic_join");
+                // Checkpoint-free scatter: the lowest incumbent broadcasts
+                // the in-memory image and every member rebuilds its shard
+                // from the canonical global-expert-id keying.
+                let root_global = *members
+                    .iter()
+                    .find(|r| !joiners.contains(r))
+                    .expect("a join rendezvous needs at least one incumbent rank");
+                let root = members.iter().position(|&r| r == root_global).unwrap();
+                let bytes = new_comm.broadcast(root, scatter, &mut ctx.clock)?;
+                ctx.clock.commit("elastic_scatter");
+                ctx.clock.charge(
+                    "elastic_scatter",
+                    ctx.cost().mem_bound_time(bytes.len() as f64),
+                );
+                let ckpt = Checkpoint::decode(&bytes).expect("live scatter image failed its CRC");
+                model = DistMoeLm::from_checkpoint(cfg, &ckpt, new_comm.rank(), new_comm.size());
+                rng = DetRng::from_state(ckpt.rng_state);
+                // The scattered image is the newest group-consistent
+                // checkpoint; adopting it everywhere keeps later restores
+                // rank-consistent (a joiner's stale copy must never win).
+                prev_ckpt = None;
+                report.last_ckpt = Some(bytes);
+                if i_join {
+                    // Pre-death entries belong to a trajectory the group
+                    // replayed past while this rank was dark.
+                    report.losses.clear();
+                }
+                // Detector/policy state restarts rank-consistently: a
+                // joiner has no window history, so everyone drops theirs.
+                // One-shot SDC delivery memory is per-rank and survives.
+                let applied = std::mem::take(&mut gs.applied);
+                gs = GuardState::new(&chaos.guard);
+                gs.applied = applied;
+                policy = chaos.rebalance.map(RebalancePolicy::new);
+                if policy.is_some() {
+                    model.set_route_tracking(true);
+                }
+                dead_so_far = (0..world0).filter(|&r| !p.is_present(r, step)).collect();
+                joins_done.insert(step);
+                report.joins.push(JoinStats {
+                    joined_ranks: joiners,
+                    at_step: step,
+                    mttr: ctx.clock.now() - t0,
+                    world_after: new_comm.size(),
+                });
+                comm = new_comm;
+            }
+        }
+        if let Some(p) = &plan {
+            if !p.is_present(my_global, step) {
+                if report.exited_at.is_none() && p.is_dead(my_global, step) {
+                    report.exited_at = Some(step);
+                }
+                if p.joins_of(my_global).iter().any(|&s| s > step) {
+                    // Scheduled to (re)join later: idle without advancing
+                    // the simulated clock; the rendezvous aligns it.
+                    step += 1;
+                    continue;
+                }
                 report.final_world = comm.size();
                 report.final_loss_scale = gs.loss_scale.scale();
+                report.final_assignment = model.assignment().clone();
                 return Ok(report);
             }
         }
@@ -555,9 +733,16 @@ pub fn run_chaos_rank(
                                 } else {
                                     model =
                                         DistMoeLm::new(cfg, &full_layers, comm.rank(), comm.size());
+                                    if let Some((a, b, delta)) = chaos.hot_bias {
+                                        model.bias_router(a, delta);
+                                        model.bias_router(b, delta);
+                                    }
                                     rng = DetRng::new(cfg.seed ^ DATA_STREAM_SALT);
                                     0
                                 };
+                                if policy.is_some() {
+                                    model.set_route_tracking(true);
+                                }
                                 report.losses.retain(|&(s, _)| s < resumed);
                                 let t_done = ctx.clock.now();
                                 report.recoveries.push(RecoveryStats {
@@ -652,6 +837,84 @@ pub fn run_chaos_rank(
                         report.last_ckpt = Some(bytes);
                     }
                 }
+                // ---- live expert rebalance: close a profiling window ---
+                if let Some(pol) = policy.as_mut() {
+                    let rcfg = *pol.config();
+                    if rcfg.every > 0 && (step + 1).is_multiple_of(rcfg.every) {
+                        // Merge the window's routes in dense-rank order:
+                        // every rank sees the identical histogram, so the
+                        // (deterministic) policy reaches the identical
+                        // decision with no extra agreement round.
+                        let mine = model.take_route_samples();
+                        let gathered = comm.all_gather(mine, &mut ctx.clock)?;
+                        ctx.clock.commit("elastic_histogram");
+                        let mut hist =
+                            RoutingHistogram::new(cfg.num_experts, comm.size(), MAX_ROUTE_SAMPLES);
+                        for per_src in &gathered {
+                            for (src, experts) in per_src {
+                                let experts: Vec<usize> =
+                                    experts.iter().map(|&e| e as usize).collect();
+                                hist.observe(*src as usize, &experts);
+                            }
+                        }
+                        let replica_cost = expert_replica_bytes(cfg.hidden, cfg.ffn, cfg.layers);
+                        let old = model.assignment().clone();
+                        if let Some((new_asg, kind)) =
+                            pol.observe_window(&hist, &old, comm.cost(), replica_cost)
+                        {
+                            // Commit: snapshot the live state (weights +
+                            // Adam moments, rank-agnostic keying), price
+                            // the expert transfers, and rebuild every rank
+                            // under the new assignment. Replicas are
+                            // bitwise copies of their primary, so the run
+                            // continues exactly as a fresh run launched in
+                            // this layout from the same image would.
+                            let ckpt = model.capture_checkpoint(
+                                step + 1,
+                                rng.state(),
+                                &comm,
+                                &mut ctx.clock,
+                            )?;
+                            let moved = old.changed_experts(&new_asg);
+                            let grp = comm.group_ranks();
+                            // Per expert per layer: w1|m|v and w2|m|v.
+                            let per_expert =
+                                6 * cfg.hidden as u64 * cfg.ffn as u64 * 4 * cfg.layers as u64;
+                            let mut migration_bytes = 0u64;
+                            let mut t_mig = 0.0f64;
+                            for &g in &moved {
+                                let src = grp[old.primary(g)];
+                                for &h in new_asg.holders(g) {
+                                    if !old.holders(g).contains(&h) {
+                                        migration_bytes += per_expert;
+                                        t_mig += comm.cost().p2p_time(src, grp[h], per_expert);
+                                    }
+                                }
+                            }
+                            ctx.clock.charge("elastic_migrate", t_mig);
+                            let bpt = rcfg.bytes_per_token;
+                            let before = assignment_cost(&old, &hist, comm.cost(), bpt);
+                            let after = assignment_cost(&new_asg, &hist, comm.cost(), bpt);
+                            model = DistMoeLm::from_checkpoint_with_assignment(
+                                cfg,
+                                &ckpt,
+                                comm.rank(),
+                                new_asg,
+                            );
+                            model.set_route_tracking(true);
+                            rng = DetRng::from_state(ckpt.rng_state);
+                            report.rebalance_ckpt = Some(ckpt.encode());
+                            report.rebalances.push(RebalanceDecision {
+                                step: step + 1,
+                                kind,
+                                moved_experts: moved,
+                                dispatch_before: before.dispatch_time,
+                                dispatch_after: after.dispatch_time,
+                                migration_bytes,
+                            });
+                        }
+                    }
+                }
                 step += 1;
             }
             Ok(None) => unreachable!("anomaly outcomes continue the loop directly"),
@@ -676,9 +939,13 @@ pub fn run_chaos_rank(
                 dead_so_far.sort_unstable();
                 dead_so_far.dedup();
                 let survivors = comm.size() - newly_dead.len();
+                assert!(survivors > 0, "no survivors to recover onto");
+                // Ragged re-sharding handles any survivor count up to the
+                // expert count (floor-boundary contiguous split).
                 assert!(
-                    survivors > 0 && cfg.num_experts.is_multiple_of(survivors),
-                    "cannot re-shard {} experts over {survivors} survivors",
+                    cfg.num_experts >= survivors,
+                    "cannot re-shard {} experts over {survivors} survivors: \
+                     every rank must host at least one expert",
                     cfg.num_experts
                 );
 
@@ -716,9 +983,16 @@ pub fn run_chaos_rank(
                     ckpt.step
                 } else {
                     model = DistMoeLm::new(cfg, &full_layers, new_comm.rank(), new_comm.size());
+                    if let Some((a, b, delta)) = chaos.hot_bias {
+                        model.bias_router(a, delta);
+                        model.bias_router(b, delta);
+                    }
                     rng = DetRng::new(cfg.seed ^ DATA_STREAM_SALT);
                     0
                 };
+                if policy.is_some() {
+                    model.set_route_tracking(true);
+                }
                 report.losses.retain(|&(s, _)| s < resumed);
                 let t_done = ctx.clock.now();
                 report.recoveries.push(RecoveryStats {
@@ -742,5 +1016,6 @@ pub fn run_chaos_rank(
     }
     report.final_world = comm.size();
     report.final_loss_scale = gs.loss_scale.scale();
+    report.final_assignment = model.assignment().clone();
     Ok(report)
 }

@@ -30,6 +30,7 @@ use xmoe_tensor::{
 use crate::adam::Adam;
 use crate::attention::Attention;
 use crate::checkpoint::Checkpoint;
+use crate::elastic::{ElasticRoute, ExpertAssignment};
 use crate::layers::{DenseMlp, Embedding, Head};
 use crate::moe_layer::TrainableMoe;
 
@@ -48,22 +49,76 @@ pub struct DistMoe {
     /// Replicated router `[H, E]`.
     pub gate: Tensor,
     pub g_gate: Tensor,
-    /// This rank's expert block `(w1 [H,F], w2 [F,H])`.
+    /// This rank's expert blocks `(w1 [H,F], w2 [F,H])`, one per entry of
+    /// `local_experts`.
     pub shard: Vec<(Tensor, Tensor)>,
     pub g_shard: Vec<(Tensor, Tensor)>,
-    /// Global index of the first local expert.
-    pub first_expert: usize,
+    /// Global ids of this rank's local experts, ascending — under the
+    /// classic layout a contiguous range, under an elastic assignment any
+    /// subset (including replicas of experts other ranks also hold).
+    pub local_experts: Vec<usize>,
+    /// The full expert→holders map this layer routes by.
+    pub assignment: ExpertAssignment,
+    /// This rank's dense index in the EP group.
+    pub dense_rank: usize,
+    /// Expert FFN dimensions, kept explicitly so empty shards (a rank
+    /// holding no expert of this layer) stay well-formed.
+    pub hidden: usize,
+    pub ffn: usize,
     pub num_experts: usize,
     pub top_k: usize,
     pub capacity: usize,
     pub policy: DropPolicy,
 }
 
+/// The route a forward pass traveled: the specialized uniform-contiguous
+/// [`EpRoute`] (overlap path) or the general [`ElasticRoute`]. Both
+/// regroup rows expert-major in (local expert, source rank, source PFT
+/// order), so the backward pass is agnostic to which one carried the
+/// tokens.
+pub enum RouteKind {
+    Ep(EpRoute),
+    Elastic(ElasticRoute),
+}
+
+impl RouteKind {
+    fn pft(&self) -> &Pft {
+        match self {
+            RouteKind::Ep(r) => &r.pft,
+            RouteKind::Elastic(r) => &r.pft,
+        }
+    }
+
+    fn to_experts(
+        &self,
+        rows: &Tensor,
+        ep: &Communicator,
+        clock: &mut SimClock,
+    ) -> Result<Tensor, CommError> {
+        match self {
+            RouteKind::Ep(r) => r.to_experts(rows, ep, clock),
+            RouteKind::Elastic(r) => r.to_experts(rows, ep, clock),
+        }
+    }
+
+    fn to_source(
+        &self,
+        rows: &Tensor,
+        ep: &Communicator,
+        clock: &mut SimClock,
+    ) -> Result<Tensor, CommError> {
+        match self {
+            RouteKind::Ep(r) => r.to_source(rows, ep, clock),
+            RouteKind::Elastic(r) => r.to_source(rows, ep, clock),
+        }
+    }
+}
+
 /// Saved forward state of one distributed MoE layer.
 pub struct DistMoeCtx {
     x: Tensor,
     scores: Tensor,
-    route: EpRoute,
+    route: RouteKind,
     /// Expert-major saves on the *expert* side.
     expert_input: Tensor,
     h_pre: Tensor,
@@ -73,16 +128,45 @@ pub struct DistMoeCtx {
     combine_in: Tensor,
 }
 
+impl DistMoeCtx {
+    /// PFT of this layer's forward (global expert ids, source order).
+    pub fn pft(&self) -> &Pft {
+        self.route.pft()
+    }
+}
+
 impl DistMoe {
-    /// Shard a single-rank [`TrainableMoe`] across `world` ranks: rank `r`
-    /// takes experts `[r*E/W, (r+1)*E/W)`, everyone replicates the router.
-    /// Used to check the distributed path against the single-rank one.
+    /// Shard a single-rank [`TrainableMoe`] across `world` ranks under the
+    /// balanced contiguous assignment (rank `r` takes experts
+    /// `[r·E/W, (r+1)·E/W)` — the classic layout when the shape divides,
+    /// a ragged `{⌊E/W⌋, ⌈E/W⌉}`-per-rank split when it does not);
+    /// everyone replicates the router. Used to check the distributed path
+    /// against the single-rank one.
     pub fn from_trainable(full: &TrainableMoe, rank: usize, world: usize) -> Self {
+        let assignment = ExpertAssignment::contiguous(full.num_experts(), world);
+        Self::from_trainable_with_assignment(full, rank, assignment)
+    }
+
+    /// Shard a single-rank [`TrainableMoe`] under an arbitrary
+    /// [`ExpertAssignment`]: this rank takes a full copy of every expert
+    /// the assignment lists it as holding (replicas included).
+    pub fn from_trainable_with_assignment(
+        full: &TrainableMoe,
+        rank: usize,
+        assignment: ExpertAssignment,
+    ) -> Self {
         let e = full.num_experts();
-        assert_eq!(e % world, 0);
-        let per = e / world;
-        let first_expert = rank * per;
-        let shard: Vec<(Tensor, Tensor)> = full.experts[first_expert..first_expert + per].to_vec();
+        assert_eq!(
+            assignment.n_experts(),
+            e,
+            "assignment expert count mismatch"
+        );
+        assert!(rank < assignment.n_ranks(), "rank outside the assignment");
+        let local_experts = assignment.experts_on(rank);
+        let shard: Vec<(Tensor, Tensor)> = local_experts
+            .iter()
+            .map(|&g| full.experts[g].clone())
+            .collect();
         let g_shard = shard
             .iter()
             .map(|(a, b)| {
@@ -92,12 +176,17 @@ impl DistMoe {
                 )
             })
             .collect();
+        let (hidden, ffn) = full.experts[0].0.shape();
         Self {
             gate: full.gate.clone(),
             g_gate: Tensor::zeros(full.gate.rows(), full.gate.cols()),
             shard,
             g_shard,
-            first_expert,
+            local_experts,
+            dense_rank: rank,
+            assignment,
+            hidden,
+            ffn,
             num_experts: e,
             top_k: full.top_k,
             capacity: full.capacity,
@@ -136,13 +225,15 @@ impl DistMoe {
         let pft = Pft::construct(&gating, self.num_experts, self.capacity, self.policy);
 
         let dispatch_in = gather_rows(x, &pft.token_ids);
-        let route = EpRoute::build(pft, &self.spec(), ep, clock)?;
+        // The general route serves any assignment; on the uniform layout it
+        // is bitwise- and price-identical to the specialized `EpRoute`.
+        let route = ElasticRoute::build(pft, &self.assignment, ep, clock)?;
         clock.commit("dispatch_a2a_meta");
         let expert_input = route.to_experts(&dispatch_in, ep, clock)?;
         clock.commit("dispatch_a2a");
 
         // Per-expert FFN over expert-major segments, saving intermediates.
-        let f = self.shard[0].0.cols();
+        let f = self.ffn;
         let total = expert_input.rows();
         let mut h_pre = Tensor::zeros(total, f);
         let mut h_act = Tensor::zeros(total, f);
@@ -183,7 +274,7 @@ impl DistMoe {
             DistMoeCtx {
                 x: x.clone(),
                 scores,
-                route,
+                route: RouteKind::Elastic(route),
                 expert_input,
                 h_pre,
                 h_act,
@@ -207,6 +298,11 @@ impl DistMoe {
         ep: &Communicator,
         clock: &mut SimClock,
     ) -> Result<(Tensor, DistMoeCtx), CommError> {
+        assert!(
+            self.assignment.is_uniform_contiguous(),
+            "the chunked-overlap path specializes the uniform contiguous \
+             expert layout; elastic assignments take the serial path"
+        );
         let hidden = x.cols();
         let logits = matmul(x, &self.gate);
         let mut scores = logits.clone();
@@ -230,7 +326,7 @@ impl DistMoe {
         let route = EpRoute::build(pft, &self.spec(), ep, clock)?;
         clock.commit("dispatch_a2a_meta");
 
-        let f = self.shard[0].0.cols();
+        let f = self.ffn;
         let counts = route.tokens_per_local_expert.clone();
         let mut seg_offsets = Vec::with_capacity(self.shard.len() + 1);
         seg_offsets.push(0usize);
@@ -295,7 +391,7 @@ impl DistMoe {
             DistMoeCtx {
                 x: x.clone(),
                 scores,
-                route,
+                route: RouteKind::Ep(route),
                 expert_input,
                 h_pre,
                 h_act,
@@ -315,14 +411,15 @@ impl DistMoe {
         clock: &mut SimClock,
     ) -> Result<Tensor, CommError> {
         let hidden = ctx.x.cols();
-        let b = ctx.route.pft.len();
+        let pft = ctx.route.pft();
+        let b = pft.len();
         let mut d_x = d_out.clone(); // residual
 
         // Source side: d_combine rows (PFT order) and combine-weight grads.
-        let mut d_combine = gather_rows(d_out, &ctx.route.pft.token_ids);
+        let mut d_combine = gather_rows(d_out, &pft.token_ids);
         let mut d_w = vec![0.0f32; b];
         for i in 0..b {
-            let w = ctx.route.pft.combine_weights[i];
+            let w = ctx.route.pft().combine_weights[i];
             let y_row = ctx.combine_in.row(i);
             let dc = d_combine.row_mut(i);
             d_w[i] = xmoe_tensor::dot_and_scale(dc, y_row, w);
@@ -359,14 +456,15 @@ impl DistMoe {
         // Backward all-to-all #2: dispatch gradients back to sources.
         let d_dispatch = ctx.route.to_source(&d_expert_in, ep, clock)?;
         clock.commit("bwd_dispatch_a2a");
-        scatter_rows_unit(&d_dispatch, &ctx.route.pft.token_ids, &mut d_x);
+        let pft = ctx.route.pft();
+        scatter_rows_unit(&d_dispatch, &pft.token_ids, &mut d_x);
 
         // Router backward (local; router is replicated).
         let e_count = self.num_experts;
         let mut d_scores = Tensor::zeros(ctx.x.rows(), e_count);
         for i in 0..b {
-            let t = ctx.route.pft.token_ids[i];
-            let e = ctx.route.pft.expert_ids[i];
+            let t = pft.token_ids[i];
+            let e = pft.expert_ids[i];
             let v = d_scores.get(t, e);
             d_scores.set(t, e, v + d_w[i]);
         }
@@ -401,14 +499,17 @@ impl DistMoe {
         ep: &Communicator,
         clock: &mut SimClock,
     ) -> Result<Tensor, CommError> {
+        let RouteKind::Ep(route) = &ctx.route else {
+            panic!("backward_overlap requires a forward_overlap context (EpRoute)");
+        };
         let hidden = ctx.x.cols();
-        let b = ctx.route.pft.len();
+        let b = route.pft.len();
         let mut d_x = d_out.clone(); // residual
 
-        let mut d_combine = gather_rows(d_out, &ctx.route.pft.token_ids);
+        let mut d_combine = gather_rows(d_out, &route.pft.token_ids);
         let mut d_w = vec![0.0f32; b];
         for i in 0..b {
-            let w = ctx.route.pft.combine_weights[i];
+            let w = route.pft.combine_weights[i];
             let y_row = ctx.combine_in.row(i);
             let dc = d_combine.row_mut(i);
             d_w[i] = xmoe_tensor::dot_and_scale(dc, y_row, w);
@@ -416,7 +517,7 @@ impl DistMoe {
 
         let shard = &self.shard;
         let g_shard = &mut self.g_shard;
-        let d_dispatch = ctx.route.exchange_overlap(
+        let d_dispatch = route.exchange_overlap(
             &d_combine,
             chunks,
             ("bwd_combine_a2a", "bwd_expert", "bwd_dispatch_a2a"),
@@ -451,15 +552,15 @@ impl DistMoe {
                 d_chunk
             },
         )?;
-        scatter_rows_unit(&d_dispatch, &ctx.route.pft.token_ids, &mut d_x);
+        scatter_rows_unit(&d_dispatch, &route.pft.token_ids, &mut d_x);
 
         // Router backward (local; router is replicated) — identical to the
         // serial path.
         let e_count = self.num_experts;
         let mut d_scores = Tensor::zeros(ctx.x.rows(), e_count);
         for i in 0..b {
-            let t = ctx.route.pft.token_ids[i];
-            let e = ctx.route.pft.expert_ids[i];
+            let t = route.pft.token_ids[i];
+            let e = route.pft.expert_ids[i];
             let v = d_scores.get(t, e);
             d_scores.set(t, e, v + d_w[i]);
         }
@@ -545,18 +646,36 @@ pub struct DistMoeLm {
     opt: Adam,
     world_size: usize,
     seq_len: usize,
+    /// When set, every step appends each token's route (this rank's dense
+    /// index + the chosen global experts) — the rebalance histogram feed.
+    track_routes: bool,
+    route_samples: Vec<(u32, Vec<u16>)>,
 }
 
 impl DistMoeLm {
     /// Shard a single-rank reference model (see
     /// [`crate::model::MoeLm`]-equivalent construction in tests) across
-    /// `world` ranks. All replicated parameters start identical.
+    /// `world` ranks under the balanced contiguous expert assignment. All
+    /// replicated parameters start identical.
     pub fn new(
         cfg: &crate::model::TrainConfig,
         full_layers: &[TrainableMoe],
         rank: usize,
         world: usize,
     ) -> Self {
+        let assignment = ExpertAssignment::contiguous(cfg.num_experts, world);
+        Self::new_with_assignment(cfg, full_layers, rank, assignment)
+    }
+
+    /// [`Self::new`] under an arbitrary [`ExpertAssignment`] (the layout a
+    /// rebalance decision produced, or a solved placement).
+    pub fn new_with_assignment(
+        cfg: &crate::model::TrainConfig,
+        full_layers: &[TrainableMoe],
+        rank: usize,
+        assignment: ExpertAssignment,
+    ) -> Self {
+        let world = assignment.n_ranks();
         let blocks = full_layers
             .iter()
             .enumerate()
@@ -567,7 +686,7 @@ impl DistMoeLm {
                         .use_attention
                         .then(|| Attention::new(cfg.hidden, cfg.n_heads, s ^ 0xA77)),
                     mlp: DenseMlp::new(cfg.hidden, cfg.hidden * 2, s),
-                    moe: DistMoe::from_trainable(full, rank, world),
+                    moe: DistMoe::from_trainable_with_assignment(full, rank, assignment.clone()),
                 }
             })
             .collect();
@@ -578,6 +697,42 @@ impl DistMoeLm {
             opt: Adam::new(cfg.lr),
             world_size: world,
             seq_len: cfg.seq_len,
+            track_routes: false,
+            route_samples: Vec::new(),
+        }
+    }
+
+    /// The expert assignment every block routes by.
+    pub fn assignment(&self) -> &ExpertAssignment {
+        &self.blocks[0].moe.assignment
+    }
+
+    /// Enable/disable per-step route collection for the rebalance
+    /// histogram (off by default; costs one pass over each block's PFT).
+    pub fn set_route_tracking(&mut self, on: bool) {
+        self.track_routes = on;
+        if !on {
+            self.route_samples.clear();
+        }
+    }
+
+    /// Drain the routes collected since the last call: `(src dense rank,
+    /// global experts chosen)` per routed token, in step order.
+    pub fn take_route_samples(&mut self) -> Vec<(u32, Vec<u16>)> {
+        std::mem::take(&mut self.route_samples)
+    }
+
+    /// Add `delta` to the router logit column of `expert` in every block —
+    /// the deterministic skew injector benches and tests drive hot-expert
+    /// scenarios with. The bias lives in the (replicated, checkpointed)
+    /// gate weights, so trajectories stay comparable across restores.
+    pub fn bias_router(&mut self, expert: usize, delta: f32) {
+        for block in &mut self.blocks {
+            let gate = &mut block.moe.gate;
+            for r in 0..gate.rows() {
+                let v = gate.get(r, expert);
+                gate.set(r, expert, v + delta);
+            }
         }
     }
 
@@ -646,6 +801,24 @@ impl DistMoeLm {
             ctxs.push((attn_ctx, c1, c2));
             x = x2;
         }
+        if self.track_routes {
+            // Regroup each block's expert-major PFT back into per-token
+            // routes (expert ids come out ascending per token —
+            // deterministic), tagged with this rank's dense index.
+            let me = world.rank() as u32;
+            for (_, _, c2) in &ctxs {
+                let pft = c2.pft();
+                let mut per_tok: Vec<Vec<u16>> = vec![Vec::new(); inputs.len()];
+                for (i, &t) in pft.token_ids.iter().enumerate() {
+                    per_tok[t].push(pft.expert_ids[i] as u16);
+                }
+                for experts in per_tok {
+                    if !experts.is_empty() {
+                        self.route_samples.push((me, experts));
+                    }
+                }
+            }
+        }
         if let Some(hook) = act_hook {
             hook(x.as_mut_slice());
         }
@@ -677,28 +850,64 @@ impl DistMoeLm {
         clock: &mut SimClock,
     ) -> Result<(), CommError> {
         let inv = 1.0 / self.world_size as f32;
-        let mut reduce_avg = |t: &mut Tensor| -> Result<(), CommError> {
+        fn reduce_avg(
+            t: &mut Tensor,
+            inv: f32,
+            world: &Communicator,
+            clock: &mut SimClock,
+        ) -> Result<(), CommError> {
             scale_assign(t, inv);
             world.all_reduce_sum_f32(t.as_mut_slice(), clock)
-        };
-        reduce_avg(&mut self.embed.grad)?;
-        reduce_avg(&mut self.head.grad)?;
+        }
+        reduce_avg(&mut self.embed.grad, inv, world, clock)?;
+        reduce_avg(&mut self.head.grad, inv, world, clock)?;
         for block in &mut self.blocks {
             if let Some(a) = block.attn.as_mut() {
-                reduce_avg(&mut a.gq)?;
-                reduce_avg(&mut a.gk)?;
-                reduce_avg(&mut a.gv)?;
-                reduce_avg(&mut a.go)?;
-                reduce_avg(&mut a.norm.g_gamma)?;
-                reduce_avg(&mut a.norm.g_beta)?;
+                reduce_avg(&mut a.gq, inv, world, clock)?;
+                reduce_avg(&mut a.gk, inv, world, clock)?;
+                reduce_avg(&mut a.gv, inv, world, clock)?;
+                reduce_avg(&mut a.go, inv, world, clock)?;
+                reduce_avg(&mut a.norm.g_gamma, inv, world, clock)?;
+                reduce_avg(&mut a.norm.g_beta, inv, world, clock)?;
             }
             let mlp = &mut block.mlp;
-            reduce_avg(&mut mlp.g1)?;
-            reduce_avg(&mut mlp.g2)?;
-            reduce_avg(&mut mlp.norm.g_gamma)?;
-            reduce_avg(&mut mlp.norm.g_beta)?;
+            reduce_avg(&mut mlp.g1, inv, world, clock)?;
+            reduce_avg(&mut mlp.g2, inv, world, clock)?;
+            reduce_avg(&mut mlp.norm.g_gamma, inv, world, clock)?;
+            reduce_avg(&mut mlp.norm.g_beta, inv, world, clock)?;
             let moe = &mut block.moe;
-            reduce_avg(&mut moe.g_gate)?;
+            reduce_avg(&mut moe.g_gate, inv, world, clock)?;
+            // Replicated experts: each holder accumulated only its stripe
+            // of the expert's tokens, so the partials must merge. Every
+            // rank joins the reduce for every replicated expert (w1 then
+            // w2, experts ascending — canonical group-index order;
+            // non-holders contribute zeros), so all holders end with the
+            // bitwise-identical merged gradient, identical Adam updates,
+            // and replicas that never drift apart.
+            for g in moe.assignment.replicated_experts() {
+                let local = moe.local_experts.iter().position(|&x| x == g);
+                for which in 0..2 {
+                    let (rows, cols) = if which == 0 {
+                        (moe.hidden, moe.ffn)
+                    } else {
+                        (moe.ffn, moe.hidden)
+                    };
+                    match local {
+                        Some(i) => {
+                            let t = if which == 0 {
+                                &mut moe.g_shard[i].0
+                            } else {
+                                &mut moe.g_shard[i].1
+                            };
+                            world.all_reduce_sum_f32(t.as_mut_slice(), clock)?;
+                        }
+                        None => {
+                            let mut zeros = vec![0.0f32; rows * cols];
+                            world.all_reduce_sum_f32(&mut zeros, clock)?;
+                        }
+                    }
+                }
+            }
             for (g1, g2) in &mut moe.g_shard {
                 scale_assign(g1, inv);
                 scale_assign(g2, inv);
@@ -797,7 +1006,7 @@ impl DistMoeLm {
             );
             f(&format!("block{l}.moe.gate"), block.moe.g_gate.as_slice());
             for (i, (g1, g2)) in block.moe.g_shard.iter().enumerate() {
-                let g = block.moe.first_expert + i;
+                let g = block.moe.local_experts[i];
                 f(&format!("block{l}.moe.expert{g}.w1"), g1.as_slice());
                 f(&format!("block{l}.moe.expert{g}.w2"), g2.as_slice());
             }
@@ -834,9 +1043,9 @@ impl DistMoeLm {
             );
             let moe = &mut block.moe;
             f(&format!("block{l}.moe.gate"), moe.g_gate.as_mut_slice());
-            let first = moe.first_expert;
+            let locals = moe.local_experts.clone();
             for (i, (g1, g2)) in moe.g_shard.iter_mut().enumerate() {
-                let g = first + i;
+                let g = locals[i];
                 f(&format!("block{l}.moe.expert{g}.w1"), g1.as_mut_slice());
                 f(&format!("block{l}.moe.expert{g}.w2"), g2.as_mut_slice());
             }
@@ -862,8 +1071,9 @@ impl DistMoeLm {
     /// rank), expert shards and their Adam moments are all-gathered so every
     /// rank ends up holding the complete expert set under global names.
     /// Because the result is rank-agnostic, a checkpoint captured at world
-    /// size W restores onto any world size that divides the expert count —
-    /// the substrate of elastic recovery.
+    /// size W restores onto any world size up to the expert count (ragged
+    /// splits included) and onto any [`ExpertAssignment`] — the substrate
+    /// of elastic recovery, rank join and live migration.
     ///
     /// `step` is the number of *completed* training steps; `rng_state` is
     /// the data-stream RNG state at that point (see
@@ -941,9 +1151,11 @@ impl DistMoeLm {
             // Expert shards: each rank contributes, per local expert,
             // `w1 | m(w1) | v(w1) | w2 | m(w2) | v(w2)` as one flat blob.
             // The all-gather gives every rank the full expert set; global
-            // expert g lives in blob `g / per`, slot `g % per`.
+            // expert g is read from its *primary* holder's blob (replicas
+            // are bitwise-identical, so the primary copy is canonical),
+            // at g's position in that holder's ascending local order.
             let per = moe.shard.len();
-            let (h, f) = moe.shard[0].0.shape();
+            let (h, f) = (moe.hidden, moe.ffn);
             let slot = 6 * h * f;
             let mut blob = Vec::with_capacity(per * slot);
             for (i, (w1, w2)) in moe.shard.iter().enumerate() {
@@ -965,7 +1177,13 @@ impl DistMoeLm {
             idx += 2 * per;
             let blobs = world.all_gather(blob, clock)?;
             for g in 0..moe.num_experts {
-                let (owner, s) = (g / per, g % per);
+                let owner = moe.assignment.primary(g);
+                let s = moe
+                    .assignment
+                    .experts_on(owner)
+                    .iter()
+                    .position(|&x| x == g)
+                    .expect("primary holder does not list its own expert");
                 let base = s * slot;
                 let chunk = |k: usize, rows: usize, cols: usize| -> Tensor {
                     let start = base + k * h * f;
@@ -996,8 +1214,9 @@ impl DistMoeLm {
     }
 
     /// Rebuild a model at `(rank, world)` from a canonical [`Checkpoint`]:
-    /// construct the skeleton, overwrite every parameter by name, slice the
-    /// expert range `[rank·E/W, (rank+1)·E/W)` out of the global expert set,
+    /// construct the skeleton, overwrite every parameter by name, slice
+    /// this rank's contiguous expert share (balanced even when the world
+    /// does not divide the expert count) out of the global expert set,
     /// and restore the Adam moments in this rank's visitation order.
     ///
     /// Restoring a 16-rank checkpoint at world size 8 is exactly the elastic
@@ -1010,8 +1229,22 @@ impl DistMoeLm {
         rank: usize,
         world: usize,
     ) -> Self {
+        let assignment = ExpertAssignment::contiguous(cfg.num_experts, world);
+        Self::from_checkpoint_with_assignment(cfg, ckpt, rank, assignment)
+    }
+
+    /// [`Self::from_checkpoint`] restoring into an arbitrary
+    /// [`ExpertAssignment`] — the migration commit path: the canonical
+    /// global-expert-id keying means any layout (ragged, migrated,
+    /// replicated) loads from the same bytes.
+    pub fn from_checkpoint_with_assignment(
+        cfg: &crate::model::TrainConfig,
+        ckpt: &Checkpoint,
+        rank: usize,
+        assignment: ExpertAssignment,
+    ) -> Self {
         let full_layers = crate::model::build_moe_layers(cfg);
-        let mut model = Self::new(cfg, &full_layers, rank, world);
+        let mut model = Self::new_with_assignment(cfg, &full_layers, rank, assignment);
         let mut m: Vec<Vec<f32>> = Vec::new();
         let mut v: Vec<Vec<f32>> = Vec::new();
         {
@@ -1050,8 +1283,9 @@ impl DistMoeLm {
                 load(format!("block{l}.mlp.beta"), &mut mlp.norm.beta);
                 let moe = &mut block.moe;
                 load(format!("block{l}.moe.gate"), &mut moe.gate);
+                let locals = moe.local_experts.clone();
                 for (i, (w1, w2)) in moe.shard.iter_mut().enumerate() {
-                    let g = moe.first_expert + i;
+                    let g = locals[i];
                     load(format!("block{l}.moe.expert{g}.w1"), w1);
                     load(format!("block{l}.moe.expert{g}.w2"), w2);
                 }

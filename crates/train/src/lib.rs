@@ -36,6 +36,7 @@ pub mod chaos;
 pub mod checkpoint;
 pub mod data;
 pub mod dist;
+pub mod elastic;
 pub mod guard;
 pub mod layers;
 pub mod model;
@@ -45,10 +46,14 @@ pub mod stages;
 
 pub use adam::Adam;
 pub use attention::Attention;
-pub use chaos::{run_chaos_rank, step_batch, ChaosConfig, ChaosReport};
+pub use chaos::{run_chaos_rank, step_batch, ChaosConfig, ChaosReport, JoinStats};
 pub use checkpoint::{Checkpoint, CkptError};
 pub use data::{HigherOrderCorpus, MarkovCorpus};
 pub use dist::{DistMoe, DistMoeLm};
+pub use elastic::{
+    assignment_cost, ElasticRoute, ExpertAssignment, RebalanceConfig, RebalanceDecision,
+    RebalancePolicy,
+};
 pub use guard::{
     Divergence, GuardConfig, GuardEvent, LossScale, LossScaleCfg, PolicyAction, PolicyCfg,
     PolicyEngine, SpikeDetector, Verdict,

@@ -40,21 +40,29 @@
 //!     with a diagnostic.
 //!
 //! xmoe-cli chaos [ranks] [--faults <spec>] [--ckpt-every N] [--steps N] [--seed S]
-//!               [--guard] [--max-grad-norm X]
+//!               [--guard] [--max-grad-norm X] [--rebalance <threshold>]
 //!     Fault-injected distributed training with checkpoint/restore and
 //!     elastic recovery. `<spec>` is a semicolon-separated fault schedule,
 //!     e.g. `slow:rank=2,x=4,from=1,until=3;kill:rank=6,at=4`, and may
 //!     include silent-data-corruption events such as
 //!     `bitflip:rank=2,at=5,site=grad,bit=30` or
 //!     `noise:rank=1,site=act,amp=0.5,from=3,until=5` (see
-//!     `FaultPlan::parse`). SDC events switch on the numerical guard
+//!     `FaultPlan::parse`); a malformed spec prints which segment and key
+//!     failed and exits 1. `join:rank=R,at=S` brings rank `R` (back)
+//!     online at step `S`: the survivors rendezvous with the joiner,
+//!     re-grow the communicator and scatter the live model state without
+//!     touching disk. SDC events switch on the numerical guard
 //!     (loss scaling with exact unscale before Adam, grad scan, spike
 //!     detection, policy recovery); `--guard` forces it on for clean runs
 //!     too, and `--max-grad-norm X` additionally clips the unscaled
-//!     global grad norm to `X`. Prints the loss trajectory, the
-//!     guard-event timeline (step, site, detector, policy action), every
-//!     recovery (failed ranks, replayed steps, MTTR) and the final world
-//!     size.
+//!     global grad norm to `X`. `--rebalance <threshold>` turns on
+//!     histogram-driven live expert migration: when window skew
+//!     (max-over-mean expert load) reaches the threshold and a priced
+//!     candidate strictly improves dispatch, expert weights and Adam
+//!     moments move mid-run. Prints the loss trajectory, the guard-event
+//!     timeline (step, site, detector, policy action), every recovery
+//!     (failed ranks, replayed steps, MTTR), joins, rebalances and the
+//!     final world size.
 //!
 //! xmoe-cli serve [ranks] [--placement naive|optimized] [--arrival steady|bursty|diurnal]
 //!               [--requests N] [--rate R] [--skew S] [--drift T] [--seed S]
@@ -95,6 +103,17 @@
 //!     Pareto frontier with memory non-increasing along it. `--smoke` is
 //!     accepted for CI symmetry (the planner is analytic and already
 //!     instant); `--validate` re-checks an existing file.
+//!
+//! xmoe-cli bench elastic [--smoke] [--out <path>] [--validate <path>]
+//!     Elasticity benchmark. (1) Join MTTR: kill one of four ranks, let it
+//!     rejoin mid-run through the grow rendezvous + live scatter, and
+//!     report the incumbents' rendezvous time. (2) Live migration: bias
+//!     two co-located experts hot, profile a skewed phase, commit the
+//!     histogram-driven rebalance and run the same number of steps in the
+//!     migrated layout. The written `BENCH_elastic.json` self-validates:
+//!     full world restored with positive MTTR, rebalanced step time
+//!     strictly below the skewed baseline, priced dispatch improved, and
+//!     a nonzero migration transfer.
 //! ```
 
 use std::path::Path;
@@ -107,7 +126,8 @@ use xmoe::core::config::{DType, MoeModelConfig};
 use xmoe::core::expert::ExpertShard;
 use xmoe::core::gating::{DropPolicy, Router};
 use xmoe::core::memory::{
-    best_trainable_config, moe_layer_activation, total_per_gpu, MoeSystem, GIB,
+    best_trainable_config, expert_replica_bytes, moe_layer_activation, total_per_gpu, MoeSystem,
+    GIB,
 };
 use xmoe::core::perf::PerfModel;
 use xmoe::core::pft::Pft;
@@ -120,10 +140,11 @@ use xmoe::core::rbd::{self, expected_redundancy_uniform, RbdComms};
 use xmoe::tensor::{CountingAlloc, DetRng, Tensor};
 use xmoe::topology::{
     AttnFold, ClusterTopology, CongestionModel, CostModel, FaultPlan, MachineSpec, MoeFold,
-    ParallelMapping,
+    ParallelMapping, RoutingHistogram,
 };
 use xmoe::train::{
-    run_chaos_rank, ChaosConfig, GuardConfig, MoeTrainScratch, StagePartition, TrainConfig,
+    assignment_cost, build_moe_layers, run_chaos_rank, step_batch, ChaosConfig, DistMoeLm,
+    GuardConfig, MoeTrainScratch, RebalanceConfig, RebalancePolicy, StagePartition, TrainConfig,
     TrainableMoe,
 };
 
@@ -154,10 +175,11 @@ fn usage() -> ! {
          xmoe-cli step <dense|pft|blocksparse|rbd> [ranks] [--overlap [chunks]] [--trace <path>] [--csv <path>]\n  \
          \u{20}   (--overlap applies to pft and rbd; dense and blocksparse run serial-only)\n  \
          xmoe-cli step --pp <stages> [--vpp <chunks>] [--microbatches <m>]\n  \
-         xmoe-cli chaos [ranks] [--faults <spec>] [--ckpt-every N] [--steps N] [--seed S] [--guard] [--max-grad-norm X]\n  \
+         xmoe-cli chaos [ranks] [--faults <spec>] [--ckpt-every N] [--steps N] [--seed S] [--guard] [--max-grad-norm X] [--rebalance <threshold>]\n  \
          xmoe-cli serve [ranks] [--placement naive|optimized] [--arrival steady|bursty|diurnal] [--requests N] [--rate R] [--skew S] [--drift T] [--seed S]\n  \
          xmoe-cli bench hotpath [--smoke] [--out <path>] [--validate <path>]\n  \
-         xmoe-cli bench mapping [--smoke] [--out <path>] [--validate <path>]"
+         xmoe-cli bench mapping [--smoke] [--out <path>] [--validate <path>]\n  \
+         xmoe-cli bench elastic [--smoke] [--out <path>] [--validate <path>]"
     );
     std::process::exit(2);
 }
@@ -186,6 +208,7 @@ fn cmd_chaos(args: &[String]) {
     let mut seed = 0u64;
     let mut force_guard = false;
     let mut max_grad_norm = 0.0f64;
+    let mut rebalance_threshold: Option<f64> = None;
     let mut i = 0usize;
     while i < args.len() {
         let flag_val = |i: usize| {
@@ -219,15 +242,21 @@ fn cmd_chaos(args: &[String]) {
                 force_guard = true;
                 i += 2;
             }
+            "--rebalance" => {
+                rebalance_threshold = Some(flag_val(i).parse().unwrap_or_else(|_| usage()));
+                i += 2;
+            }
             s => {
                 ranks = s.parse().unwrap_or_else(|_| usage());
                 i += 1;
             }
         }
     }
+    // A malformed schedule is a config error (the message already names
+    // the offending segment and key), not a usage error: exit 1.
     let plan = FaultPlan::parse(seed, &faults).unwrap_or_else(|e| {
         eprintln!("bad --faults spec: {e}");
-        std::process::exit(2);
+        std::process::exit(1);
     });
 
     // Reduced-dimension training config; experts divide the rank count so
@@ -251,17 +280,25 @@ fn cmd_chaos(args: &[String]) {
             ..GuardConfig::default()
         });
     }
+    if let Some(threshold) = rebalance_threshold {
+        chaos = chaos.with_rebalance(RebalanceConfig {
+            threshold,
+            every: 4,
+            ..RebalanceConfig::default()
+        });
+    }
 
     println!(
         "chaos run: {ranks} simulated Frontier ranks, {steps} steps, checkpoint every {} | \
-         faults: {} | guard: {}",
+         faults: {} | guard: {} | rebalance: {}",
         if ckpt_every == 0 {
             "never".to_string()
         } else {
             ckpt_every.to_string()
         },
         if faults.is_empty() { "none" } else { &faults },
-        if guard_on { "on" } else { "off" }
+        if guard_on { "on" } else { "off" },
+        rebalance_threshold.map_or("off".to_string(), |t| format!("skew >= {t}"))
     );
     let outcomes = {
         let cfg = &cfg;
@@ -321,6 +358,27 @@ fn cmd_chaos(args: &[String]) {
             rec.detect_time * 1e3,
             rec.restore_time * 1e3,
             rec.mttr * 1e3
+        );
+    }
+    for j in &survivor.joins {
+        println!(
+            "join: ranks {:?} came online at step {} | world {} | rendezvous {:.2}ms",
+            j.joined_ranks,
+            j.at_step,
+            j.world_after,
+            j.mttr * 1e3
+        );
+    }
+    for d in &survivor.rebalances {
+        println!(
+            "rebalance: {} experts {:?} at step {} | dispatch {:.3}ms -> {:.3}ms | \
+             transferred {} bytes",
+            d.kind,
+            d.moved_experts,
+            d.step,
+            d.dispatch_before * 1e3,
+            d.dispatch_after * 1e3,
+            d.migration_bytes
         );
     }
     println!(
@@ -1501,6 +1559,7 @@ fn cmd_bench(args: &[String]) {
     match args.first().map(String::as_str) {
         Some("hotpath") => cmd_bench_hotpath(&args[1..]),
         Some("mapping") => cmd_bench_mapping(&args[1..]),
+        Some("elastic") => cmd_bench_elastic(&args[1..]),
         _ => usage(),
     }
 }
@@ -1793,6 +1852,399 @@ fn cmd_bench_mapping(args: &[String]) {
         plans.len() - pareto
     );
     match report::write_validated(&out_path, &render_mapping_json(&plans), validate_mapping) {
+        Ok(n) => println!("wrote {out_path} ({n} records, self-validated)"),
+        Err(e) => {
+            eprintln!("{out_path}: self-validation failed — {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// bench elastic — join MTTR + skewed-vs-rebalanced live migration
+// ---------------------------------------------------------------------------
+
+/// `bench elastic` world: 8 experts over 4 ranks, two per rank.
+const EL_WORLD: usize = 4;
+const EL_EXPERTS: usize = 8;
+
+/// Frontier GCDs repacked three per node, so the 4-rank world spans two
+/// asymmetric nodes (ranks 0-2 on node 0, rank 3 alone on node 1) and
+/// expert dispatch crosses a real NIC — on a single node the RBD
+/// node-dedup discipline makes every placement free and a rebalance has
+/// nothing to win.
+fn elastic_cluster() -> SimCluster {
+    let mut spec = MachineSpec::frontier();
+    spec.gpus_per_node = 3;
+    let topo = ClusterTopology::new(spec, EL_WORLD);
+    SimCluster::new(CostModel::new(topo).with_congestion(CongestionModel::none()))
+}
+
+fn elastic_train_cfg() -> TrainConfig {
+    let mut c = TrainConfig::fig15(DropPolicy::CapacityOnly);
+    c.vocab = 64;
+    c.hidden = 32;
+    c.ffn = 16;
+    c.num_experts = EL_EXPERTS;
+    c.top_k = 2;
+    c.layers = 2;
+    c.seq_len = 24;
+    c.batch = 4;
+    c.capacity_factor = 1e6;
+    c.seed = 0xE1A5;
+    c
+}
+
+struct ElasticJoin {
+    steps: u64,
+    kill_rank: usize,
+    kill_at: u64,
+    join_at: u64,
+    join_mttr_s: f64,
+    scatter_bytes: usize,
+    world_after: usize,
+}
+
+struct ElasticRebalance {
+    phase_steps: u64,
+    kind: &'static str,
+    moved_experts: usize,
+    migration_bytes: u64,
+    skewed_step_s: f64,
+    rebalanced_step_s: f64,
+    dispatch_before_s: f64,
+    dispatch_after_s: f64,
+}
+
+/// Kill one rank mid-run and let it rejoin two steps later; the join MTTR
+/// (grow rendezvous + live scatter + rebuild) is read off an incumbent's
+/// report, where the interval excludes the joiner's sat-out time.
+fn bench_elastic_join(smoke: bool) -> ElasticJoin {
+    let cfg = elastic_train_cfg();
+    let steps: u64 = if smoke { 6 } else { 10 };
+    let (kill_rank, kill_at, join_at) = (EL_WORLD - 1, 2u64, 4u64);
+    let spec = format!("kill:rank={kill_rank},at={kill_at};join:rank={kill_rank},at={join_at}");
+    let plan = FaultPlan::parse(cfg.seed, &spec).expect("bench join spec parses");
+    let chaos = ChaosConfig::new(steps, 2);
+    let reports = {
+        let cfg = &cfg;
+        let chaos = &chaos;
+        elastic_cluster()
+            .with_faults(plan)
+            .run(move |ctx| run_chaos_rank(cfg, chaos, ctx).expect("bench join run"))
+    };
+    let incumbent = &reports[0];
+    assert_eq!(
+        incumbent.final_world, EL_WORLD,
+        "join must restore the full world"
+    );
+    let join = incumbent.joins.first().expect("join rendezvous recorded");
+    ElasticJoin {
+        steps,
+        kill_rank,
+        kill_at,
+        join_at,
+        join_mttr_s: join.mttr,
+        scatter_bytes: incumbent.last_ckpt.as_ref().map_or(0, Vec::len),
+        world_after: join.world_after,
+    }
+}
+
+/// Bias two co-located experts hot, profile a skewed phase, commit the
+/// histogram-driven rebalance exactly as the chaos engine does, then run
+/// the same number of steps in the migrated layout. Both phase averages
+/// come off the simulated clock, so the comparison is deterministic.
+fn bench_elastic_rebalance(_smoke: bool) -> ElasticRebalance {
+    let cfg = elastic_train_cfg();
+    // The skew phase is the same length in smoke mode: the histogram a
+    // four-step window collects is not yet dominated by the biased pair
+    // (the router trains away from the overload from step one), and the
+    // never-worse gate would correctly decline the marginal candidate.
+    // Ten steps on this toy model cost well under a second, so smoke
+    // mode only shortens the join sub-bench.
+    let phase: u64 = 10;
+    let full_layers = build_moe_layers(&cfg);
+    let mut results = {
+        let cfg = &cfg;
+        let full_layers = &full_layers;
+        elastic_cluster().run(move |ctx| {
+            let comm = ctx.world.clone();
+            let mut model = DistMoeLm::new(cfg, full_layers, ctx.rank, EL_WORLD);
+            // Experts 6 and 7 — both on rank 3, the lone rank of node 1 —
+            // are made co-hot: every top-2 decision floods that NIC from
+            // all three node-0 sources. Pulling the co-activated pair onto
+            // node 0 cuts the off-node copies from three sources to one
+            // and unloads the straggler, exactly the migration the solver
+            // exists to find.
+            model.bias_router(6, 6.0);
+            model.bias_router(7, 6.0);
+            model.set_route_tracking(true);
+            let mut rng = DetRng::new(cfg.seed ^ 0x51E3);
+            let t0 = ctx.clock.now();
+            for step in 0..phase {
+                ctx.set_step(step);
+                comm.set_step(step);
+                let batch = step_batch(cfg, rng.next_u64(), comm.rank());
+                model
+                    .train_step(&batch, &comm, &mut ctx.clock)
+                    .expect("skewed phase step");
+            }
+            let skewed = (ctx.clock.now() - t0) / phase as f64;
+
+            // Close the profiling window the way the chaos engine does.
+            let mine = model.take_route_samples();
+            let gathered = comm
+                .all_gather(mine, &mut ctx.clock)
+                .expect("histogram all-gather");
+            ctx.clock.commit("elastic_histogram");
+            let mut hist = RoutingHistogram::new(cfg.num_experts, EL_WORLD, 4096);
+            for per_src in &gathered {
+                for (src, experts) in per_src {
+                    let experts: Vec<usize> = experts.iter().map(|&e| e as usize).collect();
+                    hist.observe(*src as usize, &experts);
+                }
+            }
+            let rcfg = RebalanceConfig {
+                threshold: 1.05,
+                every: phase,
+                ..RebalanceConfig::default()
+            };
+            let mut pol = RebalancePolicy::new(rcfg);
+            let old = model.assignment().clone();
+            let replica = expert_replica_bytes(cfg.hidden, cfg.ffn, cfg.layers);
+            let (new_asg, kind) = pol
+                .observe_window(&hist, &old, comm.cost(), replica)
+                .expect("manufactured skew must trigger a rebalance");
+            let ckpt = model
+                .capture_checkpoint(phase, rng.state(), &comm, &mut ctx.clock)
+                .expect("live snapshot");
+            let moved = old.changed_experts(&new_asg);
+            let grp: Vec<usize> = comm.group_ranks().to_vec();
+            let per_expert = 6 * cfg.hidden as u64 * cfg.ffn as u64 * 4 * cfg.layers as u64;
+            let mut migration_bytes = 0u64;
+            let mut t_mig = 0.0f64;
+            for &g in &moved {
+                let src = grp[old.primary(g)];
+                for &h in new_asg.holders(g) {
+                    if !old.holders(g).contains(&h) {
+                        migration_bytes += per_expert;
+                        t_mig += comm.cost().p2p_time(src, grp[h], per_expert);
+                    }
+                }
+            }
+            ctx.clock.charge("elastic_migrate", t_mig);
+            let before = assignment_cost(&old, &hist, comm.cost(), rcfg.bytes_per_token);
+            let after = assignment_cost(&new_asg, &hist, comm.cost(), rcfg.bytes_per_token);
+            let mut model =
+                DistMoeLm::from_checkpoint_with_assignment(cfg, &ckpt, comm.rank(), new_asg);
+            let mut rng = DetRng::from_state(ckpt.rng_state);
+            let t1 = ctx.clock.now();
+            for step in phase..2 * phase {
+                ctx.set_step(step);
+                comm.set_step(step);
+                let batch = step_batch(cfg, rng.next_u64(), comm.rank());
+                model
+                    .train_step(&batch, &comm, &mut ctx.clock)
+                    .expect("rebalanced phase step");
+            }
+            let rebalanced = (ctx.clock.now() - t1) / phase as f64;
+            (
+                skewed,
+                rebalanced,
+                kind,
+                moved.len(),
+                migration_bytes,
+                before.dispatch_time,
+                after.dispatch_time,
+            )
+        })
+    };
+    let (skewed, rebalanced, kind, moved, migration_bytes, db, da) = results.remove(0);
+    ElasticRebalance {
+        phase_steps: phase,
+        kind,
+        moved_experts: moved,
+        migration_bytes,
+        skewed_step_s: skewed,
+        rebalanced_step_s: rebalanced,
+        dispatch_before_s: db,
+        dispatch_after_s: da,
+    }
+}
+
+fn render_elastic_json(join: &ElasticJoin, reb: &ElasticRebalance) -> String {
+    let mut s = String::from("[\n  {\n");
+    s.push_str(&format!(
+        "    \"config\": {{\"label\": \"join\", \"world\": {EL_WORLD}, \"experts\": \
+         {EL_EXPERTS}, \"steps\": {}, \"kill_rank\": {}, \"kill_at\": {}, \"join_at\": {}}},\n",
+        join.steps, join.kill_rank, join.kill_at, join.join_at
+    ));
+    s.push_str(&format!("    \"join_mttr_s\": {:.9},\n", join.join_mttr_s));
+    s.push_str(&format!("    \"world_after\": {},\n", join.world_after));
+    s.push_str(&format!("    \"scatter_bytes\": {}\n", join.scatter_bytes));
+    s.push_str("  },\n  {\n");
+    s.push_str(&format!(
+        "    \"config\": {{\"label\": \"rebalance\", \"world\": {EL_WORLD}, \"experts\": \
+         {EL_EXPERTS}, \"phase_steps\": {}, \"kind\": \"{}\"}},\n",
+        reb.phase_steps,
+        report::json_safe(reb.kind)
+    ));
+    s.push_str(&format!(
+        "    \"skewed_step_s\": {:.9},\n",
+        reb.skewed_step_s
+    ));
+    s.push_str(&format!(
+        "    \"rebalanced_step_s\": {:.9},\n",
+        reb.rebalanced_step_s
+    ));
+    s.push_str(&format!(
+        "    \"speedup\": {:.6},\n",
+        reb.skewed_step_s / reb.rebalanced_step_s
+    ));
+    s.push_str(&format!("    \"moved_experts\": {},\n", reb.moved_experts));
+    s.push_str(&format!(
+        "    \"migration_bytes\": {},\n",
+        reb.migration_bytes
+    ));
+    s.push_str(&format!(
+        "    \"dispatch_before_s\": {:.9},\n",
+        reb.dispatch_before_s
+    ));
+    s.push_str(&format!(
+        "    \"dispatch_after_s\": {:.9}\n",
+        reb.dispatch_after_s
+    ));
+    s.push_str("  }\n]\n");
+    s
+}
+
+/// Structural + semantic validation of a `BENCH_elastic.json`. The gate is
+/// the elasticity contract itself: the join record must show the full
+/// world restored with a positive rendezvous MTTR, and the rebalance
+/// record must show the migrated layout strictly beating the skewed
+/// baseline — measured step time and priced dispatch both — with a
+/// nonzero priced transfer.
+fn validate_elastic(text: &str) -> Result<usize, String> {
+    let objs = report::split_records(text)?;
+    let mut saw_join = false;
+    let mut saw_reb = false;
+    for obj in &objs {
+        if obj.contains("\"label\": \"join\"") {
+            saw_join = true;
+            report::positive_scalar(obj, "join_mttr_s")?;
+            let world = report::scalar(obj, "world")?;
+            let after = report::scalar(obj, "world_after")?;
+            if after != world {
+                return Err(format!("join restored world {after}, expected {world}"));
+            }
+            report::positive_scalar(obj, "scatter_bytes")?;
+        } else if obj.contains("\"label\": \"rebalance\"") {
+            saw_reb = true;
+            let skewed = report::positive_scalar(obj, "skewed_step_s")?;
+            let reb = report::positive_scalar(obj, "rebalanced_step_s")?;
+            if reb >= skewed {
+                return Err(format!(
+                    "rebalanced step time {reb} not strictly below the skewed baseline {skewed}"
+                ));
+            }
+            let speedup = report::positive_scalar(obj, "speedup")?;
+            if speedup <= 1.0 {
+                return Err(format!("speedup {speedup} <= 1"));
+            }
+            report::positive_scalar(obj, "moved_experts")?;
+            report::positive_scalar(obj, "migration_bytes")?;
+            let db = report::positive_scalar(obj, "dispatch_before_s")?;
+            let da = report::positive_scalar(obj, "dispatch_after_s")?;
+            if da >= db {
+                return Err(format!(
+                    "priced dispatch {da} not improved from {db} (never-worse violated)"
+                ));
+            }
+        } else {
+            return Err("record lacks a join/rebalance label".into());
+        }
+    }
+    if !saw_join {
+        return Err("missing the join record".into());
+    }
+    if !saw_reb {
+        return Err("missing the rebalance record".into());
+    }
+    Ok(objs.len())
+}
+
+fn cmd_bench_elastic(args: &[String]) {
+    let mut smoke = false;
+    let mut out_path = "BENCH_elastic.json".to_string();
+    let mut validate_only: Option<String> = None;
+    let mut i = 0usize;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => {
+                smoke = true;
+                i += 1;
+            }
+            "--out" => {
+                out_path = args.get(i + 1).cloned().unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--validate" => {
+                validate_only = Some(args.get(i + 1).cloned().unwrap_or_else(|| usage()));
+                i += 2;
+            }
+            _ => usage(),
+        }
+    }
+    if let Some(p) = validate_only {
+        let text = std::fs::read_to_string(&p).unwrap_or_else(|e| {
+            eprintln!("{p}: INVALID — read failed: {e}");
+            std::process::exit(1);
+        });
+        match validate_elastic(&text) {
+            Ok(n) => println!("{p}: {n} records, schema + elasticity gate OK"),
+            Err(e) => {
+                eprintln!("{p}: INVALID — {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    println!(
+        "== bench elastic — rank join + live expert migration (world={EL_WORLD} \
+         experts={EL_EXPERTS}{}) ==",
+        if smoke { ", smoke" } else { "" }
+    );
+    let join = bench_elastic_join(smoke);
+    println!(
+        "join: rank {} killed at step {}, rejoined at step {} | rendezvous {:.3}ms | \
+         world {} restored | snapshot {} bytes",
+        join.kill_rank,
+        join.kill_at,
+        join.join_at,
+        join.join_mttr_s * 1e3,
+        join.world_after,
+        join.scatter_bytes
+    );
+    let reb = bench_elastic_rebalance(smoke);
+    println!(
+        "rebalance: {} moved {} expert(s), {} bytes | step {:.4}ms -> {:.4}ms (-{:.3}%) | \
+         priced dispatch {:.1}us -> {:.1}us ({:.2}x)",
+        reb.kind,
+        reb.moved_experts,
+        reb.migration_bytes,
+        reb.skewed_step_s * 1e3,
+        reb.rebalanced_step_s * 1e3,
+        (1.0 - reb.rebalanced_step_s / reb.skewed_step_s) * 1e2,
+        reb.dispatch_before_s * 1e6,
+        reb.dispatch_after_s * 1e6,
+        reb.dispatch_before_s / reb.dispatch_after_s
+    );
+    match report::write_validated(
+        &out_path,
+        &render_elastic_json(&join, &reb),
+        validate_elastic,
+    ) {
         Ok(n) => println!("wrote {out_path} ({n} records, self-validated)"),
         Err(e) => {
             eprintln!("{out_path}: self-validation failed — {e}");

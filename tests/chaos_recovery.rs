@@ -9,7 +9,14 @@
 //!    fresh model at the same world size, and the continued trajectory is
 //!    bitwise identical to the uninterrupted run (pins Adam moment order,
 //!    including the gathered expert moments).
-//! 3. **Transient link flaps surface as `fault_retry:*` spans** and the
+//! 3. **Ragged re-shard works**: one of four ranks dies and eight
+//!    experts re-shard over three survivors (3+3+2) bitwise identically
+//!    to a fresh three-rank run — a regression test for the old
+//!    divisibility assert in the recovery path.
+//! 4. **Sequential failures compose**: two kills at different steps,
+//!    the second recovered from a checkpoint the already-shrunk world
+//!    captured, still bitwise identical to a fresh run.
+//! 5. **Transient link flaps surface as `fault_retry:*` spans** and the
 //!    PR-1 span-exactness invariant (spans sum to `clock.now()`) holds
 //!    under retries.
 
@@ -147,6 +154,97 @@ fn same_world_restore_continues_bitwise_identically() {
             .map(|&(s, v)| (s, v.to_bits()))
             .collect();
         assert_eq!(tail, res, "rank {rank}: restore must not perturb training");
+    }
+}
+
+#[test]
+fn ragged_restore_after_single_kill_is_bitwise_deterministic() {
+    // One of four ranks dies, so eight experts must re-shard over three
+    // survivors — a ragged 3+3+2 split. Before the elastic-restore fix
+    // the recovery path asserted `experts % survivors == 0` and panicked
+    // right here; this pins both that it works and that it is exact.
+    let world = 4;
+    let steps = 8u64;
+    let chaos = ChaosConfig::new(steps, 2);
+    let plan = FaultPlan::new(5).kill(3, 4);
+    let reports = chaos_run(world, Some(plan), chaos);
+
+    assert_eq!(reports[3].exited_at, Some(4));
+    let bits = |l: &[(u64, f64)]| -> Vec<(u64, u64)> {
+        l.iter().map(|&(s, v)| (s, v.to_bits())).collect()
+    };
+    for r in &reports[..3] {
+        assert_eq!(r.exited_at, None);
+        assert_eq!(r.final_world, 3, "eight experts over three survivors");
+        assert_eq!(r.losses.len(), steps as usize);
+        assert_eq!(r.recoveries.len(), 1);
+        assert_eq!(r.recoveries[0].failed_ranks, vec![3]);
+        assert_eq!(bits(&r.losses), bits(&reports[0].losses));
+    }
+
+    // Gold standard: a fresh three-rank cluster restoring the same bytes
+    // (and therefore performing the same ragged split) continues bitwise
+    // identically.
+    let pre = chaos_run(world, None, ChaosConfig::new(4, 2));
+    let ckpt_bytes = pre[0].last_ckpt.clone().expect("checkpoint captured");
+    assert_eq!(Checkpoint::decode(&ckpt_bytes).unwrap().step, 4);
+    let reference = resume_reference(3, &ckpt_bytes, steps);
+    for (rank, r) in reference.iter().enumerate() {
+        assert_eq!(
+            bits(r),
+            bits(&reports[rank].losses[4..]),
+            "rank {rank}: ragged restore must match a fresh three-rank run"
+        );
+    }
+}
+
+#[test]
+fn sequential_two_kill_recovery_is_bitwise_deterministic() {
+    // Rank 3 dies at step 4; after that recovery completes, rank 2 dies
+    // at step 8 — two independent shrink events in one run, the second
+    // recovering from a checkpoint captured by the already-shrunk world.
+    let world = 4;
+    let steps = 10u64;
+    let chaos = ChaosConfig::new(steps, 2);
+    let plan = FaultPlan::new(1).kill(3, 4).kill(2, 8);
+    let reports = chaos_run(world, Some(plan), chaos);
+
+    assert_eq!(reports[3].exited_at, Some(4));
+    assert_eq!(reports[2].exited_at, Some(8));
+    let bits = |l: &[(u64, f64)]| -> Vec<(u64, u64)> {
+        l.iter().map(|&(s, v)| (s, v.to_bits())).collect()
+    };
+    for r in &reports[..2] {
+        assert_eq!(r.exited_at, None);
+        assert_eq!(r.final_world, 2);
+        assert_eq!(r.losses.len(), steps as usize);
+        assert_eq!(r.recoveries.len(), 2, "both shrink events recorded");
+        assert_eq!(r.recoveries[0].failed_ranks, vec![3]);
+        assert_eq!(r.recoveries[0].failed_at_step, 4);
+        assert_eq!(r.recoveries[1].failed_ranks, vec![2]);
+        assert_eq!(r.recoveries[1].failed_at_step, 8);
+        assert_eq!(
+            r.recoveries[1].resumed_from_step, 8,
+            "second failure lands on a boundary of the shrunk world's checkpoints"
+        );
+    }
+    assert_eq!(bits(&reports[0].losses), bits(&reports[1].losses));
+
+    // Gold standard: replay the same plan but stop before the second
+    // kill — the three-survivor world's step-8 checkpoint is the image
+    // the second recovery restored — then continue it on a fresh
+    // two-rank cluster and demand bitwise agreement with the suffix.
+    let pre_plan = FaultPlan::new(1).kill(3, 4).kill(2, 8);
+    let pre = chaos_run(world, Some(pre_plan), ChaosConfig::new(8, 2));
+    let ckpt_bytes = pre[0].last_ckpt.clone().expect("checkpoint captured");
+    assert_eq!(Checkpoint::decode(&ckpt_bytes).unwrap().step, 8);
+    let reference = resume_reference(2, &ckpt_bytes, steps);
+    for (rank, r) in reference.iter().enumerate() {
+        assert_eq!(
+            bits(r),
+            bits(&reports[rank].losses[8..]),
+            "rank {rank}: second recovery must match a fresh two-rank run"
+        );
     }
 }
 

@@ -83,7 +83,7 @@ fn four_rank_dp_ep_training_matches_single_process() {
                 head,
                 gate0,
                 shard0,
-                model.blocks[0].moe.first_expert,
+                model.blocks[0].moe.local_experts.clone(),
             )
         })
     };
@@ -123,9 +123,9 @@ fn four_rank_dp_ep_training_matches_single_process() {
     );
 
     // Expert shards match the corresponding reference experts.
-    for (_, _, _, shard, first) in &dist_results {
+    for (_, _, _, shard, locals) in &dist_results {
         for (i, (w1, w2)) in shard.iter().enumerate() {
-            let global = first + i;
+            let global = locals[i];
             let (ref_w1, ref_w2) = &reference.blocks[0].moe.experts[global];
             assert!(
                 w1.allclose(ref_w1, 5e-3),
