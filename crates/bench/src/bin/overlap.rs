@@ -157,7 +157,7 @@ fn render_json(records: &[Record]) -> String {
             concat!(
                 "{{\"pipeline\": \"pft\", \"machine\": \"{}\", \"world\": {}, ",
                 "\"tokens_per_rank\": {}, \"hidden\": {}, \"ffn\": {}, ",
-                "\"experts\": {}, \"top_k\": {}, \"skew\": {}, \"chunks\": {}}}"
+                "\"experts\": {}, \"top_k\": {}, \"skew\": {}, \"chunks\": {}, {}}}"
             ),
             report::json_safe(scaled_frontier().name),
             WORLD,
@@ -168,6 +168,7 @@ fn render_json(records: &[Record]) -> String {
             r.top_k,
             r.skew,
             CHUNKS,
+            report::worker_fields(),
         );
         out.push_str(&format!(
             "  {{\"config\": {}, \"serial_step_s\": {:.9}, \"overlap_step_s\": {:.9}, \"speedup\": {:.6}}}{}\n",

@@ -105,7 +105,7 @@ fn render_json(records: &[Record]) -> String {
             concat!(
                 "{{\"placement\": \"{}\", \"arrival\": \"{}\", \"skew\": {}, ",
                 "\"rate_rps\": {}, \"requests\": {}, \"world\": {}, ",
-                "\"experts\": {}, \"top_k\": {}}}"
+                "\"experts\": {}, \"top_k\": {}, {}}}"
             ),
             report::json_safe(r.placement.name()),
             report::json_safe(r.arrival),
@@ -115,6 +115,7 @@ fn render_json(records: &[Record]) -> String {
             WORLD,
             model().num_experts,
             model().top_k,
+            report::worker_fields(),
         );
         out.push_str(&format!(
             concat!(

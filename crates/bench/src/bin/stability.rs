@@ -261,13 +261,14 @@ fn render_json(records: &[Record]) -> String {
         let config = format!(
             concat!(
                 "{{\"family\": \"{}\", \"spec\": \"{}\", \"world\": {}, ",
-                "\"steps\": {}, \"inject_at\": {}}}"
+                "\"steps\": {}, \"inject_at\": {}, {}}}"
             ),
             report::json_safe(r.family),
             report::json_safe(&r.spec),
             WORLD,
             STEPS,
             INJECT_AT,
+            report::worker_fields(),
         );
         out.push_str(&format!(
             concat!(

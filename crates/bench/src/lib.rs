@@ -102,6 +102,24 @@ pub mod report {
         validate(&text)
     }
 
+    /// The worker-pool fields every `BENCH_*.json` config block stamps:
+    /// `"worker_threads": N` (the resolved size of the persistent pool the
+    /// numbers were measured under) plus `"xmoe_threads": M` when the
+    /// `XMOE_THREADS` override is set and valid — so a report with an odd
+    /// number can be traced to an odd thread count. The fragment carries no
+    /// leading or trailing comma; embed it like any other config field.
+    pub fn worker_fields() -> String {
+        let n = xmoe_tensor::worker_threads();
+        let base = format!("\"worker_threads\": {n}");
+        match std::env::var("XMOE_THREADS") {
+            Ok(v) => match v.trim().parse::<usize>() {
+                Ok(m) if m >= 1 => format!("{base}, \"xmoe_threads\": {}", m.min(64)),
+                _ => base,
+            },
+            Err(_) => base,
+        }
+    }
+
     /// Drive a `--validate <path>` invocation: read, validate, report.
     /// Returns the process exit code the binary should end with.
     pub fn validate_file_cli(
@@ -247,5 +265,25 @@ mod tests {
     #[should_panic(expected = "needs JSON escaping")]
     fn json_safe_rejects_quotes() {
         report::json_safe("he\"llo");
+    }
+
+    #[test]
+    fn worker_fields_stamp_a_valid_pool_size() {
+        let f = report::worker_fields();
+        let rest = f
+            .strip_prefix("\"worker_threads\": ")
+            .expect("fragment must lead with worker_threads");
+        let n: usize = rest
+            .split(',')
+            .next()
+            .unwrap()
+            .trim()
+            .parse()
+            .expect("worker_threads must be an integer");
+        assert!((1..=64).contains(&n), "pool size {n} out of range");
+        // The fragment embeds into a config object verbatim: no braces, no
+        // stray commas at either end.
+        assert!(!f.contains('{') && !f.contains('}'));
+        assert!(!f.ends_with(','));
     }
 }

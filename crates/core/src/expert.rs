@@ -5,7 +5,7 @@
 //! fine-grained expert. Under expert parallelism each rank owns a contiguous
 //! block of `E / W` experts ([`ExpertShard`]).
 
-use xmoe_tensor::{matmul, matmul_slices, silu, Tensor, Workspace};
+use xmoe_tensor::{gemm_grouped, matmul, silu, Tensor, Workspace};
 
 /// One expert FFN: `y = silu(x @ w1) @ w2`.
 #[derive(Clone, Debug)]
@@ -88,9 +88,13 @@ impl ExpertShard {
         e >= self.first_expert && e < self.first_expert + self.experts.len()
     }
 
-    /// Sequential GEMM over per-expert segments (paper §B.4): `input` rows
-    /// are grouped by local expert with lengths `tokens_per_local_expert`;
-    /// each segment runs through its expert with no padding.
+    /// Grouped GEMM over per-expert segments (paper §B.4): `input` rows are
+    /// grouped by local expert with lengths `tokens_per_local_expert`; each
+    /// segment runs through its expert with no padding. The whole shard is
+    /// two [`gemm_grouped`] batches (`x @ w1` for every expert, SiLU, then
+    /// `h @ w2`) on the persistent worker pool, so E small segments fill the
+    /// machine instead of running back-to-back — results stay bitwise
+    /// identical to the sequential per-expert loop at any worker count.
     pub fn forward_segments(&self, input: &Tensor, tokens_per_local_expert: &[usize]) -> Tensor {
         assert_eq!(
             tokens_per_local_expert.len(),
@@ -100,23 +104,16 @@ impl ExpertShard {
         let total: usize = tokens_per_local_expert.iter().sum();
         assert_eq!(total, input.rows(), "segment sum != input rows");
         let hidden = self.experts.first().map_or(0, |e| e.w1.rows());
+        let ffn = self.experts.first().map_or(0, |e| e.w1.cols());
+        let mut h = Tensor::zeros(total, ffn);
         let mut out = Tensor::zeros(total, hidden);
-        let mut row = 0;
-        for (e, &cnt) in tokens_per_local_expert.iter().enumerate() {
-            if cnt == 0 {
-                continue;
-            }
-            let seg = input.slice_rows(row, row + cnt);
-            let y = self.experts[e].forward(&seg);
-            out.as_mut_slice()[row * hidden..(row + cnt) * hidden].copy_from_slice(y.as_slice());
-            row += cnt;
-        }
+        self.forward_segments_into(input, tokens_per_local_expert, &mut h, &mut out);
         out
     }
 
     /// [`Self::forward_segments`] running on workspace leases: the activation
-    /// scratch and the output come from `ws`, and each segment GEMM writes
-    /// straight into its sub-range of the leased buffers instead of
+    /// scratch and the output come from `ws`, and the grouped GEMMs write
+    /// straight into sub-ranges of the leased buffers instead of
     /// materialising per-segment tensors. Results are bitwise identical to
     /// the unpooled variant; the caller recycles the returned tensor.
     pub fn forward_segments_pooled(
@@ -136,35 +133,43 @@ impl ExpertShard {
         let ffn = self.experts.first().map_or(0, |e| e.w1.cols());
         let mut h = ws.take(total, ffn);
         let mut out = ws.take(total, hidden);
-        let mut row = 0;
-        for (e, &cnt) in tokens_per_local_expert.iter().enumerate() {
-            if cnt == 0 {
-                continue;
-            }
-            let ex = &self.experts[e];
-            let in_seg = &input.as_slice()[row * input.cols()..(row + cnt) * input.cols()];
-            let h_range = row * ffn..(row + cnt) * ffn;
-            matmul_slices(
-                in_seg,
-                cnt,
-                input.cols(),
-                ex.w1.as_slice(),
-                ffn,
-                &mut h.as_mut_slice()[h_range.clone()],
-            );
-            silu_slice(&mut h.as_mut_slice()[h_range.clone()]);
-            matmul_slices(
-                &h.as_slice()[h_range],
-                cnt,
-                ffn,
-                ex.w2.as_slice(),
-                hidden,
-                &mut out.as_mut_slice()[row * hidden..(row + cnt) * hidden],
-            );
-            row += cnt;
-        }
+        self.forward_segments_into(input, tokens_per_local_expert, &mut h, &mut out);
         ws.recycle(h);
         out
+    }
+
+    /// Shared body of the owned/pooled segment forwards: two grouped GEMM
+    /// batches with a SiLU between. `h` (`[total, ffn]`) and `out`
+    /// (`[total, hidden]`) must arrive zero-filled ([`gemm_grouped`]
+    /// accumulates).
+    fn forward_segments_into(
+        &self,
+        input: &Tensor,
+        tokens_per_local_expert: &[usize],
+        h: &mut Tensor,
+        out: &mut Tensor,
+    ) {
+        let hidden = self.experts.first().map_or(0, |e| e.w1.rows());
+        let ffn = self.experts.first().map_or(0, |e| e.w1.cols());
+        gemm_grouped(
+            input.as_slice(),
+            tokens_per_local_expert,
+            hidden,
+            |e| self.experts[e].w1.as_slice(),
+            ffn,
+            h.as_mut_slice(),
+        );
+        // Every row of `h` belongs to exactly one segment, so one pass over
+        // the whole buffer equals the per-segment application.
+        silu_slice(h.as_mut_slice());
+        gemm_grouped(
+            h.as_slice(),
+            tokens_per_local_expert,
+            ffn,
+            |e| self.experts[e].w2.as_slice(),
+            hidden,
+            out.as_mut_slice(),
+        );
     }
 }
 

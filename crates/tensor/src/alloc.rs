@@ -77,6 +77,19 @@ fn is_untracked() -> bool {
     UNTRACKED.try_with(|c| c.get() > 0).unwrap_or(false)
 }
 
+/// Permanently suspend allocation *counting* on the current thread: every
+/// allocation it ever makes lands in [`AllocStats::untracked_allocs`].
+///
+/// Called once by each worker of the persistent pool ([`crate::par`]) as it
+/// starts. Pool workers are simulation mechanics, not simulated ranks: a
+/// GPU SM does not call `malloc`, and the kernels the pool runs are
+/// allocation-free anyway, so any incidental heap traffic on a worker
+/// (unwinding machinery, OS TLS) must not be charged against a rank thread's
+/// [`thread_tracked_allocs`] fence or the process-wide tracked counter.
+pub fn mark_thread_untracked() {
+    UNTRACKED.with(|c| c.set(c.get().max(1)));
+}
+
 /// Snapshot of allocator counters at a point in time.
 ///
 /// Deltas between snapshots bound the allocation behaviour of the code in

@@ -18,22 +18,31 @@
 //! the pipeline stages, and verified by [`alloc::CountingAlloc`], an optional
 //! counting `#[global_allocator]` wrapper used by benches and tests.
 //!
-//! All parallelism uses `std::thread::scope` over disjoint row chunks, so the
-//! kernels are data-race free by construction. The only `unsafe` in the crate
-//! is the `GlobalAlloc` impl in [`alloc`], which delegates every operation to
-//! `std::alloc::System` and adds relaxed atomic counters.
+//! All parallelism runs on the persistent worker pool in [`par`]: kernels
+//! submit batches of tasks over disjoint row chunks (or whole expert
+//! segments, via the grouped GEMM entry points), so they are data-race free
+//! by construction and bitwise identical to their serial schedules. The
+//! `unsafe` in the crate is confined to the `GlobalAlloc` impl in [`alloc`]
+//! (which delegates every operation to `std::alloc::System` and adds relaxed
+//! atomic counters) and the task/pointer plumbing in [`par`].
 
 pub mod alloc;
 pub mod ops;
+pub mod par;
 pub mod pool;
 pub mod rng;
 pub mod routing;
 
-pub use alloc::{thread_tracked_allocs, untracked, AllocStats, CountingAlloc};
+pub use alloc::{
+    mark_thread_untracked, thread_tracked_allocs, untracked, AllocStats, CountingAlloc,
+};
 pub use ops::{
     add_assign, add_assign_slice, axpy_slice, dot_and_scale, gelu, matmul, matmul_into,
     matmul_slices, matmul_transpose_b, matmul_transpose_b_into, matmul_transpose_b_slices, relu,
     scale_assign, scaled_extend, silu, softmax_rows, topk_rows, topk_rows_into,
+};
+pub use par::{
+    gemm_grouped, gemm_grouped_transpose_a, gemm_grouped_transpose_b, pool_size, run_tasks, Task,
 };
 pub use pool::{Workspace, WorkspaceStats};
 pub use rng::DetRng;
@@ -42,19 +51,33 @@ pub use routing::{
     scatter_rows_scaled, scatter_rows_unit, sequential_gemm,
 };
 
-/// Number of worker threads used by parallel kernels.
+/// Number of worker threads used by parallel kernels (the size of the
+/// persistent pool in [`par`], caller lane included).
 ///
-/// Chosen once at first use from `std::thread::available_parallelism`, capped
-/// at 16 so test suites with many concurrent simulated ranks do not
-/// oversubscribe the machine.
+/// Chosen once at first use: the `XMOE_THREADS` environment variable if it
+/// parses to an integer in `1..=64` (values above 64 are capped; `0` or
+/// garbage fall back to the default, so a broken override can never disable
+/// the kernels), otherwise `std::thread::available_parallelism` capped at 16
+/// so test suites with many concurrent simulated ranks do not oversubscribe
+/// the machine. Read once through a `OnceLock`: the thread count is pinned
+/// for the life of the process, which is what makes cross-thread-count
+/// determinism testable by re-running the same binary under different
+/// `XMOE_THREADS` values.
 pub fn worker_threads() -> usize {
     use std::sync::OnceLock;
     static N: OnceLock<usize> = OnceLock::new();
     *N.get_or_init(|| {
-        std::thread::available_parallelism()
+        let default = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(4)
-            .min(16)
+            .min(16);
+        match std::env::var("XMOE_THREADS") {
+            Ok(v) => match v.trim().parse::<usize>() {
+                Ok(n) if n >= 1 => n.min(64),
+                _ => default,
+            },
+            Err(_) => default,
+        }
     })
 }
 

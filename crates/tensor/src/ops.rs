@@ -1,15 +1,15 @@
 //! Dense tensor operations: blocked multi-threaded GEMM, activations and the
 //! row-wise reductions used by MoE gating.
 
-use crate::{worker_threads, Tensor};
+use crate::Tensor;
 
 /// `C = A @ B` where `A` is `[m, k]` and `B` is `[k, n]`.
 ///
-/// Rows of `C` are partitioned across `worker_threads()` scoped threads; each
-/// thread runs a register-blocked microkernel over `B` panels. For the
-/// problem sizes in this workspace (token buffers of a few thousand rows by a
-/// few hundred columns) this stays within a factor of a few of BLAS without
-/// any unsafe code.
+/// Rows of `C` are partitioned across the persistent worker pool
+/// ([`crate::par`]); each lane runs a register-blocked microkernel over `B`
+/// panels. For the problem sizes in this workspace (token buffers of a few
+/// thousand rows by a few hundred columns) this stays within a factor of a
+/// few of BLAS without any per-call thread spawns.
 pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     let mut c = Tensor::zeros(a.rows(), b.cols());
     matmul_into(a, b, &mut c);
@@ -48,33 +48,16 @@ pub fn matmul_slices(a: &[f32], m: usize, k: usize, b: &[f32], n: usize, c: &mut
         return;
     }
 
-    let threads = worker_threads().min(m.max(1));
-    if threads <= 1 || m * n * k < 64 * 64 * 64 {
+    if !crate::par::pool().is_parallel() || m * n * k < crate::par::PAR_CUTOFF {
         gemm_rows(a, b, c, 0, m, k, n);
         return;
     }
-
-    let chunk = m.div_ceil(threads);
-    std::thread::scope(|s| {
-        // Split C into disjoint row chunks; each thread owns its slice.
-        let mut rest = c;
-        let mut row0 = 0usize;
-        while row0 < m {
-            let rows_here = chunk.min(m - row0);
-            let (mine, tail) = rest.split_at_mut(rows_here * n);
-            rest = tail;
-            let r0 = row0;
-            s.spawn(move || {
-                gemm_rows_offset(a, b, mine, r0, rows_here, k, n);
-            });
-            row0 += rows_here;
-        }
-    });
+    crate::par::par_gemm_rows(a, m, k, b, n, c, false);
 }
 
 /// Microkernel: accumulate `rows_here` rows of C starting at global row `r0`,
 /// where `c_chunk` is the slice for exactly those rows.
-fn gemm_rows_offset(
+pub(crate) fn gemm_rows_offset(
     a: &[f32],
     b: &[f32],
     c_chunk: &mut [f32],
@@ -173,26 +156,11 @@ pub fn matmul_transpose_b_slices(
         c.fill(0.0);
         return;
     }
-    let threads = worker_threads().min(m);
-    if threads <= 1 || m * n * k < 64 * 64 * 64 {
+    if !crate::par::pool().is_parallel() || m * n * k < crate::par::PAR_CUTOFF {
         gemm_tb_rows(a, b, c, 0, m, k, n);
         return;
     }
-    let chunk = m.div_ceil(threads);
-    std::thread::scope(|s| {
-        let mut rest = c;
-        let mut row0 = 0usize;
-        while row0 < m {
-            let rows_here = chunk.min(m - row0);
-            let (mine, tail) = rest.split_at_mut(rows_here * n);
-            rest = tail;
-            let r0 = row0;
-            s.spawn(move || {
-                gemm_tb_rows(a, b, mine, r0, rows_here, k, n);
-            });
-            row0 += rows_here;
-        }
-    });
+    crate::par::par_gemm_rows(a, m, k, b, n, c, true);
 }
 
 /// Microkernel for `C = A @ B^T`: `c_chunk` holds rows `r0..r0+rows_here` of
@@ -201,7 +169,7 @@ pub fn matmul_transpose_b_slices(
 /// vectorize, whereas fixed lanes map straight onto SIMD mul-adds. The lane
 /// layout is position-determined, so results are bit-deterministic for a
 /// given `k` (though not the naive left-to-right summation order).
-fn gemm_tb_rows(
+pub(crate) fn gemm_tb_rows(
     a: &[f32],
     b: &[f32],
     c_chunk: &mut [f32],
@@ -232,6 +200,38 @@ fn gemm_tb_rows(
                 acc += lane;
             }
             *cv = acc;
+        }
+    }
+}
+
+/// Microkernel for `C += A^T @ D` without materialising the transpose: `a`
+/// is `[cnt, ac]`, `d` is `[cnt, n]`, `c` is `[ac, n]`, accumulated into.
+/// This is the per-expert weight-gradient shape (`dW = X^T @ dY`), which the
+/// training backward used to compute as `matmul(&seg.transpose(), &dy)` —
+/// paying a full transpose copy per expert per step.
+///
+/// Loop order mirrors [`gemm_rows_offset`] applied to the materialised
+/// transpose exactly — `RB`-blocked ascending reduction over segment rows
+/// (the transposed call's k dimension), `i` over output rows inside each
+/// block, same zero-skip — so results are bitwise identical to the old
+/// transpose-then-matmul schedule.
+pub(crate) fn gemm_ta_rows(a: &[f32], d: &[f32], c: &mut [f32], cnt: usize, ac: usize, n: usize) {
+    const RB: usize = 256;
+    for rb0 in (0..cnt).step_by(RB) {
+        let r_end = (rb0 + RB).min(cnt);
+        for i in 0..ac {
+            let c_row = &mut c[i * n..(i + 1) * n];
+            for r in rb0..r_end {
+                // A^T[i][r] without the copy.
+                let av = a[r * ac + i];
+                if av == 0.0 {
+                    continue;
+                }
+                let d_row = &d[r * n..(r + 1) * n];
+                for (cv, dv) in c_row.iter_mut().zip(d_row) {
+                    *cv += av * dv;
+                }
+            }
         }
     }
 }

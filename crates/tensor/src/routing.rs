@@ -2,7 +2,7 @@
 //! the sequential GEMM over uneven expert segments (paper §4.1.2, §B.4), plus
 //! the small array utilities Listing 1's PFT construction is written in.
 
-use crate::{worker_threads, Tensor};
+use crate::Tensor;
 
 /// Gather kernel (paper §4.1.2):
 /// `out[i, :] = src[token_ids[i], :]`.
@@ -19,31 +19,47 @@ pub fn gather_rows(src: &Tensor, token_ids: &[usize]) -> Tensor {
 
 /// [`gather_rows`] into a caller-owned destination, resized (grow-only
 /// capacity) to `[token_ids.len(), src.cols()]`. With a warm workspace tensor
-/// the call is allocation-free on the serial path.
+/// the call is allocation-free; large gathers run on the persistent worker
+/// pool ([`crate::par`]) as disjoint row-chunk memcpy tasks, which is
+/// trivially bitwise identical to the serial copy.
 pub fn gather_rows_into(src: &Tensor, token_ids: &[usize], out: &mut Tensor) {
     let cols = src.cols();
     out.resize(token_ids.len(), cols);
-    let threads = worker_threads().min(token_ids.len().max(1));
-    if threads <= 1 || token_ids.len() * cols < 1 << 14 {
+    let pool = crate::par::pool();
+    if !pool.is_parallel() || token_ids.len() * cols < 1 << 14 {
         for (i, &t) in token_ids.iter().enumerate() {
             out.row_mut(i).copy_from_slice(src.row(t));
         }
         return;
     }
-    let chunk = token_ids.len().div_ceil(threads);
-    let out_slice = out.as_mut_slice();
-    std::thread::scope(|s| {
-        for (ids, rows) in token_ids
-            .chunks(chunk)
-            .zip(out_slice.chunks_mut(chunk * cols))
-        {
-            s.spawn(move || {
-                for (i, &t) in ids.iter().enumerate() {
-                    rows[i * cols..(i + 1) * cols].copy_from_slice(src.row(t));
-                }
-            });
+    let chunk = token_ids
+        .len()
+        .div_ceil(pool.size().min(token_ids.len().max(1)));
+    struct GatherCtx<'a> {
+        src: &'a Tensor,
+        ids: &'a [usize],
+        out: crate::par::DisjointMut<'a>,
+        cols: usize,
+        chunk: usize,
+    }
+    fn gather_task(g: &GatherCtx<'_>, c: usize) {
+        let i0 = c * g.chunk;
+        let ids = &g.ids[i0..(i0 + g.chunk).min(g.ids.len())];
+        // SAFETY: chunks tile the output rows disjointly, one task each.
+        let rows = unsafe { g.out.slice(i0 * g.cols, ids.len() * g.cols) };
+        for (i, &t) in ids.iter().enumerate() {
+            rows[i * g.cols..(i + 1) * g.cols].copy_from_slice(g.src.row(t));
         }
-    });
+    }
+    let tasks = token_ids.len().div_ceil(chunk);
+    let ctx = GatherCtx {
+        src,
+        ids: token_ids,
+        out: crate::par::DisjointMut::new(out.as_mut_slice()),
+        cols,
+        chunk,
+    };
+    pool.for_each(&ctx, tasks, gather_task);
 }
 
 /// Scatter-accumulate kernel (paper §4.1.2):

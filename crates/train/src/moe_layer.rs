@@ -13,7 +13,8 @@ use xmoe_core::gating::{
 };
 use xmoe_core::pft::{Pft, PftScratch};
 use xmoe_tensor::{
-    add_assign, gather_rows, gather_rows_into, matmul, matmul_into, matmul_slices,
+    add_assign, add_assign_slice, gather_rows, gather_rows_into, gemm_grouped,
+    gemm_grouped_transpose_a, gemm_grouped_transpose_b, matmul, matmul_into, matmul_slices,
     matmul_transpose_b, matmul_transpose_b_slices, scatter_rows_unit, softmax_rows, topk_rows,
     topk_rows_into, Tensor, Workspace,
 };
@@ -105,7 +106,6 @@ pub struct MoeTrainScratch {
     pft_scratch: PftScratch,
     d_w: Vec<f32>,
     aux_f: Vec<f32>,
-    t_seg: Tensor,
     xt: Tensor,
 }
 
@@ -258,22 +258,34 @@ impl TrainableMoe {
         let mut h_pre = Tensor::zeros(b, f);
         let mut h_act = Tensor::zeros(b, f);
         let mut y = Tensor::zeros(b, h);
+        // Grouped expert FFN: all segments in two pooled GEMM batches
+        // (bitwise identical to the former per-expert matmul loop — see
+        // xmoe_tensor::par). Every dispatch row belongs to exactly one
+        // segment, so whole-buffer elementwise passes equal per-segment ones.
+        gemm_grouped(
+            dispatch_in.as_slice(),
+            &pft.tokens_per_expert,
+            h,
+            |e| self.experts[e].0.as_slice(),
+            f,
+            h_pre.as_mut_slice(),
+        );
+        h_act.as_mut_slice().copy_from_slice(h_pre.as_slice());
+        for v in h_act.as_mut_slice() {
+            *v *= sigmoid(*v);
+        }
+        gemm_grouped(
+            h_act.as_slice(),
+            &pft.tokens_per_expert,
+            f,
+            |e| self.experts[e].1.as_slice(),
+            h,
+            y.as_mut_slice(),
+        );
         let mut seg_offsets = Vec::with_capacity(self.num_experts() + 1);
         seg_offsets.push(0);
         let mut row = 0usize;
-        for (e, &cnt) in pft.tokens_per_expert.iter().enumerate() {
-            if cnt > 0 {
-                let seg = dispatch_in.slice_rows(row, row + cnt);
-                let pre = matmul(&seg, &self.experts[e].0);
-                let mut act = pre.clone();
-                for v in act.as_mut_slice() {
-                    *v *= sigmoid(*v);
-                }
-                let out = matmul(&act, &self.experts[e].1);
-                h_pre.as_mut_slice()[row * f..(row + cnt) * f].copy_from_slice(pre.as_slice());
-                h_act.as_mut_slice()[row * f..(row + cnt) * f].copy_from_slice(act.as_slice());
-                y.as_mut_slice()[row * h..(row + cnt) * h].copy_from_slice(out.as_slice());
-            }
+        for &cnt in &pft.tokens_per_expert {
             row += cnt;
             seg_offsets.push(row);
         }
@@ -323,31 +335,72 @@ impl TrainableMoe {
             d_w[i] = xmoe_tensor::dot_and_scale(dy_row, y_row, w);
         }
 
-        // Per-expert FFN backward over contiguous segments.
+        // Grouped FFN backward over all expert segments at once: three
+        // grouped GEMM batches plus the SiLU elementwise pass, bitwise
+        // identical to the former sequential per-expert loop (the
+        // transpose-A kernel reproduces `matmul(seg.transpose(), dy)`'s
+        // accumulation order without materialising the transpose). Weight
+        // gradients stage into per-expert blocks of `dw*_all`, then
+        // accumulate into `g_experts` expert by expert — `add_assign_slice`
+        // is bitwise identical to the scalar add the old loop used.
+        let counts = &ctx.pft.tokens_per_expert;
+        let f = self.experts[0].0.cols();
+        let e_count = self.num_experts();
+        // dW2_e = act_e^T dy_e.
+        let mut dw2_all = Tensor::zeros(e_count * f, h);
+        gemm_grouped_transpose_a(
+            ctx.h_act.as_slice(),
+            counts,
+            f,
+            d_y.as_slice(),
+            h,
+            dw2_all.as_mut_slice(),
+        );
+        // d_act = dy W2^T; through SiLU.
+        let mut d_h = Tensor::zeros(b, f);
+        gemm_grouped_transpose_b(
+            d_y.as_slice(),
+            counts,
+            h,
+            |e| self.experts[e].1.as_slice(),
+            f,
+            d_h.as_mut_slice(),
+        );
+        for (d, &pre) in d_h.as_mut_slice().iter_mut().zip(ctx.h_pre.as_slice()) {
+            *d *= silu_grad(pre);
+        }
+        // dW1_e = x_e^T d_h_e.
+        let mut dw1_all = Tensor::zeros(e_count * h, f);
+        gemm_grouped_transpose_a(
+            ctx.dispatch_in.as_slice(),
+            counts,
+            h,
+            d_h.as_slice(),
+            f,
+            dw1_all.as_mut_slice(),
+        );
+        // d_seg = d_h W1^T.
         let mut d_dispatch = Tensor::zeros(b, h);
-        for e in 0..self.num_experts() {
-            let (start, end) = (ctx.seg_offsets[e], ctx.seg_offsets[e + 1]);
-            if start == end {
+        gemm_grouped_transpose_b(
+            d_h.as_slice(),
+            counts,
+            f,
+            |e| self.experts[e].0.as_slice(),
+            h,
+            d_dispatch.as_mut_slice(),
+        );
+        for (e, &cnt) in counts.iter().enumerate() {
+            if cnt == 0 {
                 continue;
             }
-            let seg_x = ctx.dispatch_in.slice_rows(start, end);
-            let seg_pre = ctx.h_pre.slice_rows(start, end);
-            let seg_act = ctx.h_act.slice_rows(start, end);
-            let seg_dy = d_y.slice_rows(start, end);
-            // dW2 += act^T dy
-            let dw2 = matmul(&seg_act.transpose(), &seg_dy);
-            add_assign(&mut self.g_experts[e].1, &dw2);
-            // d_act = dy W2^T; through SiLU.
-            let mut d_h = matmul_transpose_b(&seg_dy, &self.experts[e].1);
-            for (d, &pre) in d_h.as_mut_slice().iter_mut().zip(seg_pre.as_slice()) {
-                *d *= silu_grad(pre);
-            }
-            // dW1 += x^T d_h
-            let dw1 = matmul(&seg_x.transpose(), &d_h);
-            add_assign(&mut self.g_experts[e].0, &dw1);
-            // d_seg = d_h W1^T
-            let d_seg = matmul_transpose_b(&d_h, &self.experts[e].0);
-            d_dispatch.as_mut_slice()[start * h..end * h].copy_from_slice(d_seg.as_slice());
+            add_assign_slice(
+                self.g_experts[e].1.as_mut_slice(),
+                &dw2_all.as_slice()[e * f * h..(e + 1) * f * h],
+            );
+            add_assign_slice(
+                self.g_experts[e].0.as_mut_slice(),
+                &dw1_all.as_slice()[e * h * f..(e + 1) * h * f],
+            );
         }
         // Scatter dispatch grads back to token positions (gather transpose).
         scatter_rows_unit(&d_dispatch, &ctx.pft.token_ids, &mut d_x);
@@ -466,37 +519,36 @@ impl TrainableMoe {
         st.ctx.h_pre.resize(b, f);
         st.ctx.h_act.resize(b, f);
         st.ctx.y.resize(b, h);
+        // Grouped expert FFN on the resized (zero-filled) staging buffers —
+        // the accumulating grouped GEMM equals the owned path's fresh
+        // matmuls bitwise.
+        gemm_grouped(
+            st.ctx.dispatch_in.as_slice(),
+            &st.ctx.pft.tokens_per_expert,
+            h,
+            |e| self.experts[e].0.as_slice(),
+            f,
+            st.ctx.h_pre.as_mut_slice(),
+        );
+        st.ctx
+            .h_act
+            .as_mut_slice()
+            .copy_from_slice(st.ctx.h_pre.as_slice());
+        for v in st.ctx.h_act.as_mut_slice() {
+            *v *= sigmoid(*v);
+        }
+        gemm_grouped(
+            st.ctx.h_act.as_slice(),
+            &st.ctx.pft.tokens_per_expert,
+            f,
+            |e| self.experts[e].1.as_slice(),
+            h,
+            st.ctx.y.as_mut_slice(),
+        );
         st.ctx.seg_offsets.clear();
         st.ctx.seg_offsets.push(0);
         let mut row = 0usize;
-        for (e, &cnt) in st.ctx.pft.tokens_per_expert.iter().enumerate() {
-            if cnt > 0 {
-                let in_seg = &st.ctx.dispatch_in.as_slice()[row * h..(row + cnt) * h];
-                let seg_f = row * f..(row + cnt) * f;
-                // Lease targets are zero-filled, so the accumulating GEMM
-                // equals the owned path's fresh matmul bitwise.
-                matmul_slices(
-                    in_seg,
-                    cnt,
-                    h,
-                    self.experts[e].0.as_slice(),
-                    f,
-                    &mut st.ctx.h_pre.as_mut_slice()[seg_f.clone()],
-                );
-                let act_seg = &mut st.ctx.h_act.as_mut_slice()[seg_f.clone()];
-                act_seg.copy_from_slice(&st.ctx.h_pre.as_slice()[seg_f.clone()]);
-                for v in act_seg.iter_mut() {
-                    *v *= sigmoid(*v);
-                }
-                matmul_slices(
-                    &st.ctx.h_act.as_slice()[seg_f],
-                    cnt,
-                    f,
-                    self.experts[e].1.as_slice(),
-                    h,
-                    &mut st.ctx.y.as_mut_slice()[row * h..(row + cnt) * h],
-                );
-            }
+        for &cnt in &st.ctx.pft.tokens_per_expert {
             row += cnt;
             st.ctx.seg_offsets.push(row);
         }
@@ -547,68 +599,79 @@ impl TrainableMoe {
             st.d_w[i] = xmoe_tensor::dot_and_scale(dy_row, y_row, w);
         }
 
-        // Per-expert FFN backward over contiguous segments.
-        let mut d_dispatch = st.ws.take(b, h);
-        for e in 0..self.num_experts() {
-            let (start, end) = (st.ctx.seg_offsets[e], st.ctx.seg_offsets[e + 1]);
-            if start == end {
+        // Grouped FFN backward — the pooled twin of the owned path, with the
+        // staging buffers leased from the workspace arena. No transpose is
+        // ever materialised (the grouped transpose-A kernel reads A
+        // column-wise in the exact accumulation order of the old
+        // transpose-then-matmul), which also retires the former `t_seg`
+        // per-segment transpose scratch.
+        let f = self.experts[0].0.cols();
+        let e_count = self.num_experts();
+        // Disjoint field borrows: segment table from the saved context,
+        // leases from the arena.
+        let (ws, ctx) = (&mut st.ws, &st.ctx);
+        let counts = &ctx.pft.tokens_per_expert;
+        // dW2_e = act_e^T dy_e.
+        let mut dw2_all = ws.take(e_count * f, h);
+        gemm_grouped_transpose_a(
+            ctx.h_act.as_slice(),
+            counts,
+            f,
+            d_y.as_slice(),
+            h,
+            dw2_all.as_mut_slice(),
+        );
+        // d_act = dy W2^T; through SiLU.
+        let mut d_h = ws.take(b, f);
+        gemm_grouped_transpose_b(
+            d_y.as_slice(),
+            counts,
+            h,
+            |e| self.experts[e].1.as_slice(),
+            f,
+            d_h.as_mut_slice(),
+        );
+        for (d, &pre) in d_h.as_mut_slice().iter_mut().zip(ctx.h_pre.as_slice()) {
+            *d *= silu_grad(pre);
+        }
+        // dW1_e = x_e^T d_h_e.
+        let mut dw1_all = ws.take(e_count * h, f);
+        gemm_grouped_transpose_a(
+            ctx.dispatch_in.as_slice(),
+            counts,
+            h,
+            d_h.as_slice(),
+            f,
+            dw1_all.as_mut_slice(),
+        );
+        // d_seg = d_h W1^T, written straight into the dispatch-grad buffer
+        // (the kernel overwrites, so this equals the owned path).
+        let mut d_dispatch = ws.take(b, h);
+        gemm_grouped_transpose_b(
+            d_h.as_slice(),
+            counts,
+            f,
+            |e| self.experts[e].0.as_slice(),
+            h,
+            d_dispatch.as_mut_slice(),
+        );
+        ws.recycle(d_h);
+        for (e, &cnt) in counts.iter().enumerate() {
+            if cnt == 0 {
                 continue;
             }
-            let cnt = end - start;
-            let f = self.experts[e].0.cols();
-            let dy_seg = &d_y.as_slice()[start * h..end * h];
-            // dW2 += act^T dy
-            st.ctx.h_act.transpose_rows_into(start, end, &mut st.t_seg);
-            let mut dw2 = st.ws.take(f, h);
-            matmul_slices(st.t_seg.as_slice(), f, cnt, dy_seg, h, dw2.as_mut_slice());
-            add_assign(&mut self.g_experts[e].1, &dw2);
-            st.ws.recycle(dw2);
-            // d_act = dy W2^T; through SiLU.
-            let mut d_h = st.ws.take(cnt, f);
-            matmul_transpose_b_slices(
-                dy_seg,
-                cnt,
-                h,
-                self.experts[e].1.as_slice(),
-                f,
-                d_h.as_mut_slice(),
+            add_assign_slice(
+                self.g_experts[e].1.as_mut_slice(),
+                &dw2_all.as_slice()[e * f * h..(e + 1) * f * h],
             );
-            for (d, &pre) in d_h
-                .as_mut_slice()
-                .iter_mut()
-                .zip(&st.ctx.h_pre.as_slice()[start * f..end * f])
-            {
-                *d *= silu_grad(pre);
-            }
-            // dW1 += x^T d_h
-            st.ctx
-                .dispatch_in
-                .transpose_rows_into(start, end, &mut st.t_seg);
-            let mut dw1 = st.ws.take(h, f);
-            matmul_slices(
-                st.t_seg.as_slice(),
-                h,
-                cnt,
-                d_h.as_slice(),
-                f,
-                dw1.as_mut_slice(),
+            add_assign_slice(
+                self.g_experts[e].0.as_mut_slice(),
+                &dw1_all.as_slice()[e * h * f..(e + 1) * h * f],
             );
-            add_assign(&mut self.g_experts[e].0, &dw1);
-            st.ws.recycle(dw1);
-            // d_seg = d_h W1^T, written straight into the dispatch-grad
-            // segment (the kernel overwrites, so this equals the owned
-            // path's compute-then-copy).
-            matmul_transpose_b_slices(
-                d_h.as_slice(),
-                cnt,
-                f,
-                self.experts[e].0.as_slice(),
-                h,
-                &mut d_dispatch.as_mut_slice()[start * h..end * h],
-            );
-            st.ws.recycle(d_h);
         }
-        st.ws.recycle(d_y);
+        ws.recycle(dw2_all);
+        ws.recycle(dw1_all);
+        ws.recycle(d_y);
         // Scatter dispatch grads back to token positions (gather transpose).
         scatter_rows_unit(&d_dispatch, &st.ctx.pft.token_ids, &mut d_x);
         st.ws.recycle(d_dispatch);

